@@ -1,0 +1,168 @@
+//! Category composition of recipes — Fig. 2 of the paper.
+//!
+//! For each cuisine and category: the average number of ingredients a
+//! recipe uses from that category. Fig. 2 boxplots the spread of these
+//! per-cuisine averages for every category.
+
+use cuisine_data::{Corpus, CuisineId};
+use cuisine_lexicon::{Category, Lexicon};
+use cuisine_stats::boxplot::BoxplotStats;
+use serde::{Deserialize, Serialize};
+
+/// The 25×21 matrix of per-cuisine mean category usage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CategoryProfile {
+    /// Region codes, one per populated cuisine (row order).
+    pub codes: Vec<String>,
+    /// `means[row][cat] = mean #ingredients per recipe from category`.
+    pub means: Vec<[f64; Category::COUNT]>,
+}
+
+impl CategoryProfile {
+    /// Compute the profile over a corpus.
+    pub fn measure(corpus: &Corpus, lexicon: &Lexicon) -> Self {
+        let mut codes = Vec::new();
+        let mut means = Vec::new();
+        for cuisine in CuisineId::all() {
+            let n = corpus.recipe_count(cuisine);
+            if n == 0 {
+                continue;
+            }
+            let mut totals = [0usize; Category::COUNT];
+            for r in corpus.recipes_in(cuisine) {
+                let h = r.category_histogram(lexicon);
+                for (t, c) in totals.iter_mut().zip(h) {
+                    *t += c;
+                }
+            }
+            let mut row = [0f64; Category::COUNT];
+            for (m, t) in row.iter_mut().zip(totals) {
+                *m = t as f64 / n as f64;
+            }
+            codes.push(cuisine.code().to_string());
+            means.push(row);
+        }
+        CategoryProfile { codes, means }
+    }
+
+    /// Mean usage of one category in one cuisine (by region code).
+    pub fn mean_for(&self, code: &str, cat: Category) -> Option<f64> {
+        let row = self.codes.iter().position(|c| c == code)?;
+        Some(self.means[row][cat.index()])
+    }
+
+    /// The per-cuisine means of one category, in row order.
+    pub fn column(&self, cat: Category) -> Vec<f64> {
+        self.means.iter().map(|row| row[cat.index()]).collect()
+    }
+
+    /// Fig. 2 proper: for each category, the boxplot of its per-cuisine
+    /// means. Returns `(category, stats)` pairs in category order; `None`
+    /// stats when no cuisines are populated.
+    pub fn boxplots(&self) -> Vec<(Category, Option<BoxplotStats>)> {
+        Category::ALL
+            .iter()
+            .map(|&cat| (cat, BoxplotStats::from_slice(&self.column(cat))))
+            .collect()
+    }
+
+    /// Categories ordered by their cross-cuisine mean usage, descending —
+    /// the paper's "Vegetable, Additive, Spice, Dairy, Herb, Plant and
+    /// Fruit used more frequently than other categories" ordering claim.
+    pub fn categories_by_mean_usage(&self) -> Vec<(Category, f64)> {
+        let mut out: Vec<(Category, f64)> = Category::ALL
+            .iter()
+            .map(|&cat| {
+                let col = self.column(cat);
+                let mean = if col.is_empty() {
+                    0.0
+                } else {
+                    col.iter().sum::<f64>() / col.len() as f64
+                };
+                (cat, mean)
+            })
+            .collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite means"));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuisine_data::Recipe;
+    use cuisine_lexicon::IngredientId;
+
+    fn ids(lex: &Lexicon, names: &[&str]) -> Vec<IngredientId> {
+        names.iter().map(|n| lex.resolve(n).unwrap()).collect()
+    }
+
+    #[test]
+    fn means_are_per_recipe_averages() {
+        let lex = Lexicon::standard();
+        let corpus = Corpus::new(vec![
+            // 2 spices, 1 herb.
+            Recipe::new(CuisineId(0), ids(lex, &["Cumin", "Turmeric", "Basil"])),
+            // 0 spices, 1 herb.
+            Recipe::new(CuisineId(0), ids(lex, &["Basil", "Tomato"])),
+        ]);
+        let p = CategoryProfile::measure(&corpus, lex);
+        assert_eq!(p.mean_for("AFR", Category::Spice), Some(1.0));
+        assert_eq!(p.mean_for("AFR", Category::Herb), Some(1.0));
+        assert_eq!(p.mean_for("AFR", Category::Vegetable), Some(0.5));
+        assert_eq!(p.mean_for("AFR", Category::Dairy), Some(0.0));
+    }
+
+    #[test]
+    fn unknown_code_is_none() {
+        let lex = Lexicon::standard();
+        let corpus = Corpus::new(vec![Recipe::new(
+            CuisineId(0),
+            ids(lex, &["Cumin", "Basil"]),
+        )]);
+        let p = CategoryProfile::measure(&corpus, lex);
+        assert_eq!(p.mean_for("ITA", Category::Spice), None);
+    }
+
+    #[test]
+    fn row_sums_equal_mean_recipe_size() {
+        let lex = Lexicon::standard();
+        let corpus = Corpus::new(vec![
+            Recipe::new(CuisineId(2), ids(lex, &["Potato", "Butter", "Cream"])),
+            Recipe::new(CuisineId(2), ids(lex, &["Flour", "Egg", "Milk", "Sugar", "Salt"])),
+        ]);
+        let p = CategoryProfile::measure(&corpus, lex);
+        let row_sum: f64 = p.means[0].iter().sum();
+        assert!((row_sum - 4.0).abs() < 1e-12, "mean size (3+5)/2 = 4");
+    }
+
+    #[test]
+    fn boxplots_cover_all_21_categories() {
+        let lex = Lexicon::standard();
+        let corpus = Corpus::new(vec![Recipe::new(
+            CuisineId(0),
+            ids(lex, &["Cumin", "Basil", "Tomato"]),
+        )]);
+        let p = CategoryProfile::measure(&corpus, lex);
+        let boxes = p.boxplots();
+        assert_eq!(boxes.len(), 21);
+        assert!(boxes.iter().all(|(_, b)| b.is_some()));
+    }
+
+    #[test]
+    fn usage_ordering_is_descending() {
+        let lex = Lexicon::standard();
+        let corpus = Corpus::new(vec![
+            Recipe::new(CuisineId(0), ids(lex, &["Cumin", "Turmeric", "Basil", "Tomato"])),
+            Recipe::new(CuisineId(1), ids(lex, &["Salt", "Sugar", "Tomato", "Onion"])),
+        ]);
+        let p = CategoryProfile::measure(&corpus, lex);
+        let ordered = p.categories_by_mean_usage();
+        assert_eq!(ordered.len(), 21);
+        for w in ordered.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        // Vegetable leads in this corpus (tomato + onion).
+        assert_eq!(ordered[0].0, Category::Vegetable);
+    }
+}

@@ -1,0 +1,314 @@
+//! Agglomerative clustering of cuisines by ingredient-usage profiles.
+//!
+//! A companion analysis to the paper's Section III: grouping the 25
+//! regions by how similarly they *use* ingredients recovers the
+//! geo-cultural structure (Mediterranean, East Asian, Anglo baking, …)
+//! that Table I hints at. Used by the `culinary_diversity` example and the
+//! `exp_ablation` report.
+
+use cuisine_data::{Corpus, CuisineId};
+use serde::{Deserialize, Serialize};
+
+/// Linkage criterion for agglomerative clustering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Linkage {
+    /// Minimum pairwise distance between members.
+    Single,
+    /// Maximum pairwise distance between members.
+    Complete,
+    /// Unweighted average of pairwise distances (UPGMA).
+    Average,
+}
+
+/// One merge step of the dendrogram: clusters `a` and `b` (indices into
+/// the node arena) join at `height`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Merge {
+    /// Left child node id.
+    pub a: usize,
+    /// Right child node id.
+    pub b: usize,
+    /// Linkage distance at which the merge happened.
+    pub height: f64,
+}
+
+/// The result of a clustering run: leaves are nodes `0..n`; merge `k`
+/// creates node `n + k`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dendrogram {
+    /// Leaf labels (region codes), in node-id order.
+    pub labels: Vec<String>,
+    /// Merges, in the order they were performed.
+    pub merges: Vec<Merge>,
+}
+
+impl Dendrogram {
+    /// Number of leaves.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when there are no leaves.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Cut the dendrogram into `k` clusters; returns, per leaf, its cluster
+    /// index in `0..k`. For `k >= leaves` every leaf is its own cluster.
+    ///
+    /// # Panics
+    /// Panics when `k == 0` or the dendrogram is empty.
+    pub fn cut(&self, k: usize) -> Vec<usize> {
+        assert!(k > 0, "cannot cut into zero clusters");
+        let n = self.labels.len();
+        assert!(n > 0, "empty dendrogram");
+        let k = k.min(n);
+        // Union-find over leaves, applying merges until k clusters remain.
+        let mut parent: Vec<usize> = (0..n + self.merges.len()).collect();
+        fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+            if parent[x] != x {
+                let root = find(parent, parent[x]);
+                parent[x] = root;
+            }
+            parent[x]
+        }
+        let mut clusters = n;
+        for (step, m) in self.merges.iter().enumerate() {
+            if clusters <= k {
+                break;
+            }
+            let node = n + step;
+            let ra = find(&mut parent, m.a);
+            let rb = find(&mut parent, m.b);
+            parent[ra] = node;
+            parent[rb] = node;
+            clusters -= 1;
+        }
+        // Map roots to dense cluster ids.
+        let mut root_ids: Vec<usize> = Vec::new();
+        (0..n)
+            .map(|leaf| {
+                let root = find(&mut parent, leaf);
+                match root_ids.iter().position(|&r| r == root) {
+                    Some(i) => i,
+                    None => {
+                        root_ids.push(root);
+                        root_ids.len() - 1
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Region codes grouped by the clusters of [`Dendrogram::cut`].
+    pub fn clusters(&self, k: usize) -> Vec<Vec<String>> {
+        let assignment = self.cut(k);
+        let groups = assignment.iter().copied().max().map_or(0, |m| m + 1);
+        let mut out = vec![Vec::new(); groups];
+        for (leaf, &cluster) in assignment.iter().enumerate() {
+            out[cluster].push(self.labels[leaf].clone());
+        }
+        out
+    }
+}
+
+/// Agglomerative clustering over a precomputed distance matrix.
+///
+/// # Panics
+/// Panics when the matrix is not square or does not match `labels`.
+pub fn cluster(labels: &[String], distances: &[Vec<f64>], linkage: Linkage) -> Dendrogram {
+    let n = labels.len();
+    assert_eq!(distances.len(), n, "distance matrix must be n x n");
+    for row in distances {
+        assert_eq!(row.len(), n, "distance matrix must be n x n");
+    }
+    // active[i]: members (leaf ids) of cluster node i, or None when merged
+    // away. Nodes 0..n are leaves.
+    let mut members: Vec<Option<Vec<usize>>> = (0..n).map(|i| Some(vec![i])).collect();
+    let mut merges = Vec::new();
+
+    let linkage_distance = |a: &[usize], b: &[usize]| -> f64 {
+        let pairs = a.iter().flat_map(|&x| b.iter().map(move |&y| distances[x][y]));
+        match linkage {
+            Linkage::Single => pairs.fold(f64::INFINITY, f64::min),
+            Linkage::Complete => pairs.fold(f64::NEG_INFINITY, f64::max),
+            Linkage::Average => {
+                let (sum, count) = pairs.fold((0.0, 0usize), |(s, c), d| (s + d, c + 1));
+                sum / count as f64
+            }
+        }
+    };
+
+    for _ in 1..n {
+        // Find the closest active pair.
+        let active: Vec<usize> = members
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.is_some())
+            .map(|(i, _)| i)
+            .collect();
+        let mut best: Option<(usize, usize, f64)> = None;
+        for (ai, &a) in active.iter().enumerate() {
+            for &b in &active[ai + 1..] {
+                let d = linkage_distance(
+                    members[a].as_ref().expect("active"),
+                    members[b].as_ref().expect("active"),
+                );
+                if best.is_none_or(|(_, _, bd)| d < bd) {
+                    best = Some((a, b, d));
+                }
+            }
+        }
+        let (a, b, height) = best.expect("at least two active clusters");
+        let mut merged = members[a].take().expect("active");
+        merged.extend(members[b].take().expect("active"));
+        members.push(Some(merged));
+        merges.push(Merge { a, b, height });
+    }
+
+    Dendrogram { labels: labels.to_vec(), merges }
+}
+
+/// Cosine distance (1 − cosine similarity) between the ingredient-usage
+/// vectors of two cuisines. Returns 1.0 when either vector is all-zero.
+pub fn usage_cosine_distance(corpus: &Corpus, a: CuisineId, b: CuisineId) -> f64 {
+    let all = corpus.all_ingredients();
+    let mut dot = 0.0f64;
+    let mut na = 0.0f64;
+    let mut nb = 0.0f64;
+    for &ing in &all {
+        let ua = corpus.usage(a, ing) as f64 / corpus.recipe_count(a).max(1) as f64;
+        let ub = corpus.usage(b, ing) as f64 / corpus.recipe_count(b).max(1) as f64;
+        dot += ua * ub;
+        na += ua * ua;
+        nb += ub * ub;
+    }
+    if na <= 0.0 || nb <= 0.0 {
+        return 1.0;
+    }
+    1.0 - dot / (na.sqrt() * nb.sqrt())
+}
+
+/// Cluster the populated cuisines of a corpus by usage-profile cosine
+/// distance.
+pub fn cluster_cuisines(corpus: &Corpus, linkage: Linkage) -> Dendrogram {
+    let cuisines: Vec<CuisineId> = corpus.populated_cuisines();
+    let labels: Vec<String> = cuisines.iter().map(|c| c.code().to_string()).collect();
+    let n = cuisines.len();
+    let mut distances = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = usage_cosine_distance(corpus, cuisines[i], cuisines[j]);
+            distances[i][j] = d;
+            distances[j][i] = d;
+        }
+    }
+    cluster(&labels, &distances, linkage)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuisine_data::Recipe;
+    use cuisine_lexicon::IngredientId;
+
+    fn labels(names: &[&str]) -> Vec<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    /// Two tight pairs far apart: {A, B} at distance 1, {C, D} at 1, the
+    /// pairs 10 apart.
+    fn two_pair_matrix() -> Vec<Vec<f64>> {
+        let big = 10.0;
+        vec![
+            vec![0.0, 1.0, big, big],
+            vec![1.0, 0.0, big, big],
+            vec![big, big, 0.0, 1.0],
+            vec![big, big, 1.0, 0.0],
+        ]
+    }
+
+    #[test]
+    fn clusters_recover_two_pairs() {
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+            let d = cluster(&labels(&["A", "B", "C", "D"]), &two_pair_matrix(), linkage);
+            assert_eq!(d.merges.len(), 3);
+            let cut = d.cut(2);
+            assert_eq!(cut[0], cut[1], "{linkage:?}: A and B together");
+            assert_eq!(cut[2], cut[3], "{linkage:?}: C and D together");
+            assert_ne!(cut[0], cut[2], "{linkage:?}: pairs apart");
+        }
+    }
+
+    #[test]
+    fn merge_heights_are_monotone_for_average_linkage() {
+        let d = cluster(
+            &labels(&["A", "B", "C", "D"]),
+            &two_pair_matrix(),
+            Linkage::Average,
+        );
+        for w in d.merges.windows(2) {
+            assert!(w[0].height <= w[1].height);
+        }
+    }
+
+    #[test]
+    fn cut_extremes() {
+        let d = cluster(&labels(&["A", "B", "C"]), &vec![vec![0.0; 3]; 3], Linkage::Single);
+        assert_eq!(d.cut(1), vec![0, 0, 0]);
+        let singletons = d.cut(10);
+        assert_eq!(singletons.len(), 3);
+        let mut unique = singletons.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), 3);
+    }
+
+    #[test]
+    fn clusters_group_labels() {
+        let d = cluster(&labels(&["A", "B", "C", "D"]), &two_pair_matrix(), Linkage::Average);
+        let groups = d.clusters(2);
+        assert_eq!(groups.len(), 2);
+        let mut sizes: Vec<usize> = groups.iter().map(|g| g.len()).collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![2, 2]);
+    }
+
+    #[test]
+    fn cosine_distance_identity_and_disjoint() {
+        let id = |n: u16| IngredientId(n);
+        let corpus = Corpus::new(vec![
+            Recipe::new(CuisineId(0), vec![id(1), id(2)]),
+            Recipe::new(CuisineId(1), vec![id(1), id(2)]),
+            Recipe::new(CuisineId(2), vec![id(5), id(6)]),
+        ]);
+        let same = usage_cosine_distance(&corpus, CuisineId(0), CuisineId(1));
+        assert!(same.abs() < 1e-12, "identical profiles, got {same}");
+        let far = usage_cosine_distance(&corpus, CuisineId(0), CuisineId(2));
+        assert!((far - 1.0).abs() < 1e-12, "disjoint profiles, got {far}");
+    }
+
+    #[test]
+    fn cluster_cuisines_runs_on_small_corpus() {
+        let id = |n: u16| IngredientId(n);
+        let corpus = Corpus::new(vec![
+            Recipe::new(CuisineId(0), vec![id(1), id(2)]),
+            Recipe::new(CuisineId(1), vec![id(1), id(2)]),
+            Recipe::new(CuisineId(2), vec![id(5), id(6)]),
+        ]);
+        let d = cluster_cuisines(&corpus, Linkage::Average);
+        assert_eq!(d.len(), 3);
+        let groups = d.clusters(2);
+        // AFR and ANZ (identical profiles) must share a cluster.
+        let together = groups
+            .iter()
+            .any(|g| g.contains(&"AFR".to_string()) && g.contains(&"ANZ".to_string()));
+        assert!(together, "{groups:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "n x n")]
+    fn rejects_mismatched_matrix() {
+        let _ = cluster(&labels(&["A", "B"]), &vec![vec![0.0; 3]; 3], Linkage::Single);
+    }
+}

@@ -1,0 +1,174 @@
+//! Culinary-diversity measures beyond Eq. 1 — vocabulary overlap and usage
+//! entropy. Not figures in the paper, but standard companions to its
+//! Section III analysis (and used by the ablation benches).
+
+use cuisine_data::{Corpus, CuisineId};
+use serde::{Deserialize, Serialize};
+
+/// Jaccard similarity between the ingredient vocabularies of two cuisines.
+/// Returns `None` when both vocabularies are empty.
+pub fn vocabulary_jaccard(corpus: &Corpus, a: CuisineId, b: CuisineId) -> Option<f64> {
+    let va = corpus.ingredients_in(a);
+    let vb = corpus.ingredients_in(b);
+    if va.is_empty() && vb.is_empty() {
+        return None;
+    }
+    // Both are sorted ascending; merge-count the intersection.
+    let (mut i, mut j, mut inter) = (0usize, 0usize, 0usize);
+    while i < va.len() && j < vb.len() {
+        match va[i].cmp(&vb[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    let union = va.len() + vb.len() - inter;
+    Some(inter as f64 / union as f64)
+}
+
+/// Shannon entropy (bits) of a cuisine's ingredient-usage distribution.
+/// Higher entropy = usage spread more evenly over the vocabulary.
+/// Returns `None` for an empty cuisine.
+pub fn usage_entropy(corpus: &Corpus, cuisine: CuisineId) -> Option<f64> {
+    let counts: Vec<u32> = corpus
+        .ingredients_in(cuisine)
+        .into_iter()
+        .map(|i| corpus.usage(cuisine, i))
+        .collect();
+    let total: u64 = counts.iter().map(|&c| c as u64).sum();
+    if total == 0 {
+        return None;
+    }
+    let h: f64 = counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / total as f64;
+            -p * p.log2()
+        })
+        .sum();
+    Some(h)
+}
+
+/// Normalized usage entropy in `[0, 1]` (entropy over log2 of vocabulary
+/// size). Returns `None` for empty cuisines; 1.0 for single-item
+/// vocabularies (maximally even by convention).
+pub fn normalized_usage_entropy(corpus: &Corpus, cuisine: CuisineId) -> Option<f64> {
+    let h = usage_entropy(corpus, cuisine)?;
+    let v = corpus.unique_ingredient_count(cuisine);
+    if v <= 1 {
+        return Some(1.0);
+    }
+    Some(h / (v as f64).log2())
+}
+
+/// Diversity summary row for one cuisine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiversityRow {
+    /// Region code.
+    pub code: String,
+    /// Unique ingredients used.
+    pub vocabulary: usize,
+    /// Usage entropy in bits.
+    pub entropy_bits: f64,
+    /// Entropy normalized to `[0, 1]`.
+    pub normalized_entropy: f64,
+}
+
+/// Compute the diversity summary for all populated cuisines.
+pub fn diversity_summary(corpus: &Corpus) -> Vec<DiversityRow> {
+    CuisineId::all()
+        .filter(|&c| corpus.recipe_count(c) > 0)
+        .map(|c| DiversityRow {
+            code: c.code().to_string(),
+            vocabulary: corpus.unique_ingredient_count(c),
+            entropy_bits: usage_entropy(corpus, c).unwrap_or(0.0),
+            normalized_entropy: normalized_usage_entropy(corpus, c).unwrap_or(0.0),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuisine_data::Recipe;
+    use cuisine_lexicon::IngredientId;
+
+    fn id(n: u16) -> IngredientId {
+        IngredientId(n)
+    }
+
+    #[test]
+    fn jaccard_of_identical_vocabularies_is_one() {
+        let c = Corpus::new(vec![
+            Recipe::new(CuisineId(0), vec![id(1), id(2)]),
+            Recipe::new(CuisineId(1), vec![id(1), id(2)]),
+        ]);
+        assert_eq!(vocabulary_jaccard(&c, CuisineId(0), CuisineId(1)), Some(1.0));
+    }
+
+    #[test]
+    fn jaccard_of_disjoint_vocabularies_is_zero() {
+        let c = Corpus::new(vec![
+            Recipe::new(CuisineId(0), vec![id(1), id(2)]),
+            Recipe::new(CuisineId(1), vec![id(3), id(4)]),
+        ]);
+        assert_eq!(vocabulary_jaccard(&c, CuisineId(0), CuisineId(1)), Some(0.0));
+    }
+
+    #[test]
+    fn jaccard_partial_overlap() {
+        let c = Corpus::new(vec![
+            Recipe::new(CuisineId(0), vec![id(1), id(2), id(3)]),
+            Recipe::new(CuisineId(1), vec![id(2), id(3), id(4)]),
+        ]);
+        // |{2,3}| / |{1,2,3,4}| = 0.5
+        assert_eq!(vocabulary_jaccard(&c, CuisineId(0), CuisineId(1)), Some(0.5));
+    }
+
+    #[test]
+    fn jaccard_of_empty_pair_is_none() {
+        let c = Corpus::new(vec![]);
+        assert_eq!(vocabulary_jaccard(&c, CuisineId(0), CuisineId(1)), None);
+    }
+
+    #[test]
+    fn entropy_of_uniform_usage_is_log2_v() {
+        let c = Corpus::new(vec![
+            Recipe::new(CuisineId(0), vec![id(1), id(2)]),
+            Recipe::new(CuisineId(0), vec![id(3), id(4)]),
+        ]);
+        let h = usage_entropy(&c, CuisineId(0)).unwrap();
+        assert!((h - 2.0).abs() < 1e-12, "4 items uniform -> 2 bits, got {h}");
+        assert_eq!(normalized_usage_entropy(&c, CuisineId(0)), Some(1.0));
+    }
+
+    #[test]
+    fn skewed_usage_has_lower_entropy() {
+        let skewed = Corpus::new(vec![
+            Recipe::new(CuisineId(0), vec![id(1), id(2)]),
+            Recipe::new(CuisineId(0), vec![id(1), id(3)]),
+            Recipe::new(CuisineId(0), vec![id(1), id(4)]),
+        ]);
+        let h = normalized_usage_entropy(&skewed, CuisineId(0)).unwrap();
+        assert!(h < 1.0);
+        assert!(h > 0.0);
+    }
+
+    #[test]
+    fn summary_covers_populated_cuisines() {
+        let c = Corpus::new(vec![
+            Recipe::new(CuisineId(0), vec![id(1), id(2)]),
+            Recipe::new(CuisineId(3), vec![id(1), id(9)]),
+        ]);
+        let rows = diversity_summary(&c);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].code, "AFR");
+        assert_eq!(rows[1].code, "CAN");
+        assert_eq!(rows[0].vocabulary, 2);
+    }
+}

@@ -1,0 +1,39 @@
+//! # cuisine-analytics
+//!
+//! The data-analysis half of the cuisine-evolution paper:
+//!
+//! - [`mod@overrepresentation`] — Eq. 1 and the Table-I reproduction.
+//! - [`size_dist`] — recipe-size distributions and Gaussian fits (Fig. 1).
+//! - [`category_profile`] — per-cuisine category composition and the Fig. 2
+//!   boxplots.
+//! - [`rank_freq`] — combination rank-frequency curves at ingredient and
+//!   category granularity (Fig. 3).
+//! - [`similarity`] — pairwise Eq. 2 distance matrices between cuisines.
+//! - [`diversity`] — companion vocabulary-overlap and entropy measures.
+//! - [`clustering`] — agglomerative clustering of cuisines by usage
+//!   profile (companion analysis).
+//! - [`zipf`] — individual-ingredient rank-frequency invariance (the
+//!   Section IV premise from refs \[3\]-\[8\]).
+//! - [`pairing`] — PMI food-pairing analysis (the introduction's framing,
+//!   refs \[3\]-\[5\]).
+
+#![warn(missing_docs)]
+
+pub mod category_profile;
+pub mod clustering;
+pub mod diversity;
+pub mod overrepresentation;
+pub mod pairing;
+pub mod rank_freq;
+pub mod similarity;
+pub mod size_dist;
+pub mod zipf;
+
+pub use category_profile::CategoryProfile;
+pub use clustering::{cluster_cuisines, Dendrogram, Linkage};
+pub use overrepresentation::{overrepresentation, table1, top_overrepresented, Table1Row};
+pub use rank_freq::RankFrequencyAnalysis;
+pub use similarity::SimilarityMatrix;
+pub use pairing::PairingAnalysis;
+pub use size_dist::{fig1, Fig1, SizeDistribution};
+pub use zipf::{ingredient_popularity, ZipfInvariance};

@@ -1,0 +1,222 @@
+//! Ingredient Overrepresentation — Eq. 1 of the paper (Section III).
+//!
+//! For ingredient `i` and region ς:
+//!
+//! ```text
+//! O_i^ς = n_i^ς / N_ς  −  Σ_c n_i^c / Σ_c N_c
+//! ```
+//!
+//! positive when `i` appears in a larger share of ς's recipes than across
+//! all cuisines combined. Table I reports each cuisine's top-5 (top-6 for
+//! INSC).
+
+use cuisine_data::{Corpus, CuisineId};
+use cuisine_lexicon::{IngredientId, Lexicon};
+use serde::{Deserialize, Serialize};
+
+/// One ingredient's overrepresentation score in one cuisine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OverrepresentationScore {
+    /// The ingredient.
+    pub ingredient: IngredientId,
+    /// Canonical ingredient name.
+    pub name: String,
+    /// The Eq. 1 score.
+    pub score: f64,
+    /// `n_i^ς / N_ς`: share of the cuisine's recipes using the ingredient.
+    pub local_share: f64,
+    /// `Σ n_i^c / Σ N_c`: share across all cuisines.
+    pub global_share: f64,
+}
+
+/// Eq. 1 for a single ingredient and cuisine. Returns `None` when the
+/// cuisine has no recipes or the corpus is empty.
+pub fn overrepresentation(
+    corpus: &Corpus,
+    cuisine: CuisineId,
+    ingredient: IngredientId,
+) -> Option<f64> {
+    let n_local = corpus.recipe_count(cuisine);
+    let n_global: usize = CuisineId::all().map(|c| corpus.recipe_count(c)).sum();
+    if n_local == 0 || n_global == 0 {
+        return None;
+    }
+    let local = corpus.usage(cuisine, ingredient) as f64 / n_local as f64;
+    let global = corpus.total_usage(ingredient) as f64 / n_global as f64;
+    Some(local - global)
+}
+
+/// The `k` most overrepresented ingredients of a cuisine, descending by
+/// score (ties broken by ingredient id for determinism).
+pub fn top_overrepresented(
+    corpus: &Corpus,
+    cuisine: CuisineId,
+    lexicon: &Lexicon,
+    k: usize,
+) -> Vec<OverrepresentationScore> {
+    let n_local = corpus.recipe_count(cuisine);
+    let n_global: usize = CuisineId::all().map(|c| corpus.recipe_count(c)).sum();
+    if n_local == 0 || n_global == 0 {
+        return Vec::new();
+    }
+    let mut scores: Vec<OverrepresentationScore> = corpus
+        .ingredients_in(cuisine)
+        .into_iter()
+        .map(|ing| {
+            let local = corpus.usage(cuisine, ing) as f64 / n_local as f64;
+            let global = corpus.total_usage(ing) as f64 / n_global as f64;
+            OverrepresentationScore {
+                ingredient: ing,
+                name: lexicon.name(ing).to_string(),
+                score: local - global,
+                local_share: local,
+                global_share: global,
+            }
+        })
+        .collect();
+    scores.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .expect("finite scores")
+            .then(a.ingredient.cmp(&b.ingredient))
+    });
+    scores.truncate(k);
+    scores
+}
+
+/// Full Table-I-style report: per cuisine, the top-k overrepresented
+/// ingredients (k = the length of the cuisine's published list: 5, or 6 for
+/// INSC).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// Region code.
+    pub code: String,
+    /// Recipes in the corpus for this cuisine.
+    pub recipes: usize,
+    /// Unique ingredients observed.
+    pub ingredients: usize,
+    /// Computed top overrepresented ingredients.
+    pub top: Vec<OverrepresentationScore>,
+    /// The paper's published list for this cuisine.
+    pub published: Vec<String>,
+}
+
+impl Table1Row {
+    /// How many of the published ingredients appear in the computed top
+    /// list (order-insensitive).
+    pub fn overlap(&self) -> usize {
+        self.published
+            .iter()
+            .filter(|p| self.top.iter().any(|t| t.name.eq_ignore_ascii_case(p)))
+            .count()
+    }
+}
+
+/// Compute the Table-I reproduction over a corpus.
+pub fn table1(corpus: &Corpus, lexicon: &Lexicon) -> Vec<Table1Row> {
+    CuisineId::all()
+        .filter(|&c| corpus.recipe_count(c) > 0)
+        .map(|c| {
+            let published: Vec<String> =
+                c.info().overrepresented.iter().map(|s| s.to_string()).collect();
+            let k = published.len();
+            Table1Row {
+                code: c.code().to_string(),
+                recipes: corpus.recipe_count(c),
+                ingredients: corpus.unique_ingredient_count(c),
+                top: top_overrepresented(corpus, c, lexicon, k),
+                published,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuisine_data::Recipe;
+
+    fn ids(lex: &Lexicon, names: &[&str]) -> Vec<IngredientId> {
+        names.iter().map(|n| lex.resolve(n).unwrap()).collect()
+    }
+
+    /// Two tiny cuisines: cuisine 0 uses cumin in every recipe, cuisine 1
+    /// never does; both use salt everywhere.
+    fn corpus(lex: &Lexicon) -> Corpus {
+        Corpus::new(vec![
+            Recipe::new(CuisineId(0), ids(lex, &["Cumin", "Salt", "Onion"])),
+            Recipe::new(CuisineId(0), ids(lex, &["Cumin", "Salt", "Tomato"])),
+            Recipe::new(CuisineId(1), ids(lex, &["Salt", "Butter", "Flour"])),
+            Recipe::new(CuisineId(1), ids(lex, &["Salt", "Butter", "Egg"])),
+        ])
+    }
+
+    #[test]
+    fn eq1_hand_computed() {
+        let lex = Lexicon::standard();
+        let c = corpus(lex);
+        let cumin = lex.resolve("Cumin").unwrap();
+        // Cuisine 0: 2/2 local, 2/4 global -> O = 0.5.
+        let o = overrepresentation(&c, CuisineId(0), cumin).unwrap();
+        assert!((o - 0.5).abs() < 1e-12);
+        // Cuisine 1: 0/2 local, 2/4 global -> O = -0.5.
+        let o = overrepresentation(&c, CuisineId(1), cumin).unwrap();
+        assert!((o + 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ubiquitous_ingredient_scores_zero() {
+        let lex = Lexicon::standard();
+        let c = corpus(lex);
+        let salt = lex.resolve("Salt").unwrap();
+        let o = overrepresentation(&c, CuisineId(0), salt).unwrap();
+        assert!(o.abs() < 1e-12, "salt used everywhere should score 0, got {o}");
+    }
+
+    #[test]
+    fn empty_cuisine_is_none() {
+        let lex = Lexicon::standard();
+        let c = corpus(lex);
+        let cumin = lex.resolve("Cumin").unwrap();
+        assert_eq!(overrepresentation(&c, CuisineId(5), cumin), None);
+    }
+
+    #[test]
+    fn top_list_ranks_distinctive_over_ubiquitous() {
+        let lex = Lexicon::standard();
+        let c = corpus(lex);
+        let top = top_overrepresented(&c, CuisineId(0), lex, 3);
+        assert_eq!(top[0].name, "Cumin");
+        assert!(top[0].score > 0.0);
+        // Salt should not outrank cumin despite being in every recipe.
+        assert!(top.iter().position(|s| s.name == "Salt").is_none_or(|p| p > 0));
+    }
+
+    #[test]
+    fn scores_sum_to_zero_over_cuisines_weighted() {
+        // Identity: Σ_ς N_ς O_i^ς = 0 when every cuisine is weighted by its
+        // recipe count (follows directly from Eq. 1).
+        let lex = Lexicon::standard();
+        let c = corpus(lex);
+        for name in ["Cumin", "Salt", "Butter", "Onion"] {
+            let ing = lex.resolve(name).unwrap();
+            let weighted: f64 = CuisineId::all()
+                .filter(|&q| c.recipe_count(q) > 0)
+                .map(|q| {
+                    c.recipe_count(q) as f64 * overrepresentation(&c, q, ing).unwrap()
+                })
+                .sum();
+            assert!(weighted.abs() < 1e-9, "{name}: {weighted}");
+        }
+    }
+
+    #[test]
+    fn table1_rows_report_overlap() {
+        let lex = Lexicon::standard();
+        let c = corpus(lex);
+        let rows = table1(&c, lex);
+        assert_eq!(rows.len(), 2, "only two populated cuisines");
+        assert_eq!(rows[0].recipes, 2);
+        assert!(rows[0].overlap() <= rows[0].published.len());
+    }
+}

@@ -1,0 +1,181 @@
+//! Ingredient-pairing analysis — the food-pairing lens of the paper's
+//! introduction (refs \[3\]-\[5\]: Ahn et al.'s flavor network, Jain et al.'s
+//! Indian-cuisine pairing studies).
+//!
+//! For a cuisine, measures pointwise mutual information (PMI) between
+//! ingredient pairs and summarizes each cuisine's pairing bias: whether
+//! recipes prefer ingredient pairs that co-occur more (positive) or less
+//! (negative) than chance.
+
+use cuisine_data::{Corpus, CuisineId};
+use cuisine_lexicon::{IngredientId, Lexicon};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A scored ingredient pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScoredPair {
+    /// First ingredient (smaller id).
+    pub a: IngredientId,
+    /// Second ingredient.
+    pub b: IngredientId,
+    /// Canonical names, for reporting.
+    pub names: (String, String),
+    /// Number of recipes containing both.
+    pub joint_count: u32,
+    /// Pointwise mutual information `ln(P(a,b) / (P(a) P(b)))`.
+    pub pmi: f64,
+}
+
+/// Pairing structure of one cuisine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PairingAnalysis {
+    /// Region code.
+    pub code: String,
+    /// Number of recipes analyzed.
+    pub recipes: usize,
+    /// All pairs observed at least `min_count` times, sorted by descending
+    /// PMI.
+    pub pairs: Vec<ScoredPair>,
+}
+
+impl PairingAnalysis {
+    /// Measure a cuisine's pairing structure, keeping pairs co-occurring in
+    /// at least `min_count` recipes (noise floor). Returns `None` for an
+    /// empty cuisine.
+    pub fn measure(
+        corpus: &Corpus,
+        cuisine: CuisineId,
+        lexicon: &Lexicon,
+        min_count: u32,
+    ) -> Option<Self> {
+        let n = corpus.recipe_count(cuisine);
+        if n == 0 {
+            return None;
+        }
+        let mut joint: HashMap<(IngredientId, IngredientId), u32> = HashMap::new();
+        for r in corpus.recipes_in(cuisine) {
+            let ings = r.ingredients();
+            for (i, &a) in ings.iter().enumerate() {
+                for &b in &ings[i + 1..] {
+                    *joint.entry((a, b)).or_default() += 1;
+                }
+            }
+        }
+        let nf = n as f64;
+        let mut pairs: Vec<ScoredPair> = joint
+            .into_iter()
+            .filter(|&(_, c)| c >= min_count)
+            .map(|((a, b), c)| {
+                let pa = corpus.usage(cuisine, a) as f64 / nf;
+                let pb = corpus.usage(cuisine, b) as f64 / nf;
+                let pab = c as f64 / nf;
+                ScoredPair {
+                    a,
+                    b,
+                    names: (lexicon.name(a).to_string(), lexicon.name(b).to_string()),
+                    joint_count: c,
+                    pmi: (pab / (pa * pb)).ln(),
+                }
+            })
+            .collect();
+        pairs.sort_by(|x, y| {
+            y.pmi
+                .partial_cmp(&x.pmi)
+                .expect("finite PMI")
+                .then(x.a.cmp(&y.a))
+                .then(x.b.cmp(&y.b))
+        });
+        Some(PairingAnalysis { code: cuisine.code().to_string(), recipes: n, pairs })
+    }
+
+    /// The `k` highest-PMI pairs.
+    pub fn top(&self, k: usize) -> &[ScoredPair] {
+        &self.pairs[..k.min(self.pairs.len())]
+    }
+
+    /// Mean PMI over observed pairs, weighted by joint count — the
+    /// cuisine's overall pairing bias. `None` when no pairs cleared the
+    /// floor.
+    pub fn mean_pmi(&self) -> Option<f64> {
+        if self.pairs.is_empty() {
+            return None;
+        }
+        let (sum, weight) = self
+            .pairs
+            .iter()
+            .fold((0.0f64, 0u64), |(s, w), p| {
+                (s + p.pmi * p.joint_count as f64, w + p.joint_count as u64)
+            });
+        Some(sum / weight as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuisine_data::Recipe;
+
+    fn ids(lex: &Lexicon, names: &[&str]) -> Vec<IngredientId> {
+        names.iter().map(|n| lex.resolve(n).unwrap()).collect()
+    }
+
+    /// Tomato+Basil always together; Tomato+Flour never.
+    fn corpus(lex: &Lexicon) -> Corpus {
+        Corpus::new(vec![
+            Recipe::new(CuisineId(0), ids(lex, &["Tomato", "Basil", "Salt"])),
+            Recipe::new(CuisineId(0), ids(lex, &["Tomato", "Basil", "Garlic"])),
+            Recipe::new(CuisineId(0), ids(lex, &["Flour", "Egg", "Salt"])),
+            Recipe::new(CuisineId(0), ids(lex, &["Flour", "Egg", "Sugar"])),
+        ])
+    }
+
+    #[test]
+    fn pmi_rewards_faithful_pairs() {
+        let lex = Lexicon::standard();
+        let analysis = PairingAnalysis::measure(&corpus(lex), CuisineId(0), lex, 1).unwrap();
+        let find = |a: &str, b: &str| {
+            analysis.pairs.iter().find(|p| {
+                (p.names.0 == a && p.names.1 == b) || (p.names.0 == b && p.names.1 == a)
+            })
+        };
+        // Tomato & Basil: P=0.5 each, joint 0.5 -> PMI = ln(2).
+        let tb = find("Tomato", "Basil").expect("pair present");
+        assert!((tb.pmi - 2f64.ln()).abs() < 1e-12);
+        assert_eq!(tb.joint_count, 2);
+        // Tomato & Salt: P(t)=0.5, P(s)=0.5, joint 0.25 -> PMI = 0.
+        let ts = find("Tomato", "Salt").expect("pair present");
+        assert!(ts.pmi.abs() < 1e-12);
+        // Never co-occurring pairs are absent.
+        assert!(find("Tomato", "Flour").is_none());
+    }
+
+    #[test]
+    fn pairs_are_sorted_by_pmi() {
+        let lex = Lexicon::standard();
+        let analysis = PairingAnalysis::measure(&corpus(lex), CuisineId(0), lex, 1).unwrap();
+        for w in analysis.pairs.windows(2) {
+            assert!(w[0].pmi >= w[1].pmi);
+        }
+        assert!(analysis.top(3).len() <= 3);
+    }
+
+    #[test]
+    fn min_count_filters_noise() {
+        let lex = Lexicon::standard();
+        let strict = PairingAnalysis::measure(&corpus(lex), CuisineId(0), lex, 2).unwrap();
+        // Only pairs seen twice survive: Tomato-Basil and Flour-Egg.
+        assert_eq!(strict.pairs.len(), 2);
+        assert!(strict.pairs.iter().all(|p| p.joint_count == 2));
+    }
+
+    #[test]
+    fn mean_pmi_and_empty_cases() {
+        let lex = Lexicon::standard();
+        let analysis = PairingAnalysis::measure(&corpus(lex), CuisineId(0), lex, 1).unwrap();
+        assert!(analysis.mean_pmi().unwrap() > 0.0, "faithful pairs dominate");
+        assert!(PairingAnalysis::measure(&corpus(lex), CuisineId(5), lex, 1).is_none());
+        let floor = PairingAnalysis::measure(&corpus(lex), CuisineId(0), lex, 99).unwrap();
+        assert!(floor.mean_pmi().is_none());
+    }
+}

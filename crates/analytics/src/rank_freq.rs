@@ -1,0 +1,140 @@
+//! Combination rank-frequency analysis across cuisines — Fig. 3.
+//!
+//! Per cuisine, the rank-frequency curve of ingredient (or category)
+//! combinations with support ≥ 5%, normalized by the cuisine's recipe
+//! count; plus the aggregate curve over all recipes (the Fig. 3 insets).
+
+use cuisine_data::{Corpus, CuisineId};
+use cuisine_lexicon::Lexicon;
+use cuisine_mining::{CombinationAnalysis, ItemMode, Miner, TransactionSet};
+use cuisine_stats::RankFrequency;
+use serde::{Deserialize, Serialize};
+
+/// The rank-frequency curves of all cuisines at one granularity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RankFrequencyAnalysis {
+    /// Granularity mined at.
+    pub mode: ItemMode,
+    /// Relative support threshold used.
+    pub min_support: f64,
+    /// Region codes, parallel to `curves`.
+    pub codes: Vec<String>,
+    /// One curve per populated cuisine.
+    pub curves: Vec<RankFrequency>,
+    /// Curve over the pooled corpus (the inset).
+    pub aggregate: RankFrequency,
+}
+
+impl RankFrequencyAnalysis {
+    /// Mine every populated cuisine of a corpus.
+    pub fn measure(
+        corpus: &Corpus,
+        lexicon: &Lexicon,
+        mode: ItemMode,
+        min_support: f64,
+        miner: Miner,
+    ) -> Self {
+        let mut codes = Vec::new();
+        let mut curves = Vec::new();
+        for cuisine in CuisineId::all() {
+            if corpus.recipe_count(cuisine) == 0 {
+                continue;
+            }
+            let ts = TransactionSet::from_cuisine(corpus, cuisine, mode, lexicon);
+            let analysis = CombinationAnalysis::mine(&ts, min_support, miner);
+            codes.push(cuisine.code().to_string());
+            curves.push(analysis.rank_frequency());
+        }
+        let pooled = TransactionSet::from_recipes(corpus.recipes().iter(), mode, lexicon);
+        let aggregate = CombinationAnalysis::mine(&pooled, min_support, miner).rank_frequency();
+        RankFrequencyAnalysis { mode, min_support, codes, curves, aggregate }
+    }
+
+    /// Mine with the paper's 5% threshold and default miner.
+    pub fn paper(corpus: &Corpus, lexicon: &Lexicon, mode: ItemMode) -> Self {
+        Self::measure(corpus, lexicon, mode, cuisine_mining::PAPER_MIN_SUPPORT, Miner::default())
+    }
+
+    /// Curve of one cuisine by region code.
+    pub fn curve_for(&self, code: &str) -> Option<&RankFrequency> {
+        let i = self.codes.iter().position(|c| c == code)?;
+        Some(&self.curves[i])
+    }
+
+    /// Number of cuisines covered.
+    pub fn len(&self) -> usize {
+        self.curves.len()
+    }
+
+    /// True when no cuisine was populated.
+    pub fn is_empty(&self) -> bool {
+        self.curves.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuisine_data::Recipe;
+    use cuisine_lexicon::IngredientId;
+
+    fn ids(lex: &Lexicon, names: &[&str]) -> Vec<IngredientId> {
+        names.iter().map(|n| lex.resolve(n).unwrap()).collect()
+    }
+
+    fn corpus(lex: &Lexicon) -> Corpus {
+        Corpus::new(vec![
+            Recipe::new(CuisineId(0), ids(lex, &["Cumin", "Salt", "Onion"])),
+            Recipe::new(CuisineId(0), ids(lex, &["Cumin", "Salt"])),
+            Recipe::new(CuisineId(0), ids(lex, &["Salt", "Tomato"])),
+            Recipe::new(CuisineId(1), ids(lex, &["Butter", "Flour"])),
+        ])
+    }
+
+    #[test]
+    fn per_cuisine_curves_are_normalized_by_cuisine_size() {
+        let lex = Lexicon::standard();
+        let analysis = RankFrequencyAnalysis::paper(&corpus(lex), lex, ItemMode::Ingredients);
+        assert_eq!(analysis.len(), 2);
+        let afr = analysis.curve_for("AFR").unwrap();
+        // Salt in 3/3 recipes of cuisine 0.
+        assert_eq!(afr.at_rank(1), Some(1.0));
+    }
+
+    #[test]
+    fn aggregate_pools_all_recipes() {
+        let lex = Lexicon::standard();
+        let analysis = RankFrequencyAnalysis::paper(&corpus(lex), lex, ItemMode::Ingredients);
+        // Salt in 3 of 4 pooled recipes.
+        assert_eq!(analysis.aggregate.at_rank(1), Some(0.75));
+    }
+
+    #[test]
+    fn category_mode_produces_smaller_item_space() {
+        let lex = Lexicon::standard();
+        let ing = RankFrequencyAnalysis::paper(&corpus(lex), lex, ItemMode::Ingredients);
+        let cat = RankFrequencyAnalysis::paper(&corpus(lex), lex, ItemMode::Categories);
+        assert_eq!(cat.mode, ItemMode::Categories);
+        // Salt+Cumin+Onion+Tomato span 3 categories in cuisine 0, vs 4
+        // ingredients; the category curve cannot be longer.
+        let c0_ing = ing.curve_for("AFR").unwrap().len();
+        let c0_cat = cat.curve_for("AFR").unwrap().len();
+        assert!(c0_cat <= c0_ing);
+    }
+
+    #[test]
+    fn unknown_code_is_none() {
+        let lex = Lexicon::standard();
+        let analysis = RankFrequencyAnalysis::paper(&corpus(lex), lex, ItemMode::Ingredients);
+        assert!(analysis.curve_for("ITA").is_none());
+    }
+
+    #[test]
+    fn empty_corpus_is_empty_analysis() {
+        let lex = Lexicon::standard();
+        let analysis =
+            RankFrequencyAnalysis::paper(&Corpus::new(vec![]), lex, ItemMode::Ingredients);
+        assert!(analysis.is_empty());
+        assert!(analysis.aggregate.is_empty());
+    }
+}

@@ -1,0 +1,140 @@
+//! Cross-cuisine similarity of rank-frequency curves — the Eq. 2 pairwise
+//! "MAE" matrices of Section IV ("The average MAE was 0.035 and 0.052 for
+//! ingredient and category combinations respectively").
+
+use cuisine_stats::error::{mean_offdiagonal, pairwise_distance_matrix, ErrorMetric};
+use serde::{Deserialize, Serialize};
+
+use crate::rank_freq::RankFrequencyAnalysis;
+
+/// Labeled pairwise distance matrix between cuisine curves.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimilarityMatrix {
+    /// Region codes (row/column labels).
+    pub codes: Vec<String>,
+    /// Symmetric distance matrix; `NaN` where a curve was empty.
+    pub matrix: Vec<Vec<f64>>,
+    /// Metric used.
+    pub metric: ErrorMetric,
+}
+
+impl SimilarityMatrix {
+    /// Compute pairwise distances between the curves of an analysis.
+    pub fn measure(analysis: &RankFrequencyAnalysis, metric: ErrorMetric) -> Self {
+        let curves: Vec<Vec<f64>> = analysis
+            .curves
+            .iter()
+            .map(|c| c.frequencies().to_vec())
+            .collect();
+        SimilarityMatrix {
+            codes: analysis.codes.clone(),
+            matrix: pairwise_distance_matrix(&curves, metric),
+            metric,
+        }
+    }
+
+    /// The paper's summary statistic: mean of the off-diagonal distances.
+    pub fn average(&self) -> Option<f64> {
+        mean_offdiagonal(&self.matrix)
+    }
+
+    /// Distance between two cuisines by code.
+    pub fn between(&self, a: &str, b: &str) -> Option<f64> {
+        let i = self.codes.iter().position(|c| c == a)?;
+        let j = self.codes.iter().position(|c| c == b)?;
+        Some(self.matrix[i][j])
+    }
+
+    /// Per-cuisine mean distance to all the others — the paper observes
+    /// that sparsely curated cuisines (CAM, KOR) are the most distinct.
+    /// Returns `(code, mean distance)` sorted descending by distance.
+    pub fn most_distinct(&self) -> Vec<(String, f64)> {
+        let n = self.codes.len();
+        let mut out: Vec<(String, f64)> = (0..n)
+            .map(|i| {
+                let vals: Vec<f64> = (0..n)
+                    .filter(|&j| j != i)
+                    .map(|j| self.matrix[i][j])
+                    .filter(|v| v.is_finite())
+                    .collect();
+                let mean = if vals.is_empty() {
+                    f64::NAN
+                } else {
+                    vals.iter().sum::<f64>() / vals.len() as f64
+                };
+                (self.codes[i].clone(), mean)
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuisine_data::{Corpus, CuisineId, Recipe};
+    use cuisine_lexicon::{IngredientId, Lexicon};
+    use cuisine_mining::ItemMode;
+
+    fn ids(lex: &Lexicon, names: &[&str]) -> Vec<IngredientId> {
+        names.iter().map(|n| lex.resolve(n).unwrap()).collect()
+    }
+
+    fn analysis(lex: &Lexicon) -> RankFrequencyAnalysis {
+        // Cuisines 0 and 1 have identical curve shapes; cuisine 2 differs.
+        let corpus = Corpus::new(vec![
+            Recipe::new(CuisineId(0), ids(lex, &["Cumin", "Salt"])),
+            Recipe::new(CuisineId(0), ids(lex, &["Cumin", "Onion"])),
+            Recipe::new(CuisineId(1), ids(lex, &["Butter", "Flour"])),
+            Recipe::new(CuisineId(1), ids(lex, &["Butter", "Egg"])),
+            Recipe::new(CuisineId(2), ids(lex, &["Potato", "Cream"])),
+        ]);
+        RankFrequencyAnalysis::paper(&corpus, lex, ItemMode::Ingredients)
+    }
+
+    #[test]
+    fn identical_shapes_have_zero_distance() {
+        let lex = Lexicon::standard();
+        let m = SimilarityMatrix::measure(&analysis(lex), ErrorMetric::PaperMae);
+        // AFR and ANZ share the same (1.0, 0.5, 0.5, ...) shape.
+        assert_eq!(m.between("AFR", "ANZ"), Some(0.0));
+    }
+
+    #[test]
+    fn matrix_is_symmetric_with_zero_diagonal() {
+        let lex = Lexicon::standard();
+        let m = SimilarityMatrix::measure(&analysis(lex), ErrorMetric::Mae);
+        for i in 0..m.codes.len() {
+            assert_eq!(m.matrix[i][i], 0.0);
+            for j in 0..m.codes.len() {
+                assert_eq!(m.matrix[i][j], m.matrix[j][i]);
+            }
+        }
+    }
+
+    #[test]
+    fn average_and_most_distinct_are_consistent() {
+        let lex = Lexicon::standard();
+        let m = SimilarityMatrix::measure(&analysis(lex), ErrorMetric::PaperMae);
+        let avg = m.average().unwrap();
+        assert!(avg >= 0.0);
+        let distinct = m.most_distinct();
+        assert_eq!(distinct.len(), 3);
+        // IRL (cuisine 2, all-singleton curve at 1.0) differs most from the
+        // other two, which agree perfectly with each other.
+        assert_eq!(distinct[0].0, "IRL");
+        for w in distinct.windows(2) {
+            assert!(w[0].1 >= w[1].1 || w[1].1.is_nan());
+        }
+    }
+
+    #[test]
+    fn unknown_codes_are_none() {
+        let lex = Lexicon::standard();
+        let m = SimilarityMatrix::measure(&analysis(lex), ErrorMetric::Mae);
+        assert!(m.between("AFR", "ITA").is_none());
+    }
+}

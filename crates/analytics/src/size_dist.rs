@@ -1,0 +1,136 @@
+//! Recipe-size distributions — Fig. 1 of the paper.
+//!
+//! "the recipe size distribution for all the 25 world cuisines was gaussian
+//! and bounded between 2 and 38, with the average being approx. 9."
+
+use cuisine_data::{Corpus, CuisineId};
+use cuisine_stats::fit::GaussianFit;
+use cuisine_stats::histogram::IntHistogram;
+use cuisine_stats::hypothesis::{ks_test_normal, TestResult};
+use serde::{Deserialize, Serialize};
+
+/// Recipe-size distribution of one cuisine (or of the aggregate).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SizeDistribution {
+    /// Region code, or `"ALL"` for the aggregate inset.
+    pub code: String,
+    /// Exact size histogram.
+    pub histogram: IntHistogram,
+    /// Gaussian fit over the sizes (None for degenerate samples).
+    pub fit: Option<GaussianFit>,
+    /// KS test of the sizes against the fitted Gaussian.
+    pub ks: Option<TestResult>,
+}
+
+impl SizeDistribution {
+    /// Build from a list of sizes.
+    pub fn from_sizes(code: impl Into<String>, sizes: &[usize]) -> Self {
+        let histogram = IntHistogram::from_values(sizes.iter().copied());
+        let samples: Vec<f64> = sizes.iter().map(|&s| s as f64).collect();
+        let fit = GaussianFit::fit(&samples);
+        let ks = fit.and_then(|g| ks_test_normal(&samples, g.mean, g.sd));
+        SizeDistribution { code: code.into(), histogram, fit, ks }
+    }
+
+    /// Smallest observed size.
+    pub fn min(&self) -> Option<usize> {
+        self.histogram.min()
+    }
+
+    /// Largest observed size.
+    pub fn max(&self) -> Option<usize> {
+        self.histogram.max()
+    }
+
+    /// Mean observed size.
+    pub fn mean(&self) -> Option<f64> {
+        self.histogram.mean()
+    }
+
+    /// Normalized `(size, probability)` series for plotting.
+    pub fn pmf(&self) -> Vec<(usize, f64)> {
+        self.histogram.pmf()
+    }
+}
+
+/// Fig. 1: per-cuisine distributions plus the aggregate inset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig1 {
+    /// One distribution per populated cuisine, in cuisine order.
+    pub per_cuisine: Vec<SizeDistribution>,
+    /// The aggregate over all recipes.
+    pub aggregate: SizeDistribution,
+}
+
+/// Compute Fig. 1 over a corpus.
+pub fn fig1(corpus: &Corpus) -> Fig1 {
+    let per_cuisine: Vec<SizeDistribution> = CuisineId::all()
+        .filter(|&c| corpus.recipe_count(c) > 0)
+        .map(|c| SizeDistribution::from_sizes(c.code(), &corpus.sizes_in(c)))
+        .collect();
+    let all_sizes: Vec<usize> = corpus.recipes().iter().map(|r| r.size()).collect();
+    Fig1 {
+        per_cuisine,
+        aggregate: SizeDistribution::from_sizes("ALL", &all_sizes),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuisine_data::Recipe;
+    use cuisine_lexicon::IngredientId;
+
+    fn recipe(cuisine: u8, n: usize) -> Recipe {
+        Recipe::new(
+            CuisineId(cuisine),
+            (0..n as u16).map(IngredientId).collect(),
+        )
+    }
+
+    #[test]
+    fn from_sizes_computes_moments() {
+        let d = SizeDistribution::from_sizes("X", &[8, 9, 10, 9]);
+        assert_eq!(d.mean(), Some(9.0));
+        assert_eq!(d.min(), Some(8));
+        assert_eq!(d.max(), Some(10));
+        let fit = d.fit.unwrap();
+        assert_eq!(fit.mean, 9.0);
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let d = SizeDistribution::from_sizes("X", &[2, 3, 3, 4, 38]);
+        let total: f64 = d.pmf().iter().map(|&(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fig1_covers_populated_cuisines_and_aggregate() {
+        let corpus = Corpus::new(vec![
+            recipe(0, 8),
+            recipe(0, 10),
+            recipe(1, 9),
+            recipe(1, 9),
+        ]);
+        let f = fig1(&corpus);
+        assert_eq!(f.per_cuisine.len(), 2);
+        assert_eq!(f.aggregate.histogram.total(), 4);
+        assert_eq!(f.aggregate.mean(), Some(9.0));
+        assert_eq!(f.per_cuisine[0].code, "AFR");
+    }
+
+    #[test]
+    fn degenerate_sample_has_no_fit() {
+        let d = SizeDistribution::from_sizes("X", &[9]);
+        assert!(d.fit.is_none());
+        assert!(d.ks.is_none());
+    }
+
+    #[test]
+    fn empty_corpus_yields_empty_fig1() {
+        let f = fig1(&Corpus::new(vec![]));
+        assert!(f.per_cuisine.is_empty());
+        assert_eq!(f.aggregate.histogram.total(), 0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Individual-ingredient rank-frequency analysis.
+//!
+//! Section IV opens from the prior literature's invariant: "it has been
+//! shown that the pattern of ingredient popularity (rank-frequency
+//! distribution) is consistent across different regions \[3\]-\[8\]". This
+//! module measures that base-level invariance — per-cuisine ingredient
+//! rank-frequency curves and their fitted Zipf exponents — on which the
+//! paper's combination-level analysis builds.
+
+use cuisine_data::{Corpus, CuisineId};
+use cuisine_stats::fit::{zipf_fit_loglog, zipf_fit_mle, ZipfFit};
+use cuisine_stats::RankFrequency;
+use serde::{Deserialize, Serialize};
+
+/// Ingredient popularity profile of one cuisine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IngredientPopularity {
+    /// Region code.
+    pub code: String,
+    /// Rank-frequency curve of individual ingredient usage, normalized by
+    /// the cuisine's recipe count.
+    pub curve: RankFrequency,
+    /// Zipf exponent fitted by log-log least squares on the curve.
+    pub loglog: Option<ZipfFit>,
+    /// Zipf exponent fitted by discrete maximum likelihood on the counts.
+    pub mle: Option<ZipfFit>,
+    /// Gini concentration of ingredient usage.
+    pub gini: Option<f64>,
+}
+
+/// Measure the ingredient rank-frequency profile of one cuisine.
+/// Returns `None` for an empty cuisine.
+pub fn ingredient_popularity(corpus: &Corpus, cuisine: CuisineId) -> Option<IngredientPopularity> {
+    let n = corpus.recipe_count(cuisine);
+    if n == 0 {
+        return None;
+    }
+    let mut counts: Vec<u64> = corpus
+        .ingredients_in(cuisine)
+        .into_iter()
+        .map(|i| corpus.usage(cuisine, i) as u64)
+        .collect();
+    counts.sort_unstable_by(|a, b| b.cmp(a));
+    let curve = RankFrequency::from_counts(counts.iter().copied(), n as f64);
+    let loglog = zipf_fit_loglog(curve.frequencies());
+    let mle = zipf_fit_mle(&counts);
+    let usage_f: Vec<f64> = counts.iter().map(|&c| c as f64).collect();
+    let gini = cuisine_stats::gini(&usage_f);
+    Some(IngredientPopularity { code: cuisine.code().to_string(), curve, loglog, mle, gini })
+}
+
+/// The full cross-cuisine invariance measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ZipfInvariance {
+    /// Per-cuisine profiles, in cuisine order.
+    pub profiles: Vec<IngredientPopularity>,
+}
+
+impl ZipfInvariance {
+    /// Measure every populated cuisine.
+    pub fn measure(corpus: &Corpus) -> Self {
+        ZipfInvariance {
+            profiles: CuisineId::all()
+                .filter_map(|c| ingredient_popularity(corpus, c))
+                .collect(),
+        }
+    }
+
+    /// Mean and standard deviation of the fitted (log-log) exponents —
+    /// a small sd across 25 cuisines is the invariance claim in one number.
+    pub fn exponent_spread(&self) -> Option<(f64, f64)> {
+        let exps: Vec<f64> = self
+            .profiles
+            .iter()
+            .filter_map(|p| p.loglog.map(|f| f.exponent))
+            .collect();
+        if exps.len() < 2 {
+            return None;
+        }
+        let mean = cuisine_stats::descriptive::mean(&exps)?;
+        let sd = cuisine_stats::descriptive::std_dev(&exps)?;
+        Some((mean, sd))
+    }
+
+    /// Profile by region code.
+    pub fn profile_for(&self, code: &str) -> Option<&IngredientPopularity> {
+        self.profiles.iter().find(|p| p.code == code)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuisine_data::Recipe;
+    use cuisine_lexicon::IngredientId;
+
+    fn id(n: u16) -> IngredientId {
+        IngredientId(n)
+    }
+
+    #[test]
+    fn popularity_counts_and_normalizes() {
+        let corpus = Corpus::new(vec![
+            Recipe::new(CuisineId(0), vec![id(1), id(2)]),
+            Recipe::new(CuisineId(0), vec![id(1), id(3)]),
+        ]);
+        let p = ingredient_popularity(&corpus, CuisineId(0)).unwrap();
+        // Ingredient 1 used in both recipes -> rank 1 frequency 1.0.
+        assert_eq!(p.curve.at_rank(1), Some(1.0));
+        assert_eq!(p.curve.at_rank(2), Some(0.5));
+        assert_eq!(p.curve.len(), 3);
+    }
+
+    #[test]
+    fn empty_cuisine_is_none() {
+        let corpus = Corpus::new(vec![]);
+        assert!(ingredient_popularity(&corpus, CuisineId(0)).is_none());
+    }
+
+    #[test]
+    fn zipfian_usage_recovers_exponent() {
+        // Build a corpus whose ingredient usage counts follow rank^-1.
+        let mut recipes = Vec::new();
+        for rank in 1u16..=40 {
+            let count = (400 / rank as usize).max(1);
+            for _ in 0..count {
+                // Pair with a filler ingredient so recipes have size 2.
+                recipes.push(Recipe::new(CuisineId(0), vec![id(rank), id(1000 + rank)]));
+            }
+        }
+        let corpus = Corpus::new(recipes);
+        let p = ingredient_popularity(&corpus, CuisineId(0)).unwrap();
+        let fit = p.loglog.unwrap();
+        // The head follows s=1; the filler tail flattens the fit somewhat.
+        assert!(fit.exponent > 0.4, "exponent {}", fit.exponent);
+        assert!(p.gini.unwrap() > 0.3, "gini {:?}", p.gini);
+    }
+
+    #[test]
+    fn invariance_summary_over_synthetic_corpus() {
+        let lex = cuisine_lexicon::Lexicon::standard();
+        let corpus = cuisine_synth::generate_corpus(
+            &cuisine_synth::SynthConfig { seed: 5, scale: 0.02, ..Default::default() },
+            lex,
+        );
+        let inv = ZipfInvariance::measure(&corpus);
+        assert_eq!(inv.profiles.len(), 25);
+        let (mean, sd) = inv.exponent_spread().unwrap();
+        assert!(mean > 0.3 && mean < 2.5, "mean exponent {mean}");
+        // Invariance: the spread across cuisines is small relative to the
+        // mean (coefficient of variation under 40%).
+        assert!(sd / mean < 0.4, "exponent spread {sd} vs mean {mean}");
+        assert!(inv.profile_for("ITA").is_some());
+        assert!(inv.profile_for("XXX").is_none());
+    }
+}

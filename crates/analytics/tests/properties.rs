@@ -1,0 +1,120 @@
+//! Property-based tests for the analytics layer on randomly generated
+//! corpora.
+
+use cuisine_analytics::category_profile::CategoryProfile;
+use cuisine_analytics::clustering::{cluster, Linkage};
+use cuisine_analytics::overrepresentation::overrepresentation;
+use cuisine_analytics::size_dist::fig1;
+use cuisine_data::{Corpus, CuisineId, Recipe};
+use cuisine_lexicon::{IngredientId, Lexicon};
+use proptest::prelude::*;
+
+/// Random small corpus over the first 60 lexicon entities and up to 4
+/// cuisines.
+fn arb_corpus() -> impl Strategy<Value = Corpus> {
+    prop::collection::vec(
+        (
+            0u8..4,
+            prop::collection::vec(0u16..60, 1..10),
+        ),
+        1..40,
+    )
+    .prop_map(|raw| {
+        Corpus::new(
+            raw.into_iter()
+                .map(|(c, ings)| {
+                    Recipe::new(
+                        CuisineId(c),
+                        ings.into_iter().map(IngredientId).collect(),
+                    )
+                })
+                .collect(),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Eq. 1 identity: Σ_ς N_ς · O_i^ς = 0 for every ingredient.
+    #[test]
+    fn overrepresentation_weighted_sum_is_zero(corpus in arb_corpus()) {
+        for ing in corpus.all_ingredients() {
+            let weighted: f64 = CuisineId::all()
+                .filter(|&c| corpus.recipe_count(c) > 0)
+                .map(|c| {
+                    corpus.recipe_count(c) as f64
+                        * overrepresentation(&corpus, c, ing).unwrap()
+                })
+                .sum();
+            prop_assert!(weighted.abs() < 1e-9, "ingredient {ing:?}: {weighted}");
+        }
+    }
+
+    /// Eq. 1 bounds: O ∈ [-1, 1] always.
+    #[test]
+    fn overrepresentation_is_bounded(corpus in arb_corpus()) {
+        for ing in corpus.all_ingredients() {
+            for c in corpus.populated_cuisines() {
+                let o = overrepresentation(&corpus, c, ing).unwrap();
+                prop_assert!((-1.0..=1.0).contains(&o));
+            }
+        }
+    }
+
+    /// Fig. 2 consistency: each cuisine's category means sum to its mean
+    /// recipe size.
+    #[test]
+    fn category_means_sum_to_mean_size(corpus in arb_corpus()) {
+        let lex = Lexicon::standard();
+        let profile = CategoryProfile::measure(&corpus, lex);
+        for (code, row) in profile.codes.iter().zip(&profile.means) {
+            let cuisine: CuisineId = code.parse().unwrap();
+            let mean_size = corpus.mean_size_in(cuisine).unwrap();
+            let sum: f64 = row.iter().sum();
+            prop_assert!((sum - mean_size).abs() < 1e-9, "{code}");
+        }
+    }
+
+    /// Fig. 1 consistency: aggregate histogram total equals corpus size and
+    /// per-cuisine totals sum to it.
+    #[test]
+    fn fig1_totals_are_conserved(corpus in arb_corpus()) {
+        let f = fig1(&corpus);
+        prop_assert_eq!(f.aggregate.histogram.total() as usize, corpus.len());
+        let sum: u64 = f.per_cuisine.iter().map(|d| d.histogram.total()).sum();
+        prop_assert_eq!(sum, f.aggregate.histogram.total());
+    }
+
+    /// Dendrogram cuts always produce between 1 and n clusters covering all
+    /// leaves.
+    #[test]
+    fn dendrogram_cut_is_a_partition(
+        n in 2usize..8,
+        k in 1usize..10,
+        seed_vals in prop::collection::vec(0.01f64..10.0, 64),
+    ) {
+        let labels: Vec<String> = (0..n).map(|i| format!("L{i}")).collect();
+        // Build a symmetric distance matrix from the seed values.
+        let mut distances = vec![vec![0.0; n]; n];
+        let mut it = seed_vals.into_iter().cycle();
+        #[allow(clippy::needless_range_loop)] // symmetric fill needs both indices
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = it.next().unwrap();
+                distances[i][j] = d;
+                distances[j][i] = d;
+            }
+        }
+        let dendro = cluster(&labels, &distances, Linkage::Average);
+        let assignment = dendro.cut(k);
+        prop_assert_eq!(assignment.len(), n);
+        let clusters = assignment.iter().copied().max().unwrap() + 1;
+        prop_assert!(clusters <= n);
+        prop_assert!(clusters <= k.max(1));
+        // Cluster ids are dense 0..clusters.
+        for c in 0..clusters {
+            prop_assert!(assignment.contains(&c), "missing cluster id {c}");
+        }
+    }
+}

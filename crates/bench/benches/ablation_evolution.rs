@@ -1,0 +1,68 @@
+//! Ablation: cost of Algorithm-1 design choices — mutation count M,
+//! replacement policy, and the variable-recipe-size extension.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cuisine_bench::bench_corpus;
+use cuisine_data::CuisineId;
+use cuisine_evolution::{run_copy_mutate, CuisineSetup, ModelKind, ModelParams, SizeMode};
+use cuisine_lexicon::Lexicon;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_evolution_ablations(c: &mut Criterion) {
+    let lexicon = Lexicon::standard();
+    let corpus = bench_corpus();
+    let ita: CuisineId = "ITA".parse().unwrap();
+    let setup = CuisineSetup::from_corpus(corpus, ita).expect("populated");
+
+    let mut group = c.benchmark_group("ablation_evolution");
+    group.sample_size(20);
+
+    // M sweep on CM-R (paper value: 4).
+    for m_mut in [1usize, 4, 8, 16] {
+        let params = ModelParams { mutations: m_mut, ..ModelParams::paper(ModelKind::CmR) };
+        group.bench_with_input(BenchmarkId::new("mutations", m_mut), &params, |b, params| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                black_box(run_copy_mutate(ModelKind::CmR, params, &setup, lexicon, &mut rng))
+            })
+        });
+    }
+
+    // Replacement-policy sweep at the paper's M values.
+    for kind in [ModelKind::CmR, ModelKind::CmC, ModelKind::CmM] {
+        let params = ModelParams::paper(kind);
+        group.bench_with_input(BenchmarkId::new("policy", kind.label()), &kind, |b, &kind| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(2);
+                black_box(run_copy_mutate(kind, &params, &setup, lexicon, &mut rng))
+            })
+        });
+    }
+
+    // Fixed vs empirical recipe sizes (the Section VII extension).
+    let fixed = ModelParams::paper(ModelKind::CmR);
+    let empirical = ModelParams {
+        size_mode: SizeMode::Empirical(setup.empirical_sizes.clone()),
+        ..ModelParams::paper(ModelKind::CmR)
+    };
+    group.bench_function("size_mode/fixed", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(3);
+            black_box(run_copy_mutate(ModelKind::CmR, &fixed, &setup, lexicon, &mut rng))
+        })
+    });
+    group.bench_function("size_mode/empirical", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(3);
+            black_box(run_copy_mutate(ModelKind::CmR, &empirical, &setup, lexicon, &mut rng))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_evolution_ablations);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Ablation: Apriori vs FP-Growth on identical workloads, across support
+//! thresholds — the design-choice justification for defaulting to
+//! FP-Growth (DESIGN.md §4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cuisine_bench::bench_corpus;
+use cuisine_data::CuisineId;
+use cuisine_lexicon::Lexicon;
+use cuisine_mining::{mine_apriori, mine_eclat, mine_fpgrowth, ItemMode, TransactionSet};
+
+fn bench_miners(c: &mut Criterion) {
+    let lexicon = Lexicon::standard();
+    let corpus = bench_corpus();
+    let ita: CuisineId = "ITA".parse().unwrap();
+    let ts = TransactionSet::from_cuisine(corpus, ita, ItemMode::Ingredients, lexicon);
+
+    let mut group = c.benchmark_group("ablation_mining");
+    group.sample_size(20);
+
+    for support in [0.10f64, 0.05, 0.03] {
+        let abs = ts.absolute_support(support);
+        group.bench_with_input(
+            BenchmarkId::new("apriori", format!("sup_{support}")),
+            &abs,
+            |b, &abs| b.iter(|| black_box(mine_apriori(&ts, abs))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("fpgrowth", format!("sup_{support}")),
+            &abs,
+            |b, &abs| b.iter(|| black_box(mine_fpgrowth(&ts, abs))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("eclat", format!("sup_{support}")),
+            &abs,
+            |b, &abs| b.iter(|| black_box(mine_eclat(&ts, abs))),
+        );
+    }
+
+    // Category transactions: a tiny 21-item universe with dense
+    // co-occurrence — the regime where candidate generation explodes.
+    let cats = TransactionSet::from_cuisine(corpus, ita, ItemMode::Categories, lexicon);
+    let abs = cats.absolute_support(0.05);
+    group.bench_function("apriori/categories", |b| {
+        b.iter(|| black_box(mine_apriori(&cats, abs)))
+    });
+    group.bench_function("fpgrowth/categories", |b| {
+        b.iter(|| black_box(mine_fpgrowth(&cats, abs)))
+    });
+    group.bench_function("eclat/categories", |b| {
+        b.iter(|| black_box(mine_eclat(&cats, abs)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_miners);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Ablation: ensemble scaling — wall time vs replicate count and thread
+//! count for the 100-replicate aggregation of Section VI.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use cuisine_bench::bench_corpus;
+use cuisine_data::CuisineId;
+use cuisine_evolution::{run_ensemble_map, CuisineSetup, EnsembleConfig, ModelKind, ModelParams};
+use cuisine_lexicon::Lexicon;
+
+fn bench_ensembles(c: &mut Criterion) {
+    let lexicon = Lexicon::standard();
+    let corpus = bench_corpus();
+    // KOR is one of the smaller cuisines — keeps single iterations fast.
+    let kor: CuisineId = "KOR".parse().unwrap();
+    let setup = CuisineSetup::from_corpus(corpus, kor).expect("populated");
+    let params = ModelParams::paper(ModelKind::CmR);
+
+    let mut group = c.benchmark_group("ablation_replicates");
+    group.sample_size(10);
+
+    for replicates in [1usize, 10, 25, 100] {
+        group.bench_with_input(
+            BenchmarkId::new("replicates", replicates),
+            &replicates,
+            |b, &replicates| {
+                b.iter(|| {
+                    let config = EnsembleConfig { replicates, seed: 4, threads: None };
+                    black_box(run_ensemble_map(
+                        ModelKind::CmR,
+                        &params,
+                        &setup,
+                        lexicon,
+                        &config,
+                        |recipes| recipes.len(),
+                    ))
+                })
+            },
+        );
+    }
+
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("threads_at_32_replicates", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let config =
+                        EnsembleConfig { replicates: 32, seed: 4, threads: Some(threads) };
+                    black_box(run_ensemble_map(
+                        ModelKind::CmR,
+                        &params,
+                        &setup,
+                        lexicon,
+                        &config,
+                        |recipes| recipes.len(),
+                    ))
+                })
+            },
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_ensembles);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Bench E2 — Fig. 1: recipe-size histograms, Gaussian fits, and KS tests
+//! over the shared benchmark corpus.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cuisine_analytics::fig1;
+use cuisine_analytics::size_dist::SizeDistribution;
+use cuisine_bench::bench_corpus;
+
+fn bench_fig1(c: &mut Criterion) {
+    let corpus = bench_corpus();
+    let mut group = c.benchmark_group("fig1");
+
+    group.bench_function("all_cuisines_plus_aggregate", |b| {
+        b.iter(|| black_box(fig1(corpus)))
+    });
+
+    let sizes: Vec<usize> = corpus.recipes().iter().map(|r| r.size()).collect();
+    group.bench_function("single_distribution_with_ks", |b| {
+        b.iter(|| black_box(SizeDistribution::from_sizes("ALL", &sizes)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

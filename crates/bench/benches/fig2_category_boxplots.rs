@@ -1,0 +1,27 @@
+//! Bench E3 — Fig. 2: the category-composition profile (25 × 21 means) and
+//! its per-category boxplot statistics.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cuisine_analytics::CategoryProfile;
+use cuisine_bench::bench_corpus;
+use cuisine_lexicon::Lexicon;
+
+fn bench_fig2(c: &mut Criterion) {
+    let lexicon = Lexicon::standard();
+    let corpus = bench_corpus();
+    let mut group = c.benchmark_group("fig2");
+
+    group.bench_function("measure_profile", |b| {
+        b.iter(|| black_box(CategoryProfile::measure(corpus, lexicon)))
+    });
+
+    let profile = CategoryProfile::measure(corpus, lexicon);
+    group.bench_function("boxplots", |b| b.iter(|| black_box(profile.boxplots())));
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Bench E4 — Fig. 3: combination rank-frequency analysis at both
+//! granularities plus the pairwise Eq. 2 similarity matrix.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cuisine_analytics::{RankFrequencyAnalysis, SimilarityMatrix};
+use cuisine_bench::bench_corpus;
+use cuisine_lexicon::Lexicon;
+use cuisine_mining::ItemMode;
+use cuisine_stats::ErrorMetric;
+
+fn bench_fig3(c: &mut Criterion) {
+    let lexicon = Lexicon::standard();
+    let corpus = bench_corpus();
+    let mut group = c.benchmark_group("fig3");
+    group.sample_size(20);
+
+    group.bench_function("ingredient_combinations_25_cuisines", |b| {
+        b.iter(|| {
+            black_box(RankFrequencyAnalysis::paper(
+                corpus,
+                lexicon,
+                ItemMode::Ingredients,
+            ))
+        })
+    });
+
+    group.bench_function("category_combinations_25_cuisines", |b| {
+        b.iter(|| {
+            black_box(RankFrequencyAnalysis::paper(
+                corpus,
+                lexicon,
+                ItemMode::Categories,
+            ))
+        })
+    });
+
+    let analysis = RankFrequencyAnalysis::paper(corpus, lexicon, ItemMode::Ingredients);
+    group.bench_function("pairwise_similarity_matrix", |b| {
+        b.iter(|| black_box(SimilarityMatrix::measure(&analysis, ErrorMetric::PaperMae)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Bench E1 — Table I: the Eq. 1 overrepresentation computation over the
+//! shared benchmark corpus (all 25 cuisines).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cuisine_analytics::{table1, top_overrepresented};
+use cuisine_bench::bench_corpus;
+use cuisine_data::CuisineId;
+use cuisine_lexicon::Lexicon;
+
+fn bench_table1(c: &mut Criterion) {
+    let lexicon = Lexicon::standard();
+    let corpus = bench_corpus();
+    let mut group = c.benchmark_group("table1");
+
+    group.bench_function("full_table", |b| {
+        b.iter(|| black_box(table1(corpus, lexicon)))
+    });
+
+    let ita: CuisineId = "ITA".parse().unwrap();
+    group.bench_function("single_cuisine_top5", |b| {
+        b.iter(|| black_box(top_overrepresented(corpus, ita, lexicon, 5)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

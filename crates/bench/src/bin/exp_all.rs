@@ -1,0 +1,98 @@
+//! Run the complete experiment suite (E1-E6 + ablations) into a report
+//! directory: one text report and one CSV per experiment.
+//!
+//! ```sh
+//! cargo run --release -p cuisine-bench --bin exp_all -- \
+//!     [--scale 0.1] [--seed 42] [--replicates 100] [--csv report_dir]
+//! ```
+//!
+//! `--csv` names the output *directory* (default `./experiment_report`).
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use cuisine_bench::ExpOptions;
+
+/// The experiment binaries to run, with their extra flags.
+const EXPERIMENTS: &[(&str, &[&str])] = &[
+    ("exp_table1", &[]),
+    ("exp_fig1", &[]),
+    ("exp_fig2", &[]),
+    ("exp_fig3", &[]),
+    ("exp_fig4", &[]),
+    ("exp_fig4_categories", &["--categories"]),
+    ("exp_ablation", &[]),
+];
+
+fn main() {
+    let opts = ExpOptions::parse(std::env::args());
+    let out_dir = PathBuf::from(
+        opts.csv.clone().unwrap_or_else(|| "experiment_report".to_string()),
+    );
+    std::fs::create_dir_all(&out_dir).expect("create report directory");
+
+    // The sibling binaries live next to this one.
+    let self_path = std::env::current_exe().expect("own path");
+    let bin_dir = self_path.parent().expect("bin directory");
+
+    let mut failures = Vec::new();
+    for &(name, extra) in EXPERIMENTS {
+        let binary = name.strip_suffix("_categories").unwrap_or(name);
+        let bin_path: PathBuf = bin_dir.join(binary);
+        if !bin_path.exists() {
+            eprintln!("skipping {name}: {} not built", bin_path.display());
+            failures.push(name);
+            continue;
+        }
+        let txt_path = out_dir.join(format!("{name}.txt"));
+        let csv_path = out_dir.join(format!("{name}.csv"));
+        eprintln!("running {name} ...");
+        let mut cmd = Command::new(&bin_path);
+        cmd.arg("--scale")
+            .arg(opts.scale.to_string())
+            .arg("--seed")
+            .arg(opts.seed.to_string())
+            .arg("--replicates")
+            .arg(opts.replicates.to_string());
+        // exp_ablation ignores --csv; the figure binaries accept it.
+        if binary != "exp_ablation" {
+            cmd.arg("--csv").arg(&csv_path);
+        }
+        for flag in extra {
+            cmd.arg(flag);
+        }
+        match cmd.output() {
+            Ok(output) => {
+                std::fs::write(&txt_path, &output.stdout).expect("write report");
+                if !output.status.success() {
+                    eprintln!(
+                        "{name} FAILED:\n{}",
+                        String::from_utf8_lossy(&output.stderr)
+                    );
+                    failures.push(name);
+                } else {
+                    println!("{name}: {}", summarize(&txt_path));
+                }
+            }
+            Err(e) => {
+                eprintln!("{name} failed to launch: {e}");
+                failures.push(name);
+            }
+        }
+    }
+
+    println!("\nreport written to {}", out_dir.display());
+    if failures.is_empty() {
+        println!("all {} experiments completed", EXPERIMENTS.len());
+    } else {
+        eprintln!("failed: {failures:?}");
+        std::process::exit(1);
+    }
+}
+
+/// One-line summary of a report file (its first non-empty line plus size).
+fn summarize(path: &Path) -> String {
+    let text = std::fs::read_to_string(path).unwrap_or_default();
+    let first = text.lines().find(|l| !l.trim().is_empty()).unwrap_or("");
+    format!("{} ({} lines)", first.trim(), text.lines().count())
+}

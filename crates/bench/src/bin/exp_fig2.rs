@@ -1,0 +1,89 @@
+//! Experiment E3 — regenerate **Fig. 2**: boxplots of the average number of
+//! ingredients used per recipe from each category, across cuisines.
+//!
+//! ```sh
+//! cargo run --release -p cuisine-bench --bin exp_fig2 -- \
+//!     [--scale 0.1] [--seed 42] [--csv out.csv]
+//! ```
+
+use cuisine_bench::ExpOptions;
+use cuisine_core::Experiment;
+use cuisine_lexicon::Category;
+use cuisine_report::{Align, CsvWriter, Table};
+
+fn main() {
+    let opts = ExpOptions::parse(std::env::args());
+    eprintln!(
+        "E3 / Fig. 2: generating corpus (scale {}, seed {}) ...",
+        opts.scale, opts.seed
+    );
+    let exp = Experiment::synthetic(&opts.synth_config());
+    let profile = exp.fig2();
+
+    // Boxplot statistics per category (the content of Fig. 2, one box per
+    // category over the 25 per-cuisine means).
+    let mut table = Table::new(&[
+        "Category", "lo whisker", "Q1", "median", "Q3", "hi whisker", "outlier cuisines",
+    ])
+    .with_aligns(&[
+        Align::Left,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Left,
+    ]);
+    for (cat, stats) in profile.boxplots() {
+        let Some(b) = stats else { continue };
+        // Name the cuisines whose means are outliers for this category.
+        let col = profile.column(cat);
+        let outliers: Vec<String> = profile
+            .codes
+            .iter()
+            .zip(&col)
+            .filter(|&(_, &v)| b.outliers.contains(&v))
+            .map(|(code, v)| format!("{code}({v:.2})"))
+            .collect();
+        table.push_row(vec![
+            cat.name().to_string(),
+            format!("{:.2}", b.whisker_lo),
+            format!("{:.2}", b.q1),
+            format!("{:.2}", b.median),
+            format!("{:.2}", b.q3),
+            format!("{:.2}", b.whisker_hi),
+            outliers.join(" "),
+        ]);
+    }
+    println!("{}", table.render());
+
+    println!("headline contrasts (Section III):");
+    for (hi, lo, cat) in [
+        ("INSC", "JPN", Category::Spice),
+        ("AFR", "ANZ", Category::Spice),
+        ("SCND", "SEA", Category::Dairy),
+        ("FRA", "KOR", Category::Dairy),
+        ("IRL", "THA", Category::Dairy),
+    ] {
+        let a = profile.mean_for(hi, cat).unwrap_or(f64::NAN);
+        let b = profile.mean_for(lo, cat).unwrap_or(f64::NAN);
+        println!("  {:<6} {hi} {a:.2} > {lo} {b:.2}", cat.name());
+    }
+
+    if let Some(path) = &opts.csv {
+        let file = std::fs::File::create(path).expect("create CSV file");
+        let mut w = CsvWriter::with_header(file, &["code", "category", "mean_per_recipe"])
+            .expect("CSV header");
+        for (code, row) in profile.codes.iter().zip(&profile.means) {
+            for cat in Category::ALL {
+                w.write_record(&[
+                    code.as_str(),
+                    cat.name(),
+                    &format!("{:.6}", row[cat.index()]),
+                ])
+                .expect("CSV record");
+            }
+        }
+        eprintln!("wrote {path}");
+    }
+}

@@ -1,0 +1,120 @@
+//! Experiment E4 — regenerate **Fig. 3**: rank-frequency distributions of
+//! frequent combinations of (a) ingredients and (b) ingredient categories,
+//! per cuisine and aggregated, with the pairwise Eq. 2 distance summary
+//! (paper averages: 0.035 ingredient / 0.052 category).
+//!
+//! ```sh
+//! cargo run --release -p cuisine-bench --bin exp_fig3 -- \
+//!     [--scale 0.1] [--seed 42] [--csv out.csv]
+//! ```
+
+use cuisine_analytics::ZipfInvariance;
+use cuisine_bench::ExpOptions;
+use cuisine_core::prelude::*;
+use cuisine_report::{loglog_chart, Align, CsvWriter, Table};
+
+fn main() {
+    let opts = ExpOptions::parse(std::env::args());
+    eprintln!(
+        "E4 / Fig. 3: generating corpus (scale {}, seed {}) ...",
+        opts.scale, opts.seed
+    );
+    let exp = Experiment::synthetic(&opts.synth_config());
+
+    let mut csv = opts.csv.as_ref().map(|path| {
+        let file = std::fs::File::create(path).expect("create CSV file");
+        CsvWriter::with_header(file, &["mode", "code", "rank", "frequency"]).expect("CSV header")
+    });
+
+    for (mode, label, paper_avg) in [
+        (ItemMode::Ingredients, "ingredient", 0.035),
+        (ItemMode::Categories, "category", 0.052),
+    ] {
+        let (analysis, matrix) = exp.fig3(mode);
+        println!("=== Fig. 3: {label} combinations (support >= 5%) ===\n");
+
+        let mut table = Table::new(&["Region", "#combos", "f(rank 1)", "f(last)", "mean dist"])
+            .with_aligns(&[Align::Left, Align::Right, Align::Right, Align::Right, Align::Right]);
+        let distinct = matrix.most_distinct();
+        for (code, curve) in analysis.codes.iter().zip(&analysis.curves) {
+            let mean_d = distinct
+                .iter()
+                .find(|(c, _)| c == code)
+                .map(|&(_, d)| format!("{d:.4}"))
+                .unwrap_or_default();
+            table.push_row(vec![
+                code.clone(),
+                curve.len().to_string(),
+                curve.at_rank(1).map(|f| format!("{f:.3}")).unwrap_or_default(),
+                curve
+                    .at_rank(curve.len())
+                    .map(|f| format!("{f:.3}"))
+                    .unwrap_or_default(),
+                mean_d,
+            ]);
+        }
+        println!("{}", table.render());
+        println!(
+            "average pairwise Eq. 2 distance: {:.4}   (paper: {paper_avg})",
+            matrix.average().unwrap_or(f64::NAN)
+        );
+        println!(
+            "most distinct cuisines: {}",
+            distinct
+                .iter()
+                .take(3)
+                .map(|(c, d)| format!("{c} ({d:.4})"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        println!("(paper: sparsely curated cuisines — Central America, Korea — most distinct)\n");
+
+        // Overlay all 25 curves plus the aggregate inset.
+        let mut series: Vec<(&str, &[f64])> = analysis
+            .codes
+            .iter()
+            .map(|c| c.as_str())
+            .zip(analysis.curves.iter().map(|c| c.frequencies()))
+            .collect();
+        series.push(("ALL", analysis.aggregate.frequencies()));
+        println!("{}", loglog_chart(&series[..6.min(series.len())], 64, 14));
+
+        if let Some(w) = csv.as_mut() {
+            for (code, curve) in analysis.codes.iter().zip(&analysis.curves) {
+                for (rank, f) in curve.points() {
+                    w.write_record(&[label, code, &rank.to_string(), &format!("{f:.6}")])
+                        .expect("CSV record");
+                }
+            }
+            for (rank, f) in analysis.aggregate.points() {
+                w.write_record(&[label, "ALL", &rank.to_string(), &format!("{f:.6}")])
+                    .expect("CSV record");
+            }
+        }
+    }
+    // Base-level invariant from refs [3]-[8]: individual-ingredient
+    // rank-frequency curves share one Zipf-like shape across cuisines.
+    let inv = ZipfInvariance::measure(exp.corpus());
+    if let Some((mean, sd)) = inv.exponent_spread() {
+        println!(
+            "individual-ingredient Zipf exponents across 25 cuisines: \
+             mean {mean:.3}, sd {sd:.3} (small spread = the prior literature's \
+             invariance)"
+        );
+    }
+    let mut t = Table::new(&["Region", "exponent (LSQ)", "exponent (MLE)", "usage Gini"])
+        .with_aligns(&[Align::Left, Align::Right, Align::Right, Align::Right]);
+    for p in inv.profiles.iter().take(8) {
+        t.push_row(vec![
+            p.code.clone(),
+            p.loglog.map(|f| format!("{:.3}", f.exponent)).unwrap_or_default(),
+            p.mle.map(|f| format!("{:.3}", f.exponent)).unwrap_or_default(),
+            p.gini.map(|g| format!("{g:.3}")).unwrap_or_default(),
+        ]);
+    }
+    println!("\nfirst rows of the per-cuisine fits:\n\n{}", t.render());
+
+    if let Some(path) = &opts.csv {
+        eprintln!("wrote {path}");
+    }
+}

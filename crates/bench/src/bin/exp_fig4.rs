@@ -1,0 +1,163 @@
+//! Experiments E5/E6 — regenerate **Fig. 4** and the Section VI category
+//! claim: rank-frequency distributions of ingredient combinations for all
+//! 25 cuisines under the four evolution models, with Eq. 2 distances to the
+//! empirical curves (the Fig. 4 legend numbers).
+//!
+//! Pass `--categories` for E6 (category combinations — the paper excludes
+//! this panel because *all* models, including NM, reproduce it).
+//!
+//! ```sh
+//! cargo run --release -p cuisine-bench --bin exp_fig4 -- \
+//!     [--scale 0.1] [--seed 42] [--replicates 100] [--categories] [--csv out.csv]
+//! ```
+
+use cuisine_bench::ExpOptions;
+use cuisine_core::prelude::*;
+use cuisine_evolution::compare_models;
+use cuisine_report::{loglog_chart, Align, CsvWriter, Table};
+
+fn main() {
+    let opts = ExpOptions::parse(std::env::args());
+    let mode = if opts.has_flag("--categories") {
+        ItemMode::Categories
+    } else {
+        ItemMode::Ingredients
+    };
+    let label = match mode {
+        ItemMode::Ingredients => "ingredient (E5 / Fig. 4)",
+        ItemMode::Categories => "category (E6 / Section VI exclusion claim)",
+    };
+    eprintln!(
+        "{label}: corpus scale {}, seed {}, {} replicates x 4 models x 25 cuisines ...",
+        opts.scale, opts.seed, opts.replicates
+    );
+    let exp = Experiment::synthetic(&opts.synth_config());
+    let config = EvaluationConfig {
+        ensemble: EnsembleConfig { replicates: opts.replicates, seed: opts.seed, threads: None },
+        mode,
+        ..Default::default()
+    };
+    let eval = exp.fig4(&config);
+
+    let mut table = Table::new(&["Region", "CM-R", "CM-C", "CM-M", "NM", "best"]).with_aligns(&[
+        Align::Left,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Right,
+        Align::Left,
+    ]);
+    for c in &eval.cuisines {
+        let d = |k: ModelKind| {
+            c.distance_of(k)
+                .map(|v| format!("{v:.5}"))
+                .unwrap_or_else(|| "-".into())
+        };
+        table.push_row(vec![
+            c.code.clone(),
+            d(ModelKind::CmR),
+            d(ModelKind::CmC),
+            d(ModelKind::CmM),
+            d(ModelKind::Null),
+            c.best_model().map(|k| k.label().to_string()).unwrap_or_default(),
+        ]);
+    }
+    println!("Eq. 2 distances, model vs empirical ({label}):\n");
+    println!("{}", table.render());
+
+    println!("mean distances:");
+    for k in ModelKind::ALL {
+        println!(
+            "  {:<5} {:.5}",
+            k.label(),
+            eval.mean_distance(k).unwrap_or(f64::NAN)
+        );
+    }
+    println!("\ncuisines won:");
+    for (k, wins) in eval.win_counts() {
+        println!("  {:<5} {wins}", k.label());
+    }
+
+    // Statistical backing: is each copy-mutate model significantly closer
+    // to the data than the null model? (paired sign test over cuisines +
+    // bootstrap CI of the mean distance difference)
+    println!("\nCM vs NM significance (paired over cuisines):");
+    for cm in [ModelKind::CmR, ModelKind::CmC, ModelKind::CmM] {
+        if let Some(c) = compare_models(&eval, cm, ModelKind::Null, opts.seed) {
+            println!(
+                "  {:<5} wins {:>2}/{:<2}  sign-test p = {:.2e}  mean Δ = {:+.5} \
+                 (95% CI [{:+.5}, {:+.5}]){}",
+                cm.label(),
+                c.wins,
+                c.wins + c.losses,
+                c.sign_test_p,
+                c.mean_difference,
+                c.ci95.0,
+                c.ci95.1,
+                if c.significant_at(0.01) { "  *" } else { "" }
+            );
+        }
+    }
+
+    match mode {
+        ItemMode::Ingredients => println!(
+            "\nexpected (paper): copy-mutate models track the empirical curves; the\n\
+             null model fails with high MAE and a rapid, abrupt decline."
+        ),
+        ItemMode::Categories => println!(
+            "\nexpected (paper): ALL models — including NM — reproduce the category\n\
+             distribution, which is why the paper excludes this panel."
+        ),
+    }
+
+    // One representative panel.
+    if let Some(c) = eval.cuisines.iter().find(|c| c.code == "ITA") {
+        println!("\npanel — ITA:\n");
+        let mut series: Vec<(&str, &[f64])> = vec![("empirical", c.empirical.frequencies())];
+        for m in &c.models {
+            series.push((m.model.label(), m.curve.frequencies()));
+        }
+        println!("{}", loglog_chart(&series, 64, 14));
+    }
+
+    if let Some(path) = &opts.csv {
+        let file = std::fs::File::create(path).expect("create CSV file");
+        let mut w = CsvWriter::with_header(
+            file,
+            &["mode", "code", "series", "rank", "frequency", "distance"],
+        )
+        .expect("CSV header");
+        let mode_label = match mode {
+            ItemMode::Ingredients => "ingredients",
+            ItemMode::Categories => "categories",
+        };
+        for c in &eval.cuisines {
+            for (rank, f) in c.empirical.points() {
+                w.write_record(&[
+                    mode_label,
+                    &c.code,
+                    "empirical",
+                    &rank.to_string(),
+                    &format!("{f:.6}"),
+                    "",
+                ])
+                .expect("CSV record");
+            }
+            for m in &c.models {
+                let d = m.distance.map(|d| format!("{d:.6}")).unwrap_or_default();
+                for (rank, f) in m.curve.points() {
+                    w.write_record(&[
+                        mode_label,
+                        &c.code,
+                        m.model.label(),
+                        &rank.to_string(),
+                        &format!("{f:.6}"),
+                        &d,
+                    ])
+                    .expect("CSV record");
+                }
+            }
+        }
+        eprintln!("wrote {path}");
+    }
+}

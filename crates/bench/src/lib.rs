@@ -1,0 +1,167 @@
+//! Shared fixtures and CLI plumbing for the experiment binaries and
+//! Criterion benches.
+
+#![warn(missing_docs)]
+
+use std::sync::OnceLock;
+
+use cuisine_data::Corpus;
+use cuisine_lexicon::Lexicon;
+use cuisine_synth::{generate_corpus, SynthConfig};
+
+/// The default seed used by every experiment unless overridden.
+pub const DEFAULT_SEED: u64 = 42;
+
+/// The default corpus scale for experiment binaries: 10% of the paper's
+/// 158k recipes — large enough for stable statistics, small enough to
+/// finish every experiment in minutes. Use `--scale 1.0` for the full run.
+pub const DEFAULT_SCALE: f64 = 0.10;
+
+/// The corpus scale used by Criterion benches (kept small so the measured
+/// iteration is seconds, not minutes).
+pub const BENCH_SCALE: f64 = 0.02;
+
+/// Lazily-built shared benchmark corpus (2% scale, fixed seed).
+pub fn bench_corpus() -> &'static Corpus {
+    static CORPUS: OnceLock<Corpus> = OnceLock::new();
+    CORPUS.get_or_init(|| {
+        let config = SynthConfig { seed: DEFAULT_SEED, scale: BENCH_SCALE, ..Default::default() };
+        generate_corpus(&config, Lexicon::standard())
+    })
+}
+
+/// Options shared by the `exp_*` binaries.
+#[derive(Debug, Clone)]
+pub struct ExpOptions {
+    /// Corpus scale (fraction of Table-I recipe counts).
+    pub scale: f64,
+    /// Master seed.
+    pub seed: u64,
+    /// Ensemble replicates (experiments E5/E6 only).
+    pub replicates: usize,
+    /// Optional CSV output path.
+    pub csv: Option<String>,
+    /// Extra boolean flags (e.g. `--categories`).
+    pub flags: Vec<String>,
+}
+
+impl Default for ExpOptions {
+    fn default() -> Self {
+        ExpOptions {
+            scale: DEFAULT_SCALE,
+            seed: DEFAULT_SEED,
+            replicates: 100,
+            csv: None,
+            flags: Vec::new(),
+        }
+    }
+}
+
+impl ExpOptions {
+    /// Parse from `std::env::args()`-style iterator (first element is the
+    /// program name). Recognized: `--scale F`, `--seed N`,
+    /// `--replicates N`, `--csv PATH`; anything else starting with `--` is
+    /// collected into `flags`.
+    ///
+    /// # Panics
+    /// Panics with a usage message on malformed values.
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Self {
+        let mut opts = ExpOptions::default();
+        let mut iter = args.into_iter().skip(1);
+        while let Some(arg) = iter.next() {
+            let mut value_of = |name: &str| {
+                iter.next()
+                    .unwrap_or_else(|| panic!("{name} requires a value"))
+            };
+            match arg.as_str() {
+                "--scale" => {
+                    opts.scale = value_of("--scale")
+                        .parse()
+                        .expect("--scale takes a float in (0, 1]");
+                }
+                "--seed" => {
+                    opts.seed = value_of("--seed").parse().expect("--seed takes an integer");
+                }
+                "--replicates" => {
+                    opts.replicates = value_of("--replicates")
+                        .parse()
+                        .expect("--replicates takes an integer");
+                }
+                "--csv" => opts.csv = Some(value_of("--csv")),
+                other if other.starts_with("--") => opts.flags.push(other.to_string()),
+                other => panic!("unrecognized argument {other:?}"),
+            }
+        }
+        assert!(
+            opts.scale > 0.0 && opts.scale <= 1.0,
+            "--scale must be in (0, 1], got {}",
+            opts.scale
+        );
+        opts
+    }
+
+    /// Whether a boolean flag was passed.
+    pub fn has_flag(&self, flag: &str) -> bool {
+        self.flags.iter().any(|f| f == flag)
+    }
+
+    /// The generator config implied by these options.
+    pub fn synth_config(&self) -> SynthConfig {
+        SynthConfig { seed: self.seed, scale: self.scale, ..Default::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        std::iter::once("prog")
+            .chain(list.iter().copied())
+            .map(String::from)
+            .collect()
+    }
+
+    #[test]
+    fn defaults_when_no_args() {
+        let o = ExpOptions::parse(args(&[]));
+        assert_eq!(o.scale, DEFAULT_SCALE);
+        assert_eq!(o.seed, DEFAULT_SEED);
+        assert_eq!(o.replicates, 100);
+        assert!(o.csv.is_none());
+    }
+
+    #[test]
+    fn parses_all_options() {
+        let o = ExpOptions::parse(args(&[
+            "--scale", "0.5", "--seed", "9", "--replicates", "10", "--csv", "/tmp/x.csv",
+            "--categories",
+        ]));
+        assert_eq!(o.scale, 0.5);
+        assert_eq!(o.seed, 9);
+        assert_eq!(o.replicates, 10);
+        assert_eq!(o.csv.as_deref(), Some("/tmp/x.csv"));
+        assert!(o.has_flag("--categories"));
+        assert!(!o.has_flag("--other"));
+    }
+
+    #[test]
+    #[should_panic(expected = "--scale must be in (0, 1]")]
+    fn rejects_bad_scale() {
+        let _ = ExpOptions::parse(args(&["--scale", "2.0"]));
+    }
+
+    #[test]
+    #[should_panic(expected = "unrecognized argument")]
+    fn rejects_unknown_positional() {
+        let _ = ExpOptions::parse(args(&["oops"]));
+    }
+
+    #[test]
+    fn bench_corpus_is_cached_and_populated() {
+        let a = bench_corpus();
+        let b = bench_corpus();
+        assert!(std::ptr::eq(a, b));
+        assert_eq!(a.populated_cuisines().len(), 25);
+    }
+}

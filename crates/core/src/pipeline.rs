@@ -1,0 +1,137 @@
+//! One-call pipelines reproducing each experiment of the paper.
+//!
+//! [`Experiment`] bundles a lexicon and a corpus; its methods map one-to-one
+//! onto the paper's artifacts (see DESIGN.md §5 for the experiment index):
+//!
+//! | method | artifact |
+//! |---|---|
+//! | [`Experiment::table1`] | Table I |
+//! | [`Experiment::fig1`] | Fig. 1 |
+//! | [`Experiment::fig2`] | Fig. 2 |
+//! | [`Experiment::fig3`] | Fig. 3 (+ the Eq. 2 similarity matrix) |
+//! | [`Experiment::fig4`] | Fig. 4 / Section VI |
+
+use cuisine_analytics::category_profile::CategoryProfile;
+use cuisine_analytics::overrepresentation::{table1, Table1Row};
+use cuisine_analytics::rank_freq::RankFrequencyAnalysis;
+use cuisine_analytics::similarity::SimilarityMatrix;
+use cuisine_analytics::size_dist::{fig1, Fig1};
+use cuisine_data::Corpus;
+use cuisine_evolution::{evaluate, Evaluation, EvaluationConfig, ModelKind};
+use cuisine_lexicon::Lexicon;
+use cuisine_mining::ItemMode;
+use cuisine_stats::ErrorMetric;
+use cuisine_synth::{generate_corpus, SynthConfig};
+
+/// An experiment context: a lexicon plus the corpus under analysis.
+pub struct Experiment {
+    lexicon: &'static Lexicon,
+    corpus: Corpus,
+}
+
+impl Experiment {
+    /// Build from an existing corpus (e.g. read from JSONL/TSV).
+    pub fn new(corpus: Corpus) -> Self {
+        Experiment { lexicon: Lexicon::standard(), corpus }
+    }
+
+    /// Generate the calibrated synthetic corpus and wrap it.
+    pub fn synthetic(config: &SynthConfig) -> Self {
+        let lexicon = Lexicon::standard();
+        Experiment { lexicon, corpus: generate_corpus(config, lexicon) }
+    }
+
+    /// The lexicon in use.
+    pub fn lexicon(&self) -> &'static Lexicon {
+        self.lexicon
+    }
+
+    /// The corpus under analysis.
+    pub fn corpus(&self) -> &Corpus {
+        &self.corpus
+    }
+
+    /// Experiment E1 — Table I: per-cuisine recipe/ingredient counts and
+    /// top overrepresented ingredients (Eq. 1).
+    pub fn table1(&self) -> Vec<Table1Row> {
+        table1(&self.corpus, self.lexicon)
+    }
+
+    /// Experiment E2 — Fig. 1: recipe-size distributions with Gaussian
+    /// fits, per cuisine and aggregated.
+    pub fn fig1(&self) -> Fig1 {
+        fig1(&self.corpus)
+    }
+
+    /// Experiment E3 — Fig. 2: category composition profile (25 × 21
+    /// means and their per-category boxplots).
+    pub fn fig2(&self) -> CategoryProfile {
+        CategoryProfile::measure(&self.corpus, self.lexicon)
+    }
+
+    /// Experiment E4 — Fig. 3: rank-frequency curves of frequent
+    /// combinations at the given granularity, plus the pairwise Eq. 2
+    /// similarity matrix (paper averages: 0.035 ingredient / 0.052
+    /// category).
+    pub fn fig3(&self, mode: ItemMode) -> (RankFrequencyAnalysis, SimilarityMatrix) {
+        let analysis = RankFrequencyAnalysis::paper(&self.corpus, self.lexicon, mode);
+        let matrix = SimilarityMatrix::measure(&analysis, ErrorMetric::PaperMae);
+        (analysis, matrix)
+    }
+
+    /// Experiments E5/E6 — Fig. 4 / Section VI: evaluate the evolution
+    /// models against the corpus at the configured granularity.
+    pub fn fig4(&self, config: &EvaluationConfig) -> Evaluation {
+        evaluate(&self.corpus, self.lexicon, &ModelKind::ALL, config)
+    }
+
+    /// Like [`Experiment::fig4`] but for a model subset.
+    pub fn fig4_models(&self, models: &[ModelKind], config: &EvaluationConfig) -> Evaluation {
+        evaluate(&self.corpus, self.lexicon, models, config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuisine_evolution::EnsembleConfig;
+
+    fn experiment() -> Experiment {
+        Experiment::synthetic(&SynthConfig { seed: 9, scale: 0.01, ..Default::default() })
+    }
+
+    #[test]
+    fn table1_covers_all_cuisines() {
+        let rows = experiment().table1();
+        assert_eq!(rows.len(), 25);
+    }
+
+    #[test]
+    fn fig1_has_aggregate() {
+        let f = experiment().fig1();
+        assert_eq!(f.per_cuisine.len(), 25);
+        assert!(f.aggregate.histogram.total() > 0);
+    }
+
+    #[test]
+    fn fig2_and_fig3_run() {
+        let e = experiment();
+        let p = e.fig2();
+        assert_eq!(p.codes.len(), 25);
+        let (analysis, matrix) = e.fig3(ItemMode::Ingredients);
+        assert_eq!(analysis.len(), 25);
+        assert!(matrix.average().is_some());
+    }
+
+    #[test]
+    fn fig4_runs_at_tiny_scale() {
+        let e = experiment();
+        let config = EvaluationConfig {
+            ensemble: EnsembleConfig { replicates: 2, seed: 3, threads: None },
+            ..Default::default()
+        };
+        let eval = e.fig4_models(&[ModelKind::CmR, ModelKind::Null], &config);
+        assert_eq!(eval.cuisines.len(), 25);
+        assert_eq!(eval.cuisines[0].models.len(), 2);
+    }
+}

@@ -1,0 +1,484 @@
+//! Novel recipe generation — the application the paper motivates in its
+//! abstract and conclusion: "knowledge of the key determinants of culinary
+//! evolution can drive the creation of novel recipe generation algorithms
+//! aimed at dietary interventions for better nutrition and health."
+//!
+//! [`RecipeGenerator`] learns a cuisine's ingredient popularity and pairwise
+//! co-occurrence structure from a corpus, then samples novel recipes that
+//! (a) respect dietary constraints and (b) stay culinarily plausible by
+//! preferring ingredients with high co-occurrence *lift* against the
+//! partially built recipe — the same popularity-plus-affinity structure the
+//! copy-mutate models show evolution itself amplifies.
+
+use std::collections::HashMap;
+
+use cuisine_data::{Corpus, CuisineId, Recipe};
+use cuisine_lexicon::{Category, IngredientId, Lexicon};
+use cuisine_stats::sampling::AliasTable;
+use rand::Rng;
+
+/// Dietary constraints for generated recipes.
+#[derive(Debug, Clone, Default)]
+pub struct Constraints {
+    /// Ingredients that must appear.
+    pub required: Vec<IngredientId>,
+    /// Ingredients that must not appear.
+    pub excluded: Vec<IngredientId>,
+    /// Categories that must not appear at all.
+    pub excluded_categories: Vec<Category>,
+    /// Per-category maximum counts (e.g. at most 1 Additive).
+    pub category_caps: Vec<(Category, usize)>,
+}
+
+impl Constraints {
+    /// Vegetarian: no meat, fish, or other seafood.
+    pub fn vegetarian() -> Self {
+        Constraints {
+            excluded_categories: vec![Category::Meat, Category::Fish, Category::Seafood],
+            ..Default::default()
+        }
+    }
+
+    /// Vegan: vegetarian plus no dairy (which includes eggs in this
+    /// lexicon — see DESIGN.md note 8).
+    pub fn vegan() -> Self {
+        Constraints {
+            excluded_categories: vec![
+                Category::Meat,
+                Category::Fish,
+                Category::Seafood,
+                Category::Dairy,
+            ],
+            ..Default::default()
+        }
+    }
+
+    /// Pescatarian: no meat; fish and seafood allowed.
+    pub fn pescatarian() -> Self {
+        Constraints {
+            excluded_categories: vec![Category::Meat],
+            ..Default::default()
+        }
+    }
+
+    /// Whether an ingredient is admissible under the hard constraints.
+    fn admits(&self, id: IngredientId, lexicon: &Lexicon) -> bool {
+        if self.excluded.contains(&id) {
+            return false;
+        }
+        !self.excluded_categories.contains(&lexicon.category(id))
+    }
+
+    /// Remaining capacity for an ingredient's category given current
+    /// per-category counts.
+    fn category_allows(&self, cat: Category, counts: &[usize; Category::COUNT]) -> bool {
+        self.category_caps
+            .iter()
+            .find(|&&(c, _)| c == cat)
+            .is_none_or(|&(_, cap)| counts[cat.index()] < cap)
+    }
+}
+
+/// Errors from recipe generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GenerateError {
+    /// The cuisine has no recipes to learn from.
+    EmptyCuisine,
+    /// A required ingredient violates the exclusion constraints.
+    ContradictoryConstraints(String),
+    /// Too few admissible ingredients to reach the requested size.
+    NotEnoughIngredients {
+        /// Ingredients admissible under the constraints.
+        admissible: usize,
+        /// Requested recipe size.
+        requested: usize,
+    },
+}
+
+impl std::fmt::Display for GenerateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GenerateError::EmptyCuisine => write!(f, "cuisine has no recipes to learn from"),
+            GenerateError::ContradictoryConstraints(name) => {
+                write!(f, "required ingredient {name:?} is excluded by the constraints")
+            }
+            GenerateError::NotEnoughIngredients { admissible, requested } => write!(
+                f,
+                "only {admissible} admissible ingredients for a size-{requested} recipe"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GenerateError {}
+
+/// A recipe generator trained on one cuisine of a corpus.
+pub struct RecipeGenerator<'a> {
+    lexicon: &'a Lexicon,
+    cuisine: CuisineId,
+    /// Number of recipes learned from (smoothing scale).
+    n_recipes: usize,
+    /// Admissible vocabulary under no constraints (usage > 0).
+    vocabulary: Vec<IngredientId>,
+    /// P(i): share of the cuisine's recipes containing i.
+    popularity: HashMap<IngredientId, f64>,
+    /// P(i, j): share of recipes containing both (sparse, i < j).
+    pair: HashMap<(IngredientId, IngredientId), f64>,
+}
+
+impl<'a> RecipeGenerator<'a> {
+    /// Learn the popularity and co-occurrence structure of a cuisine.
+    pub fn learn(
+        corpus: &Corpus,
+        cuisine: CuisineId,
+        lexicon: &'a Lexicon,
+    ) -> Result<Self, GenerateError> {
+        let n = corpus.recipe_count(cuisine);
+        if n == 0 {
+            return Err(GenerateError::EmptyCuisine);
+        }
+        let vocabulary = corpus.ingredients_in(cuisine);
+        let popularity: HashMap<IngredientId, f64> = vocabulary
+            .iter()
+            .map(|&i| (i, corpus.usage(cuisine, i) as f64 / n as f64))
+            .collect();
+        let mut pair: HashMap<(IngredientId, IngredientId), f64> = HashMap::new();
+        for r in corpus.recipes_in(cuisine) {
+            let ings = r.ingredients();
+            for (a_idx, &a) in ings.iter().enumerate() {
+                for &b in &ings[a_idx + 1..] {
+                    *pair.entry((a, b)).or_default() += 1.0;
+                }
+            }
+        }
+        for v in pair.values_mut() {
+            *v /= n as f64;
+        }
+        Ok(RecipeGenerator { lexicon, cuisine, n_recipes: n, vocabulary, popularity, pair })
+    }
+
+    /// The cuisine this generator was trained on.
+    pub fn cuisine(&self) -> CuisineId {
+        self.cuisine
+    }
+
+    /// Learned popularity of an ingredient (0 when unseen).
+    pub fn popularity(&self, id: IngredientId) -> f64 {
+        self.popularity.get(&id).copied().unwrap_or(0.0)
+    }
+
+    /// Co-occurrence lift `P(a,b) / (P(a) P(b))`, 0 when the pair never
+    /// co-occurred.
+    pub fn lift(&self, a: IngredientId, b: IngredientId) -> f64 {
+        let key = if a < b { (a, b) } else { (b, a) };
+        let joint = self.pair.get(&key).copied().unwrap_or(0.0);
+        let denom = self.popularity(a) * self.popularity(b);
+        if denom <= 0.0 {
+            return 0.0;
+        }
+        joint / denom
+    }
+
+    /// Additively smoothed lift: `(P(a,b) + ε) / (P(a) P(b) + ε)` with
+    /// `ε = 0.2/n`. Never zero — one never-observed pair does not
+    /// annihilate a whole recipe's plausibility — while unseen pairs are
+    /// penalized in proportion to how surprising their absence is (severe
+    /// for popular pairs, mild for rare ones). The small ε counters the
+    /// classic PMI rare-pair bias: a single chance co-occurrence between
+    /// rare ingredients no longer produces a huge lift.
+    pub fn smoothed_lift(&self, a: IngredientId, b: IngredientId) -> f64 {
+        let key = if a < b { (a, b) } else { (b, a) };
+        let joint = self.pair.get(&key).copied().unwrap_or(0.0);
+        let eps = 0.2 / self.n_recipes.max(1) as f64;
+        (joint + eps) / (self.popularity(a) * self.popularity(b) + eps)
+    }
+
+    /// Generate one novel recipe of `size` ingredients under `constraints`.
+    ///
+    /// The first ingredient is drawn by popularity; each subsequent pick is
+    /// drawn with weight `popularity × (1 + mean lift against the current
+    /// set)`, which keeps combinations that actually co-occur in the
+    /// cuisine far more likely than random-but-legal ones.
+    pub fn generate<R: Rng + ?Sized>(
+        &self,
+        size: usize,
+        constraints: &Constraints,
+        rng: &mut R,
+    ) -> Result<Recipe, GenerateError> {
+        // Validate required-vs-excluded consistency.
+        for &req in &constraints.required {
+            if !constraints.admits(req, self.lexicon) {
+                return Err(GenerateError::ContradictoryConstraints(
+                    self.lexicon.name(req).to_string(),
+                ));
+            }
+        }
+        let admissible: Vec<IngredientId> = self
+            .vocabulary
+            .iter()
+            .copied()
+            .filter(|&i| constraints.admits(i, self.lexicon))
+            .collect();
+        if admissible.len() < size {
+            return Err(GenerateError::NotEnoughIngredients {
+                admissible: admissible.len(),
+                requested: size,
+            });
+        }
+
+        let mut chosen: Vec<IngredientId> = Vec::with_capacity(size);
+        let mut cat_counts = [0usize; Category::COUNT];
+        for &req in constraints.required.iter().take(size) {
+            if !chosen.contains(&req) {
+                chosen.push(req);
+                cat_counts[self.lexicon.category(req).index()] += 1;
+            }
+        }
+
+        let mut guard = 0usize;
+        while chosen.len() < size {
+            guard += 1;
+            if guard > 200 {
+                return Err(GenerateError::NotEnoughIngredients {
+                    admissible: admissible.len(),
+                    requested: size,
+                });
+            }
+            // Score every admissible, not-yet-chosen, cap-respecting
+            // candidate.
+            let candidates: Vec<IngredientId> = admissible
+                .iter()
+                .copied()
+                .filter(|i| !chosen.contains(i))
+                .filter(|&i| {
+                    constraints.category_allows(self.lexicon.category(i), &cat_counts)
+                })
+                .collect();
+            if candidates.is_empty() {
+                return Err(GenerateError::NotEnoughIngredients {
+                    admissible: admissible.len(),
+                    requested: size,
+                });
+            }
+            let weights: Vec<f64> = candidates
+                .iter()
+                .map(|&c| {
+                    let pop = self.popularity(c).max(1e-9);
+                    let affinity = if chosen.is_empty() {
+                        1.0
+                    } else {
+                        let mean_lift: f64 = chosen
+                            .iter()
+                            .map(|&x| self.smoothed_lift(c, x))
+                            .sum::<f64>()
+                            / chosen.len() as f64;
+                        1.0 + mean_lift
+                    };
+                    pop * affinity
+                })
+                .collect();
+            let table = AliasTable::new(&weights);
+            let pick = candidates[table.sample(rng)];
+            cat_counts[self.lexicon.category(pick).index()] += 1;
+            chosen.push(pick);
+        }
+        Ok(Recipe::new(self.cuisine, chosen))
+    }
+
+    /// Smoothed pairwise confidence: `(P(a,b) + ε) / (min(P(a), P(b)) + ε)`
+    /// — how often the pair is seen together, relative to how often its
+    /// rarer member is seen at all. In `(0, 1]`; near 1 means "whenever the
+    /// rarer ingredient shows up, the other is there too".
+    pub fn smoothed_confidence(&self, a: IngredientId, b: IngredientId) -> f64 {
+        let key = if a < b { (a, b) } else { (b, a) };
+        let joint = self.pair.get(&key).copied().unwrap_or(0.0);
+        let eps = 0.2 / self.n_recipes.max(1) as f64;
+        (joint + eps) / (self.popularity(a).min(self.popularity(b)) + eps)
+    }
+
+    /// Culinary plausibility of a recipe under the learned model: the
+    /// geometric mean of pairwise *smoothed confidences*. Confidence (not
+    /// lift) is used because lift over-rewards single chance co-occurrences
+    /// between rare ingredients; confidence asks the interpretable question
+    /// "when the rarer of the two appears, how often does the other join
+    /// it?".
+    pub fn plausibility(&self, recipe: &Recipe) -> f64 {
+        let ings = recipe.ingredients();
+        if ings.len() < 2 {
+            return 1.0;
+        }
+        let mut log_sum = 0.0;
+        let mut pairs = 0usize;
+        for (i, &a) in ings.iter().enumerate() {
+            for &b in &ings[i + 1..] {
+                log_sum += self.smoothed_confidence(a, b).ln();
+                pairs += 1;
+            }
+        }
+        (log_sum / pairs as f64).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuisine_synth::{generate_corpus, SynthConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fixture() -> (&'static Lexicon, Corpus) {
+        let lex = Lexicon::standard();
+        let corpus =
+            generate_corpus(&SynthConfig { seed: 77, scale: 0.03, ..Default::default() }, lex);
+        (lex, corpus)
+    }
+
+    #[test]
+    fn learn_requires_populated_cuisine() {
+        let lex = Lexicon::standard();
+        let empty = Corpus::new(vec![]);
+        assert_eq!(
+            RecipeGenerator::learn(&empty, CuisineId(0), lex).err(),
+            Some(GenerateError::EmptyCuisine).map(|e| match e {
+                GenerateError::EmptyCuisine => GenerateError::EmptyCuisine,
+                other => other,
+            })
+        );
+    }
+
+    #[test]
+    fn generates_recipes_of_requested_size() {
+        let (lex, corpus) = fixture();
+        let g = RecipeGenerator::learn(&corpus, "ITA".parse().unwrap(), lex).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for size in [3usize, 6, 9, 12] {
+            let r = g.generate(size, &Constraints::default(), &mut rng).unwrap();
+            assert_eq!(r.size(), size);
+        }
+    }
+
+    #[test]
+    fn vegetarian_constraint_is_respected() {
+        let (lex, corpus) = fixture();
+        let g = RecipeGenerator::learn(&corpus, "FRA".parse().unwrap(), lex).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let r = g.generate(8, &Constraints::vegetarian(), &mut rng).unwrap();
+            for &i in r.ingredients() {
+                let cat = lex.category(i);
+                assert!(
+                    ![Category::Meat, Category::Fish, Category::Seafood].contains(&cat),
+                    "vegetarian recipe contains {} ({cat})",
+                    lex.name(i)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn vegan_excludes_dairy_too() {
+        let (lex, corpus) = fixture();
+        let g = RecipeGenerator::learn(&corpus, "FRA".parse().unwrap(), lex).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let r = g.generate(9, &Constraints::vegan(), &mut rng).unwrap();
+        assert_eq!(r.category_count(Category::Dairy, lex), 0);
+        assert_eq!(r.category_count(Category::Meat, lex), 0);
+    }
+
+    #[test]
+    fn required_ingredients_are_included() {
+        let (lex, corpus) = fixture();
+        let g = RecipeGenerator::learn(&corpus, "INSC".parse().unwrap(), lex).unwrap();
+        let cumin = lex.resolve("Cumin").unwrap();
+        let lentil = lex.resolve("Red Lentil").unwrap();
+        let constraints = Constraints { required: vec![cumin, lentil], ..Default::default() };
+        let mut rng = StdRng::seed_from_u64(4);
+        let r = g.generate(7, &constraints, &mut rng).unwrap();
+        assert!(r.contains(cumin));
+        assert!(r.contains(lentil));
+    }
+
+    #[test]
+    fn contradictory_constraints_error() {
+        let (lex, corpus) = fixture();
+        let g = RecipeGenerator::learn(&corpus, "USA".parse().unwrap(), lex).unwrap();
+        let butter = lex.resolve("Butter").unwrap();
+        let constraints = Constraints {
+            required: vec![butter],
+            excluded_categories: vec![Category::Dairy],
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(5);
+        match g.generate(6, &constraints, &mut rng) {
+            Err(GenerateError::ContradictoryConstraints(name)) => assert_eq!(name, "Butter"),
+            other => panic!("expected contradiction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn category_caps_bound_composition() {
+        let (lex, corpus) = fixture();
+        let g = RecipeGenerator::learn(&corpus, "INSC".parse().unwrap(), lex).unwrap();
+        let constraints = Constraints {
+            category_caps: vec![(Category::Spice, 2), (Category::Additive, 1)],
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..30 {
+            let r = g.generate(9, &constraints, &mut rng).unwrap();
+            assert!(r.category_count(Category::Spice, lex) <= 2);
+            assert!(r.category_count(Category::Additive, lex) <= 1);
+        }
+    }
+
+    #[test]
+    fn oversized_requests_fail_cleanly() {
+        let (lex, corpus) = fixture();
+        let g = RecipeGenerator::learn(&corpus, "CAM".parse().unwrap(), lex).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let err = g.generate(10_000, &Constraints::default(), &mut rng).unwrap_err();
+        assert!(matches!(err, GenerateError::NotEnoughIngredients { .. }));
+    }
+
+    #[test]
+    fn generated_recipes_beat_random_on_plausibility() {
+        let (lex, corpus) = fixture();
+        let cuisine: CuisineId = "ITA".parse().unwrap();
+        let g = RecipeGenerator::learn(&corpus, cuisine, lex).unwrap();
+        let mut rng = StdRng::seed_from_u64(8);
+
+        let mut gen_scores = Vec::new();
+        for _ in 0..30 {
+            let r = g.generate(6, &Constraints::default(), &mut rng).unwrap();
+            gen_scores.push(g.plausibility(&r));
+        }
+        // Random-but-legal recipes over the same vocabulary.
+        let vocab = corpus.ingredients_in(cuisine);
+        let mut rand_scores = Vec::new();
+        for _ in 0..30 {
+            let picks = cuisine_stats::sampling::sample_without_replacement(
+                &mut rng,
+                vocab.len(),
+                6,
+            );
+            let r = Recipe::new(cuisine, picks.into_iter().map(|i| vocab[i]).collect());
+            rand_scores.push(g.plausibility(&r));
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            mean(&gen_scores) > mean(&rand_scores),
+            "generated {:.3} vs random {:.3}",
+            mean(&gen_scores),
+            mean(&rand_scores)
+        );
+    }
+
+    #[test]
+    fn lift_is_symmetric() {
+        let (lex, corpus) = fixture();
+        let g = RecipeGenerator::learn(&corpus, "ITA".parse().unwrap(), lex).unwrap();
+        let olive = lex.resolve("Olive").unwrap();
+        let garlic = lex.resolve("Garlic").unwrap();
+        assert_eq!(g.lift(olive, garlic), g.lift(garlic, olive));
+    }
+}

@@ -1,0 +1,247 @@
+//! The indexed recipe corpus: recipes grouped by cuisine with precomputed
+//! ingredient-usage statistics.
+
+use serde::{Deserialize, Serialize};
+
+use cuisine_lexicon::IngredientId;
+
+use crate::cuisine::{CuisineId, CUISINE_COUNT};
+use crate::recipe::{Recipe, RecipeId};
+
+/// An immutable, indexed collection of recipes.
+///
+/// Construction computes, per cuisine: the member recipe ids, the
+/// ingredient-usage counts `n_i^ς` (number of recipes containing ingredient
+/// `i` — the numerator of Eq. 1), and the recipe-size list. All queries are
+/// then O(1) or a slice borrow.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Corpus {
+    recipes: Vec<Recipe>,
+    by_cuisine: Vec<Vec<RecipeId>>,
+    /// usage[cuisine][ingredient] = number of recipes in `cuisine`
+    /// containing `ingredient`. Rows sized to the largest id present.
+    usage: Vec<Vec<u32>>,
+}
+
+impl Corpus {
+    /// Build a corpus from recipes.
+    pub fn new(recipes: Vec<Recipe>) -> Self {
+        let max_id = recipes
+            .iter()
+            .flat_map(|r| r.ingredients().iter())
+            .map(|id| id.index())
+            .max()
+            .map_or(0, |m| m + 1);
+        let mut by_cuisine: Vec<Vec<RecipeId>> = vec![Vec::new(); CUISINE_COUNT];
+        let mut usage: Vec<Vec<u32>> = vec![vec![0u32; max_id]; CUISINE_COUNT];
+        for (i, r) in recipes.iter().enumerate() {
+            let c = r.cuisine.index();
+            assert!(c < CUISINE_COUNT, "recipe with out-of-range cuisine id {c}");
+            by_cuisine[c].push(RecipeId(i as u32));
+            for ing in r.ingredients() {
+                usage[c][ing.index()] += 1;
+            }
+        }
+        Corpus { recipes, by_cuisine, usage }
+    }
+
+    /// Total number of recipes.
+    pub fn len(&self) -> usize {
+        self.recipes.len()
+    }
+
+    /// True when the corpus holds no recipes.
+    pub fn is_empty(&self) -> bool {
+        self.recipes.is_empty()
+    }
+
+    /// All recipes, in id order.
+    pub fn recipes(&self) -> &[Recipe] {
+        &self.recipes
+    }
+
+    /// A recipe by id.
+    ///
+    /// # Panics
+    /// Panics for an id not in this corpus.
+    pub fn recipe(&self, id: RecipeId) -> &Recipe {
+        &self.recipes[id.index()]
+    }
+
+    /// Recipe ids belonging to a cuisine.
+    pub fn recipe_ids_in(&self, cuisine: CuisineId) -> &[RecipeId] {
+        &self.by_cuisine[cuisine.index()]
+    }
+
+    /// Iterate over the recipes of a cuisine.
+    pub fn recipes_in(&self, cuisine: CuisineId) -> impl Iterator<Item = &Recipe> + '_ {
+        self.by_cuisine[cuisine.index()].iter().map(|&id| self.recipe(id))
+    }
+
+    /// `N_ς`: number of recipes in a cuisine.
+    pub fn recipe_count(&self, cuisine: CuisineId) -> usize {
+        self.by_cuisine[cuisine.index()].len()
+    }
+
+    /// `n_i^ς`: number of recipes in `cuisine` containing `ingredient`.
+    pub fn usage(&self, cuisine: CuisineId, ingredient: IngredientId) -> u32 {
+        self.usage[cuisine.index()]
+            .get(ingredient.index())
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Total usage of an ingredient across all cuisines
+    /// (`Σ_c n_i^c`, the second numerator of Eq. 1).
+    pub fn total_usage(&self, ingredient: IngredientId) -> u64 {
+        self.usage
+            .iter()
+            .map(|row| row.get(ingredient.index()).copied().unwrap_or(0) as u64)
+            .sum()
+    }
+
+    /// Ingredient ids used at least once in a cuisine, ascending.
+    pub fn ingredients_in(&self, cuisine: CuisineId) -> Vec<IngredientId> {
+        self.usage[cuisine.index()]
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, _)| IngredientId(i as u16))
+            .collect()
+    }
+
+    /// Number of unique ingredients used in a cuisine (the Table-I
+    /// "Ingredients" column).
+    pub fn unique_ingredient_count(&self, cuisine: CuisineId) -> usize {
+        self.usage[cuisine.index()].iter().filter(|&&c| c > 0).count()
+    }
+
+    /// Ingredient ids used at least once anywhere, ascending.
+    pub fn all_ingredients(&self) -> Vec<IngredientId> {
+        let width = self.usage.first().map_or(0, |row| row.len());
+        (0..width)
+            .filter(|&i| self.usage.iter().any(|row| row[i] > 0))
+            .map(|i| IngredientId(i as u16))
+            .collect()
+    }
+
+    /// Recipe sizes of a cuisine, in recipe-id order.
+    pub fn sizes_in(&self, cuisine: CuisineId) -> Vec<usize> {
+        self.recipes_in(cuisine).map(|r| r.size()).collect()
+    }
+
+    /// Mean recipe size of a cuisine (`s̄` of Algorithm 1).
+    /// Returns `None` for a cuisine with no recipes.
+    pub fn mean_size_in(&self, cuisine: CuisineId) -> Option<f64> {
+        let n = self.recipe_count(cuisine);
+        if n == 0 {
+            return None;
+        }
+        let total: usize = self.recipes_in(cuisine).map(|r| r.size()).sum();
+        Some(total as f64 / n as f64)
+    }
+
+    /// φ of Algorithm 1 for a cuisine: unique ingredients / recipes.
+    /// Returns `None` for a cuisine with no recipes.
+    pub fn phi(&self, cuisine: CuisineId) -> Option<f64> {
+        let n = self.recipe_count(cuisine);
+        if n == 0 {
+            return None;
+        }
+        Some(self.unique_ingredient_count(cuisine) as f64 / n as f64)
+    }
+
+    /// Cuisines that actually have recipes in this corpus.
+    pub fn populated_cuisines(&self) -> Vec<CuisineId> {
+        CuisineId::all().filter(|&c| self.recipe_count(c) > 0).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(n: u16) -> IngredientId {
+        IngredientId(n)
+    }
+
+    fn sample_corpus() -> Corpus {
+        Corpus::new(vec![
+            Recipe::new(CuisineId(0), vec![id(1), id(2), id(3)]),
+            Recipe::new(CuisineId(0), vec![id(1), id(4)]),
+            Recipe::new(CuisineId(1), vec![id(2), id(5), id(6), id(7)]),
+        ])
+    }
+
+    #[test]
+    fn counts_and_lengths() {
+        let c = sample_corpus();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.recipe_count(CuisineId(0)), 2);
+        assert_eq!(c.recipe_count(CuisineId(1)), 1);
+        assert_eq!(c.recipe_count(CuisineId(2)), 0);
+    }
+
+    #[test]
+    fn usage_counts_recipes_not_occurrences() {
+        let c = sample_corpus();
+        assert_eq!(c.usage(CuisineId(0), id(1)), 2);
+        assert_eq!(c.usage(CuisineId(0), id(2)), 1);
+        assert_eq!(c.usage(CuisineId(0), id(5)), 0);
+        assert_eq!(c.usage(CuisineId(1), id(2)), 1);
+        assert_eq!(c.usage(CuisineId(0), id(10_000)), 0, "out-of-range id");
+    }
+
+    #[test]
+    fn total_usage_sums_cuisines() {
+        let c = sample_corpus();
+        assert_eq!(c.total_usage(id(2)), 2);
+        assert_eq!(c.total_usage(id(1)), 2);
+        assert_eq!(c.total_usage(id(7)), 1);
+    }
+
+    #[test]
+    fn unique_ingredient_counts() {
+        let c = sample_corpus();
+        assert_eq!(c.unique_ingredient_count(CuisineId(0)), 4);
+        assert_eq!(c.unique_ingredient_count(CuisineId(1)), 4);
+        assert_eq!(c.unique_ingredient_count(CuisineId(3)), 0);
+        assert_eq!(c.all_ingredients().len(), 7);
+    }
+
+    #[test]
+    fn ingredients_in_is_sorted_and_complete() {
+        let c = sample_corpus();
+        assert_eq!(c.ingredients_in(CuisineId(0)), vec![id(1), id(2), id(3), id(4)]);
+    }
+
+    #[test]
+    fn mean_size_and_phi() {
+        let c = sample_corpus();
+        assert_eq!(c.mean_size_in(CuisineId(0)), Some(2.5));
+        assert_eq!(c.phi(CuisineId(0)), Some(4.0 / 2.0));
+        assert_eq!(c.mean_size_in(CuisineId(9)), None);
+        assert_eq!(c.phi(CuisineId(9)), None);
+    }
+
+    #[test]
+    fn populated_cuisines_listed() {
+        let c = sample_corpus();
+        assert_eq!(c.populated_cuisines(), vec![CuisineId(0), CuisineId(1)]);
+    }
+
+    #[test]
+    fn empty_corpus_is_sane() {
+        let c = Corpus::new(vec![]);
+        assert!(c.is_empty());
+        assert_eq!(c.all_ingredients().len(), 0);
+        assert_eq!(c.recipe_count(CuisineId(0)), 0);
+        assert_eq!(c.total_usage(id(3)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-range cuisine")]
+    fn rejects_invalid_cuisine() {
+        let _ = Corpus::new(vec![Recipe::new(CuisineId(99), vec![id(1)])]);
+    }
+}

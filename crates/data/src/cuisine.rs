@@ -1,0 +1,405 @@
+//! The 25 geo-cultural regions ("cuisines") and their Table-I reference
+//! statistics.
+//!
+//! Section II of the paper designates the *region* annotation as the cuisine
+//! of a recipe; Table I lists, per cuisine, the number of recipes, the
+//! number of unique ingredients, and the top overrepresented ingredients.
+//! Those numbers are embedded here verbatim as calibration targets for the
+//! synthetic corpus and as the expected output of experiment E1.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// Dense identifier of one of the 25 world cuisines.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct CuisineId(pub u8);
+
+impl CuisineId {
+    /// The id as a dense index in `0..25`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// All 25 cuisine ids.
+    pub fn all() -> impl Iterator<Item = CuisineId> {
+        (0..CUISINES.len() as u8).map(CuisineId)
+    }
+
+    /// The reference record for this cuisine.
+    ///
+    /// # Panics
+    /// Panics for an out-of-range id.
+    pub fn info(self) -> &'static Cuisine {
+        &CUISINES[self.index()]
+    }
+
+    /// Short region code, e.g. `"ITA"`.
+    pub fn code(self) -> &'static str {
+        self.info().code
+    }
+
+    /// Full region name, e.g. `"Italy"`.
+    pub fn name(self) -> &'static str {
+        self.info().name
+    }
+}
+
+impl fmt::Display for CuisineId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// Error returned when parsing an unknown cuisine code or name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCuisineError(pub String);
+
+impl fmt::Display for ParseCuisineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown cuisine: {:?}", self.0)
+    }
+}
+
+impl std::error::Error for ParseCuisineError {}
+
+impl FromStr for CuisineId {
+    type Err = ParseCuisineError;
+
+    /// Parse a region code (`"ITA"`) or full name (`"Italy"`),
+    /// case-insensitively.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let key = s.trim();
+        CUISINES
+            .iter()
+            .position(|c| c.code.eq_ignore_ascii_case(key) || c.name.eq_ignore_ascii_case(key))
+            .map(|i| CuisineId(i as u8))
+            .ok_or_else(|| ParseCuisineError(s.to_string()))
+    }
+}
+
+/// Reference record for one cuisine, as published in Table I.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct Cuisine {
+    /// Full region name, e.g. `"Indian Subcontinent"`.
+    pub name: &'static str,
+    /// Region code, e.g. `"INSC"`.
+    pub code: &'static str,
+    /// Number of recipes compiled for this cuisine (Table I).
+    pub recipes: usize,
+    /// Number of unique ingredients observed (Table I).
+    pub ingredients: usize,
+    /// Top overrepresented ingredients (Table I; 5 entries, 6 for INSC).
+    pub overrepresented: &'static [&'static str],
+}
+
+impl Cuisine {
+    /// Ratio φ of unique ingredients to recipes — the pool-growth threshold
+    /// of Algorithm 1.
+    pub fn phi(&self) -> f64 {
+        self.ingredients as f64 / self.recipes as f64
+    }
+}
+
+/// Table I, embedded verbatim.
+pub static CUISINES: [Cuisine; 25] = [
+    Cuisine {
+        name: "Africa",
+        code: "AFR",
+        recipes: 5465,
+        ingredients: 442,
+        overrepresented: &["Cumin", "Cinnamon", "Olive", "Cilantro", "Paprika"],
+    },
+    Cuisine {
+        name: "Australia & NZ",
+        code: "ANZ",
+        recipes: 6169,
+        ingredients: 463,
+        overrepresented: &["Butter", "Egg", "Sugar", "Flour", "Coconut"],
+    },
+    Cuisine {
+        name: "Republic of Ireland",
+        code: "IRL",
+        recipes: 2702,
+        ingredients: 378,
+        overrepresented: &["Potato", "Butter", "Cream", "Flour", "Baking Powder"],
+    },
+    Cuisine {
+        name: "Canada",
+        code: "CAN",
+        recipes: 7725,
+        ingredients: 483,
+        overrepresented: &["Baking Powder", "Sugar", "Butter", "Flour", "Vanilla"],
+    },
+    Cuisine {
+        name: "Caribbean",
+        code: "CBN",
+        recipes: 3887,
+        ingredients: 417,
+        overrepresented: &["Lime", "Rum", "Pineapple", "Allspice", "Thyme"],
+    },
+    Cuisine {
+        name: "China",
+        code: "CHN",
+        recipes: 7123,
+        ingredients: 442,
+        overrepresented: &["Soybean Sauce", "Sesame", "Ginger", "Corn", "Chicken"],
+    },
+    Cuisine {
+        name: "DACH Countries",
+        code: "DACH",
+        recipes: 4641,
+        ingredients: 430,
+        overrepresented: &["Flour", "Egg", "Butter", "Sugar", "Swiss Cheese"],
+    },
+    Cuisine {
+        name: "Eastern Europe",
+        code: "EE",
+        recipes: 3179,
+        ingredients: 383,
+        overrepresented: &["Flour", "Egg", "Butter", "Cream", "Salt"],
+    },
+    Cuisine {
+        name: "France",
+        code: "FRA",
+        recipes: 9590,
+        ingredients: 511,
+        overrepresented: &["Butter", "Egg", "Vanilla", "Milk", "Cream"],
+    },
+    Cuisine {
+        name: "Greece",
+        code: "GRC",
+        recipes: 5286,
+        ingredients: 405,
+        overrepresented: &["Olive", "Feta Cheese", "Oregano", "Lemon Juice", "Tomato"],
+    },
+    Cuisine {
+        name: "Indian Subcontinent",
+        code: "INSC",
+        recipes: 10531,
+        ingredients: 462,
+        overrepresented: &["Cayenne", "Turmeric", "Cumin", "Cilantro", "Ginger", "Garam Masala"],
+    },
+    Cuisine {
+        name: "Italy",
+        code: "ITA",
+        recipes: 23179,
+        ingredients: 506,
+        overrepresented: &["Olive", "Parmesan Cheese", "Basil", "Garlic", "Tomato"],
+    },
+    Cuisine {
+        name: "Japan",
+        code: "JPN",
+        recipes: 2884,
+        ingredients: 382,
+        overrepresented: &["Soybean Sauce", "Sesame", "Ginger", "Vinegar", "Sake"],
+    },
+    Cuisine {
+        name: "Korea",
+        code: "KOR",
+        recipes: 1228,
+        ingredients: 291,
+        overrepresented: &["Sesame", "Soybean Sauce", "Garlic", "Sugar", "Ginger"],
+    },
+    Cuisine {
+        name: "Mexico",
+        code: "MEX",
+        recipes: 16065,
+        ingredients: 467,
+        overrepresented: &["Tortilla", "Cilantro", "Lime", "Cumin", "Tomato"],
+    },
+    Cuisine {
+        name: "Middle East",
+        code: "ME",
+        recipes: 4858,
+        ingredients: 423,
+        overrepresented: &["Olive", "Lemon Juice", "Parsley", "Cumin", "Mint"],
+    },
+    Cuisine {
+        name: "Scandinavia",
+        code: "SCND",
+        recipes: 3026,
+        ingredients: 377,
+        overrepresented: &["Sugar", "Flour", "Butter", "Egg", "Milk"],
+    },
+    Cuisine {
+        name: "South America",
+        code: "SAM",
+        recipes: 7458,
+        ingredients: 457,
+        overrepresented: &["Beef", "Onion", "Pepper", "Garlic", "Mushroom"],
+    },
+    Cuisine {
+        name: "South East Asia",
+        code: "SEA",
+        recipes: 2523,
+        ingredients: 361,
+        overrepresented: &["Fish", "Sugar", "Soybean Sauce", "Garlic", "Lime"],
+    },
+    Cuisine {
+        name: "Spain",
+        code: "SP",
+        recipes: 4154,
+        ingredients: 413,
+        overrepresented: &["Olive", "Paprika", "Garlic", "Tomato", "Parsley"],
+    },
+    Cuisine {
+        name: "Thailand",
+        code: "THA",
+        recipes: 3795,
+        ingredients: 378,
+        overrepresented: &["Fish", "Lime", "Cilantro", "Coconut Milk", "Soybean Sauce"],
+    },
+    Cuisine {
+        name: "USA",
+        code: "USA",
+        recipes: 16026,
+        ingredients: 592,
+        overrepresented: &["Butter", "Sugar", "Vanilla", "Flour", "Mustard"],
+    },
+    Cuisine {
+        name: "Belgium-Netherlands",
+        code: "BN",
+        recipes: 1116,
+        ingredients: 323,
+        overrepresented: &["Butter", "Flour", "Egg", "Sugar", "Milk"],
+    },
+    Cuisine {
+        name: "Central America",
+        code: "CAM",
+        recipes: 470,
+        ingredients: 294,
+        overrepresented: &["Salt", "Tomato", "Onion", "Macaroni", "Celery"],
+    },
+    Cuisine {
+        name: "United Kingdom",
+        code: "UK",
+        recipes: 5380,
+        ingredients: 456,
+        overrepresented: &["Butter", "Flour", "Egg", "Sugar", "Milk"],
+    },
+];
+
+/// Number of cuisines.
+pub const CUISINE_COUNT: usize = 25;
+
+/// Total recipes across the 25 Table-I rows (158,460).
+///
+/// The paper's headline corpus size is 158,544 — the sum of the per-website
+/// counts in Section II. The 84-recipe discrepancy between the two published
+/// totals (recipes without a usable region annotation, presumably) is
+/// inherited here verbatim.
+pub fn table1_recipe_total() -> usize {
+    CUISINES.iter().map(|c| c.recipes).sum()
+}
+
+/// The paper's headline corpus size (sum of per-website counts).
+pub const HEADLINE_RECIPE_TOTAL: usize = 158_544;
+
+/// Table-I mean number of recipes per cuisine, as quoted in the paper
+/// ("the average number of recipes and ingredients compiled being 6338 and
+/// 421 respectively").
+pub fn table1_mean_recipes() -> f64 {
+    table1_recipe_total() as f64 / CUISINE_COUNT as f64
+}
+
+/// Table-I mean number of unique ingredients per cuisine.
+pub fn table1_mean_ingredients() -> f64 {
+    CUISINES.iter().map(|c| c.ingredients).sum::<usize>() as f64 / CUISINE_COUNT as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_five_cuisines() {
+        assert_eq!(CUISINES.len(), 25);
+        assert_eq!(CuisineId::all().count(), 25);
+    }
+
+    #[test]
+    fn codes_and_names_are_unique() {
+        let mut codes: Vec<&str> = CUISINES.iter().map(|c| c.code).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), 25);
+        let mut names: Vec<&str> = CUISINES.iter().map(|c| c.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 25);
+    }
+
+    #[test]
+    fn recipe_total_matches_table1_sum() {
+        assert_eq!(table1_recipe_total(), 158_460);
+    }
+
+    #[test]
+    fn mean_recipes_and_ingredients_match_paper_quotes() {
+        // Paper: "the average number of recipes and ingredients compiled
+        // being 6338 and 421 respectively".
+        assert_eq!(table1_mean_recipes().round() as i64, 6338);
+        assert_eq!(table1_mean_ingredients().round() as i64, 421);
+    }
+
+    #[test]
+    fn extremes_match_paper_quotes() {
+        // "The largest collection of recipes is from Italy (23179) whereas
+        // the lowest is from Central America (470)."
+        let max = CUISINES.iter().max_by_key(|c| c.recipes).unwrap();
+        assert_eq!(max.code, "ITA");
+        assert_eq!(max.recipes, 23_179);
+        let min = CUISINES.iter().min_by_key(|c| c.recipes).unwrap();
+        assert_eq!(min.code, "CAM");
+        assert_eq!(min.recipes, 470);
+    }
+
+    #[test]
+    fn insc_lists_six_overrepresented() {
+        let insc: CuisineId = "INSC".parse().unwrap();
+        assert_eq!(insc.info().overrepresented.len(), 6);
+        for c in CuisineId::all().filter(|&c| c.code() != "INSC") {
+            assert_eq!(c.info().overrepresented.len(), 5, "{}", c.code());
+        }
+    }
+
+    #[test]
+    fn parse_by_code_and_name() {
+        assert_eq!("ITA".parse::<CuisineId>().unwrap().name(), "Italy");
+        assert_eq!("italy".parse::<CuisineId>().unwrap().code(), "ITA");
+        assert_eq!(" usa ".parse::<CuisineId>().unwrap().code(), "USA");
+        assert!("Atlantis".parse::<CuisineId>().is_err());
+    }
+
+    #[test]
+    fn phi_is_ingredients_over_recipes() {
+        let ita: CuisineId = "ITA".parse().unwrap();
+        let phi = ita.info().phi();
+        assert!((phi - 506.0 / 23179.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_shows_code() {
+        let kor: CuisineId = "Korea".parse().unwrap();
+        assert_eq!(kor.to_string(), "KOR");
+    }
+
+    #[test]
+    fn all_overrepresented_ingredients_resolve_in_lexicon() {
+        let lex = cuisine_lexicon::Lexicon::standard();
+        for c in &CUISINES {
+            for name in c.overrepresented {
+                assert!(
+                    lex.resolve(name).is_some(),
+                    "{} overrepresented ingredient {:?} missing from lexicon",
+                    c.code,
+                    name
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,297 @@
+//! Corpus serialization: JSON-lines and a compact TSV format.
+//!
+//! JSONL is the interchange format (one JSON recipe object per line,
+//! self-describing, diff-friendly); TSV is the compact format for large
+//! corpora (`<cuisine-code>\t<ing>,<ing>,...` with canonical names).
+
+use std::io::{self, BufRead, Write};
+
+use serde::{Deserialize, Serialize};
+
+use cuisine_lexicon::Lexicon;
+
+use crate::corpus::Corpus;
+use crate::cuisine::CuisineId;
+use crate::recipe::Recipe;
+
+/// Wire form of a recipe in the JSONL format: cuisine code plus canonical
+/// ingredient names.
+#[derive(Debug, Serialize, Deserialize)]
+struct RecipeRecord {
+    cuisine: String,
+    ingredients: Vec<String>,
+}
+
+/// Errors arising while reading a corpus.
+#[derive(Debug)]
+pub enum CorpusReadError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Malformed JSON on the given 1-based line.
+    Json {
+        /// 1-based line number.
+        line: usize,
+        /// Underlying JSON parse error.
+        source: serde_json::Error,
+    },
+    /// Unknown cuisine code on the given 1-based line.
+    UnknownCuisine {
+        /// 1-based line number.
+        line: usize,
+        /// The unrecognized cuisine code.
+        code: String,
+    },
+    /// Ingredient mention that the lexicon cannot resolve.
+    UnknownIngredient {
+        /// 1-based line number.
+        line: usize,
+        /// The unresolvable mention.
+        mention: String,
+    },
+    /// A TSV line without the expected tab separator.
+    MalformedLine {
+        /// 1-based line number.
+        line: usize,
+    },
+}
+
+impl std::fmt::Display for CorpusReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CorpusReadError::Io(e) => write!(f, "I/O error: {e}"),
+            CorpusReadError::Json { line, source } => {
+                write!(f, "line {line}: malformed JSON: {source}")
+            }
+            CorpusReadError::UnknownCuisine { line, code } => {
+                write!(f, "line {line}: unknown cuisine code {code:?}")
+            }
+            CorpusReadError::UnknownIngredient { line, mention } => {
+                write!(f, "line {line}: unresolvable ingredient {mention:?}")
+            }
+            CorpusReadError::MalformedLine { line } => {
+                write!(f, "line {line}: expected '<cuisine>\\t<ingredients>'")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CorpusReadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CorpusReadError::Io(e) => Some(e),
+            CorpusReadError::Json { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for CorpusReadError {
+    fn from(e: io::Error) -> Self {
+        CorpusReadError::Io(e)
+    }
+}
+
+/// How to treat ingredient mentions the lexicon cannot resolve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnknownIngredientPolicy {
+    /// Drop the mention (the paper's behaviour for unmapped mentions).
+    Skip,
+    /// Fail the read with [`CorpusReadError::UnknownIngredient`].
+    Error,
+}
+
+/// Write a corpus as JSON lines.
+pub fn write_jsonl<W: Write>(corpus: &Corpus, lexicon: &Lexicon, mut w: W) -> io::Result<()> {
+    for r in corpus.recipes() {
+        let record = RecipeRecord {
+            cuisine: r.cuisine.code().to_string(),
+            ingredients: r
+                .ingredients()
+                .iter()
+                .map(|&id| lexicon.name(id).to_string())
+                .collect(),
+        };
+        serde_json::to_writer(&mut w, &record)?;
+        w.write_all(b"\n")?;
+    }
+    Ok(())
+}
+
+/// Read a corpus from JSON lines. Blank lines are skipped.
+pub fn read_jsonl<R: BufRead>(
+    r: R,
+    lexicon: &Lexicon,
+    policy: UnknownIngredientPolicy,
+) -> Result<Corpus, CorpusReadError> {
+    let mut recipes = Vec::new();
+    for (i, line) in r.lines().enumerate() {
+        let line = line?;
+        let lineno = i + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let record: RecipeRecord = serde_json::from_str(&line)
+            .map_err(|source| CorpusReadError::Json { line: lineno, source })?;
+        recipes.push(record_to_recipe(&record, lineno, lexicon, policy)?);
+    }
+    Ok(Corpus::new(recipes))
+}
+
+/// Write a corpus as TSV: `<code>\t<name>,<name>,...`.
+pub fn write_tsv<W: Write>(corpus: &Corpus, lexicon: &Lexicon, mut w: W) -> io::Result<()> {
+    for r in corpus.recipes() {
+        let names: Vec<&str> = r.ingredients().iter().map(|&id| lexicon.name(id)).collect();
+        writeln!(w, "{}\t{}", r.cuisine.code(), names.join(","))?;
+    }
+    Ok(())
+}
+
+/// Read a corpus from the TSV format. Blank lines and `#` comments are
+/// skipped.
+pub fn read_tsv<R: BufRead>(
+    r: R,
+    lexicon: &Lexicon,
+    policy: UnknownIngredientPolicy,
+) -> Result<Corpus, CorpusReadError> {
+    let mut recipes = Vec::new();
+    for (i, line) in r.lines().enumerate() {
+        let line = line?;
+        let lineno = i + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let (code, rest) = trimmed
+            .split_once('\t')
+            .ok_or(CorpusReadError::MalformedLine { line: lineno })?;
+        let record = RecipeRecord {
+            cuisine: code.to_string(),
+            ingredients: rest.split(',').map(|s| s.trim().to_string()).collect(),
+        };
+        recipes.push(record_to_recipe(&record, lineno, lexicon, policy)?);
+    }
+    Ok(Corpus::new(recipes))
+}
+
+fn record_to_recipe(
+    record: &RecipeRecord,
+    lineno: usize,
+    lexicon: &Lexicon,
+    policy: UnknownIngredientPolicy,
+) -> Result<Recipe, CorpusReadError> {
+    let cuisine: CuisineId = record.cuisine.parse().map_err(|_| {
+        CorpusReadError::UnknownCuisine { line: lineno, code: record.cuisine.clone() }
+    })?;
+    let mut ids = Vec::with_capacity(record.ingredients.len());
+    for mention in &record.ingredients {
+        match lexicon.resolve(mention) {
+            Some(id) => ids.push(id),
+            None => match policy {
+                UnknownIngredientPolicy::Skip => {}
+                UnknownIngredientPolicy::Error => {
+                    return Err(CorpusReadError::UnknownIngredient {
+                        line: lineno,
+                        mention: mention.clone(),
+                    })
+                }
+            },
+        }
+    }
+    Ok(Recipe::new(cuisine, ids))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuisine_lexicon::IngredientId;
+
+    fn small_corpus(lex: &Lexicon) -> Corpus {
+        let ids = |names: &[&str]| -> Vec<IngredientId> {
+            names.iter().map(|n| lex.resolve(n).unwrap()).collect()
+        };
+        Corpus::new(vec![
+            Recipe::new("ITA".parse().unwrap(), ids(&["Olive", "Garlic", "Tomato", "Basil"])),
+            Recipe::new("JPN".parse().unwrap(), ids(&["Soybean Sauce", "Ginger", "Sake"])),
+        ])
+    }
+
+    #[test]
+    fn jsonl_roundtrip_preserves_corpus() {
+        let lex = Lexicon::standard();
+        let corpus = small_corpus(lex);
+        let mut buf = Vec::new();
+        write_jsonl(&corpus, lex, &mut buf).unwrap();
+        let back = read_jsonl(buf.as_slice(), lex, UnknownIngredientPolicy::Error).unwrap();
+        assert_eq!(back.len(), corpus.len());
+        for (a, b) in corpus.recipes().iter().zip(back.recipes()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn tsv_roundtrip_preserves_corpus() {
+        let lex = Lexicon::standard();
+        let corpus = small_corpus(lex);
+        let mut buf = Vec::new();
+        write_tsv(&corpus, lex, &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.starts_with("ITA\t"), "{text}");
+        let back = read_tsv(buf.as_slice(), lex, UnknownIngredientPolicy::Error).unwrap();
+        assert_eq!(back.len(), 2);
+        for (a, b) in corpus.recipes().iter().zip(back.recipes()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn read_jsonl_skips_blank_lines() {
+        let lex = Lexicon::standard();
+        let input = "\n{\"cuisine\":\"ITA\",\"ingredients\":[\"Olive\"]}\n\n";
+        let c = read_jsonl(input.as_bytes(), lex, UnknownIngredientPolicy::Error).unwrap();
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn read_tsv_skips_comments() {
+        let lex = Lexicon::standard();
+        let input = "# comment\nITA\tOlive,Garlic\n";
+        let c = read_tsv(input.as_bytes(), lex, UnknownIngredientPolicy::Error).unwrap();
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.recipes()[0].size(), 2);
+    }
+
+    #[test]
+    fn unknown_cuisine_is_reported_with_line() {
+        let lex = Lexicon::standard();
+        let input = "{\"cuisine\":\"XYZ\",\"ingredients\":[\"Olive\"]}";
+        let err = read_jsonl(input.as_bytes(), lex, UnknownIngredientPolicy::Skip).unwrap_err();
+        match err {
+            CorpusReadError::UnknownCuisine { line, code } => {
+                assert_eq!(line, 1);
+                assert_eq!(code, "XYZ");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_ingredient_policy_skip_vs_error() {
+        let lex = Lexicon::standard();
+        let input = "ITA\tOlive,unobtainium\n";
+        let ok = read_tsv(input.as_bytes(), lex, UnknownIngredientPolicy::Skip).unwrap();
+        assert_eq!(ok.recipes()[0].size(), 1);
+        let err = read_tsv(input.as_bytes(), lex, UnknownIngredientPolicy::Error).unwrap_err();
+        assert!(matches!(err, CorpusReadError::UnknownIngredient { line: 1, .. }));
+    }
+
+    #[test]
+    fn malformed_json_and_tsv_are_reported() {
+        let lex = Lexicon::standard();
+        let err =
+            read_jsonl("not json".as_bytes(), lex, UnknownIngredientPolicy::Skip).unwrap_err();
+        assert!(matches!(err, CorpusReadError::Json { line: 1, .. }));
+        let err =
+            read_tsv("no-tab-here".as_bytes(), lex, UnknownIngredientPolicy::Skip).unwrap_err();
+        assert!(matches!(err, CorpusReadError::MalformedLine { line: 1 }));
+    }
+}

@@ -1,0 +1,34 @@
+//! # cuisine-data
+//!
+//! Data substrate of the cuisine-evolution workspace: the recipe data
+//! model, the registry of the paper's 25 world cuisines with their Table-I
+//! reference statistics, an indexed corpus store, corpus I/O (JSONL / TSV),
+//! and corpus validation.
+//!
+//! ```
+//! use cuisine_data::{Corpus, CuisineId, Recipe};
+//! use cuisine_lexicon::Lexicon;
+//!
+//! let lex = Lexicon::standard();
+//! let ita: CuisineId = "ITA".parse().unwrap();
+//! let (recipe, unresolved) =
+//!     Recipe::from_mentions(ita, ["olive oil", "garlic", "tomatoes", "basil"], lex);
+//! assert!(unresolved.is_empty());
+//! let corpus = Corpus::new(vec![recipe]);
+//! assert_eq!(corpus.recipe_count(ita), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod cuisine;
+pub mod io;
+pub mod recipe;
+pub mod source;
+pub mod transform;
+pub mod validate;
+
+pub use corpus::Corpus;
+pub use cuisine::{Cuisine, CuisineId, ParseCuisineError, CUISINES, CUISINE_COUNT};
+pub use recipe::{Recipe, RecipeId};
+pub use source::Source;

@@ -1,0 +1,195 @@
+//! The recipe data model.
+//!
+//! Throughout the paper a recipe is treated as a *set* of standardized
+//! ingredients annotated with a cuisine; cooking procedure and quantities
+//! play no role in the analysis. [`Recipe`] enforces the set property by
+//! storing a sorted, deduplicated ingredient list.
+
+use serde::{Deserialize, Serialize};
+
+use cuisine_lexicon::{Category, IngredientId, Lexicon};
+
+use crate::cuisine::CuisineId;
+
+/// Identifier of a recipe within a corpus.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct RecipeId(pub u32);
+
+impl RecipeId {
+    /// The id as a dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A recipe: a cuisine annotation plus a set of standardized ingredients.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Recipe {
+    /// The cuisine (region) this recipe belongs to.
+    pub cuisine: CuisineId,
+    /// Sorted, deduplicated ingredient ids.
+    ingredients: Vec<IngredientId>,
+}
+
+impl Recipe {
+    /// Build a recipe from ingredient ids; duplicates are removed and the
+    /// list is sorted, enforcing the set property.
+    pub fn new(cuisine: CuisineId, mut ingredients: Vec<IngredientId>) -> Self {
+        ingredients.sort_unstable();
+        ingredients.dedup();
+        Recipe { cuisine, ingredients }
+    }
+
+    /// Build a recipe by resolving raw ingredient mentions through the
+    /// lexicon's aliasing protocol. Unresolvable mentions are returned in
+    /// the second tuple element (the paper drops them).
+    pub fn from_mentions<'a>(
+        cuisine: CuisineId,
+        mentions: impl IntoIterator<Item = &'a str>,
+        lexicon: &Lexicon,
+    ) -> (Self, Vec<String>) {
+        let mut ids = Vec::new();
+        let mut unresolved = Vec::new();
+        for m in mentions {
+            match lexicon.resolve(m) {
+                Some(id) => ids.push(id),
+                None => unresolved.push(m.to_string()),
+            }
+        }
+        (Recipe::new(cuisine, ids), unresolved)
+    }
+
+    /// The ingredient set, sorted ascending by id.
+    pub fn ingredients(&self) -> &[IngredientId] {
+        &self.ingredients
+    }
+
+    /// Recipe size = number of distinct ingredients.
+    pub fn size(&self) -> usize {
+        self.ingredients.len()
+    }
+
+    /// Whether the recipe contains an ingredient.
+    pub fn contains(&self, id: IngredientId) -> bool {
+        self.ingredients.binary_search(&id).is_ok()
+    }
+
+    /// Number of ingredients from the given category, under the given
+    /// lexicon. This is the quantity boxplotted in Fig. 2.
+    pub fn category_count(&self, category: Category, lexicon: &Lexicon) -> usize {
+        self.ingredients
+            .iter()
+            .filter(|&&id| lexicon.category(id) == category)
+            .count()
+    }
+
+    /// Per-category ingredient counts as a dense 21-vector.
+    pub fn category_histogram(&self, lexicon: &Lexicon) -> [usize; Category::COUNT] {
+        let mut out = [0usize; Category::COUNT];
+        for &id in &self.ingredients {
+            out[lexicon.category(id).index()] += 1;
+        }
+        out
+    }
+
+    /// Replace ingredient `old` with `new`, preserving the set property.
+    ///
+    /// Returns `false` (and leaves the recipe unchanged) when `old` is
+    /// absent or `new` is already present — the mutation-skipping rule of
+    /// DESIGN.md interpretation note 4.
+    pub fn replace(&mut self, old: IngredientId, new: IngredientId) -> bool {
+        if old == new || self.contains(new) {
+            return false;
+        }
+        match self.ingredients.binary_search(&old) {
+            Ok(pos) => {
+                self.ingredients.remove(pos);
+                let insert_at = self.ingredients.partition_point(|&x| x < new);
+                self.ingredients.insert(insert_at, new);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(n: u16) -> IngredientId {
+        IngredientId(n)
+    }
+
+    #[test]
+    fn new_sorts_and_dedups() {
+        let r = Recipe::new(CuisineId(0), vec![id(5), id(1), id(5), id(3)]);
+        assert_eq!(r.ingredients(), &[id(1), id(3), id(5)]);
+        assert_eq!(r.size(), 3);
+    }
+
+    #[test]
+    fn contains_uses_set_semantics() {
+        let r = Recipe::new(CuisineId(0), vec![id(2), id(4)]);
+        assert!(r.contains(id(2)));
+        assert!(!r.contains(id(3)));
+    }
+
+    #[test]
+    fn replace_swaps_and_keeps_sorted() {
+        let mut r = Recipe::new(CuisineId(0), vec![id(1), id(5), id(9)]);
+        assert!(r.replace(id(5), id(7)));
+        assert_eq!(r.ingredients(), &[id(1), id(7), id(9)]);
+        assert_eq!(r.size(), 3);
+    }
+
+    #[test]
+    fn replace_refuses_duplicates_and_missing() {
+        let mut r = Recipe::new(CuisineId(0), vec![id(1), id(5)]);
+        assert!(!r.replace(id(1), id(5)), "would create duplicate");
+        assert!(!r.replace(id(9), id(2)), "old not present");
+        assert!(!r.replace(id(1), id(1)), "no-op replacement");
+        assert_eq!(r.ingredients(), &[id(1), id(5)]);
+    }
+
+    #[test]
+    fn from_mentions_resolves_and_reports_unknown() {
+        let lex = Lexicon::standard();
+        let (r, unresolved) = Recipe::from_mentions(
+            CuisineId(11),
+            ["2 cups flour", "3 large eggs", "unobtainium", "butter"],
+            lex,
+        );
+        assert_eq!(r.size(), 3);
+        assert_eq!(unresolved, vec!["unobtainium".to_string()]);
+    }
+
+    #[test]
+    fn from_mentions_merges_aliased_duplicates() {
+        let lex = Lexicon::standard();
+        // "soy sauce" and "Soybean Sauce" are the same entity.
+        let (r, unresolved) =
+            Recipe::from_mentions(CuisineId(5), ["soy sauce", "Soybean Sauce"], lex);
+        assert!(unresolved.is_empty());
+        assert_eq!(r.size(), 1);
+    }
+
+    #[test]
+    fn category_counts_match_lexicon() {
+        let lex = Lexicon::standard();
+        let (r, _) = Recipe::from_mentions(
+            CuisineId(10),
+            ["cumin", "turmeric", "cilantro", "chicken"],
+            lex,
+        );
+        assert_eq!(r.category_count(Category::Spice, lex), 2);
+        assert_eq!(r.category_count(Category::Herb, lex), 1);
+        assert_eq!(r.category_count(Category::Meat, lex), 1);
+        assert_eq!(r.category_count(Category::Dairy, lex), 0);
+        let hist = r.category_histogram(lex);
+        assert_eq!(hist.iter().sum::<usize>(), r.size());
+        assert_eq!(hist[Category::Spice.index()], 2);
+    }
+}

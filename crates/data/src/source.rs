@@ -1,0 +1,169 @@
+//! The nine recipe-aggregator sources of Section II.
+//!
+//! "We compiled a total of 158544 recipes from the following recipe
+//! aggregator websites: Genius Kitchen (101226), Allrecipes (16131), Food
+//! Network (15771), Epicurious (11022), Taste AU (7633), The Spruce
+//! (3830), TarlaDalal (2538), My Korean Kitchen (198), and Kraft Recipes
+//! (195)."
+//!
+//! The per-source counts sum to the paper's headline 158,544 — which
+//! exceeds the Table-I per-cuisine sum (158,460) by 84, the recipes that
+//! evidently lacked a usable region annotation. Both constants are pinned
+//! here.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// One of the paper's nine recipe-aggregator websites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Source {
+    /// geniuskitchen.com (formerly food.com).
+    GeniusKitchen,
+    /// allrecipes.com.
+    Allrecipes,
+    /// foodnetwork.com.
+    FoodNetwork,
+    /// epicurious.com.
+    Epicurious,
+    /// taste.com.au.
+    TasteAu,
+    /// thespruce.com.
+    TheSpruce,
+    /// tarladalal.com.
+    TarlaDalal,
+    /// mykoreankitchen.com.
+    MyKoreanKitchen,
+    /// kraftrecipes.com.
+    KraftRecipes,
+}
+
+impl Source {
+    /// All nine sources, in the paper's order (descending recipe count).
+    pub const ALL: [Source; 9] = [
+        Source::GeniusKitchen,
+        Source::Allrecipes,
+        Source::FoodNetwork,
+        Source::Epicurious,
+        Source::TasteAu,
+        Source::TheSpruce,
+        Source::TarlaDalal,
+        Source::MyKoreanKitchen,
+        Source::KraftRecipes,
+    ];
+
+    /// Display name as used in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Source::GeniusKitchen => "Genius Kitchen",
+            Source::Allrecipes => "Allrecipes",
+            Source::FoodNetwork => "Food Network",
+            Source::Epicurious => "Epicurious",
+            Source::TasteAu => "Taste AU",
+            Source::TheSpruce => "The Spruce",
+            Source::TarlaDalal => "TarlaDalal",
+            Source::MyKoreanKitchen => "My Korean Kitchen",
+            Source::KraftRecipes => "Kraft Recipes",
+        }
+    }
+
+    /// Domain name as listed in Section II.
+    pub fn domain(self) -> &'static str {
+        match self {
+            Source::GeniusKitchen => "geniuskitchen.com",
+            Source::Allrecipes => "allrecipes.com",
+            Source::FoodNetwork => "foodnetwork.com",
+            Source::Epicurious => "epicurious.com",
+            Source::TasteAu => "taste.com.au",
+            Source::TheSpruce => "thespruce.com",
+            Source::TarlaDalal => "tarladalal.com",
+            Source::MyKoreanKitchen => "mykoreankitchen.com",
+            Source::KraftRecipes => "kraftrecipes.com",
+        }
+    }
+
+    /// Number of recipes the paper compiled from this source.
+    pub fn recipes(self) -> usize {
+        match self {
+            Source::GeniusKitchen => 101_226,
+            Source::Allrecipes => 16_131,
+            Source::FoodNetwork => 15_771,
+            Source::Epicurious => 11_022,
+            Source::TasteAu => 7_633,
+            Source::TheSpruce => 3_830,
+            Source::TarlaDalal => 2_538,
+            Source::MyKoreanKitchen => 198,
+            Source::KraftRecipes => 195,
+        }
+    }
+
+    /// Share of the headline corpus contributed by this source.
+    pub fn share(self) -> f64 {
+        self.recipes() as f64 / headline_total() as f64
+    }
+}
+
+impl fmt::Display for Source {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Sum of the per-source counts — the paper's headline corpus size.
+pub fn headline_total() -> usize {
+    Source::ALL.iter().map(|s| s.recipes()).sum()
+}
+
+/// The 84-recipe gap between the headline total and the Table-I per-cuisine
+/// sum: recipes without a usable region annotation.
+pub fn unannotated_count() -> usize {
+    headline_total() - crate::cuisine::table1_recipe_total()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_source_counts_sum_to_headline() {
+        assert_eq!(headline_total(), 158_544);
+        assert_eq!(headline_total(), crate::cuisine::HEADLINE_RECIPE_TOTAL);
+    }
+
+    #[test]
+    fn sources_are_in_descending_count_order() {
+        for w in Source::ALL.windows(2) {
+            assert!(w[0].recipes() >= w[1].recipes());
+        }
+    }
+
+    #[test]
+    fn unannotated_gap_is_84() {
+        assert_eq!(unannotated_count(), 84);
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let total: f64 = Source::ALL.iter().map(|s| s.share()).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        // Genius Kitchen dominates, as in the paper.
+        assert!(Source::GeniusKitchen.share() > 0.6);
+    }
+
+    #[test]
+    fn names_and_domains_are_unique() {
+        let mut names: Vec<&str> = Source::ALL.iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 9);
+        let mut domains: Vec<&str> = Source::ALL.iter().map(|s| s.domain()).collect();
+        domains.sort_unstable();
+        domains.dedup();
+        assert_eq!(domains.len(), 9);
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(Source::TasteAu.to_string(), "Taste AU");
+    }
+}

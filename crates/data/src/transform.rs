@@ -1,0 +1,151 @@
+//! Corpus transformations: subsampling, filtering, and merging.
+//!
+//! The ablation experiments subsample corpora to study how statistic
+//! stability depends on corpus size (the paper's observation that sparsely
+//! curated cuisines are the most distinct), and merge evolved pools back
+//! into corpora for downstream analysis.
+
+use rand::Rng;
+
+use crate::corpus::Corpus;
+use crate::cuisine::CuisineId;
+use crate::recipe::Recipe;
+
+/// Uniformly subsample `fraction` of each cuisine's recipes (at least one
+/// per populated cuisine), preserving per-cuisine proportions.
+///
+/// # Panics
+/// Panics when `fraction` is outside `(0, 1]`.
+pub fn subsample<R: Rng + ?Sized>(corpus: &Corpus, fraction: f64, rng: &mut R) -> Corpus {
+    assert!(
+        fraction > 0.0 && fraction <= 1.0,
+        "fraction must be in (0, 1], got {fraction}"
+    );
+    let mut recipes = Vec::new();
+    for cuisine in CuisineId::all() {
+        let ids = corpus.recipe_ids_in(cuisine);
+        if ids.is_empty() {
+            continue;
+        }
+        let k = ((ids.len() as f64 * fraction).round() as usize).clamp(1, ids.len());
+        let picks =
+            cuisine_stats::sampling::sample_without_replacement(rng, ids.len(), k);
+        for p in picks {
+            recipes.push(corpus.recipe(ids[p]).clone());
+        }
+    }
+    Corpus::new(recipes)
+}
+
+/// Keep only the recipes of the given cuisines.
+pub fn filter_cuisines(corpus: &Corpus, keep: &[CuisineId]) -> Corpus {
+    let recipes: Vec<Recipe> = corpus
+        .recipes()
+        .iter()
+        .filter(|r| keep.contains(&r.cuisine))
+        .cloned()
+        .collect();
+    Corpus::new(recipes)
+}
+
+/// Keep only recipes whose size lies in `[min, max]`.
+pub fn filter_sizes(corpus: &Corpus, min: usize, max: usize) -> Corpus {
+    let recipes: Vec<Recipe> = corpus
+        .recipes()
+        .iter()
+        .filter(|r| r.size() >= min && r.size() <= max)
+        .cloned()
+        .collect();
+    Corpus::new(recipes)
+}
+
+/// Merge corpora into one (recipes concatenated in input order).
+pub fn merge(corpora: &[&Corpus]) -> Corpus {
+    let recipes: Vec<Recipe> = corpora
+        .iter()
+        .flat_map(|c| c.recipes().iter().cloned())
+        .collect();
+    Corpus::new(recipes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuisine_lexicon::IngredientId;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn id(n: u16) -> IngredientId {
+        IngredientId(n)
+    }
+
+    fn corpus() -> Corpus {
+        let mut recipes = Vec::new();
+        for i in 0..100u16 {
+            recipes.push(Recipe::new(CuisineId(0), vec![id(i), id(i + 1), id(i + 2)]));
+        }
+        for i in 0..50u16 {
+            recipes.push(Recipe::new(CuisineId(1), vec![id(i), id(i + 1)]));
+        }
+        Corpus::new(recipes)
+    }
+
+    #[test]
+    fn subsample_preserves_proportions() {
+        let c = corpus();
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = subsample(&c, 0.5, &mut rng);
+        assert_eq!(s.recipe_count(CuisineId(0)), 50);
+        assert_eq!(s.recipe_count(CuisineId(1)), 25);
+    }
+
+    #[test]
+    fn subsample_keeps_at_least_one() {
+        let c = corpus();
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = subsample(&c, 0.001, &mut rng);
+        assert_eq!(s.recipe_count(CuisineId(0)), 1);
+        assert_eq!(s.recipe_count(CuisineId(1)), 1);
+    }
+
+    #[test]
+    fn subsample_full_fraction_is_permutation() {
+        let c = corpus();
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = subsample(&c, 1.0, &mut rng);
+        assert_eq!(s.len(), c.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction must be in")]
+    fn subsample_rejects_zero() {
+        let c = corpus();
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = subsample(&c, 0.0, &mut rng);
+    }
+
+    #[test]
+    fn filter_cuisines_keeps_only_requested() {
+        let c = corpus();
+        let f = filter_cuisines(&c, &[CuisineId(1)]);
+        assert_eq!(f.recipe_count(CuisineId(0)), 0);
+        assert_eq!(f.recipe_count(CuisineId(1)), 50);
+    }
+
+    #[test]
+    fn filter_sizes_bounds_recipes() {
+        let c = corpus();
+        let f = filter_sizes(&c, 3, 3);
+        assert_eq!(f.len(), 100, "only the size-3 recipes of cuisine 0");
+        assert!(f.recipes().iter().all(|r| r.size() == 3));
+    }
+
+    #[test]
+    fn merge_concatenates() {
+        let a = corpus();
+        let b = filter_cuisines(&a, &[CuisineId(1)]);
+        let m = merge(&[&a, &b]);
+        assert_eq!(m.len(), a.len() + b.len());
+        assert_eq!(m.recipe_count(CuisineId(1)), 100);
+    }
+}

@@ -1,0 +1,183 @@
+//! Corpus sanity checks used by the experiment harness before analysis.
+
+use cuisine_lexicon::Lexicon;
+use serde::{Deserialize, Serialize};
+
+use crate::corpus::Corpus;
+use crate::cuisine::CuisineId;
+
+/// A single validation finding.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Finding {
+    /// The corpus has no recipes at all.
+    EmptyCorpus,
+    /// A cuisine expected to be populated has no recipes.
+    EmptyCuisine {
+        /// Region code.
+        code: String,
+    },
+    /// A recipe has fewer than `min` or more than `max` ingredients,
+    /// violating the paper's observed bounds (Fig. 1: sizes in [2, 38]).
+    SizeOutOfBounds {
+        /// Region code.
+        code: String,
+        /// Offending recipe size.
+        size: usize,
+        /// Number of recipes at this size.
+        count: usize,
+    },
+    /// A recipe references an ingredient id outside the lexicon.
+    DanglingIngredient {
+        /// Region code.
+        code: String,
+        /// The out-of-range id value.
+        id: u16,
+    },
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Finding::EmptyCorpus => write!(f, "corpus contains no recipes"),
+            Finding::EmptyCuisine { code } => write!(f, "cuisine {code} has no recipes"),
+            Finding::SizeOutOfBounds { code, size, count } => {
+                write!(f, "cuisine {code}: {count} recipe(s) of size {size} outside bounds")
+            }
+            Finding::DanglingIngredient { code, id } => {
+                write!(f, "cuisine {code}: ingredient id {id} outside the lexicon")
+            }
+        }
+    }
+}
+
+/// Validation options.
+#[derive(Debug, Clone, Copy)]
+pub struct ValidationConfig {
+    /// Minimum legal recipe size (paper: 2).
+    pub min_size: usize,
+    /// Maximum legal recipe size (paper: 38).
+    pub max_size: usize,
+    /// Require all 25 cuisines to be populated.
+    pub require_all_cuisines: bool,
+}
+
+impl Default for ValidationConfig {
+    fn default() -> Self {
+        ValidationConfig { min_size: 2, max_size: 38, require_all_cuisines: false }
+    }
+}
+
+/// Validate a corpus against the lexicon and the paper's structural
+/// expectations. Returns the (possibly empty) list of findings.
+pub fn validate(corpus: &Corpus, lexicon: &Lexicon, config: &ValidationConfig) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    if corpus.is_empty() {
+        findings.push(Finding::EmptyCorpus);
+        return findings;
+    }
+    for cuisine in CuisineId::all() {
+        let code = cuisine.code().to_string();
+        if corpus.recipe_count(cuisine) == 0 {
+            if config.require_all_cuisines {
+                findings.push(Finding::EmptyCuisine { code });
+            }
+            continue;
+        }
+        // Aggregate out-of-bounds sizes so one bad generator parameter does
+        // not produce thousands of findings.
+        let mut bad_sizes: std::collections::BTreeMap<usize, usize> = Default::default();
+        let mut dangling: Vec<u16> = Vec::new();
+        for r in corpus.recipes_in(cuisine) {
+            let s = r.size();
+            if s < config.min_size || s > config.max_size {
+                *bad_sizes.entry(s).or_default() += 1;
+            }
+            for ing in r.ingredients() {
+                if ing.index() >= lexicon.len() {
+                    dangling.push(ing.0);
+                }
+            }
+        }
+        for (size, count) in bad_sizes {
+            findings.push(Finding::SizeOutOfBounds { code: code.clone(), size, count });
+        }
+        dangling.sort_unstable();
+        dangling.dedup();
+        for id in dangling {
+            findings.push(Finding::DanglingIngredient { code: code.clone(), id });
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recipe::Recipe;
+    use cuisine_lexicon::IngredientId;
+
+    fn ids(lex: &Lexicon, names: &[&str]) -> Vec<IngredientId> {
+        names.iter().map(|n| lex.resolve(n).unwrap()).collect()
+    }
+
+    #[test]
+    fn clean_corpus_has_no_findings() {
+        let lex = Lexicon::standard();
+        let c = Corpus::new(vec![Recipe::new(
+            CuisineId(0),
+            ids(lex, &["Cumin", "Olive", "Cilantro"]),
+        )]);
+        assert!(validate(&c, lex, &ValidationConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn empty_corpus_flagged() {
+        let lex = Lexicon::standard();
+        let findings = validate(&Corpus::new(vec![]), lex, &ValidationConfig::default());
+        assert_eq!(findings, vec![Finding::EmptyCorpus]);
+    }
+
+    #[test]
+    fn undersized_recipes_flagged_and_aggregated() {
+        let lex = Lexicon::standard();
+        let c = Corpus::new(vec![
+            Recipe::new(CuisineId(0), ids(lex, &["Cumin"])),
+            Recipe::new(CuisineId(0), ids(lex, &["Olive"])),
+        ]);
+        let findings = validate(&c, lex, &ValidationConfig::default());
+        assert_eq!(findings.len(), 1);
+        match &findings[0] {
+            Finding::SizeOutOfBounds { size, count, .. } => {
+                assert_eq!(*size, 1);
+                assert_eq!(*count, 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dangling_ingredient_flagged() {
+        let lex = Lexicon::standard();
+        let c = Corpus::new(vec![Recipe::new(
+            CuisineId(0),
+            vec![IngredientId(60_000), IngredientId(60_001)],
+        )]);
+        let findings = validate(&c, lex, &ValidationConfig::default());
+        assert!(findings
+            .iter()
+            .any(|f| matches!(f, Finding::DanglingIngredient { id: 60_000, .. })));
+    }
+
+    #[test]
+    fn missing_cuisines_only_with_strict_config() {
+        let lex = Lexicon::standard();
+        let c = Corpus::new(vec![Recipe::new(
+            CuisineId(0),
+            ids(lex, &["Cumin", "Olive"]),
+        )]);
+        assert!(validate(&c, lex, &ValidationConfig::default()).is_empty());
+        let strict = ValidationConfig { require_all_cuisines: true, ..Default::default() };
+        let findings = validate(&c, lex, &strict);
+        assert_eq!(findings.len(), 24, "24 empty cuisines flagged");
+    }
+}

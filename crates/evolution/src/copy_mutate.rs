@@ -1,0 +1,285 @@
+//! The copy-mutate engine — Algorithm 1 with the three replacement
+//! policies (CM-R, CM-C, CM-M).
+
+use cuisine_data::Recipe;
+use cuisine_lexicon::Lexicon;
+use rand::{Rng, RngExt};
+
+use crate::fitness::FitnessTable;
+use crate::model::{CuisineSetup, ModelKind, ModelParams, SizeMode};
+use crate::pool::PoolState;
+
+/// Run one replicate of a copy-mutate model (CM-R / CM-C / CM-M).
+///
+/// Returns the full evolved recipe pool of `setup.target_recipes` recipes
+/// (initial pool included), per the paper's accounting: "The total number
+/// of recipes evolved in this manner is equal to the recipe count in the
+/// empirical data minus the size of the initial recipe pool."
+///
+/// # Panics
+/// Panics when called with [`ModelKind::Null`] (see
+/// [`crate::null_model::run_null`]) or with an empty ingredient list.
+pub fn run_copy_mutate<R: Rng + ?Sized>(
+    kind: ModelKind,
+    params: &ModelParams,
+    setup: &CuisineSetup,
+    lexicon: &Lexicon,
+    rng: &mut R,
+) -> Vec<Recipe> {
+    assert!(kind != ModelKind::Null, "use run_null for the null model");
+    let fitness = FitnessTable::sample(lexicon.len(), rng);
+    run_copy_mutate_with_fitness(kind, params, setup, lexicon, &fitness, rng)
+}
+
+/// [`run_copy_mutate`] with an externally supplied fitness table (for
+/// ablations with controlled fitness).
+pub fn run_copy_mutate_with_fitness<R: Rng + ?Sized>(
+    kind: ModelKind,
+    params: &ModelParams,
+    setup: &CuisineSetup,
+    lexicon: &Lexicon,
+    fitness: &FitnessTable,
+    rng: &mut R,
+) -> Vec<Recipe> {
+    assert!(kind != ModelKind::Null, "use run_null for the null model");
+    let n0 = params.resolve_n0(setup.phi).min(setup.target_recipes);
+    let size = initial_size(params, setup, rng);
+    let mut state = PoolState::initialize(
+        &setup.ingredients,
+        params.m,
+        n0,
+        size,
+        setup.cuisine,
+        lexicon,
+        rng,
+    );
+
+    // Evolve until the pool reaches the empirical recipe count. Pool-growth
+    // iterations do not add recipes (DESIGN.md interpretation note 2).
+    while state.n() < setup.target_recipes {
+        if state.partial() >= setup.phi || state.master_remaining() == 0 {
+            let idx = state.pick_recipe(rng);
+            let mut r = state.clone_recipe(idx);
+            mutate(&mut r, kind, params.mutations, &state, lexicon, fitness, rng);
+            state.push_recipe(r);
+        } else {
+            state.grow(rng, lexicon);
+        }
+    }
+    state.into_recipes()
+}
+
+/// Initial recipe size under the configured size mode.
+pub(crate) fn initial_size<R: Rng + ?Sized>(
+    params: &ModelParams,
+    setup: &CuisineSetup,
+    rng: &mut R,
+) -> usize {
+    match &params.size_mode {
+        SizeMode::Fixed => setup.rounded_size(),
+        SizeMode::Empirical(sizes) if !sizes.is_empty() => {
+            sizes[rng.random_range(0..sizes.len())]
+        }
+        SizeMode::Empirical(_) => setup.rounded_size(),
+    }
+}
+
+/// Steps 3-4: attempt `m_mut` mutations on a copied recipe.
+fn mutate<R: Rng + ?Sized>(
+    recipe: &mut Recipe,
+    kind: ModelKind,
+    m_mut: usize,
+    state: &PoolState,
+    lexicon: &Lexicon,
+    fitness: &FitnessTable,
+    rng: &mut R,
+) {
+    for _ in 0..m_mut {
+        if recipe.size() == 0 {
+            return;
+        }
+        // Sample an ingredient i from r.
+        let i = recipe.ingredients()[rng.random_range(0..recipe.size())];
+        // Sample a replacement j per the policy.
+        let j = match kind {
+            ModelKind::CmR => Some(state.pick_active(rng)),
+            ModelKind::CmC => state.pick_active_in_category(rng, lexicon.category(i)),
+            ModelKind::CmM => {
+                // "half the time the replacement ingredient j is chosen
+                // from the same category ... and otherwise it is sampled
+                // from all the available ingredients."
+                if rng.random::<bool>() {
+                    state.pick_active_in_category(rng, lexicon.category(i))
+                } else {
+                    Some(state.pick_active(rng))
+                }
+            }
+            ModelKind::Null => unreachable!("null model never mutates"),
+        };
+        let Some(j) = j else { continue };
+        // "if the fitness of j is greater than that of i, the former
+        // replaces the latter" — skipped when j is already present, which
+        // would collapse the recipe set (interpretation note 4).
+        if fitness.fitness(j) > fitness.fitness(i) {
+            recipe.replace(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuisine_data::CuisineId;
+    use cuisine_lexicon::IngredientId;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(n_ingredients: usize, target: usize) -> CuisineSetup {
+        let lex = Lexicon::standard();
+        let ingredients: Vec<IngredientId> = lex.ids().take(n_ingredients).collect();
+        let phi = n_ingredients as f64 / target as f64;
+        CuisineSetup {
+            cuisine: CuisineId(0),
+            ingredients,
+            mean_size: 9.0,
+            target_recipes: target,
+            phi,
+            empirical_sizes: vec![7, 9, 11],
+        }
+    }
+
+    #[test]
+    fn produces_exactly_target_recipes() {
+        let lex = Lexicon::standard();
+        let s = setup(150, 400);
+        let mut rng = StdRng::seed_from_u64(1);
+        for kind in [ModelKind::CmR, ModelKind::CmC, ModelKind::CmM] {
+            let params = ModelParams::paper(kind);
+            let recipes = run_copy_mutate(kind, &params, &s, lex, &mut rng);
+            assert_eq!(recipes.len(), 400, "{kind}");
+        }
+    }
+
+    #[test]
+    fn recipes_preserve_fixed_size() {
+        let lex = Lexicon::standard();
+        let s = setup(150, 300);
+        let mut rng = StdRng::seed_from_u64(2);
+        let recipes =
+            run_copy_mutate(ModelKind::CmR, &ModelParams::paper(ModelKind::CmR), &s, lex, &mut rng);
+        assert!(recipes.iter().all(|r| r.size() == 9), "mutation preserves recipe size");
+    }
+
+    #[test]
+    fn recipes_are_sets_from_cuisine_ingredients() {
+        let lex = Lexicon::standard();
+        let s = setup(120, 250);
+        let allowed: std::collections::HashSet<_> = s.ingredients.iter().copied().collect();
+        let mut rng = StdRng::seed_from_u64(3);
+        let recipes =
+            run_copy_mutate(ModelKind::CmM, &ModelParams::paper(ModelKind::CmM), &s, lex, &mut rng);
+        for r in &recipes {
+            let mut seen = std::collections::HashSet::new();
+            for ing in r.ingredients() {
+                assert!(allowed.contains(ing), "foreign ingredient");
+                assert!(seen.insert(*ing), "duplicate ingredient in a recipe");
+            }
+        }
+    }
+
+    #[test]
+    fn empirical_size_mode_varies_sizes() {
+        let lex = Lexicon::standard();
+        let s = setup(150, 300);
+        let params = ModelParams {
+            size_mode: SizeMode::Empirical(vec![5, 9, 13]),
+            ..ModelParams::paper(ModelKind::CmR)
+        };
+        let mut rng = StdRng::seed_from_u64(4);
+        let recipes = run_copy_mutate(ModelKind::CmR, &params, &s, lex, &mut rng);
+        // Initial size is drawn once per replicate; over many seeds sizes
+        // vary. For a single replicate just check it's one of the samples.
+        assert!(recipes.iter().all(|r| [5usize, 9, 13].contains(&r.size())));
+    }
+
+    #[test]
+    fn cmc_replacement_preserves_category_histogram() {
+        let lex = Lexicon::standard();
+        let s = setup(200, 120);
+        let mut rng = StdRng::seed_from_u64(5);
+        let recipes =
+            run_copy_mutate(ModelKind::CmC, &ModelParams::paper(ModelKind::CmC), &s, lex, &mut rng);
+        // Under CM-C every replacement stays within category, so the
+        // category histogram of each evolved recipe is reachable from some
+        // initial recipe — strongest easily-checkable invariant: histogram
+        // totals match recipe sizes.
+        for r in &recipes {
+            let h = r.category_histogram(lex);
+            assert_eq!(h.iter().sum::<usize>(), r.size());
+        }
+    }
+
+    #[test]
+    fn mutation_moves_toward_higher_fitness() {
+        let lex = Lexicon::standard();
+        let s = setup(100, 50);
+        let mut rng = StdRng::seed_from_u64(6);
+        // Deterministic fitness = ingredient id (higher id, higher fitness).
+        let values: Vec<f64> = (0..lex.len()).map(|i| i as f64 / lex.len() as f64).collect();
+        let fitness = FitnessTable::from_values(values);
+        let params = ModelParams { mutations: 50, ..ModelParams::paper(ModelKind::CmR) };
+        let recipes =
+            run_copy_mutate_with_fitness(ModelKind::CmR, &params, &s, lex, &fitness, &mut rng);
+        // With heavy mutation pressure, late recipes should have higher
+        // mean ingredient id than the global mean of the active pool.
+        let late_mean: f64 = recipes
+            .iter()
+            .rev()
+            .take(10)
+            .flat_map(|r| r.ingredients().iter().map(|i| i.0 as f64))
+            .sum::<f64>()
+            / (10.0 * 9.0);
+        let early_mean: f64 = recipes
+            .iter()
+            .take(10)
+            .flat_map(|r| r.ingredients().iter().map(|i| i.0 as f64))
+            .sum::<f64>()
+            / (10.0 * 9.0);
+        assert!(
+            late_mean > early_mean,
+            "fitness pressure should raise ids: early {early_mean} late {late_mean}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "use run_null")]
+    fn null_kind_is_rejected() {
+        let lex = Lexicon::standard();
+        let s = setup(50, 20);
+        let mut rng = StdRng::seed_from_u64(7);
+        let _ = run_copy_mutate(ModelKind::Null, &ModelParams::paper(ModelKind::Null), &s, lex, &mut rng);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let lex = Lexicon::standard();
+        let s = setup(100, 150);
+        let run = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            run_copy_mutate(ModelKind::CmR, &ModelParams::paper(ModelKind::CmR), &s, lex, &mut rng)
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11), run(12));
+    }
+
+    #[test]
+    fn target_smaller_than_n0_yields_target() {
+        let lex = Lexicon::standard();
+        // phi = 50/5 = 10 -> n0 = 20/10 = 2, but clamp to target anyway.
+        let s = setup(50, 5);
+        let mut rng = StdRng::seed_from_u64(8);
+        let recipes =
+            run_copy_mutate(ModelKind::CmR, &ModelParams::paper(ModelKind::CmR), &s, lex, &mut rng);
+        assert_eq!(recipes.len(), 5);
+    }
+}

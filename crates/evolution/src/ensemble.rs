@@ -1,0 +1,226 @@
+//! Parallel replicate ensembles.
+//!
+//! "For normalization purposes, we create 100 such sets of random
+//! copy-mutate recipes and study the aggregated statistics." Replicates
+//! are embarrassingly parallel; each draws an independent, deterministic
+//! sub-seed so results are identical regardless of thread count.
+
+use cuisine_data::Recipe;
+use cuisine_lexicon::Lexicon;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::copy_mutate::run_copy_mutate;
+use crate::model::{CuisineSetup, ModelKind, ModelParams};
+use crate::null_model::run_null;
+
+/// Ensemble configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EnsembleConfig {
+    /// Number of replicate runs (paper: 100).
+    pub replicates: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Worker threads; `None` = available parallelism.
+    pub threads: Option<usize>,
+}
+
+impl Default for EnsembleConfig {
+    fn default() -> Self {
+        EnsembleConfig { replicates: 100, seed: 0x00E5_017E, threads: None }
+    }
+}
+
+/// Run one replicate of any model.
+pub fn run_replicate(
+    kind: ModelKind,
+    params: &ModelParams,
+    setup: &CuisineSetup,
+    lexicon: &Lexicon,
+    rng: &mut StdRng,
+) -> Vec<Recipe> {
+    match kind {
+        ModelKind::Null => run_null(params, setup, lexicon, rng),
+        _ => run_copy_mutate(kind, params, setup, lexicon, rng),
+    }
+}
+
+/// Deterministic sub-seed for replicate `r` under master seed `seed`.
+/// (SplitMix64 finalizer over the pair.)
+pub fn replicate_seed(seed: u64, replicate: usize) -> u64 {
+    let mut z = seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(replicate as u64 + 1));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Run `config.replicates` replicates in parallel, mapping each replicate's
+/// recipe pool through `map` (so large pools need not be kept alive).
+/// Results are returned in replicate order.
+pub fn run_ensemble_map<T, F>(
+    kind: ModelKind,
+    params: &ModelParams,
+    setup: &CuisineSetup,
+    lexicon: &Lexicon,
+    config: &EnsembleConfig,
+    map: F,
+) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Vec<Recipe>) -> T + Sync,
+{
+    assert!(config.replicates > 0, "need at least one replicate");
+    let threads = config
+        .threads
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        })
+        .clamp(1, config.replicates);
+
+    let mut out: Vec<Option<T>> = (0..config.replicates).map(|_| None).collect();
+    let chunks: Vec<(usize, &mut [Option<T>])> = {
+        // Round-robin would complicate write-back; contiguous chunks keep
+        // the unsafe-free split simple. Seeds depend only on the replicate
+        // index, so determinism is unaffected.
+        let base = config.replicates / threads;
+        let extra = config.replicates % threads;
+        let mut rest: &mut [Option<T>] = &mut out;
+        let mut start = 0;
+        let mut acc = Vec::with_capacity(threads);
+        for t in 0..threads {
+            let len = base + usize::from(t < extra);
+            let (head, tail) = rest.split_at_mut(len);
+            acc.push((start, head));
+            start += len;
+            rest = tail;
+        }
+        acc
+    };
+
+    std::thread::scope(|scope| {
+        for (start, slots) in chunks {
+            let map = &map;
+            scope.spawn(move || {
+                for (offset, slot) in slots.iter_mut().enumerate() {
+                    let r = start + offset;
+                    let mut rng = StdRng::seed_from_u64(replicate_seed(config.seed, r));
+                    let recipes = run_replicate(kind, params, setup, lexicon, &mut rng);
+                    *slot = Some(map(recipes));
+                }
+            });
+        }
+    });
+
+    out.into_iter()
+        .map(|o| o.expect("every replicate slot filled"))
+        .collect()
+}
+
+/// Convenience: run the ensemble and keep the raw recipe pools.
+pub fn run_ensemble(
+    kind: ModelKind,
+    params: &ModelParams,
+    setup: &CuisineSetup,
+    lexicon: &Lexicon,
+    config: &EnsembleConfig,
+) -> Vec<Vec<Recipe>> {
+    run_ensemble_map(kind, params, setup, lexicon, config, |r| r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuisine_data::CuisineId;
+    use cuisine_lexicon::IngredientId;
+
+    fn setup() -> CuisineSetup {
+        let lex = Lexicon::standard();
+        let ingredients: Vec<IngredientId> = lex.ids().take(80).collect();
+        CuisineSetup {
+            cuisine: CuisineId(0),
+            ingredients,
+            mean_size: 8.0,
+            target_recipes: 120,
+            phi: 80.0 / 120.0,
+            empirical_sizes: vec![],
+        }
+    }
+
+    #[test]
+    fn ensemble_produces_requested_replicates() {
+        let lex = Lexicon::standard();
+        let config = EnsembleConfig { replicates: 8, seed: 1, threads: Some(3) };
+        let pools = run_ensemble(
+            ModelKind::CmR,
+            &ModelParams::paper(ModelKind::CmR),
+            &setup(),
+            lex,
+            &config,
+        );
+        assert_eq!(pools.len(), 8);
+        assert!(pools.iter().all(|p| p.len() == 120));
+    }
+
+    #[test]
+    fn results_independent_of_thread_count() {
+        let lex = Lexicon::standard();
+        let s = setup();
+        let run = |threads: usize| {
+            let config = EnsembleConfig { replicates: 6, seed: 9, threads: Some(threads) };
+            run_ensemble(ModelKind::CmM, &ModelParams::paper(ModelKind::CmM), &s, lex, &config)
+        };
+        assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn replicates_differ_from_each_other() {
+        let lex = Lexicon::standard();
+        let config = EnsembleConfig { replicates: 2, seed: 2, threads: Some(1) };
+        let pools = run_ensemble(
+            ModelKind::Null,
+            &ModelParams::paper(ModelKind::Null),
+            &setup(),
+            lex,
+            &config,
+        );
+        assert_ne!(pools[0], pools[1]);
+    }
+
+    #[test]
+    fn map_is_applied_per_replicate() {
+        let lex = Lexicon::standard();
+        let config = EnsembleConfig { replicates: 5, seed: 3, threads: Some(2) };
+        let counts = run_ensemble_map(
+            ModelKind::CmR,
+            &ModelParams::paper(ModelKind::CmR),
+            &setup(),
+            lex,
+            &config,
+            |recipes| recipes.len(),
+        );
+        assert_eq!(counts, vec![120; 5]);
+    }
+
+    #[test]
+    fn replicate_seeds_are_distinct() {
+        let mut seeds: Vec<u64> = (0..1000).map(|r| replicate_seed(42, r)).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replicate")]
+    fn zero_replicates_rejected() {
+        let lex = Lexicon::standard();
+        let config = EnsembleConfig { replicates: 0, seed: 1, threads: None };
+        let _ = run_ensemble(
+            ModelKind::CmR,
+            &ModelParams::paper(ModelKind::CmR),
+            &setup(),
+            lex,
+            &config,
+        );
+    }
+}

@@ -1,0 +1,92 @@
+//! Ingredient fitness — Step 1 of Algorithm 1.
+//!
+//! "Each ingredient is assigned a 'fitness' value which is randomly sampled
+//! from a Uniform(0, 1) distribution. Fitness can be interpreted as a
+//! metric quantifying the worthiness of an ingredient based on intrinsic
+//! properties such as cost, availability, and nutritional content."
+
+use cuisine_lexicon::IngredientId;
+use rand::{Rng, RngExt};
+
+/// Fitness values for every ingredient, indexed by entity id.
+#[derive(Debug, Clone)]
+pub struct FitnessTable {
+    values: Vec<f64>,
+}
+
+impl FitnessTable {
+    /// Sample a fresh fitness table over `n_entities` ids from
+    /// `Uniform(0, 1)`. Each replicate of the ensemble draws its own table.
+    pub fn sample<R: Rng + ?Sized>(n_entities: usize, rng: &mut R) -> Self {
+        let values = (0..n_entities).map(|_| rng.random::<f64>()).collect();
+        FitnessTable { values }
+    }
+
+    /// Build from explicit values (tests, ablations with deterministic
+    /// fitness).
+    pub fn from_values(values: Vec<f64>) -> Self {
+        FitnessTable { values }
+    }
+
+    /// Fitness of an ingredient.
+    ///
+    /// # Panics
+    /// Panics for ids outside the table.
+    pub fn fitness(&self, id: IngredientId) -> f64 {
+        self.values[id.index()]
+    }
+
+    /// Number of entities covered.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sampled_fitness_is_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = FitnessTable::sample(500, &mut rng);
+        assert_eq!(t.len(), 500);
+        for i in 0..500 {
+            let f = t.fitness(IngredientId(i as u16));
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn sampling_is_seed_deterministic() {
+        let a = FitnessTable::sample(50, &mut StdRng::seed_from_u64(7));
+        let b = FitnessTable::sample(50, &mut StdRng::seed_from_u64(7));
+        for i in 0..50 {
+            assert_eq!(a.fitness(IngredientId(i)), b.fitness(IngredientId(i)));
+        }
+    }
+
+    #[test]
+    fn mean_fitness_is_near_half() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 20_000u16;
+        let t = FitnessTable::sample(n as usize, &mut rng);
+        let mean: f64 =
+            (0..n).map(|i| t.fitness(IngredientId(i))).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn from_values_roundtrips() {
+        let t = FitnessTable::from_values(vec![0.1, 0.9]);
+        assert_eq!(t.fitness(IngredientId(0)), 0.1);
+        assert_eq!(t.fitness(IngredientId(1)), 0.9);
+    }
+}

@@ -1,0 +1,455 @@
+//! Horizontal transmission — the Section VII future-work extension.
+//!
+//! "it is highly unlikely that cuisines evolved in isolation. Analogous to
+//! languages, the propagation of culinary habits would have been both
+//! vertical (time) as well as horizontal (regions)."
+//!
+//! [`run_horizontal`] co-evolves all cuisines at once: each keeps its own
+//! Algorithm-1 pools, but with probability `transfer_rate` a mutation draws
+//! its replacement ingredient from a *neighbor* cuisine's active pool
+//! instead of the local one (and the borrowed ingredient joins the local
+//! pool — a culinary loanword). Neighborhoods come from a configurable
+//! adjacency; [`geo_neighbors`] provides a plausible geographic default.
+
+use cuisine_data::{CuisineId, Recipe};
+use cuisine_lexicon::Lexicon;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::fitness::FitnessTable;
+use crate::model::{CuisineSetup, ModelKind, ModelParams};
+use crate::pool::PoolState;
+
+/// Configuration for the horizontal-transmission run.
+#[derive(Debug, Clone)]
+pub struct HorizontalConfig {
+    /// Base copy-mutate variant used for local mutations (CM-R/CM-C/CM-M).
+    pub base: ModelKind,
+    /// Base model parameters.
+    pub params: ModelParams,
+    /// Probability that a mutation's replacement is drawn from a neighbor
+    /// cuisine's pool instead of the local one. 0 reduces to independent
+    /// evolution.
+    pub transfer_rate: f64,
+    /// Adjacency list: `neighbors[c]` = cuisine indices adjacent to `c`.
+    pub neighbors: Vec<Vec<usize>>,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl HorizontalConfig {
+    /// Paper-parameter CM-R base with geographic neighbors.
+    pub fn paper(transfer_rate: f64, seed: u64) -> Self {
+        HorizontalConfig {
+            base: ModelKind::CmR,
+            params: ModelParams::paper(ModelKind::CmR),
+            transfer_rate,
+            neighbors: geo_neighbors(),
+            seed,
+        }
+    }
+}
+
+/// A plausible geographic adjacency over the paper's 25 regions, symmetric
+/// by construction. Indices follow `cuisine_data::CUISINES` order.
+pub fn geo_neighbors() -> Vec<Vec<usize>> {
+    // Adjacent region codes; parsed into indices below.
+    const EDGES: &[(&str, &str)] = &[
+        // Europe.
+        ("IRL", "UK"),
+        ("UK", "FRA"),
+        ("UK", "BN"),
+        ("BN", "FRA"),
+        ("BN", "DACH"),
+        ("FRA", "DACH"),
+        ("FRA", "ITA"),
+        ("FRA", "SP"),
+        ("ITA", "DACH"),
+        ("ITA", "GRC"),
+        ("DACH", "EE"),
+        ("DACH", "SCND"),
+        ("EE", "SCND"),
+        ("EE", "GRC"),
+        ("GRC", "ME"),
+        ("SP", "ITA"),
+        // Mediterranean / Africa / Middle East.
+        ("SP", "AFR"),
+        ("AFR", "ME"),
+        ("AFR", "GRC"),
+        ("ME", "INSC"),
+        // Asia.
+        ("INSC", "CHN"),
+        ("INSC", "SEA"),
+        ("INSC", "THA"),
+        ("CHN", "KOR"),
+        ("CHN", "JPN"),
+        ("CHN", "SEA"),
+        ("KOR", "JPN"),
+        ("SEA", "THA"),
+        ("SEA", "ANZ"),
+        // Americas.
+        ("USA", "CAN"),
+        ("USA", "MEX"),
+        ("MEX", "CAM"),
+        ("CAM", "SAM"),
+        ("CAM", "CBN"),
+        ("CBN", "USA"),
+        ("CBN", "SAM"),
+        ("SAM", "SP"),
+        // Colonial-era links.
+        ("UK", "USA"),
+        ("UK", "ANZ"),
+        ("UK", "CAN"),
+        ("SP", "MEX"),
+    ];
+    let mut out = vec![Vec::new(); cuisine_data::CUISINE_COUNT];
+    for &(a, b) in EDGES {
+        let ia = a.parse::<CuisineId>().expect("known code").index();
+        let ib = b.parse::<CuisineId>().expect("known code").index();
+        if !out[ia].contains(&ib) {
+            out[ia].push(ib);
+        }
+        if !out[ib].contains(&ia) {
+            out[ib].push(ia);
+        }
+    }
+    out
+}
+
+/// Co-evolve a set of cuisines with horizontal transfer. Returns one evolved
+/// recipe pool per input setup, in input order.
+///
+/// The scheduler interleaves cuisines proportionally to their remaining
+/// targets so all pools grow together (a recipe "era" at a time), which is
+/// what makes borrowing meaningful: neighbors lend from their
+/// *contemporaneous* pools.
+///
+/// # Panics
+/// Panics when `setups` is empty, when `transfer_rate` is outside `[0, 1]`,
+/// or when `config.base` is the null model.
+pub fn run_horizontal(
+    setups: &[CuisineSetup],
+    lexicon: &Lexicon,
+    config: &HorizontalConfig,
+) -> Vec<Vec<Recipe>> {
+    assert!(!setups.is_empty(), "need at least one cuisine");
+    assert!(
+        (0.0..=1.0).contains(&config.transfer_rate),
+        "transfer rate must be in [0, 1]"
+    );
+    assert!(config.base != ModelKind::Null, "horizontal transfer needs a copy-mutate base");
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let fitness = FitnessTable::sample(lexicon.len(), &mut rng);
+
+    // Initialize one pool per cuisine.
+    let mut states: Vec<PoolState> = setups
+        .iter()
+        .map(|s| {
+            let n0 = config.params.resolve_n0(s.phi).min(s.target_recipes);
+            PoolState::initialize(
+                &s.ingredients,
+                config.params.m,
+                n0,
+                s.rounded_size(),
+                s.cuisine,
+                lexicon,
+                &mut rng,
+            )
+        })
+        .collect();
+
+    // Map cuisine index -> position in `setups`, for neighbor lookups.
+    let mut position_of = vec![usize::MAX; cuisine_data::CUISINE_COUNT];
+    for (pos, s) in setups.iter().enumerate() {
+        position_of[s.cuisine.index()] = pos;
+    }
+
+    // Round-robin until every cuisine reaches its target.
+    loop {
+        let mut progressed = false;
+        for i in 0..states.len() {
+            if states[i].n() >= setups[i].target_recipes {
+                continue;
+            }
+            progressed = true;
+            if states[i].partial() >= setups[i].phi || states[i].master_remaining() == 0 {
+                evolve_one(i, &mut states, setups, &position_of, lexicon, &fitness, config, &mut rng);
+            } else {
+                states[i].grow(&mut rng, lexicon);
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    states.into_iter().map(PoolState::into_recipes).collect()
+}
+
+/// One mutate-and-add step for cuisine `i`, possibly borrowing replacements
+/// from a neighbor's pool.
+#[allow(clippy::too_many_arguments)]
+fn evolve_one(
+    i: usize,
+    states: &mut [PoolState],
+    setups: &[CuisineSetup],
+    position_of: &[usize],
+    lexicon: &Lexicon,
+    fitness: &FitnessTable,
+    config: &HorizontalConfig,
+    rng: &mut StdRng,
+) {
+    let idx = states[i].pick_recipe(rng);
+    let mut r = states[i].clone_recipe(idx);
+
+    // Live neighbor positions of cuisine i.
+    let cuisine_idx = setups[i].cuisine.index();
+    let neighbor_positions: Vec<usize> = config
+        .neighbors
+        .get(cuisine_idx)
+        .map(|ns| {
+            ns.iter()
+                .filter_map(|&c| {
+                    let p = position_of[c];
+                    (p != usize::MAX).then_some(p)
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+
+    for _ in 0..config.params.mutations {
+        if r.size() == 0 {
+            break;
+        }
+        let victim = r.ingredients()[rng.random_range(0..r.size())];
+        let borrow = !neighbor_positions.is_empty() && rng.random::<f64>() < config.transfer_rate;
+        let source = if borrow {
+            neighbor_positions[rng.random_range(0..neighbor_positions.len())]
+        } else {
+            i
+        };
+        let replacement = match config.base {
+            ModelKind::CmR => Some(states[source].pick_active(rng)),
+            ModelKind::CmC => {
+                states[source].pick_active_in_category(rng, lexicon.category(victim))
+            }
+            ModelKind::CmM => {
+                if rng.random::<bool>() {
+                    states[source].pick_active_in_category(rng, lexicon.category(victim))
+                } else {
+                    Some(states[source].pick_active(rng))
+                }
+            }
+            ModelKind::Null => unreachable!("guarded in run_horizontal"),
+        };
+        let Some(j) = replacement else { continue };
+        if fitness.fitness(j) > fitness.fitness(victim) {
+            r.replace(victim, j);
+        }
+    }
+    states[i].push_recipe(r);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuisine_lexicon::IngredientId;
+
+    fn setups(k: usize, per_cuisine_ings: usize, target: usize) -> Vec<CuisineSetup> {
+        let lex = Lexicon::standard();
+        (0..k)
+            .map(|c| {
+                // Disjoint vocabularies so borrowed ingredients are
+                // detectable.
+                let ingredients: Vec<IngredientId> = lex
+                    .ids()
+                    .skip(c * per_cuisine_ings)
+                    .take(per_cuisine_ings)
+                    .collect();
+                CuisineSetup {
+                    cuisine: CuisineId(c as u8),
+                    ingredients: ingredients.clone(),
+                    mean_size: 6.0,
+                    target_recipes: target,
+                    phi: per_cuisine_ings as f64 / target as f64,
+                    empirical_sizes: vec![],
+                }
+            })
+            .collect()
+    }
+
+    fn chain_neighbors(k: usize) -> Vec<Vec<usize>> {
+        let mut n = vec![Vec::new(); cuisine_data::CUISINE_COUNT];
+        for c in 0..k.saturating_sub(1) {
+            n[c].push(c + 1);
+            n[c + 1].push(c);
+        }
+        n
+    }
+
+    #[test]
+    fn geo_neighbors_are_symmetric_and_connected() {
+        let n = geo_neighbors();
+        assert_eq!(n.len(), 25);
+        for (a, ns) in n.iter().enumerate() {
+            assert!(!ns.is_empty(), "cuisine {a} isolated");
+            for &b in ns {
+                assert!(n[b].contains(&a), "edge {a}-{b} not symmetric");
+            }
+        }
+        // Connectivity via BFS from node 0.
+        let mut seen = [false; 25];
+        let mut queue = Vec::from([0usize]);
+        seen[0] = true;
+        while let Some(c) = queue.pop() {
+            for &b in &n[c] {
+                if !seen[b] {
+                    seen[b] = true;
+                    queue.push(b);
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "adjacency graph is disconnected");
+    }
+
+    #[test]
+    fn zero_transfer_keeps_vocabularies_disjoint() {
+        let lex = Lexicon::standard();
+        let s = setups(3, 40, 60);
+        let config = HorizontalConfig {
+            transfer_rate: 0.0,
+            neighbors: chain_neighbors(3),
+            seed: 1,
+            ..HorizontalConfig::paper(0.0, 1)
+        };
+        let pools = run_horizontal(&s, lex, &config);
+        assert_eq!(pools.len(), 3);
+        for (c, pool) in pools.iter().enumerate() {
+            assert_eq!(pool.len(), 60);
+            let allowed: std::collections::HashSet<_> =
+                s[c].ingredients.iter().copied().collect();
+            for r in pool {
+                for ing in r.ingredients() {
+                    assert!(allowed.contains(ing), "cuisine {c} leaked without transfer");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn positive_transfer_borrows_neighbor_ingredients() {
+        let lex = Lexicon::standard();
+        let s = setups(3, 40, 120);
+        let config = HorizontalConfig {
+            transfer_rate: 0.5,
+            neighbors: chain_neighbors(3),
+            seed: 2,
+            ..HorizontalConfig::paper(0.5, 2)
+        };
+        let pools = run_horizontal(&s, lex, &config);
+        let own: Vec<std::collections::HashSet<_>> = s
+            .iter()
+            .map(|s| s.ingredients.iter().copied().collect())
+            .collect();
+        let borrowed: usize = pools
+            .iter()
+            .enumerate()
+            .map(|(c, pool)| {
+                pool.iter()
+                    .flat_map(|r| r.ingredients())
+                    .filter(|ing| !own[c].contains(ing))
+                    .count()
+            })
+            .sum();
+        assert!(borrowed > 0, "transfer rate 0.5 never borrowed anything");
+    }
+
+    #[test]
+    fn borrowing_respects_adjacency() {
+        let lex = Lexicon::standard();
+        // Chain 0-1-2: cuisine 0 may borrow from 1 but never directly
+        // from 2... except via 1's pool after 1 borrowed from 2. Use a
+        // 2-cuisine setup with an isolated third to test strict adjacency.
+        let s = setups(3, 40, 100);
+        let mut neighbors = vec![Vec::new(); cuisine_data::CUISINE_COUNT];
+        neighbors[0].push(1);
+        neighbors[1].push(0);
+        // Cuisine 2 is isolated.
+        let config = HorizontalConfig {
+            transfer_rate: 0.6,
+            neighbors,
+            seed: 3,
+            ..HorizontalConfig::paper(0.6, 3)
+        };
+        let pools = run_horizontal(&s, lex, &config);
+        let own2: std::collections::HashSet<_> = s[2].ingredients.iter().copied().collect();
+        for r in &pools[2] {
+            for ing in r.ingredients() {
+                assert!(own2.contains(ing), "isolated cuisine borrowed");
+            }
+        }
+        // And nothing of cuisine 2's private vocabulary shows up elsewhere.
+        for pool in &pools[..2] {
+            for r in pool {
+                for ing in r.ingredients() {
+                    assert!(!own2.contains(ing), "cuisine 2 vocabulary leaked out");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transfer_increases_vocabulary_overlap() {
+        let lex = Lexicon::standard();
+        let s = setups(2, 50, 150);
+        let overlap = |rate: f64, seed: u64| -> usize {
+            let config = HorizontalConfig {
+                transfer_rate: rate,
+                neighbors: chain_neighbors(2),
+                seed,
+                ..HorizontalConfig::paper(rate, seed)
+            };
+            let pools = run_horizontal(&s, lex, &config);
+            let used: Vec<std::collections::HashSet<_>> = pools
+                .iter()
+                .map(|p| p.iter().flat_map(|r| r.ingredients().iter().copied()).collect())
+                .collect();
+            used[0].intersection(&used[1]).count()
+        };
+        // Same seeds; higher rate, more shared vocabulary.
+        assert!(overlap(0.0, 9) == 0);
+        assert!(overlap(0.6, 9) > overlap(0.1, 9));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let lex = Lexicon::standard();
+        let s = setups(2, 30, 50);
+        let run = |seed| {
+            let config = HorizontalConfig {
+                transfer_rate: 0.3,
+                neighbors: chain_neighbors(2),
+                seed,
+                ..HorizontalConfig::paper(0.3, seed)
+            };
+            run_horizontal(&s, lex, &config)
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "copy-mutate base")]
+    fn null_base_is_rejected() {
+        let lex = Lexicon::standard();
+        let s = setups(1, 30, 10);
+        let config = HorizontalConfig {
+            base: ModelKind::Null,
+            params: ModelParams::paper(ModelKind::Null),
+            transfer_rate: 0.1,
+            neighbors: geo_neighbors(),
+            seed: 1,
+        };
+        let _ = run_horizontal(&s, lex, &config);
+    }
+}

@@ -1,0 +1,65 @@
+//! # cuisine-evolution
+//!
+//! The primary contribution of *Tuwani et al., ICDE 2019*: computational
+//! models of culinary evolution.
+//!
+//! Section V of the paper defines a family of copy-mutate models
+//! (Algorithm 1) and a null model:
+//!
+//! - **CM-R** — replacement ingredient drawn from the whole active pool;
+//! - **CM-C** — replacement constrained to the category of the ingredient
+//!   being replaced;
+//! - **CM-M** — a fair coin picks between the two rules per mutation;
+//! - **NM** — no copying or mutation (the control).
+//!
+//! Crate layout:
+//!
+//! - [`fitness`] — Uniform(0,1) ingredient fitness (Step 1).
+//! - [`pool`] — ingredient/recipe pool bookkeeping with the ∂ = m/n vs φ
+//!   growth dynamics (Steps 2 and 5).
+//! - [`model`] — model kinds, parameters (m = 20, M = 4 or 6, n₀ = m/φ),
+//!   and per-cuisine setup.
+//! - [`copy_mutate`] / [`null_model`] — the engines (Steps 3-4).
+//! - [`ensemble`] — deterministic parallel 100-replicate runs.
+//! - [`horizontal`] — the Section VII future-work extension: co-evolution
+//!   of all cuisines with cross-cuisine ingredient transfer.
+//! - [`trace`] — instrumented runs exposing the non-equilibrium dynamics
+//!   (pool growth, ∂, mean occupied fitness) in the spirit of Kinouchi et
+//!   al. \[7\].
+//! - [`mod@evaluate`] — the Fig. 4 harness: aggregated model curves vs the
+//!   empirical combination rank-frequency distribution, scored with Eq. 2.
+//!
+//! ```no_run
+//! use cuisine_evolution::{evaluate, EvaluationConfig, ModelKind};
+//! use cuisine_lexicon::Lexicon;
+//! use cuisine_synth::{generate_corpus, SynthConfig};
+//!
+//! let lex = Lexicon::standard();
+//! let corpus = generate_corpus(&SynthConfig::test_scale(1), lex);
+//! let eval = evaluate(&corpus, lex, &ModelKind::ALL, &EvaluationConfig::default());
+//! println!("CM-R mean distance: {:?}", eval.mean_distance(ModelKind::CmR));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod copy_mutate;
+pub mod ensemble;
+pub mod evaluate;
+pub mod fitness;
+pub mod horizontal;
+pub mod model;
+pub mod null_model;
+pub mod pool;
+pub mod significance;
+pub mod trace;
+
+pub use copy_mutate::run_copy_mutate;
+pub use ensemble::{run_ensemble, run_ensemble_map, EnsembleConfig};
+pub use evaluate::{evaluate, CuisineEvaluation, Evaluation, EvaluationConfig, ModelResult};
+pub use fitness::FitnessTable;
+pub use horizontal::{geo_neighbors, run_horizontal, HorizontalConfig};
+pub use model::{CuisineSetup, ModelKind, ModelParams, SizeMode};
+pub use null_model::run_null;
+pub use pool::PoolState;
+pub use significance::{compare_family_vs, compare_models, ModelComparison};
+pub use trace::{run_copy_mutate_traced, EvolutionTrace, Snapshot};

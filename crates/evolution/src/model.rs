@@ -1,0 +1,207 @@
+//! Model definitions: the four culinary evolution models of Section V and
+//! their parameters.
+
+use cuisine_data::{Corpus, CuisineId};
+use cuisine_lexicon::IngredientId;
+use serde::{Deserialize, Serialize};
+
+/// Which evolution model to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// Copy-Mutate Random: replacement ingredient drawn from the whole
+    /// active pool.
+    CmR,
+    /// Copy-Mutate Category-only: replacement drawn from the same category
+    /// as the ingredient being replaced.
+    CmC,
+    /// Copy-Mutate Mixture: a fair coin picks between the CM-R and CM-C
+    /// rules at every mutation.
+    CmM,
+    /// Null Model: no copying or mutation; every iteration samples a fresh
+    /// recipe from the active ingredient pool.
+    Null,
+}
+
+impl ModelKind {
+    /// All four models, in the paper's presentation order.
+    pub const ALL: [ModelKind; 4] = [ModelKind::CmR, ModelKind::CmC, ModelKind::CmM, ModelKind::Null];
+
+    /// Display label as used in Fig. 4 legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            ModelKind::CmR => "CM-R",
+            ModelKind::CmC => "CM-C",
+            ModelKind::CmM => "CM-M",
+            ModelKind::Null => "NM",
+        }
+    }
+
+    /// The per-model mutation count the paper found to work (Section VI):
+    /// M = 4 for CM-R and 6 for CM-C and CM-M. Zero for the null model.
+    pub fn paper_mutations(self) -> usize {
+        match self {
+            ModelKind::CmR => 4,
+            ModelKind::CmC | ModelKind::CmM => 6,
+            ModelKind::Null => 0,
+        }
+    }
+}
+
+impl std::fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// How evolved recipe sizes are chosen.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub enum SizeMode {
+    /// Every recipe has the cuisine's (rounded) mean size s̄ — the paper's
+    /// setting.
+    #[default]
+    Fixed,
+    /// Recipe sizes are drawn from the cuisine's empirical size
+    /// distribution — the "variable recipe sizes" extension flagged as
+    /// future work in Section VII.
+    Empirical(Vec<usize>),
+}
+
+/// Model parameters (Section VI defaults via [`ModelParams::paper`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelParams {
+    /// Initial active-pool size `m` (paper: 20).
+    pub m: usize,
+    /// Number of mutation attempts `M` per evolved recipe.
+    pub mutations: usize,
+    /// Initial recipe-pool size `n₀`. `None` = the paper's fixed point
+    /// `max(1, round(m / φ))` (see DESIGN.md interpretation note 3).
+    pub n0: Option<usize>,
+    /// Recipe-size mode.
+    pub size_mode: SizeMode,
+    /// Null-model sampling source: `false` (default) samples new recipes
+    /// from the active pool `I₀` ("all the other steps remain as it is");
+    /// `true` samples from the full master list `I` (the literal reading of
+    /// the NM paragraph). See DESIGN.md interpretation notes.
+    pub null_samples_master: bool,
+}
+
+impl ModelParams {
+    /// The paper's parameters for a model kind.
+    pub fn paper(kind: ModelKind) -> Self {
+        ModelParams {
+            m: 20,
+            mutations: kind.paper_mutations(),
+            n0: None,
+            size_mode: SizeMode::Fixed,
+            null_samples_master: false,
+        }
+    }
+
+    /// Resolve `n₀` for a cuisine with pool-growth threshold `phi`.
+    pub fn resolve_n0(&self, phi: f64) -> usize {
+        match self.n0 {
+            Some(n0) => n0.max(1),
+            None => {
+                if phi <= 0.0 {
+                    1
+                } else {
+                    ((self.m as f64 / phi).round() as usize).max(1)
+                }
+            }
+        }
+    }
+}
+
+/// Everything Algorithm 1 needs to know about the cuisine being modeled.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CuisineSetup {
+    /// The cuisine.
+    pub cuisine: CuisineId,
+    /// The master ingredient list `I`.
+    pub ingredients: Vec<IngredientId>,
+    /// Mean recipe size s̄ (rounded when used as a fixed size).
+    pub mean_size: f64,
+    /// Target number of recipes `N`.
+    pub target_recipes: usize,
+    /// φ = unique ingredients / recipes of the empirical cuisine.
+    pub phi: f64,
+    /// Empirical size sample (for [`SizeMode::Empirical`]).
+    pub empirical_sizes: Vec<usize>,
+}
+
+impl CuisineSetup {
+    /// Derive the setup from an empirical (or synthetic-empirical) corpus.
+    /// Returns `None` for cuisines with no recipes.
+    pub fn from_corpus(corpus: &Corpus, cuisine: CuisineId) -> Option<Self> {
+        let n = corpus.recipe_count(cuisine);
+        if n == 0 {
+            return None;
+        }
+        Some(CuisineSetup {
+            cuisine,
+            ingredients: corpus.ingredients_in(cuisine),
+            mean_size: corpus.mean_size_in(cuisine)?,
+            target_recipes: n,
+            phi: corpus.phi(cuisine)?,
+            empirical_sizes: corpus.sizes_in(cuisine),
+        })
+    }
+
+    /// s̄ rounded to a usable integer size (at least 1).
+    pub fn rounded_size(&self) -> usize {
+        (self.mean_size.round() as usize).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuisine_data::Recipe;
+
+    #[test]
+    fn paper_mutation_counts() {
+        assert_eq!(ModelKind::CmR.paper_mutations(), 4);
+        assert_eq!(ModelKind::CmC.paper_mutations(), 6);
+        assert_eq!(ModelKind::CmM.paper_mutations(), 6);
+        assert_eq!(ModelKind::Null.paper_mutations(), 0);
+    }
+
+    #[test]
+    fn labels_match_figure_legends() {
+        let labels: Vec<&str> = ModelKind::ALL.iter().map(|k| k.label()).collect();
+        assert_eq!(labels, vec!["CM-R", "CM-C", "CM-M", "NM"]);
+    }
+
+    #[test]
+    fn n0_fixed_point_matches_paper_reading() {
+        let p = ModelParams::paper(ModelKind::CmR);
+        // φ = 0.0218 (ITA: 506/23179) -> n0 = 20/0.0218 ≈ 916.
+        let phi = 506.0 / 23179.0;
+        let n0 = p.resolve_n0(phi);
+        assert_eq!(n0, (20.0 / phi).round() as usize);
+        // Explicit override wins.
+        let p2 = ModelParams { n0: Some(5), ..p.clone() };
+        assert_eq!(p2.resolve_n0(phi), 5);
+        // Degenerate phi.
+        assert_eq!(p.resolve_n0(0.0), 1);
+    }
+
+    #[test]
+    fn setup_from_corpus() {
+        let corpus = Corpus::new(vec![
+            Recipe::new(CuisineId(0), vec![IngredientId(1), IngredientId(2)]),
+            Recipe::new(
+                CuisineId(0),
+                vec![IngredientId(2), IngredientId(3), IngredientId(4), IngredientId(5)],
+            ),
+        ]);
+        let s = CuisineSetup::from_corpus(&corpus, CuisineId(0)).unwrap();
+        assert_eq!(s.target_recipes, 2);
+        assert_eq!(s.ingredients.len(), 5);
+        assert_eq!(s.mean_size, 3.0);
+        assert_eq!(s.phi, 2.5);
+        assert_eq!(s.rounded_size(), 3);
+        assert_eq!(s.empirical_sizes, vec![2, 4]);
+        assert!(CuisineSetup::from_corpus(&corpus, CuisineId(9)).is_none());
+    }
+}

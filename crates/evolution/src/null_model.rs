@@ -1,0 +1,167 @@
+//! The Null Model (NM) — the control of Section V.
+//!
+//! "we implemented a Null Model (NM) wherein there are no mutations and a
+//! new recipe is created at each iteration by randomly sampling s̄
+//! ingredients from the ingredient pool (I). All the other steps remain as
+//! it is."
+//!
+//! The two sentences pull in different directions: "(I)" names the master
+//! list, while "all the other steps remain" keeps the I₀ growth dynamics
+//! meaningful only if sampling draws from I₀. We default to the active
+//! pool I₀ and expose the literal-master reading behind
+//! [`ModelParams::null_samples_master`] (see DESIGN.md interpretation
+//! notes).
+
+use cuisine_data::Recipe;
+use cuisine_lexicon::Lexicon;
+use cuisine_stats::sampling::sample_without_replacement;
+use rand::{Rng, RngExt};
+
+use crate::copy_mutate::initial_size;
+use crate::model::{CuisineSetup, ModelParams, SizeMode};
+use crate::pool::PoolState;
+
+/// Run one replicate of the null model. Returns `setup.target_recipes`
+/// recipes.
+///
+/// # Panics
+/// Panics on an empty ingredient list.
+pub fn run_null<R: Rng + ?Sized>(
+    params: &ModelParams,
+    setup: &CuisineSetup,
+    lexicon: &Lexicon,
+    rng: &mut R,
+) -> Vec<Recipe> {
+    let n0 = params.resolve_n0(setup.phi).min(setup.target_recipes);
+    let size0 = initial_size(params, setup, rng);
+    let mut state = PoolState::initialize(
+        &setup.ingredients,
+        params.m,
+        n0,
+        size0,
+        setup.cuisine,
+        lexicon,
+        rng,
+    );
+
+    while state.n() < setup.target_recipes {
+        if state.partial() >= setup.phi || state.master_remaining() == 0 {
+            let size = match &params.size_mode {
+                SizeMode::Fixed => setup.rounded_size(),
+                SizeMode::Empirical(sizes) if !sizes.is_empty() => {
+                    sizes[rng.random_range(0..sizes.len())]
+                }
+                SizeMode::Empirical(_) => setup.rounded_size(),
+            };
+            let recipe = if params.null_samples_master {
+                // Literal reading: sample from the full master list.
+                let size = size.min(setup.ingredients.len()).max(1);
+                let picks = sample_without_replacement(rng, setup.ingredients.len(), size);
+                Recipe::new(
+                    setup.cuisine,
+                    picks.into_iter().map(|i| setup.ingredients[i]).collect(),
+                )
+            } else {
+                // Default: sample from the active pool I₀.
+                let active = state.active();
+                let size = size.min(active.len()).max(1);
+                let picks = sample_without_replacement(rng, active.len(), size);
+                Recipe::new(setup.cuisine, picks.into_iter().map(|i| active[i]).collect())
+            };
+            state.push_recipe(recipe);
+        } else {
+            state.grow(rng, lexicon);
+        }
+    }
+    state.into_recipes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ModelKind;
+    use cuisine_data::CuisineId;
+    use cuisine_lexicon::IngredientId;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(n_ingredients: usize, target: usize) -> CuisineSetup {
+        let lex = Lexicon::standard();
+        let ingredients: Vec<IngredientId> = lex.ids().take(n_ingredients).collect();
+        CuisineSetup {
+            cuisine: CuisineId(0),
+            ingredients,
+            mean_size: 9.0,
+            target_recipes: target,
+            phi: n_ingredients as f64 / target as f64,
+            empirical_sizes: vec![],
+        }
+    }
+
+    #[test]
+    fn produces_exactly_target_recipes() {
+        let lex = Lexicon::standard();
+        let s = setup(150, 400);
+        let mut rng = StdRng::seed_from_u64(1);
+        let recipes = run_null(&ModelParams::paper(ModelKind::Null), &s, lex, &mut rng);
+        assert_eq!(recipes.len(), 400);
+    }
+
+    #[test]
+    fn recipes_have_fixed_size_and_are_sets() {
+        let lex = Lexicon::standard();
+        let s = setup(150, 200);
+        let mut rng = StdRng::seed_from_u64(2);
+        let recipes = run_null(&ModelParams::paper(ModelKind::Null), &s, lex, &mut rng);
+        for r in &recipes {
+            assert_eq!(r.size(), 9);
+        }
+    }
+
+    #[test]
+    fn master_sampling_variant_uses_full_vocabulary_quickly() {
+        let lex = Lexicon::standard();
+        let s = setup(100, 300);
+        let params = ModelParams {
+            null_samples_master: true,
+            ..ModelParams::paper(ModelKind::Null)
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let recipes = run_null(&params, &s, lex, &mut rng);
+        let used: std::collections::HashSet<_> = recipes
+            .iter()
+            .flat_map(|r| r.ingredients().iter().copied())
+            .collect();
+        // 300 × 9 = 2700 uniform draws over 100 ingredients — essentially
+        // everything appears.
+        assert!(used.len() >= 95, "only {} of 100 used", used.len());
+    }
+
+    #[test]
+    fn pool_sampling_variant_respects_pool_growth() {
+        let lex = Lexicon::standard();
+        // phi = 100/120; the active pool grows from 20 toward 100 as
+        // recipes accumulate. Early recipes can only use the initial 20.
+        let s = setup(100, 120);
+        let mut rng = StdRng::seed_from_u64(4);
+        let recipes = run_null(&ModelParams::paper(ModelKind::Null), &s, lex, &mut rng);
+        let n0 = ModelParams::paper(ModelKind::Null).resolve_n0(s.phi);
+        let early_used: std::collections::HashSet<_> = recipes
+            .iter()
+            .take(n0)
+            .flat_map(|r| r.ingredients().iter().copied())
+            .collect();
+        assert!(early_used.len() <= 20, "initial pool recipes limited to m=20 ingredients");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let lex = Lexicon::standard();
+        let s = setup(80, 100);
+        let run = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            run_null(&ModelParams::paper(ModelKind::Null), &s, lex, &mut rng)
+        };
+        assert_eq!(run(5), run(5));
+    }
+}

@@ -1,0 +1,288 @@
+//! Ingredient- and recipe-pool bookkeeping for Algorithm 1.
+//!
+//! The algorithm maintains a master ingredient list `I`, an active
+//! ingredient pool `I₀` (size `m`), and a recipe pool `R₀` (size `n`).
+//! Each iteration either evolves a recipe (when `∂ = m/n ≥ φ`) or moves a
+//! random ingredient from `I` into `I₀` (pool growth). [`PoolState`]
+//! encapsulates the bookkeeping, with a per-category index of the active
+//! pool for the CM-C/CM-M replacement policies.
+
+use cuisine_data::{CuisineId, Recipe};
+use cuisine_lexicon::{Category, IngredientId, Lexicon};
+use cuisine_stats::sampling::sample_without_replacement;
+use rand::{Rng, RngExt};
+
+/// The evolving state of Algorithm 1.
+#[derive(Debug, Clone)]
+pub struct PoolState {
+    /// Master list `I` minus everything already moved to the active pool
+    /// (the corrected listing's `I ← I − I₀` / `I ← I − p`).
+    master: Vec<IngredientId>,
+    /// The active pool `I₀`.
+    active: Vec<IngredientId>,
+    /// Active-pool members partitioned by category (parallel index for the
+    /// category-constrained replacement policies).
+    active_by_category: Vec<Vec<IngredientId>>,
+    /// The recipe pool `R₀`.
+    recipes: Vec<Recipe>,
+    /// Which cuisine is being modeled (recipes are tagged with it).
+    cuisine: CuisineId,
+}
+
+impl PoolState {
+    /// Initialize the pools — Steps 1-2 of Algorithm 1.
+    ///
+    /// Samples `m` ingredients (without replacement) from `ingredients`
+    /// into the active pool, then seeds `n0` recipes of `s̄ = recipe_size`
+    /// ingredients each, sampled uniformly without replacement from the
+    /// active pool.
+    ///
+    /// `m` is clamped to the available ingredient count and `recipe_size`
+    /// to the active pool size, so degenerate cuisines still initialize.
+    ///
+    /// # Panics
+    /// Panics when `ingredients` is empty or `n0` is zero.
+    pub fn initialize<R: Rng + ?Sized>(
+        ingredients: &[IngredientId],
+        m: usize,
+        n0: usize,
+        recipe_size: usize,
+        cuisine: CuisineId,
+        lexicon: &Lexicon,
+        rng: &mut R,
+    ) -> Self {
+        assert!(!ingredients.is_empty(), "cannot evolve a cuisine with no ingredients");
+        assert!(n0 > 0, "initial recipe pool must be non-empty");
+        let m = m.min(ingredients.len()).max(1);
+
+        let chosen = sample_without_replacement(rng, ingredients.len(), m);
+        let mut in_active = vec![false; ingredients.len()];
+        let mut active = Vec::with_capacity(m);
+        for idx in chosen {
+            in_active[idx] = true;
+            active.push(ingredients[idx]);
+        }
+        let master: Vec<IngredientId> = ingredients
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| !in_active[i])
+            .map(|(_, &id)| id)
+            .collect();
+
+        let mut active_by_category: Vec<Vec<IngredientId>> =
+            vec![Vec::new(); Category::COUNT];
+        for &id in &active {
+            active_by_category[lexicon.category(id).index()].push(id);
+        }
+
+        let size = recipe_size.min(active.len()).max(1);
+        let recipes = (0..n0)
+            .map(|_| {
+                let picks = sample_without_replacement(rng, active.len(), size);
+                Recipe::new(cuisine, picks.into_iter().map(|i| active[i]).collect())
+            })
+            .collect();
+
+        PoolState { master, active, active_by_category, recipes, cuisine }
+    }
+
+    /// `m`: size of the active ingredient pool.
+    pub fn m(&self) -> usize {
+        self.active.len()
+    }
+
+    /// `n`: size of the recipe pool.
+    pub fn n(&self) -> usize {
+        self.recipes.len()
+    }
+
+    /// `∂ = m / n`.
+    pub fn partial(&self) -> f64 {
+        self.m() as f64 / self.n() as f64
+    }
+
+    /// Ingredients still in the master list.
+    pub fn master_remaining(&self) -> usize {
+        self.master.len()
+    }
+
+    /// The cuisine recipes are tagged with.
+    pub fn cuisine(&self) -> CuisineId {
+        self.cuisine
+    }
+
+    /// The active pool.
+    pub fn active(&self) -> &[IngredientId] {
+        &self.active
+    }
+
+    /// Active-pool members of one category.
+    pub fn active_in_category(&self, cat: Category) -> &[IngredientId] {
+        &self.active_by_category[cat.index()]
+    }
+
+    /// The recipe pool.
+    pub fn recipes(&self) -> &[Recipe] {
+        &self.recipes
+    }
+
+    /// Consume the state, returning the recipe pool.
+    pub fn into_recipes(self) -> Vec<Recipe> {
+        self.recipes
+    }
+
+    /// Uniformly pick a recipe index from the pool.
+    pub fn pick_recipe<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        rng.random_range(0..self.recipes.len())
+    }
+
+    /// Clone the recipe at `idx` (the "mother recipe" copy step).
+    pub fn clone_recipe(&self, idx: usize) -> Recipe {
+        self.recipes[idx].clone()
+    }
+
+    /// Add an evolved recipe to the pool (`R₀ ← R₀ + r; n ← n + 1`).
+    pub fn push_recipe(&mut self, recipe: Recipe) {
+        self.recipes.push(recipe);
+    }
+
+    /// Pool growth — move one uniformly-chosen ingredient from `I` to `I₀`
+    /// (`I₀ ← I₀ + p; m ← m + 1; I ← I − p`). Returns `false` when the
+    /// master list is exhausted.
+    pub fn grow<R: Rng + ?Sized>(&mut self, rng: &mut R, lexicon: &Lexicon) -> bool {
+        if self.master.is_empty() {
+            return false;
+        }
+        let idx = rng.random_range(0..self.master.len());
+        let id = self.master.swap_remove(idx);
+        self.active.push(id);
+        self.active_by_category[lexicon.category(id).index()].push(id);
+        true
+    }
+
+    /// Uniformly pick an ingredient from the active pool.
+    pub fn pick_active<R: Rng + ?Sized>(&self, rng: &mut R) -> IngredientId {
+        self.active[rng.random_range(0..self.active.len())]
+    }
+
+    /// Uniformly pick an active-pool ingredient of the given category.
+    /// Returns `None` when the category has no active members.
+    pub fn pick_active_in_category<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        cat: Category,
+    ) -> Option<IngredientId> {
+        let bucket = &self.active_by_category[cat.index()];
+        if bucket.is_empty() {
+            return None;
+        }
+        Some(bucket[rng.random_range(0..bucket.len())])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(m: usize, n0: usize, size: usize) -> PoolState {
+        let lex = Lexicon::standard();
+        let ingredients: Vec<IngredientId> = lex.ids().take(100).collect();
+        let mut rng = StdRng::seed_from_u64(5);
+        PoolState::initialize(&ingredients, m, n0, size, CuisineId(0), lex, &mut rng)
+    }
+
+    #[test]
+    fn initialization_sets_pool_sizes() {
+        let s = setup(20, 7, 9);
+        assert_eq!(s.m(), 20);
+        assert_eq!(s.n(), 7);
+        assert_eq!(s.master_remaining(), 80);
+        assert!((s.partial() - 20.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn initial_recipes_draw_from_active_pool_only() {
+        let s = setup(20, 10, 9);
+        let active: std::collections::HashSet<_> = s.active().iter().copied().collect();
+        for r in s.recipes() {
+            assert_eq!(r.size(), 9);
+            for ing in r.ingredients() {
+                assert!(active.contains(ing));
+            }
+        }
+    }
+
+    #[test]
+    fn category_index_partitions_active_pool() {
+        let s = setup(30, 3, 5);
+        let total: usize = Category::ALL
+            .iter()
+            .map(|&c| s.active_in_category(c).len())
+            .sum();
+        assert_eq!(total, s.m());
+    }
+
+    #[test]
+    fn growth_moves_master_to_active() {
+        let lex = Lexicon::standard();
+        let mut s = setup(20, 5, 9);
+        let mut rng = StdRng::seed_from_u64(6);
+        assert!(s.grow(&mut rng, lex));
+        assert_eq!(s.m(), 21);
+        assert_eq!(s.master_remaining(), 79);
+        // Category index stays consistent.
+        let total: usize = Category::ALL
+            .iter()
+            .map(|&c| s.active_in_category(c).len())
+            .sum();
+        assert_eq!(total, 21);
+    }
+
+    #[test]
+    fn growth_exhausts_master_list() {
+        let lex = Lexicon::standard();
+        let ingredients: Vec<IngredientId> = lex.ids().take(25).collect();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut s =
+            PoolState::initialize(&ingredients, 20, 2, 5, CuisineId(0), lex, &mut rng);
+        for _ in 0..5 {
+            assert!(s.grow(&mut rng, lex));
+        }
+        assert!(!s.grow(&mut rng, lex), "master exhausted");
+        assert_eq!(s.m(), 25);
+    }
+
+    #[test]
+    fn m_clamped_to_available_ingredients() {
+        let lex = Lexicon::standard();
+        let ingredients: Vec<IngredientId> = lex.ids().take(8).collect();
+        let mut rng = StdRng::seed_from_u64(8);
+        let s = PoolState::initialize(&ingredients, 20, 2, 9, CuisineId(0), lex, &mut rng);
+        assert_eq!(s.m(), 8);
+        assert_eq!(s.master_remaining(), 0);
+        // Recipe size clamped to the pool.
+        assert!(s.recipes().iter().all(|r| r.size() == 8));
+    }
+
+    #[test]
+    fn pick_active_in_empty_category_is_none() {
+        let lex = Lexicon::standard();
+        // Restrict to spice ids only; dairy bucket must be empty.
+        let spices: Vec<IngredientId> =
+            lex.ids_in_category(Category::Spice).iter().copied().take(30).collect();
+        let mut rng = StdRng::seed_from_u64(9);
+        let s = PoolState::initialize(&spices, 10, 2, 4, CuisineId(0), lex, &mut rng);
+        assert!(s.pick_active_in_category(&mut rng, Category::Dairy).is_none());
+        assert!(s.pick_active_in_category(&mut rng, Category::Spice).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "no ingredients")]
+    fn rejects_empty_ingredient_list() {
+        let lex = Lexicon::standard();
+        let mut rng = StdRng::seed_from_u64(10);
+        let _ = PoolState::initialize(&[], 20, 2, 9, CuisineId(0), lex, &mut rng);
+    }
+}

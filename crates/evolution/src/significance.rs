@@ -1,0 +1,239 @@
+//! Statistical backing for the model comparison.
+//!
+//! The paper concludes copy-mutation "emerged as the dominant theory" by
+//! inspecting Fig. 4's legends. This module makes that quantitative: a
+//! paired sign test and a bootstrap confidence interval over the
+//! per-cuisine Eq. 2 distance differences between two models.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::evaluate::Evaluation;
+use crate::model::ModelKind;
+
+/// Result of comparing two models across cuisines.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelComparison {
+    /// The model hypothesized to fit better.
+    pub better: ModelKind,
+    /// The comparison model.
+    pub worse: ModelKind,
+    /// Cuisines where `better` had strictly smaller distance.
+    pub wins: usize,
+    /// Cuisines where `worse` had strictly smaller distance.
+    pub losses: usize,
+    /// Cuisines with identical distances (excluded from the sign test).
+    pub ties: usize,
+    /// Two-sided sign-test p-value for "the models fit equally well".
+    pub sign_test_p: f64,
+    /// Mean of (distance(worse) − distance(better)) across cuisines.
+    pub mean_difference: f64,
+    /// Percentile-bootstrap 95% CI of the mean difference.
+    pub ci95: (f64, f64),
+}
+
+impl ModelComparison {
+    /// Whether the comparison is significant at `alpha` *and* the CI
+    /// excludes zero in the hypothesized direction.
+    pub fn significant_at(&self, alpha: f64) -> bool {
+        self.sign_test_p < alpha && self.ci95.0 > 0.0
+    }
+}
+
+/// Exact two-sided sign-test p-value: probability under Binomial(n, 1/2)
+/// of an outcome at least as extreme as `k` successes.
+pub fn sign_test_p(k: usize, n: usize) -> f64 {
+    if n == 0 {
+        return 1.0;
+    }
+    // P(X <= min(k, n-k)) * 2, X ~ Bin(n, 1/2), computed in log space.
+    let tail = k.min(n - k);
+    let ln_half_n = -(n as f64) * std::f64::consts::LN_2;
+    let mut p = 0.0f64;
+    for i in 0..=tail {
+        p += (ln_binom(n, i) + ln_half_n).exp();
+    }
+    (2.0 * p).min(1.0)
+}
+
+/// `ln C(n, k)` via the log-gamma function.
+fn ln_binom(n: usize, k: usize) -> f64 {
+    cuisine_stats::special::ln_gamma(n as f64 + 1.0)
+        - cuisine_stats::special::ln_gamma(k as f64 + 1.0)
+        - cuisine_stats::special::ln_gamma((n - k) as f64 + 1.0)
+}
+
+/// Compare the copy-mutate *family* (per-cuisine best of CM-R/CM-C/CM-M)
+/// against a reference model — the paper's actual claim is that
+/// copy-mutation as a mechanism beats the null control, with the best
+/// variant differing by cuisine (Section VI). Returns `None` when fewer
+/// than two cuisines are comparable. The result's `better` field is
+/// reported as [`ModelKind::CmM`] (a representative; the family has no
+/// single tag).
+pub fn compare_family_vs(
+    eval: &Evaluation,
+    reference: ModelKind,
+    seed: u64,
+) -> Option<ModelComparison> {
+    let diffs: Vec<f64> = eval
+        .cuisines
+        .iter()
+        .filter_map(|c| {
+            let best_cm = [ModelKind::CmR, ModelKind::CmC, ModelKind::CmM]
+                .iter()
+                .filter_map(|&k| c.distance_of(k))
+                .min_by(|a, b| a.partial_cmp(b).expect("finite distances"))?;
+            let r = c.distance_of(reference)?;
+            Some(r - best_cm)
+        })
+        .collect();
+    comparison_from_diffs(ModelKind::CmM, reference, &diffs, seed)
+}
+
+/// Compare two models over an [`Evaluation`]. Returns `None` when fewer
+/// than two cuisines have distances for both models.
+pub fn compare_models(
+    eval: &Evaluation,
+    better: ModelKind,
+    worse: ModelKind,
+    seed: u64,
+) -> Option<ModelComparison> {
+    let diffs: Vec<f64> = eval
+        .cuisines
+        .iter()
+        .filter_map(|c| {
+            let b = c.distance_of(better)?;
+            let w = c.distance_of(worse)?;
+            Some(w - b)
+        })
+        .collect();
+    comparison_from_diffs(better, worse, &diffs, seed)
+}
+
+/// Shared tail: build the comparison record from per-cuisine differences
+/// `distance(worse) − distance(better)`.
+fn comparison_from_diffs(
+    better: ModelKind,
+    worse: ModelKind,
+    diffs: &[f64],
+    seed: u64,
+) -> Option<ModelComparison> {
+    if diffs.len() < 2 {
+        return None;
+    }
+    let wins = diffs.iter().filter(|&&d| d > 0.0).count();
+    let losses = diffs.iter().filter(|&&d| d < 0.0).count();
+    let ties = diffs.len() - wins - losses;
+    let mean_difference = diffs.iter().sum::<f64>() / diffs.len() as f64;
+
+    // Percentile bootstrap over cuisines.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut means: Vec<f64> = (0..2_000)
+        .map(|_| {
+            let total: f64 = (0..diffs.len())
+                .map(|_| diffs[rng.random_range(0..diffs.len())])
+                .sum();
+            total / diffs.len() as f64
+        })
+        .collect();
+    means.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let lo = means[(0.025 * means.len() as f64) as usize];
+    let hi = means[((0.975 * means.len() as f64) as usize).min(means.len() - 1)];
+
+    Some(ModelComparison {
+        better,
+        worse,
+        wins,
+        losses,
+        ties,
+        sign_test_p: sign_test_p(wins, wins + losses),
+        mean_difference,
+        ci95: (lo, hi),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluate::{CuisineEvaluation, ModelResult};
+    use cuisine_mining::ItemMode;
+    use cuisine_stats::RankFrequency;
+
+    fn eval_from(diffs: &[(f64, f64)]) -> Evaluation {
+        // (cm_distance, nm_distance) per synthetic "cuisine".
+        let cuisines = diffs
+            .iter()
+            .enumerate()
+            .map(|(i, &(cm, nm))| CuisineEvaluation {
+                code: format!("C{i}"),
+                empirical: RankFrequency::from_frequencies([0.5, 0.25]),
+                models: vec![
+                    ModelResult {
+                        model: ModelKind::CmR,
+                        curve: RankFrequency::from_frequencies([0.5]),
+                        distance: Some(cm),
+                    },
+                    ModelResult {
+                        model: ModelKind::Null,
+                        curve: RankFrequency::from_frequencies([0.5]),
+                        distance: Some(nm),
+                    },
+                ],
+            })
+            .collect();
+        Evaluation { mode: ItemMode::Ingredients, cuisines }
+    }
+
+    #[test]
+    fn sign_test_reference_values() {
+        // 8/8 wins: p = 2 * (1/2)^8 = 0.0078125.
+        assert!((sign_test_p(8, 8) - 0.0078125).abs() < 1e-9);
+        // 4/8: perfectly balanced -> p = 1 (capped).
+        assert!((sign_test_p(4, 8) - 1.0).abs() < 1e-9);
+        // Symmetric.
+        assert!((sign_test_p(1, 10) - sign_test_p(9, 10)).abs() < 1e-12);
+        assert_eq!(sign_test_p(0, 0), 1.0);
+    }
+
+    #[test]
+    fn clear_separation_is_significant() {
+        let diffs: Vec<(f64, f64)> =
+            (0..20).map(|i| (0.001 + 0.0001 * i as f64, 0.05)).collect();
+        let eval = eval_from(&diffs);
+        let cmp = compare_models(&eval, ModelKind::CmR, ModelKind::Null, 1).unwrap();
+        assert_eq!(cmp.wins, 20);
+        assert_eq!(cmp.losses, 0);
+        assert!(cmp.sign_test_p < 0.001);
+        assert!(cmp.mean_difference > 0.0);
+        assert!(cmp.significant_at(0.01), "{cmp:?}");
+    }
+
+    #[test]
+    fn balanced_outcome_is_not_significant() {
+        let mut diffs = vec![(0.01, 0.02); 10]; // CM better
+        diffs.extend(vec![(0.02, 0.01); 10]); // NM better
+        let eval = eval_from(&diffs);
+        let cmp = compare_models(&eval, ModelKind::CmR, ModelKind::Null, 2).unwrap();
+        assert_eq!(cmp.wins, 10);
+        assert_eq!(cmp.losses, 10);
+        assert!(cmp.sign_test_p > 0.5);
+        assert!(!cmp.significant_at(0.05));
+    }
+
+    #[test]
+    fn ties_are_excluded() {
+        let diffs = vec![(0.01, 0.01); 5];
+        let eval = eval_from(&diffs);
+        let cmp = compare_models(&eval, ModelKind::CmR, ModelKind::Null, 3).unwrap();
+        assert_eq!(cmp.ties, 5);
+        assert_eq!(cmp.wins + cmp.losses, 0);
+        assert_eq!(cmp.sign_test_p, 1.0);
+    }
+
+    #[test]
+    fn too_few_cuisines_is_none() {
+        let eval = eval_from(&[(0.01, 0.02)]);
+        assert!(compare_models(&eval, ModelKind::CmR, ModelKind::Null, 4).is_none());
+    }
+}

@@ -1,0 +1,256 @@
+//! Instrumented evolution runs: time series of the pool observables.
+//!
+//! The copy-mutate model descends from Kinouchi et al.'s "non-equilibrium
+//! nature of culinary evolution" \[7\], whose analysis tracks how pool
+//! composition and fitness evolve over time. [`run_copy_mutate_traced`]
+//! exposes those dynamics: snapshots of the recipe/ingredient pool sizes,
+//! ∂ = m/n, the mean fitness of ingredients in use, and usage
+//! concentration, taken every `snapshot_every` recipe additions.
+
+use cuisine_data::Recipe;
+use cuisine_lexicon::Lexicon;
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+use crate::copy_mutate::initial_size;
+use crate::fitness::FitnessTable;
+use crate::model::{CuisineSetup, ModelKind, ModelParams};
+use crate::pool::PoolState;
+
+/// One snapshot of the evolving system.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Recipes evolved so far (n).
+    pub recipes: usize,
+    /// Active ingredient-pool size (m).
+    pub pool: usize,
+    /// ∂ = m / n.
+    pub partial: f64,
+    /// Mean fitness over ingredient *occurrences* in the recipe pool —
+    /// rises as mutation pressure replaces weak ingredients.
+    pub mean_fitness: f64,
+    /// Distinct ingredients appearing in at least one recipe.
+    pub distinct_used: usize,
+}
+
+/// The full time series of one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvolutionTrace {
+    /// Which model produced the trace.
+    pub model: ModelKind,
+    /// Snapshots in chronological order (first = initial pool).
+    pub snapshots: Vec<Snapshot>,
+}
+
+impl EvolutionTrace {
+    /// Net change in mean occupied fitness from the first to the last
+    /// snapshot — the selection-pressure signal. `None` with fewer than two
+    /// snapshots.
+    pub fn fitness_gain(&self) -> Option<f64> {
+        let first = self.snapshots.first()?;
+        let last = self.snapshots.last()?;
+        if self.snapshots.len() < 2 {
+            return None;
+        }
+        Some(last.mean_fitness - first.mean_fitness)
+    }
+}
+
+fn snapshot(state: &PoolState, fitness: &FitnessTable) -> Snapshot {
+    let mut sum = 0.0f64;
+    let mut count = 0usize;
+    let mut used = std::collections::HashSet::new();
+    for r in state.recipes() {
+        for &ing in r.ingredients() {
+            sum += fitness.fitness(ing);
+            count += 1;
+            used.insert(ing);
+        }
+    }
+    Snapshot {
+        recipes: state.n(),
+        pool: state.m(),
+        partial: state.partial(),
+        mean_fitness: if count > 0 { sum / count as f64 } else { 0.0 },
+        distinct_used: used.len(),
+    }
+}
+
+/// Run one copy-mutate replicate while recording snapshots.
+///
+/// Functionally identical to [`crate::run_copy_mutate`] modulo the RNG
+/// stream (the engine is re-implemented here to interleave snapshots), so
+/// use this for dynamics studies, not for reproducing ensemble numbers.
+///
+/// # Panics
+/// Panics for [`ModelKind::Null`], an empty ingredient list, or
+/// `snapshot_every == 0`.
+pub fn run_copy_mutate_traced<R: Rng + ?Sized>(
+    kind: ModelKind,
+    params: &ModelParams,
+    setup: &CuisineSetup,
+    lexicon: &Lexicon,
+    snapshot_every: usize,
+    rng: &mut R,
+) -> (Vec<Recipe>, EvolutionTrace) {
+    assert!(kind != ModelKind::Null, "traced runs are for copy-mutate models");
+    assert!(snapshot_every > 0, "snapshot interval must be positive");
+
+    let fitness = FitnessTable::sample(lexicon.len(), rng);
+    let n0 = params.resolve_n0(setup.phi).min(setup.target_recipes);
+    let size = initial_size(params, setup, rng);
+    let mut state = PoolState::initialize(
+        &setup.ingredients,
+        params.m,
+        n0,
+        size,
+        setup.cuisine,
+        lexicon,
+        rng,
+    );
+
+    let mut snapshots = vec![snapshot(&state, &fitness)];
+    let mut since_last = 0usize;
+    while state.n() < setup.target_recipes {
+        if state.partial() >= setup.phi || state.master_remaining() == 0 {
+            let idx = state.pick_recipe(rng);
+            let mut r = state.clone_recipe(idx);
+            // Inline mutation identical to the uninstrumented engine.
+            for _ in 0..params.mutations {
+                if r.size() == 0 {
+                    break;
+                }
+                let i = r.ingredients()[rng.random_range(0..r.size())];
+                let j = match kind {
+                    ModelKind::CmR => Some(state.pick_active(rng)),
+                    ModelKind::CmC => {
+                        state.pick_active_in_category(rng, lexicon.category(i))
+                    }
+                    ModelKind::CmM => {
+                        if rng.random::<bool>() {
+                            state.pick_active_in_category(rng, lexicon.category(i))
+                        } else {
+                            Some(state.pick_active(rng))
+                        }
+                    }
+                    ModelKind::Null => unreachable!(),
+                };
+                if let Some(j) = j {
+                    if fitness.fitness(j) > fitness.fitness(i) {
+                        r.replace(i, j);
+                    }
+                }
+            }
+            state.push_recipe(r);
+            since_last += 1;
+            if since_last >= snapshot_every {
+                snapshots.push(snapshot(&state, &fitness));
+                since_last = 0;
+            }
+        } else {
+            state.grow(rng, lexicon);
+        }
+    }
+    if since_last > 0 {
+        snapshots.push(snapshot(&state, &fitness));
+    }
+    let recipes = state.into_recipes();
+    (recipes, EvolutionTrace { model: kind, snapshots })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuisine_data::CuisineId;
+    use cuisine_lexicon::IngredientId;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(target: usize) -> CuisineSetup {
+        let lex = Lexicon::standard();
+        let ingredients: Vec<IngredientId> = lex.ids().take(120).collect();
+        CuisineSetup {
+            cuisine: CuisineId(0),
+            ingredients,
+            mean_size: 8.0,
+            target_recipes: target,
+            phi: 120.0 / target as f64,
+            empirical_sizes: vec![],
+        }
+    }
+
+    #[test]
+    fn trace_covers_the_whole_run() {
+        let lex = Lexicon::standard();
+        let s = setup(300);
+        let mut rng = StdRng::seed_from_u64(1);
+        let (recipes, trace) = run_copy_mutate_traced(
+            ModelKind::CmR,
+            &ModelParams::paper(ModelKind::CmR),
+            &s,
+            lex,
+            50,
+            &mut rng,
+        );
+        assert_eq!(recipes.len(), 300);
+        assert_eq!(trace.model, ModelKind::CmR);
+        assert!(trace.snapshots.len() >= 2);
+        assert_eq!(trace.snapshots.last().unwrap().recipes, 300);
+        // Recipe counts are non-decreasing along the trace.
+        for w in trace.snapshots.windows(2) {
+            assert!(w[0].recipes <= w[1].recipes);
+            assert!(w[0].pool <= w[1].pool, "pool only grows");
+        }
+    }
+
+    #[test]
+    fn fitness_rises_under_selection() {
+        let lex = Lexicon::standard();
+        let s = setup(500);
+        let mut rng = StdRng::seed_from_u64(2);
+        let params = ModelParams { mutations: 6, ..ModelParams::paper(ModelKind::CmR) };
+        let (_, trace) =
+            run_copy_mutate_traced(ModelKind::CmR, &params, &s, lex, 50, &mut rng);
+        let gain = trace.fitness_gain().unwrap();
+        assert!(gain > 0.05, "selection should raise mean fitness, gain {gain}");
+        // Initial pool mean fitness ~ 0.5 (uniform sample).
+        let first = trace.snapshots.first().unwrap().mean_fitness;
+        assert!((first - 0.5).abs() < 0.2, "initial mean fitness {first}");
+    }
+
+    #[test]
+    fn snapshot_consistency() {
+        let lex = Lexicon::standard();
+        let s = setup(120);
+        let mut rng = StdRng::seed_from_u64(3);
+        let (_, trace) = run_copy_mutate_traced(
+            ModelKind::CmC,
+            &ModelParams::paper(ModelKind::CmC),
+            &s,
+            lex,
+            30,
+            &mut rng,
+        );
+        for snap in &trace.snapshots {
+            assert!((snap.partial - snap.pool as f64 / snap.recipes as f64).abs() < 1e-12);
+            assert!(snap.distinct_used <= snap.pool, "used ⊆ pool grown so far");
+            assert!(snap.mean_fitness >= 0.0 && snap.mean_fitness <= 1.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "copy-mutate models")]
+    fn null_is_rejected() {
+        let lex = Lexicon::standard();
+        let s = setup(10);
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = run_copy_mutate_traced(
+            ModelKind::Null,
+            &ModelParams::paper(ModelKind::Null),
+            &s,
+            lex,
+            5,
+            &mut rng,
+        );
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests for the Algorithm-1 engines: pool accounting and
+//! recipe invariants under arbitrary parameters.
+
+use cuisine_data::CuisineId;
+use cuisine_evolution::{
+    run_copy_mutate, run_null, CuisineSetup, ModelKind, ModelParams, PoolState, SizeMode,
+};
+use cuisine_lexicon::{IngredientId, Lexicon};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn setup(n_ingredients: usize, target: usize, mean_size: f64) -> CuisineSetup {
+    let lex = Lexicon::standard();
+    let ingredients: Vec<IngredientId> = lex.ids().take(n_ingredients).collect();
+    CuisineSetup {
+        cuisine: CuisineId(0),
+        ingredients,
+        mean_size,
+        target_recipes: target,
+        phi: n_ingredients as f64 / target as f64,
+        empirical_sizes: vec![],
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn pool_accounting_is_conserved(
+        n_ing in 10usize..200,
+        m in 1usize..40,
+        n0 in 1usize..20,
+        seed in any::<u64>(),
+    ) {
+        let lex = Lexicon::standard();
+        let ingredients: Vec<IngredientId> = lex.ids().take(n_ing).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut state =
+            PoolState::initialize(&ingredients, m, n0, 5, CuisineId(0), lex, &mut rng);
+        // Invariant: active + master == total, before and after growth.
+        prop_assert_eq!(state.m() + state.master_remaining(), n_ing);
+        for _ in 0..10 {
+            let grew = state.grow(&mut rng, lex);
+            prop_assert_eq!(state.m() + state.master_remaining(), n_ing);
+            if !grew {
+                prop_assert_eq!(state.master_remaining(), 0);
+            }
+        }
+        // Active pool has no duplicates.
+        let mut a: Vec<_> = state.active().to_vec();
+        a.sort_unstable();
+        let before = a.len();
+        a.dedup();
+        prop_assert_eq!(a.len(), before);
+    }
+
+    #[test]
+    fn all_models_hit_target_with_valid_recipes(
+        kind_idx in 0usize..4,
+        n_ing in 30usize..150,
+        target in 20usize..150,
+        mean_size in 3.0f64..12.0,
+        seed in any::<u64>(),
+    ) {
+        let lex = Lexicon::standard();
+        let kind = ModelKind::ALL[kind_idx];
+        let s = setup(n_ing, target, mean_size);
+        let params = ModelParams::paper(kind);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let recipes = match kind {
+            ModelKind::Null => run_null(&params, &s, lex, &mut rng),
+            _ => run_copy_mutate(kind, &params, &s, lex, &mut rng),
+        };
+        prop_assert_eq!(recipes.len(), target);
+        let allowed: std::collections::HashSet<_> = s.ingredients.iter().copied().collect();
+        for r in &recipes {
+            prop_assert!(r.size() >= 1);
+            // Set property: sorted strictly increasing.
+            for w in r.ingredients().windows(2) {
+                prop_assert!(w[0] < w[1], "duplicate or unsorted ingredients");
+            }
+            for ing in r.ingredients() {
+                prop_assert!(allowed.contains(ing), "foreign ingredient {ing:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_size_mode_is_exactly_fixed(
+        kind_idx in 0usize..4,
+        seed in any::<u64>(),
+    ) {
+        let lex = Lexicon::standard();
+        let kind = ModelKind::ALL[kind_idx];
+        let s = setup(100, 60, 9.0);
+        let params = ModelParams::paper(kind);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let recipes = match kind {
+            ModelKind::Null => run_null(&params, &s, lex, &mut rng),
+            _ => run_copy_mutate(kind, &params, &s, lex, &mut rng),
+        };
+        prop_assert!(recipes.iter().all(|r| r.size() == 9));
+    }
+
+    #[test]
+    fn empirical_size_mode_draws_from_sample(
+        seed in any::<u64>(),
+    ) {
+        let lex = Lexicon::standard();
+        let mut s = setup(100, 60, 9.0);
+        s.empirical_sizes = vec![4, 6, 8];
+        let params = ModelParams {
+            size_mode: SizeMode::Empirical(s.empirical_sizes.clone()),
+            ..ModelParams::paper(ModelKind::Null)
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let recipes = run_null(&params, &s, lex, &mut rng);
+        prop_assert!(recipes.iter().all(|r| [4usize, 6, 8].contains(&r.size())));
+    }
+}

@@ -1,0 +1,209 @@
+//! The mention-normalization half of the aliasing protocol.
+//!
+//! Section II: "Each ingredient-mention in a recipe was mapped to one of the
+//! 721 entities in our ingredient lexicon using the aliasing protocol as
+//! described in Bagler and Singh \[6\]." The protocol has two halves: a
+//! deterministic surface normalization (this module) and a curated alias
+//! table (the per-entity alias lists in [`crate::data`]), joined by the
+//! [`crate::Lexicon`] lookup.
+//!
+//! Normalization steps, applied in order:
+//! 1. Unicode-light cleanup: the common typographic accents in recipe text
+//!    are folded to ASCII (é → e, etc.).
+//! 2. Lower-casing.
+//! 3. Punctuation (other than intra-word hyphens and apostrophes) becomes
+//!    spaces; digits and measurement glyphs are dropped.
+//! 4. Whitespace collapses to single spaces; leading/trailing space trimmed.
+//! 5. Stop-word descriptors ("fresh", "chopped", "large", …) are removed.
+//! 6. A plural-folding pass converts a trailing plural *token* to its
+//!    singular form with conservative English rules.
+
+/// Descriptor tokens that carry no entity information in a mention.
+const STOPWORDS: &[&str] = &[
+    "fresh", "freshly", "chopped", "minced", "diced", "sliced", "grated", "ground",
+    "crushed", "shredded", "peeled", "seeded", "pitted", "halved", "quartered",
+    "cubed", "julienned", "trimmed", "rinsed", "drained", "packed", "melted",
+    "softened", "beaten", "boiled", "cooked", "uncooked", "raw", "ripe", "baby",
+    "large", "medium", "small", "extra", "finely", "coarsely", "thinly", "roughly",
+    "lightly", "firmly", "loosely", "optional", "divided", "plus", "more", "about",
+    "approximately", "cup", "cups", "tablespoon", "tablespoons", "tbsp", "teaspoon",
+    "teaspoons", "tsp", "ounce", "ounces", "oz", "pound", "pounds", "lb", "lbs",
+    "gram", "grams", "g", "kg", "ml", "liter", "litre", "pinch", "dash", "handful",
+    "can", "cans", "canned", "jar", "package", "packet", "bunch", "sprig", "sprigs",
+    "clove-of", "piece", "pieces", "slice", "slices", "of", "a", "an", "the", "to",
+    "taste", "needed", "as", "for", "garnish", "serving", "room", "temperature",
+];
+
+/// Fold common accented characters in recipe text to ASCII.
+fn fold_accents(c: char) -> char {
+    match c {
+        'á' | 'à' | 'â' | 'ä' | 'ã' | 'å' => 'a',
+        'é' | 'è' | 'ê' | 'ë' => 'e',
+        'í' | 'ì' | 'î' | 'ï' => 'i',
+        'ó' | 'ò' | 'ô' | 'ö' | 'õ' => 'o',
+        'ú' | 'ù' | 'û' | 'ü' => 'u',
+        'ñ' => 'n',
+        'ç' => 'c',
+        _ => c,
+    }
+}
+
+/// Conservative singularization of one lower-case token.
+///
+/// Handles the regular English plural patterns that occur in ingredient
+/// mentions: `-ies → -y`, `-oes → -o`, `-ches/-shes/-sses/-xes → drop es`,
+/// `-s → drop s` (but not `-ss`, `-us`, `-is`). Irregulars that matter for
+/// food ("leaves", "loaves", "halves") are special-cased.
+pub fn singularize_token(token: &str) -> String {
+    match token {
+        "leaves" => return "leaf".to_string(),
+        "loaves" => return "loaf".to_string(),
+        "halves" => return "half".to_string(),
+        "knives" => return "knife".to_string(),
+        "olives" => return "olive".to_string(), // guard against the -ves rule
+        "chives" => return "chives".to_string(), // lexicalized plural
+        "molasses" => return "molasses".to_string(),
+        "couscous" => return "couscous".to_string(),
+        "hummus" => return "hummus".to_string(),
+        "asparagus" => return "asparagus".to_string(),
+        "citrus" => return "citrus".to_string(),
+        _ => {}
+    }
+    if let Some(stem) = token.strip_suffix("ies") {
+        if !stem.is_empty() {
+            return format!("{stem}y");
+        }
+    }
+    if let Some(stem) = token.strip_suffix("oes") {
+        if !stem.is_empty() {
+            return format!("{stem}o");
+        }
+    }
+    for suffix in ["ches", "shes", "sses", "xes", "zes"] {
+        if let Some(stem) = token.strip_suffix(suffix) {
+            return format!("{}{}", stem, &suffix[..suffix.len() - 2]);
+        }
+    }
+    if token.len() > 3
+        && token.ends_with('s')
+        && !token.ends_with("ss")
+        && !token.ends_with("us")
+        && !token.ends_with("is")
+    {
+        return token[..token.len() - 1].to_string();
+    }
+    token.to_string()
+}
+
+/// Normalize a raw ingredient mention to its canonical lookup key.
+///
+/// This is deterministic and idempotent: `normalize(normalize(s)) ==
+/// normalize(s)`.
+pub fn normalize(mention: &str) -> String {
+    // Steps 1-3: fold accents, lowercase, strip punctuation and digits.
+    let cleaned: String = mention
+        .chars()
+        .map(fold_accents)
+        .flat_map(|c| c.to_lowercase())
+        .map(|c| {
+            if c.is_alphabetic() || c == '\'' || c == '-' {
+                c
+            } else {
+                ' '
+            }
+        })
+        .collect();
+
+    // Steps 4-6: tokenize, drop stopwords, singularize the trailing token.
+    let tokens: Vec<String> = cleaned
+        .split_whitespace()
+        .map(|t| t.trim_matches(|c| c == '\'' || c == '-').to_string())
+        .filter(|t| !t.is_empty() && !STOPWORDS.contains(&t.as_str()))
+        .collect();
+    if tokens.is_empty() {
+        return String::new();
+    }
+    let mut tokens = tokens;
+    let last = tokens.len() - 1;
+    tokens[last] = singularize_token(&tokens[last]);
+    tokens.join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_lowercases_and_trims() {
+        assert_eq!(normalize("  Butter "), "butter");
+        assert_eq!(normalize("OLIVE"), "olive");
+    }
+
+    #[test]
+    fn normalize_strips_quantities_and_units() {
+        assert_eq!(normalize("2 cups all-purpose flour"), "all-purpose flour");
+        assert_eq!(normalize("1/2 tsp salt"), "salt");
+        assert_eq!(normalize("200g sugar"), "sugar");
+    }
+
+    #[test]
+    fn normalize_drops_descriptors() {
+        assert_eq!(normalize("freshly chopped cilantro"), "cilantro");
+        assert_eq!(normalize("large eggs, beaten"), "egg");
+        assert_eq!(normalize("finely minced garlic cloves"), "garlic clove");
+    }
+
+    #[test]
+    fn normalize_singularizes_trailing_token() {
+        assert_eq!(normalize("tomatoes"), "tomato");
+        assert_eq!(normalize("cherries"), "cherry");
+        assert_eq!(normalize("peaches"), "peach");
+        assert_eq!(normalize("bay leaves"), "bay leaf");
+        assert_eq!(normalize("carrots"), "carrot");
+    }
+
+    #[test]
+    fn normalize_preserves_lexicalized_plurals() {
+        assert_eq!(normalize("chives"), "chives");
+        assert_eq!(normalize("molasses"), "molasses");
+        assert_eq!(normalize("couscous"), "couscous");
+        assert_eq!(normalize("asparagus"), "asparagus");
+    }
+
+    #[test]
+    fn normalize_folds_accents() {
+        assert_eq!(normalize("Jalapeño"), "jalapeno");
+        assert_eq!(normalize("crème fraîche"), "creme fraiche");
+        assert_eq!(normalize("purée"), "puree");
+    }
+
+    #[test]
+    fn normalize_is_idempotent() {
+        for s in ["2 Large Eggs", "Fresh Basil Leaves", "Crème fraîche", "tomatoes"] {
+            let once = normalize(s);
+            assert_eq!(normalize(&once), once, "not idempotent for {s:?}");
+        }
+    }
+
+    #[test]
+    fn normalize_empty_and_junk() {
+        assert_eq!(normalize(""), "");
+        assert_eq!(normalize("1 2 3 !!!"), "");
+        assert_eq!(normalize("2 cups"), "");
+    }
+
+    #[test]
+    fn singularize_guards_short_and_irregular() {
+        assert_eq!(singularize_token("gas"), "gas"); // len 3 guard
+        assert_eq!(singularize_token("grass"), "grass"); // -ss guard
+        assert_eq!(singularize_token("boxes"), "box");
+        assert_eq!(singularize_token("dishes"), "dish");
+        assert_eq!(singularize_token("olives"), "olive");
+    }
+
+    #[test]
+    fn normalize_keeps_interior_hyphen_and_apostrophe() {
+        assert_eq!(normalize("black-eyed peas"), "black-eyed pea");
+        assert_eq!(normalize("za'atar"), "za'atar");
+    }
+}

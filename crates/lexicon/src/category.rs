@@ -1,0 +1,228 @@
+//! The 21 ingredient categories of the paper (Section II).
+//!
+//! "all the ingredients were manually assigned one of the following 21
+//! categories: Vegetable, Dairy, Legume, Maize, Cereal, Meat, Nuts and
+//! Seeds, Plant, Fish, Seafood, Spice, Bakery, Beverage Alcoholic,
+//! Beverage, Essential Oil, Flower, Fruit, Fungus, Herb, Additive, and
+//! Dish."
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// One of the paper's 21 ingredient categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Category {
+    /// Vegetables (onion, tomato, carrot, …).
+    Vegetable,
+    /// Dairy products (butter, milk, cheeses, …).
+    Dairy,
+    /// Legumes (lentils, beans, chickpea, …).
+    Legume,
+    /// Maize products (corn, tortilla, polenta, …).
+    Maize,
+    /// Cereals and cereal products (flour, rice, oats, …).
+    Cereal,
+    /// Meats (chicken, beef, pork, …).
+    Meat,
+    /// Nuts and seeds (almond, sesame, …).
+    NutsAndSeeds,
+    /// Other plant products (olive, coconut, aloe, …).
+    Plant,
+    /// Fish (salmon, cod, anchovy, …).
+    Fish,
+    /// Seafood other than fish (shrimp, crab, squid, …).
+    Seafood,
+    /// Spices (cumin, cinnamon, paprika, …).
+    Spice,
+    /// Bakery products (bread, pastry, cracker, …).
+    Bakery,
+    /// Alcoholic beverages (rum, sake, wine, …).
+    BeverageAlcoholic,
+    /// Non-alcoholic beverages (coffee, tea, juice, …).
+    Beverage,
+    /// Essential oils (peppermint oil, rose oil, …).
+    EssentialOil,
+    /// Edible flowers (hibiscus, elderflower, …).
+    Flower,
+    /// Fruits (apple, lime, pineapple, …).
+    Fruit,
+    /// Fungi (mushrooms, truffle, yeast, …).
+    Fungus,
+    /// Herbs (basil, cilantro, thyme, …).
+    Herb,
+    /// Additives (salt, baking powder, vinegar, food colorings, …).
+    Additive,
+    /// Prepared dishes used as ingredients (macaroni, kimchi, …).
+    Dish,
+}
+
+impl Category {
+    /// All 21 categories, in declaration order. The order is stable and is
+    /// used as the category index everywhere in the workspace.
+    pub const ALL: [Category; 21] = [
+        Category::Vegetable,
+        Category::Dairy,
+        Category::Legume,
+        Category::Maize,
+        Category::Cereal,
+        Category::Meat,
+        Category::NutsAndSeeds,
+        Category::Plant,
+        Category::Fish,
+        Category::Seafood,
+        Category::Spice,
+        Category::Bakery,
+        Category::BeverageAlcoholic,
+        Category::Beverage,
+        Category::EssentialOil,
+        Category::Flower,
+        Category::Fruit,
+        Category::Fungus,
+        Category::Herb,
+        Category::Additive,
+        Category::Dish,
+    ];
+
+    /// Number of categories.
+    pub const COUNT: usize = 21;
+
+    /// Stable dense index in `0..21`.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Inverse of [`Category::index`].
+    pub fn from_index(i: usize) -> Option<Category> {
+        Category::ALL.get(i).copied()
+    }
+
+    /// Display name as used in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Category::Vegetable => "Vegetable",
+            Category::Dairy => "Dairy",
+            Category::Legume => "Legume",
+            Category::Maize => "Maize",
+            Category::Cereal => "Cereal",
+            Category::Meat => "Meat",
+            Category::NutsAndSeeds => "Nuts and Seeds",
+            Category::Plant => "Plant",
+            Category::Fish => "Fish",
+            Category::Seafood => "Seafood",
+            Category::Spice => "Spice",
+            Category::Bakery => "Bakery",
+            Category::BeverageAlcoholic => "Beverage Alcoholic",
+            Category::Beverage => "Beverage",
+            Category::EssentialOil => "Essential Oil",
+            Category::Flower => "Flower",
+            Category::Fruit => "Fruit",
+            Category::Fungus => "Fungus",
+            Category::Herb => "Herb",
+            Category::Additive => "Additive",
+            Category::Dish => "Dish",
+        }
+    }
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when parsing an unknown category name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCategoryError(pub String);
+
+impl fmt::Display for ParseCategoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown ingredient category: {:?}", self.0)
+    }
+}
+
+impl std::error::Error for ParseCategoryError {}
+
+impl FromStr for Category {
+    type Err = ParseCategoryError;
+
+    /// Case-insensitive parse of the paper's category names. Accepts both
+    /// "Nuts and Seeds" and "NutsAndSeeds"-style spellings.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let key: String = s
+            .chars()
+            .filter(|c| c.is_ascii_alphanumeric())
+            .map(|c| c.to_ascii_lowercase())
+            .collect();
+        Category::ALL
+            .iter()
+            .copied()
+            .find(|c| {
+                let name: String = c
+                    .name()
+                    .chars()
+                    .filter(|ch| ch.is_ascii_alphanumeric())
+                    .map(|ch| ch.to_ascii_lowercase())
+                    .collect();
+                name == key
+            })
+            .ok_or_else(|| ParseCategoryError(s.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn there_are_exactly_21_categories() {
+        assert_eq!(Category::ALL.len(), 21);
+        assert_eq!(Category::COUNT, 21);
+    }
+
+    #[test]
+    fn indices_are_dense_and_invertible() {
+        for (i, c) in Category::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+            assert_eq!(Category::from_index(i), Some(*c));
+        }
+        assert_eq!(Category::from_index(21), None);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = Category::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 21);
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for c in Category::ALL {
+            assert_eq!(c.name().parse::<Category>().unwrap(), c);
+        }
+    }
+
+    #[test]
+    fn parse_is_case_and_space_insensitive() {
+        assert_eq!("nuts and seeds".parse::<Category>().unwrap(), Category::NutsAndSeeds);
+        assert_eq!("NUTSANDSEEDS".parse::<Category>().unwrap(), Category::NutsAndSeeds);
+        assert_eq!("beverage alcoholic".parse::<Category>().unwrap(), Category::BeverageAlcoholic);
+        assert_eq!("essential oil".parse::<Category>().unwrap(), Category::EssentialOil);
+    }
+
+    #[test]
+    fn parse_unknown_fails() {
+        let err = "Umami".parse::<Category>().unwrap_err();
+        assert!(err.to_string().contains("Umami"));
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(Category::Spice.to_string(), "Spice");
+        assert_eq!(Category::BeverageAlcoholic.to_string(), "Beverage Alcoholic");
+    }
+}

@@ -1,0 +1,132 @@
+//! The 96 compound ingredients added on top of the base lexicon
+//! (Section II: "96 compound ingredients (e.g. 'tomato puree', 'ginger
+//! garlic paste' etc.) consisting of multiple individual ingredients were
+//! added to the lexicon").
+//!
+//! Each compound carries the category of its dominant constituent, matching
+//! the paper's convention of assigning *every* entity one of the 21
+//! categories.
+
+use crate::category::Category;
+use crate::entity::{EntityKind, RawEntity};
+
+/// Shorthand constructor for compound entities with explicit categories.
+const fn compound(
+    name: &'static str,
+    category: Category,
+    aliases: &'static [&'static str],
+) -> RawEntity {
+    RawEntity { name, category, kind: EntityKind::Compound, aliases }
+}
+
+/// The 96 compound ingredients.
+pub static COMPOUNDS: &[RawEntity] = &[
+    // Tomato derivatives and cooked vegetable bases.
+    compound("Tomato Puree", Category::Vegetable, &["passata", "tomato purée"]),
+    compound("Tomato Paste", Category::Vegetable, &["tomato concentrate"]),
+    compound("Tomato Sauce", Category::Vegetable, &["canned tomato sauce"]),
+    compound("Marinara Sauce", Category::Vegetable, &["pasta sauce", "spaghetti sauce"]),
+    compound("Enchilada Sauce", Category::Vegetable, &["red enchilada sauce"]),
+    compound("Sun-dried Tomato", Category::Vegetable, &["sun dried tomatoes", "sundried tomato"]),
+    compound("Roasted Red Pepper", Category::Vegetable, &["roasted red peppers", "roasted capsicum"]),
+    compound("Caramelized Onion", Category::Vegetable, &["caramelised onions"]),
+    compound("Fried Onion", Category::Vegetable, &["crispy fried onions", "french fried onions", "birista"]),
+    compound("Vegetable Stock", Category::Vegetable, &["vegetable broth"]),
+    // Spice pastes, blends, and masalas.
+    compound("Ginger Garlic Paste", Category::Spice, &["garlic ginger paste"]),
+    compound("Garam Masala", Category::Spice, &["garam masala powder"]),
+    compound("Curry Powder", Category::Spice, &["madras curry powder"]),
+    compound("Curry Paste", Category::Spice, &["yellow curry paste"]),
+    compound("Red Curry Paste", Category::Spice, &["thai red curry paste"]),
+    compound("Green Curry Paste", Category::Spice, &["thai green curry paste"]),
+    compound("Five Spice Powder", Category::Spice, &["chinese five spice", "5 spice powder"]),
+    compound("Ras el Hanout", Category::Spice, &[]),
+    compound("Za'atar", Category::Spice, &["zaatar", "zatar"]),
+    compound("Baharat", Category::Spice, &[]),
+    compound("Berbere", Category::Spice, &["berbere spice"]),
+    compound("Harissa", Category::Spice, &["harissa paste"]),
+    compound("Mole Sauce", Category::Spice, &["mole poblano"]),
+    compound("Wasabi Paste", Category::Spice, &[]),
+    compound("Chili Paste", Category::Spice, &["chile paste", "chili bean paste"]),
+    compound("Sambal", Category::Spice, &["sambal oelek"]),
+    compound("Gochujang", Category::Spice, &["korean chili paste", "gochujang paste"]),
+    compound("Garlic Powder", Category::Spice, &["granulated garlic"]),
+    compound("Onion Powder", Category::Spice, &["granulated onion"]),
+    compound("Ginger Powder", Category::Spice, &["dried ginger", "saunth"]),
+    compound("Lemon Pepper", Category::Spice, &["lemon pepper seasoning"]),
+    compound("Taco Seasoning", Category::Spice, &["taco spice mix"]),
+    compound("Cajun Seasoning", Category::Spice, &["cajun spice", "creole seasoning"]),
+    compound("Italian Seasoning", Category::Spice, &["italian herbs mix"]),
+    compound("Chaat Masala", Category::Spice, &[]),
+    compound("Tandoori Masala", Category::Spice, &["tandoori spice mix"]),
+    compound("Sambar Powder", Category::Spice, &["sambhar masala"]),
+    compound("Panch Phoron", Category::Spice, &["bengali five spice", "panch phoran"]),
+    compound("Everything Bagel Seasoning", Category::Spice, &[]),
+    compound("Pumpkin Pie Spice", Category::Spice, &["pumpkin spice"]),
+    compound("Apple Pie Spice", Category::Spice, &[]),
+    compound("Pickling Spice", Category::Spice, &[]),
+    compound("Mulling Spice", Category::Spice, &["mulling spices"]),
+    compound("Candied Ginger", Category::Spice, &["crystallized ginger"]),
+    compound("Pickled Ginger", Category::Spice, &["gari", "sushi ginger"]),
+    // Herb blends.
+    compound("Pesto", Category::Herb, &["basil pesto", "pesto sauce"]),
+    compound("Herbes de Provence", Category::Herb, &[]),
+    compound("Bouquet Garni", Category::Herb, &[]),
+    // Condiments and sauces (additive-dominant).
+    compound("Chili Garlic Sauce", Category::Additive, &["garlic chili sauce"]),
+    compound("Sriracha", Category::Additive, &["sriracha sauce"]),
+    compound("Hot Sauce", Category::Additive, &["tabasco", "pepper sauce", "louisiana hot sauce"]),
+    compound("Fish Sauce", Category::Additive, &["nam pla", "nuoc mam"]),
+    compound("Oyster Sauce", Category::Additive, &[]),
+    compound("Hoisin Sauce", Category::Additive, &[]),
+    compound("Teriyaki Sauce", Category::Additive, &["teriyaki marinade"]),
+    compound("Worcestershire Sauce", Category::Additive, &["worcester sauce"]),
+    compound("Ketchup", Category::Additive, &["tomato ketchup", "catsup"]),
+    compound("Dijon Mustard", Category::Additive, &["whole grain mustard", "prepared mustard", "yellow mustard sauce"]),
+    compound("Mayonnaise", Category::Additive, &["mayo", "light mayonnaise"]),
+    compound("Tartar Sauce", Category::Additive, &["tartare sauce"]),
+    compound("Barbecue Sauce", Category::Additive, &["bbq sauce"]),
+    compound("Ranch Dressing", Category::Additive, &["ranch"]),
+    compound("Italian Dressing", Category::Additive, &[]),
+    compound("Caesar Dressing", Category::Additive, &[]),
+    compound("Vinaigrette", Category::Additive, &["balsamic vinaigrette"]),
+    compound("Salad Dressing", Category::Additive, &["french dressing", "thousand island dressing"]),
+    compound("Ponzu", Category::Additive, &["ponzu sauce"]),
+    compound("Simple Syrup", Category::Additive, &["sugar syrup"]),
+    // Dairy-based compounds.
+    compound("Alfredo Sauce", Category::Dairy, &["white sauce", "bechamel"]),
+    compound("Tzatziki", Category::Dairy, &["cucumber yogurt sauce", "raita"]),
+    // Nut and seed pastes.
+    compound("Tahini", Category::NutsAndSeeds, &["sesame paste", "tahina"]),
+    compound("Peanut Butter", Category::NutsAndSeeds, &["crunchy peanut butter", "smooth peanut butter"]),
+    compound("Almond Butter", Category::NutsAndSeeds, &[]),
+    compound("Chocolate Hazelnut Spread", Category::NutsAndSeeds, &["nutella"]),
+    compound("Dukkah", Category::NutsAndSeeds, &["duqqa"]),
+    // Legume pastes.
+    compound("Doubanjiang", Category::Legume, &["broad bean paste", "toban djan"]),
+    compound("Black Bean Sauce", Category::Legume, &["fermented black beans", "douchi"]),
+    // Seafood/fish compounds.
+    compound("Shrimp Paste", Category::Seafood, &["belacan", "kapi"]),
+    compound("XO Sauce", Category::Seafood, &[]),
+    compound("Anchovy Paste", Category::Fish, &[]),
+    compound("Dashi", Category::Fish, &["dashi stock", "dashi broth"]),
+    compound("Fish Stock", Category::Fish, &["fish broth", "fumet"]),
+    compound("Furikake", Category::Fish, &[]),
+    // Meat stocks.
+    compound("Chicken Stock", Category::Meat, &["chicken broth", "chicken stock cube broth"]),
+    compound("Beef Stock", Category::Meat, &["beef broth"]),
+    compound("Bone Broth", Category::Meat, &[]),
+    // Coconut derivatives.
+    compound("Coconut Milk", Category::Plant, &["canned coconut milk", "light coconut milk"]),
+    compound("Coconut Cream", Category::Plant, &["creamed coconut"]),
+    // Citrus derivatives.
+    compound("Lemon Juice", Category::Fruit, &["fresh lemon juice", "juice of lemon"]),
+    compound("Lime Juice", Category::Fruit, &["fresh lime juice", "juice of lime"]),
+    compound("Lemon Zest", Category::Fruit, &["lemon peel", "grated lemon rind"]),
+    compound("Orange Zest", Category::Fruit, &["orange peel", "grated orange rind"]),
+    compound("Tamarind Paste", Category::Fruit, &["tamarind concentrate", "tamarind pulp"]),
+    // Flour mixes.
+    compound("Self-raising Flour", Category::Cereal, &["self rising flour"]),
+    compound("Pancake Mix", Category::Cereal, &["waffle mix"]),
+    compound("Cake Mix", Category::Cereal, &["yellow cake mix", "white cake mix"]),
+];

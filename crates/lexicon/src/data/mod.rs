@@ -1,0 +1,85 @@
+//! Embedded lexicon data: the reconstruction of the paper's standardized
+//! ingredient dictionary.
+//!
+//! Section II of the paper: "The ingredient lexicon from FlavorDB was used
+//! as the base … 96 compound ingredients … were added to the lexicon and all
+//! the ingredients were manually assigned one of the … 21 categories. Each
+//! ingredient-mention in a recipe was mapped to one of the 721 entities."
+//!
+//! FlavorDB itself is not redistributable here, so the tables below are a
+//! hand-reconstructed equivalent: **625 base entities + 96 compound
+//! ingredients = 721 entities**, partitioned into the paper's 21 categories,
+//! containing every ingredient named in Table I. The unit tests in
+//! `crate::lexicon` pin the exact counts.
+
+use crate::category::Category;
+use crate::entity::{EntityKind, RawEntity};
+
+mod animal;
+mod compound;
+mod pantry;
+mod processed;
+mod produce;
+
+/// Declare a table of entities sharing one category and kind.
+macro_rules! entities {
+    ($cat:ident, $kind:ident; $( $name:literal $( [ $($alias:literal),* $(,)? ] )? ),+ $(,)?) => {
+        &[ $( $crate::entity::RawEntity {
+            name: $name,
+            category: $crate::category::Category::$cat,
+            kind: $crate::entity::EntityKind::$kind,
+            aliases: &[ $( $($alias),* )? ],
+        } ),+ ]
+    };
+}
+pub(crate) use entities;
+
+/// Every raw entity table, in lexicon order. Base entities come first,
+/// compounds last, matching the paper's construction (base lexicon with the
+/// 96 compounds "added").
+pub fn all_tables() -> Vec<&'static [RawEntity]> {
+    vec![
+        produce::VEGETABLES,
+        produce::FRUITS,
+        produce::HERBS,
+        produce::FLOWERS,
+        produce::FUNGI,
+        pantry::SPICES,
+        pantry::CEREALS,
+        pantry::LEGUMES,
+        pantry::MAIZE,
+        pantry::NUTS_AND_SEEDS,
+        pantry::PLANTS,
+        animal::MEATS,
+        animal::FISH,
+        animal::SEAFOOD,
+        animal::DAIRY,
+        processed::BAKERY,
+        processed::BEVERAGES,
+        processed::BEVERAGES_ALCOHOLIC,
+        processed::ESSENTIAL_OILS,
+        processed::ADDITIVES,
+        processed::DISHES,
+        compound::COMPOUNDS,
+    ]
+}
+
+/// Iterate over every raw entity in lexicon order.
+pub fn all_entities() -> impl Iterator<Item = &'static RawEntity> {
+    all_tables().into_iter().flatten()
+}
+
+/// Count of base entities across the tables.
+pub fn base_count() -> usize {
+    all_entities().filter(|e| e.kind == EntityKind::Base).count()
+}
+
+/// Count of compound entities across the tables.
+pub fn compound_count() -> usize {
+    all_entities().filter(|e| e.kind == EntityKind::Compound).count()
+}
+
+/// Count of entities in a given category.
+pub fn category_count(cat: Category) -> usize {
+    all_entities().filter(|e| e.category == cat).count()
+}

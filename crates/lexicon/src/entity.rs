@@ -1,0 +1,106 @@
+//! Ingredient entities: the atoms of the standardized lexicon.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::category::Category;
+
+/// Dense identifier of an ingredient entity within a [`crate::Lexicon`].
+///
+/// Ids index into the lexicon's entity table (`0..721` for the full
+/// reconstructed lexicon) and are stable for a given lexicon build.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct IngredientId(pub u16);
+
+impl IngredientId {
+    /// The id as a dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for IngredientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// Whether an entity is a base FlavorDB-style entity or one of the 96
+/// compound ingredients added on top (Section II: "96 compound ingredients
+/// (e.g. 'tomato puree', 'ginger garlic paste' etc.) consisting of multiple
+/// individual ingredients were added to the lexicon").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EntityKind {
+    /// A base lexicon entity.
+    Base,
+    /// A compound ingredient composed of multiple base ingredients.
+    Compound,
+}
+
+/// One standardized ingredient entity.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IngredientEntity {
+    /// Canonical display name, e.g. `"Soybean Sauce"`.
+    pub name: String,
+    /// The manually assigned category.
+    pub category: Category,
+    /// Base or compound.
+    pub kind: EntityKind,
+    /// Known alias surface forms (lower-cased canonical forms are implied
+    /// and need not be listed).
+    pub aliases: Vec<String>,
+}
+
+/// Raw, `const`-friendly entity record used by the embedded data tables.
+#[derive(Debug, Clone, Copy)]
+pub struct RawEntity {
+    /// Canonical display name.
+    pub name: &'static str,
+    /// Category.
+    pub category: Category,
+    /// Base or compound.
+    pub kind: EntityKind,
+    /// Alias surface forms.
+    pub aliases: &'static [&'static str],
+}
+
+impl RawEntity {
+    /// Materialize into an owned [`IngredientEntity`].
+    pub fn to_entity(&self) -> IngredientEntity {
+        IngredientEntity {
+            name: self.name.to_string(),
+            category: self.category,
+            kind: self.kind,
+            aliases: self.aliases.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_roundtrips_index() {
+        assert_eq!(IngredientId(42).index(), 42);
+        assert_eq!(IngredientId(42).to_string(), "#42");
+    }
+
+    #[test]
+    fn raw_entity_materializes() {
+        const RAW: RawEntity = RawEntity {
+            name: "Tomato Puree",
+            category: Category::Vegetable,
+            kind: EntityKind::Compound,
+            aliases: &["tomato paste puree", "passata"],
+        };
+        let e = RAW.to_entity();
+        assert_eq!(e.name, "Tomato Puree");
+        assert_eq!(e.category, Category::Vegetable);
+        assert_eq!(e.kind, EntityKind::Compound);
+        assert_eq!(e.aliases, vec!["tomato paste puree", "passata"]);
+    }
+}

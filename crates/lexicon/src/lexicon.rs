@@ -1,0 +1,298 @@
+//! The standardized ingredient lexicon: entity table plus mention
+//! resolution.
+
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+use crate::alias::normalize;
+use crate::category::Category;
+use crate::data;
+use crate::entity::{EntityKind, IngredientEntity, IngredientId};
+
+/// The standardized ingredient lexicon.
+///
+/// Holds the entity table and the inverted alias index. Construct the full
+/// reconstructed lexicon with [`Lexicon::standard`] (cached process-wide) or
+/// build a custom one from entities with [`Lexicon::from_entities`].
+#[derive(Debug)]
+pub struct Lexicon {
+    entities: Vec<IngredientEntity>,
+    by_key: HashMap<String, IngredientId>,
+    by_category: Vec<Vec<IngredientId>>,
+}
+
+impl Lexicon {
+    /// The full reconstructed standard lexicon: 625 base + 96 compound =
+    /// 721 entities. Built once per process and shared.
+    pub fn standard() -> &'static Lexicon {
+        static STANDARD: OnceLock<Lexicon> = OnceLock::new();
+        STANDARD.get_or_init(|| {
+            Lexicon::from_entities(data::all_entities().map(|raw| raw.to_entity()))
+                .expect("embedded lexicon data must be consistent")
+        })
+    }
+
+    /// Build a lexicon from entities.
+    ///
+    /// Returns an error string naming the offending entry when a canonical
+    /// name or alias normalizes to an empty key or collides with another
+    /// entity's key.
+    pub fn from_entities(
+        entities: impl IntoIterator<Item = IngredientEntity>,
+    ) -> Result<Lexicon, String> {
+        let entities: Vec<IngredientEntity> = entities.into_iter().collect();
+        if entities.len() > u16::MAX as usize {
+            return Err(format!("too many entities: {}", entities.len()));
+        }
+        let mut by_key: HashMap<String, IngredientId> = HashMap::new();
+        let mut by_category: Vec<Vec<IngredientId>> = vec![Vec::new(); Category::COUNT];
+
+        for (i, e) in entities.iter().enumerate() {
+            let id = IngredientId(i as u16);
+            by_category[e.category.index()].push(id);
+            let canonical = normalize(&e.name);
+            if canonical.is_empty() {
+                return Err(format!("entity {:?} normalizes to an empty key", e.name));
+            }
+            if let Some(prev) = by_key.insert(canonical.clone(), id) {
+                return Err(format!(
+                    "canonical name {:?} of {:?} collides with {:?}",
+                    canonical, e.name, entities[prev.index()].name
+                ));
+            }
+            for alias in &e.aliases {
+                let key = normalize(alias);
+                if key.is_empty() {
+                    return Err(format!("alias {:?} of {:?} normalizes to empty", alias, e.name));
+                }
+                if key == canonical {
+                    continue; // redundant alias, harmless
+                }
+                if let Some(prev) = by_key.get(&key) {
+                    if *prev != id {
+                        return Err(format!(
+                            "alias {:?} of {:?} collides with {:?}",
+                            alias, e.name, entities[prev.index()].name
+                        ));
+                    }
+                    continue;
+                }
+                by_key.insert(key, id);
+            }
+        }
+        Ok(Lexicon { entities, by_key, by_category })
+    }
+
+    /// Number of entities.
+    pub fn len(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// True when the lexicon holds no entities.
+    pub fn is_empty(&self) -> bool {
+        self.entities.is_empty()
+    }
+
+    /// The entity for an id.
+    ///
+    /// # Panics
+    /// Panics when the id does not belong to this lexicon.
+    pub fn entity(&self, id: IngredientId) -> &IngredientEntity {
+        &self.entities[id.index()]
+    }
+
+    /// Canonical display name for an id.
+    pub fn name(&self, id: IngredientId) -> &str {
+        &self.entity(id).name
+    }
+
+    /// Category of an id.
+    pub fn category(&self, id: IngredientId) -> Category {
+        self.entity(id).category
+    }
+
+    /// All entities, in id order.
+    pub fn entities(&self) -> &[IngredientEntity] {
+        &self.entities
+    }
+
+    /// Ids of all entities, in order.
+    pub fn ids(&self) -> impl Iterator<Item = IngredientId> + '_ {
+        (0..self.entities.len()).map(|i| IngredientId(i as u16))
+    }
+
+    /// Ids belonging to a category.
+    pub fn ids_in_category(&self, cat: Category) -> &[IngredientId] {
+        &self.by_category[cat.index()]
+    }
+
+    /// Resolve a raw recipe mention to an entity id via the aliasing
+    /// protocol: normalize, then exact lookup against canonical names and
+    /// aliases. Returns `None` for unknown mentions.
+    pub fn resolve(&self, mention: &str) -> Option<IngredientId> {
+        let key = normalize(mention);
+        if key.is_empty() {
+            return None;
+        }
+        self.by_key.get(&key).copied()
+    }
+
+    /// Number of base entities.
+    pub fn base_count(&self) -> usize {
+        self.entities.iter().filter(|e| e.kind == EntityKind::Base).count()
+    }
+
+    /// Number of compound entities.
+    pub fn compound_count(&self) -> usize {
+        self.entities.iter().filter(|e| e.kind == EntityKind::Compound).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_lexicon_has_exactly_721_entities() {
+        let lex = Lexicon::standard();
+        assert_eq!(lex.len(), 721, "expected 721 entities, got {}", lex.len());
+    }
+
+    #[test]
+    fn standard_lexicon_has_625_base_and_96_compound() {
+        let lex = Lexicon::standard();
+        assert_eq!(lex.base_count(), 625, "base entities");
+        assert_eq!(lex.compound_count(), 96, "compound entities");
+    }
+
+    #[test]
+    fn every_category_is_populated() {
+        let lex = Lexicon::standard();
+        for cat in Category::ALL {
+            assert!(
+                !lex.ids_in_category(cat).is_empty(),
+                "category {cat} has no entities"
+            );
+        }
+    }
+
+    #[test]
+    fn category_index_partitions_the_lexicon() {
+        let lex = Lexicon::standard();
+        let total: usize = Category::ALL.iter().map(|&c| lex.ids_in_category(c).len()).sum();
+        assert_eq!(total, lex.len());
+    }
+
+    #[test]
+    fn table1_ingredients_all_resolve() {
+        // Every ingredient named in Table I of the paper must be present.
+        let lex = Lexicon::standard();
+        let table1 = [
+            "Cumin", "Cinnamon", "Olive", "Cilantro", "Paprika", "Butter", "Egg",
+            "Sugar", "Flour", "Coconut", "Potato", "Cream", "Baking Powder",
+            "Vanilla", "Lime", "Rum", "Pineapple", "Allspice", "Thyme",
+            "Soybean Sauce", "Sesame", "Ginger", "Corn", "Chicken", "Swiss Cheese",
+            "Salt", "Feta Cheese", "Oregano", "Lemon Juice", "Tomato", "Cayenne",
+            "Turmeric", "Garam Masala", "Parmesan Cheese", "Basil", "Garlic",
+            "Vinegar", "Sake", "Tortilla", "Parsley", "Mint", "Beef", "Onion",
+            "Pepper", "Mushroom", "Fish", "Coconut Milk", "Mustard", "Macaroni",
+            "Celery", "Milk",
+        ];
+        for name in table1 {
+            assert!(lex.resolve(name).is_some(), "Table I ingredient {name:?} missing");
+        }
+    }
+
+    #[test]
+    fn resolution_goes_through_normalization() {
+        let lex = Lexicon::standard();
+        let butter = lex.resolve("Butter").unwrap();
+        assert_eq!(lex.resolve("2 tbsp melted BUTTER"), Some(butter));
+        let tomato = lex.resolve("Tomato").unwrap();
+        assert_eq!(lex.resolve("3 large tomatoes, diced"), Some(tomato));
+        let soy = lex.resolve("Soybean Sauce").unwrap();
+        assert_eq!(lex.resolve("soy sauce"), Some(soy));
+        assert_eq!(lex.resolve("light soy sauce"), Some(soy));
+    }
+
+    #[test]
+    fn aliases_map_to_their_entity() {
+        let lex = Lexicon::standard();
+        let cilantro = lex.resolve("Cilantro").unwrap();
+        assert_eq!(lex.resolve("dhania"), Some(cilantro));
+        assert_eq!(lex.resolve("coriander leaves"), Some(cilantro));
+        // But "Coriander" (the seed/spice) is a distinct entity.
+        let coriander = lex.resolve("Coriander").unwrap();
+        assert_ne!(coriander, cilantro);
+        assert_eq!(lex.category(coriander), Category::Spice);
+        assert_eq!(lex.category(cilantro), Category::Herb);
+    }
+
+    #[test]
+    fn pepper_means_black_pepper() {
+        let lex = Lexicon::standard();
+        let bp = lex.resolve("Black Pepper").unwrap();
+        assert_eq!(lex.resolve("pepper"), Some(bp));
+        assert_eq!(lex.category(bp), Category::Spice);
+    }
+
+    #[test]
+    fn unknown_mentions_do_not_resolve() {
+        let lex = Lexicon::standard();
+        assert_eq!(lex.resolve("unobtainium powder"), None);
+        assert_eq!(lex.resolve(""), None);
+        assert_eq!(lex.resolve("2 cups"), None);
+    }
+
+    #[test]
+    fn compound_entities_have_expected_kinds() {
+        let lex = Lexicon::standard();
+        let gm = lex.resolve("Garam Masala").unwrap();
+        assert_eq!(lex.entity(gm).kind, EntityKind::Compound);
+        let cumin = lex.resolve("Cumin").unwrap();
+        assert_eq!(lex.entity(cumin).kind, EntityKind::Base);
+        let cm = lex.resolve("Coconut Milk").unwrap();
+        assert_eq!(lex.entity(cm).kind, EntityKind::Compound);
+        assert_eq!(lex.category(cm), Category::Plant);
+    }
+
+    #[test]
+    fn ids_are_dense_and_stable() {
+        let lex = Lexicon::standard();
+        for (i, id) in lex.ids().enumerate() {
+            assert_eq!(id.index(), i);
+        }
+    }
+
+    #[test]
+    fn from_entities_rejects_duplicate_names() {
+        let e = |name: &str| IngredientEntity {
+            name: name.to_string(),
+            category: Category::Spice,
+            kind: EntityKind::Base,
+            aliases: vec![],
+        };
+        let err = Lexicon::from_entities([e("Cumin"), e("cumin")]).unwrap_err();
+        assert!(err.contains("collides"), "{err}");
+    }
+
+    #[test]
+    fn from_entities_rejects_cross_entity_alias_collision() {
+        let err = Lexicon::from_entities([
+            IngredientEntity {
+                name: "Alpha Spice".into(),
+                category: Category::Spice,
+                kind: EntityKind::Base,
+                aliases: vec!["shared alias".into()],
+            },
+            IngredientEntity {
+                name: "Beta Spice".into(),
+                category: Category::Spice,
+                kind: EntityKind::Base,
+                aliases: vec!["shared alias".into()],
+            },
+        ])
+        .unwrap_err();
+        assert!(err.contains("collides"), "{err}");
+    }
+}

@@ -1,0 +1,31 @@
+//! # cuisine-lexicon
+//!
+//! The standardized ingredient lexicon of the cuisine-evolution workspace —
+//! a reconstruction of the dictionary described in Section II of *Tuwani et
+//! al., "Computational models for the evolution of world cuisines" (ICDE
+//! 2019)*: **721 entities** (625 base + 96 compound ingredients) manually
+//! assigned to **21 categories**, with an aliasing protocol that maps raw
+//! recipe mentions onto canonical entities.
+//!
+//! ```
+//! use cuisine_lexicon::{Category, Lexicon};
+//!
+//! let lex = Lexicon::standard();
+//! assert_eq!(lex.len(), 721);
+//!
+//! let id = lex.resolve("2 tbsp freshly chopped cilantro").unwrap();
+//! assert_eq!(lex.name(id), "Cilantro");
+//! assert_eq!(lex.category(id), Category::Herb);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod alias;
+pub mod category;
+pub mod data;
+pub mod entity;
+mod lexicon;
+
+pub use category::{Category, ParseCategoryError};
+pub use entity::{EntityKind, IngredientEntity, IngredientId, RawEntity};
+pub use lexicon::Lexicon;

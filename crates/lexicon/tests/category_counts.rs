@@ -1,0 +1,73 @@
+//! Pins the reconstructed lexicon's category partition so accidental edits
+//! to the data tables are caught immediately.
+
+use cuisine_lexicon::{Category, EntityKind, Lexicon};
+
+/// Expected entity count per category (base + compound together). These
+/// are this reconstruction's choices (the paper publishes only the totals:
+/// 721 entities, 21 categories, 96 compounds).
+const EXPECTED: [(Category, usize); 21] = [
+    (Category::Vegetable, 65 + 10),
+    (Category::Dairy, 35 + 2),
+    (Category::Legume, 20 + 2),
+    (Category::Maize, 7),
+    (Category::Cereal, 28 + 3),
+    (Category::Meat, 40 + 3),
+    (Category::NutsAndSeeds, 25 + 5),
+    (Category::Plant, 30 + 2),
+    (Category::Fish, 28 + 4),
+    (Category::Seafood, 20 + 2),
+    (Category::Spice, 45 + 35),
+    (Category::Bakery, 28),
+    (Category::BeverageAlcoholic, 25),
+    (Category::Beverage, 20),
+    (Category::EssentialOil, 10),
+    (Category::Flower, 8),
+    (Category::Fruit, 60 + 5),
+    (Category::Fungus, 12),
+    (Category::Herb, 28 + 3),
+    (Category::Additive, 41 + 20),
+    (Category::Dish, 50),
+];
+
+#[test]
+fn per_category_counts_are_pinned() {
+    let lex = Lexicon::standard();
+    for (cat, expected) in EXPECTED {
+        let actual = lex.ids_in_category(cat).len();
+        assert_eq!(actual, expected, "category {cat}: expected {expected}, got {actual}");
+    }
+}
+
+#[test]
+fn pinned_counts_sum_to_721() {
+    let total: usize = EXPECTED.iter().map(|&(_, n)| n).sum();
+    assert_eq!(total, 721);
+}
+
+#[test]
+fn compound_count_by_category_sums_to_96() {
+    let lex = Lexicon::standard();
+    let compound_total: usize = Category::ALL
+        .iter()
+        .map(|&cat| {
+            lex.ids_in_category(cat)
+                .iter()
+                .filter(|&&id| lex.entity(id).kind == EntityKind::Compound)
+                .count()
+        })
+        .sum();
+    assert_eq!(compound_total, 96);
+}
+
+#[test]
+fn every_entity_name_is_nonempty_and_trimmed() {
+    let lex = Lexicon::standard();
+    for e in lex.entities() {
+        assert!(!e.name.trim().is_empty());
+        assert_eq!(e.name.trim(), e.name, "untrimmed name {:?}", e.name);
+        for a in &e.aliases {
+            assert!(!a.trim().is_empty(), "empty alias on {:?}", e.name);
+        }
+    }
+}

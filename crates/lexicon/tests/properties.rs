@@ -1,0 +1,60 @@
+//! Property-based tests for the lexicon and the aliasing protocol.
+
+use cuisine_lexicon::alias::normalize;
+use cuisine_lexicon::{Category, Lexicon};
+use proptest::prelude::*;
+
+proptest! {
+    /// Normalization is idempotent on arbitrary ASCII-ish input.
+    #[test]
+    fn normalize_is_idempotent(s in "[ -~]{0,40}") {
+        let once = normalize(&s);
+        prop_assert_eq!(normalize(&once), once);
+    }
+
+    /// Normalization never yields leading/trailing/double spaces.
+    #[test]
+    fn normalize_output_is_clean(s in "[ -~]{0,40}") {
+        let n = normalize(&s);
+        prop_assert_eq!(n.trim(), n.as_str());
+        prop_assert!(!n.contains("  "), "double space in {n:?}");
+        prop_assert!(!n.chars().any(|c| c.is_ascii_uppercase() || c.is_ascii_digit()));
+    }
+
+    /// Resolution is invariant under case changes and surrounding noise.
+    #[test]
+    fn resolve_is_case_insensitive(idx in 0usize..721) {
+        let lex = Lexicon::standard();
+        let name = &lex.entities()[idx].name;
+        let id = lex.resolve(name);
+        prop_assert!(id.is_some(), "canonical name {name:?} must resolve");
+        prop_assert_eq!(lex.resolve(&name.to_uppercase()), id);
+        prop_assert_eq!(lex.resolve(&name.to_lowercase()), id);
+        prop_assert_eq!(lex.resolve(&format!("  {name} ")), id);
+    }
+
+    /// Every alias of every entity resolves back to that entity.
+    #[test]
+    fn aliases_resolve_to_owner(idx in 0usize..721) {
+        let lex = Lexicon::standard();
+        let entity = &lex.entities()[idx];
+        let id = lex.resolve(&entity.name).unwrap();
+        for alias in &entity.aliases {
+            let resolved = lex.resolve(alias);
+            prop_assert_eq!(
+                resolved, Some(id),
+                "alias {:?} of {:?} resolved to {:?}", alias, entity.name, resolved
+            );
+        }
+    }
+
+    /// Category index round-trips through the entity table.
+    #[test]
+    fn category_membership_is_consistent(cat_idx in 0usize..21) {
+        let lex = Lexicon::standard();
+        let cat = Category::from_index(cat_idx).unwrap();
+        for &id in lex.ids_in_category(cat) {
+            prop_assert_eq!(lex.category(id), cat);
+        }
+    }
+}

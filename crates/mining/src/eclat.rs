@@ -1,0 +1,147 @@
+//! Eclat frequent-itemset mining (Zaki, 2000).
+//!
+//! Depth-first search over the itemset lattice using vertical *tid-lists*:
+//! each item maps to the sorted list of transaction ids containing it, and
+//! the support of an itemset extension is the length of a tid-list
+//! intersection. Produces exactly the same output as Apriori and FP-Growth
+//! (pinned by property tests), completing the miner triad for the
+//! `ablation_mining` bench.
+
+use std::collections::HashMap;
+
+use crate::itemset::{canonical_sort, FrequentItemset, Itemset};
+use crate::transaction::TransactionSet;
+
+/// Mine all itemsets with support count >= `min_support_count` using Eclat.
+/// Output order matches the other miners.
+pub fn mine_eclat(transactions: &TransactionSet, min_support_count: u64) -> Vec<FrequentItemset> {
+    assert!(min_support_count > 0, "minimum support must be at least 1");
+
+    // Build vertical tid-lists.
+    let mut tidlists: HashMap<u32, Vec<u32>> = HashMap::new();
+    for (tid, t) in transactions.transactions().iter().enumerate() {
+        for &item in t {
+            tidlists.entry(item).or_default().push(tid as u32);
+        }
+    }
+    // Frequent 1-itemsets, in ascending item order for a deterministic DFS.
+    let mut roots: Vec<(u32, Vec<u32>)> = tidlists
+        .into_iter()
+        .filter(|(_, tids)| tids.len() as u64 >= min_support_count)
+        .collect();
+    roots.sort_by_key(|&(item, _)| item);
+
+    let mut out = Vec::new();
+    // DFS: at each level, the "equivalence class" is the list of
+    // (item, tidlist) pairs that can extend the current prefix.
+    dfs(&[], &roots, min_support_count, &mut out);
+    canonical_sort(&mut out);
+    out
+}
+
+/// Recursive DFS over one equivalence class.
+fn dfs(
+    prefix: &[u32],
+    class: &[(u32, Vec<u32>)],
+    min_support: u64,
+    out: &mut Vec<FrequentItemset>,
+) {
+    for (i, (item, tids)) in class.iter().enumerate() {
+        let mut items: Itemset = prefix.to_vec();
+        items.push(*item);
+        items.sort_unstable();
+        out.push(FrequentItemset { items: items.clone(), support_count: tids.len() as u64 });
+
+        // Build the child class: extensions by later items.
+        let mut child: Vec<(u32, Vec<u32>)> = Vec::new();
+        for (other, other_tids) in &class[i + 1..] {
+            let inter = intersect_sorted(tids, other_tids);
+            if inter.len() as u64 >= min_support {
+                child.push((*other, inter));
+            }
+        }
+        if !child.is_empty() {
+            // `items` is the new prefix (already includes *item).
+            let prefix_items = items;
+            dfs(&prefix_items, &child, min_support, out);
+        }
+    }
+}
+
+/// Intersection of two sorted tid-lists.
+fn intersect_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apriori::mine_apriori;
+    use crate::fpgrowth::mine_fpgrowth;
+    use crate::transaction::ItemMode;
+
+    fn ts(raw: Vec<Vec<u32>>) -> TransactionSet {
+        TransactionSet::from_raw(raw, ItemMode::Ingredients)
+    }
+
+    #[test]
+    fn intersect_sorted_basics() {
+        assert_eq!(intersect_sorted(&[1, 3, 5], &[2, 3, 5, 7]), vec![3, 5]);
+        assert_eq!(intersect_sorted(&[], &[1]), Vec::<u32>::new());
+        assert_eq!(intersect_sorted(&[1, 2], &[1, 2]), vec![1, 2]);
+    }
+
+    #[test]
+    fn textbook_example_matches_other_miners() {
+        let t = ts(vec![
+            vec![1, 3, 4],
+            vec![2, 3, 5],
+            vec![1, 2, 3, 5],
+            vec![2, 5],
+        ]);
+        let ec = mine_eclat(&t, 2);
+        assert_eq!(ec, mine_apriori(&t, 2));
+        assert_eq!(ec, mine_fpgrowth(&t, 2));
+        assert_eq!(ec.len(), 9);
+    }
+
+    #[test]
+    fn empty_and_threshold_edge() {
+        assert!(mine_eclat(&ts(vec![]), 1).is_empty());
+        assert!(mine_eclat(&ts(vec![vec![1], vec![2]]), 2).is_empty());
+        assert_eq!(mine_eclat(&ts(vec![vec![1], vec![1]]), 2).len(), 1);
+    }
+
+    #[test]
+    fn single_transaction_powerset() {
+        let t = ts(vec![vec![1, 2, 3, 4]]);
+        assert_eq!(mine_eclat(&t, 1).len(), 15, "2^4 - 1");
+    }
+
+    #[test]
+    #[should_panic(expected = "minimum support")]
+    fn rejects_zero_support() {
+        let _ = mine_eclat(&ts(vec![vec![1]]), 0);
+    }
+
+    #[test]
+    fn dense_identical_transactions() {
+        let t = ts(vec![vec![7, 8, 9]; 30]);
+        let result = mine_eclat(&t, 15);
+        assert_eq!(result.len(), 7);
+        assert!(result.iter().all(|f| f.support_count == 30));
+    }
+}

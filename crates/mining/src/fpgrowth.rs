@@ -1,0 +1,235 @@
+//! FP-Growth frequent-itemset mining (Han, Pei & Yin, 2000).
+//!
+//! Builds a frequency-ordered prefix tree (FP-tree) over the transactions
+//! and mines it recursively through conditional pattern bases — no
+//! candidate generation. Produces exactly the same itemsets as
+//! [`crate::apriori::mine_apriori`]; the equivalence is pinned by property
+//! tests and exercised by the `ablation_mining` bench.
+
+use std::collections::HashMap;
+
+use crate::itemset::{canonical_sort, FrequentItemset, Itemset};
+use crate::transaction::TransactionSet;
+
+/// Arena-allocated FP-tree.
+struct FpTree {
+    nodes: Vec<Node>,
+    /// item -> indices of nodes carrying that item (the header table).
+    header: HashMap<u32, Vec<usize>>,
+}
+
+struct Node {
+    item: u32,
+    count: u64,
+    parent: usize,
+    children: Vec<(u32, usize)>,
+}
+
+const ROOT: usize = 0;
+
+impl FpTree {
+    fn new() -> Self {
+        FpTree {
+            nodes: vec![Node { item: u32::MAX, count: 0, parent: usize::MAX, children: Vec::new() }],
+            header: HashMap::new(),
+        }
+    }
+
+    /// Insert a (frequency-ordered) item path with a count.
+    fn insert(&mut self, path: &[u32], count: u64) {
+        let mut cur = ROOT;
+        for &item in path {
+            let next = self.nodes[cur]
+                .children
+                .iter()
+                .find(|&&(it, _)| it == item)
+                .map(|&(_, idx)| idx);
+            cur = match next {
+                Some(idx) => {
+                    self.nodes[idx].count += count;
+                    idx
+                }
+                None => {
+                    let idx = self.nodes.len();
+                    self.nodes.push(Node { item, count, parent: cur, children: Vec::new() });
+                    self.nodes[cur].children.push((item, idx));
+                    self.header.entry(item).or_default().push(idx);
+                    idx
+                }
+            };
+        }
+    }
+
+    /// Walk from a node to the root, collecting the prefix path (excluding
+    /// the node's own item).
+    fn prefix_path(&self, mut idx: usize) -> Vec<u32> {
+        let mut path = Vec::new();
+        idx = self.nodes[idx].parent;
+        while idx != ROOT && idx != usize::MAX {
+            path.push(self.nodes[idx].item);
+            idx = self.nodes[idx].parent;
+        }
+        path.reverse();
+        path
+    }
+}
+
+/// Mine all itemsets with support count >= `min_support_count` using
+/// FP-Growth. Output order matches [`crate::apriori::mine_apriori`].
+pub fn mine_fpgrowth(
+    transactions: &TransactionSet,
+    min_support_count: u64,
+) -> Vec<FrequentItemset> {
+    assert!(min_support_count > 0, "minimum support must be at least 1");
+    let txs = transactions.transactions();
+
+    // Weighted "transactions" let the recursion reuse this entry point
+    // shape; the top level has weight 1 each.
+    let weighted: Vec<(&[u32], u64)> = txs.iter().map(|t| (t.as_slice(), 1)).collect();
+    let mut results = Vec::new();
+    fp_growth(&weighted, min_support_count, &[], &mut results);
+    canonical_sort(&mut results);
+    results
+}
+
+/// One level of the FP-Growth recursion over weighted transactions.
+fn fp_growth(
+    transactions: &[(&[u32], u64)],
+    min_support: u64,
+    suffix: &[u32],
+    out: &mut Vec<FrequentItemset>,
+) {
+    // Count items under weights.
+    let mut counts: HashMap<u32, u64> = HashMap::new();
+    for &(t, w) in transactions {
+        for &item in t {
+            *counts.entry(item).or_default() += w;
+        }
+    }
+    // Frequency order: descending count, ascending item id for determinism.
+    let mut frequent: Vec<(u32, u64)> = counts
+        .into_iter()
+        .filter(|&(_, c)| c >= min_support)
+        .collect();
+    frequent.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    if frequent.is_empty() {
+        return;
+    }
+    let order: HashMap<u32, usize> =
+        frequent.iter().enumerate().map(|(i, &(item, _))| (item, i)).collect();
+
+    // Build the FP-tree over frequency-ordered, filtered transactions.
+    let mut tree = FpTree::new();
+    let mut path_buf: Vec<u32> = Vec::new();
+    for &(t, w) in transactions {
+        path_buf.clear();
+        path_buf.extend(t.iter().copied().filter(|item| order.contains_key(item)));
+        path_buf.sort_by_key(|item| order[item]);
+        if !path_buf.is_empty() {
+            tree.insert(&path_buf, w);
+        }
+    }
+
+    // Mine items least-frequent first.
+    for &(item, count) in frequent.iter().rev() {
+        let mut itemset: Itemset = suffix.to_vec();
+        itemset.push(item);
+        itemset.sort_unstable();
+        out.push(FrequentItemset { items: itemset.clone(), support_count: count });
+
+        // Conditional pattern base for `item`.
+        let empty = Vec::new();
+        let node_indices = tree.header.get(&item).unwrap_or(&empty);
+        let base: Vec<(Vec<u32>, u64)> = node_indices
+            .iter()
+            .map(|&idx| (tree.prefix_path(idx), tree.nodes[idx].count))
+            .filter(|(p, _)| !p.is_empty())
+            .collect();
+        if base.is_empty() {
+            continue;
+        }
+        let weighted: Vec<(&[u32], u64)> =
+            base.iter().map(|(p, w)| (p.as_slice(), *w)).collect();
+        fp_growth(&weighted, min_support, &itemset, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apriori::mine_apriori;
+    use crate::transaction::ItemMode;
+
+    fn ts(raw: Vec<Vec<u32>>) -> TransactionSet {
+        TransactionSet::from_raw(raw, ItemMode::Ingredients)
+    }
+
+    #[test]
+    fn textbook_example_matches_apriori() {
+        let t = ts(vec![
+            vec![1, 3, 4],
+            vec![2, 3, 5],
+            vec![1, 2, 3, 5],
+            vec![2, 5],
+        ]);
+        let fp = mine_fpgrowth(&t, 2);
+        let ap = mine_apriori(&t, 2);
+        assert_eq!(fp, ap);
+    }
+
+    #[test]
+    fn han_pei_yin_example() {
+        // The example from the original FP-Growth paper (items renamed to
+        // ints): f:4 c:4 a:3 b:3 m:3 p:3 with min support 3.
+        let (f, c, a, b, m, p, i, l, o) = (0, 1, 2, 3, 4, 5, 6, 7, 8);
+        // d g h j k s e n -> 9..17; transactions transcribed from the paper.
+        let t = ts(vec![
+            vec![f, a, c, 9, 10, i, m, p],
+            vec![a, b, c, f, l, m, o],
+            vec![b, f, 11, 12, o],
+            vec![b, c, 13, 14, p],
+            vec![a, f, c, 15, l, p, m, 16],
+        ]);
+        let fp = mine_fpgrowth(&t, 3);
+        let get = |items: &[u32]| {
+            let mut items = items.to_vec();
+            items.sort_unstable();
+            fp.iter().find(|x| x.items == items).map(|x| x.support_count)
+        };
+        assert_eq!(get(&[f]), Some(4));
+        assert_eq!(get(&[c]), Some(4));
+        assert_eq!(get(&[f, c, a, m]), Some(3));
+        assert_eq!(get(&[c, p]), Some(3));
+        assert_eq!(get(&[f, b]), None, "support 2 < 3");
+        // Cross-check the complete result against Apriori.
+        assert_eq!(fp, mine_apriori(&t, 3));
+    }
+
+    #[test]
+    fn empty_and_infrequent_inputs() {
+        assert!(mine_fpgrowth(&ts(vec![]), 1).is_empty());
+        assert!(mine_fpgrowth(&ts(vec![vec![1], vec![2]]), 2).is_empty());
+    }
+
+    #[test]
+    fn single_transaction_enumerates_powerset() {
+        let t = ts(vec![vec![1, 2, 3]]);
+        let fp = mine_fpgrowth(&t, 1);
+        assert_eq!(fp.len(), 7, "2^3 - 1 nonempty subsets");
+        assert!(fp.iter().all(|f| f.support_count == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "minimum support")]
+    fn rejects_zero_support() {
+        let _ = mine_fpgrowth(&ts(vec![vec![1]]), 0);
+    }
+
+    #[test]
+    fn identical_transactions_share_tree_path() {
+        let t = ts(vec![vec![1, 2, 3]; 50]);
+        let fp = mine_fpgrowth(&t, 25);
+        assert_eq!(fp.len(), 7);
+        assert!(fp.iter().all(|f| f.support_count == 50));
+    }
+}

@@ -1,0 +1,45 @@
+//! # cuisine-mining
+//!
+//! Frequent-itemset mining substrate for the cuisine-evolution workspace.
+//!
+//! Section IV of the paper ranks *combinations* of ingredients (and of
+//! ingredient categories) that appear in at least 5% of a cuisine's
+//! recipes — classical frequent itemset mining. This crate provides:
+//!
+//! - [`transaction`] — recipe → transaction encoding at ingredient or
+//!   category granularity.
+//! - [`apriori`] — the reference Apriori miner.
+//! - [`fpgrowth`] — FP-Growth, the default (candidate-generation-free)
+//!   miner; produces identical output to Apriori.
+//! - [`eclat`] — Eclat (vertical tid-lists), the third cross-checked
+//!   miner.
+//! - [`combination`] — the paper's 5%-support combination analysis and its
+//!   rank-frequency curve.
+//!
+//! ```
+//! use cuisine_mining::{CombinationAnalysis, ItemMode, TransactionSet};
+//!
+//! let ts = TransactionSet::from_raw(
+//!     vec![vec![1, 2], vec![1, 2], vec![1, 3], vec![2]],
+//!     ItemMode::Ingredients,
+//! );
+//! let analysis = CombinationAnalysis::mine(&ts, 0.5, Default::default());
+//! let rf = analysis.rank_frequency();
+//! assert_eq!(rf.at_rank(1), Some(0.75)); // items 1 and 2 each in 3/4
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod apriori;
+pub mod combination;
+pub mod eclat;
+pub mod fpgrowth;
+pub mod itemset;
+pub mod transaction;
+
+pub use apriori::mine_apriori;
+pub use eclat::mine_eclat;
+pub use combination::{CombinationAnalysis, Miner, PAPER_MIN_SUPPORT};
+pub use fpgrowth::mine_fpgrowth;
+pub use itemset::{FrequentItemset, Itemset};
+pub use transaction::{ItemMode, TransactionSet};

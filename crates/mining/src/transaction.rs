@@ -1,0 +1,168 @@
+//! Encoding recipes as transactions for itemset mining.
+//!
+//! The paper mines combinations at two granularities (Fig. 3a vs 3b):
+//! individual ingredients and ingredient categories. [`ItemMode`] selects
+//! the granularity; [`TransactionSet`] holds the encoded transactions of
+//! one cuisine (or of any recipe collection).
+
+use cuisine_data::{Corpus, CuisineId, Recipe};
+use cuisine_lexicon::Lexicon;
+#[cfg(test)]
+use cuisine_lexicon::Category;
+use serde::{Deserialize, Serialize};
+
+/// Granularity at which recipes are converted to transactions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ItemMode {
+    /// Items are ingredient entity ids.
+    Ingredients,
+    /// Items are category indices; a recipe's transaction is the *set* of
+    /// categories it draws from.
+    Categories,
+}
+
+/// A collection of transactions: each a sorted, duplicate-free `Vec<u32>`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransactionSet {
+    transactions: Vec<Vec<u32>>,
+    mode: ItemMode,
+}
+
+impl TransactionSet {
+    /// Encode the recipes of one cuisine.
+    pub fn from_cuisine(
+        corpus: &Corpus,
+        cuisine: CuisineId,
+        mode: ItemMode,
+        lexicon: &Lexicon,
+    ) -> Self {
+        Self::from_recipes(corpus.recipes_in(cuisine), mode, lexicon)
+    }
+
+    /// Encode an arbitrary recipe collection.
+    pub fn from_recipes<'a>(
+        recipes: impl IntoIterator<Item = &'a Recipe>,
+        mode: ItemMode,
+        lexicon: &Lexicon,
+    ) -> Self {
+        let transactions = recipes
+            .into_iter()
+            .map(|r| match mode {
+                ItemMode::Ingredients => {
+                    // Recipe ingredient lists are already sorted and
+                    // deduplicated.
+                    r.ingredients().iter().map(|id| id.0 as u32).collect()
+                }
+                ItemMode::Categories => {
+                    let mut cats: Vec<u32> = r
+                        .ingredients()
+                        .iter()
+                        .map(|&id| lexicon.category(id).index() as u32)
+                        .collect();
+                    cats.sort_unstable();
+                    cats.dedup();
+                    cats
+                }
+            })
+            .collect();
+        TransactionSet { transactions, mode }
+    }
+
+    /// Build directly from raw item lists (for tests and synthetic inputs).
+    /// Each transaction is sorted and deduplicated.
+    pub fn from_raw(raw: Vec<Vec<u32>>, mode: ItemMode) -> Self {
+        let transactions = raw
+            .into_iter()
+            .map(|mut t| {
+                t.sort_unstable();
+                t.dedup();
+                t
+            })
+            .collect();
+        TransactionSet { transactions, mode }
+    }
+
+    /// The encoded transactions.
+    pub fn transactions(&self) -> &[Vec<u32>] {
+        &self.transactions
+    }
+
+    /// Number of transactions.
+    pub fn len(&self) -> usize {
+        self.transactions.len()
+    }
+
+    /// True when there are no transactions.
+    pub fn is_empty(&self) -> bool {
+        self.transactions.is_empty()
+    }
+
+    /// The granularity this set was encoded at.
+    pub fn mode(&self) -> ItemMode {
+        self.mode
+    }
+
+    /// Absolute support threshold corresponding to a relative one, rounded
+    /// *up* so that "at least 5% of all recipes" holds exactly.
+    ///
+    /// # Panics
+    /// Panics when `relative` is outside `(0, 1]`.
+    pub fn absolute_support(&self, relative: f64) -> u64 {
+        assert!(
+            relative > 0.0 && relative <= 1.0,
+            "relative support must be in (0, 1], got {relative}"
+        );
+        (relative * self.transactions.len() as f64).ceil() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuisine_data::Recipe;
+
+    #[test]
+    fn ingredient_transactions_use_entity_ids() {
+        let lex = Lexicon::standard();
+        let (r, _) = Recipe::from_mentions(CuisineId(0), ["cumin", "olive", "cilantro"], lex);
+        let ts = TransactionSet::from_recipes([&r], ItemMode::Ingredients, lex);
+        assert_eq!(ts.len(), 1);
+        let t = &ts.transactions()[0];
+        assert_eq!(t.len(), 3);
+        assert!(t.windows(2).all(|w| w[0] < w[1]), "sorted and distinct");
+    }
+
+    #[test]
+    fn category_transactions_dedup_categories() {
+        let lex = Lexicon::standard();
+        // Two spices + one herb -> categories {Spice, Herb}.
+        let (r, _) = Recipe::from_mentions(CuisineId(0), ["cumin", "turmeric", "basil"], lex);
+        let ts = TransactionSet::from_recipes([&r], ItemMode::Categories, lex);
+        let t = &ts.transactions()[0];
+        assert_eq!(t.len(), 2);
+        assert!(t.contains(&(Category::Spice.index() as u32)));
+        assert!(t.contains(&(Category::Herb.index() as u32)));
+    }
+
+    #[test]
+    fn from_raw_sorts_and_dedups() {
+        let ts = TransactionSet::from_raw(vec![vec![3, 1, 3, 2]], ItemMode::Ingredients);
+        assert_eq!(ts.transactions()[0], vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn absolute_support_rounds_up() {
+        let ts = TransactionSet::from_raw(vec![vec![0]; 470], ItemMode::Ingredients);
+        // 5% of 470 = 23.5 -> 24 ("at least 5%").
+        assert_eq!(ts.absolute_support(0.05), 24);
+        let ts = TransactionSet::from_raw(vec![vec![0]; 100], ItemMode::Ingredients);
+        assert_eq!(ts.absolute_support(0.05), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "relative support")]
+    fn absolute_support_rejects_zero() {
+        let ts = TransactionSet::from_raw(vec![], ItemMode::Ingredients);
+        let _ = ts.absolute_support(0.0);
+    }
+}

@@ -1,0 +1,90 @@
+//! Property-based tests for the mining substrate. The headline property:
+//! Apriori and FP-Growth produce identical results on arbitrary inputs.
+
+use cuisine_mining::apriori::mine_apriori;
+use cuisine_mining::eclat::mine_eclat;
+use cuisine_mining::fpgrowth::mine_fpgrowth;
+use cuisine_mining::{CombinationAnalysis, ItemMode, Miner, TransactionSet};
+use proptest::prelude::*;
+
+fn arb_transactions() -> impl Strategy<Value = Vec<Vec<u32>>> {
+    prop::collection::vec(prop::collection::vec(0u32..12, 0..8), 0..40)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn all_three_miners_agree(raw in arb_transactions(), min_sup in 1u64..6) {
+        let ts = TransactionSet::from_raw(raw, ItemMode::Ingredients);
+        let a = mine_apriori(&ts, min_sup);
+        let b = mine_fpgrowth(&ts, min_sup);
+        let c = mine_eclat(&ts, min_sup);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(&a, &c);
+    }
+
+    #[test]
+    fn supports_are_antimonotone(raw in arb_transactions()) {
+        let ts = TransactionSet::from_raw(raw, ItemMode::Ingredients);
+        let result = mine_fpgrowth(&ts, 1);
+        // Build a lookup and check every (subset, superset) pair.
+        for f in &result {
+            for g in &result {
+                if f.items.len() < g.items.len()
+                    && f.items.iter().all(|x| g.items.contains(x))
+                {
+                    prop_assert!(
+                        f.support_count >= g.support_count,
+                        "{:?} ({}) vs {:?} ({})",
+                        f.items, f.support_count, g.items, g.support_count
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mined_supports_match_direct_counting(raw in arb_transactions(), min_sup in 1u64..4) {
+        let ts = TransactionSet::from_raw(raw, ItemMode::Ingredients);
+        let result = mine_fpgrowth(&ts, min_sup);
+        for f in &result {
+            let direct = ts
+                .transactions()
+                .iter()
+                .filter(|t| f.items.iter().all(|x| t.contains(x)))
+                .count() as u64;
+            prop_assert_eq!(f.support_count, direct, "itemset {:?}", f.items);
+        }
+    }
+
+    #[test]
+    fn every_frequent_itemset_is_found(raw in arb_transactions()) {
+        // Exhaustively verify 1- and 2-itemsets against the miner at
+        // min support 2.
+        let ts = TransactionSet::from_raw(raw, ItemMode::Ingredients);
+        let mined = mine_fpgrowth(&ts, 2);
+        let contains = |items: &[u32]| mined.iter().any(|f| f.items == items);
+        for a in 0u32..12 {
+            let support_a = ts.transactions().iter().filter(|t| t.contains(&a)).count();
+            prop_assert_eq!(support_a >= 2, contains(&[a]), "singleton {}", a);
+            for b in (a + 1)..12 {
+                let support = ts
+                    .transactions()
+                    .iter()
+                    .filter(|t| t.contains(&a) && t.contains(&b))
+                    .count();
+                prop_assert_eq!(support >= 2, contains(&[a, b]), "pair {} {}", a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn rank_frequency_bounded_by_one(raw in arb_transactions()) {
+        let ts = TransactionSet::from_raw(raw, ItemMode::Ingredients);
+        let analysis = CombinationAnalysis::mine(&ts, 0.05, Miner::FpGrowth);
+        for (_, f) in analysis.rank_frequency().points() {
+            prop_assert!(f > 0.0 && f <= 1.0);
+        }
+    }
+}

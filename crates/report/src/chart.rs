@@ -1,0 +1,149 @@
+//! ASCII charts: log-log scatter for rank-frequency curves (the Fig. 3 /
+//! Fig. 4 panels, in terminal form) and simple bar charts.
+
+/// Render a log-log scatter of one or more `(label, curve)` series.
+///
+/// Each curve is a rank-frequency vector (frequency at rank `i + 1`). Every
+/// series is drawn with its own glyph; the plot area is `width × height`
+/// characters with log₁₀ axes.
+pub fn loglog_chart(series: &[(&str, &[f64])], width: usize, height: usize) -> String {
+    assert!(width >= 10 && height >= 4, "chart area too small");
+    const GLYPHS: &[char] = &['*', '+', 'o', 'x', '#', '@', '%', '&'];
+
+    // Determine log-space bounds over positive points.
+    let mut min_x = f64::INFINITY;
+    let mut max_x = f64::NEG_INFINITY;
+    let mut min_y = f64::INFINITY;
+    let mut max_y = f64::NEG_INFINITY;
+    for (_, curve) in series {
+        for (i, &f) in curve.iter().enumerate() {
+            if f > 0.0 {
+                let lx = ((i + 1) as f64).log10();
+                let ly = f.log10();
+                min_x = min_x.min(lx);
+                max_x = max_x.max(lx);
+                min_y = min_y.min(ly);
+                max_y = max_y.max(ly);
+            }
+        }
+    }
+    if !min_x.is_finite() {
+        return String::from("(no positive data to plot)\n");
+    }
+    if (max_x - min_x).abs() < 1e-9 {
+        max_x = min_x + 1.0;
+    }
+    if (max_y - min_y).abs() < 1e-9 {
+        max_y = min_y + 1.0;
+    }
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (s_idx, (_, curve)) in series.iter().enumerate() {
+        let glyph = GLYPHS[s_idx % GLYPHS.len()];
+        for (i, &f) in curve.iter().enumerate() {
+            if f <= 0.0 {
+                continue;
+            }
+            let lx = ((i + 1) as f64).log10();
+            let ly = f.log10();
+            let col = ((lx - min_x) / (max_x - min_x) * (width - 1) as f64).round() as usize;
+            let row = ((max_y - ly) / (max_y - min_y) * (height - 1) as f64).round() as usize;
+            let cell = &mut grid[row.min(height - 1)][col.min(width - 1)];
+            // First-drawn series wins a contested cell; later series show
+            // through only on empty cells (cheap but readable overlap).
+            if *cell == ' ' {
+                *cell = glyph;
+            }
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!("  y: log10(freq) in [{min_y:.2}, {max_y:.2}]\n"));
+    for row in &grid {
+        out.push_str("  |");
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str("  +");
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&format!("   x: log10(rank) in [{min_x:.2}, {max_x:.2}]\n"));
+    for (s_idx, (label, _)) in series.iter().enumerate() {
+        out.push_str(&format!("   {} {label}\n", GLYPHS[s_idx % GLYPHS.len()]));
+    }
+    out
+}
+
+/// Render a horizontal bar chart of labeled non-negative values.
+pub fn bar_chart(items: &[(&str, f64)], width: usize) -> String {
+    assert!(width >= 10, "chart area too small");
+    let max = items.iter().map(|&(_, v)| v).fold(0.0f64, f64::max);
+    let label_w = items.iter().map(|(l, _)| l.chars().count()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, v) in items {
+        let bar_len = if max > 0.0 {
+            ((v / max) * width as f64).round() as usize
+        } else {
+            0
+        };
+        out.push_str(&format!(
+            "  {label:<label_w$}  {} {v:.3}\n",
+            "█".repeat(bar_len)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loglog_draws_all_series_glyphs() {
+        let a = [1.0, 0.5, 0.25, 0.125];
+        let b = [0.8, 0.4, 0.2];
+        let out = loglog_chart(&[("emp", &a), ("model", &b)], 40, 10);
+        assert!(out.contains('*'));
+        assert!(out.contains('+'));
+        assert!(out.contains("emp"));
+        assert!(out.contains("model"));
+    }
+
+    #[test]
+    fn loglog_handles_empty_data() {
+        let out = loglog_chart(&[("empty", &[][..])], 40, 10);
+        assert!(out.contains("no positive data"));
+        let out = loglog_chart(&[("zeros", &[0.0, 0.0][..])], 40, 10);
+        assert!(out.contains("no positive data"));
+    }
+
+    #[test]
+    fn loglog_single_point_does_not_panic() {
+        let out = loglog_chart(&[("pt", &[0.5][..])], 40, 8);
+        assert!(out.contains('*'));
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn loglog_rejects_tiny_area() {
+        let _ = loglog_chart(&[("a", &[1.0][..])], 5, 2);
+    }
+
+    #[test]
+    fn bar_chart_scales_to_max() {
+        let out = bar_chart(&[("big", 10.0), ("small", 5.0)], 20);
+        let lines: Vec<&str> = out.lines().collect();
+        let bars: Vec<usize> = lines
+            .iter()
+            .map(|l| l.chars().filter(|&c| c == '█').count())
+            .collect();
+        assert_eq!(bars[0], 20);
+        assert_eq!(bars[1], 10);
+    }
+
+    #[test]
+    fn bar_chart_all_zero() {
+        let out = bar_chart(&[("z", 0.0)], 20);
+        assert!(!out.contains('█'));
+    }
+}

@@ -1,0 +1,85 @@
+//! Minimal CSV writing (RFC 4180 quoting) for experiment output files.
+
+use std::io::{self, Write};
+
+/// Quote a field if it contains a comma, quote, or newline.
+pub fn escape_field(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// A CSV writer over any `io::Write`.
+#[derive(Debug)]
+pub struct CsvWriter<W: Write> {
+    inner: W,
+    columns: usize,
+}
+
+impl<W: Write> CsvWriter<W> {
+    /// Create a writer and emit the header row.
+    pub fn with_header(mut inner: W, header: &[&str]) -> io::Result<Self> {
+        let columns = header.len();
+        let line: Vec<String> = header.iter().map(|f| escape_field(f)).collect();
+        writeln!(inner, "{}", line.join(","))?;
+        Ok(CsvWriter { inner, columns })
+    }
+
+    /// Write one record.
+    ///
+    /// # Panics
+    /// Panics when the field count differs from the header.
+    pub fn write_record<S: AsRef<str>>(&mut self, fields: &[S]) -> io::Result<()> {
+        assert_eq!(fields.len(), self.columns, "field count mismatch");
+        let line: Vec<String> = fields.iter().map(|f| escape_field(f.as_ref())).collect();
+        writeln!(self.inner, "{}", line.join(","))
+    }
+
+    /// Finish writing, returning the inner writer.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_fields_pass_through() {
+        assert_eq!(escape_field("hello"), "hello");
+        assert_eq!(escape_field("1.5"), "1.5");
+    }
+
+    #[test]
+    fn special_fields_are_quoted() {
+        assert_eq!(escape_field("a,b"), "\"a,b\"");
+        assert_eq!(escape_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(escape_field("line\nbreak"), "\"line\nbreak\"");
+    }
+
+    #[test]
+    fn writer_emits_header_and_records() {
+        let mut buf = Vec::new();
+        {
+            let mut w = CsvWriter::with_header(&mut buf, &["region", "mae"]).unwrap();
+            w.write_record(&["ITA", "0.031"]).unwrap();
+            w.write_record(&["中国, PRC", "0.04"]).unwrap();
+        }
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(
+            text,
+            "region,mae\nITA,0.031\n\"中国, PRC\",0.04\n"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "field count mismatch")]
+    fn record_width_is_enforced() {
+        let mut buf = Vec::new();
+        let mut w = CsvWriter::with_header(&mut buf, &["a", "b"]).unwrap();
+        let _ = w.write_record(&["only one"]);
+    }
+}

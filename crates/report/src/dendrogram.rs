@@ -1,0 +1,120 @@
+//! ASCII rendering of agglomerative-clustering dendrograms.
+//!
+//! The renderer is deliberately decoupled from `cuisine-analytics`: it
+//! takes leaf labels plus `(a, b, height)` merges, where leaves are nodes
+//! `0..n` and merge `k` creates node `n + k` (the convention of
+//! `cuisine_analytics::clustering::Dendrogram`).
+
+/// Render a dendrogram as an indented tree, children ordered as merged.
+///
+/// ```text
+/// ┐
+/// ├─┐ h=0.42
+/// │ ├─ ITA
+/// │ └─ GRC
+/// └─ JPN
+/// ```
+///
+/// # Panics
+/// Panics when a merge references an undefined node, or the merge count is
+/// not `labels.len() - 1` for non-empty input.
+pub fn render_dendrogram(labels: &[String], merges: &[(usize, usize, f64)]) -> String {
+    let n = labels.len();
+    if n == 0 {
+        return String::from("(empty dendrogram)\n");
+    }
+    assert_eq!(merges.len(), n - 1, "a full dendrogram has n-1 merges");
+    let root = n + merges.len() - 1;
+    let mut out = String::new();
+    render_node(root, labels, merges, "", true, true, &mut out);
+    out
+}
+
+fn render_node(
+    node: usize,
+    labels: &[String],
+    merges: &[(usize, usize, f64)],
+    prefix: &str,
+    is_last: bool,
+    is_root: bool,
+    out: &mut String,
+) {
+    let n = labels.len();
+    let connector = if is_root {
+        ""
+    } else if is_last {
+        "└─ "
+    } else {
+        "├─ "
+    };
+    if node < n {
+        out.push_str(prefix);
+        out.push_str(connector);
+        out.push_str(&labels[node]);
+        out.push('\n');
+        return;
+    }
+    let (a, b, height) = merges[node - n];
+    assert!(a < node && b < node, "merge {node} references undefined nodes");
+    out.push_str(prefix);
+    out.push_str(connector);
+    out.push_str(&format!("┐ h={height:.3}\n"));
+    let child_prefix = if is_root {
+        prefix.to_string()
+    } else if is_last {
+        format!("{prefix}   ")
+    } else {
+        format!("{prefix}│  ")
+    };
+    render_node(a, labels, merges, &child_prefix, false, false, out);
+    render_node(b, labels, merges, &child_prefix, true, false, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels(names: &[&str]) -> Vec<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn renders_single_leaf() {
+        let out = render_dendrogram(&labels(&["ITA"]), &[]);
+        assert_eq!(out, "ITA\n");
+    }
+
+    #[test]
+    fn renders_pair() {
+        let out = render_dendrogram(&labels(&["ITA", "GRC"]), &[(0, 1, 0.5)]);
+        assert!(out.contains("h=0.500"));
+        assert!(out.contains("├─ ITA"));
+        assert!(out.contains("└─ GRC"));
+    }
+
+    #[test]
+    fn renders_nested_merges() {
+        // ((A, B), C): merge 0 -> node 3, merge 1 joins 3 and C(2).
+        let out =
+            render_dendrogram(&labels(&["A", "B", "C"]), &[(0, 1, 0.2), (3, 2, 0.9)]);
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines[0].contains("h=0.900"));
+        assert!(out.contains("h=0.200"));
+        assert!(out.contains("└─ C"));
+        // Every label appears exactly once.
+        for l in ["A", "B", "C"] {
+            assert_eq!(out.matches(&format!(" {l}\n")).count(), 1, "{out}");
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(render_dendrogram(&[], &[]), "(empty dendrogram)\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "n-1 merges")]
+    fn rejects_wrong_merge_count() {
+        let _ = render_dendrogram(&labels(&["A", "B", "C"]), &[(0, 1, 0.2)]);
+    }
+}

@@ -1,0 +1,22 @@
+//! # cuisine-report
+//!
+//! Output rendering for the cuisine-evolution experiment harness:
+//!
+//! - [`table`] — aligned plain-text and markdown tables (Table I, MAE
+//!   matrices).
+//! - [`chart`] — ASCII log-log scatter plots (Figs. 1, 3, 4 in terminal
+//!   form) and bar charts.
+//! - [`csv`] — RFC 4180 CSV output for downstream plotting.
+//! - [`dendrogram`] — ASCII dendrogram trees for the clustering analysis.
+
+#![warn(missing_docs)]
+
+pub mod chart;
+pub mod csv;
+pub mod dendrogram;
+pub mod table;
+
+pub use chart::{bar_chart, loglog_chart};
+pub use dendrogram::render_dendrogram;
+pub use csv::CsvWriter;
+pub use table::{Align, Table};

@@ -1,0 +1,119 @@
+//! Bootstrap resampling for confidence intervals on arbitrary statistics.
+
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+use crate::descriptive::quantile;
+
+/// A percentile bootstrap confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConfidenceInterval {
+    /// Point estimate (the statistic on the original sample).
+    pub estimate: f64,
+    /// Lower bound of the interval.
+    pub lo: f64,
+    /// Upper bound of the interval.
+    pub hi: f64,
+    /// Confidence level used, e.g. 0.95.
+    pub level: f64,
+}
+
+/// Percentile bootstrap CI for `statistic` over `data`.
+///
+/// Draws `resamples` bootstrap samples (with replacement, same size as the
+/// input) and takes the `(1±level)/2` percentiles of the resampled
+/// statistics.
+///
+/// Returns `None` for empty data or when `statistic` returns a non-finite
+/// value on the original sample.
+///
+/// # Panics
+/// Panics when `resamples == 0` or `level` is outside `(0, 1)`.
+pub fn bootstrap_ci<R, F>(
+    rng: &mut R,
+    data: &[f64],
+    statistic: F,
+    resamples: usize,
+    level: f64,
+) -> Option<ConfidenceInterval>
+where
+    R: Rng + ?Sized,
+    F: Fn(&[f64]) -> f64,
+{
+    assert!(resamples > 0, "need at least one bootstrap resample");
+    assert!(level > 0.0 && level < 1.0, "confidence level must be in (0, 1)");
+    if data.is_empty() {
+        return None;
+    }
+    let estimate = statistic(data);
+    if !estimate.is_finite() {
+        return None;
+    }
+    let mut stats = Vec::with_capacity(resamples);
+    let mut resample = vec![0.0f64; data.len()];
+    for _ in 0..resamples {
+        for slot in resample.iter_mut() {
+            *slot = data[rng.random_range(0..data.len())];
+        }
+        let s = statistic(&resample);
+        if s.is_finite() {
+            stats.push(s);
+        }
+    }
+    if stats.is_empty() {
+        return None;
+    }
+    let alpha = (1.0 - level) / 2.0;
+    let lo = quantile(&stats, alpha).expect("non-empty");
+    let hi = quantile(&stats, 1.0 - alpha).expect("non-empty");
+    Some(ConfidenceInterval { estimate, lo, hi, level })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptive::mean;
+    use crate::sampling::normal;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ci_brackets_true_mean_of_normal_sample() {
+        let mut rng = StdRng::seed_from_u64(314);
+        let data: Vec<f64> = (0..500).map(|_| normal(&mut rng, 10.0, 2.0)).collect();
+        let ci = bootstrap_ci(&mut rng, &data, |xs| mean(xs).unwrap(), 1_000, 0.95).unwrap();
+        assert!(ci.lo <= 10.0 && 10.0 <= ci.hi, "CI [{}, {}]", ci.lo, ci.hi);
+        assert!(ci.lo <= ci.estimate && ci.estimate <= ci.hi);
+        // Width should be roughly 4 * sd/sqrt(n) ~ 0.36.
+        assert!(ci.hi - ci.lo < 1.0);
+    }
+
+    #[test]
+    fn ci_of_constant_data_is_degenerate() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let data = vec![5.0; 50];
+        let ci = bootstrap_ci(&mut rng, &data, |xs| mean(xs).unwrap(), 200, 0.9).unwrap();
+        assert_eq!(ci.lo, 5.0);
+        assert_eq!(ci.hi, 5.0);
+        assert_eq!(ci.estimate, 5.0);
+    }
+
+    #[test]
+    fn ci_empty_data_is_none() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(bootstrap_ci(&mut rng, &[], |_| 0.0, 10, 0.95).is_none());
+    }
+
+    #[test]
+    fn ci_nonfinite_statistic_is_none() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(bootstrap_ci(&mut rng, &[1.0], |_| f64::NAN, 10, 0.95).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence level")]
+    fn ci_rejects_bad_level() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = bootstrap_ci(&mut rng, &[1.0], |xs| xs[0], 10, 1.0);
+    }
+}

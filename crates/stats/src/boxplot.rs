@@ -1,0 +1,130 @@
+//! Tukey box-and-whisker statistics, used for the paper's Fig. 2 (average
+//! number of ingredients per category, boxplotted across cuisines).
+
+use serde::{Deserialize, Serialize};
+
+use crate::descriptive::quantile_sorted;
+
+/// Five-number summary plus Tukey whiskers and outliers.
+///
+/// Whiskers extend to the most extreme data points within `1.5 * IQR` of the
+/// quartiles; points beyond are reported as outliers (the matplotlib
+/// convention, as in the paper's Fig. 2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BoxplotStats {
+    /// 25th percentile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// 75th percentile.
+    pub q3: f64,
+    /// Lower whisker (smallest observation >= q1 - 1.5 IQR).
+    pub whisker_lo: f64,
+    /// Upper whisker (largest observation <= q3 + 1.5 IQR).
+    pub whisker_hi: f64,
+    /// Observations outside the whiskers, ascending.
+    pub outliers: Vec<f64>,
+}
+
+impl BoxplotStats {
+    /// Compute boxplot statistics for a sample. Returns `None` for an empty
+    /// slice.
+    pub fn from_slice(xs: &[f64]) -> Option<Self> {
+        if xs.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<f64> = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite data required"));
+        let q1 = quantile_sorted(&sorted, 0.25);
+        let median = quantile_sorted(&sorted, 0.5);
+        let q3 = quantile_sorted(&sorted, 0.75);
+        let iqr = q3 - q1;
+        let lo_fence = q1 - 1.5 * iqr;
+        let hi_fence = q3 + 1.5 * iqr;
+
+        let whisker_lo = sorted
+            .iter()
+            .copied()
+            .find(|&x| x >= lo_fence)
+            .unwrap_or(q1);
+        let whisker_hi = sorted
+            .iter()
+            .rev()
+            .copied()
+            .find(|&x| x <= hi_fence)
+            .unwrap_or(q3);
+        let outliers: Vec<f64> = sorted
+            .iter()
+            .copied()
+            .filter(|&x| x < lo_fence || x > hi_fence)
+            .collect();
+
+        Some(BoxplotStats { q1, median, q3, whisker_lo, whisker_hi, outliers })
+    }
+
+    /// Interquartile range.
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_outliers_whiskers_are_extremes() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = BoxplotStats::from_slice(&xs).unwrap();
+        assert_eq!(b.median, 3.0);
+        assert_eq!(b.whisker_lo, 1.0);
+        assert_eq!(b.whisker_hi, 5.0);
+        assert!(b.outliers.is_empty());
+    }
+
+    #[test]
+    fn detects_upper_outlier() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 100.0];
+        let b = BoxplotStats::from_slice(&xs).unwrap();
+        assert_eq!(b.outliers, vec![100.0]);
+        assert_eq!(b.whisker_hi, 4.0);
+    }
+
+    #[test]
+    fn detects_lower_outlier() {
+        let xs = [-100.0, 2.0, 3.0, 4.0, 5.0];
+        let b = BoxplotStats::from_slice(&xs).unwrap();
+        assert_eq!(b.outliers, vec![-100.0]);
+        assert_eq!(b.whisker_lo, 2.0);
+    }
+
+    #[test]
+    fn quartiles_order_invariant() {
+        let b = BoxplotStats::from_slice(&[9.0, 1.0, 5.0, 3.0, 7.0]).unwrap();
+        assert!(b.q1 <= b.median && b.median <= b.q3);
+        assert!(b.whisker_lo <= b.q1 && b.q3 <= b.whisker_hi);
+    }
+
+    #[test]
+    fn singleton_sample() {
+        let b = BoxplotStats::from_slice(&[42.0]).unwrap();
+        assert_eq!(b.median, 42.0);
+        assert_eq!(b.q1, 42.0);
+        assert_eq!(b.q3, 42.0);
+        assert_eq!(b.whisker_lo, 42.0);
+        assert_eq!(b.whisker_hi, 42.0);
+        assert!(b.outliers.is_empty());
+    }
+
+    #[test]
+    fn empty_sample_is_none() {
+        assert!(BoxplotStats::from_slice(&[]).is_none());
+    }
+
+    #[test]
+    fn constant_sample_has_zero_iqr() {
+        let b = BoxplotStats::from_slice(&[3.0; 10]).unwrap();
+        assert_eq!(b.iqr(), 0.0);
+        assert!(b.outliers.is_empty());
+    }
+}

@@ -1,0 +1,285 @@
+//! Descriptive statistics over slices of `f64`.
+//!
+//! All functions treat the input as a complete sample. Variance and standard
+//! deviation use the unbiased (`n - 1`) estimator unless noted otherwise.
+
+use serde::{Deserialize, Serialize};
+
+/// Arithmetic mean. Returns `None` for an empty slice.
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    Some(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Unbiased sample variance (`n - 1` denominator). Returns `None` when the
+/// sample has fewer than two observations.
+pub fn variance(xs: &[f64]) -> Option<f64> {
+    if xs.len() < 2 {
+        return None;
+    }
+    let m = mean(xs).expect("non-empty by the length check above");
+    let ss: f64 = xs.iter().map(|x| (x - m) * (x - m)).sum();
+    Some(ss / (xs.len() - 1) as f64)
+}
+
+/// Population variance (`n` denominator). Returns `None` for an empty slice.
+pub fn population_variance(xs: &[f64]) -> Option<f64> {
+    let m = mean(xs)?;
+    let ss: f64 = xs.iter().map(|x| (x - m) * (x - m)).sum();
+    Some(ss / xs.len() as f64)
+}
+
+/// Unbiased sample standard deviation.
+pub fn std_dev(xs: &[f64]) -> Option<f64> {
+    variance(xs).map(f64::sqrt)
+}
+
+/// Minimum of the sample, ignoring NaNs is *not* supported: the caller must
+/// provide finite data. Returns `None` for an empty slice.
+pub fn min(xs: &[f64]) -> Option<f64> {
+    xs.iter().copied().reduce(f64::min)
+}
+
+/// Maximum of the sample. Returns `None` for an empty slice.
+pub fn max(xs: &[f64]) -> Option<f64> {
+    xs.iter().copied().reduce(f64::max)
+}
+
+/// Quantile via the linear-interpolation definition (type 7 in the
+/// Hyndman–Fan taxonomy, the R and NumPy default).
+///
+/// `q` must lie in `[0, 1]`. Returns `None` for an empty slice.
+pub fn quantile(xs: &[f64], q: f64) -> Option<f64> {
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1], got {q}");
+    if xs.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite data required"));
+    Some(quantile_sorted(&sorted, q))
+}
+
+/// Quantile of an already-sorted sample (ascending). See [`quantile`].
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty sample");
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let h = q * (n - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = h - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Median (the 0.5 quantile).
+pub fn median(xs: &[f64]) -> Option<f64> {
+    quantile(xs, 0.5)
+}
+
+/// Sample skewness (Fisher–Pearson, bias-adjusted).
+///
+/// Returns `None` when the sample has fewer than three observations or zero
+/// variance.
+pub fn skewness(xs: &[f64]) -> Option<f64> {
+    let n = xs.len();
+    if n < 3 {
+        return None;
+    }
+    let m = mean(xs)?;
+    let nf = n as f64;
+    let m2: f64 = xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / nf;
+    let m3: f64 = xs.iter().map(|x| (x - m).powi(3)).sum::<f64>() / nf;
+    if m2 <= 0.0 {
+        return None;
+    }
+    let g1 = m3 / m2.powf(1.5);
+    Some(((nf * (nf - 1.0)).sqrt() / (nf - 2.0)) * g1)
+}
+
+/// Sample excess kurtosis (bias-adjusted, normal = 0).
+///
+/// Returns `None` when the sample has fewer than four observations or zero
+/// variance.
+pub fn excess_kurtosis(xs: &[f64]) -> Option<f64> {
+    let n = xs.len();
+    if n < 4 {
+        return None;
+    }
+    let m = mean(xs)?;
+    let nf = n as f64;
+    let m2: f64 = xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / nf;
+    let m4: f64 = xs.iter().map(|x| (x - m).powi(4)).sum::<f64>() / nf;
+    if m2 <= 0.0 {
+        return None;
+    }
+    let g2 = m4 / (m2 * m2) - 3.0;
+    Some(((nf - 1.0) / ((nf - 2.0) * (nf - 3.0))) * ((nf + 1.0) * g2 + 6.0))
+}
+
+/// A one-pass summary of a sample, convenient for reporting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Unbiased standard deviation (0 when `count < 2`).
+    pub std_dev: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// 25th percentile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// 75th percentile.
+    pub q3: f64,
+    /// Largest observation.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarize a sample. Returns `None` for an empty slice.
+    pub fn from_slice(xs: &[f64]) -> Option<Self> {
+        if xs.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<f64> = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite data required"));
+        Some(Summary {
+            count: xs.len(),
+            mean: mean(xs).expect("non-empty"),
+            std_dev: std_dev(xs).unwrap_or(0.0),
+            min: sorted[0],
+            q1: quantile_sorted(&sorted, 0.25),
+            median: quantile_sorted(&sorted, 0.5),
+            q3: quantile_sorted(&sorted, 0.75),
+            max: *sorted.last().expect("non-empty"),
+        })
+    }
+
+    /// Interquartile range `q3 - q1`.
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: [f64; 8] = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+
+    #[test]
+    fn mean_of_known_sample() {
+        assert_eq!(mean(&SAMPLE), Some(5.0));
+    }
+
+    #[test]
+    fn mean_of_empty_is_none() {
+        assert_eq!(mean(&[]), None);
+    }
+
+    #[test]
+    fn variance_unbiased() {
+        // Sum of squared deviations = 32, n - 1 = 7.
+        let v = variance(&SAMPLE).unwrap();
+        assert!((v - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn population_variance_known() {
+        let v = population_variance(&SAMPLE).unwrap();
+        assert!((v - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variance_needs_two_points() {
+        assert_eq!(variance(&[1.0]), None);
+        assert!(variance(&[1.0, 3.0]).is_some());
+    }
+
+    #[test]
+    fn min_max_of_sample() {
+        assert_eq!(min(&SAMPLE), Some(2.0));
+        assert_eq!(max(&SAMPLE), Some(9.0));
+    }
+
+    #[test]
+    fn median_even_and_odd() {
+        assert_eq!(median(&[1.0, 2.0, 3.0]), Some(2.0));
+        assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]), Some(2.5));
+    }
+
+    #[test]
+    fn quantile_interpolates_linearly() {
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(quantile(&xs, 0.0), Some(10.0));
+        assert_eq!(quantile(&xs, 1.0), Some(40.0));
+        // h = 0.25 * 3 = 0.75 -> 10 + 0.75 * 10 = 17.5
+        assert_eq!(quantile(&xs, 0.25), Some(17.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in [0, 1]")]
+    fn quantile_rejects_out_of_range() {
+        let _ = quantile(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn skewness_zero_for_symmetric() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert!(skewness(&xs).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn skewness_positive_for_right_tail() {
+        let xs = [1.0, 1.0, 1.0, 1.0, 10.0];
+        assert!(skewness(&xs).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn skewness_none_for_constant() {
+        assert_eq!(skewness(&[3.0, 3.0, 3.0, 3.0]), None);
+    }
+
+    #[test]
+    fn kurtosis_heavy_tail_exceeds_uniformish() {
+        let heavy = [0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 20.0];
+        let flat = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0];
+        assert!(excess_kurtosis(&heavy).unwrap() > excess_kurtosis(&flat).unwrap());
+    }
+
+    #[test]
+    fn summary_matches_components() {
+        let s = Summary::from_slice(&SAMPLE).unwrap();
+        assert_eq!(s.count, 8);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert_eq!(s.median, 4.5);
+        assert!((s.iqr() - (s.q3 - s.q1)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn summary_of_singleton() {
+        let s = Summary::from_slice(&[7.0]).unwrap();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean, 7.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.min, 7.0);
+        assert_eq!(s.max, 7.0);
+    }
+
+    #[test]
+    fn summary_of_empty_is_none() {
+        assert!(Summary::from_slice(&[]).is_none());
+    }
+}

@@ -1,0 +1,204 @@
+//! Error metrics between paired sequences, including the paper's Eq. 2.
+//!
+//! The paper *names* its curve-distance "Mean Absolute Error" but *writes*
+//! it as `(1/r) Σ (f_i^a − f_i^b)²` — a mean of squared errors. We expose
+//! the literal formula as [`ErrorMetric::PaperMae`] alongside the textbook
+//! MAE/MSE/RMSE so experiments can report both.
+
+use serde::{Deserialize, Serialize};
+
+/// Which error metric to compute between two equal-length sequences.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ErrorMetric {
+    /// Mean absolute error `(1/r) Σ |a_i − b_i|`.
+    Mae,
+    /// Mean squared error `(1/r) Σ (a_i − b_i)²`.
+    Mse,
+    /// Root mean squared error.
+    Rmse,
+    /// Eq. 2 of the paper, exactly as printed: `(1/r) Σ (a_i − b_i)²`.
+    /// Numerically identical to [`ErrorMetric::Mse`]; kept as a distinct
+    /// variant so reports can label it the way the paper does.
+    PaperMae,
+}
+
+impl ErrorMetric {
+    /// Human-readable label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ErrorMetric::Mae => "MAE",
+            ErrorMetric::Mse => "MSE",
+            ErrorMetric::Rmse => "RMSE",
+            ErrorMetric::PaperMae => "MAE (Eq. 2 as printed)",
+        }
+    }
+
+    /// Compute the metric over paired slices.
+    ///
+    /// # Panics
+    /// Panics on length mismatch or empty input — callers are expected to
+    /// align sequences first (see [`curve_distance`]).
+    pub fn compute(&self, a: &[f64], b: &[f64]) -> f64 {
+        assert_eq!(a.len(), b.len(), "paired sequences must have equal length");
+        assert!(!a.is_empty(), "error metric of empty sequences");
+        let n = a.len() as f64;
+        match self {
+            ErrorMetric::Mae => {
+                a.iter().zip(b).map(|(&x, &y)| (x - y).abs()).sum::<f64>() / n
+            }
+            ErrorMetric::Mse | ErrorMetric::PaperMae => {
+                a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum::<f64>() / n
+            }
+            ErrorMetric::Rmse => ErrorMetric::Mse.compute(a, b).sqrt(),
+        }
+    }
+}
+
+/// Distance between two rank-frequency curves of possibly different
+/// lengths, following Eq. 2's prescription: truncate both to the lowest
+/// rank present in both (`r = min(len_a, len_b)`), then apply the metric.
+///
+/// Returns `None` when either curve is empty.
+pub fn curve_distance(a: &[f64], b: &[f64], metric: ErrorMetric) -> Option<f64> {
+    let r = a.len().min(b.len());
+    if r == 0 {
+        return None;
+    }
+    Some(metric.compute(&a[..r], &b[..r]))
+}
+
+/// Symmetric pairwise distance matrix between `curves.len()` rank-frequency
+/// curves. Entry `(i, j)` is `curve_distance(curves[i], curves[j])`;
+/// diagonal is 0. Pairs where either curve is empty yield `f64::NAN`.
+pub fn pairwise_distance_matrix(curves: &[Vec<f64>], metric: ErrorMetric) -> Vec<Vec<f64>> {
+    let n = curves.len();
+    let mut m = vec![vec![0.0; n]; n];
+    for (i, ci) in curves.iter().enumerate() {
+        for (j, cj) in curves.iter().enumerate().skip(i + 1) {
+            let d = curve_distance(ci, cj, metric).unwrap_or(f64::NAN);
+            m[i][j] = d;
+            m[j][i] = d;
+        }
+    }
+    m
+}
+
+/// Mean of the strictly-upper-triangle entries of a pairwise distance
+/// matrix, skipping NaNs. This is the paper's "average MAE" summary
+/// (0.035 for ingredient combinations, 0.052 for category combinations).
+/// Returns `None` when no finite off-diagonal entries exist.
+pub fn mean_offdiagonal(matrix: &[Vec<f64>]) -> Option<f64> {
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for (i, row) in matrix.iter().enumerate() {
+        for &v in row.iter().skip(i + 1) {
+            if v.is_finite() {
+                sum += v;
+                count += 1;
+            }
+        }
+    }
+    if count == 0 {
+        None
+    } else {
+        Some(sum / count as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mae_hand_computed() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [1.5, 1.0, 5.0];
+        // |0.5| + |1| + |2| = 3.5 / 3
+        assert!((ErrorMetric::Mae.compute(&a, &b) - 3.5 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mse_hand_computed() {
+        let a = [1.0, 2.0];
+        let b = [3.0, 2.0];
+        assert_eq!(ErrorMetric::Mse.compute(&a, &b), 2.0);
+    }
+
+    #[test]
+    fn paper_mae_equals_mse() {
+        let a = [0.3, 0.2, 0.1, 0.05];
+        let b = [0.25, 0.22, 0.08, 0.06];
+        assert_eq!(
+            ErrorMetric::PaperMae.compute(&a, &b),
+            ErrorMetric::Mse.compute(&a, &b)
+        );
+    }
+
+    #[test]
+    fn rmse_is_sqrt_of_mse() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [2.0, 4.0, 0.0];
+        let mse = ErrorMetric::Mse.compute(&a, &b);
+        assert!((ErrorMetric::Rmse.compute(&a, &b) - mse.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_sequences_have_zero_error() {
+        let a = [0.5, 0.4, 0.3];
+        for m in [ErrorMetric::Mae, ErrorMetric::Mse, ErrorMetric::Rmse, ErrorMetric::PaperMae] {
+            assert_eq!(m.compute(&a, &a), 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn compute_rejects_mismatched_lengths() {
+        let _ = ErrorMetric::Mae.compute(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn curve_distance_truncates_to_common_rank() {
+        let a = [1.0, 0.5, 0.25, 0.1];
+        let b = [1.0, 0.5];
+        // Only the first two ranks compared: identical -> 0.
+        assert_eq!(curve_distance(&a, &b, ErrorMetric::Mse), Some(0.0));
+    }
+
+    #[test]
+    fn curve_distance_empty_is_none() {
+        assert_eq!(curve_distance(&[], &[1.0], ErrorMetric::Mae), None);
+    }
+
+    #[test]
+    fn pairwise_matrix_symmetric_zero_diagonal() {
+        let curves = vec![vec![1.0, 0.5], vec![0.8, 0.4], vec![0.2]];
+        let m = pairwise_distance_matrix(&curves, ErrorMetric::Mae);
+        for (i, row) in m.iter().enumerate() {
+            assert_eq!(row[i], 0.0);
+            for (j, &v) in row.iter().enumerate() {
+                assert_eq!(v, m[j][i]);
+            }
+        }
+        // (0,1): (0.2 + 0.1)/2 = 0.15
+        assert!((m[0][1] - 0.15).abs() < 1e-12);
+        // (0,2): |1.0 - 0.2| = 0.8 over the single common rank.
+        assert!((m[0][2] - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_offdiagonal_skips_nan() {
+        let m = vec![
+            vec![0.0, 0.2, f64::NAN],
+            vec![0.2, 0.0, 0.4],
+            vec![f64::NAN, 0.4, 0.0],
+        ];
+        let avg = mean_offdiagonal(&m).unwrap();
+        assert!((avg - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_offdiagonal_all_nan_is_none() {
+        let m = vec![vec![0.0, f64::NAN], vec![f64::NAN, 0.0]];
+        assert!(mean_offdiagonal(&m).is_none());
+    }
+}

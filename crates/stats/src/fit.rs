@@ -1,0 +1,262 @@
+//! Distribution fitting: Gaussian moments fit and bounded-Zipf exponent
+//! estimation (both log-log least squares, as commonly plotted, and discrete
+//! maximum likelihood).
+
+use serde::{Deserialize, Serialize};
+
+use crate::descriptive::{mean, std_dev};
+use crate::special::{generalized_harmonic, generalized_harmonic_ds};
+
+/// A fitted normal distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GaussianFit {
+    /// Maximum-likelihood mean.
+    pub mean: f64,
+    /// Sample standard deviation (unbiased).
+    pub sd: f64,
+}
+
+impl GaussianFit {
+    /// Fit by moments/MLE. Returns `None` when the sample has fewer than two
+    /// observations.
+    pub fn fit(xs: &[f64]) -> Option<Self> {
+        Some(GaussianFit { mean: mean(xs)?, sd: std_dev(xs)? })
+    }
+
+    /// Probability density at `x`.
+    pub fn pdf(&self, x: f64) -> f64 {
+        if self.sd <= 0.0 {
+            return if x == self.mean { f64::INFINITY } else { 0.0 };
+        }
+        let z = (x - self.mean) / self.sd;
+        (-0.5 * z * z).exp() / (self.sd * (2.0 * std::f64::consts::PI).sqrt())
+    }
+}
+
+/// A fitted bounded Zipf law `P(k) ∝ k^{-s}` over ranks `1..=n`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ZipfFit {
+    /// Estimated exponent.
+    pub exponent: f64,
+    /// Support size used in the fit.
+    pub support: usize,
+}
+
+/// Fit a Zipf exponent by least squares on the log-log rank-frequency plot.
+///
+/// `freqs[k]` is the (possibly normalized) frequency of rank `k + 1`; zero
+/// frequencies are skipped. Returns `None` when fewer than two positive
+/// frequencies are available.
+pub fn zipf_fit_loglog(freqs: &[f64]) -> Option<ZipfFit> {
+    let pts: Vec<(f64, f64)> = freqs
+        .iter()
+        .enumerate()
+        .filter(|&(_, &f)| f > 0.0)
+        .map(|(i, &f)| (((i + 1) as f64).ln(), f.ln()))
+        .collect();
+    if pts.len() < 2 {
+        return None;
+    }
+    let (slope, _) = linear_regression(&pts)?;
+    Some(ZipfFit { exponent: -slope, support: freqs.len() })
+}
+
+/// Fit a Zipf exponent by discrete maximum likelihood over bounded support
+/// `1..=n`, where `counts[k]` is the observed count of rank `k + 1`.
+///
+/// Solves `d/ds log L = 0`, i.e.
+/// `sum_k c_k ln(k) / C = -H'(n, s) / H(n, s)` by bisection on
+/// `s ∈ [0, 10]`. Returns `None` when the counts are empty or degenerate
+/// (all mass on rank 1 fits `s → ∞`; we then return the upper bracket).
+pub fn zipf_fit_mle(counts: &[u64]) -> Option<ZipfFit> {
+    let n = counts.len();
+    if n == 0 {
+        return None;
+    }
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return None;
+    }
+    // Mean log-rank under the empirical distribution.
+    let mean_log_rank: f64 = counts
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| c as f64 * ((i + 1) as f64).ln())
+        .sum::<f64>()
+        / total as f64;
+
+    // Under Zipf(s), E[ln k] = -H'(n, s)/H(n, s), strictly decreasing in s.
+    let expected_log_rank =
+        |s: f64| -generalized_harmonic_ds(n, s) / generalized_harmonic(n, s);
+
+    let (mut lo, mut hi) = (0.0f64, 10.0f64);
+    if mean_log_rank >= expected_log_rank(lo) {
+        return Some(ZipfFit { exponent: 0.0, support: n });
+    }
+    if mean_log_rank <= expected_log_rank(hi) {
+        return Some(ZipfFit { exponent: hi, support: n });
+    }
+    for _ in 0..100 {
+        let mid = 0.5 * (lo + hi);
+        if expected_log_rank(mid) > mean_log_rank {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(ZipfFit { exponent: 0.5 * (lo + hi), support: n })
+}
+
+/// Ordinary least squares on `(x, y)` pairs; returns `(slope, intercept)`.
+/// Returns `None` when fewer than two points or zero x-variance.
+pub fn linear_regression(pts: &[(f64, f64)]) -> Option<(f64, f64)> {
+    if pts.len() < 2 {
+        return None;
+    }
+    let n = pts.len() as f64;
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return None;
+    }
+    let slope = (n * sxy - sx * sy) / denom;
+    let intercept = (sy - slope * sx) / n;
+    Some((slope, intercept))
+}
+
+/// Pearson correlation coefficient between paired samples.
+/// Returns `None` for mismatched lengths, fewer than two points, or zero
+/// variance in either variable.
+pub fn pearson_correlation(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let mx = mean(xs)?;
+    let my = mean(ys)?;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx) * (x - mx);
+        syy += (y - my) * (y - my);
+    }
+    if sxx <= 0.0 || syy <= 0.0 {
+        return None;
+    }
+    Some(sxy / (sxx * syy).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampling::ZipfSampler;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gaussian_fit_recovers_moments() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let g = GaussianFit::fit(&xs).unwrap();
+        assert_eq!(g.mean, 5.0);
+        assert!((g.sd - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gaussian_pdf_peak_at_mean() {
+        let g = GaussianFit { mean: 9.0, sd: 3.0 };
+        assert!(g.pdf(9.0) > g.pdf(8.0));
+        assert!(g.pdf(9.0) > g.pdf(10.0));
+        // Peak height 1/(sd sqrt(2 pi)).
+        let expected = 1.0 / (3.0 * (2.0 * std::f64::consts::PI).sqrt());
+        assert!((g.pdf(9.0) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loglog_fit_recovers_exact_power_law() {
+        let s = 1.5;
+        let freqs: Vec<f64> = (1..=50).map(|k| (k as f64).powf(-s)).collect();
+        let fit = zipf_fit_loglog(&freqs).unwrap();
+        assert!((fit.exponent - s).abs() < 1e-9, "got {}", fit.exponent);
+    }
+
+    #[test]
+    fn loglog_fit_skips_zeros() {
+        let mut freqs: Vec<f64> = (1..=20).map(|k| (k as f64).powf(-1.0)).collect();
+        freqs[7] = 0.0;
+        let fit = zipf_fit_loglog(&freqs).unwrap();
+        assert!((fit.exponent - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn loglog_fit_needs_two_points() {
+        assert!(zipf_fit_loglog(&[1.0]).is_none());
+        assert!(zipf_fit_loglog(&[0.0, 0.0]).is_none());
+    }
+
+    #[test]
+    fn mle_fit_recovers_generated_exponent() {
+        let true_s = 1.3;
+        let n = 200;
+        let z = ZipfSampler::new(n, true_s);
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut counts = vec![0u64; n];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng) - 1] += 1;
+        }
+        let fit = zipf_fit_mle(&counts).unwrap();
+        assert!((fit.exponent - true_s).abs() < 0.03, "got {}", fit.exponent);
+    }
+
+    #[test]
+    fn mle_fit_uniform_counts_give_zero_exponent() {
+        let counts = vec![100u64; 50];
+        let fit = zipf_fit_mle(&counts).unwrap();
+        assert!(fit.exponent < 0.01, "got {}", fit.exponent);
+    }
+
+    #[test]
+    fn mle_fit_degenerate_mass_on_rank_one() {
+        let mut counts = vec![0u64; 10];
+        counts[0] = 1000;
+        let fit = zipf_fit_mle(&counts).unwrap();
+        assert!(fit.exponent >= 9.9, "got {}", fit.exponent);
+    }
+
+    #[test]
+    fn mle_fit_empty_is_none() {
+        assert!(zipf_fit_mle(&[]).is_none());
+        assert!(zipf_fit_mle(&[0, 0, 0]).is_none());
+    }
+
+    #[test]
+    fn regression_exact_line() {
+        let pts = [(0.0, 1.0), (1.0, 3.0), (2.0, 5.0)];
+        let (m, b) = linear_regression(&pts).unwrap();
+        assert!((m - 2.0).abs() < 1e-12);
+        assert!((b - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn regression_degenerate_x_is_none() {
+        assert!(linear_regression(&[(1.0, 2.0), (1.0, 3.0)]).is_none());
+    }
+
+    #[test]
+    fn correlation_perfect_and_inverse() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson_correlation(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = ys.iter().map(|y| -y).collect();
+        assert!((pearson_correlation(&xs, &neg).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlation_rejects_mismatch_and_constant() {
+        assert!(pearson_correlation(&[1.0, 2.0], &[1.0]).is_none());
+        assert!(pearson_correlation(&[1.0, 1.0], &[2.0, 3.0]).is_none());
+    }
+}

@@ -1,0 +1,301 @@
+//! Histograms over continuous and integer-valued data.
+//!
+//! The paper's Fig. 1 plots the recipe-size distribution — an integer-valued
+//! histogram normalized by the number of recipes. [`IntHistogram`] covers
+//! that case exactly; [`Histogram`] bins continuous data.
+
+use serde::{Deserialize, Serialize};
+
+/// Fixed-width binned histogram over `f64` data.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    /// Observations falling outside `[lo, hi)` (the upper edge is inclusive).
+    out_of_range: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Create an empty histogram with `bins` equal-width bins spanning
+    /// `[lo, hi]`. The final bin includes the upper edge.
+    ///
+    /// # Panics
+    /// Panics when `bins == 0` or `lo >= hi`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo < hi, "invalid range [{lo}, {hi}]");
+        Histogram { lo, hi, counts: vec![0; bins], out_of_range: 0, total: 0 }
+    }
+
+    /// Build a histogram directly from data.
+    pub fn from_data(data: &[f64], lo: f64, hi: f64, bins: usize) -> Self {
+        let mut h = Histogram::new(lo, hi, bins);
+        for &x in data {
+            h.add(x);
+        }
+        h
+    }
+
+    /// Record one observation.
+    pub fn add(&mut self, x: f64) {
+        self.total += 1;
+        if x < self.lo || x > self.hi || !x.is_finite() {
+            self.out_of_range += 1;
+            return;
+        }
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        let mut idx = ((x - self.lo) / width) as usize;
+        if idx >= self.counts.len() {
+            idx = self.counts.len() - 1; // upper edge inclusive
+        }
+        self.counts[idx] += 1;
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Raw bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total observations recorded, including out-of-range ones.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Observations that fell outside the histogram range.
+    pub fn out_of_range(&self) -> u64 {
+        self.out_of_range
+    }
+
+    /// Center of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + (i as f64 + 0.5) * width
+    }
+
+    /// Bin counts normalized so that they sum to 1 over in-range data.
+    /// Returns all-zero when no in-range data has been recorded.
+    pub fn normalized(&self) -> Vec<f64> {
+        let in_range = self.total - self.out_of_range;
+        if in_range == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts.iter().map(|&c| c as f64 / in_range as f64).collect()
+    }
+
+    /// Probability-*density* estimate: normalized counts divided by bin
+    /// width, suitable for overlaying a fitted PDF.
+    pub fn density(&self) -> Vec<f64> {
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        self.normalized().into_iter().map(|p| p / width).collect()
+    }
+}
+
+/// Exact histogram over small non-negative integers (e.g. recipe sizes).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct IntHistogram {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl IntHistogram {
+    /// Create an empty integer histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from data.
+    pub fn from_values(values: impl IntoIterator<Item = usize>) -> Self {
+        let mut h = IntHistogram::new();
+        for v in values {
+            h.add(v);
+        }
+        h
+    }
+
+    /// Record one observation of value `v`.
+    pub fn add(&mut self, v: usize) {
+        if v >= self.counts.len() {
+            self.counts.resize(v + 1, 0);
+        }
+        self.counts[v] += 1;
+        self.total += 1;
+    }
+
+    /// Count of observations equal to `v`.
+    pub fn count(&self, v: usize) -> u64 {
+        self.counts.get(v).copied().unwrap_or(0)
+    }
+
+    /// Total observations recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Smallest value observed, `None` when empty.
+    pub fn min(&self) -> Option<usize> {
+        self.counts.iter().position(|&c| c > 0)
+    }
+
+    /// Largest value observed, `None` when empty.
+    pub fn max(&self) -> Option<usize> {
+        self.counts.iter().rposition(|&c| c > 0)
+    }
+
+    /// Mean of the observed values, `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        let s: f64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(v, &c)| v as f64 * c as f64)
+            .sum();
+        Some(s / self.total as f64)
+    }
+
+    /// `(value, probability)` pairs over the observed support, normalized by
+    /// the total count. Values with zero count inside the support range are
+    /// included so the PMF is contiguous.
+    pub fn pmf(&self) -> Vec<(usize, f64)> {
+        let (Some(lo), Some(hi)) = (self.min(), self.max()) else {
+            return Vec::new();
+        };
+        (lo..=hi)
+            .map(|v| (v, self.count(v) as f64 / self.total as f64))
+            .collect()
+    }
+
+    /// Expand back into individual observations as `f64`s (for feeding the
+    /// generic descriptive/fitting routines).
+    pub fn to_samples(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.total as usize);
+        for (v, &c) in self.counts.iter().enumerate() {
+            out.extend(std::iter::repeat_n(v as f64, c as usize));
+        }
+        out
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &IntHistogram) {
+        for (v, &c) in other.counts.iter().enumerate() {
+            if c > 0 {
+                if v >= self.counts.len() {
+                    self.counts.resize(v + 1, 0);
+                }
+                self.counts[v] += c;
+                self.total += c;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_bins_data_correctly() {
+        let h = Histogram::from_data(&[0.1, 0.9, 1.1, 1.9, 2.0], 0.0, 2.0, 2);
+        // [0,1): 0.1, 0.9 -> 2; [1,2]: 1.1, 1.9, 2.0 -> 3.
+        assert_eq!(h.counts(), &[2, 3]);
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.out_of_range(), 0);
+    }
+
+    #[test]
+    fn histogram_upper_edge_inclusive() {
+        let h = Histogram::from_data(&[2.0], 0.0, 2.0, 4);
+        assert_eq!(h.counts(), &[0, 0, 0, 1]);
+    }
+
+    #[test]
+    fn histogram_tracks_out_of_range() {
+        let h = Histogram::from_data(&[-1.0, 0.5, 3.0], 0.0, 2.0, 2);
+        assert_eq!(h.out_of_range(), 2);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn histogram_normalization_sums_to_one() {
+        let h = Histogram::from_data(&[0.2, 0.4, 1.5, 1.6, 1.7], 0.0, 2.0, 4);
+        let total: f64 = h.normalized().iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_density_integrates_to_one() {
+        let h = Histogram::from_data(&[0.25, 0.75, 1.25, 1.75], 0.0, 2.0, 4);
+        let width = 0.5;
+        let integral: f64 = h.density().iter().map(|d| d * width).sum();
+        assert!((integral - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_bin_centers() {
+        let h = Histogram::new(0.0, 10.0, 5);
+        assert_eq!(h.bin_center(0), 1.0);
+        assert_eq!(h.bin_center(4), 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn histogram_rejects_zero_bins() {
+        let _ = Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    fn int_histogram_counts_and_bounds() {
+        let h = IntHistogram::from_values([3, 5, 3, 9, 3]);
+        assert_eq!(h.count(3), 3);
+        assert_eq!(h.count(4), 0);
+        assert_eq!(h.min(), Some(3));
+        assert_eq!(h.max(), Some(9));
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn int_histogram_mean() {
+        let h = IntHistogram::from_values([2, 4, 6]);
+        assert_eq!(h.mean(), Some(4.0));
+        assert_eq!(IntHistogram::new().mean(), None);
+    }
+
+    #[test]
+    fn int_histogram_pmf_contiguous_and_normalized() {
+        let h = IntHistogram::from_values([2, 2, 4]);
+        let pmf = h.pmf();
+        assert_eq!(pmf.len(), 3); // support 2..=4 including the empty 3
+        assert_eq!(pmf[0], (2, 2.0 / 3.0));
+        assert_eq!(pmf[1], (3, 0.0));
+        assert_eq!(pmf[2], (4, 1.0 / 3.0));
+        let total: f64 = pmf.iter().map(|&(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn int_histogram_roundtrip_samples() {
+        let h = IntHistogram::from_values([1, 1, 7]);
+        let mut s = h.to_samples();
+        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(s, vec![1.0, 1.0, 7.0]);
+    }
+
+    #[test]
+    fn int_histogram_merge_adds_counts() {
+        let mut a = IntHistogram::from_values([1, 2]);
+        let b = IntHistogram::from_values([2, 3, 3]);
+        a.merge(&b);
+        assert_eq!(a.total(), 5);
+        assert_eq!(a.count(2), 2);
+        assert_eq!(a.count(3), 2);
+    }
+}

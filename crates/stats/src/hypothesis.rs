@@ -1,0 +1,206 @@
+//! Goodness-of-fit tests: one-sample Kolmogorov–Smirnov against a normal
+//! reference, and Pearson's chi-square test. Used to back the paper's claim
+//! that recipe-size distributions are "gaussian" (Fig. 1).
+
+use serde::{Deserialize, Serialize};
+
+use crate::special::{chi_square_sf, normal_cdf};
+
+/// Result of a hypothesis test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TestResult {
+    /// The test statistic (D for KS, X² for chi-square).
+    pub statistic: f64,
+    /// Approximate p-value.
+    pub p_value: f64,
+}
+
+impl TestResult {
+    /// Whether the null hypothesis is rejected at significance `alpha`.
+    pub fn rejects_at(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// One-sample Kolmogorov–Smirnov test of `xs` against `Normal(mean, sd)`.
+///
+/// The p-value uses the asymptotic Kolmogorov distribution
+/// `Q(λ) = 2 Σ (-1)^{k-1} exp(-2 k² λ²)` with the Stephens small-sample
+/// correction `λ = (√n + 0.12 + 0.11/√n) D`. Note that when `mean`/`sd` are
+/// estimated from the same data the test is conservative (Lilliefors
+/// situation); we report the plain KS p-value and leave the interpretation
+/// to the caller.
+///
+/// Returns `None` for an empty sample or non-positive `sd`.
+pub fn ks_test_normal(xs: &[f64], mean: f64, sd: f64) -> Option<TestResult> {
+    if xs.is_empty() || sd <= 0.0 {
+        return None;
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite data required"));
+    let n = sorted.len() as f64;
+    let mut d: f64 = 0.0;
+    for (i, &x) in sorted.iter().enumerate() {
+        let cdf = normal_cdf(x, mean, sd);
+        let d_plus = (i as f64 + 1.0) / n - cdf;
+        let d_minus = cdf - i as f64 / n;
+        d = d.max(d_plus).max(d_minus);
+    }
+    let lambda = (n.sqrt() + 0.12 + 0.11 / n.sqrt()) * d;
+    Some(TestResult { statistic: d, p_value: kolmogorov_sf(lambda) })
+}
+
+/// Survival function of the Kolmogorov distribution.
+fn kolmogorov_sf(lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for k in 1..=100 {
+        let term = (-2.0 * (k as f64) * (k as f64) * lambda * lambda).exp();
+        sum += sign * term;
+        sign = -sign;
+        if term < 1e-12 {
+            break;
+        }
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+/// Pearson chi-square goodness-of-fit test.
+///
+/// `observed` are counts; `expected` are expected counts under the null
+/// (same total). `ddof` is the number of parameters estimated from the data
+/// (subtracted from the degrees of freedom, in addition to the usual 1).
+///
+/// Bins with expected count below `min_expected` (conventionally 5) are
+/// pooled into their neighbor to keep the asymptotics honest.
+///
+/// Returns `None` for mismatched lengths or fewer than two usable bins.
+pub fn chi_square_test(
+    observed: &[f64],
+    expected: &[f64],
+    ddof: usize,
+    min_expected: f64,
+) -> Option<TestResult> {
+    if observed.len() != expected.len() || observed.is_empty() {
+        return None;
+    }
+    // Pool sparse bins left-to-right.
+    let mut obs_pooled: Vec<f64> = Vec::new();
+    let mut exp_pooled: Vec<f64> = Vec::new();
+    let mut acc_o = 0.0;
+    let mut acc_e = 0.0;
+    for (&o, &e) in observed.iter().zip(expected) {
+        acc_o += o;
+        acc_e += e;
+        if acc_e >= min_expected {
+            obs_pooled.push(acc_o);
+            exp_pooled.push(acc_e);
+            acc_o = 0.0;
+            acc_e = 0.0;
+        }
+    }
+    if acc_e > 0.0 || acc_o > 0.0 {
+        // Fold the remainder into the last bin.
+        if let (Some(o), Some(e)) = (obs_pooled.last_mut(), exp_pooled.last_mut()) {
+            *o += acc_o;
+            *e += acc_e;
+        } else {
+            return None;
+        }
+    }
+    if obs_pooled.len() < 2 {
+        return None;
+    }
+    let statistic: f64 = obs_pooled
+        .iter()
+        .zip(&exp_pooled)
+        .map(|(&o, &e)| if e > 0.0 { (o - e) * (o - e) / e } else { 0.0 })
+        .sum();
+    let dof = obs_pooled.len().saturating_sub(1 + ddof);
+    if dof == 0 {
+        return None;
+    }
+    Some(TestResult { statistic, p_value: chi_square_sf(statistic, dof) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampling::normal;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ks_accepts_true_normal_sample() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let xs: Vec<f64> = (0..2_000).map(|_| normal(&mut rng, 9.0, 3.0)).collect();
+        let res = ks_test_normal(&xs, 9.0, 3.0).unwrap();
+        assert!(!res.rejects_at(0.01), "p = {}", res.p_value);
+    }
+
+    #[test]
+    fn ks_rejects_wrong_mean() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let xs: Vec<f64> = (0..2_000).map(|_| normal(&mut rng, 9.0, 3.0)).collect();
+        let res = ks_test_normal(&xs, 20.0, 3.0).unwrap();
+        assert!(res.rejects_at(0.001), "p = {}", res.p_value);
+        assert!(res.statistic > 0.5);
+    }
+
+    #[test]
+    fn ks_rejects_uniform_as_normal() {
+        use rand::RngExt;
+        let mut rng = StdRng::seed_from_u64(23);
+        let xs: Vec<f64> = (0..2_000).map(|_| rng.random_range(0.0..1.0)).collect();
+        // Uniform(0,1) vs Normal(0.5, sqrt(1/12)) — same moments, wrong shape.
+        let res = ks_test_normal(&xs, 0.5, (1.0f64 / 12.0).sqrt()).unwrap();
+        assert!(res.rejects_at(0.01), "p = {}", res.p_value);
+    }
+
+    #[test]
+    fn ks_empty_or_degenerate_is_none() {
+        assert!(ks_test_normal(&[], 0.0, 1.0).is_none());
+        assert!(ks_test_normal(&[1.0], 0.0, 0.0).is_none());
+    }
+
+    #[test]
+    fn kolmogorov_sf_bounds() {
+        assert_eq!(kolmogorov_sf(0.0), 1.0);
+        assert!(kolmogorov_sf(0.5) > 0.9);
+        assert!(kolmogorov_sf(2.0) < 0.001);
+    }
+
+    #[test]
+    fn chi_square_accepts_matching_counts() {
+        let obs = [48.0, 52.0, 101.0, 99.0];
+        let exp = [50.0, 50.0, 100.0, 100.0];
+        let res = chi_square_test(&obs, &exp, 0, 5.0).unwrap();
+        assert!(!res.rejects_at(0.05), "p = {}", res.p_value);
+    }
+
+    #[test]
+    fn chi_square_rejects_gross_mismatch() {
+        let obs = [10.0, 190.0];
+        let exp = [100.0, 100.0];
+        let res = chi_square_test(&obs, &exp, 0, 5.0).unwrap();
+        assert!(res.rejects_at(0.001));
+    }
+
+    #[test]
+    fn chi_square_pools_sparse_bins() {
+        // Expected counts of 1 each would break asymptotics; pooling to >= 5
+        // merges five bins at a time, leaving 2 pooled bins.
+        let obs = vec![1.0; 10];
+        let exp = vec![1.0; 10];
+        let res = chi_square_test(&obs, &exp, 0, 5.0).unwrap();
+        assert!((res.statistic - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chi_square_mismatched_lengths_is_none() {
+        assert!(chi_square_test(&[1.0], &[1.0, 2.0], 0, 5.0).is_none());
+    }
+}

@@ -1,0 +1,168 @@
+//! Rank-frequency curves — the central statistical object of the paper.
+//!
+//! A [`RankFrequency`] curve is a non-increasing sequence of (normalized)
+//! frequencies indexed by rank (1-based conceptually, 0-based in storage).
+//! Fig. 3 and Fig. 4 of the paper are overlays of such curves.
+
+use serde::{Deserialize, Serialize};
+
+/// A rank-frequency curve: frequencies sorted in non-increasing order.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct RankFrequency {
+    freqs: Vec<f64>,
+}
+
+impl RankFrequency {
+    /// Build from raw (unordered) counts, normalizing by `normalizer`
+    /// (in the paper: the total number of recipes in the cuisine).
+    ///
+    /// # Panics
+    /// Panics when `normalizer` is zero or negative.
+    pub fn from_counts(counts: impl IntoIterator<Item = u64>, normalizer: f64) -> Self {
+        assert!(normalizer > 0.0, "normalizer must be positive, got {normalizer}");
+        let mut freqs: Vec<f64> =
+            counts.into_iter().map(|c| c as f64 / normalizer).collect();
+        freqs.sort_by(|a, b| b.partial_cmp(a).expect("finite frequencies"));
+        RankFrequency { freqs }
+    }
+
+    /// Build from already-normalized frequencies (sorted internally).
+    pub fn from_frequencies(freqs: impl IntoIterator<Item = f64>) -> Self {
+        let mut freqs: Vec<f64> = freqs.into_iter().collect();
+        freqs.sort_by(|a, b| b.partial_cmp(a).expect("finite frequencies"));
+        RankFrequency { freqs }
+    }
+
+    /// Frequencies in rank order (rank 1 first).
+    pub fn frequencies(&self) -> &[f64] {
+        &self.freqs
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.freqs.len()
+    }
+
+    /// True when the curve has no ranks.
+    pub fn is_empty(&self) -> bool {
+        self.freqs.is_empty()
+    }
+
+    /// Frequency at 1-based rank `r`, `None` past the end.
+    pub fn at_rank(&self, r: usize) -> Option<f64> {
+        if r == 0 {
+            return None;
+        }
+        self.freqs.get(r - 1).copied()
+    }
+
+    /// `(rank, frequency)` pairs (1-based ranks), convenient for plotting.
+    pub fn points(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.freqs.iter().enumerate().map(|(i, &f)| (i + 1, f))
+    }
+
+    /// Truncate to the first `r` ranks (no-op if shorter).
+    pub fn truncated(&self, r: usize) -> RankFrequency {
+        RankFrequency { freqs: self.freqs.iter().copied().take(r).collect() }
+    }
+
+    /// Aggregate several curves by averaging the frequency at each rank.
+    ///
+    /// Following the paper's 100-replicate aggregation, the mean at rank `r`
+    /// is taken over the curves that *have* a rank `r` (curves shorter than
+    /// `r` do not contribute zeros). Returns an empty curve for empty input.
+    pub fn aggregate(curves: &[RankFrequency]) -> RankFrequency {
+        let max_len = curves.iter().map(|c| c.len()).max().unwrap_or(0);
+        let mut sums = vec![0.0f64; max_len];
+        let mut counts = vec![0u32; max_len];
+        for c in curves {
+            for (i, &f) in c.freqs.iter().enumerate() {
+                sums[i] += f;
+                counts[i] += 1;
+            }
+        }
+        let freqs: Vec<f64> = sums
+            .into_iter()
+            .zip(counts)
+            .map(|(s, n)| if n > 0 { s / n as f64 } else { 0.0 })
+            .collect();
+        // Averaging rank-wise over sorted curves preserves monotonicity only
+        // when contribution counts are themselves monotone (they are: longer
+        // curves contribute to every earlier rank). Sort defensively anyway.
+        RankFrequency::from_frequencies(freqs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_counts_sorts_and_normalizes() {
+        let rf = RankFrequency::from_counts([5, 20, 10], 100.0);
+        assert_eq!(rf.frequencies(), &[0.2, 0.1, 0.05]);
+    }
+
+    #[test]
+    #[should_panic(expected = "normalizer must be positive")]
+    fn from_counts_rejects_zero_normalizer() {
+        let _ = RankFrequency::from_counts([1], 0.0);
+    }
+
+    #[test]
+    fn at_rank_is_one_based() {
+        let rf = RankFrequency::from_frequencies([0.3, 0.1, 0.2]);
+        assert_eq!(rf.at_rank(1), Some(0.3));
+        assert_eq!(rf.at_rank(2), Some(0.2));
+        assert_eq!(rf.at_rank(3), Some(0.1));
+        assert_eq!(rf.at_rank(0), None);
+        assert_eq!(rf.at_rank(4), None);
+    }
+
+    #[test]
+    fn points_enumerate_ranks() {
+        let rf = RankFrequency::from_frequencies([0.5, 0.25]);
+        let pts: Vec<_> = rf.points().collect();
+        assert_eq!(pts, vec![(1, 0.5), (2, 0.25)]);
+    }
+
+    #[test]
+    fn truncated_takes_prefix() {
+        let rf = RankFrequency::from_frequencies([0.5, 0.4, 0.3, 0.2]);
+        assert_eq!(rf.truncated(2).frequencies(), &[0.5, 0.4]);
+        assert_eq!(rf.truncated(10).len(), 4);
+    }
+
+    #[test]
+    fn curve_is_non_increasing() {
+        let rf = RankFrequency::from_counts([3, 9, 1, 9, 2], 10.0);
+        let f = rf.frequencies();
+        for w in f.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+
+    #[test]
+    fn aggregate_averages_rankwise() {
+        let a = RankFrequency::from_frequencies([0.4, 0.2]);
+        let b = RankFrequency::from_frequencies([0.6, 0.4, 0.1]);
+        let agg = RankFrequency::aggregate(&[a, b]);
+        // Rank 1: (0.4 + 0.6)/2, rank 2: (0.2 + 0.4)/2, rank 3: 0.1 (only b).
+        let expected = [0.5, 0.3, 0.1];
+        assert_eq!(agg.len(), expected.len());
+        for (got, want) in agg.frequencies().iter().zip(expected) {
+            assert!((got - want).abs() < 1e-12, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn aggregate_of_nothing_is_empty() {
+        assert!(RankFrequency::aggregate(&[]).is_empty());
+    }
+
+    #[test]
+    fn aggregate_single_curve_is_identity() {
+        let a = RankFrequency::from_frequencies([0.9, 0.5, 0.1]);
+        assert_eq!(RankFrequency::aggregate(std::slice::from_ref(&a)), a);
+    }
+}

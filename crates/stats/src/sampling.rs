@@ -1,0 +1,470 @@
+//! Random sampling primitives used across the workspace.
+//!
+//! Everything here is deterministic under a seeded RNG, which the experiment
+//! harness relies on for reproducibility. The samplers are implemented from
+//! first principles (Marsaglia polar method, Vose alias tables, Floyd's
+//! subset sampling, Efraimidis–Spirakis weighted sampling) so the workspace
+//! does not depend on `rand_distr`.
+
+use rand::{Rng, RngExt};
+
+/// Draw one sample from `Normal(mean, sd)` via the Marsaglia polar method.
+///
+/// # Panics
+/// Panics when `sd` is negative.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sd: f64) -> f64 {
+    assert!(sd >= 0.0, "standard deviation must be non-negative, got {sd}");
+    if sd == 0.0 {
+        return mean;
+    }
+    loop {
+        let u: f64 = rng.random_range(-1.0..1.0);
+        let v: f64 = rng.random_range(-1.0..1.0);
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            let factor = (-2.0 * s.ln() / s).sqrt();
+            return mean + sd * u * factor;
+        }
+    }
+}
+
+/// Draw an integer from a truncated, discretized normal distribution.
+///
+/// Samples `Normal(mean, sd)`, rounds to the nearest integer and rejects
+/// values outside `[lo, hi]`. This is the recipe-size law of the paper's
+/// Fig. 1: "gaussian and bounded between 2 and 38", mean ≈ 9.
+///
+/// # Panics
+/// Panics when `lo > hi`.
+pub fn truncated_normal_int<R: Rng + ?Sized>(
+    rng: &mut R,
+    mean: f64,
+    sd: f64,
+    lo: usize,
+    hi: usize,
+) -> usize {
+    assert!(lo <= hi, "invalid truncation range [{lo}, {hi}]");
+    if lo == hi {
+        return lo;
+    }
+    // With the paper's parameters (mean 9, sd ~3, range [2, 38]) the
+    // acceptance probability is ~0.99, so plain rejection is efficient.
+    // Guard against pathological parameters with a bounded retry count and a
+    // clamping fallback.
+    for _ in 0..10_000 {
+        let x = normal(rng, mean, sd).round();
+        if x >= lo as f64 && x <= hi as f64 {
+            return x as usize;
+        }
+    }
+    (normal(rng, mean, sd).round().clamp(lo as f64, hi as f64)) as usize
+}
+
+/// Bounded Zipf sampler over ranks `1..=n` with exponent `s`:
+/// `P(k) ∝ k^{-s}`.
+///
+/// Precomputes the cumulative distribution once; each draw is a binary
+/// search (`O(log n)`), which is ideal for the bounded ingredient
+/// vocabularies used here (n ≤ ~700).
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Create a sampler over `1..=n` with exponent `s >= 0`.
+    ///
+    /// # Panics
+    /// Panics when `n == 0` or `s` is negative or non-finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf support must be non-empty");
+        assert!(s >= 0.0 && s.is_finite(), "Zipf exponent must be finite and >= 0, got {s}");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += (k as f64).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard against floating-point shortfall at the top.
+        *cdf.last_mut().expect("n > 0") = 1.0;
+        ZipfSampler { cdf }
+    }
+
+    /// Support size `n`.
+    pub fn support(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Probability mass of rank `k` (1-based).
+    pub fn pmf(&self, k: usize) -> f64 {
+        assert!(k >= 1 && k <= self.cdf.len(), "rank {k} out of support");
+        if k == 1 {
+            self.cdf[0]
+        } else {
+            self.cdf[k - 1] - self.cdf[k - 2]
+        }
+    }
+
+    /// Draw one rank in `1..=n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random::<f64>();
+        // partition_point returns the first index with cdf > u.
+        let idx = self.cdf.partition_point(|&c| c <= u);
+        idx.min(self.cdf.len() - 1) + 1
+    }
+}
+
+/// Weighted categorical sampler using Vose's alias method: `O(n)` setup,
+/// `O(1)` per draw.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<usize>,
+}
+
+impl AliasTable {
+    /// Build an alias table from non-negative weights (not necessarily
+    /// normalized).
+    ///
+    /// # Panics
+    /// Panics when `weights` is empty, contains a negative or non-finite
+    /// weight, or sums to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "alias table needs at least one weight");
+        let total: f64 = weights
+            .iter()
+            .map(|&w| {
+                assert!(w.is_finite() && w >= 0.0, "weights must be finite and non-negative");
+                w
+            })
+            .sum();
+        assert!(total > 0.0, "weights must not all be zero");
+
+        let n = weights.len();
+        let mut prob: Vec<f64> = weights.iter().map(|&w| w * n as f64 / total).collect();
+        let mut alias = vec![0usize; n];
+        let mut small: Vec<usize> = Vec::new();
+        let mut large: Vec<usize> = Vec::new();
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            alias[s] = l;
+            prob[l] = (prob[l] + prob[s]) - 1.0;
+            if prob[l] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Leftovers are numerically 1.0.
+        for i in small.into_iter().chain(large) {
+            prob[i] = 1.0;
+        }
+        AliasTable { prob, alias }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True when the table has no categories (never: construction forbids it),
+    /// provided for API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draw one category index.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let i = rng.random_range(0..self.prob.len());
+        if rng.random::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+/// Sample `k` distinct indices uniformly from `0..n` using Floyd's
+/// algorithm (`O(k)` expected time, no allocation proportional to `n`).
+///
+/// The returned indices are in the (arbitrary) insertion order of the
+/// algorithm, not sorted.
+///
+/// # Panics
+/// Panics when `k > n`.
+pub fn sample_without_replacement<R: Rng + ?Sized>(rng: &mut R, n: usize, k: usize) -> Vec<usize> {
+    assert!(k <= n, "cannot sample {k} distinct items from {n}");
+    let mut chosen: Vec<usize> = Vec::with_capacity(k);
+    // Floyd's algorithm: for j in n-k..n, pick t in 0..=j; if t already
+    // chosen, take j instead.
+    for j in (n - k)..n {
+        let t = rng.random_range(0..=j);
+        if chosen.contains(&t) {
+            chosen.push(j);
+        } else {
+            chosen.push(t);
+        }
+    }
+    chosen
+}
+
+/// Weighted sampling of `k` distinct indices without replacement
+/// (Efraimidis–Spirakis): each index `i` draws key `u_i^{1/w_i}` and the top
+/// `k` keys win. Zero-weight items are never selected unless needed to reach
+/// `k` among only zero-weight items is impossible — they are excluded.
+///
+/// # Panics
+/// Panics when fewer than `k` indices have strictly positive weight, or when
+/// any weight is negative/non-finite.
+pub fn weighted_sample_without_replacement<R: Rng + ?Sized>(
+    rng: &mut R,
+    weights: &[f64],
+    k: usize,
+) -> Vec<usize> {
+    let mut keyed: Vec<(f64, usize)> = weights
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &w)| {
+            assert!(w.is_finite() && w >= 0.0, "weights must be finite and non-negative");
+            if w > 0.0 {
+                let u: f64 = rng.random::<f64>();
+                // ln(u)/w is a monotone transform of u^(1/w); avoids powf.
+                Some((u.ln() / w, i))
+            } else {
+                None
+            }
+        })
+        .collect();
+    assert!(
+        keyed.len() >= k,
+        "cannot sample {k} items: only {} have positive weight",
+        keyed.len()
+    );
+    // Largest keys win; ln(u)/w is negative, closer to 0 is larger.
+    keyed.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite keys"));
+    keyed.into_iter().take(k).map(|(_, i)| i).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xC0FFEE)
+    }
+
+    #[test]
+    fn normal_sample_moments() {
+        let mut r = rng();
+        let xs: Vec<f64> = (0..50_000).map(|_| normal(&mut r, 9.0, 3.0)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+        assert!((mean - 9.0).abs() < 0.06, "mean {mean}");
+        assert!((var.sqrt() - 3.0).abs() < 0.06, "sd {}", var.sqrt());
+    }
+
+    #[test]
+    fn normal_zero_sd_is_constant() {
+        let mut r = rng();
+        assert_eq!(normal(&mut r, 5.0, 0.0), 5.0);
+    }
+
+    #[test]
+    fn truncated_normal_respects_bounds() {
+        let mut r = rng();
+        for _ in 0..10_000 {
+            let v = truncated_normal_int(&mut r, 9.0, 3.0, 2, 38);
+            assert!((2..=38).contains(&v));
+        }
+    }
+
+    #[test]
+    fn truncated_normal_mean_close_to_target() {
+        let mut r = rng();
+        let n = 20_000;
+        let s: usize = (0..n).map(|_| truncated_normal_int(&mut r, 9.0, 3.0, 2, 38)).sum();
+        let mean = s as f64 / n as f64;
+        assert!((mean - 9.0).abs() < 0.15, "mean {mean}");
+    }
+
+    #[test]
+    fn truncated_normal_degenerate_range() {
+        let mut r = rng();
+        assert_eq!(truncated_normal_int(&mut r, 100.0, 5.0, 7, 7), 7);
+    }
+
+    #[test]
+    fn zipf_pmf_normalized_and_decreasing() {
+        let z = ZipfSampler::new(100, 1.2);
+        let total: f64 = (1..=100).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        for k in 1..100 {
+            assert!(z.pmf(k) >= z.pmf(k + 1), "pmf not decreasing at {k}");
+        }
+    }
+
+    #[test]
+    fn zipf_empirical_frequencies_match_pmf() {
+        let z = ZipfSampler::new(10, 1.0);
+        let mut r = rng();
+        let n = 200_000;
+        let mut counts = [0u64; 10];
+        for _ in 0..n {
+            counts[z.sample(&mut r) - 1] += 1;
+        }
+        for k in 1..=10 {
+            let emp = counts[k - 1] as f64 / n as f64;
+            assert!(
+                (emp - z.pmf(k)).abs() < 0.005,
+                "rank {k}: empirical {emp} vs pmf {}",
+                z.pmf(k)
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniform() {
+        let z = ZipfSampler::new(5, 0.0);
+        for k in 1..=5 {
+            assert!((z.pmf(k) - 0.2).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn alias_table_matches_weights() {
+        let weights = [1.0, 2.0, 3.0, 4.0];
+        let t = AliasTable::new(&weights);
+        let mut r = rng();
+        let n = 400_000;
+        let mut counts = [0u64; 4];
+        for _ in 0..n {
+            counts[t.sample(&mut r)] += 1;
+        }
+        for i in 0..4 {
+            let expected = weights[i] / 10.0;
+            let emp = counts[i] as f64 / n as f64;
+            assert!((emp - expected).abs() < 0.005, "cat {i}: {emp} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn alias_table_zero_weight_never_sampled() {
+        let t = AliasTable::new(&[0.0, 1.0]);
+        let mut r = rng();
+        for _ in 0..10_000 {
+            assert_eq!(t.sample(&mut r), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not all be zero")]
+    fn alias_table_rejects_all_zero() {
+        let _ = AliasTable::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn floyd_sampling_distinct_and_in_range() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = sample_without_replacement(&mut r, 50, 20);
+            assert_eq!(s.len(), 20);
+            let mut u = s.clone();
+            u.sort_unstable();
+            u.dedup();
+            assert_eq!(u.len(), 20, "duplicates in {s:?}");
+            assert!(s.iter().all(|&i| i < 50));
+        }
+    }
+
+    #[test]
+    fn floyd_sampling_full_set() {
+        let mut r = rng();
+        let mut s = sample_without_replacement(&mut r, 10, 10);
+        s.sort_unstable();
+        assert_eq!(s, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn floyd_sampling_approximately_uniform() {
+        let mut r = rng();
+        let mut counts = [0u64; 10];
+        let trials = 100_000;
+        for _ in 0..trials {
+            for i in sample_without_replacement(&mut r, 10, 3) {
+                counts[i] += 1;
+            }
+        }
+        // Each index appears with probability 3/10.
+        for (i, &c) in counts.iter().enumerate() {
+            let emp = c as f64 / trials as f64;
+            assert!((emp - 0.3).abs() < 0.01, "index {i}: {emp}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn floyd_sampling_rejects_oversized() {
+        let mut r = rng();
+        let _ = sample_without_replacement(&mut r, 3, 4);
+    }
+
+    #[test]
+    fn weighted_wor_distinct_and_biased() {
+        let mut r = rng();
+        let weights = [10.0, 1.0, 1.0, 1.0, 1.0];
+        let mut first_count = 0u64;
+        let trials = 20_000;
+        for _ in 0..trials {
+            let s = weighted_sample_without_replacement(&mut r, &weights, 2);
+            assert_eq!(s.len(), 2);
+            assert_ne!(s[0], s[1]);
+            if s.contains(&0) {
+                first_count += 1;
+            }
+        }
+        // Index 0 has weight 10 of 14 total; it should nearly always appear.
+        assert!(first_count as f64 / trials as f64 > 0.85);
+    }
+
+    #[test]
+    fn weighted_wor_skips_zero_weight() {
+        let mut r = rng();
+        for _ in 0..1_000 {
+            let s = weighted_sample_without_replacement(&mut r, &[0.0, 1.0, 1.0], 2);
+            assert!(!s.contains(&0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "only 1 have positive weight")]
+    fn weighted_wor_rejects_insufficient_support() {
+        let mut r = rng();
+        let _ = weighted_sample_without_replacement(&mut r, &[0.0, 1.0], 2);
+    }
+
+    #[test]
+    fn samplers_deterministic_under_seed() {
+        let z = ZipfSampler::new(50, 1.1);
+        let a: Vec<usize> = {
+            let mut r = StdRng::seed_from_u64(7);
+            (0..100).map(|_| z.sample(&mut r)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut r = StdRng::seed_from_u64(7);
+            (0..100).map(|_| z.sample(&mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

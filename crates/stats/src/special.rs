@@ -1,0 +1,274 @@
+//! Special mathematical functions used by the fitting and hypothesis-test
+//! modules.
+//!
+//! Implemented from standard series/continued-fraction expansions so the
+//! workspace carries no external numerics dependency. Accuracy targets are
+//! modest (absolute error below `1e-7` on the domains exercised here), which
+//! is ample for goodness-of-fit p-values and distribution fitting.
+
+/// Error function `erf(x)`, accurate to roughly `1.5e-7`.
+///
+/// Uses the Abramowitz & Stegun 7.1.26 rational approximation with the
+/// symmetry `erf(-x) = -erf(x)`.
+pub fn erf(x: f64) -> f64 {
+    // A&S 7.1.26 coefficients.
+    const A1: f64 = 0.254_829_592;
+    const A2: f64 = -0.284_496_736;
+    const A3: f64 = 1.421_413_741;
+    const A4: f64 = -1.453_152_027;
+    const A5: f64 = 1.061_405_429;
+    const P: f64 = 0.327_591_1;
+
+    if x == 0.0 {
+        return 0.0;
+    }
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + P * x);
+    let y = 1.0 - (((((A5 * t + A4) * t) + A3) * t + A2) * t + A1) * t * (-x * x).exp();
+    sign * y
+}
+
+/// Standard normal cumulative distribution function.
+pub fn std_normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+/// CDF of a normal distribution with the given mean and standard deviation.
+///
+/// `sd` must be strictly positive; a degenerate distribution is treated as a
+/// step function at `mean`.
+pub fn normal_cdf(x: f64, mean: f64, sd: f64) -> f64 {
+    if sd <= 0.0 {
+        return if x < mean { 0.0 } else { 1.0 };
+    }
+    std_normal_cdf((x - mean) / sd)
+}
+
+/// Natural log of the gamma function, via the Lanczos approximation (g = 7,
+/// n = 9 coefficients). Valid for `x > 0`.
+pub fn ln_gamma(x: f64) -> f64 {
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_312e-7,
+    ];
+    const G: f64 = 7.0;
+    if x < 0.5 {
+        // Reflection formula keeps the approximation on x >= 0.5.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEF[0];
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + G + 0.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// Regularized lower incomplete gamma function `P(a, x)`.
+///
+/// Series expansion for `x < a + 1`, continued fraction otherwise
+/// (Numerical Recipes `gammp`). Returns values clamped to `[0, 1]`.
+pub fn regularized_lower_gamma(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0, "shape parameter must be positive, got {a}");
+    assert!(x >= 0.0, "argument must be non-negative, got {x}");
+    if x == 0.0 {
+        return 0.0;
+    }
+    let value = if x < a + 1.0 {
+        lower_gamma_series(a, x)
+    } else {
+        1.0 - upper_gamma_cf(a, x)
+    };
+    value.clamp(0.0, 1.0)
+}
+
+/// Series representation of `P(a, x)` for `x < a + 1`.
+fn lower_gamma_series(a: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 500;
+    const EPS: f64 = 1e-14;
+    let mut ap = a;
+    let mut sum = 1.0 / a;
+    let mut del = sum;
+    for _ in 0..MAX_ITER {
+        ap += 1.0;
+        del *= x / ap;
+        sum += del;
+        if del.abs() < sum.abs() * EPS {
+            break;
+        }
+    }
+    sum * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+/// Continued-fraction representation of `Q(a, x) = 1 - P(a, x)` for
+/// `x >= a + 1` (modified Lentz's method).
+fn upper_gamma_cf(a: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 500;
+    const EPS: f64 = 1e-14;
+    const TINY: f64 = 1e-300;
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / TINY;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..=MAX_ITER {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = b + an / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    (-x + a * x.ln() - ln_gamma(a)).exp() * h
+}
+
+/// Survival function of the chi-square distribution with `dof` degrees of
+/// freedom: `Pr[X >= x]`.
+pub fn chi_square_sf(x: f64, dof: usize) -> f64 {
+    assert!(dof > 0, "degrees of freedom must be positive");
+    if x <= 0.0 {
+        return 1.0;
+    }
+    1.0 - regularized_lower_gamma(dof as f64 / 2.0, x / 2.0)
+}
+
+/// Generalized harmonic number `H(n, s) = sum_{k=1..n} k^{-s}`.
+///
+/// This is the normalizing constant of a bounded Zipf distribution with
+/// support `1..=n` and exponent `s`.
+pub fn generalized_harmonic(n: usize, s: f64) -> f64 {
+    (1..=n).map(|k| (k as f64).powf(-s)).sum()
+}
+
+/// Derivative of `H(n, s)` with respect to `s`:
+/// `-sum_{k=1..n} ln(k) k^{-s}`. Used by the Zipf maximum-likelihood fit.
+pub fn generalized_harmonic_ds(n: usize, s: f64) -> f64 {
+    -(1..=n)
+        .map(|k| {
+            let kf = k as f64;
+            kf.ln() * kf.powf(-s)
+        })
+        .sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(actual: f64, expected: f64, tol: f64) {
+        assert!(
+            (actual - expected).abs() <= tol,
+            "expected {expected}, got {actual} (tol {tol})"
+        );
+    }
+
+    #[test]
+    fn erf_reference_values() {
+        assert_close(erf(0.0), 0.0, 1e-12);
+        assert_close(erf(1.0), 0.842_700_79, 2e-7);
+        assert_close(erf(2.0), 0.995_322_27, 2e-7);
+        assert_close(erf(-1.0), -0.842_700_79, 2e-7);
+        assert_close(erf(3.5), 0.999_999_257, 2e-7);
+    }
+
+    #[test]
+    fn erf_is_odd() {
+        for &x in &[0.1, 0.7, 1.3, 2.9] {
+            assert_close(erf(x) + erf(-x), 0.0, 1e-12);
+        }
+    }
+
+    #[test]
+    fn std_normal_cdf_reference_values() {
+        assert_close(std_normal_cdf(0.0), 0.5, 1e-12);
+        assert_close(std_normal_cdf(1.96), 0.975_002, 5e-6);
+        assert_close(std_normal_cdf(-1.96), 0.024_998, 5e-6);
+    }
+
+    #[test]
+    fn normal_cdf_shifts_and_scales() {
+        assert_close(normal_cdf(9.0, 9.0, 3.0), 0.5, 1e-12);
+        assert_close(normal_cdf(12.0, 9.0, 3.0), std_normal_cdf(1.0), 1e-12);
+    }
+
+    #[test]
+    fn normal_cdf_degenerate_sd_is_step() {
+        assert_eq!(normal_cdf(0.9, 1.0, 0.0), 0.0);
+        assert_eq!(normal_cdf(1.0, 1.0, 0.0), 1.0);
+        assert_eq!(normal_cdf(1.1, 1.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        // Gamma(n) = (n-1)!
+        assert_close(ln_gamma(1.0), 0.0, 1e-10);
+        assert_close(ln_gamma(2.0), 0.0, 1e-10);
+        assert_close(ln_gamma(5.0), 24f64.ln(), 1e-9);
+        assert_close(ln_gamma(11.0), 3_628_800f64.ln(), 1e-8);
+    }
+
+    #[test]
+    fn ln_gamma_half() {
+        // Gamma(1/2) = sqrt(pi)
+        assert_close(ln_gamma(0.5), std::f64::consts::PI.sqrt().ln(), 1e-9);
+    }
+
+    #[test]
+    fn regularized_gamma_limits() {
+        assert_close(regularized_lower_gamma(2.5, 0.0), 0.0, 1e-12);
+        assert_close(regularized_lower_gamma(2.5, 1e6), 1.0, 1e-9);
+    }
+
+    #[test]
+    fn regularized_gamma_exponential_special_case() {
+        // P(1, x) = 1 - exp(-x)
+        for &x in &[0.1, 0.5, 1.0, 2.0, 5.0] {
+            assert_close(regularized_lower_gamma(1.0, x), 1.0 - (-x).exp(), 1e-10);
+        }
+    }
+
+    #[test]
+    fn chi_square_sf_reference_values() {
+        // Critical values: chi2(0.05, 1 dof) = 3.841, chi2(0.05, 10) = 18.307.
+        assert_close(chi_square_sf(3.841, 1), 0.05, 5e-4);
+        assert_close(chi_square_sf(18.307, 10), 0.05, 5e-4);
+        assert_close(chi_square_sf(0.0, 3), 1.0, 1e-12);
+    }
+
+    #[test]
+    fn harmonic_number_matches_direct_sum() {
+        assert_close(generalized_harmonic(1, 1.0), 1.0, 1e-12);
+        assert_close(generalized_harmonic(4, 1.0), 1.0 + 0.5 + 1.0 / 3.0 + 0.25, 1e-12);
+        assert_close(generalized_harmonic(3, 2.0), 1.0 + 0.25 + 1.0 / 9.0, 1e-12);
+    }
+
+    #[test]
+    fn harmonic_derivative_is_negative_for_positive_s() {
+        assert!(generalized_harmonic_ds(100, 1.0) < 0.0);
+        // Finite-difference check.
+        let s = 1.3;
+        let h = 1e-6;
+        let fd =
+            (generalized_harmonic(50, s + h) - generalized_harmonic(50, s - h)) / (2.0 * h);
+        assert_close(generalized_harmonic_ds(50, s), fd, 1e-5);
+    }
+}

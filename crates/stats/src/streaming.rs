@@ -1,0 +1,308 @@
+//! Single-pass (streaming) statistics for full-scale corpus processing:
+//! Welford mean/variance, streaming min/max, and the P² quantile estimator.
+//!
+//! At the full 158k-recipe scale, repeatedly materializing per-cuisine
+//! sample vectors for the descriptive statistics is wasteful; these
+//! accumulators compute the same summaries in one pass and O(1) memory.
+
+use serde::{Deserialize, Serialize};
+
+/// Welford's online algorithm for mean and variance, with min/max.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct RunningStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        RunningStats { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Fold one observation in.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Observations folded in so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Running mean; `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.mean)
+    }
+
+    /// Unbiased sample variance; `None` below two observations.
+    pub fn variance(&self) -> Option<f64> {
+        (self.count > 1).then(|| self.m2 / (self.count - 1) as f64)
+    }
+
+    /// Unbiased sample standard deviation.
+    pub fn std_dev(&self) -> Option<f64> {
+        self.variance().map(f64::sqrt)
+    }
+
+    /// Smallest observation; `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation; `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Merge another accumulator (parallel reduction; Chan et al.).
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        let mean =
+            self.mean + delta * other.count as f64 / total as f64;
+        let m2 = self.m2
+            + other.m2
+            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.count = total;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// The P² (Jain & Chlamtac, 1985) streaming quantile estimator: tracks one
+/// quantile with five markers and no sample storage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct P2Quantile {
+    q: f64,
+    /// Marker heights.
+    heights: [f64; 5],
+    /// Marker positions (1-based).
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Desired position increments.
+    increments: [f64; 5],
+    /// Observations seen (first 5 buffered in `heights`).
+    count: usize,
+}
+
+impl P2Quantile {
+    /// Track the `q`-quantile, `0 < q < 1`.
+    ///
+    /// # Panics
+    /// Panics when `q` is outside `(0, 1)`.
+    pub fn new(q: f64) -> Self {
+        assert!(q > 0.0 && q < 1.0, "quantile must be in (0, 1), got {q}");
+        P2Quantile {
+            q,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            count: 0,
+        }
+    }
+
+    /// Fold one observation in.
+    pub fn push(&mut self, x: f64) {
+        if self.count < 5 {
+            self.heights[self.count] = x;
+            self.count += 1;
+            if self.count == 5 {
+                self.heights.sort_by(|a, b| a.partial_cmp(b).expect("finite data"));
+            }
+            return;
+        }
+        self.count += 1;
+
+        // Find the cell k containing x and update extreme markers.
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            let mut cell = 0;
+            for i in 0..4 {
+                if self.heights[i] <= x && x < self.heights[i + 1] {
+                    cell = i;
+                    break;
+                }
+            }
+            cell
+        };
+        for p in self.positions.iter_mut().skip(k + 1) {
+            *p += 1.0;
+        }
+        for (d, inc) in self.desired.iter_mut().zip(self.increments) {
+            *d += inc;
+        }
+
+        // Adjust interior markers with the parabolic (fallback: linear)
+        // formula.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let right = self.positions[i + 1] - self.positions[i];
+            let left = self.positions[i - 1] - self.positions[i];
+            if (d >= 1.0 && right > 1.0) || (d <= -1.0 && left < -1.0) {
+                let sign = d.signum();
+                let parabolic = self.heights[i]
+                    + sign / (self.positions[i + 1] - self.positions[i - 1])
+                        * ((self.positions[i] - self.positions[i - 1] + sign)
+                            * (self.heights[i + 1] - self.heights[i])
+                            / right
+                            + (self.positions[i + 1] - self.positions[i] - sign)
+                                * (self.heights[i] - self.heights[i - 1])
+                                / -left);
+                self.heights[i] =
+                    if self.heights[i - 1] < parabolic && parabolic < self.heights[i + 1] {
+                        parabolic
+                    } else {
+                        // Linear fallback toward the neighbor in direction
+                        // `sign`.
+                        let j = (i as f64 + sign) as usize;
+                        self.heights[i]
+                            + sign * (self.heights[j] - self.heights[i])
+                                / (self.positions[j] - self.positions[i]).abs()
+                    };
+                self.positions[i] += sign;
+            }
+        }
+    }
+
+    /// Current estimate. Exact below 5 observations; `None` when empty.
+    pub fn estimate(&self) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        if self.count < 5 {
+            let mut buf: Vec<f64> = self.heights[..self.count].to_vec();
+            buf.sort_by(|a, b| a.partial_cmp(b).expect("finite data"));
+            return Some(crate::descriptive::quantile_sorted(&buf, self.q));
+        }
+        Some(self.heights[2])
+    }
+
+    /// Observations folded in.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampling::normal;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn running_stats_match_batch() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut r = RunningStats::new();
+        for &x in &xs {
+            r.push(x);
+        }
+        assert_eq!(r.count(), 8);
+        assert_eq!(r.mean(), Some(5.0));
+        let batch_var = crate::descriptive::variance(&xs).unwrap();
+        assert!((r.variance().unwrap() - batch_var).abs() < 1e-12);
+        assert_eq!(r.min(), Some(2.0));
+        assert_eq!(r.max(), Some(9.0));
+    }
+
+    #[test]
+    fn running_stats_empty_and_singleton() {
+        let r = RunningStats::new();
+        assert_eq!(r.mean(), None);
+        assert_eq!(r.variance(), None);
+        let mut r = RunningStats::new();
+        r.push(3.0);
+        assert_eq!(r.mean(), Some(3.0));
+        assert_eq!(r.variance(), None);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = RunningStats::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut a = RunningStats::new();
+        let mut b = RunningStats::new();
+        for &x in &xs[..37] {
+            a.push(x);
+        }
+        for &x in &xs[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean().unwrap() - whole.mean().unwrap()).abs() < 1e-10);
+        assert!((a.variance().unwrap() - whole.variance().unwrap()).abs() < 1e-9);
+        // Merging an empty accumulator is a no-op.
+        let before = a;
+        a.merge(&RunningStats::new());
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn p2_median_of_normal_sample() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut p2 = P2Quantile::new(0.5);
+        for _ in 0..50_000 {
+            p2.push(normal(&mut rng, 9.0, 3.0));
+        }
+        let est = p2.estimate().unwrap();
+        assert!((est - 9.0).abs() < 0.1, "median estimate {est}");
+    }
+
+    #[test]
+    fn p2_tail_quantile() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut p2 = P2Quantile::new(0.95);
+        for _ in 0..50_000 {
+            p2.push(normal(&mut rng, 0.0, 1.0));
+        }
+        // True 95th percentile of N(0,1) = 1.6449.
+        let est = p2.estimate().unwrap();
+        assert!((est - 1.6449).abs() < 0.1, "p95 estimate {est}");
+    }
+
+    #[test]
+    fn p2_exact_below_five() {
+        let mut p2 = P2Quantile::new(0.5);
+        assert_eq!(p2.estimate(), None);
+        p2.push(10.0);
+        assert_eq!(p2.estimate(), Some(10.0));
+        p2.push(20.0);
+        p2.push(30.0);
+        assert_eq!(p2.estimate(), Some(20.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in (0, 1)")]
+    fn p2_rejects_extremes() {
+        let _ = P2Quantile::new(1.0);
+    }
+}

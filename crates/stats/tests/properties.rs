@@ -1,0 +1,198 @@
+//! Property-based tests for the statistics substrate.
+
+use cuisine_stats::descriptive::{self, Summary};
+use cuisine_stats::error::{curve_distance, ErrorMetric};
+use cuisine_stats::rank::RankFrequency;
+use cuisine_stats::sampling::{
+    sample_without_replacement, weighted_sample_without_replacement, AliasTable, ZipfSampler,
+};
+use cuisine_stats::special;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn finite_vec(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6f64..1e6, 1..max_len)
+}
+
+proptest! {
+    #[test]
+    fn mean_is_bounded_by_extremes(xs in finite_vec(64)) {
+        let m = descriptive::mean(&xs).unwrap();
+        let lo = descriptive::min(&xs).unwrap();
+        let hi = descriptive::max(&xs).unwrap();
+        prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
+    }
+
+    #[test]
+    fn variance_is_non_negative(xs in finite_vec(64)) {
+        if let Some(v) = descriptive::variance(&xs) {
+            prop_assert!(v >= 0.0);
+        }
+    }
+
+    #[test]
+    fn mean_shift_equivariance(xs in finite_vec(32), c in -1e3f64..1e3) {
+        let shifted: Vec<f64> = xs.iter().map(|x| x + c).collect();
+        let m0 = descriptive::mean(&xs).unwrap();
+        let m1 = descriptive::mean(&shifted).unwrap();
+        prop_assert!((m1 - (m0 + c)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn variance_shift_invariance(xs in finite_vec(32), c in -1e3f64..1e3) {
+        prop_assume!(xs.len() >= 2);
+        let shifted: Vec<f64> = xs.iter().map(|x| x + c).collect();
+        let v0 = descriptive::variance(&xs).unwrap();
+        let v1 = descriptive::variance(&shifted).unwrap();
+        prop_assert!((v1 - v0).abs() < 1e-4 * (1.0 + v0));
+    }
+
+    #[test]
+    fn quantiles_are_monotone(xs in finite_vec(64), q1 in 0.0f64..1.0, q2 in 0.0f64..1.0) {
+        let (lo_q, hi_q) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let a = descriptive::quantile(&xs, lo_q).unwrap();
+        let b = descriptive::quantile(&xs, hi_q).unwrap();
+        prop_assert!(a <= b + 1e-12);
+    }
+
+    #[test]
+    fn summary_orders_five_numbers(xs in finite_vec(64)) {
+        let s = Summary::from_slice(&xs).unwrap();
+        prop_assert!(s.min <= s.q1 + 1e-12);
+        prop_assert!(s.q1 <= s.median + 1e-12);
+        prop_assert!(s.median <= s.q3 + 1e-12);
+        prop_assert!(s.q3 <= s.max + 1e-12);
+    }
+
+    #[test]
+    fn erf_is_monotone_and_bounded(a in -5.0f64..5.0, b in -5.0f64..5.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let (ea, eb) = (special::erf(lo), special::erf(hi));
+        prop_assert!(ea <= eb + 1e-9);
+        prop_assert!((-1.0..=1.0).contains(&ea));
+        prop_assert!((-1.0..=1.0).contains(&eb));
+    }
+
+    #[test]
+    fn normal_cdf_in_unit_interval(x in -100.0f64..100.0, mean in -10.0f64..10.0, sd in 0.01f64..10.0) {
+        let c = special::normal_cdf(x, mean, sd);
+        prop_assert!((0.0..=1.0).contains(&c));
+    }
+
+    #[test]
+    fn zipf_pmf_sums_to_one(n in 1usize..300, s in 0.0f64..3.0) {
+        let z = ZipfSampler::new(n, s);
+        let total: f64 = (1..=n).map(|k| z.pmf(k)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zipf_samples_in_support(n in 1usize..100, s in 0.0f64..3.0, seed in any::<u64>()) {
+        let z = ZipfSampler::new(n, s);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let k = z.sample(&mut rng);
+            prop_assert!(k >= 1 && k <= n);
+        }
+    }
+
+    #[test]
+    fn alias_table_samples_valid_indices(
+        weights in prop::collection::vec(0.0f64..10.0, 1..50),
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        let t = AliasTable::new(&weights);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let i = t.sample(&mut rng);
+            prop_assert!(i < weights.len());
+            prop_assert!(weights[i] > 0.0, "sampled zero-weight index {i}");
+        }
+    }
+
+    #[test]
+    fn floyd_sample_is_a_k_subset(n in 1usize..200, k_frac in 0.0f64..=1.0, seed in any::<u64>()) {
+        let k = ((n as f64) * k_frac) as usize;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut s = sample_without_replacement(&mut rng, n, k);
+        s.sort_unstable();
+        let before = s.len();
+        s.dedup();
+        prop_assert_eq!(s.len(), before, "duplicates produced");
+        prop_assert_eq!(s.len(), k);
+        prop_assert!(s.iter().all(|&i| i < n));
+    }
+
+    #[test]
+    fn weighted_wor_is_distinct_positive_weight_subset(
+        weights in prop::collection::vec(0.0f64..5.0, 1..40),
+        seed in any::<u64>(),
+    ) {
+        let positive = weights.iter().filter(|&&w| w > 0.0).count();
+        prop_assume!(positive > 0);
+        let k = 1 + seed as usize % positive;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut s = weighted_sample_without_replacement(&mut rng, &weights, k);
+        prop_assert_eq!(s.len(), k);
+        s.sort_unstable();
+        let before = s.len();
+        s.dedup();
+        prop_assert_eq!(s.len(), before);
+        prop_assert!(s.iter().all(|&i| weights[i] > 0.0));
+    }
+
+    #[test]
+    fn rank_frequency_is_sorted_descending(counts in prop::collection::vec(0u64..1000, 0..64)) {
+        let rf = RankFrequency::from_counts(counts, 1000.0);
+        for w in rf.frequencies().windows(2) {
+            prop_assert!(w[0] >= w[1]);
+        }
+    }
+
+    #[test]
+    fn curve_distance_is_symmetric_and_nonnegative(
+        a in prop::collection::vec(0.0f64..1.0, 1..32),
+        b in prop::collection::vec(0.0f64..1.0, 1..32),
+    ) {
+        for m in [ErrorMetric::Mae, ErrorMetric::Mse, ErrorMetric::Rmse, ErrorMetric::PaperMae] {
+            let d_ab = curve_distance(&a, &b, m).unwrap();
+            let d_ba = curve_distance(&b, &a, m).unwrap();
+            prop_assert!((d_ab - d_ba).abs() < 1e-12);
+            prop_assert!(d_ab >= 0.0);
+        }
+    }
+
+    #[test]
+    fn curve_distance_identity(a in prop::collection::vec(0.0f64..1.0, 1..32)) {
+        for m in [ErrorMetric::Mae, ErrorMetric::Mse, ErrorMetric::Rmse, ErrorMetric::PaperMae] {
+            prop_assert_eq!(curve_distance(&a, &a, m).unwrap(), 0.0);
+        }
+    }
+
+    #[test]
+    fn aggregate_is_sorted_rankwise_means(
+        curves in prop::collection::vec(prop::collection::vec(0.0f64..1.0, 1..16), 1..8),
+    ) {
+        let rfs: Vec<RankFrequency> = curves
+            .iter()
+            .map(|c| RankFrequency::from_frequencies(c.iter().copied()))
+            .collect();
+        let agg = RankFrequency::aggregate(&rfs);
+        // Recompute rank-wise means over contributing curves, then sort
+        // descending (the curve invariant).
+        let max_len = rfs.iter().map(|c| c.len()).max().unwrap();
+        let mut expected: Vec<f64> = (1..=max_len)
+            .map(|r| {
+                let vals: Vec<f64> = rfs.iter().filter_map(|c| c.at_rank(r)).collect();
+                vals.iter().sum::<f64>() / vals.len() as f64
+            })
+            .collect();
+        expected.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        prop_assert_eq!(agg.len(), expected.len());
+        for (got, want) in agg.frequencies().iter().zip(&expected) {
+            prop_assert!((got - want).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Calibration checks: how close does a generated corpus sit to the Table-I
+//! reference statistics?
+
+use cuisine_data::{Corpus, CuisineId};
+use cuisine_lexicon::Lexicon;
+use serde::{Deserialize, Serialize};
+
+/// Per-cuisine calibration result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CuisineCalibration {
+    /// Region code.
+    pub code: String,
+    /// Target recipe count (scaled Table I).
+    pub target_recipes: usize,
+    /// Recipes actually generated.
+    pub actual_recipes: usize,
+    /// Table-I unique-ingredient target (vocabulary size).
+    pub target_ingredients: usize,
+    /// Unique ingredients actually observed in the generated recipes.
+    pub actual_ingredients: usize,
+    /// Mean recipe size observed.
+    pub mean_size: f64,
+    /// Smallest and largest recipe size observed.
+    pub size_range: (usize, usize),
+}
+
+impl CuisineCalibration {
+    /// Fraction of the target vocabulary realized in the output (tail items
+    /// may not appear in small corpora).
+    pub fn vocabulary_coverage(&self) -> f64 {
+        if self.target_ingredients == 0 {
+            return 1.0;
+        }
+        self.actual_ingredients as f64 / self.target_ingredients as f64
+    }
+}
+
+/// Whole-corpus calibration report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CalibrationReport {
+    /// One entry per populated cuisine, in cuisine order.
+    pub cuisines: Vec<CuisineCalibration>,
+}
+
+impl CalibrationReport {
+    /// Measure a corpus against the Table-I targets, scaled by
+    /// `scale` (the generator's configured fraction).
+    pub fn measure(corpus: &Corpus, _lexicon: &Lexicon, scale: f64) -> Self {
+        let cuisines = CuisineId::all()
+            .filter(|&c| corpus.recipe_count(c) > 0)
+            .map(|c| {
+                let sizes = corpus.sizes_in(c);
+                let mean_size = corpus.mean_size_in(c).unwrap_or(0.0);
+                let min = sizes.iter().copied().min().unwrap_or(0);
+                let max = sizes.iter().copied().max().unwrap_or(0);
+                CuisineCalibration {
+                    code: c.code().to_string(),
+                    target_recipes: ((c.info().recipes as f64 * scale).round() as usize).max(1),
+                    actual_recipes: corpus.recipe_count(c),
+                    target_ingredients: c.info().ingredients,
+                    actual_ingredients: corpus.unique_ingredient_count(c),
+                    mean_size,
+                    size_range: (min, max),
+                }
+            })
+            .collect();
+        CalibrationReport { cuisines }
+    }
+
+    /// Mean vocabulary coverage across cuisines.
+    pub fn mean_coverage(&self) -> f64 {
+        if self.cuisines.is_empty() {
+            return 0.0;
+        }
+        self.cuisines.iter().map(|c| c.vocabulary_coverage()).sum::<f64>()
+            / self.cuisines.len() as f64
+    }
+
+    /// Mean recipe size across cuisines (unweighted).
+    pub fn mean_size(&self) -> f64 {
+        if self.cuisines.is_empty() {
+            return 0.0;
+        }
+        self.cuisines.iter().map(|c| c.mean_size).sum::<f64>() / self.cuisines.len() as f64
+    }
+
+    /// True when every cuisine hit its recipe-count target exactly and all
+    /// sizes stayed within the paper's [2, 38] bounds.
+    pub fn structurally_sound(&self) -> bool {
+        self.cuisines.iter().all(|c| {
+            c.actual_recipes == c.target_recipes && c.size_range.0 >= 2 && c.size_range.1 <= 38
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate_corpus, SynthConfig};
+
+    #[test]
+    fn report_on_test_scale_corpus() {
+        let lex = Lexicon::standard();
+        let config = SynthConfig::test_scale(21);
+        let corpus = generate_corpus(&config, lex);
+        let report = CalibrationReport::measure(&corpus, lex, config.scale);
+        assert_eq!(report.cuisines.len(), 25);
+        assert!(report.structurally_sound(), "{report:#?}");
+        assert!((report.mean_size() - 9.0).abs() < 0.6, "mean size {}", report.mean_size());
+    }
+
+    #[test]
+    fn coverage_improves_with_scale() {
+        let lex = Lexicon::standard();
+        let small = SynthConfig { seed: 22, scale: 0.01, ..Default::default() };
+        let large = SynthConfig { seed: 22, scale: 0.06, ..Default::default() };
+        let cov = |cfg: &SynthConfig| {
+            CalibrationReport::measure(&generate_corpus(cfg, lex), lex, cfg.scale).mean_coverage()
+        };
+        let (c_small, c_large) = (cov(&small), cov(&large));
+        assert!(c_large > c_small, "coverage {c_small} -> {c_large}");
+        // Full coverage needs full scale (tail items in small cuisines are
+        // legitimately rare); at 6% scale three-quarters is the bar.
+        assert!(c_large > 0.75, "large-scale coverage {c_large}");
+    }
+
+    #[test]
+    fn empty_corpus_report() {
+        let lex = Lexicon::standard();
+        let report = CalibrationReport::measure(&Corpus::new(vec![]), lex, 1.0);
+        assert!(report.cuisines.is_empty());
+        assert_eq!(report.mean_coverage(), 0.0);
+    }
+}

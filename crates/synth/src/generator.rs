@@ -1,0 +1,217 @@
+//! The corpus generator: turns per-cuisine profiles into a full synthetic
+//! corpus calibrated to Table I.
+
+use cuisine_data::{Corpus, CuisineId, Recipe};
+use cuisine_lexicon::{IngredientId, Lexicon};
+use cuisine_stats::sampling::{weighted_sample_without_replacement, AliasTable};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::popularity::GlobalPrior;
+use crate::profile::CuisineProfile;
+
+/// Generator configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SynthConfig {
+    /// Master seed; everything downstream is deterministic in it.
+    pub seed: u64,
+    /// Fraction of the Table-I recipe counts to generate (1.0 = full
+    /// 158,460-recipe corpus; smaller values for tests). Per-cuisine counts
+    /// are rounded up so no cuisine is empty.
+    pub scale: f64,
+    /// Exponent of the global Zipf popularity prior.
+    pub zipf_exponent: f64,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        SynthConfig { seed: 0xC015_111E, scale: 1.0, zipf_exponent: 1.0 }
+    }
+}
+
+impl SynthConfig {
+    /// A reduced-scale configuration for tests and quick runs.
+    pub fn test_scale(seed: u64) -> Self {
+        SynthConfig { seed, scale: 0.03, ..Default::default() }
+    }
+
+    /// Number of recipes to generate for a cuisine under this config.
+    pub fn recipes_for(&self, cuisine: CuisineId) -> usize {
+        ((cuisine.info().recipes as f64 * self.scale).round() as usize).max(1)
+    }
+}
+
+/// Generate the recipes of one cuisine from its profile.
+///
+/// Each recipe draws a size from the profile's truncated-Gaussian law and
+/// then samples that many *distinct* ingredients with probability
+/// proportional to the profile weights. Sampling uses an alias table with
+/// rejection of duplicates (fast: sizes ≪ vocabulary), falling back to
+/// exact weighted sampling without replacement if rejection stalls.
+pub fn generate_cuisine<R: Rng + ?Sized>(
+    profile: &CuisineProfile,
+    n_recipes: usize,
+    rng: &mut R,
+) -> Vec<Recipe> {
+    assert!(
+        !profile.vocabulary.is_empty(),
+        "cannot generate recipes from an empty vocabulary"
+    );
+    let alias = AliasTable::new(&profile.weights);
+    let law = profile.size_law;
+    let max_size = profile.vocabulary.len();
+
+    let mut out = Vec::with_capacity(n_recipes);
+    let mut picked: Vec<usize> = Vec::new();
+    for _ in 0..n_recipes {
+        let size = law.sample(rng, max_size);
+        picked.clear();
+        // Rejection sampling from the alias table; duplicates are rare
+        // while `size` is far below the effective vocabulary mass.
+        let mut attempts = 0usize;
+        let attempt_cap = 40 * size.max(1);
+        while picked.len() < size && attempts < attempt_cap {
+            attempts += 1;
+            let idx = alias.sample(rng);
+            if !picked.contains(&idx) {
+                picked.push(idx);
+            }
+        }
+        if picked.len() < size {
+            // Exact (slower) fallback — practically unreachable with the
+            // standard profiles, but guarantees termination for extreme
+            // weight skews.
+            picked = weighted_sample_without_replacement(rng, &profile.weights, size);
+        }
+        let ingredients: Vec<IngredientId> =
+            picked.iter().map(|&i| profile.vocabulary[i]).collect();
+        out.push(Recipe::new(profile.cuisine, ingredients));
+    }
+    out
+}
+
+/// Generate the full multi-cuisine corpus.
+///
+/// Profiles are built from `config.seed`; each cuisine then generates from
+/// an independent, deterministic sub-seed so per-cuisine output does not
+/// depend on generation order.
+pub fn generate_corpus(config: &SynthConfig, lexicon: &Lexicon) -> Corpus {
+    let prior = GlobalPrior::new(lexicon, config.zipf_exponent, config.seed);
+    let mut recipes = Vec::new();
+    for cuisine in CuisineId::all() {
+        let profile = CuisineProfile::standard(cuisine, lexicon, &prior, config.seed);
+        let n = config.recipes_for(cuisine);
+        let mut rng = StdRng::seed_from_u64(
+            config.seed ^ 0xA5A5_5A5A_0000_0000u64 ^ ((cuisine.index() as u64 + 1) << 32),
+        );
+        recipes.extend(generate_cuisine(&profile, n, &mut rng));
+    }
+    Corpus::new(recipes)
+}
+
+/// Build the standard profile set for all 25 cuisines (exposed for the
+/// evolution experiments, which seed their models from profiles).
+pub fn standard_profiles(config: &SynthConfig, lexicon: &Lexicon) -> Vec<CuisineProfile> {
+    let prior = GlobalPrior::new(lexicon, config.zipf_exponent, config.seed);
+    CuisineId::all()
+        .map(|c| CuisineProfile::standard(c, lexicon, &prior, config.seed))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_counts_per_cuisine() {
+        let lex = Lexicon::standard();
+        let config = SynthConfig::test_scale(1);
+        let corpus = generate_corpus(&config, lex);
+        for cuisine in CuisineId::all() {
+            assert_eq!(
+                corpus.recipe_count(cuisine),
+                config.recipes_for(cuisine),
+                "{}",
+                cuisine.code()
+            );
+        }
+    }
+
+    #[test]
+    fn recipe_sizes_respect_bounds() {
+        let lex = Lexicon::standard();
+        let corpus = generate_corpus(&SynthConfig::test_scale(2), lex);
+        for r in corpus.recipes() {
+            assert!((2..=38).contains(&r.size()), "size {}", r.size());
+        }
+    }
+
+    #[test]
+    fn mean_size_is_near_nine() {
+        let lex = Lexicon::standard();
+        let corpus = generate_corpus(&SynthConfig::test_scale(3), lex);
+        let sizes: Vec<f64> = corpus.recipes().iter().map(|r| r.size() as f64).collect();
+        let mean = sizes.iter().sum::<f64>() / sizes.len() as f64;
+        assert!((mean - 9.0).abs() < 0.5, "mean recipe size {mean}");
+    }
+
+    #[test]
+    fn recipes_use_only_vocabulary_ingredients() {
+        let lex = Lexicon::standard();
+        let config = SynthConfig::test_scale(4);
+        let prior = GlobalPrior::new(lex, config.zipf_exponent, config.seed);
+        let cuisine = CuisineId(0);
+        let profile = CuisineProfile::standard(cuisine, lex, &prior, config.seed);
+        let vocab: std::collections::HashSet<_> = profile.vocabulary.iter().copied().collect();
+        let mut rng = StdRng::seed_from_u64(9);
+        for r in generate_cuisine(&profile, 200, &mut rng) {
+            for ing in r.ingredients() {
+                assert!(vocab.contains(ing));
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let lex = Lexicon::standard();
+        let a = generate_corpus(&SynthConfig::test_scale(5), lex);
+        let b = generate_corpus(&SynthConfig::test_scale(5), lex);
+        assert_eq!(a.recipes(), b.recipes());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let lex = Lexicon::standard();
+        let a = generate_corpus(&SynthConfig::test_scale(6), lex);
+        let b = generate_corpus(&SynthConfig::test_scale(7), lex);
+        assert_ne!(a.recipes(), b.recipes());
+    }
+
+    #[test]
+    fn full_scale_counts_match_table1() {
+        // Only check the arithmetic, not a full generation.
+        let config = SynthConfig::default();
+        let total: usize = CuisineId::all().map(|c| config.recipes_for(c)).sum();
+        assert_eq!(total, 158_460);
+    }
+
+    #[test]
+    fn boosted_ingredients_are_heavily_used() {
+        let lex = Lexicon::standard();
+        let config = SynthConfig::test_scale(8);
+        let corpus = generate_corpus(&config, lex);
+        // In every cuisine, the first-listed overrepresented ingredient
+        // should appear in a large share of recipes.
+        for cuisine in CuisineId::all() {
+            let first = cuisine.info().overrepresented[0];
+            let id = lex.resolve(first).unwrap();
+            let share = corpus.usage(cuisine, id) as f64
+                / corpus.recipe_count(cuisine) as f64;
+            assert!(
+                share > 0.2,
+                "{}: {first:?} used in only {share:.3} of recipes",
+                cuisine.code()
+            );
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! # cuisine-synth
+//!
+//! Calibrated synthetic recipe-corpus generator — the workspace's
+//! substitute for the paper's 158,544-recipe web scrape, which is not
+//! redistributable (see DESIGN.md, substitution table).
+//!
+//! The generator reproduces exactly the statistics the paper's evaluation
+//! consumes:
+//!
+//! - per-cuisine recipe counts and unique-ingredient counts (Table I),
+//! - the truncated-Gaussian recipe-size law, bounded [2, 38], mean ≈ 9
+//!   (Fig. 1),
+//! - Zipfian ingredient popularity with cuisine-specific category profiles
+//!   (Figs. 2-3),
+//! - the designated overrepresented ingredients of each cuisine (Table I).
+//!
+//! ```
+//! use cuisine_lexicon::Lexicon;
+//! use cuisine_synth::{generate_corpus, SynthConfig};
+//!
+//! let lex = Lexicon::standard();
+//! let corpus = generate_corpus(&SynthConfig::test_scale(42), lex);
+//! assert_eq!(corpus.populated_cuisines().len(), 25);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod calibration;
+pub mod generator;
+pub mod popularity;
+pub mod profile;
+
+pub use calibration::{CalibrationReport, CuisineCalibration};
+pub use generator::{generate_corpus, generate_cuisine, standard_profiles, SynthConfig};
+pub use popularity::GlobalPrior;
+pub use profile::{CuisineProfile, SizeLaw};

@@ -1,0 +1,206 @@
+//! Global ingredient popularity prior.
+//!
+//! Recipe-aggregator data shows a Zipf-like global popularity ordering with
+//! pantry staples (salt, butter, onion, sugar, …) at the head. The prior
+//! built here assigns every lexicon entity a global rank — staples first in
+//! a fixed order, the remainder in a seeded shuffle — and Zipf weights
+//! `rank^-s` on top.
+
+use cuisine_lexicon::{IngredientId, Lexicon};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Global staples, in approximate descending real-world popularity. These
+/// occupy the head ranks of the global prior. The list deliberately covers
+//  every Table-I overrepresented ingredient so cuisines can boost them.
+/// (Unknown names are skipped defensively, but a unit test pins full
+/// coverage.)
+pub const STAPLES: &[&str] = &[
+    "Salt", "Butter", "Sugar", "Onion", "Garlic", "Egg", "Flour", "Water",
+    "Olive", "Black Pepper", "Milk", "Tomato", "Vegetable Oil", "Cream",
+    "Lemon Juice", "Chicken", "Vanilla Extract", "Brown Sugar", "Cheese",
+    "Baking Powder", "Carrot", "Vanilla", "Ginger", "Cinnamon", "Beef",
+    "Celery", "Lime", "Cilantro", "Cumin", "Baking Soda", "Parsley", "Rice",
+    "Vinegar", "Soybean Sauce", "Honey", "Potato", "Bell Pepper", "Chili",
+    "Mushroom", "Cayenne", "Paprika", "Oregano", "Basil", "Thyme", "Bread",
+    "Corn", "Mustard", "Sesame", "Parmesan Cheese", "Bacon", "Scallion",
+    "Yogurt", "Coconut", "Turmeric", "Pork", "Nutmeg", "Feta Cheese",
+    "Shrimp", "Lemon", "Spinach", "Sour Cream", "Apple", "Fish",
+    "Swiss Cheese", "Coconut Milk", "Cheddar Cheese", "Tortilla", "Allspice",
+    "Mint", "Almond", "Rum", "Pineapple", "Sake", "Garam Masala", "Oats",
+    "Macaroni", "Cream Cheese", "Walnut", "Peanut", "Raisin", "Mozzarella",
+    "Cucumber", "Zucchini", "Avocado", "Orange Juice", "Chocolate",
+    "Chocolate Chip", "Cabbage", "Wine", "White Wine", "Red Wine", "Pasta",
+    "Pea", "Green Bean", "Lentil", "Chickpea", "Clove", "Cardamom",
+    "Coriander", "Cornstarch", "Maple Syrup", "Cocoa", "Powdered Sugar",
+    "Sesame Oil", "Tofu", "Rosemary", "Dill", "Sage", "Bay Leaf",
+];
+
+/// The global popularity prior: a rank for every lexicon entity (1-based,
+/// lower = more popular) and the corresponding Zipf weights.
+#[derive(Debug, Clone)]
+pub struct GlobalPrior {
+    /// `ranks[id] = 1-based global rank of that entity`.
+    ranks: Vec<usize>,
+    /// `weights[id] = rank^-s`.
+    weights: Vec<f64>,
+}
+
+impl GlobalPrior {
+    /// Build the prior over a lexicon: staples head the order, the rest
+    /// follow in a shuffle seeded by `seed`.
+    ///
+    /// # Panics
+    /// Panics when the Zipf exponent `s` is not finite and positive.
+    pub fn new(lexicon: &Lexicon, s: f64, seed: u64) -> Self {
+        assert!(s.is_finite() && s > 0.0, "Zipf exponent must be positive, got {s}");
+        let n = lexicon.len();
+        let mut order: Vec<IngredientId> = Vec::with_capacity(n);
+        let mut placed = vec![false; n];
+        for name in STAPLES {
+            if let Some(id) = lexicon.resolve(name) {
+                if !placed[id.index()] {
+                    placed[id.index()] = true;
+                    order.push(id);
+                }
+            }
+        }
+        let mut rest: Vec<IngredientId> =
+            lexicon.ids().filter(|id| !placed[id.index()]).collect();
+        // Fisher-Yates with the workspace's seeded RNG.
+        let mut rng = StdRng::seed_from_u64(seed);
+        for i in (1..rest.len()).rev() {
+            let j = rng.random_range(0..=i);
+            rest.swap(i, j);
+        }
+        order.extend(rest);
+
+        let mut ranks = vec![0usize; n];
+        let mut weights = vec![0.0f64; n];
+        for (pos, id) in order.iter().enumerate() {
+            let rank = pos + 1;
+            ranks[id.index()] = rank;
+            weights[id.index()] = (rank as f64).powf(-s);
+        }
+        GlobalPrior { ranks, weights }
+    }
+
+    /// 1-based global rank of an entity.
+    pub fn rank(&self, id: IngredientId) -> usize {
+        self.ranks[id.index()]
+    }
+
+    /// Zipf weight of an entity.
+    pub fn weight(&self, id: IngredientId) -> f64 {
+        self.weights[id.index()]
+    }
+
+    /// Zipf weight of a 1-based global rank (independent of which entity
+    /// holds it). Used to anchor overrepresentation boosts to head-rank
+    /// scale.
+    pub fn weight_of_rank(&self, rank: usize) -> f64 {
+        assert!(rank >= 1, "ranks are 1-based");
+        // All weights share the same rank^-s law, so recover s-scaled value
+        // from any stored weight: weights are rank^-s exactly.
+        let probe = self
+            .ranks
+            .iter()
+            .position(|&r| r == 1)
+            .expect("rank 1 always assigned");
+        // weights[probe] = 1^-s = 1; reconstruct s from rank 2.
+        let probe2 = self.ranks.iter().position(|&r| r == 2);
+        let s = match probe2 {
+            Some(idx) => -(self.weights[idx].ln() / 2f64.ln()),
+            None => return self.weights[probe], // single-entity prior
+        };
+        (rank as f64).powf(-s)
+    }
+
+    /// Number of entities covered.
+    pub fn len(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// True when the prior covers no entities.
+    pub fn is_empty(&self) -> bool {
+        self.ranks.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuisine_data::CUISINES;
+
+    #[test]
+    fn staples_all_resolve_and_are_unique() {
+        let lex = Lexicon::standard();
+        let mut seen = std::collections::HashSet::new();
+        for name in STAPLES {
+            let id = lex
+                .resolve(name)
+                .unwrap_or_else(|| panic!("staple {name:?} missing from lexicon"));
+            assert!(seen.insert(id), "staple {name:?} duplicated");
+        }
+    }
+
+    #[test]
+    fn staples_cover_all_table1_overrepresented() {
+        let lex = Lexicon::standard();
+        let staple_ids: std::collections::HashSet<_> =
+            STAPLES.iter().map(|n| lex.resolve(n).unwrap()).collect();
+        for c in &CUISINES {
+            for name in c.overrepresented {
+                let id = lex.resolve(name).unwrap();
+                assert!(
+                    staple_ids.contains(&id),
+                    "{} overrepresented {name:?} not in STAPLES",
+                    c.code
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ranks_are_a_permutation() {
+        let lex = Lexicon::standard();
+        let prior = GlobalPrior::new(lex, 1.0, 7);
+        let mut ranks: Vec<usize> = lex.ids().map(|id| prior.rank(id)).collect();
+        ranks.sort_unstable();
+        assert_eq!(ranks, (1..=lex.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn staples_precede_non_staples() {
+        let lex = Lexicon::standard();
+        let prior = GlobalPrior::new(lex, 1.0, 7);
+        let salt = lex.resolve("Salt").unwrap();
+        assert_eq!(prior.rank(salt), 1);
+        let butter = lex.resolve("Butter").unwrap();
+        assert_eq!(prior.rank(butter), 2);
+        // Anything not in STAPLES ranks below every staple.
+        let kokum = lex.resolve("Kokum").unwrap();
+        assert!(prior.rank(kokum) > STAPLES.len() - 2);
+    }
+
+    #[test]
+    fn weights_follow_zipf() {
+        let lex = Lexicon::standard();
+        let prior = GlobalPrior::new(lex, 1.2, 7);
+        let salt = lex.resolve("Salt").unwrap();
+        let butter = lex.resolve("Butter").unwrap();
+        assert!((prior.weight(salt) - 1.0).abs() < 1e-12);
+        assert!((prior.weight(butter) - 2f64.powf(-1.2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tail_order_is_seed_deterministic() {
+        let lex = Lexicon::standard();
+        let a = GlobalPrior::new(lex, 1.0, 42);
+        let b = GlobalPrior::new(lex, 1.0, 42);
+        let c = GlobalPrior::new(lex, 1.0, 43);
+        let ranks = |p: &GlobalPrior| -> Vec<usize> { lex.ids().map(|id| p.rank(id)).collect() };
+        assert_eq!(ranks(&a), ranks(&b));
+        assert_ne!(ranks(&a), ranks(&c), "different seeds should shuffle the tail differently");
+    }
+}

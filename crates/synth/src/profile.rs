@@ -1,0 +1,505 @@
+//! Per-cuisine generation profiles.
+//!
+//! A [`CuisineProfile`] pins down everything the generator needs for one
+//! cuisine: its ingredient vocabulary (sized to the Table-I unique
+//! ingredient count), the sampling weight of each vocabulary item, and the
+//! recipe-size law. Weights compose three factors:
+//!
+//! `weight(i) = global_zipf(i) × category_multiplier(ς, cat(i)) ×
+//! boost(i ∈ overrepresented(ς)) × noise(ς, i)`
+//!
+//! - the global Zipf prior gives every cuisine the same heavy-tailed
+//!   popularity *shape* (the invariance of Fig. 3);
+//! - category multipliers differentiate cuisines the way Fig. 2 shows
+//!   (INSC/AFR spice-heavy, SCND/FRA/IRL dairy-heavy, …);
+//! - the overrepresentation boost plants the Table-I top-5 lists;
+//! - lognormal-ish noise (seeded per cuisine) diversifies vocabularies.
+
+use cuisine_data::{Cuisine, CuisineId};
+use cuisine_lexicon::{Category, IngredientId, Lexicon};
+use cuisine_stats::sampling::normal;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::popularity::GlobalPrior;
+
+/// Base usage multiplier per category, shared by all cuisines.
+///
+/// Encodes the paper's observation that "all the world cuisines in-general
+/// used ingredients from Vegetable, Additive, Spice, Dairy, Herb, Plant and
+/// Fruit categories more frequently than from other categories" (Fig. 2).
+pub fn base_category_multiplier(cat: Category) -> f64 {
+    match cat {
+        Category::Additive => 1.8,
+        Category::Vegetable => 1.7,
+        Category::Spice => 1.4,
+        Category::Dairy => 1.4,
+        Category::Herb => 1.2,
+        Category::Plant => 1.1,
+        Category::Fruit => 1.1,
+        Category::Cereal => 1.0,
+        Category::Meat => 0.9,
+        Category::NutsAndSeeds => 0.8,
+        Category::Legume => 0.7,
+        Category::Dish => 0.7,
+        Category::Bakery => 0.6,
+        Category::Fungus => 0.6,
+        Category::Fish => 0.5,
+        Category::Seafood => 0.5,
+        Category::Maize => 0.5,
+        Category::Beverage => 0.4,
+        Category::BeverageAlcoholic => 0.4,
+        Category::Flower => 0.2,
+        Category::EssentialOil => 0.15,
+    }
+}
+
+/// Per-cuisine deviations from the base category profile, following the
+/// contrasts the paper calls out in Section III.
+pub fn cuisine_category_multiplier(code: &str, cat: Category) -> f64 {
+    use Category::*;
+    let factor: f64 = match (code, cat) {
+        // "recipes corresponding to Indian Subcontinent (INSC) and African
+        // (AFR) cuisines used spices more frequently"
+        ("INSC", Spice) => 2.4,
+        ("AFR", Spice) => 1.8,
+        ("MEX", Spice) => 1.5,
+        ("ME", Spice) => 1.4,
+        ("CBN", Spice) => 1.3,
+        // "... than those from Japan (JPN), Australia and New Zealand (ANZ)
+        // and Republic of Ireland (IRL)"
+        ("JPN", Spice) => 0.55,
+        ("ANZ", Spice) => 0.6,
+        ("IRL", Spice) => 0.55,
+        ("UK", Spice) => 0.7,
+        ("SCND", Spice) => 0.6,
+        // "recipes from Scandinavia (SCND), France (FRA) and Republic of
+        // Ireland (IRL) used dairy products more frequently"
+        ("SCND", Dairy) => 1.7,
+        ("FRA", Dairy) => 1.6,
+        ("IRL", Dairy) => 1.7,
+        ("CAN", Dairy) => 1.4,
+        ("DACH", Dairy) => 1.4,
+        ("EE", Dairy) => 1.3,
+        ("BN", Dairy) => 1.4,
+        ("UK", Dairy) => 1.3,
+        ("USA", Dairy) => 1.3,
+        // "... than Japan (JPN), South East Asia (SEA), Thailand (THA), and
+        // Korea (KOR)"
+        ("JPN", Dairy) => 0.25,
+        ("SEA", Dairy) => 0.3,
+        ("THA", Dairy) => 0.25,
+        ("KOR", Dairy) => 0.3,
+        ("CHN", Dairy) => 0.35,
+        // Seafood/fish-forward cuisines.
+        ("JPN", Fish) => 2.5,
+        ("JPN", Seafood) => 2.0,
+        ("SEA", Fish) => 2.2,
+        ("THA", Fish) => 2.2,
+        ("KOR", Fish) => 1.8,
+        ("SCND", Fish) => 1.8,
+        ("SP", Seafood) => 1.6,
+        ("CBN", Fish) => 1.4,
+        // Herb-forward Mediterranean profiles.
+        ("ITA", Herb) => 1.5,
+        ("GRC", Herb) => 1.5,
+        ("FRA", Herb) => 1.3,
+        ("ME", Herb) => 1.5,
+        ("THA", Herb) => 1.5,
+        ("MEX", Herb) => 1.3,
+        // Maize cultures.
+        ("MEX", Maize) => 3.0,
+        ("CAM", Maize) => 2.5,
+        ("SAM", Maize) => 1.6,
+        ("USA", Maize) => 1.3,
+        // Legume cultures.
+        ("INSC", Legume) => 2.2,
+        ("ME", Legume) => 1.6,
+        ("MEX", Legume) => 1.6,
+        ("CAM", Legume) => 1.6,
+        // Meat-forward.
+        ("SAM", Meat) => 1.8,
+        ("DACH", Meat) => 1.4,
+        ("EE", Meat) => 1.4,
+        ("USA", Meat) => 1.2,
+        // Baking cultures lean on cereals.
+        ("CAN", Cereal) => 1.3,
+        ("DACH", Cereal) => 1.3,
+        ("EE", Cereal) => 1.3,
+        ("SCND", Cereal) => 1.3,
+        ("IRL", Cereal) => 1.3,
+        ("BN", Cereal) => 1.3,
+        ("UK", Cereal) => 1.2,
+        ("ANZ", Cereal) => 1.2,
+        // Rice-and-soy cultures lean on cereals too, lightly.
+        ("CHN", Cereal) => 1.2,
+        ("JPN", Cereal) => 1.2,
+        ("KOR", Cereal) => 1.2,
+        _ => 1.0,
+    };
+    base_category_multiplier(cat) * factor
+}
+
+/// Sampling weight boost applied to a cuisine's Table-I overrepresented
+/// ingredients, decaying with list position so the published order tends to
+/// be reproduced.
+pub fn overrepresentation_boost(position: usize) -> f64 {
+    // Position 0 gets the largest boost.
+    match position {
+        0 => 12.0,
+        1 => 10.5,
+        2 => 9.0,
+        3 => 7.5,
+        4 => 6.0,
+        _ => 5.0,
+    }
+}
+
+/// The recipe-size law of Fig. 1: truncated discrete Gaussian with a small
+/// heavy-tail mixture component.
+///
+/// The bulk is `Normal(mean, sd)`; with probability `tail_weight` a draw
+/// comes from the wider `Normal(tail_mean, tail_sd)` instead. The tail
+/// component models the long right flank of the empirical distribution —
+/// without it a pure Gaussian with mean 9 essentially never reaches the
+/// paper's observed maximum of 38.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SizeLaw {
+    /// Mean recipe size of the bulk component (paper: ≈ 9).
+    pub mean: f64,
+    /// Standard deviation of the bulk (calibrated to ≈ 3.2).
+    pub sd: f64,
+    /// Mixture weight of the heavy-tail component.
+    pub tail_weight: f64,
+    /// Mean of the tail component.
+    pub tail_mean: f64,
+    /// Standard deviation of the tail component.
+    pub tail_sd: f64,
+    /// Lower bound (paper: 2).
+    pub min: usize,
+    /// Upper bound (paper: 38).
+    pub max: usize,
+}
+
+impl Default for SizeLaw {
+    fn default() -> Self {
+        SizeLaw {
+            mean: 9.0,
+            sd: 3.2,
+            tail_weight: 0.04,
+            tail_mean: 14.0,
+            tail_sd: 5.5,
+            min: 2,
+            max: 38,
+        }
+    }
+}
+
+impl SizeLaw {
+    /// Draw one recipe size, truncating to `[min, min(max, cap)]`.
+    pub fn sample<R: rand::Rng + ?Sized>(&self, rng: &mut R, cap: usize) -> usize {
+        use rand::RngExt;
+        let hi = self.max.min(cap).max(self.min);
+        if rng.random::<f64>() < self.tail_weight {
+            cuisine_stats::sampling::truncated_normal_int(
+                rng,
+                self.tail_mean,
+                self.tail_sd,
+                self.min,
+                hi,
+            )
+        } else {
+            cuisine_stats::sampling::truncated_normal_int(rng, self.mean, self.sd, self.min, hi)
+        }
+    }
+}
+
+/// Everything the generator needs for one cuisine.
+#[derive(Debug, Clone)]
+pub struct CuisineProfile {
+    /// Which cuisine this profile describes.
+    pub cuisine: CuisineId,
+    /// The vocabulary: entity ids available to this cuisine, sized to the
+    /// Table-I unique-ingredient count.
+    pub vocabulary: Vec<IngredientId>,
+    /// Sampling weight of each vocabulary item (parallel to `vocabulary`).
+    pub weights: Vec<f64>,
+    /// Recipe-size law.
+    pub size_law: SizeLaw,
+    /// Target recipe count (Table I).
+    pub target_recipes: usize,
+}
+
+impl CuisineProfile {
+    /// Build the standard profile for a cuisine.
+    ///
+    /// `seed` controls the per-cuisine weight noise (combined with the
+    /// cuisine index so cuisines differ under the same seed).
+    pub fn standard(
+        cuisine: CuisineId,
+        lexicon: &Lexicon,
+        prior: &GlobalPrior,
+        seed: u64,
+    ) -> Self {
+        let info: &Cuisine = cuisine.info();
+        let mut rng = StdRng::seed_from_u64(seed ^ (0x9E37_79B9_7F4A_7C15u64
+            .wrapping_mul(cuisine.index() as u64 + 1)));
+
+        // Per-cuisine popularity-exponent jitter: real cuisines do not
+        // share one Zipf law exactly, and the spread of exponents is what
+        // gives the paper's pairwise Eq. 2 distances their magnitude
+        // (average 0.035/0.052) while the *shape* stays homogeneous.
+        let exponent_scale = (1.0 + normal(&mut rng, 0.0, 0.18)).clamp(0.65, 1.45);
+
+        // Per-cuisine category-emphasis jitter (lognormal, sd 0.25): real
+        // cuisines vary in how much they lean on each category beyond the
+        // systematic contrasts encoded in `cuisine_category_multiplier`.
+        // This is what gives the *category*-combination curves their
+        // cross-cuisine spread (paper: average Eq. 2 distance 0.052, larger
+        // than the ingredient-combination 0.035).
+        let category_jitter: [f64; Category::COUNT] = {
+            let mut j = [1.0f64; Category::COUNT];
+            for v in &mut j {
+                *v = normal(&mut rng, 0.0, 0.4).exp();
+            }
+            j
+        };
+
+        // Resolve the overrepresented list to boost positions.
+        let mut boost_pos: Vec<Option<usize>> = vec![None; lexicon.len()];
+        for (pos, name) in info.overrepresented.iter().enumerate() {
+            let id = lexicon
+                .resolve(name)
+                .unwrap_or_else(|| panic!("Table-I ingredient {name:?} missing from lexicon"));
+            boost_pos[id.index()] = Some(pos);
+        }
+        // Boosted weights anchor to a fixed head-rank weight (not the
+        // item's own global weight): Table I lists mid-rank items like
+        // Tortilla among the top overrepresented, which a multiplicative
+        // boost of their own tail weight could never lift high enough.
+        let anchor = prior.weight_of_rank(4).powf(exponent_scale);
+
+        // Score every entity.
+        let mut scored: Vec<(IngredientId, f64)> = lexicon
+            .ids()
+            .map(|id| {
+                let cat = lexicon.category(id);
+                let w = match boost_pos[id.index()] {
+                    // Deterministic (noise-free) so the published Table-I
+                    // order is reproduced reliably.
+                    Some(pos) => anchor * overrepresentation_boost(pos),
+                    None => {
+                        // Lognormal noise: exp(Normal(0, 0.6)). Keeps
+                        // weights positive while reshuffling mid-tail
+                        // vocabulary membership between cuisines.
+                        let noise = normal(&mut rng, 0.0, 0.6).exp();
+                        // weight^scale == rank^(-s * scale): the jittered
+                        // per-cuisine Zipf exponent.
+                        prior.weight(id).powf(exponent_scale)
+                            * cuisine_category_multiplier(info.code, cat)
+                            * category_jitter[cat.index()]
+                            * noise
+                    }
+                };
+                (id, w)
+            })
+            .collect();
+
+        // Vocabulary = the `info.ingredients` highest-weight entities.
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite weights"));
+        scored.truncate(info.ingredients.min(lexicon.len()));
+        let vocabulary: Vec<IngredientId> = scored.iter().map(|&(id, _)| id).collect();
+        let mut weights: Vec<f64> = scored.iter().map(|&(_, w)| w).collect();
+
+        // Fatten the tail with a uniform blend so every vocabulary item has
+        // realistic odds of appearing at least once (the Table-I
+        // "Ingredients" column counts *observed* uniques). Without this,
+        // rank-700 Zipf mass is so thin that small cuisines (CAM: 470
+        // recipes) would realize well under their published vocabulary.
+        const TAIL_BLEND: f64 = 0.35;
+        let uniform_share = weights.iter().sum::<f64>() * TAIL_BLEND / weights.len() as f64;
+        for w in &mut weights {
+            *w += uniform_share;
+        }
+
+        // Per-cuisine mean-size jitter: Fig. 1's per-cuisine curves peak
+        // between roughly 8 and 10, not at exactly one value. Shifting the
+        // size law also shifts how saturated the common categories are,
+        // which spreads the category-combination curves (Fig. 3b).
+        let mut size_law = SizeLaw::default();
+        size_law.mean += normal(&mut rng, 0.0, 0.55).clamp(-1.2, 1.2);
+
+        CuisineProfile {
+            cuisine,
+            vocabulary,
+            weights,
+            size_law,
+            target_recipes: info.recipes,
+        }
+    }
+
+    /// Vocabulary size.
+    pub fn vocab_len(&self) -> usize {
+        self.vocabulary.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuisine_data::CUISINES;
+
+    fn setup() -> (&'static Lexicon, GlobalPrior) {
+        let lex = Lexicon::standard();
+        (lex, GlobalPrior::new(lex, 1.0, 11))
+    }
+
+    #[test]
+    fn vocabulary_matches_table1_ingredient_count() {
+        let (lex, prior) = setup();
+        for cuisine in CuisineId::all() {
+            let p = CuisineProfile::standard(cuisine, lex, &prior, 1);
+            assert_eq!(
+                p.vocab_len(),
+                cuisine.info().ingredients,
+                "{}",
+                cuisine.code()
+            );
+        }
+    }
+
+    #[test]
+    fn vocabulary_has_no_duplicates() {
+        let (lex, prior) = setup();
+        let p = CuisineProfile::standard(CuisineId(0), lex, &prior, 1);
+        let mut v = p.vocabulary.clone();
+        v.sort_unstable();
+        v.dedup();
+        assert_eq!(v.len(), p.vocab_len());
+    }
+
+    #[test]
+    fn overrepresented_ingredients_are_in_vocabulary_with_high_weight() {
+        let (lex, prior) = setup();
+        for cuisine in CuisineId::all() {
+            let p = CuisineProfile::standard(cuisine, lex, &prior, 1);
+            for name in cuisine.info().overrepresented {
+                let id = lex.resolve(name).unwrap();
+                let pos = p.vocabulary.iter().position(|&v| v == id);
+                assert!(
+                    pos.is_some(),
+                    "{}: overrepresented {name:?} missing from vocabulary",
+                    cuisine.code()
+                );
+                // Boosted staples should sit in the top decile of weights.
+                assert!(
+                    pos.unwrap() < p.vocab_len() / 4,
+                    "{}: {name:?} at position {} of {}",
+                    cuisine.code(),
+                    pos.unwrap(),
+                    p.vocab_len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn weights_are_positive_and_descending() {
+        let (lex, prior) = setup();
+        let p = CuisineProfile::standard(CuisineId(3), lex, &prior, 1);
+        assert!(p.weights.iter().all(|&w| w > 0.0));
+        for w in p.weights.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+
+    #[test]
+    fn profiles_are_seed_deterministic() {
+        let (lex, prior) = setup();
+        let a = CuisineProfile::standard(CuisineId(7), lex, &prior, 5);
+        let b = CuisineProfile::standard(CuisineId(7), lex, &prior, 5);
+        assert_eq!(a.vocabulary, b.vocabulary);
+        let c = CuisineProfile::standard(CuisineId(7), lex, &prior, 6);
+        assert_ne!(a.vocabulary, c.vocabulary, "different seed, different vocabulary");
+    }
+
+    #[test]
+    fn different_cuisines_get_different_vocabularies() {
+        let (lex, prior) = setup();
+        let ita = CuisineProfile::standard("ITA".parse().unwrap(), lex, &prior, 1);
+        let jpn = CuisineProfile::standard("JPN".parse().unwrap(), lex, &prior, 1);
+        assert_ne!(ita.vocabulary, jpn.vocabulary);
+    }
+
+    #[test]
+    fn spice_weight_share_ranks_insc_above_jpn() {
+        let (lex, prior) = setup();
+        let share = |code: &str| {
+            let p = CuisineProfile::standard(code.parse().unwrap(), lex, &prior, 1);
+            let total: f64 = p.weights.iter().sum();
+            let spice: f64 = p
+                .vocabulary
+                .iter()
+                .zip(&p.weights)
+                .filter(|&(&id, _)| lex.category(id) == Category::Spice)
+                .map(|(_, &w)| w)
+                .sum();
+            spice / total
+        };
+        assert!(
+            share("INSC") > 2.0 * share("JPN"),
+            "INSC {} vs JPN {}",
+            share("INSC"),
+            share("JPN")
+        );
+    }
+
+    #[test]
+    fn category_multipliers_are_positive() {
+        for c in &CUISINES {
+            for cat in Category::ALL {
+                assert!(cuisine_category_multiplier(c.code, cat) > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn size_law_default_matches_paper() {
+        let law = SizeLaw::default();
+        assert_eq!(law.min, 2);
+        assert_eq!(law.max, 38);
+        assert!((law.mean - 9.0).abs() < 1e-12);
+        // Mixture mean stays near 9.
+        let mix_mean = (1.0 - law.tail_weight) * law.mean + law.tail_weight * law.tail_mean;
+        assert!((mix_mean - 9.0).abs() < 0.5, "mixture mean {mix_mean}");
+    }
+
+    #[test]
+    fn size_law_samples_respect_bounds_and_reach_the_tail() {
+        use rand::SeedableRng;
+        let law = SizeLaw::default();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut max_seen = 0;
+        let mut sum = 0usize;
+        let n = 200_000;
+        for _ in 0..n {
+            let s = law.sample(&mut rng, usize::MAX);
+            assert!((2..=38).contains(&s));
+            max_seen = max_seen.max(s);
+            sum += s;
+        }
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 9.0).abs() < 0.5, "mean {mean}");
+        assert!(max_seen >= 28, "tail never reached: max {max_seen}");
+    }
+
+    #[test]
+    fn size_law_cap_is_respected() {
+        use rand::SeedableRng;
+        let law = SizeLaw::default();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        for _ in 0..5_000 {
+            assert!(law.sample(&mut rng, 12) <= 12);
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Property-based tests for the synthetic corpus generator.
+
+use cuisine_data::CuisineId;
+use cuisine_lexicon::Lexicon;
+use cuisine_synth::{generate_cuisine, CuisineProfile, GlobalPrior, SynthConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any cuisine profile generates valid recipe sets under any seed.
+    #[test]
+    fn generated_recipes_are_valid_sets(
+        cuisine_idx in 0usize..25,
+        seed in any::<u64>(),
+        n in 1usize..60,
+    ) {
+        let lex = Lexicon::standard();
+        let prior = GlobalPrior::new(lex, 1.0, seed);
+        let profile =
+            CuisineProfile::standard(CuisineId(cuisine_idx as u8), lex, &prior, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 1);
+        let recipes = generate_cuisine(&profile, n, &mut rng);
+        prop_assert_eq!(recipes.len(), n);
+        let vocab: std::collections::HashSet<_> = profile.vocabulary.iter().copied().collect();
+        for r in &recipes {
+            prop_assert!(r.size() >= 2 && r.size() <= 38, "size {}", r.size());
+            for w in r.ingredients().windows(2) {
+                prop_assert!(w[0] < w[1], "not a sorted set");
+            }
+            for ing in r.ingredients() {
+                prop_assert!(vocab.contains(ing), "outside vocabulary");
+            }
+        }
+    }
+
+    /// Vocabulary size always matches the Table-I target, regardless of
+    /// seed.
+    #[test]
+    fn vocabulary_size_is_invariant(cuisine_idx in 0usize..25, seed in any::<u64>()) {
+        let lex = Lexicon::standard();
+        let cuisine = CuisineId(cuisine_idx as u8);
+        let prior = GlobalPrior::new(lex, 1.0, seed);
+        let profile = CuisineProfile::standard(cuisine, lex, &prior, seed);
+        prop_assert_eq!(profile.vocab_len(), cuisine.info().ingredients);
+        // Weights parallel the vocabulary and are positive.
+        prop_assert_eq!(profile.weights.len(), profile.vocab_len());
+        prop_assert!(profile.weights.iter().all(|&w| w > 0.0 && w.is_finite()));
+    }
+
+    /// Overrepresented ingredients survive the jitter into every seed's
+    /// vocabulary.
+    #[test]
+    fn overrepresented_always_in_vocabulary(cuisine_idx in 0usize..25, seed in any::<u64>()) {
+        let lex = Lexicon::standard();
+        let cuisine = CuisineId(cuisine_idx as u8);
+        let prior = GlobalPrior::new(lex, 1.0, seed);
+        let profile = CuisineProfile::standard(cuisine, lex, &prior, seed);
+        for name in cuisine.info().overrepresented {
+            let id = lex.resolve(name).unwrap();
+            prop_assert!(
+                profile.vocabulary.contains(&id),
+                "{}: {name:?} missing under seed {seed}",
+                cuisine.code()
+            );
+        }
+    }
+
+    /// The generator's per-cuisine recipe-count arithmetic is exact at any
+    /// scale.
+    #[test]
+    fn recipes_for_is_scaled_and_positive(scale in 0.001f64..1.0) {
+        let config = SynthConfig { seed: 1, scale, ..Default::default() };
+        for cuisine in CuisineId::all() {
+            let n = config.recipes_for(cuisine);
+            prop_assert!(n >= 1);
+            let exact = (cuisine.info().recipes as f64 * scale).round() as usize;
+            prop_assert_eq!(n, exact.max(1));
+        }
+    }
+}

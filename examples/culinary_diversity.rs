@@ -1,0 +1,105 @@
+//! Culinary diversity (paper Sections II-III): reproduce Table I and the
+//! Fig. 2 category-composition contrasts on a synthetic corpus.
+//!
+//! ```sh
+//! cargo run --release -p cuisine-core --example culinary_diversity
+//! ```
+
+use cuisine_core::prelude::*;
+use cuisine_report::{Align, Table};
+
+fn main() {
+    let exp = Experiment::synthetic(&SynthConfig {
+        seed: 42,
+        scale: 0.08,
+        ..Default::default()
+    });
+
+    // --- Table I ---------------------------------------------------------
+    let rows = exp.table1();
+    let mut table = Table::new(&["Region", "Recipes", "Ingredients", "Top overrepresented", "Hits"])
+        .with_aligns(&[Align::Left, Align::Right, Align::Right, Align::Left, Align::Right]);
+    let mut total_overlap = 0;
+    let mut total_published = 0;
+    for row in &rows {
+        let names: Vec<&str> = row.top.iter().map(|s| s.name.as_str()).collect();
+        total_overlap += row.overlap();
+        total_published += row.published.len();
+        table.push_row(vec![
+            row.code.clone(),
+            row.recipes.to_string(),
+            row.ingredients.to_string(),
+            names.join(", "),
+            format!("{}/{}", row.overlap(), row.published.len()),
+        ]);
+    }
+    println!("Table I reproduction (Eq. 1 top overrepresented ingredients)\n");
+    println!("{}", table.render());
+    println!(
+        "published-list recovery: {total_overlap}/{total_published} \
+         ({:.0}%)\n",
+        100.0 * total_overlap as f64 / total_published as f64
+    );
+
+    // --- Fig. 2 contrasts -------------------------------------------------
+    let profile = exp.fig2();
+    println!("Fig. 2 contrasts (mean #ingredients per recipe from a category):\n");
+    let contrasts: [(&str, &str, Category); 4] = [
+        ("INSC", "JPN", Category::Spice),
+        ("AFR", "IRL", Category::Spice),
+        ("SCND", "JPN", Category::Dairy),
+        ("FRA", "THA", Category::Dairy),
+    ];
+    for (hi, lo, cat) in contrasts {
+        let a = profile.mean_for(hi, cat).unwrap();
+        let b = profile.mean_for(lo, cat).unwrap();
+        println!("  {cat:<8} {hi:<5} {a:>5.2}  vs  {lo:<5} {b:>5.2}   ratio {:.1}x", a / b);
+    }
+
+    println!("\ncategories by cross-cuisine mean usage:");
+    for (cat, mean) in profile.categories_by_mean_usage().iter().take(8) {
+        println!("  {:<20} {mean:.2}", cat.name());
+    }
+
+    // --- Extra: usage-profile clustering -----------------------------------
+    let dendro = cuisine_analytics::clustering::cluster_cuisines(
+        exp.corpus(),
+        cuisine_analytics::clustering::Linkage::Average,
+    );
+    println!("\nusage-profile clusters (cosine distance, average linkage, k = 5):");
+    for (i, group) in dendro.clusters(5).iter().enumerate() {
+        println!("  {}: {}", i + 1, group.join(", "));
+    }
+
+    // --- Extra: food pairing (the introduction's framing, refs [3]-[5]) ---
+    let insc: CuisineId = "INSC".parse().unwrap();
+    if let Some(pairing) = cuisine_analytics::PairingAnalysis::measure(
+        exp.corpus(),
+        insc,
+        exp.lexicon(),
+        10,
+    ) {
+        println!("\nstrongest INSC ingredient pairings (PMI, >= 10 co-occurrences):");
+        for p in pairing.top(6) {
+            println!(
+                "  {:<18} + {:<18} PMI {:+.2} ({} recipes)",
+                p.names.0, p.names.1, p.pmi, p.joint_count
+            );
+        }
+        println!(
+            "  cuisine-wide pairing bias (count-weighted mean PMI): {:+.3}",
+            pairing.mean_pmi().unwrap_or(0.0)
+        );
+    }
+
+    // --- Extra: vocabulary overlap ---------------------------------------
+    let corpus = exp.corpus();
+    let pairs = [("ITA", "GRC"), ("JPN", "KOR"), ("ITA", "JPN"), ("USA", "CAN")];
+    println!("\nvocabulary Jaccard similarity:");
+    for (a, b) in pairs {
+        let ca: CuisineId = a.parse().unwrap();
+        let cb: CuisineId = b.parse().unwrap();
+        let j = cuisine_analytics::diversity::vocabulary_jaccard(corpus, ca, cb).unwrap();
+        println!("  {a} ~ {b}: {j:.3}");
+    }
+}

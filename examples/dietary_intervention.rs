@@ -1,0 +1,100 @@
+//! Dietary intervention via recipe generation — the application the paper
+//! motivates: generate novel, culinarily plausible recipes under dietary
+//! constraints, using the popularity and co-occurrence structure that the
+//! copy-mutate evolution amplifies.
+//!
+//! ```sh
+//! cargo run --release -p cuisine-core --example dietary_intervention
+//! ```
+
+use cuisine_core::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn show(title: &str, recipes: &[(Recipe, f64)], lexicon: &Lexicon) {
+    println!("--- {title} ---");
+    for (r, plausibility) in recipes {
+        let names: Vec<&str> = r.ingredients().iter().map(|&i| lexicon.name(i)).collect();
+        println!("  [conf {plausibility:4.2}] {}", names.join(", "));
+    }
+    println!();
+}
+
+fn main() {
+    let exp = Experiment::synthetic(&SynthConfig { seed: 42, scale: 0.05, ..Default::default() });
+    let lexicon = exp.lexicon();
+    let corpus = exp.corpus();
+    let mut rng = StdRng::seed_from_u64(7);
+
+    // 1. Learn the Indian-subcontinent cuisine model and generate
+    //    unconstrained vs vegan variants.
+    let insc: CuisineId = "INSC".parse().unwrap();
+    let gen = RecipeGenerator::learn(corpus, insc, lexicon).expect("populated cuisine");
+
+    let sample = |constraints: &Constraints, rng: &mut StdRng| -> Vec<(Recipe, f64)> {
+        (0..4)
+            .map(|_| {
+                let r = gen.generate(8, constraints, rng).expect("generatable");
+                let p = gen.plausibility(&r);
+                (r, p)
+            })
+            .collect()
+    };
+
+    println!("novel recipes from the Indian Subcontinent model");
+    println!("(conf = geometric-mean pairwise co-occurrence confidence in (0, 1])\n");
+    show("unconstrained", &sample(&Constraints::default(), &mut rng), lexicon);
+    show("vegan", &sample(&Constraints::vegan(), &mut rng), lexicon);
+
+    // 2. A targeted intervention: force lentils in, cap additives (salt,
+    //    sugar, oils) at one per recipe.
+    let lentil = lexicon.resolve("Red Lentil").expect("in lexicon");
+    let constraints = Constraints {
+        required: vec![lentil],
+        category_caps: vec![(Category::Additive, 1)],
+        ..Constraints::vegetarian()
+    };
+    show(
+        "vegetarian, lentil-based, max 1 additive",
+        &sample(&constraints, &mut rng),
+        lexicon,
+    );
+
+    // 3. Plausibility gap. The synthetic corpus samples ingredients
+    //    independently, so its co-occurrence structure is weak; an
+    //    *evolved* pool (copy-mutate lineage) has real structure. Learn a
+    //    generator from a CM-R-evolved INSC pool and compare guided vs
+    //    random combinations there.
+    let setup = CuisineSetup::from_corpus(corpus, insc).expect("populated");
+    let evolved_recipes = cuisine_core::evolution::run_copy_mutate(
+        ModelKind::CmR,
+        &ModelParams::paper(ModelKind::CmR),
+        &setup,
+        lexicon,
+        &mut rng,
+    );
+    let evolved = Corpus::new(evolved_recipes);
+    let evolved_gen = RecipeGenerator::learn(&evolved, insc, lexicon).expect("populated");
+
+    let vocab = evolved.ingredients_in(insc);
+    let mut random_scores = Vec::new();
+    for _ in 0..200 {
+        let picks =
+            cuisine_core::stats::sampling::sample_without_replacement(&mut rng, vocab.len(), 8);
+        let r = Recipe::new(insc, picks.into_iter().map(|i| vocab[i]).collect());
+        random_scores.push(evolved_gen.plausibility(&r));
+    }
+    let mut guided_scores = Vec::new();
+    for _ in 0..200 {
+        let r = evolved_gen.generate(8, &Constraints::default(), &mut rng).unwrap();
+        guided_scores.push(evolved_gen.plausibility(&r));
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    println!(
+        "mean plausibility on the CM-R-evolved pool: model-guided {:.2} vs \
+         uniform-random {:.2}",
+        mean(&guided_scores),
+        mean(&random_scores)
+    );
+    println!("(the copying lineage concentrates co-occurrence, which the guided\nsampler exploits)");
+}

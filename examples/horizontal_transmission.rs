@@ -1,0 +1,65 @@
+//! Horizontal transmission (paper Section VII future work): co-evolve all
+//! 25 cuisines with cross-cuisine ingredient transfer along a geographic
+//! adjacency, and watch vocabularies converge between neighbors — then
+//! cluster the evolved cuisines and compare against the no-transfer world.
+//!
+//! ```sh
+//! cargo run --release -p cuisine-core --example horizontal_transmission
+//! ```
+
+use cuisine_core::prelude::*;
+use cuisine_analytics::clustering::{cluster_cuisines, Linkage};
+use cuisine_analytics::diversity::vocabulary_jaccard;
+use cuisine_evolution::horizontal::{geo_neighbors, run_horizontal, HorizontalConfig};
+use cuisine_report::render_dendrogram;
+
+fn main() {
+    let exp = Experiment::synthetic(&SynthConfig { seed: 42, scale: 0.04, ..Default::default() });
+    let lexicon = exp.lexicon();
+    let corpus = exp.corpus();
+
+    let setups: Vec<CuisineSetup> = CuisineId::all()
+        .filter_map(|c| CuisineSetup::from_corpus(corpus, c))
+        .collect();
+
+    println!("co-evolving 25 cuisines with geographic ingredient transfer...\n");
+    let pairs = [("ITA", "FRA"), ("ITA", "GRC"), ("JPN", "KOR"), ("ITA", "JPN"), ("MEX", "THA")];
+    println!("evolved vocabulary overlap (Jaccard):\n");
+    println!("{:>14}  {:>8}  {:>8}  {:>8}", "pair", "rate 0", "rate 0.2", "rate 0.5");
+    let mut evolved_corpora: Vec<(f64, Corpus)> = Vec::new();
+    for rate in [0.0f64, 0.2, 0.5] {
+        let config = HorizontalConfig::paper(rate, 7);
+        let pools = run_horizontal(&setups, lexicon, &config);
+        evolved_corpora.push((rate, Corpus::new(pools.into_iter().flatten().collect())));
+    }
+    for (a, b) in pairs {
+        let overlaps: Vec<String> = evolved_corpora
+            .iter()
+            .map(|(_, corpus)| {
+                let j = vocabulary_jaccard(corpus, a.parse().unwrap(), b.parse().unwrap())
+                    .unwrap_or(f64::NAN);
+                format!("{j:8.3}")
+            })
+            .collect();
+        let neighbor = {
+            let ia = a.parse::<CuisineId>().unwrap().index();
+            let ib = b.parse::<CuisineId>().unwrap().index();
+            if geo_neighbors()[ia].contains(&ib) { "(adjacent)" } else { "" }
+        };
+        println!("{:>9} ~ {:<4} {}  {}", a, b, overlaps.join("  "), neighbor);
+    }
+
+    // Cluster the rate-0.5 world by usage profiles: neighbors should pull
+    // together.
+    let (_, transferred) = evolved_corpora.last().expect("three rates");
+    let dendro = cluster_cuisines(transferred, Linkage::Average);
+    println!("\nusage-profile clustering of the transfer-evolved cuisines (k = 6):\n");
+    for (i, group) in dendro.clusters(6).iter().enumerate() {
+        println!("  cluster {}: {}", i + 1, group.join(", "));
+    }
+
+    println!("\ndendrogram (average linkage, cosine distance):\n");
+    let merges: Vec<(usize, usize, f64)> =
+        dendro.merges.iter().map(|m| (m.a, m.b, m.height)).collect();
+    println!("{}", render_dendrogram(&dendro.labels, &merges));
+}

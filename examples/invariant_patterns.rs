@@ -1,0 +1,54 @@
+//! Invariant patterns (paper Section IV / Fig. 3): frequent-combination
+//! rank-frequency curves are homogeneous across cuisines despite divergent
+//! ingredient preferences.
+//!
+//! ```sh
+//! cargo run --release -p cuisine-core --example invariant_patterns
+//! ```
+
+use cuisine_core::prelude::*;
+use cuisine_report::loglog_chart;
+
+fn main() {
+    let exp = Experiment::synthetic(&SynthConfig {
+        seed: 42,
+        scale: 0.08,
+        ..Default::default()
+    });
+
+    for mode in [ItemMode::Ingredients, ItemMode::Categories] {
+        let label = match mode {
+            ItemMode::Ingredients => "ingredient",
+            ItemMode::Categories => "category",
+        };
+        let (analysis, matrix) = exp.fig3(mode);
+        println!("=== Fig. 3: {label} combinations (support >= 5%) ===\n");
+
+        // Overlay a handful of visually distinct cuisines plus the
+        // aggregate inset.
+        let pick = ["ITA", "INSC", "JPN", "USA", "CAM"];
+        let mut series: Vec<(&str, &[f64])> = Vec::new();
+        for code in pick {
+            if let Some(curve) = analysis.curve_for(code) {
+                series.push((code, curve.frequencies()));
+            }
+        }
+        series.push(("ALL (inset)", analysis.aggregate.frequencies()));
+        println!("{}", loglog_chart(&series, 64, 16));
+
+        println!(
+            "average pairwise Eq. 2 distance across all 25 cuisines: {:.4}",
+            matrix.average().unwrap()
+        );
+        println!("(paper: 0.035 for ingredient combos, 0.052 for category combos)\n");
+
+        println!("most distinct cuisines (mean distance to the rest):");
+        for (code, d) in matrix.most_distinct().iter().take(5) {
+            println!("  {code:<5} {d:.4}");
+        }
+        println!(
+            "(the paper observes sparsely-curated cuisines — Central America,\n\
+             Korea — as the most distinct)\n"
+        );
+    }
+}

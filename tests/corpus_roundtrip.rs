@@ -1,0 +1,78 @@
+//! Integration: corpus persistence round-trips preserve every analysis
+//! result, and validation accepts generated corpora.
+
+use cuisine_core::prelude::*;
+use cuisine_data::io::{
+    read_jsonl, read_tsv, write_jsonl, write_tsv, UnknownIngredientPolicy,
+};
+use cuisine_data::validate::{validate, ValidationConfig};
+
+fn experiment() -> Experiment {
+    Experiment::synthetic(&SynthConfig { seed: 555, scale: 0.01, ..Default::default() })
+}
+
+#[test]
+fn jsonl_roundtrip_preserves_analyses() {
+    let exp = experiment();
+    let lexicon = exp.lexicon();
+    let corpus = exp.corpus();
+
+    let mut buf = Vec::new();
+    write_jsonl(corpus, lexicon, &mut buf).unwrap();
+    let back = read_jsonl(buf.as_slice(), lexicon, UnknownIngredientPolicy::Error).unwrap();
+    assert_eq!(back.len(), corpus.len());
+
+    // The Table-I reproduction must be bit-identical after the round trip.
+    let before = cuisine_analytics::table1(corpus, lexicon);
+    let after = cuisine_analytics::table1(&back, lexicon);
+    assert_eq!(before, after);
+}
+
+#[test]
+fn tsv_roundtrip_preserves_rank_frequency() {
+    let exp = experiment();
+    let lexicon = exp.lexicon();
+    let corpus = exp.corpus();
+
+    let mut buf = Vec::new();
+    write_tsv(corpus, lexicon, &mut buf).unwrap();
+    let back = read_tsv(buf.as_slice(), lexicon, UnknownIngredientPolicy::Error).unwrap();
+
+    let before = RankFrequencyAnalysis::paper(corpus, lexicon, ItemMode::Ingredients);
+    let after = RankFrequencyAnalysis::paper(&back, lexicon, ItemMode::Ingredients);
+    assert_eq!(before, after);
+}
+
+#[test]
+fn generated_corpus_passes_validation() {
+    let exp = experiment();
+    let findings = validate(
+        exp.corpus(),
+        exp.lexicon(),
+        &ValidationConfig { require_all_cuisines: true, ..Default::default() },
+    );
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn evolved_recipe_pools_also_serialize() {
+    // Model output is plain recipes, so the same I/O path applies.
+    let exp = experiment();
+    let lexicon = exp.lexicon();
+    let cuisine: CuisineId = "KOR".parse().unwrap();
+    let setup = CuisineSetup::from_corpus(exp.corpus(), cuisine).unwrap();
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(3);
+    let recipes = cuisine_evolution::run_copy_mutate(
+        ModelKind::CmC,
+        &ModelParams::paper(ModelKind::CmC),
+        &setup,
+        lexicon,
+        &mut rng,
+    );
+    let evolved = Corpus::new(recipes);
+    let mut buf = Vec::new();
+    write_jsonl(&evolved, lexicon, &mut buf).unwrap();
+    let back = read_jsonl(buf.as_slice(), lexicon, UnknownIngredientPolicy::Error).unwrap();
+    assert_eq!(back.len(), evolved.len());
+    assert_eq!(back.recipes(), evolved.recipes());
+}

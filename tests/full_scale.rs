@@ -1,0 +1,34 @@
+//! Full-scale (158,460-recipe) smoke tests. Ignored by default; run with
+//! `cargo test --release -- --ignored` on a machine with a few spare
+//! seconds — the whole pipeline is sub-second per stage in release mode.
+
+use cuisine_core::prelude::*;
+
+#[test]
+#[ignore = "full-scale corpus; run explicitly with --ignored (use --release)"]
+fn full_scale_pipeline_matches_paper_means() {
+    let exp = Experiment::synthetic(&SynthConfig { seed: 42, scale: 1.0, ..Default::default() });
+    let corpus = exp.corpus();
+    assert_eq!(corpus.len(), 158_460, "Table-I per-cuisine sum");
+
+    // The paper's quoted per-cuisine means: 6338 recipes, 421 ingredients.
+    let rows = exp.table1();
+    let mean_recipes: f64 =
+        rows.iter().map(|r| r.recipes as f64).sum::<f64>() / rows.len() as f64;
+    let mean_ingredients: f64 =
+        rows.iter().map(|r| r.ingredients as f64).sum::<f64>() / rows.len() as f64;
+    assert_eq!(mean_recipes.round() as i64, 6338);
+    assert!((mean_ingredients - 421.0).abs() < 10.0, "mean ingredients {mean_ingredients}");
+
+    // Table-I list recovery stays high at full scale.
+    let overlap: usize = rows.iter().map(|r| r.overlap()).sum();
+    let published: usize = rows.iter().map(|r| r.published.len()).sum();
+    assert!(overlap * 10 >= published * 9, "overlap {overlap}/{published}");
+
+    // Fig. 1 at full scale.
+    let fig1 = exp.fig1();
+    let agg = &fig1.aggregate;
+    assert!(agg.min().unwrap() >= 2);
+    assert!(agg.max().unwrap() <= 38);
+    assert!((agg.mean().unwrap() - 9.4).abs() < 0.5);
+}

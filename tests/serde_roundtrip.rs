@@ -1,0 +1,79 @@
+//! Serde round-trips for the public result types: everything an experiment
+//! produces can be persisted as JSON and read back bit-identically.
+
+use cuisine_core::prelude::*;
+use cuisine_evolution::EvaluationConfig;
+
+fn experiment() -> Experiment {
+    Experiment::synthetic(&SynthConfig { seed: 99, scale: 0.005, ..Default::default() })
+}
+
+#[test]
+fn table1_rows_roundtrip() {
+    let rows = experiment().table1();
+    let json = serde_json::to_string(&rows).unwrap();
+    let back: Vec<Table1Row> = serde_json::from_str(&json).unwrap();
+    assert_eq!(rows, back);
+}
+
+#[test]
+fn fig1_roundtrips() {
+    let fig = experiment().fig1();
+    let json = serde_json::to_string(&fig).unwrap();
+    let back: cuisine_analytics::Fig1 = serde_json::from_str(&json).unwrap();
+    assert_eq!(fig, back);
+}
+
+#[test]
+fn fig2_profile_roundtrips() {
+    let profile = experiment().fig2();
+    let json = serde_json::to_string(&profile).unwrap();
+    let back: CategoryProfile = serde_json::from_str(&json).unwrap();
+    assert_eq!(profile, back);
+}
+
+#[test]
+fn fig3_analysis_and_matrix_roundtrip() {
+    let (analysis, matrix) = experiment().fig3(ItemMode::Ingredients);
+    let json = serde_json::to_string(&analysis).unwrap();
+    let back: RankFrequencyAnalysis = serde_json::from_str(&json).unwrap();
+    assert_eq!(analysis, back);
+
+    // The similarity matrix may contain NaN (unpopulated pairs), which JSON
+    // cannot represent; this corpus populates every cuisine so the matrix
+    // is finite and round-trips.
+    assert!(matrix
+        .matrix
+        .iter()
+        .all(|row| row.iter().all(|v| v.is_finite())));
+    let json = serde_json::to_string(&matrix).unwrap();
+    let back: SimilarityMatrix = serde_json::from_str(&json).unwrap();
+    assert_eq!(matrix, back);
+}
+
+#[test]
+fn evaluation_roundtrips() {
+    let exp = experiment();
+    let config = EvaluationConfig {
+        ensemble: EnsembleConfig { replicates: 2, seed: 1, threads: Some(2) },
+        ..Default::default()
+    };
+    let eval = exp.fig4_models(&[ModelKind::CmR, ModelKind::Null], &config);
+    let json = serde_json::to_string(&eval).unwrap();
+    let back: Evaluation = serde_json::from_str(&json).unwrap();
+    assert_eq!(eval, back);
+}
+
+#[test]
+fn recipes_and_curves_roundtrip() {
+    let exp = experiment();
+    let recipe = exp.corpus().recipes()[0].clone();
+    let json = serde_json::to_string(&recipe).unwrap();
+    let back: Recipe = serde_json::from_str(&json).unwrap();
+    assert_eq!(recipe, back);
+
+    let curve = RankFrequency::from_counts([5u64, 3, 1], 10.0);
+    let json = serde_json::to_string(&curve).unwrap();
+    let back: RankFrequency = serde_json::from_str(&json).unwrap();
+    assert_eq!(curve, back);
+}
