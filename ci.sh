@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Local CI gate: build, test, lint. Run from the repo root.
+#
+#   ./ci.sh            # full gate
+#   SKIP_CLIPPY=1 ./ci.sh   # skip the lint stage (e.g. older toolchains)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+if [[ -z "${SKIP_CLIPPY:-}" ]]; then
+    echo "==> cargo clippy --all-targets -- -D warnings"
+    cargo clippy --all-targets -- -D warnings
+fi
+
+echo "==> CI gate passed"

@@ -19,15 +19,21 @@ pub struct CategoryProfile {
 }
 
 impl CategoryProfile {
-    /// Compute the profile over a corpus.
+    /// Compute the profile over a corpus (sequential).
     pub fn measure(corpus: &Corpus, lexicon: &Lexicon) -> Self {
-        let mut codes = Vec::new();
-        let mut means = Vec::new();
-        for cuisine in CuisineId::all() {
+        Self::measure_with(corpus, lexicon, Some(1))
+    }
+
+    /// [`CategoryProfile::measure`] with explicit parallelism: per-cuisine
+    /// rows fan out via [`cuisine_exec::par_map_indexed`]. Each row is an
+    /// integer-accumulated histogram divided once at the end, so values
+    /// (and row order) are identical for every thread count.
+    pub fn measure_with(corpus: &Corpus, lexicon: &Lexicon, threads: Option<usize>) -> Self {
+        let populated: Vec<CuisineId> = CuisineId::all()
+            .filter(|&c| corpus.recipe_count(c) > 0)
+            .collect();
+        let rows = cuisine_exec::par_map_indexed(&populated, threads, |_, &cuisine| {
             let n = corpus.recipe_count(cuisine);
-            if n == 0 {
-                continue;
-            }
             let mut totals = [0usize; Category::COUNT];
             for r in corpus.recipes_in(cuisine) {
                 let h = r.category_histogram(lexicon);
@@ -39,10 +45,12 @@ impl CategoryProfile {
             for (m, t) in row.iter_mut().zip(totals) {
                 *m = t as f64 / n as f64;
             }
-            codes.push(cuisine.code().to_string());
-            means.push(row);
+            row
+        });
+        CategoryProfile {
+            codes: populated.iter().map(|c| c.code().to_string()).collect(),
+            means: rows,
         }
-        CategoryProfile { codes, means }
     }
 
     /// Mean usage of one category in one cuisine (by region code).

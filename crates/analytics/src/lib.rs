@@ -31,9 +31,11 @@ pub mod zipf;
 
 pub use category_profile::CategoryProfile;
 pub use clustering::{cluster_cuisines, Dendrogram, Linkage};
-pub use overrepresentation::{overrepresentation, table1, top_overrepresented, Table1Row};
+pub use overrepresentation::{
+    overrepresentation, table1, table1_with, top_overrepresented, Table1Row,
+};
 pub use rank_freq::RankFrequencyAnalysis;
 pub use similarity::SimilarityMatrix;
 pub use pairing::PairingAnalysis;
-pub use size_dist::{fig1, Fig1, SizeDistribution};
+pub use size_dist::{fig1, fig1_with, Fig1, SizeDistribution};
 pub use zipf::{ingredient_popularity, ZipfInvariance};

@@ -112,23 +112,31 @@ impl Table1Row {
     }
 }
 
-/// Compute the Table-I reproduction over a corpus.
+/// Compute the Table-I reproduction over a corpus (sequential).
 pub fn table1(corpus: &Corpus, lexicon: &Lexicon) -> Vec<Table1Row> {
-    CuisineId::all()
+    table1_with(corpus, lexicon, Some(1))
+}
+
+/// [`table1`] with explicit parallelism: per-cuisine rows fan out via
+/// [`cuisine_exec::par_map_indexed`]. Row order and values are identical
+/// for every thread count (scores are pure functions of the corpus, and
+/// ties already break deterministically by ingredient id).
+pub fn table1_with(corpus: &Corpus, lexicon: &Lexicon, threads: Option<usize>) -> Vec<Table1Row> {
+    let populated: Vec<CuisineId> = CuisineId::all()
         .filter(|&c| corpus.recipe_count(c) > 0)
-        .map(|c| {
-            let published: Vec<String> =
-                c.info().overrepresented.iter().map(|s| s.to_string()).collect();
-            let k = published.len();
-            Table1Row {
-                code: c.code().to_string(),
-                recipes: corpus.recipe_count(c),
-                ingredients: corpus.unique_ingredient_count(c),
-                top: top_overrepresented(corpus, c, lexicon, k),
-                published,
-            }
-        })
-        .collect()
+        .collect();
+    cuisine_exec::par_map_indexed(&populated, threads, |_, &c| {
+        let published: Vec<String> =
+            c.info().overrepresented.iter().map(|s| s.to_string()).collect();
+        let k = published.len();
+        Table1Row {
+            code: c.code().to_string(),
+            recipes: corpus.recipe_count(c),
+            ingredients: corpus.unique_ingredient_count(c),
+            top: top_overrepresented(corpus, c, lexicon, k),
+            published,
+        }
+    })
 }
 
 #[cfg(test)]

@@ -6,7 +6,7 @@
 
 use cuisine_data::{Corpus, CuisineId};
 use cuisine_lexicon::Lexicon;
-use cuisine_mining::{CombinationAnalysis, ItemMode, Miner, TransactionSet};
+use cuisine_mining::{CombinationAnalysis, ItemMode, Miner, TransactionCache, TransactionSource};
 use cuisine_stats::RankFrequency;
 use serde::{Deserialize, Serialize};
 
@@ -26,7 +26,7 @@ pub struct RankFrequencyAnalysis {
 }
 
 impl RankFrequencyAnalysis {
-    /// Mine every populated cuisine of a corpus.
+    /// Mine every populated cuisine of a corpus (sequential, uncached).
     pub fn measure(
         corpus: &Corpus,
         lexicon: &Lexicon,
@@ -34,19 +34,69 @@ impl RankFrequencyAnalysis {
         min_support: f64,
         miner: Miner,
     ) -> Self {
-        let mut codes = Vec::new();
-        let mut curves = Vec::new();
-        for cuisine in CuisineId::all() {
-            if corpus.recipe_count(cuisine) == 0 {
-                continue;
-            }
-            let ts = TransactionSet::from_cuisine(corpus, cuisine, mode, lexicon);
-            let analysis = CombinationAnalysis::mine(&ts, min_support, miner);
-            codes.push(cuisine.code().to_string());
-            curves.push(analysis.rank_frequency());
+        Self::measure_with(corpus, lexicon, mode, min_support, miner, Some(1), None)
+    }
+
+    /// [`RankFrequencyAnalysis::measure`] with explicit parallelism and an
+    /// optional transaction cache.
+    ///
+    /// Per-cuisine mining jobs (plus the pooled aggregate, which is the
+    /// single largest job and is overlapped with the rest) fan out via
+    /// [`cuisine_exec::par_map_range`]. Output is identical for every
+    /// `threads` value and for cache on vs off.
+    pub fn measure_with(
+        corpus: &Corpus,
+        lexicon: &Lexicon,
+        mode: ItemMode,
+        min_support: f64,
+        miner: Miner,
+        threads: Option<usize>,
+        cache: Option<&TransactionCache>,
+    ) -> Self {
+        enum Job {
+            Cuisine(String, RankFrequency),
+            Aggregate(RankFrequency),
         }
-        let pooled = TransactionSet::from_recipes(corpus.recipes().iter(), mode, lexicon);
-        let aggregate = CombinationAnalysis::mine(&pooled, min_support, miner).rank_frequency();
+
+        let source = TransactionSource::from(cache);
+        let populated: Vec<CuisineId> = CuisineId::all()
+            .filter(|&c| corpus.recipe_count(c) > 0)
+            .collect();
+
+        // Job n is the pooled aggregate; jobs 0..n are the cuisines. The
+        // aggregate is scheduled *first* within its chunk ordering only by
+        // index; what matters is that it runs concurrently with the
+        // per-cuisine jobs instead of serially after them.
+        let n = populated.len();
+        let mut slots = cuisine_exec::par_map_range(n + 1, threads, |i| {
+            if i < n {
+                let cuisine = populated[i];
+                let ts = source.cuisine(corpus, cuisine, mode, lexicon);
+                let analysis = CombinationAnalysis::mine(&ts, min_support, miner);
+                Job::Cuisine(cuisine.code().to_string(), analysis.rank_frequency())
+            } else {
+                let pooled = source.pooled(corpus, mode, lexicon);
+                Job::Aggregate(
+                    CombinationAnalysis::mine(&pooled, min_support, miner).rank_frequency(),
+                )
+            }
+        });
+
+        let aggregate = match slots.pop() {
+            Some(Job::Aggregate(curve)) => curve,
+            _ => unreachable!("last job is always the aggregate"),
+        };
+        let mut codes = Vec::with_capacity(n);
+        let mut curves = Vec::with_capacity(n);
+        for job in slots {
+            match job {
+                Job::Cuisine(code, curve) => {
+                    codes.push(code);
+                    curves.push(curve);
+                }
+                Job::Aggregate(_) => unreachable!("aggregate job is last"),
+            }
+        }
         RankFrequencyAnalysis { mode, min_support, codes, curves, aggregate }
     }
 

@@ -2,7 +2,7 @@
 //! "MAE" matrices of Section IV ("The average MAE was 0.035 and 0.052 for
 //! ingredient and category combinations respectively").
 
-use cuisine_stats::error::{mean_offdiagonal, pairwise_distance_matrix, ErrorMetric};
+use cuisine_stats::error::{curve_distance, mean_offdiagonal, ErrorMetric};
 use serde::{Deserialize, Serialize};
 
 use crate::rank_freq::RankFrequencyAnalysis;
@@ -21,16 +21,37 @@ pub struct SimilarityMatrix {
 impl SimilarityMatrix {
     /// Compute pairwise distances between the curves of an analysis.
     pub fn measure(analysis: &RankFrequencyAnalysis, metric: ErrorMetric) -> Self {
-        let curves: Vec<Vec<f64>> = analysis
-            .curves
-            .iter()
-            .map(|c| c.frequencies().to_vec())
-            .collect();
-        SimilarityMatrix {
-            codes: analysis.codes.clone(),
-            matrix: pairwise_distance_matrix(&curves, metric),
-            metric,
+        Self::measure_with(analysis, metric, Some(1))
+    }
+
+    /// [`SimilarityMatrix::measure`] with explicit parallelism: strict
+    /// upper-triangle rows fan out via [`cuisine_exec::par_map_range`] and
+    /// are mirrored afterwards, computing exactly the same
+    /// `curve_distance` calls as
+    /// `cuisine_stats::error::pairwise_distance_matrix` — entry values are
+    /// identical for every thread count.
+    pub fn measure_with(
+        analysis: &RankFrequencyAnalysis,
+        metric: ErrorMetric,
+        threads: Option<usize>,
+    ) -> Self {
+        let curves: Vec<&[f64]> =
+            analysis.curves.iter().map(|c| c.frequencies()).collect();
+        let n = curves.len();
+        let rows: Vec<Vec<f64>> = cuisine_exec::par_map_range(n, threads, |i| {
+            (i + 1..n)
+                .map(|j| curve_distance(curves[i], curves[j], metric).unwrap_or(f64::NAN))
+                .collect()
+        });
+        let mut matrix = vec![vec![0.0; n]; n];
+        for (i, row) in rows.into_iter().enumerate() {
+            for (offset, d) in row.into_iter().enumerate() {
+                let j = i + 1 + offset;
+                matrix[i][j] = d;
+                matrix[j][i] = d;
+            }
         }
+        SimilarityMatrix { codes: analysis.codes.clone(), matrix, metric }
     }
 
     /// The paper's summary statistic: mean of the off-diagonal distances.

@@ -62,17 +62,32 @@ pub struct Fig1 {
     pub aggregate: SizeDistribution,
 }
 
-/// Compute Fig. 1 over a corpus.
+/// Compute Fig. 1 over a corpus (sequential).
 pub fn fig1(corpus: &Corpus) -> Fig1 {
-    let per_cuisine: Vec<SizeDistribution> = CuisineId::all()
+    fig1_with(corpus, Some(1))
+}
+
+/// [`fig1`] with explicit parallelism: per-cuisine distributions (plus the
+/// aggregate, scheduled as one more job so it overlaps with the rest) fan
+/// out via [`cuisine_exec::par_map_range`]. Fits and KS statistics are
+/// pure functions of each cuisine's sizes, so output is identical for
+/// every thread count.
+pub fn fig1_with(corpus: &Corpus, threads: Option<usize>) -> Fig1 {
+    let populated: Vec<CuisineId> = CuisineId::all()
         .filter(|&c| corpus.recipe_count(c) > 0)
-        .map(|c| SizeDistribution::from_sizes(c.code(), &corpus.sizes_in(c)))
         .collect();
-    let all_sizes: Vec<usize> = corpus.recipes().iter().map(|r| r.size()).collect();
-    Fig1 {
-        per_cuisine,
-        aggregate: SizeDistribution::from_sizes("ALL", &all_sizes),
-    }
+    let n = populated.len();
+    let mut slots: Vec<SizeDistribution> = cuisine_exec::par_map_range(n + 1, threads, |i| {
+        if i < n {
+            let c = populated[i];
+            SizeDistribution::from_sizes(c.code(), &corpus.sizes_in(c))
+        } else {
+            let all_sizes: Vec<usize> = corpus.recipes().iter().map(|r| r.size()).collect();
+            SizeDistribution::from_sizes("ALL", &all_sizes)
+        }
+    });
+    let aggregate = slots.pop().expect("aggregate job always present");
+    Fig1 { per_cuisine: slots, aggregate }
 }
 
 #[cfg(test)]

@@ -45,9 +45,11 @@ fn fig1_sizes_are_gaussian_bounded_mean_nine() {
         assert!(d.min().unwrap() >= 2, "{}: min {}", d.code, d.min().unwrap());
         assert!(d.max().unwrap() <= 38, "{}: max {}", d.code, d.max().unwrap());
         let mean = d.mean().unwrap();
-        // Tolerance widens for sparsely sampled cuisines (CAM has ~30
-        // recipes at this scale): 3 standard errors of the size sd (~3.4).
-        let tol = 1.0f64.max(3.0 * 3.4 / (d.histogram.total() as f64).sqrt());
+        // Tolerance = the generator's own per-cuisine mean jitter (clamped
+        // to ±1.2 in `CuisineProfile::derive`) plus 3 standard errors of the
+        // size sd (~3.4) — the SE term dominates for sparsely sampled
+        // cuisines (CAM has ~30 recipes at this scale).
+        let tol = 1.2 + 3.0 * 3.4 / (d.histogram.total() as f64).sqrt();
         assert!((mean - 9.0).abs() < tol, "{}: mean {mean} (tol {tol:.2})", d.code);
     }
     let agg_mean = f.aggregate.mean().unwrap();

@@ -38,11 +38,11 @@ fn main() {
         "ablations: corpus scale {}, seed {}, {} replicates per point ...",
         opts.scale, opts.seed, replicates
     );
-    let exp = Experiment::synthetic(&opts.synth_config());
+    let exp = Experiment::synthetic_with(&opts.synth_config(), opts.pipeline_config());
     let lexicon = exp.lexicon();
     let corpus = exp.corpus();
     let config = EvaluationConfig {
-        ensemble: EnsembleConfig { replicates, seed: opts.seed, threads: None },
+        ensemble: EnsembleConfig { replicates, seed: opts.seed, threads: opts.threads },
         ..Default::default()
     };
 
@@ -137,7 +137,7 @@ fn main() {
     ]);
     for r in [1usize, 5, 10, 25, 50, 100] {
         let cfg = EvaluationConfig {
-            ensemble: EnsembleConfig { replicates: r, seed: opts.seed, threads: None },
+            ensemble: EnsembleConfig { replicates: r, seed: opts.seed, threads: opts.threads },
             ..Default::default()
         };
         let d = evaluate_model_on_cuisine(

@@ -54,6 +54,12 @@ fn main() {
             .arg(opts.seed.to_string())
             .arg("--replicates")
             .arg(opts.replicates.to_string());
+        if let Some(threads) = opts.threads {
+            cmd.arg("--threads").arg(threads.to_string());
+        }
+        if opts.no_cache {
+            cmd.arg("--no-cache");
+        }
         // exp_ablation ignores --csv; the figure binaries accept it.
         if binary != "exp_ablation" {
             cmd.arg("--csv").arg(&csv_path);

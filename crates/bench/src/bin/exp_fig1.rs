@@ -16,7 +16,7 @@ fn main() {
         "E2 / Fig. 1: generating corpus (scale {}, seed {}) ...",
         opts.scale, opts.seed
     );
-    let exp = Experiment::synthetic(&opts.synth_config());
+    let exp = Experiment::synthetic_with(&opts.synth_config(), opts.pipeline_config());
     let fig = exp.fig1();
 
     let mut table = Table::new(&["Region", "N", "min", "max", "mean", "sd", "KS p-value"])

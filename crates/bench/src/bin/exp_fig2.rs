@@ -17,7 +17,7 @@ fn main() {
         "E3 / Fig. 2: generating corpus (scale {}, seed {}) ...",
         opts.scale, opts.seed
     );
-    let exp = Experiment::synthetic(&opts.synth_config());
+    let exp = Experiment::synthetic_with(&opts.synth_config(), opts.pipeline_config());
     let profile = exp.fig2();
 
     // Boxplot statistics per category (the content of Fig. 2, one box per

@@ -19,7 +19,7 @@ fn main() {
         "E4 / Fig. 3: generating corpus (scale {}, seed {}) ...",
         opts.scale, opts.seed
     );
-    let exp = Experiment::synthetic(&opts.synth_config());
+    let exp = Experiment::synthetic_with(&opts.synth_config(), opts.pipeline_config());
 
     let mut csv = opts.csv.as_ref().map(|path| {
         let file = std::fs::File::create(path).expect("create CSV file");

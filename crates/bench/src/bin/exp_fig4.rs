@@ -31,9 +31,9 @@ fn main() {
         "{label}: corpus scale {}, seed {}, {} replicates x 4 models x 25 cuisines ...",
         opts.scale, opts.seed, opts.replicates
     );
-    let exp = Experiment::synthetic(&opts.synth_config());
+    let exp = Experiment::synthetic_with(&opts.synth_config(), opts.pipeline_config());
     let config = EvaluationConfig {
-        ensemble: EnsembleConfig { replicates: opts.replicates, seed: opts.seed, threads: None },
+        ensemble: EnsembleConfig { replicates: opts.replicates, seed: opts.seed, threads: opts.threads },
         mode,
         ..Default::default()
     };

@@ -16,7 +16,7 @@ fn main() {
         "E1 / Table I: generating corpus (scale {}, seed {}) ...",
         opts.scale, opts.seed
     );
-    let exp = Experiment::synthetic(&opts.synth_config());
+    let exp = Experiment::synthetic_with(&opts.synth_config(), opts.pipeline_config());
     let rows = exp.table1();
 
     let mut table = Table::new(&[

@@ -5,6 +5,7 @@
 
 use std::sync::OnceLock;
 
+use cuisine_core::PipelineConfig;
 use cuisine_data::Corpus;
 use cuisine_lexicon::Lexicon;
 use cuisine_synth::{generate_corpus, SynthConfig};
@@ -39,6 +40,11 @@ pub struct ExpOptions {
     pub seed: u64,
     /// Ensemble replicates (experiments E5/E6 only).
     pub replicates: usize,
+    /// Worker threads for per-cuisine/per-model fan-out (`None` = all
+    /// cores; `0`/`1` = sequential). Results are identical either way.
+    pub threads: Option<usize>,
+    /// Disable the encoded-transaction cache (`--no-cache`).
+    pub no_cache: bool,
     /// Optional CSV output path.
     pub csv: Option<String>,
     /// Extra boolean flags (e.g. `--categories`).
@@ -51,6 +57,8 @@ impl Default for ExpOptions {
             scale: DEFAULT_SCALE,
             seed: DEFAULT_SEED,
             replicates: 100,
+            threads: None,
+            no_cache: false,
             csv: None,
             flags: Vec::new(),
         }
@@ -60,8 +68,8 @@ impl Default for ExpOptions {
 impl ExpOptions {
     /// Parse from `std::env::args()`-style iterator (first element is the
     /// program name). Recognized: `--scale F`, `--seed N`,
-    /// `--replicates N`, `--csv PATH`; anything else starting with `--` is
-    /// collected into `flags`.
+    /// `--replicates N`, `--threads N`, `--no-cache`, `--csv PATH`;
+    /// anything else starting with `--` is collected into `flags`.
     ///
     /// # Panics
     /// Panics with a usage message on malformed values.
@@ -87,6 +95,14 @@ impl ExpOptions {
                         .parse()
                         .expect("--replicates takes an integer");
                 }
+                "--threads" => {
+                    opts.threads = Some(
+                        value_of("--threads")
+                            .parse()
+                            .expect("--threads takes an integer"),
+                    );
+                }
+                "--no-cache" => opts.no_cache = true,
                 "--csv" => opts.csv = Some(value_of("--csv")),
                 other if other.starts_with("--") => opts.flags.push(other.to_string()),
                 other => panic!("unrecognized argument {other:?}"),
@@ -108,6 +124,12 @@ impl ExpOptions {
     /// The generator config implied by these options.
     pub fn synth_config(&self) -> SynthConfig {
         SynthConfig { seed: self.seed, scale: self.scale, ..Default::default() }
+    }
+
+    /// The pipeline execution config implied by these options
+    /// (`--threads N`, `--no-cache`).
+    pub fn pipeline_config(&self) -> PipelineConfig {
+        PipelineConfig { threads: self.threads, cache: !self.no_cache }
     }
 }
 
@@ -143,6 +165,18 @@ mod tests {
         assert_eq!(o.csv.as_deref(), Some("/tmp/x.csv"));
         assert!(o.has_flag("--categories"));
         assert!(!o.has_flag("--other"));
+    }
+
+    #[test]
+    fn parses_threads_and_cache_knobs() {
+        let o = ExpOptions::parse(args(&["--threads", "4", "--no-cache"]));
+        assert_eq!(o.threads, Some(4));
+        assert!(o.no_cache);
+        let pc = o.pipeline_config();
+        assert_eq!(pc, PipelineConfig { threads: Some(4), cache: false });
+        // Defaults: all cores, cache on.
+        let d = ExpOptions::parse(args(&[])).pipeline_config();
+        assert_eq!(d, PipelineConfig::default());
     }
 
     #[test]

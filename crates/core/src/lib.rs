@@ -39,18 +39,19 @@ pub mod recipegen;
 pub use cuisine_analytics as analytics;
 pub use cuisine_data as data;
 pub use cuisine_evolution as evolution;
+pub use cuisine_exec as exec;
 pub use cuisine_lexicon as lexicon;
 pub use cuisine_mining as mining;
 pub use cuisine_report as report;
 pub use cuisine_stats as stats;
 pub use cuisine_synth as synth;
 
-pub use pipeline::Experiment;
+pub use pipeline::{Experiment, PipelineConfig};
 pub use recipegen::{Constraints, GenerateError, RecipeGenerator};
 
 /// Convenient glob-import surface for examples and downstream users.
 pub mod prelude {
-    pub use crate::pipeline::Experiment;
+    pub use crate::pipeline::{Experiment, PipelineConfig};
     pub use crate::recipegen::{Constraints, RecipeGenerator};
     pub use cuisine_analytics::{
         CategoryProfile, RankFrequencyAnalysis, SimilarityMatrix, Table1Row,
@@ -60,7 +61,9 @@ pub mod prelude {
         CuisineSetup, EnsembleConfig, Evaluation, EvaluationConfig, ModelKind, ModelParams,
     };
     pub use cuisine_lexicon::{Category, IngredientId, Lexicon};
-    pub use cuisine_mining::{CombinationAnalysis, ItemMode, Miner, TransactionSet};
+    pub use cuisine_mining::{
+        CombinationAnalysis, ItemMode, Miner, TransactionCache, TransactionSet,
+    };
     pub use cuisine_stats::{ErrorMetric, RankFrequency};
     pub use cuisine_synth::{generate_corpus, SynthConfig};
 }

@@ -12,33 +12,75 @@
 //! | [`Experiment::fig4`] | Fig. 4 / Section VI |
 
 use cuisine_analytics::category_profile::CategoryProfile;
-use cuisine_analytics::overrepresentation::{table1, Table1Row};
+use cuisine_analytics::overrepresentation::{table1_with, Table1Row};
 use cuisine_analytics::rank_freq::RankFrequencyAnalysis;
 use cuisine_analytics::similarity::SimilarityMatrix;
-use cuisine_analytics::size_dist::{fig1, Fig1};
+use cuisine_analytics::size_dist::{fig1_with, Fig1};
 use cuisine_data::Corpus;
-use cuisine_evolution::{evaluate, Evaluation, EvaluationConfig, ModelKind};
+use cuisine_evolution::{evaluate_with, Evaluation, EvaluationConfig, ModelKind};
 use cuisine_lexicon::Lexicon;
-use cuisine_mining::ItemMode;
+use cuisine_mining::{ItemMode, Miner, TransactionCache, PAPER_MIN_SUPPORT};
 use cuisine_stats::ErrorMetric;
 use cuisine_synth::{generate_corpus, SynthConfig};
+
+/// Execution knobs shared by every [`Experiment`] method.
+///
+/// `threads` follows the `EnsembleConfig` convention: `None` = available
+/// parallelism, `Some(0)`/`Some(1)` = sequential, larger values are
+/// clamped to the number of jobs. `cache` toggles the per-cuisine
+/// encoded-transaction cache. **Neither knob changes any result**: fan-out
+/// order is stable, all randomness is seeded from logical indices, and the
+/// cache memoizes deterministic encodings — so `threads: Some(1)` vs
+/// `Some(32)` and cache on vs off produce byte-identical artifacts (this
+/// is enforced by `tests/determinism.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineConfig {
+    /// Worker threads for per-cuisine/per-model fan-out.
+    pub threads: Option<usize>,
+    /// Memoize `(cuisine, mode)` transaction encodings across stages.
+    pub cache: bool,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig { threads: None, cache: true }
+    }
+}
 
 /// An experiment context: a lexicon plus the corpus under analysis.
 pub struct Experiment {
     lexicon: &'static Lexicon,
     corpus: Corpus,
+    config: PipelineConfig,
+    cache: TransactionCache,
 }
 
 impl Experiment {
-    /// Build from an existing corpus (e.g. read from JSONL/TSV).
+    /// Build from an existing corpus (e.g. read from JSONL/TSV), with the
+    /// default [`PipelineConfig`] (all cores, cache on).
     pub fn new(corpus: Corpus) -> Self {
-        Experiment { lexicon: Lexicon::standard(), corpus }
+        Self::with_config(corpus, PipelineConfig::default())
+    }
+
+    /// Build from an existing corpus with explicit execution knobs.
+    pub fn with_config(corpus: Corpus, config: PipelineConfig) -> Self {
+        Experiment {
+            lexicon: Lexicon::standard(),
+            corpus,
+            config,
+            cache: TransactionCache::new(),
+        }
     }
 
     /// Generate the calibrated synthetic corpus and wrap it.
     pub fn synthetic(config: &SynthConfig) -> Self {
+        Self::synthetic_with(config, PipelineConfig::default())
+    }
+
+    /// [`Experiment::synthetic`] with explicit execution knobs.
+    pub fn synthetic_with(config: &SynthConfig, pipeline: PipelineConfig) -> Self {
         let lexicon = Lexicon::standard();
-        Experiment { lexicon, corpus: generate_corpus(config, lexicon) }
+        Self::with_config(generate_corpus(config, lexicon), pipeline)
     }
 
     /// The lexicon in use.
@@ -51,22 +93,32 @@ impl Experiment {
         &self.corpus
     }
 
+    /// The execution configuration in use.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// The transaction cache when enabled (`None` with `cache: false`).
+    fn cache(&self) -> Option<&TransactionCache> {
+        self.config.cache.then_some(&self.cache)
+    }
+
     /// Experiment E1 — Table I: per-cuisine recipe/ingredient counts and
     /// top overrepresented ingredients (Eq. 1).
     pub fn table1(&self) -> Vec<Table1Row> {
-        table1(&self.corpus, self.lexicon)
+        table1_with(&self.corpus, self.lexicon, self.config.threads)
     }
 
     /// Experiment E2 — Fig. 1: recipe-size distributions with Gaussian
     /// fits, per cuisine and aggregated.
     pub fn fig1(&self) -> Fig1 {
-        fig1(&self.corpus)
+        fig1_with(&self.corpus, self.config.threads)
     }
 
     /// Experiment E3 — Fig. 2: category composition profile (25 × 21
     /// means and their per-category boxplots).
     pub fn fig2(&self) -> CategoryProfile {
-        CategoryProfile::measure(&self.corpus, self.lexicon)
+        CategoryProfile::measure_with(&self.corpus, self.lexicon, self.config.threads)
     }
 
     /// Experiment E4 — Fig. 3: rank-frequency curves of frequent
@@ -74,20 +126,36 @@ impl Experiment {
     /// similarity matrix (paper averages: 0.035 ingredient / 0.052
     /// category).
     pub fn fig3(&self, mode: ItemMode) -> (RankFrequencyAnalysis, SimilarityMatrix) {
-        let analysis = RankFrequencyAnalysis::paper(&self.corpus, self.lexicon, mode);
-        let matrix = SimilarityMatrix::measure(&analysis, ErrorMetric::PaperMae);
+        let analysis = RankFrequencyAnalysis::measure_with(
+            &self.corpus,
+            self.lexicon,
+            mode,
+            PAPER_MIN_SUPPORT,
+            Miner::default(),
+            self.config.threads,
+            self.cache(),
+        );
+        let matrix =
+            SimilarityMatrix::measure_with(&analysis, ErrorMetric::PaperMae, self.config.threads);
         (analysis, matrix)
     }
 
     /// Experiments E5/E6 — Fig. 4 / Section VI: evaluate the evolution
     /// models against the corpus at the configured granularity.
     pub fn fig4(&self, config: &EvaluationConfig) -> Evaluation {
-        evaluate(&self.corpus, self.lexicon, &ModelKind::ALL, config)
+        self.fig4_models(&ModelKind::ALL, config)
     }
 
     /// Like [`Experiment::fig4`] but for a model subset.
     pub fn fig4_models(&self, models: &[ModelKind], config: &EvaluationConfig) -> Evaluation {
-        evaluate(&self.corpus, self.lexicon, models, config)
+        evaluate_with(
+            &self.corpus,
+            self.lexicon,
+            models,
+            config,
+            self.config.threads,
+            self.cache(),
+        )
     }
 }
 

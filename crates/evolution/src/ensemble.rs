@@ -58,6 +58,11 @@ pub fn replicate_seed(seed: u64, replicate: usize) -> u64 {
 /// Run `config.replicates` replicates in parallel, mapping each replicate's
 /// recipe pool through `map` (so large pools need not be kept alive).
 /// Results are returned in replicate order.
+///
+/// Fan-out rides on [`cuisine_exec::par_map_range`]: contiguous chunks over
+/// scoped threads, stable output order. Seeds depend only on the replicate
+/// index (never on worker identity), so results are identical for any
+/// thread count.
 pub fn run_ensemble_map<T, F>(
     kind: ModelKind,
     params: &ModelParams,
@@ -71,50 +76,10 @@ where
     F: Fn(Vec<Recipe>) -> T + Sync,
 {
     assert!(config.replicates > 0, "need at least one replicate");
-    let threads = config
-        .threads
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-        })
-        .clamp(1, config.replicates);
-
-    let mut out: Vec<Option<T>> = (0..config.replicates).map(|_| None).collect();
-    let chunks: Vec<(usize, &mut [Option<T>])> = {
-        // Round-robin would complicate write-back; contiguous chunks keep
-        // the unsafe-free split simple. Seeds depend only on the replicate
-        // index, so determinism is unaffected.
-        let base = config.replicates / threads;
-        let extra = config.replicates % threads;
-        let mut rest: &mut [Option<T>] = &mut out;
-        let mut start = 0;
-        let mut acc = Vec::with_capacity(threads);
-        for t in 0..threads {
-            let len = base + usize::from(t < extra);
-            let (head, tail) = rest.split_at_mut(len);
-            acc.push((start, head));
-            start += len;
-            rest = tail;
-        }
-        acc
-    };
-
-    std::thread::scope(|scope| {
-        for (start, slots) in chunks {
-            let map = &map;
-            scope.spawn(move || {
-                for (offset, slot) in slots.iter_mut().enumerate() {
-                    let r = start + offset;
-                    let mut rng = StdRng::seed_from_u64(replicate_seed(config.seed, r));
-                    let recipes = run_replicate(kind, params, setup, lexicon, &mut rng);
-                    *slot = Some(map(recipes));
-                }
-            });
-        }
-    });
-
-    out.into_iter()
-        .map(|o| o.expect("every replicate slot filled"))
-        .collect()
+    cuisine_exec::par_map_range(config.replicates, config.threads, |r| {
+        let mut rng = StdRng::seed_from_u64(replicate_seed(config.seed, r));
+        map(run_replicate(kind, params, setup, lexicon, &mut rng))
+    })
 }
 
 /// Convenience: run the ensemble and keep the raw recipe pools.
@@ -208,6 +173,57 @@ mod tests {
         seeds.sort_unstable();
         seeds.dedup();
         assert_eq!(seeds.len(), 1000);
+    }
+
+    #[test]
+    fn replicate_seeds_are_distinct_across_master_seeds() {
+        // Nearby master seeds (the common case: 42, 43, ...) must not
+        // alias each other's replicate streams: the SplitMix64 finalizer
+        // decorrelates (seed, replicate) pairs even though the pre-mix
+        // input is linear in both. 32 masters × 128 replicates = 4096
+        // pairwise-distinct sub-seeds.
+        let mut seeds: Vec<u64> = (0..32u64)
+            .flat_map(|master| (0..128).map(move |r| replicate_seed(master, r)))
+            .collect();
+        let n = seeds.len();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), n, "replicate seeds collided across masters");
+    }
+
+    #[test]
+    fn replicate_seed_is_pure() {
+        assert_eq!(replicate_seed(7, 3), replicate_seed(7, 3));
+        assert_ne!(replicate_seed(7, 3), replicate_seed(8, 3));
+        assert_ne!(replicate_seed(7, 3), replicate_seed(7, 4));
+    }
+
+    #[test]
+    fn thread_overcommit_is_clamped_and_value_neutral() {
+        // threads ≫ replicates: the exec layer clamps worker count to the
+        // job count; results still match the sequential run exactly.
+        let lex = Lexicon::standard();
+        let s = setup();
+        let run = |threads: Option<usize>| {
+            let config = EnsembleConfig { replicates: 3, seed: 5, threads };
+            run_ensemble(ModelKind::CmC, &ModelParams::paper(ModelKind::CmC), &s, lex, &config)
+        };
+        let sequential = run(Some(1));
+        assert_eq!(sequential.len(), 3);
+        assert_eq!(run(Some(64)), sequential);
+        assert_eq!(run(None), sequential);
+    }
+
+    #[test]
+    fn zero_threads_means_sequential() {
+        // `Some(0)` is not an error: it is clamped up to one worker.
+        let lex = Lexicon::standard();
+        let s = setup();
+        let run = |threads: Option<usize>| {
+            let config = EnsembleConfig { replicates: 2, seed: 11, threads };
+            run_ensemble(ModelKind::CmR, &ModelParams::paper(ModelKind::CmR), &s, lex, &config)
+        };
+        assert_eq!(run(Some(0)), run(Some(1)));
     }
 
     #[test]

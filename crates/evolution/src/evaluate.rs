@@ -9,7 +9,9 @@
 
 use cuisine_data::{Corpus, CuisineId};
 use cuisine_lexicon::Lexicon;
-use cuisine_mining::{CombinationAnalysis, ItemMode, Miner, TransactionSet};
+use cuisine_mining::{
+    CombinationAnalysis, ItemMode, Miner, TransactionCache, TransactionSet, TransactionSource,
+};
 use cuisine_stats::error::{curve_distance, ErrorMetric};
 use cuisine_stats::RankFrequency;
 use serde::{Deserialize, Serialize};
@@ -155,33 +157,84 @@ pub fn evaluate_model_on_cuisine(
 }
 
 /// Evaluate a set of models on every populated cuisine of a corpus.
+///
+/// Sequential at the cuisine × model level; replicate ensembles still
+/// parallelize per `config.ensemble.threads`. See [`evaluate_with`] for the
+/// outer fan-out used by the pipeline.
 pub fn evaluate(
     corpus: &Corpus,
     lexicon: &Lexicon,
     models: &[ModelKind],
     config: &EvaluationConfig,
 ) -> Evaluation {
-    let cuisines = CuisineId::all()
-        .filter_map(|cuisine| {
+    evaluate_with(corpus, lexicon, models, config, Some(1), None)
+}
+
+/// [`evaluate`] with explicit outer parallelism and an optional
+/// transaction cache.
+///
+/// Work fans out across `(cuisine, model)` pairs via
+/// [`cuisine_exec::par_map_indexed`]. When the resolved outer thread count
+/// exceeds 1, each pair's replicate ensemble is forced to a single inner
+/// thread — the outer fan-out already saturates the cores, and nesting
+/// scoped pools would oversubscribe. Results are byte-identical for every
+/// `threads` value and for cache on vs off: ensemble seeds depend only on
+/// logical replicate indices, and cached encodings are the same values the
+/// uncached path computes.
+pub fn evaluate_with(
+    corpus: &Corpus,
+    lexicon: &Lexicon,
+    models: &[ModelKind],
+    config: &EvaluationConfig,
+    threads: Option<usize>,
+    cache: Option<&TransactionCache>,
+) -> Evaluation {
+    let source = TransactionSource::from(cache);
+    let all: Vec<CuisineId> = CuisineId::all().collect();
+
+    // Stage 1 — per-cuisine prep (setup + empirical curve), in parallel.
+    let prep: Vec<(CuisineId, CuisineSetup, RankFrequency)> =
+        cuisine_exec::par_map_indexed(&all, threads, |_, &cuisine| {
             let setup = CuisineSetup::from_corpus(corpus, cuisine)?;
-            let ts = TransactionSet::from_cuisine(corpus, cuisine, config.mode, lexicon);
+            let ts = source.cuisine(corpus, cuisine, config.mode, lexicon);
             let empirical =
                 CombinationAnalysis::mine(&ts, config.min_support, config.miner)
                     .rank_frequency();
-            let models = models
-                .iter()
-                .map(|&m| {
-                    let params = ModelParams::paper(m);
-                    evaluate_model_on_cuisine(
-                        m, &params, &setup, &empirical, lexicon, config,
-                    )
-                })
-                .collect();
-            Some(CuisineEvaluation {
-                code: cuisine.code().to_string(),
-                empirical,
-                models,
-            })
+            Some((cuisine, setup, empirical))
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+
+    // Stage 2 — per (cuisine, model) ensembles, in parallel with stable
+    // order. Inner replicate parallelism is disabled whenever the outer
+    // fan-out is actually parallel.
+    let jobs: Vec<(usize, ModelKind)> = (0..prep.len())
+        .flat_map(|ci| models.iter().map(move |&m| (ci, m)))
+        .collect();
+    let outer = cuisine_exec::resolve_threads(threads, jobs.len());
+    let inner_config = EvaluationConfig {
+        ensemble: EnsembleConfig {
+            threads: if outer > 1 { Some(1) } else { config.ensemble.threads },
+            ..config.ensemble
+        },
+        ..config.clone()
+    };
+    let mut results: Vec<ModelResult> =
+        cuisine_exec::par_map_indexed(&jobs, threads, |_, &(ci, model)| {
+            let (_, setup, empirical) = &prep[ci];
+            let params = ModelParams::paper(model);
+            evaluate_model_on_cuisine(model, &params, setup, empirical, lexicon, &inner_config)
+        });
+
+    // Reassemble: jobs were laid out cuisine-major, so drain in order.
+    let mut results = results.drain(..);
+    let cuisines = prep
+        .into_iter()
+        .map(|(cuisine, _, empirical)| CuisineEvaluation {
+            code: cuisine.code().to_string(),
+            empirical,
+            models: results.by_ref().take(models.len()).collect(),
         })
         .collect();
     Evaluation { mode: config.mode, cuisines }

@@ -54,8 +54,10 @@ pub mod significance;
 pub mod trace;
 
 pub use copy_mutate::run_copy_mutate;
-pub use ensemble::{run_ensemble, run_ensemble_map, EnsembleConfig};
-pub use evaluate::{evaluate, CuisineEvaluation, Evaluation, EvaluationConfig, ModelResult};
+pub use ensemble::{replicate_seed, run_ensemble, run_ensemble_map, EnsembleConfig};
+pub use evaluate::{
+    evaluate, evaluate_with, CuisineEvaluation, Evaluation, EvaluationConfig, ModelResult,
+};
 pub use fitness::FitnessTable;
 pub use horizontal::{geo_neighbors, run_horizontal, HorizontalConfig};
 pub use model::{CuisineSetup, ModelKind, ModelParams, SizeMode};

@@ -1,0 +1,246 @@
+//! Per-cuisine encoded-transaction cache.
+//!
+//! Every analysis stage that mines combinations — Fig. 3's rank-frequency
+//! curves, the Eq. 2 similarity matrix, and the Fig. 4 empirical baselines
+//! — starts by re-encoding the same recipes into the same
+//! [`TransactionSet`]s. For a full-scale corpus that is ~158k recipes ×
+//! every stage × two granularities of redundant encoding work.
+//!
+//! [`TransactionCache`] computes each `(cuisine, ItemMode)` encoding (plus
+//! the pooled all-recipes encoding per mode) exactly once and shares it via
+//! `Arc`. Slots are `OnceLock`s, so the cache is lock-free after first
+//! touch and safe to hit from the parallel fan-out workers of
+//! `cuisine-exec` — concurrent first touches race benignly (both encode,
+//! one wins, encodings are deterministic so the loser's value is
+//! identical).
+//!
+//! # Corpus identity
+//!
+//! A cache memoizes *one* corpus. It stores no reference to it (so it can
+//! live next to the corpus in a pipeline struct without self-reference);
+//! callers must pass the same corpus to every call. Debug builds verify
+//! this with a recipe-count fingerprint.
+
+use std::sync::{Arc, OnceLock};
+
+use cuisine_data::{Corpus, CuisineId};
+use cuisine_lexicon::Lexicon;
+
+use crate::transaction::{ItemMode, TransactionSet};
+
+/// Number of mode slots (`ItemMode::Ingredients`, `ItemMode::Categories`).
+const MODES: usize = 2;
+
+fn mode_index(mode: ItemMode) -> usize {
+    match mode {
+        ItemMode::Ingredients => 0,
+        ItemMode::Categories => 1,
+    }
+}
+
+/// Memoizes the [`TransactionSet`] encodings of one corpus: one slot per
+/// `(cuisine, mode)` pair plus one pooled slot per mode.
+#[derive(Debug, Default)]
+pub struct TransactionCache {
+    cuisine: [[OnceLock<Arc<TransactionSet>>; MODES]; cuisine_data::CUISINE_COUNT],
+    pooled: [OnceLock<Arc<TransactionSet>>; MODES],
+    /// Debug-build guard against mixing corpora (recipe-count fingerprint).
+    fingerprint: OnceLock<usize>,
+}
+
+impl TransactionCache {
+    /// An empty cache. Encodings are computed lazily on first request.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    fn check_fingerprint(&self, corpus: &Corpus) {
+        let fp = *self.fingerprint.get_or_init(|| corpus.recipes().len());
+        debug_assert_eq!(
+            fp,
+            corpus.recipes().len(),
+            "TransactionCache reused across different corpora"
+        );
+    }
+
+    /// The encoded transactions of one cuisine, computed on first request.
+    pub fn cuisine(
+        &self,
+        corpus: &Corpus,
+        cuisine: CuisineId,
+        mode: ItemMode,
+        lexicon: &Lexicon,
+    ) -> Arc<TransactionSet> {
+        self.check_fingerprint(corpus);
+        let slot = &self.cuisine[cuisine.0 as usize][mode_index(mode)];
+        Arc::clone(slot.get_or_init(|| {
+            Arc::new(TransactionSet::from_cuisine(corpus, cuisine, mode, lexicon))
+        }))
+    }
+
+    /// The pooled (all-recipes) encoding, computed on first request.
+    pub fn pooled(&self, corpus: &Corpus, mode: ItemMode, lexicon: &Lexicon) -> Arc<TransactionSet> {
+        self.check_fingerprint(corpus);
+        let slot = &self.pooled[mode_index(mode)];
+        Arc::clone(slot.get_or_init(|| {
+            Arc::new(TransactionSet::from_recipes(
+                corpus.recipes().iter(),
+                mode,
+                lexicon,
+            ))
+        }))
+    }
+
+    /// How many slots are currently populated (for tests/diagnostics).
+    pub fn populated(&self) -> usize {
+        let cuisines = self
+            .cuisine
+            .iter()
+            .flat_map(|modes| modes.iter())
+            .filter(|slot| slot.get().is_some())
+            .count();
+        let pooled = self.pooled.iter().filter(|slot| slot.get().is_some()).count();
+        cuisines + pooled
+    }
+}
+
+/// Either a live cache or on-the-fly encoding — what analysis fan-outs
+/// accept so cache use stays optional.
+///
+/// `Option<&TransactionCache>` would work too, but a named helper keeps the
+/// call sites self-documenting.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TransactionSource<'a> {
+    cache: Option<&'a TransactionCache>,
+}
+
+impl<'a> TransactionSource<'a> {
+    /// Encode from scratch on every request.
+    pub fn uncached() -> Self {
+        TransactionSource { cache: None }
+    }
+
+    /// Serve requests from (and populate) `cache`.
+    pub fn cached(cache: &'a TransactionCache) -> Self {
+        TransactionSource { cache: Some(cache) }
+    }
+
+    /// Fetch one cuisine's encoding.
+    pub fn cuisine(
+        &self,
+        corpus: &Corpus,
+        cuisine: CuisineId,
+        mode: ItemMode,
+        lexicon: &Lexicon,
+    ) -> Arc<TransactionSet> {
+        match self.cache {
+            Some(cache) => cache.cuisine(corpus, cuisine, mode, lexicon),
+            None => Arc::new(TransactionSet::from_cuisine(corpus, cuisine, mode, lexicon)),
+        }
+    }
+
+    /// Fetch the pooled encoding.
+    pub fn pooled(&self, corpus: &Corpus, mode: ItemMode, lexicon: &Lexicon) -> Arc<TransactionSet> {
+        match self.cache {
+            Some(cache) => cache.pooled(corpus, mode, lexicon),
+            None => Arc::new(TransactionSet::from_recipes(
+                corpus.recipes().iter(),
+                mode,
+                lexicon,
+            )),
+        }
+    }
+}
+
+impl<'a> From<Option<&'a TransactionCache>> for TransactionSource<'a> {
+    fn from(cache: Option<&'a TransactionCache>) -> Self {
+        TransactionSource { cache }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cuisine_data::Recipe;
+    use cuisine_lexicon::IngredientId;
+
+    fn corpus() -> Corpus {
+        Corpus::new(vec![
+            Recipe::new(CuisineId(0), vec![IngredientId(1), IngredientId(2)]),
+            Recipe::new(CuisineId(0), vec![IngredientId(1), IngredientId(3)]),
+            Recipe::new(CuisineId(3), vec![IngredientId(2), IngredientId(5)]),
+        ])
+    }
+
+    #[test]
+    fn cache_matches_direct_encoding() {
+        let lex = Lexicon::standard();
+        let c = corpus();
+        let cache = TransactionCache::new();
+        for mode in [ItemMode::Ingredients, ItemMode::Categories] {
+            for cuisine in [CuisineId(0), CuisineId(3), CuisineId(7)] {
+                let cached = cache.cuisine(&c, cuisine, mode, lex);
+                let direct = TransactionSet::from_cuisine(&c, cuisine, mode, lex);
+                assert_eq!(*cached, direct);
+            }
+            let pooled = cache.pooled(&c, mode, lex);
+            let direct = TransactionSet::from_recipes(c.recipes().iter(), mode, lex);
+            assert_eq!(*pooled, direct);
+        }
+    }
+
+    #[test]
+    fn repeated_requests_share_one_allocation() {
+        let lex = Lexicon::standard();
+        let c = corpus();
+        let cache = TransactionCache::new();
+        let a = cache.cuisine(&c, CuisineId(0), ItemMode::Ingredients, lex);
+        let b = cache.cuisine(&c, CuisineId(0), ItemMode::Ingredients, lex);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.populated(), 1);
+        let p1 = cache.pooled(&c, ItemMode::Categories, lex);
+        let p2 = cache.pooled(&c, ItemMode::Categories, lex);
+        assert!(Arc::ptr_eq(&p1, &p2));
+        assert_eq!(cache.populated(), 2);
+    }
+
+    #[test]
+    fn modes_are_distinct_slots() {
+        let lex = Lexicon::standard();
+        let c = corpus();
+        let cache = TransactionCache::new();
+        let ing = cache.cuisine(&c, CuisineId(0), ItemMode::Ingredients, lex);
+        let cat = cache.cuisine(&c, CuisineId(0), ItemMode::Categories, lex);
+        assert_eq!(ing.mode(), ItemMode::Ingredients);
+        assert_eq!(cat.mode(), ItemMode::Categories);
+        assert_eq!(cache.populated(), 2);
+    }
+
+    #[test]
+    fn source_uncached_still_encodes() {
+        let lex = Lexicon::standard();
+        let c = corpus();
+        let src = TransactionSource::uncached();
+        let ts = src.cuisine(&c, CuisineId(0), ItemMode::Ingredients, lex);
+        assert_eq!(ts.len(), 2);
+        let pooled = src.pooled(&c, ItemMode::Ingredients, lex);
+        assert_eq!(pooled.len(), 3);
+    }
+
+    #[test]
+    fn cache_is_shareable_across_threads() {
+        let lex = Lexicon::standard();
+        let c = corpus();
+        let cache = TransactionCache::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    let ts = cache.cuisine(&c, CuisineId(0), ItemMode::Ingredients, lex);
+                    assert_eq!(ts.len(), 2);
+                });
+            }
+        });
+        assert_eq!(cache.populated(), 1);
+    }
+}

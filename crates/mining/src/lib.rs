@@ -15,6 +15,8 @@
 //!   miner.
 //! - [`combination`] — the paper's 5%-support combination analysis and its
 //!   rank-frequency curve.
+//! - [`cache`] — per-`(cuisine, mode)` transaction memoization shared by
+//!   the parallel analysis fan-out (encode once, mine many times).
 //!
 //! ```
 //! use cuisine_mining::{CombinationAnalysis, ItemMode, TransactionSet};
@@ -31,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod apriori;
+pub mod cache;
 pub mod combination;
 pub mod eclat;
 pub mod fpgrowth;
@@ -38,6 +41,7 @@ pub mod itemset;
 pub mod transaction;
 
 pub use apriori::mine_apriori;
+pub use cache::{TransactionCache, TransactionSource};
 pub use eclat::mine_eclat;
 pub use combination::{CombinationAnalysis, Miner, PAPER_MIN_SUPPORT};
 pub use fpgrowth::mine_fpgrowth;

@@ -87,4 +87,84 @@ proptest! {
             prop_assert!(f > 0.0 && f <= 1.0);
         }
     }
+
+    // --- cross-miner agreement over the full knob range ----------------
+
+    #[test]
+    fn miners_agree_at_relative_support(
+        raw in arb_wide_transactions(),
+        // The paper mines at 0.05; sweep well past it on both sides.
+        rel in 0.01f64..0.5,
+    ) {
+        let ts = TransactionSet::from_raw(raw, ItemMode::Ingredients);
+        let a = CombinationAnalysis::mine(&ts, rel, Miner::Apriori);
+        let b = CombinationAnalysis::mine(&ts, rel, Miner::FpGrowth);
+        let c = CombinationAnalysis::mine(&ts, rel, Miner::Eclat);
+        prop_assert_eq!(&a.itemsets, &b.itemsets);
+        prop_assert_eq!(&a.itemsets, &c.itemsets);
+        prop_assert_eq!(a.transaction_count, ts.len());
+    }
+
+    #[test]
+    fn full_support_keeps_only_universal_itemsets(raw in arb_wide_transactions()) {
+        let ts = TransactionSet::from_raw(raw, ItemMode::Ingredients);
+        let n = ts.len() as u64;
+        for miner in [Miner::Apriori, Miner::FpGrowth, Miner::Eclat] {
+            let analysis = CombinationAnalysis::mine(&ts, 1.0, miner);
+            for f in &analysis.itemsets {
+                prop_assert_eq!(
+                    f.support_count, n,
+                    "itemset {:?} not universal under {:?}", f.items, miner
+                );
+            }
+        }
+        let a = CombinationAnalysis::mine(&ts, 1.0, Miner::Apriori);
+        let b = CombinationAnalysis::mine(&ts, 1.0, Miner::FpGrowth);
+        let c = CombinationAnalysis::mine(&ts, 1.0, Miner::Eclat);
+        prop_assert_eq!(&a.itemsets, &b.itemsets);
+        prop_assert_eq!(&a.itemsets, &c.itemsets);
+    }
+}
+
+/// Transactions with raw sizes spanning 0–60 (recipes top out at 38 in the
+/// paper; mining must stay correct well past that). The item universe is
+/// kept at 10 symbols so exhaustive itemset counts stay bounded even at
+/// absolute support 1.
+fn arb_wide_transactions() -> impl Strategy<Value = Vec<Vec<u32>>> {
+    prop::collection::vec(prop::collection::vec(0u32..10, 0..61), 0..32)
+}
+
+#[test]
+fn empty_corpus_agrees_and_is_empty() {
+    let ts = TransactionSet::from_raw(Vec::new(), ItemMode::Ingredients);
+    for miner in [Miner::Apriori, Miner::FpGrowth, Miner::Eclat] {
+        let analysis = CombinationAnalysis::mine(&ts, 0.05, miner);
+        assert!(analysis.itemsets.is_empty());
+        assert_eq!(analysis.transaction_count, 0);
+    }
+    // All-empty transactions are not the same as no transactions: the
+    // count must survive even though nothing is frequent.
+    let blank = TransactionSet::from_raw(vec![Vec::new(); 7], ItemMode::Ingredients);
+    for miner in [Miner::Apriori, Miner::FpGrowth, Miner::Eclat] {
+        let analysis = CombinationAnalysis::mine(&blank, 0.05, miner);
+        assert!(analysis.itemsets.is_empty());
+        assert_eq!(analysis.transaction_count, 7);
+    }
+}
+
+#[test]
+fn shared_core_survives_full_support() {
+    // Every transaction contains {1, 2}; extras differ. At support 1.0
+    // exactly the subsets of the shared core are frequent.
+    let raw = vec![vec![1, 2, 3], vec![2, 1, 4], vec![5, 1, 2, 6], vec![1, 2]];
+    let ts = TransactionSet::from_raw(raw, ItemMode::Ingredients);
+    for miner in [Miner::Apriori, Miner::FpGrowth, Miner::Eclat] {
+        let mut found: Vec<Vec<u32>> = CombinationAnalysis::mine(&ts, 1.0, miner)
+            .itemsets
+            .into_iter()
+            .map(|f| f.items)
+            .collect();
+        found.sort();
+        assert_eq!(found, vec![vec![1], vec![1, 2], vec![2]], "{miner:?}");
+    }
 }

@@ -1,0 +1,409 @@
+//! Vendored, API-compatible subset of `criterion` for fully offline builds.
+//!
+//! Implements the group-based benchmarking surface the workspace uses:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::sample_size`],
+//! [`BenchmarkGroup::bench_function`], [`BenchmarkGroup::bench_with_input`],
+//! [`BenchmarkId::new`], [`Bencher::iter`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! The measurement model is deliberately simple but honest:
+//!
+//! 1. warm up for ~`warm_up_time` (default 500 ms),
+//! 2. calibrate iterations-per-sample so one sample takes ≥ ~2 ms,
+//! 3. collect `sample_size` samples (default 30),
+//! 4. report min / median / mean / p95 per-iteration times on stdout.
+//!
+//! Results are printed, not persisted; there is no statistical regression
+//! testing against previous runs. A `--filter`-style positional argument (as
+//! passed by `cargo bench -- <substr>`) restricts which benchmarks run, and
+//! `--list` prints benchmark names without running them.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+// ---------------------------------------------------------------------------
+// Identifiers
+// ---------------------------------------------------------------------------
+
+/// A two-part benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Identifier for `function_name` evaluated at `parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: function_name.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    /// Identifier with only a parameter component.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function: String::new(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.function.is_empty() {
+            write!(f, "{}", self.parameter)
+        } else if self.parameter.is_empty() {
+            write!(f, "{}", self.function)
+        } else {
+            write!(f, "{}/{}", self.function, self.parameter)
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            function: s.to_string(),
+            parameter: String::new(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId {
+            function: s,
+            parameter: String::new(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Timing core
+// ---------------------------------------------------------------------------
+
+/// Timer handle passed to benchmark closures.
+pub struct Bencher<'a> {
+    iters_per_sample: u64,
+    samples: &'a mut Vec<Duration>,
+    sample_count: usize,
+}
+
+impl Bencher<'_> {
+    /// Run `routine` repeatedly, timing batches of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / self.iters_per_sample as u32);
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Criterion / groups
+// ---------------------------------------------------------------------------
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+    list_only: bool,
+    default_sample_size: usize,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            filter: None,
+            list_only: false,
+            default_sample_size: 30,
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Apply `cargo bench` CLI arguments: `--list`, and a positional
+    /// substring filter. Criterion-specific flags it does not understand are
+    /// ignored rather than rejected.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--bench" | "--test" => {}
+                "--list" => self.list_only = true,
+                "--sample-size" => {
+                    if let Some(v) = args.next() {
+                        if let Ok(n) = v.parse() {
+                            self.default_sample_size = n;
+                        }
+                    }
+                }
+                s if s.starts_with("--") => {
+                    // Unknown criterion flag; swallow a value if one follows.
+                    if let Some(next) = args.peek() {
+                        if !next.starts_with("--") {
+                            args.next();
+                        }
+                    }
+                }
+                s => self.filter = Some(s.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Override the default warm-up time.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            measurement_time: None,
+        }
+    }
+
+    /// Run a single free-standing benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let group_name = String::new();
+        run_benchmark(
+            self,
+            &group_name,
+            name,
+            self.default_sample_size,
+            self.warm_up_time,
+            f,
+        );
+        self
+    }
+}
+
+/// A named collection of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    measurement_time: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim's sampling is
+    /// iteration-count driven rather than wall-clock driven.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = Some(d);
+        self
+    }
+
+    /// Benchmark a closure under `id`.
+    pub fn bench_function<I, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let id: BenchmarkId = id.into();
+        let samples = self.sample_size.unwrap_or(self.criterion.default_sample_size);
+        let warm = self.criterion.warm_up_time;
+        run_benchmark(self.criterion, &self.name, &id.to_string(), samples, warm, f);
+        self
+    }
+
+    /// Benchmark a closure that receives `input` by reference.
+    pub fn bench_with_input<I, F, In>(&mut self, id: I, input: &In, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        In: ?Sized,
+        F: FnMut(&mut Bencher, &In),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Close the group (prints a trailing newline for readability).
+    pub fn finish(&mut self) {
+        if !self.criterion.list_only {
+            println!();
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    criterion: &Criterion,
+    group: &str,
+    bench: &str,
+    sample_count: usize,
+    warm_up: Duration,
+    mut f: F,
+) {
+    let full = if group.is_empty() {
+        bench.to_string()
+    } else {
+        format!("{group}/{bench}")
+    };
+    if let Some(filter) = &criterion.filter {
+        if !full.contains(filter.as_str()) {
+            return;
+        }
+    }
+    if criterion.list_only {
+        println!("{full}: benchmark");
+        return;
+    }
+
+    // Warm-up + calibration: find how many iterations fill ~2 ms.
+    let mut iters_per_sample: u64 = 1;
+    {
+        let mut calib = Vec::new();
+        let warm_start = Instant::now();
+        let mut per_iter = Duration::from_secs(1);
+        while warm_start.elapsed() < warm_up {
+            calib.clear();
+            let mut b = Bencher {
+                iters_per_sample,
+                samples: &mut calib,
+                sample_count: 1,
+            };
+            f(&mut b);
+            per_iter = calib.first().copied().unwrap_or(per_iter);
+            if per_iter * iters_per_sample as u32 >= Duration::from_millis(2) {
+                break;
+            }
+            iters_per_sample = iters_per_sample.saturating_mul(2);
+        }
+        let target = Duration::from_millis(2).as_nanos();
+        let per = per_iter.as_nanos().max(1);
+        iters_per_sample = ((target / per) as u64).clamp(1, 1_000_000);
+    }
+
+    let mut samples: Vec<Duration> = Vec::with_capacity(sample_count);
+    let mut b = Bencher {
+        iters_per_sample,
+        samples: &mut samples,
+        sample_count,
+    };
+    f(&mut b);
+    samples.sort_unstable();
+
+    if samples.is_empty() {
+        println!("{full:<50} (no samples)");
+        return;
+    }
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let p95 = samples[(samples.len() * 95 / 100).min(samples.len() - 1)];
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    println!(
+        "{full:<50} time: [min {} med {} mean {} p95 {}]  ({} samples × {} iters)",
+        fmt_duration(min),
+        fmt_duration(median),
+        fmt_duration(mean),
+        fmt_duration(p95),
+        samples.len(),
+        iters_per_sample,
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Bundle benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `fn main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_formatting() {
+        assert_eq!(BenchmarkId::new("apriori", "sup_0.05").to_string(), "apriori/sup_0.05");
+        assert_eq!(BenchmarkId::from_parameter(32).to_string(), "32");
+        let from_str: BenchmarkId = "plain".into();
+        assert_eq!(from_str.to_string(), "plain");
+    }
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion {
+            warm_up_time: Duration::from_millis(5),
+            default_sample_size: 5,
+            ..Criterion::default()
+        };
+        let mut ran = 0u64;
+        {
+            let mut g = c.benchmark_group("shim_test");
+            g.sample_size(5);
+            g.bench_function("trivial", |b| b.iter(|| ran += 1));
+            g.bench_with_input(BenchmarkId::new("with_input", 3), &3u64, |b, &x| {
+                b.iter(|| black_box(x * 2))
+            });
+            g.finish();
+        }
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            filter: Some("nomatch".into()),
+            warm_up_time: Duration::from_millis(1),
+            default_sample_size: 2,
+            ..Criterion::default()
+        };
+        let mut ran = false;
+        let mut g = c.benchmark_group("g");
+        g.bench_function("other", |b| b.iter(|| ran = true));
+        g.finish();
+        assert!(!ran);
+    }
+}

@@ -1,0 +1,565 @@
+//! Vendored, API-compatible subset of `proptest` for fully offline builds.
+//!
+//! Supports the slice of the proptest surface this workspace uses:
+//!
+//! * the [`proptest!`] macro with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header,
+//! * range strategies over integers and floats (`0usize..25`, `0.0f64..=1.0`),
+//! * `any::<u64>()` (and the other primitive scalars),
+//! * simple regex-class string strategies (`"[ -~]{0,40}"`),
+//! * `prop::collection::vec(elem, len_range)` (arbitrarily nested),
+//! * tuple strategies up to arity 4 and the `.prop_map` combinator,
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` / `prop_assume!`.
+//!
+//! Differences from the real crate: cases are generated from a deterministic
+//! per-test seed (FNV-1a of module path + test name + case index), and there
+//! is **no shrinking** — a failing case panics with the assertion message
+//! directly. For a reproduction pipeline deterministic replay matters more
+//! than minimal counterexamples.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SampleUniform};
+    use std::ops::{Range, RangeInclusive};
+
+    /// A generator of random values of type `Value`.
+    pub trait Strategy {
+        type Value;
+
+        /// Produce one value from this strategy.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, O> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// A strategy that always yields a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    impl<T: SampleUniform> Strategy for Range<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            rng.random_range(self.start..self.end)
+        }
+    }
+
+    impl<T: SampleUniform> Strategy for RangeInclusive<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            rng.random_range(*self.start()..=*self.end())
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident / $idx:tt),+))+) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    impl_tuple_strategy! {
+        (A/0)
+        (A/0, B/1)
+        (A/0, B/1, C/2)
+        (A/0, B/1, C/2, D/3)
+    }
+
+    // -- String strategies ------------------------------------------------
+
+    /// `&str` patterns act as regex-subset strategies: a concatenation of
+    /// atoms, each either a literal character or a character class `[...]`
+    /// (supporting `a-z` ranges), optionally followed by `{n}`, `{m,n}`,
+    /// `?`, `*` or `+` (the unbounded repeats are capped at 16).
+    impl Strategy for str {
+        type Value = String;
+        fn generate(&self, rng: &mut StdRng) -> String {
+            generate_pattern(self, rng)
+        }
+    }
+
+    fn generate_pattern(pattern: &str, rng: &mut StdRng) -> String {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut out = String::new();
+        let mut i = 0;
+        while i < chars.len() {
+            // Parse one atom: a char class or a (possibly escaped) literal.
+            let alphabet: Vec<char> = match chars[i] {
+                '[' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .map(|p| i + p)
+                        .unwrap_or_else(|| panic!("unclosed '[' in pattern {pattern:?}"));
+                    let class = expand_class(&chars[i + 1..close], pattern);
+                    i = close + 1;
+                    class
+                }
+                '\\' => {
+                    let c = *chars
+                        .get(i + 1)
+                        .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                    i += 2;
+                    vec![c]
+                }
+                c => {
+                    i += 1;
+                    vec![c]
+                }
+            };
+            // Parse an optional repetition suffix.
+            let (lo, hi) = match chars.get(i) {
+                Some('{') => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .map(|p| i + p)
+                        .unwrap_or_else(|| panic!("unclosed '{{' in pattern {pattern:?}"));
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match body.split_once(',') {
+                        Some((m, n)) => (
+                            m.trim().parse::<usize>().expect("bad repeat lower bound"),
+                            n.trim().parse::<usize>().expect("bad repeat upper bound"),
+                        ),
+                        None => {
+                            let n = body.trim().parse::<usize>().expect("bad repeat count");
+                            (n, n)
+                        }
+                    }
+                }
+                Some('?') => {
+                    i += 1;
+                    (0, 1)
+                }
+                Some('*') => {
+                    i += 1;
+                    (0, 16)
+                }
+                Some('+') => {
+                    i += 1;
+                    (1, 16)
+                }
+                _ => (1, 1),
+            };
+            let reps = if lo == hi {
+                lo
+            } else {
+                rng.random_range(lo..=hi)
+            };
+            for _ in 0..reps {
+                out.push(alphabet[rng.random_range(0..alphabet.len())]);
+            }
+        }
+        out
+    }
+
+    /// Expand the body of a `[...]` class into its member characters.
+    fn expand_class(body: &[char], pattern: &str) -> Vec<char> {
+        assert!(!body.is_empty(), "empty character class in {pattern:?}");
+        let mut members = Vec::new();
+        let mut j = 0;
+        while j < body.len() {
+            if body[j] == '\\' && j + 1 < body.len() {
+                members.push(body[j + 1]);
+                j += 2;
+            } else if j + 2 < body.len() && body[j + 1] == '-' {
+                let (lo, hi) = (body[j] as u32, body[j + 2] as u32);
+                assert!(lo <= hi, "inverted range in class in {pattern:?}");
+                for c in lo..=hi {
+                    members.push(char::from_u32(c).expect("invalid char in class range"));
+                }
+                j += 3;
+            } else {
+                members.push(body[j]);
+                j += 1;
+            }
+        }
+        members
+    }
+
+    // -- any::<T>() -------------------------------------------------------
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut StdRng) -> Self {
+                    use rand::Rng;
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            rng.random::<bool>()
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            // Finite values only: uniform sign/exponent mix via random bits,
+            // filtered to finite. Keeps downstream maths well-defined.
+            loop {
+                use rand::Rng;
+                let v = f64::from_bits(rng.next_u64());
+                if v.is_finite() {
+                    return v;
+                }
+            }
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::RngExt;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Acceptable length specifiers for [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec length range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty vec length range");
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for vectors whose elements come from `element` and whose
+    /// length is uniform in `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = if self.size.lo == self.size.hi_inclusive {
+                self.size.lo
+            } else {
+                rng.random_range(self.size.lo..=self.size.hi_inclusive)
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `prop::collection::vec(element, len)` — vectors of strategy output.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Runner configuration. Only `cases` is interpreted by this shim; the
+    /// other knobs of the real crate are accepted implicitly via `..Default`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per property.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 128 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Deterministic per-case RNG: FNV-1a over the fully qualified test name,
+    /// mixed with the case index. Stable across runs and platforms.
+    pub fn case_rng(module: &str, test: &str, case: u32) -> StdRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in module.bytes().chain([b':', b':']).chain(test.bytes()) {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        StdRng::seed_from_u64(h ^ ((case as u64) << 32 | case as u64))
+    }
+}
+
+/// The glob-import surface: `use proptest::prelude::*;`
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Alias module mirroring the real crate's `prop::*` hierarchy.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Define property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     #[test]
+///     fn prop_holds(x in 0usize..10, ys in prop::collection::vec(0.0f64..1.0, 1..8)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = (<$crate::test_runner::ProptestConfig as ::core::default::Default>::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::test_runner::case_rng(
+                    ::core::module_path!(),
+                    ::core::stringify!($name),
+                    __case,
+                );
+                $(
+                    let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                )*
+                let __proptest_case = move || { $body };
+                __proptest_case();
+            }
+        }
+    )*};
+}
+
+/// Assert a condition inside a property; panics (failing the case) otherwise.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Skip the current case unless the precondition holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::case_rng;
+
+    #[test]
+    fn string_pattern_generates_printable_ascii() {
+        let mut rng = case_rng("shim", "string_pattern", 0);
+        for case in 0..200 {
+            let mut rng2 = case_rng("shim", "string_pattern", case);
+            let s = Strategy::generate(&"[ -~]{0,40}", &mut rng2);
+            assert!(s.len() <= 40);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+            let _ = Strategy::generate(&"[a-c]{3}", &mut rng);
+        }
+        let fixed = Strategy::generate(&"[a-a]{4}", &mut rng);
+        assert_eq!(fixed, "aaaa");
+    }
+
+    #[test]
+    fn vec_strategy_respects_length() {
+        let mut rng = case_rng("shim", "vec_len", 0);
+        for _ in 0..100 {
+            let v = Strategy::generate(&collection::vec(0u32..12, 0..8), &mut rng);
+            assert!(v.len() < 8);
+            assert!(v.iter().all(|&x| x < 12));
+        }
+    }
+
+    #[test]
+    fn nested_and_tuple_strategies() {
+        let mut rng = case_rng("shim", "nested", 0);
+        let strat = collection::vec((0u8..4, collection::vec(0u16..60, 1..10)), 1..40);
+        let v = Strategy::generate(&strat, &mut rng);
+        assert!(!v.is_empty() && v.len() < 40);
+        for (c, ings) in &v {
+            assert!(*c < 4);
+            assert!(!ings.is_empty() && ings.len() < 10);
+            assert!(ings.iter().all(|&i| i < 60));
+        }
+    }
+
+    #[test]
+    fn prop_map_applies() {
+        let mut rng = case_rng("shim", "map", 0);
+        let strat = (0u64..10).prop_map(|x| x * 2);
+        for _ in 0..50 {
+            let v = Strategy::generate(&strat, &mut rng);
+            assert!(v % 2 == 0 && v < 20);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_case() {
+        let a = Strategy::generate(&(0u64..1000), &mut case_rng("m", "t", 3));
+        let b = Strategy::generate(&(0u64..1000), &mut case_rng("m", "t", 3));
+        assert_eq!(a, b);
+    }
+
+    // Exercise the macro end-to-end (the #[test] attr comes via $meta).
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_roundtrip(x in 0usize..25, seed in any::<u64>(), s in "[ -~]{0,40}") {
+            prop_assume!(x != 24);
+            prop_assert!(x < 24);
+            prop_assert_eq!(seed, seed);
+            prop_assert_ne!(s.len(), 99);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_default_config(v in prop::collection::vec(0.0f64..1.0, 1..16)) {
+            prop_assert!(v.iter().all(|&x| (0.0..1.0).contains(&x)));
+        }
+    }
+}

@@ -1,0 +1,358 @@
+//! Derive macros for the vendored `serde` shim.
+//!
+//! Generates `serde::Serialize` / `serde::Deserialize` impls against the
+//! shim's tree model (`serde::Value`). Supports exactly the shapes the
+//! cuisine-evolution workspace uses:
+//!
+//! - named-field structs,
+//! - tuple structs (newtype and wider),
+//! - unit structs,
+//! - enums with unit, named-field, and tuple variants,
+//!
+//! all without generic parameters. The encoding matches upstream
+//! `serde_json` defaults: structs are objects, newtypes are transparent,
+//! unit enum variants are strings, and data-carrying variants are
+//! single-key objects.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// A tiny token-tree parser for struct/enum declarations
+// ---------------------------------------------------------------------------
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Item {
+    Struct { name: String, shape: Shape },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+fn is_punct(tt: &TokenTree, c: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+/// Skip `#[...]` attribute groups starting at `i`; returns the index of the
+/// first non-attribute token.
+fn skip_attributes(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i < tokens.len() && is_punct(&tokens[i], '#') {
+        // `#` may be followed by `!` (inner attribute) and then a bracket
+        // group; derive input only carries outer attributes.
+        i += 1;
+        if i < tokens.len() && matches!(&tokens[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket)
+        {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Skip a visibility qualifier (`pub`, `pub(crate)`, ...) at `i`.
+fn skip_visibility(tokens: &[TokenTree], mut i: usize) -> usize {
+    if i < tokens.len() && matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+        i += 1;
+        if i < tokens.len()
+            && matches!(&tokens[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Split a token list on commas that sit outside any `<...>` nesting.
+/// (Parens/brackets/braces are single `Group` trees, so only angle brackets
+/// need explicit depth tracking.)
+fn split_top_level_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0i32;
+    for tt in tokens {
+        if is_punct(tt, '<') {
+            angle_depth += 1;
+        } else if is_punct(tt, '>') {
+            angle_depth -= 1;
+        } else if is_punct(tt, ',') && angle_depth == 0 {
+            if !current.is_empty() {
+                out.push(std::mem::take(&mut current));
+            }
+            continue;
+        }
+        current.push(tt.clone());
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+/// Parse named fields out of a brace group's token list.
+fn parse_named_fields(tokens: &[TokenTree]) -> Vec<String> {
+    split_top_level_commas(tokens)
+        .into_iter()
+        .filter_map(|field| {
+            let i = skip_visibility(&field, skip_attributes(&field, 0));
+            match field.get(i) {
+                Some(TokenTree::Ident(id)) => Some(id.to_string()),
+                _ => None,
+            }
+        })
+        .collect()
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_visibility(&tokens, skip_attributes(&tokens, 0));
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde derive: expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde derive: expected type name, found {other}"),
+    };
+    i += 1;
+    if i < tokens.len() && is_punct(&tokens[i], '<') {
+        panic!("serde derive shim does not support generic type `{name}`");
+    }
+
+    match kind.as_str() {
+        "struct" => {
+            let shape = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    Shape::Named(parse_named_fields(&inner))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    Shape::Tuple(split_top_level_commas(&inner).len())
+                }
+                Some(tt) if is_punct(tt, ';') => Shape::Unit,
+                other => panic!("serde derive: unexpected struct body {other:?}"),
+            };
+            Item::Struct { name, shape }
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde derive: expected enum body, found {other:?}"),
+            };
+            let body_tokens: Vec<TokenTree> = body.into_iter().collect();
+            let variants = split_top_level_commas(&body_tokens)
+                .into_iter()
+                .filter_map(|v| {
+                    let mut j = skip_attributes(&v, 0);
+                    let name = match v.get(j) {
+                        Some(TokenTree::Ident(id)) => id.to_string(),
+                        _ => return None,
+                    };
+                    j += 1;
+                    let shape = match v.get(j) {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                            Shape::Named(parse_named_fields(&inner))
+                        }
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                            Shape::Tuple(split_top_level_commas(&inner).len())
+                        }
+                        _ => Shape::Unit,
+                    };
+                    Some(Variant { name, shape })
+                })
+                .collect();
+            Item::Enum { name, variants }
+        }
+        other => panic!("serde derive: cannot derive for `{other}` items"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let mut out = String::new();
+    match item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Unit => "::serde::Value::Null".to_string(),
+                Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Shape::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                }
+                Shape::Named(fields) => {
+                    let mut s = String::from("{ let mut m = ::serde::Map::new(); ");
+                    for f in fields {
+                        s.push_str(&format!(
+                            "m.insert(\"{f}\", ::serde::Serialize::to_value(&self.{f})); "
+                        ));
+                    }
+                    s.push_str("::serde::Value::Object(m) }");
+                    s
+                }
+            };
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n fn to_value(&self) -> ::serde::Value {{ {body} }}\n}}\n"
+            ));
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::String(\"{vn}\".to_string()),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|k| format!("x{k}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::to_value(x0)".to_string()
+                        } else {
+                            let items: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => {{ let mut m = ::serde::Map::new(); m.insert(\"{vn}\", {payload}); ::serde::Value::Object(m) }},\n",
+                            binders.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let binders = fields.join(", ");
+                        let mut payload =
+                            String::from("{ let mut p = ::serde::Map::new(); ");
+                        for f in fields {
+                            payload.push_str(&format!(
+                                "p.insert(\"{f}\", ::serde::Serialize::to_value({f})); "
+                            ));
+                        }
+                        payload.push_str("::serde::Value::Object(p) }");
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binders} }} => {{ let payload = {payload}; let mut m = ::serde::Map::new(); m.insert(\"{vn}\", payload); ::serde::Value::Object(m) }},\n"
+                        ));
+                    }
+                }
+            }
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n fn to_value(&self) -> ::serde::Value {{ match self {{ {arms} }} }}\n}}\n"
+            ));
+        }
+    }
+    out
+}
+
+fn named_fields_from_map(type_path: &str, fields: &[String], map_expr: &str) -> String {
+    let mut s = format!("::std::result::Result::Ok({type_path} {{ ");
+    for f in fields {
+        s.push_str(&format!(
+            "{f}: ::serde::Deserialize::from_value({map_expr}.get(\"{f}\").unwrap_or(&::serde::Value::Null)).map_err(|e| ::serde::Error::custom(format!(\"field `{f}`: {{e}}\")))?, "
+        ));
+    }
+    s.push_str("})");
+    s
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let mut out = String::new();
+    match item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Unit => format!("::std::result::Result::Ok({name})"),
+                Shape::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
+                ),
+                Shape::Tuple(n) => {
+                    let mut s = format!(
+                        "{{ let items = v.as_array().ok_or_else(|| ::serde::Error::expected(\"array\", v))?; if items.len() != {n} {{ return ::std::result::Result::Err(::serde::Error::custom(\"tuple struct arity mismatch\")); }} ::std::result::Result::Ok({name}("
+                    );
+                    for k in 0..*n {
+                        s.push_str(&format!("::serde::Deserialize::from_value(&items[{k}])?, "));
+                    }
+                    s.push_str(")) }");
+                    s
+                }
+                Shape::Named(fields) => {
+                    let construct = named_fields_from_map(name, fields, "m");
+                    format!(
+                        "{{ let m = v.as_object().ok_or_else(|| ::serde::Error::expected(\"object\", v))?; {construct} }}"
+                    )
+                }
+            };
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\n fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n}}\n"
+            ));
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    Shape::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_value(payload)?)),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let mut arm = format!(
+                            "\"{vn}\" => {{ let items = payload.as_array().ok_or_else(|| ::serde::Error::expected(\"array\", payload))?; if items.len() != {n} {{ return ::std::result::Result::Err(::serde::Error::custom(\"variant arity mismatch\")); }} ::std::result::Result::Ok({name}::{vn}("
+                        );
+                        for k in 0..*n {
+                            arm.push_str(&format!(
+                                "::serde::Deserialize::from_value(&items[{k}])?, "
+                            ));
+                        }
+                        arm.push_str(")) },\n");
+                        data_arms.push_str(&arm);
+                    }
+                    Shape::Named(fields) => {
+                        let construct =
+                            named_fields_from_map(&format!("{name}::{vn}"), fields, "p");
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => {{ let p = payload.as_object().ok_or_else(|| ::serde::Error::expected(\"object\", payload))?; {construct} }},\n"
+                        ));
+                    }
+                }
+            }
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\n fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n match v {{\n ::serde::Value::String(s) => match s.as_str() {{\n {unit_arms} other => ::std::result::Result::Err(::serde::Error::custom(format!(\"unknown variant `{{other}}` of {name}\"))),\n }},\n ::serde::Value::Object(m) if m.len() == 1 => {{\n let (tag, payload) = m.iter().next().expect(\"len == 1\");\n match tag {{\n {data_arms} other => ::std::result::Result::Err(::serde::Error::custom(format!(\"unknown variant `{{other}}` of {name}\"))),\n }}\n }},\n _ => ::std::result::Result::Err(::serde::Error::expected(\"enum variant\", v)),\n }}\n }}\n}}\n"
+            ));
+        }
+    }
+    out
+}
+
+/// Derive `serde::Serialize` (shim edition).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated Serialize impl must parse")
+}
+
+/// Derive `serde::Deserialize` (shim edition).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl must parse")
+}
