@@ -9,8 +9,15 @@ cd "$(dirname "$0")"
 echo "==> cargo build --release"
 cargo build --release
 
+echo "==> cargo build --release --examples"
+cargo build --release --examples
+
 echo "==> cargo test -q"
 cargo test -q
+
+echo "==> serve --self-check (smoke test)"
+cargo run --release -q -p cuisine-serve --bin serve -- \
+    --self-check --scale 0.02 --seed 11 --replicates 2
 
 if [[ -z "${SKIP_CLIPPY:-}" ]]; then
     echo "==> cargo clippy --all-targets -- -D warnings"

@@ -32,7 +32,10 @@ fn empirical_curve(corpus: &Corpus, cuisine: CuisineId, lexicon: &Lexicon) -> Ra
 }
 
 fn main() {
-    let opts = ExpOptions::parse(std::env::args());
+    let opts = ExpOptions::parse_or_exit(
+        std::env::args(),
+        &format!("exp_ablation {}", cuisine_bench::COMMON_USAGE),
+    );
     let replicates = opts.replicates.min(50);
     eprintln!(
         "ablations: corpus scale {}, seed {}, {} replicates per point ...",

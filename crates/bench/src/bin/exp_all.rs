@@ -25,7 +25,10 @@ const EXPERIMENTS: &[(&str, &[&str])] = &[
 ];
 
 fn main() {
-    let opts = ExpOptions::parse(std::env::args());
+    let opts = ExpOptions::parse_or_exit(
+        std::env::args(),
+        &format!("exp_all {}", cuisine_bench::COMMON_USAGE),
+    );
     let out_dir = PathBuf::from(
         opts.csv.clone().unwrap_or_else(|| "experiment_report".to_string()),
     );

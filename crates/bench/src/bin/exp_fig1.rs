@@ -11,7 +11,10 @@ use cuisine_core::Experiment;
 use cuisine_report::{bar_chart, Align, CsvWriter, Table};
 
 fn main() {
-    let opts = ExpOptions::parse(std::env::args());
+    let opts = ExpOptions::parse_or_exit(
+        std::env::args(),
+        &format!("exp_fig1 {}", cuisine_bench::COMMON_USAGE),
+    );
     eprintln!(
         "E2 / Fig. 1: generating corpus (scale {}, seed {}) ...",
         opts.scale, opts.seed

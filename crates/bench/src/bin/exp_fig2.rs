@@ -12,7 +12,10 @@ use cuisine_lexicon::Category;
 use cuisine_report::{Align, CsvWriter, Table};
 
 fn main() {
-    let opts = ExpOptions::parse(std::env::args());
+    let opts = ExpOptions::parse_or_exit(
+        std::env::args(),
+        &format!("exp_fig2 {}", cuisine_bench::COMMON_USAGE),
+    );
     eprintln!(
         "E3 / Fig. 2: generating corpus (scale {}, seed {}) ...",
         opts.scale, opts.seed

@@ -14,7 +14,10 @@ use cuisine_core::prelude::*;
 use cuisine_report::{loglog_chart, Align, CsvWriter, Table};
 
 fn main() {
-    let opts = ExpOptions::parse(std::env::args());
+    let opts = ExpOptions::parse_or_exit(
+        std::env::args(),
+        &format!("exp_fig3 {}", cuisine_bench::COMMON_USAGE),
+    );
     eprintln!(
         "E4 / Fig. 3: generating corpus (scale {}, seed {}) ...",
         opts.scale, opts.seed

@@ -17,7 +17,10 @@ use cuisine_evolution::compare_models;
 use cuisine_report::{loglog_chart, Align, CsvWriter, Table};
 
 fn main() {
-    let opts = ExpOptions::parse(std::env::args());
+    let opts = ExpOptions::parse_or_exit(
+        std::env::args(),
+        &format!("exp_fig4 {} [--categories]", cuisine_bench::COMMON_USAGE),
+    );
     let mode = if opts.has_flag("--categories") {
         ItemMode::Categories
     } else {

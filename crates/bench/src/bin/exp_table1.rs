@@ -11,7 +11,10 @@ use cuisine_core::Experiment;
 use cuisine_report::{Align, CsvWriter, Table};
 
 fn main() {
-    let opts = ExpOptions::parse(std::env::args());
+    let opts = ExpOptions::parse_or_exit(
+        std::env::args(),
+        &format!("exp_table1 {}", cuisine_bench::COMMON_USAGE),
+    );
     eprintln!(
         "E1 / Table I: generating corpus (scale {}, seed {}) ...",
         opts.scale, opts.seed

@@ -65,55 +65,101 @@ impl Default for ExpOptions {
     }
 }
 
+/// A CLI usage error: what was wrong with the arguments.
+///
+/// Returned by [`ExpOptions::try_parse`]; rendered (followed by the
+/// binary's usage line) by [`ExpOptions::parse_or_exit`], which terminates
+/// with exit code 2 — the conventional "usage error" status — instead of
+/// panicking with a backtrace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
 impl ExpOptions {
-    /// Parse from `std::env::args()`-style iterator (first element is the
-    /// program name). Recognized: `--scale F`, `--seed N`,
+    /// Parse from a `std::env::args()`-style iterator (first element is
+    /// the program name). Recognized: `--scale F`, `--seed N`,
     /// `--replicates N`, `--threads N`, `--no-cache`, `--csv PATH`;
     /// anything else starting with `--` is collected into `flags`.
-    ///
-    /// # Panics
-    /// Panics with a usage message on malformed values.
-    pub fn parse(args: impl IntoIterator<Item = String>) -> Self {
+    pub fn try_parse(args: impl IntoIterator<Item = String>) -> Result<Self, CliError> {
+        Self::try_parse_with(args, &[]).map(|(opts, _)| opts)
+    }
+
+    /// Like [`ExpOptions::try_parse`], but additionally accepts the
+    /// options named in `valued` (each takes one value) and returns them
+    /// as `(name, value)` pairs in argument order. This is how the
+    /// `serve`/`loadgen` binaries extend the shared CLI with options such
+    /// as `--port` without duplicating the parser.
+    pub fn try_parse_with(
+        args: impl IntoIterator<Item = String>,
+        valued: &[&str],
+    ) -> Result<(Self, Vec<(String, String)>), CliError> {
         let mut opts = ExpOptions::default();
+        let mut extra = Vec::new();
         let mut iter = args.into_iter().skip(1);
         while let Some(arg) = iter.next() {
             let mut value_of = |name: &str| {
-                iter.next()
-                    .unwrap_or_else(|| panic!("{name} requires a value"))
+                iter.next().ok_or_else(|| CliError(format!("{name} requires a value")))
             };
             match arg.as_str() {
                 "--scale" => {
-                    opts.scale = value_of("--scale")
+                    opts.scale = value_of("--scale")?
                         .parse()
-                        .expect("--scale takes a float in (0, 1]");
+                        .map_err(|_| CliError("--scale takes a float in (0, 1]".into()))?;
                 }
                 "--seed" => {
-                    opts.seed = value_of("--seed").parse().expect("--seed takes an integer");
+                    opts.seed = value_of("--seed")?
+                        .parse()
+                        .map_err(|_| CliError("--seed takes an integer".into()))?;
                 }
                 "--replicates" => {
-                    opts.replicates = value_of("--replicates")
+                    opts.replicates = value_of("--replicates")?
                         .parse()
-                        .expect("--replicates takes an integer");
+                        .map_err(|_| CliError("--replicates takes an integer".into()))?;
                 }
                 "--threads" => {
                     opts.threads = Some(
-                        value_of("--threads")
+                        value_of("--threads")?
                             .parse()
-                            .expect("--threads takes an integer"),
+                            .map_err(|_| CliError("--threads takes an integer".into()))?,
                     );
                 }
                 "--no-cache" => opts.no_cache = true,
-                "--csv" => opts.csv = Some(value_of("--csv")),
+                "--csv" => opts.csv = Some(value_of("--csv")?),
+                other if valued.contains(&other) => {
+                    let value = value_of(other)?;
+                    extra.push((other.to_string(), value));
+                }
                 other if other.starts_with("--") => opts.flags.push(other.to_string()),
-                other => panic!("unrecognized argument {other:?}"),
+                other => return Err(CliError(format!("unrecognized argument {other:?}"))),
             }
         }
-        assert!(
-            opts.scale > 0.0 && opts.scale <= 1.0,
-            "--scale must be in (0, 1], got {}",
-            opts.scale
-        );
-        opts
+        if !(opts.scale > 0.0 && opts.scale <= 1.0) {
+            return Err(CliError(format!("--scale must be in (0, 1], got {}", opts.scale)));
+        }
+        Ok((opts, extra))
+    }
+
+    /// Parse or print `error: ... / usage: ...` to stderr and exit with
+    /// status 2 (the conventional usage-error code).
+    pub fn parse_or_exit(args: impl IntoIterator<Item = String>, usage: &str) -> Self {
+        Self::try_parse(args).unwrap_or_else(|e| exit_usage(&e, usage))
+    }
+
+    /// [`ExpOptions::try_parse_with`] with the same exit-code-2 error
+    /// handling as [`ExpOptions::parse_or_exit`].
+    pub fn parse_with_or_exit(
+        args: impl IntoIterator<Item = String>,
+        valued: &[&str],
+        usage: &str,
+    ) -> (Self, Vec<(String, String)>) {
+        Self::try_parse_with(args, valued).unwrap_or_else(|e| exit_usage(&e, usage))
     }
 
     /// Whether a boolean flag was passed.
@@ -133,6 +179,17 @@ impl ExpOptions {
     }
 }
 
+/// Print a usage error to stderr and exit with status 2.
+fn exit_usage(error: &CliError, usage: &str) -> ! {
+    eprintln!("error: {error}");
+    eprintln!("usage: {usage}");
+    std::process::exit(2);
+}
+
+/// The CLI options shared by every `exp_*` binary, for usage strings.
+pub const COMMON_USAGE: &str =
+    "[--scale F] [--seed N] [--replicates N] [--threads N] [--no-cache] [--csv PATH]";
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -146,7 +203,7 @@ mod tests {
 
     #[test]
     fn defaults_when_no_args() {
-        let o = ExpOptions::parse(args(&[]));
+        let o = ExpOptions::try_parse(args(&[])).unwrap();
         assert_eq!(o.scale, DEFAULT_SCALE);
         assert_eq!(o.seed, DEFAULT_SEED);
         assert_eq!(o.replicates, 100);
@@ -155,10 +212,11 @@ mod tests {
 
     #[test]
     fn parses_all_options() {
-        let o = ExpOptions::parse(args(&[
+        let o = ExpOptions::try_parse(args(&[
             "--scale", "0.5", "--seed", "9", "--replicates", "10", "--csv", "/tmp/x.csv",
             "--categories",
-        ]));
+        ]))
+        .unwrap();
         assert_eq!(o.scale, 0.5);
         assert_eq!(o.seed, 9);
         assert_eq!(o.replicates, 10);
@@ -169,26 +227,50 @@ mod tests {
 
     #[test]
     fn parses_threads_and_cache_knobs() {
-        let o = ExpOptions::parse(args(&["--threads", "4", "--no-cache"]));
+        let o = ExpOptions::try_parse(args(&["--threads", "4", "--no-cache"])).unwrap();
         assert_eq!(o.threads, Some(4));
         assert!(o.no_cache);
         let pc = o.pipeline_config();
         assert_eq!(pc, PipelineConfig { threads: Some(4), cache: false });
         // Defaults: all cores, cache on.
-        let d = ExpOptions::parse(args(&[])).pipeline_config();
+        let d = ExpOptions::try_parse(args(&[])).unwrap().pipeline_config();
         assert_eq!(d, PipelineConfig::default());
     }
 
     #[test]
-    #[should_panic(expected = "--scale must be in (0, 1]")]
     fn rejects_bad_scale() {
-        let _ = ExpOptions::parse(args(&["--scale", "2.0"]));
+        let e = ExpOptions::try_parse(args(&["--scale", "2.0"])).unwrap_err();
+        assert!(e.0.contains("--scale must be in (0, 1]"), "{e}");
+        let e = ExpOptions::try_parse(args(&["--scale", "zero"])).unwrap_err();
+        assert!(e.0.contains("--scale takes a float"), "{e}");
     }
 
     #[test]
-    #[should_panic(expected = "unrecognized argument")]
-    fn rejects_unknown_positional() {
-        let _ = ExpOptions::parse(args(&["oops"]));
+    fn rejects_unknown_positional_and_valueless_options() {
+        let e = ExpOptions::try_parse(args(&["oops"])).unwrap_err();
+        assert!(e.0.contains("unrecognized argument"), "{e}");
+        let e = ExpOptions::try_parse(args(&["--seed"])).unwrap_err();
+        assert!(e.0.contains("--seed requires a value"), "{e}");
+        let e = ExpOptions::try_parse(args(&["--csv"])).unwrap_err();
+        assert!(e.0.contains("--csv requires a value"), "{e}");
+    }
+
+    #[test]
+    fn extra_valued_options_are_returned_in_order() {
+        let (o, extra) = ExpOptions::try_parse_with(
+            args(&["--port", "8080", "--seed", "3", "--lru", "16", "--self-check"]),
+            &["--port", "--lru"],
+        )
+        .unwrap();
+        assert_eq!(o.seed, 3);
+        assert!(o.has_flag("--self-check"));
+        assert_eq!(
+            extra,
+            vec![("--port".into(), "8080".into()), ("--lru".into(), "16".into())]
+        );
+        // Extra valued options still require their value.
+        let e = ExpOptions::try_parse_with(args(&["--port"]), &["--port"]).unwrap_err();
+        assert!(e.0.contains("--port requires a value"), "{e}");
     }
 
     #[test]

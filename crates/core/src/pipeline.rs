@@ -99,8 +99,18 @@ impl Experiment {
     }
 
     /// The transaction cache when enabled (`None` with `cache: false`).
-    fn cache(&self) -> Option<&TransactionCache> {
+    ///
+    /// Exposed so layered subsystems (e.g. `cuisine-serve`'s snapshot
+    /// builder and on-demand `/evolve` handler) can share one set of
+    /// encoded transactions with the pipeline methods instead of
+    /// re-encoding the corpus per request.
+    pub fn transaction_cache(&self) -> Option<&TransactionCache> {
         self.config.cache.then_some(&self.cache)
+    }
+
+    /// Internal alias kept for the pipeline methods.
+    fn cache(&self) -> Option<&TransactionCache> {
+        self.transaction_cache()
     }
 
     /// Experiment E1 — Table I: per-cuisine recipe/ingredient counts and

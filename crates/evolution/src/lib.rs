@@ -56,7 +56,8 @@ pub mod trace;
 pub use copy_mutate::run_copy_mutate;
 pub use ensemble::{replicate_seed, run_ensemble, run_ensemble_map, EnsembleConfig};
 pub use evaluate::{
-    evaluate, evaluate_with, CuisineEvaluation, Evaluation, EvaluationConfig, ModelResult,
+    evaluate, evaluate_model_on_cuisine, evaluate_with, CuisineEvaluation, Evaluation,
+    EvaluationConfig, ModelResult,
 };
 pub use fitness::FitnessTable;
 pub use horizontal::{geo_neighbors, run_horizontal, HorizontalConfig};

@@ -27,6 +27,10 @@
 
 #![forbid(unsafe_code)]
 
+pub mod pool;
+
+pub use pool::{PoolFull, WorkerPool};
+
 /// Resolve a `threads: Option<usize>` knob against a job count.
 ///
 /// * `None` → `std::thread::available_parallelism()` (falling back to 1),

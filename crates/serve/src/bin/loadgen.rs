@@ -1,0 +1,137 @@
+//! `loadgen` — drive N concurrent clients against a live `serve` instance
+//! and report throughput and latency percentiles.
+//!
+//! ```sh
+//! cargo run --release -p cuisine-serve --bin loadgen -- \
+//!     --addr 127.0.0.1:7878 [--clients 8] [--requests 200] \
+//!     [--path /table1] [--evolve]
+//! ```
+//!
+//! Each client runs its requests back-to-back on its own thread (closed
+//! loop, one connection per request — the server's `Connection: close`
+//! model). `--path` may be a comma-separated list; clients rotate through
+//! it. `--evolve` adds a deterministic `POST /evolve` to the mix.
+//! Methodology notes live in EXPERIMENTS.md.
+
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+use cuisine_bench::ExpOptions;
+use cuisine_serve::client;
+
+const USAGE: &str = "loadgen --addr HOST:PORT [--clients N] [--requests N] \
+[--path /p1,/p2] [--evolve]";
+
+const EVOLVE_BODY: &str = r#"{"cuisine":"ITA","model":"CM-R","seed":7,"replicates":4}"#;
+
+fn exit_usage(message: &str) -> ! {
+    eprintln!("error: {message}");
+    eprintln!("usage: {USAGE}");
+    std::process::exit(2);
+}
+
+fn extra_value<T: std::str::FromStr>(extra: &[(String, String)], name: &str, default: T) -> T {
+    match extra.iter().rev().find(|(k, _)| k == name) {
+        None => default,
+        Some((_, raw)) => raw
+            .parse()
+            .unwrap_or_else(|_| exit_usage(&format!("{name} has an invalid value {raw:?}"))),
+    }
+}
+
+fn main() {
+    let (opts, extra) = ExpOptions::parse_with_or_exit(
+        std::env::args(),
+        &["--addr", "--clients", "--requests", "--path"],
+        USAGE,
+    );
+    let with_evolve = opts.has_flag("--evolve");
+    if let Some(unknown) = opts.flags.iter().find(|f| f.as_str() != "--evolve") {
+        exit_usage(&format!("unrecognized flag {unknown:?}"));
+    }
+
+    let addr: SocketAddr = match extra.iter().find(|(k, _)| k == "--addr") {
+        None => exit_usage("--addr HOST:PORT is required"),
+        Some((_, raw)) => raw
+            .parse()
+            .unwrap_or_else(|_| exit_usage(&format!("--addr has an invalid value {raw:?}"))),
+    };
+    let clients: usize = extra_value(&extra, "--clients", 8);
+    let requests: usize = extra_value(&extra, "--requests", 200);
+    if clients == 0 || requests == 0 {
+        exit_usage("--clients and --requests must be positive");
+    }
+    let paths: Vec<String> = extra_value::<String>(&extra, "--path", "/table1".into())
+        .split(',')
+        .map(str::to_string)
+        .collect();
+
+    let timeout = Duration::from_secs(30);
+    if client::get(addr, "/healthz", timeout).is_err() {
+        eprintln!("error: no server answering on {addr} (start `serve` first)");
+        std::process::exit(1);
+    }
+
+    eprintln!(
+        "loadgen: {clients} clients x {requests} requests over {:?}{} against {addr}",
+        paths,
+        if with_evolve { " + POST /evolve" } else { "" }
+    );
+
+    let wall = Instant::now();
+    // One scoped thread per client, via the same fan-out primitive the
+    // pipeline uses. Each entry: (latency, status or 0 on transport error).
+    let per_client: Vec<Vec<(Duration, u16)>> =
+        cuisine_exec::par_map_range(clients, Some(clients), |client_index| {
+            let mut samples = Vec::with_capacity(requests);
+            for i in 0..requests {
+                let slot = client_index + i * clients;
+                let use_evolve = with_evolve && slot % (paths.len() + 1) == paths.len();
+                let started = Instant::now();
+                let outcome = if use_evolve {
+                    client::post_json(addr, "/evolve", EVOLVE_BODY, timeout)
+                } else {
+                    client::get(addr, &paths[slot % paths.len()], timeout)
+                };
+                let status = outcome.map(|r| r.status).unwrap_or(0);
+                samples.push((started.elapsed(), status));
+            }
+            samples
+        });
+    let elapsed = wall.elapsed();
+
+    let mut latencies: Vec<Duration> = Vec::with_capacity(clients * requests);
+    let mut ok = 0usize;
+    let mut shed = 0usize;
+    let mut errors = 0usize;
+    for (latency, status) in per_client.into_iter().flatten() {
+        match status {
+            200 => ok += 1,
+            503 => shed += 1,
+            0 => errors += 1,
+            _ => errors += 1,
+        }
+        latencies.push(latency);
+    }
+    latencies.sort();
+    let total = latencies.len();
+    let pct = |p: f64| latencies[((p * total as f64).ceil() as usize).clamp(1, total) - 1];
+    let mean = latencies.iter().sum::<Duration>() / total as u32;
+
+    println!("requests:    {total} ({ok} ok, {shed} shed/503, {errors} errors)");
+    println!("wall time:   {elapsed:.2?}");
+    println!(
+        "throughput:  {:.0} req/s",
+        total as f64 / elapsed.as_secs_f64()
+    );
+    println!(
+        "latency:     mean {mean:.2?}  p50 {:.2?}  p90 {:.2?}  p99 {:.2?}  max {:.2?}",
+        pct(0.50),
+        pct(0.90),
+        pct(0.99),
+        latencies[total - 1]
+    );
+    if errors > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,171 @@
+//! `serve` — boot the analytics server over a synthetic corpus.
+//!
+//! ```sh
+//! cargo run --release -p cuisine-serve --bin serve -- \
+//!     [--scale 0.1] [--seed 42] [--threads N] [--no-cache] \
+//!     [--replicates 100] [--port 7878] [--queue 64] [--lru 128] \
+//!     [--self-check]
+//! ```
+//!
+//! `--replicates` sets the Fig. 4 snapshot ensembles (the startup-cost
+//! knob). `--self-check` boots on an ephemeral port, drives the in-process
+//! client through `/healthz`, an artifact endpoint, and `POST /evolve`,
+//! verifies the served bytes against the snapshot store, shuts down
+//! gracefully, and exits — the CI smoke test.
+
+use std::time::{Duration, Instant};
+
+use cuisine_bench::ExpOptions;
+use cuisine_core::Experiment;
+use cuisine_evolution::{EnsembleConfig, EvaluationConfig, ModelKind};
+use cuisine_serve::{client, AppState, Server, ServerConfig, SnapshotStore};
+
+const USAGE: &str = "serve [--scale F] [--seed N] [--threads N] [--no-cache] \
+[--replicates N] [--port N] [--queue N] [--lru N] [--self-check]";
+
+fn extra_value<T: std::str::FromStr>(
+    extra: &[(String, String)],
+    name: &str,
+    default: T,
+) -> T {
+    match extra.iter().rev().find(|(k, _)| k == name) {
+        None => default,
+        Some((_, raw)) => raw.parse().unwrap_or_else(|_| {
+            eprintln!("error: {name} has an invalid value {raw:?}");
+            eprintln!("usage: {USAGE}");
+            std::process::exit(2);
+        }),
+    }
+}
+
+fn main() {
+    let (opts, extra) = ExpOptions::parse_with_or_exit(
+        std::env::args(),
+        &["--port", "--queue", "--lru"],
+        USAGE,
+    );
+    let self_check = opts.has_flag("--self-check");
+    if let Some(unknown) = opts.flags.iter().find(|f| f.as_str() != "--self-check") {
+        eprintln!("error: unrecognized flag {unknown:?}");
+        eprintln!("usage: {USAGE}");
+        std::process::exit(2);
+    }
+
+    let config = ServerConfig {
+        port: if self_check { 0 } else { extra_value(&extra, "--port", 7878) },
+        threads: opts.threads,
+        queue_capacity: extra_value(&extra, "--queue", 64),
+        lru_capacity: extra_value(&extra, "--lru", 128),
+        ..Default::default()
+    };
+
+    eprintln!(
+        "cuisine-serve: generating corpus (scale {}, seed {}) ...",
+        opts.scale, opts.seed
+    );
+    let started = Instant::now();
+    let experiment = Experiment::synthetic_with(&opts.synth_config(), opts.pipeline_config());
+    eprintln!(
+        "corpus ready: {} recipes in {:.2?}",
+        experiment.corpus().len(),
+        started.elapsed()
+    );
+
+    let fig4 = EvaluationConfig {
+        ensemble: EnsembleConfig {
+            replicates: opts.replicates.max(1),
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let version = format!(
+        "synth-seed{}-scale{}-r{}",
+        opts.seed, opts.scale, fig4.ensemble.replicates
+    );
+    eprintln!(
+        "building snapshots ({} fig4 replicates/model/cuisine) ...",
+        fig4.ensemble.replicates
+    );
+    let snap_started = Instant::now();
+    let snapshots = SnapshotStore::build(&experiment, version, &ModelKind::ALL, &fig4);
+    eprintln!(
+        "{} snapshots ({} KiB) in {:.2?}",
+        snapshots.len(),
+        snapshots.total_bytes() / 1024,
+        snap_started.elapsed()
+    );
+
+    let state = AppState::new(experiment, snapshots, config.lru_capacity);
+    let server = Server::start(state, config).unwrap_or_else(|e| {
+        eprintln!("error: failed to bind server: {e}");
+        std::process::exit(1);
+    });
+    println!("listening on http://{}", server.addr());
+
+    if self_check {
+        self_check_and_exit(server);
+    }
+
+    eprintln!("press Enter for graceful shutdown (or send SIGKILL)");
+    let mut line = String::new();
+    match std::io::stdin().read_line(&mut line) {
+        Ok(0) | Err(_) => {
+            // No interactive stdin (detached run): serve until killed.
+            loop {
+                std::thread::park();
+            }
+        }
+        Ok(_) => {
+            eprintln!("draining ...");
+            server.shutdown();
+            eprintln!("bye");
+        }
+    }
+}
+
+/// The CI smoke path: exercise the live server through the real client.
+fn self_check_and_exit(server: Server) -> ! {
+    let addr = server.addr();
+    let timeout = Duration::from_secs(10);
+    let mut failures = 0u32;
+
+    let mut check = |label: &str, ok: bool| {
+        if ok {
+            eprintln!("self-check: {label} ... ok");
+        } else {
+            eprintln!("self-check: {label} ... FAILED");
+            failures += 1;
+        }
+    };
+
+    let health = client::get(addr, "/healthz", timeout);
+    check("/healthz is 200", health.as_ref().is_ok_and(|r| r.status == 200));
+
+    let table1 = client::get(addr, "/table1", timeout);
+    let expected = server.state().snapshots.get("/table1");
+    check(
+        "/table1 matches the snapshot bytes",
+        matches!((&table1, &expected), (Ok(r), Some(snap)) if r.status == 200
+            && r.body == **snap),
+    );
+
+    let body = r#"{"cuisine":"ITA","model":"NM","seed":1,"replicates":2}"#;
+    let evolve_a = client::post_json(addr, "/evolve", body, timeout);
+    let evolve_b = client::post_json(addr, "/evolve", body, timeout);
+    check(
+        "POST /evolve is deterministic",
+        matches!((&evolve_a, &evolve_b), (Ok(a), Ok(b)) if a.status == 200 && a.body == b.body),
+    );
+
+    let missing = client::get(addr, "/no-such-endpoint", timeout);
+    check("unknown path is 404", missing.is_ok_and(|r| r.status == 404));
+
+    server.shutdown();
+    eprintln!("self-check: graceful shutdown ... ok");
+    if failures == 0 {
+        println!("self-check passed");
+        std::process::exit(0);
+    }
+    eprintln!("self-check: {failures} failure(s)");
+    std::process::exit(1);
+}

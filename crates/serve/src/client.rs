@@ -1,0 +1,129 @@
+//! A minimal blocking HTTP/1.1 client.
+//!
+//! Shared by the integration tests, the `serve --self-check` smoke path,
+//! and the `loadgen` binary — the same client drives all three, so the CI
+//! smoke test exercises exactly the code path the benchmarks measure.
+//! One request per connection, mirroring the server's `Connection: close`
+//! model.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A parsed response: status code and body bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+/// Perform one request. `body` implies `POST` with a JSON content type;
+/// otherwise a `GET` is sent.
+pub fn request(
+    addr: SocketAddr,
+    path: &str,
+    body: Option<&[u8]>,
+    timeout: Duration,
+) -> std::io::Result<ClientResponse> {
+    let stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let _ = stream.set_nodelay(true);
+    let mut stream = stream;
+
+    match body {
+        None => write!(
+            stream,
+            "GET {path} HTTP/1.1\r\nhost: {addr}\r\nconnection: close\r\n\r\n"
+        )?,
+        Some(payload) => {
+            write!(
+                stream,
+                "POST {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+                payload.len()
+            )?;
+            stream.write_all(payload)?;
+        }
+    }
+    stream.flush()?;
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    parse_response(&raw)
+}
+
+/// `GET path`.
+pub fn get(addr: SocketAddr, path: &str, timeout: Duration) -> std::io::Result<ClientResponse> {
+    request(addr, path, None, timeout)
+}
+
+/// `POST path` with a JSON body.
+pub fn post_json(
+    addr: SocketAddr,
+    path: &str,
+    json: &str,
+    timeout: Duration,
+) -> std::io::Result<ClientResponse> {
+    request(addr, path, Some(json.as_bytes()), timeout)
+}
+
+fn invalid(message: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, message)
+}
+
+/// Split a raw `Connection: close` response into status and body.
+fn parse_response(raw: &[u8]) -> std::io::Result<ClientResponse> {
+    let header_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| invalid("response has no header terminator"))?;
+    let head = std::str::from_utf8(&raw[..header_end])
+        .map_err(|_| invalid("non-UTF-8 response head"))?;
+    let status_line = head.lines().next().ok_or_else(|| invalid("empty response"))?;
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| invalid("malformed status line"))?;
+    let body = raw[header_end + 4..].to_vec();
+
+    // `content-length` is always present; verify we read the whole body
+    // so truncated (reset) responses surface as errors, not short bodies.
+    let declared = head
+        .lines()
+        .find_map(|l| l.split_once(':').filter(|(k, _)| k.trim().eq_ignore_ascii_case("content-length")))
+        .and_then(|(_, v)| v.trim().parse::<usize>().ok());
+    if let Some(declared) = declared {
+        if declared != body.len() {
+            return Err(invalid("truncated response body"));
+        }
+    }
+    Ok(ClientResponse { status, body })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_complete_response() {
+        let raw = b"HTTP/1.1 200 OK\r\ncontent-length: 4\r\n\r\nbody";
+        let r = parse_response(raw).unwrap();
+        assert_eq!(r.status, 200);
+        assert_eq!(r.body, b"body");
+    }
+
+    #[test]
+    fn rejects_truncated_bodies() {
+        let raw = b"HTTP/1.1 200 OK\r\ncontent-length: 10\r\n\r\nbody";
+        assert!(parse_response(raw).is_err());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_response(b"not http").is_err());
+        assert!(parse_response(b"HTTP/1.1 abc\r\n\r\n").is_err());
+    }
+}

@@ -1,0 +1,237 @@
+//! `POST /evolve` — on-demand evolution-model ensembles.
+//!
+//! The one endpoint that computes per request instead of serving a
+//! snapshot. The request names a cuisine, a model, a master seed, and a
+//! replicate count; the handler runs the same
+//! [`evaluate_model_on_cuisine`] path as the batch Fig. 4 pipeline —
+//! sharing the experiment's `TransactionCache` for the empirical curve —
+//! and returns the aggregated curve plus its Eq. 2 distance.
+//!
+//! Determinism contract: ensemble replicate seeds derive only from
+//! `(seed, replicate index)` ([`cuisine_evolution::replicate_seed`]), so
+//! the response body for a given request body is **byte-identical** across
+//! repeated requests, worker threads, and server pool sizes. Request cost
+//! is bounded by [`MAX_REPLICATES`]; anything larger is rejected with
+//! `422` before any work happens.
+
+use cuisine_core::Experiment;
+use cuisine_data::CuisineId;
+use cuisine_evolution::{
+    evaluate_model_on_cuisine, CuisineSetup, EnsembleConfig, EvaluationConfig, ModelKind,
+    ModelParams,
+};
+use cuisine_mining::{CombinationAnalysis, ItemMode, TransactionSource};
+use serde::{Map, Value};
+
+use crate::http::{HttpError, Response};
+
+/// Upper bound on replicates per request (paper ensembles use 100 in
+/// batch; serving bounds request cost instead).
+pub const MAX_REPLICATES: usize = 64;
+
+/// A validated `/evolve` request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvolveRequest {
+    /// Cuisine to model.
+    pub cuisine: CuisineId,
+    /// Evolution model to run.
+    pub model: ModelKind,
+    /// Master ensemble seed (same seed ⇒ byte-identical response).
+    pub seed: u64,
+    /// Replicates to aggregate (1..=[`MAX_REPLICATES`]).
+    pub replicates: usize,
+    /// Combination granularity for the mined curves.
+    pub mode: ItemMode,
+}
+
+fn parse_model(label: &str) -> Option<ModelKind> {
+    ModelKind::ALL
+        .into_iter()
+        .find(|k| k.label().eq_ignore_ascii_case(label))
+}
+
+fn parse_mode(label: &str) -> Option<ItemMode> {
+    match label.to_ascii_lowercase().as_str() {
+        "ingredient" | "ingredients" => Some(ItemMode::Ingredients),
+        "category" | "categories" => Some(ItemMode::Categories),
+        _ => None,
+    }
+}
+
+impl EvolveRequest {
+    /// Parse and validate a JSON request body.
+    ///
+    /// Shape: `{"cuisine": "ITA", "model": "CM-M", "seed": 42,
+    /// "replicates": 16, "mode": "ingredient"}`. `seed` defaults to the
+    /// batch ensemble default, `replicates` to 8, `mode` to ingredients.
+    /// Unknown fields are rejected (`422`) so typos cannot silently fall
+    /// back to defaults; malformed JSON is `400`.
+    pub fn from_json(body: &[u8]) -> Result<Self, HttpError> {
+        let text = std::str::from_utf8(body)
+            .map_err(|_| HttpError::bad_request("body is not UTF-8"))?;
+        let value: Value = serde_json::from_str(text)
+            .map_err(|e| HttpError::bad_request(format!("invalid JSON body: {e}")))?;
+        let object = value
+            .as_object()
+            .ok_or_else(|| HttpError::bad_request("body must be a JSON object"))?;
+
+        for (key, _) in object.iter() {
+            if !matches!(key, "cuisine" | "model" | "seed" | "replicates" | "mode") {
+                return Err(HttpError::new(422, format!("unknown field {key:?}")));
+            }
+        }
+
+        let cuisine_label = object
+            .get("cuisine")
+            .and_then(Value::as_str)
+            .ok_or_else(|| HttpError::new(422, "field \"cuisine\" (string) is required"))?;
+        let cuisine: CuisineId = cuisine_label
+            .parse()
+            .map_err(|_| HttpError::new(422, format!("unknown cuisine {cuisine_label:?}")))?;
+
+        let model_label = object
+            .get("model")
+            .and_then(Value::as_str)
+            .ok_or_else(|| HttpError::new(422, "field \"model\" (string) is required"))?;
+        let model = parse_model(model_label).ok_or_else(|| {
+            HttpError::new(422, format!("unknown model {model_label:?} (CM-R/CM-C/CM-M/NM)"))
+        })?;
+
+        let seed = match object.get("seed") {
+            None => EnsembleConfig::default().seed,
+            Some(v) => v
+                .as_u64()
+                .ok_or_else(|| HttpError::new(422, "field \"seed\" must be a non-negative integer"))?,
+        };
+
+        let replicates = match object.get("replicates") {
+            None => 8,
+            Some(v) => v
+                .as_u64()
+                .ok_or_else(|| HttpError::new(422, "field \"replicates\" must be an integer"))?
+                as usize,
+        };
+        if replicates == 0 || replicates > MAX_REPLICATES {
+            return Err(HttpError::new(
+                422,
+                format!("\"replicates\" must be in 1..={MAX_REPLICATES}, got {replicates}"),
+            ));
+        }
+
+        let mode = match object.get("mode") {
+            None => ItemMode::Ingredients,
+            Some(v) => {
+                let label = v
+                    .as_str()
+                    .ok_or_else(|| HttpError::new(422, "field \"mode\" must be a string"))?;
+                parse_mode(label).ok_or_else(|| {
+                    HttpError::new(422, format!("unknown mode {label:?} (ingredient|category)"))
+                })?
+            }
+        };
+
+        Ok(EvolveRequest { cuisine, model, seed, replicates, mode })
+    }
+}
+
+/// Run the requested ensemble and render the response body.
+///
+/// Replicate ensembles run sequentially on the worker thread
+/// (`threads: Some(1)`) — the pool already provides request-level
+/// parallelism, and the determinism contract makes the thread knob
+/// value-neutral anyway.
+pub fn handle_evolve(request: &EvolveRequest, experiment: &Experiment) -> Result<Response, HttpError> {
+    let corpus = experiment.corpus();
+    let lexicon = experiment.lexicon();
+    let setup = CuisineSetup::from_corpus(corpus, request.cuisine).ok_or_else(|| {
+        HttpError::new(422, format!("cuisine {} has no recipes in this corpus", request.cuisine))
+    })?;
+
+    let config = EvaluationConfig {
+        ensemble: EnsembleConfig {
+            replicates: request.replicates,
+            seed: request.seed,
+            threads: Some(1),
+        },
+        mode: request.mode,
+        ..Default::default()
+    };
+
+    // Empirical curve through the shared transaction cache.
+    let source = TransactionSource::from(experiment.transaction_cache());
+    let transactions = source.cuisine(corpus, request.cuisine, request.mode, lexicon);
+    let empirical = CombinationAnalysis::mine(&transactions, config.min_support, config.miner)
+        .rank_frequency();
+
+    let params = ModelParams::paper(request.model);
+    let result =
+        evaluate_model_on_cuisine(request.model, &params, &setup, &empirical, lexicon, &config);
+
+    let mut doc = Map::new();
+    doc.insert("cuisine", Value::String(request.cuisine.code().to_string()));
+    doc.insert("model", Value::String(request.model.label().to_string()));
+    doc.insert("seed", Value::U64(request.seed));
+    doc.insert("replicates", Value::U64(request.replicates as u64));
+    doc.insert(
+        "mode",
+        serde_json::to_value(&request.mode).map_err(|e| HttpError::new(500, e.to_string()))?,
+    );
+    doc.insert(
+        "empirical",
+        serde_json::to_value(&empirical).map_err(|e| HttpError::new(500, e.to_string()))?,
+    );
+    doc.insert(
+        "result",
+        serde_json::to_value(&result).map_err(|e| HttpError::new(500, e.to_string()))?,
+    );
+    let body = serde_json::to_string(&Value::Object(doc))
+        .map_err(|e| HttpError::new(500, e.to_string()))?;
+    Ok(Response::json(200, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_request() {
+        let req = EvolveRequest::from_json(
+            br#"{"cuisine":"ITA","model":"cm-m","seed":9,"replicates":4,"mode":"categories"}"#,
+        )
+        .unwrap();
+        assert_eq!(req.cuisine.code(), "ITA");
+        assert_eq!(req.model, ModelKind::CmM);
+        assert_eq!(req.seed, 9);
+        assert_eq!(req.replicates, 4);
+        assert_eq!(req.mode, ItemMode::Categories);
+    }
+
+    #[test]
+    fn defaults_are_applied() {
+        let req = EvolveRequest::from_json(br#"{"cuisine":"Italy","model":"NM"}"#).unwrap();
+        assert_eq!(req.seed, EnsembleConfig::default().seed);
+        assert_eq!(req.replicates, 8);
+        assert_eq!(req.mode, ItemMode::Ingredients);
+    }
+
+    #[test]
+    fn rejects_bad_requests_with_the_right_status() {
+        assert_eq!(EvolveRequest::from_json(b"not json").unwrap_err().status, 400);
+        assert_eq!(EvolveRequest::from_json(b"[1,2]").unwrap_err().status, 400);
+        let cases: &[&[u8]] = &[
+            br#"{"model":"NM"}"#,                                     // missing cuisine
+            br#"{"cuisine":"ITA"}"#,                                  // missing model
+            br#"{"cuisine":"Atlantis","model":"NM"}"#,                // unknown cuisine
+            br#"{"cuisine":"ITA","model":"GPT"}"#,                    // unknown model
+            br#"{"cuisine":"ITA","model":"NM","replicates":0}"#,      // zero replicates
+            br#"{"cuisine":"ITA","model":"NM","replicates":1000}"#,   // over budget
+            br#"{"cuisine":"ITA","model":"NM","seed":-4}"#,           // negative seed
+            br#"{"cuisine":"ITA","model":"NM","mode":"vibes"}"#,      // unknown mode
+            br#"{"cuisine":"ITA","model":"NM","surprise":1}"#,        // unknown field
+        ];
+        for body in cases {
+            let err = EvolveRequest::from_json(body).unwrap_err();
+            assert_eq!(err.status, 422, "body={:?} err={err}", String::from_utf8_lossy(body));
+        }
+    }
+}

@@ -1,0 +1,540 @@
+//! Minimal, bounded HTTP/1.1 request parsing and response serialization.
+//!
+//! Built directly on `std::io` — the container has no registry access, so
+//! there is no hyper/axum to lean on (see `vendor/README.md`). The subset
+//! implemented is exactly what the analytics endpoints need:
+//!
+//! * `GET`/`POST` with a path, a query string, and headers;
+//! * bounded everything: request line ≤ [`MAX_REQUEST_LINE`], each header
+//!   line ≤ [`MAX_HEADER_LINE`], at most [`MAX_HEADERS`] headers, body ≤
+//!   [`MAX_BODY`] (`Content-Length` required for bodies; chunked encoding
+//!   is answered with `501`);
+//! * strict parsing: any malformed input yields an [`HttpError`] with a
+//!   4xx/5xx status — **never** a panic (property-tested in
+//!   `tests/http_properties.rs`);
+//! * `Connection: close` semantics — one request per connection, which
+//!   keeps the worker-pool accounting exact and suits a snapshot-serving
+//!   workload where response reuse happens in the LRU layer, not in
+//!   keep-alive connections.
+
+use std::io::{BufRead, Write};
+use std::sync::Arc;
+
+/// Maximum request-line length in bytes.
+pub const MAX_REQUEST_LINE: usize = 8 * 1024;
+/// Maximum single header-line length in bytes.
+pub const MAX_HEADER_LINE: usize = 8 * 1024;
+/// Maximum number of headers.
+pub const MAX_HEADERS: usize = 64;
+/// Maximum request-body length in bytes.
+pub const MAX_BODY: usize = 64 * 1024;
+
+/// Request methods understood by the server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// HTTP GET.
+    Get,
+    /// HTTP POST.
+    Post,
+}
+
+impl Method {
+    /// Canonical spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Method::Get => "GET",
+            Method::Post => "POST",
+        }
+    }
+}
+
+/// A parse/handling failure carrying the HTTP status to answer with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpError {
+    /// Response status code (4xx/5xx).
+    pub status: u16,
+    /// Human-readable reason, returned in the JSON error body.
+    pub message: String,
+}
+
+impl HttpError {
+    /// Build an error with an explicit status.
+    pub fn new(status: u16, message: impl Into<String>) -> Self {
+        HttpError { status, message: message.into() }
+    }
+
+    /// Shorthand for a `400 Bad Request`.
+    pub fn bad_request(message: impl Into<String>) -> Self {
+        Self::new(400, message)
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {}", self.status, self.message)
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// A parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method.
+    pub method: Method,
+    /// Percent-decoded path (always starts with `/`).
+    pub path: String,
+    /// Percent-decoded query parameters in request order.
+    pub query: Vec<(String, String)>,
+    /// Headers with lowercased names, in request order.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header with the given (lowercase) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+
+    /// First query parameter with the given name.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+}
+
+fn hex_value(b: u8) -> Option<u8> {
+    match b {
+        b'0'..=b'9' => Some(b - b'0'),
+        b'a'..=b'f' => Some(b - b'a' + 10),
+        b'A'..=b'F' => Some(b - b'A' + 10),
+        _ => None,
+    }
+}
+
+/// Percent-decode a path or query component.
+///
+/// `plus_as_space` enables the `application/x-www-form-urlencoded` rule of
+/// decoding `+` to a space (used for query components, not paths). Invalid
+/// escapes and non-UTF-8 results are a `400`.
+pub fn percent_decode(s: &str, plus_as_space: bool) -> Result<String, HttpError> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let (hi, lo) = match (bytes.get(i + 1), bytes.get(i + 2)) {
+                    (Some(&hi), Some(&lo)) => (hi, lo),
+                    _ => return Err(HttpError::bad_request("truncated percent escape")),
+                };
+                let (hi, lo) = match (hex_value(hi), hex_value(lo)) {
+                    (Some(hi), Some(lo)) => (hi, lo),
+                    _ => return Err(HttpError::bad_request("invalid percent escape")),
+                };
+                out.push(hi << 4 | lo);
+                i += 3;
+            }
+            b'+' if plus_as_space => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out)
+        .map_err(|_| HttpError::bad_request("percent escapes decode to invalid UTF-8"))
+}
+
+/// Percent-encode a decoded component for canonical cache keys.
+///
+/// Unreserved characters (RFC 3986) pass through; everything else becomes
+/// uppercase `%XX`, so every spelling of the same decoded string
+/// canonicalizes identically.
+pub fn percent_encode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for &b in s.as_bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' | b'/' => {
+                out.push(b as char);
+            }
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+/// Parse a raw query string into decoded `(key, value)` pairs.
+///
+/// Empty segments (`a=1&&b=2`) are skipped; a segment without `=` becomes
+/// a key with an empty value.
+pub fn parse_query(raw: &str) -> Result<Vec<(String, String)>, HttpError> {
+    let mut out = Vec::new();
+    for segment in raw.split('&') {
+        if segment.is_empty() {
+            continue;
+        }
+        let (k, v) = segment.split_once('=').unwrap_or((segment, ""));
+        out.push((percent_decode(k, true)?, percent_decode(v, true)?));
+    }
+    Ok(out)
+}
+
+/// A parsed request line: `(method, decoded path, decoded query pairs)`.
+pub type RequestLine = (Method, String, Vec<(String, String)>);
+
+/// Parse an HTTP/1.x request line into `(method, path, query)`.
+///
+/// Strict shape: `METHOD SP request-target SP HTTP/1.[01]`. Unknown
+/// methods are `405`, other protocol versions `505`, everything else
+/// malformed is `400`.
+pub fn parse_request_line(line: &str) -> Result<RequestLine, HttpError> {
+    let mut parts = line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next())
+    {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => return Err(HttpError::bad_request("malformed request line")),
+    };
+    let method = match method {
+        "GET" => Method::Get,
+        "POST" => Method::Post,
+        "HEAD" | "PUT" | "DELETE" | "OPTIONS" | "PATCH" | "TRACE" | "CONNECT" => {
+            return Err(HttpError::new(405, format!("method {method} not supported")));
+        }
+        _ => return Err(HttpError::bad_request("unrecognized method token")),
+    };
+    match version {
+        "HTTP/1.1" | "HTTP/1.0" => {}
+        v if v.starts_with("HTTP/") => {
+            return Err(HttpError::new(505, format!("unsupported protocol version {v}")));
+        }
+        _ => return Err(HttpError::bad_request("malformed protocol version")),
+    }
+    if !target.starts_with('/') {
+        return Err(HttpError::bad_request("request target must be an absolute path"));
+    }
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let path = percent_decode(raw_path, false)?;
+    if path.bytes().any(|b| b.is_ascii_control()) {
+        return Err(HttpError::bad_request("control characters in path"));
+    }
+    Ok((method, path, parse_query(raw_query)?))
+}
+
+/// Parse one header line into a `(lowercased-name, trimmed-value)` pair.
+pub fn parse_header_line(line: &str) -> Result<(String, String), HttpError> {
+    let (name, value) =
+        line.split_once(':').ok_or_else(|| HttpError::bad_request("header line without colon"))?;
+    if name.is_empty()
+        || !name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'-' | b'_' | b'.'))
+    {
+        return Err(HttpError::bad_request("invalid header name"));
+    }
+    let value = value.trim();
+    if value.bytes().any(|b| b.is_ascii_control() && b != b'\t') {
+        return Err(HttpError::bad_request("control characters in header value"));
+    }
+    Ok((name.to_ascii_lowercase(), value.to_string()))
+}
+
+/// Read one CRLF/LF-terminated line of at most `max` bytes (terminator
+/// excluded) and return it without the terminator.
+fn read_line_bounded<R: BufRead>(reader: &mut R, max: usize) -> Result<String, HttpError> {
+    let mut line = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match reader.read(&mut byte) {
+            Ok(0) => {
+                if line.is_empty() {
+                    return Err(HttpError::bad_request("connection closed before request"));
+                }
+                return Err(HttpError::bad_request("unexpected end of stream"));
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    return String::from_utf8(line)
+                        .map_err(|_| HttpError::bad_request("non-UTF-8 bytes in header section"));
+                }
+                if line.len() >= max {
+                    return Err(HttpError::new(431, "header section line too long"));
+                }
+                line.push(byte[0]);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock
+                || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                return Err(HttpError::new(408, "timed out reading request"));
+            }
+            Err(_) => return Err(HttpError::bad_request("I/O error reading request")),
+        }
+    }
+}
+
+/// Read and parse one full request from a buffered stream, enforcing every
+/// bound documented at the [module level](self).
+pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, HttpError> {
+    let line = read_line_bounded(reader, MAX_REQUEST_LINE)?;
+    let (method, path, query) = parse_request_line(&line)?;
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line_bounded(reader, MAX_HEADER_LINE)?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(HttpError::new(431, "too many headers"));
+        }
+        headers.push(parse_header_line(&line)?);
+    }
+
+    let mut request = Request { method, path, query, headers, body: Vec::new() };
+    if request
+        .header("transfer-encoding")
+        .is_some_and(|v| !v.eq_ignore_ascii_case("identity"))
+    {
+        return Err(HttpError::new(501, "transfer-encoding is not supported"));
+    }
+    if let Some(len) = request.header("content-length") {
+        let len: usize = len
+            .parse()
+            .map_err(|_| HttpError::bad_request("invalid content-length"))?;
+        if len > MAX_BODY {
+            return Err(HttpError::new(413, format!("body exceeds {MAX_BODY} bytes")));
+        }
+        let mut body = vec![0u8; len];
+        reader
+            .read_exact(&mut body)
+            .map_err(|_| HttpError::bad_request("body shorter than content-length"))?;
+        request.body = body;
+    } else if request.method == Method::Post {
+        return Err(HttpError::new(411, "POST requires content-length"));
+    }
+    Ok(request)
+}
+
+/// Canonical cache key for a request: method, path with redundant trailing
+/// slash removed, and the query re-encoded with sorted parameters — so
+/// `/table1?a=1&b=2`, `/table1/?b=2&a=1`, and `/table1?b=%32&a=1` all map
+/// to one key.
+pub fn canonical_key(method: Method, path: &str, query: &[(String, String)]) -> String {
+    let trimmed = if path.len() > 1 { path.trim_end_matches('/') } else { path };
+    let trimmed = if trimmed.is_empty() { "/" } else { trimmed };
+    let mut sorted: Vec<&(String, String)> = query.iter().collect();
+    sorted.sort();
+    let mut key = format!("{} {}", method.as_str(), percent_encode(trimmed));
+    for (i, (k, v)) in sorted.into_iter().enumerate() {
+        key.push(if i == 0 { '?' } else { '&' });
+        key.push_str(&percent_encode(k));
+        key.push('=');
+        key.push_str(&percent_encode(v));
+    }
+    key
+}
+
+/// Reason phrase for the status codes this server emits.
+pub fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+/// A response: status, content type, and a shared body.
+///
+/// The body is an `Arc` so the LRU cache and snapshot store can hand out
+/// hits without copying the payload.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: Arc<Vec<u8>>,
+}
+
+impl Response {
+    /// A `200 OK` JSON response over a shared body.
+    pub fn json_shared(body: Arc<Vec<u8>>) -> Self {
+        Response { status: 200, content_type: "application/json", body }
+    }
+
+    /// A JSON response from an owned string.
+    pub fn json(status: u16, body: String) -> Self {
+        Response { status, content_type: "application/json", body: Arc::new(body.into_bytes()) }
+    }
+
+    /// A JSON error body `{"error": message, "status": status}`.
+    pub fn error(status: u16, message: &str) -> Self {
+        let mut map = serde::Map::new();
+        map.insert("error", serde::Value::String(message.to_string()));
+        map.insert("status", serde::Value::U64(u64::from(status)));
+        let body = serde_json::to_string(&serde::Value::Object(map))
+            .unwrap_or_else(|_| "{\"error\":\"internal\"}".to_string());
+        Response::json(status, body)
+    }
+
+    /// Serialize the full response (status line, headers, body) to `w`.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+        write!(
+            w,
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\nserver: cuisine-serve\r\n\r\n",
+            self.status,
+            status_reason(self.status),
+            self.content_type,
+            self.body.len()
+        )?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+impl From<&HttpError> for Response {
+    fn from(e: &HttpError) -> Self {
+        Response::error(e.status, &e.message)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Request, HttpError> {
+        read_request(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_a_plain_get() {
+        let req = parse("GET /table1 HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(req.method, Method::Get);
+        assert_eq!(req.path, "/table1");
+        assert!(req.query.is_empty());
+        assert_eq!(req.header("host"), Some("x"));
+    }
+
+    #[test]
+    fn parses_query_and_percent_escapes() {
+        let req = parse("GET /fig4/IT%41?mode=category&x=a+b HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.path, "/fig4/ITA");
+        assert_eq!(req.query_param("mode"), Some("category"));
+        assert_eq!(req.query_param("x"), Some("a b"));
+    }
+
+    #[test]
+    fn post_reads_body_exactly() {
+        let req = parse("POST /evolve HTTP/1.1\r\ncontent-length: 4\r\n\r\nabcd").unwrap();
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn post_without_length_is_411() {
+        assert_eq!(parse("POST /evolve HTTP/1.1\r\n\r\n").unwrap_err().status, 411);
+    }
+
+    #[test]
+    fn oversized_body_is_413() {
+        let raw = format!("POST /evolve HTTP/1.1\r\ncontent-length: {}\r\n\r\n", MAX_BODY + 1);
+        assert_eq!(parse(&raw).unwrap_err().status, 413);
+    }
+
+    #[test]
+    fn malformed_lines_are_400() {
+        for raw in [
+            "\r\n\r\n",
+            "GET\r\n\r\n",
+            "GET /x\r\n\r\n",
+            "GET /x HTTP/1.1 extra\r\n\r\n",
+            "GET relative HTTP/1.1\r\n\r\n",
+            "G3T /x HTTP/1.1\r\n\r\n",
+            "GET /x%zz HTTP/1.1\r\n\r\n",
+            "GET /x%f France HTTP/1.1\r\n\r\n",
+            "GET /x HTTP/1.1\r\nbad header\r\n\r\n",
+            "GET /x HTTP/1.1\r\n: empty\r\n\r\n",
+        ] {
+            assert_eq!(parse(raw).unwrap_err().status, 400, "raw={raw:?}");
+        }
+    }
+
+    #[test]
+    fn unsupported_method_and_version() {
+        assert_eq!(parse("PUT /x HTTP/1.1\r\n\r\n").unwrap_err().status, 405);
+        assert_eq!(parse("GET /x HTTP/2.0\r\n\r\n").unwrap_err().status, 505);
+    }
+
+    #[test]
+    fn oversized_request_line_is_431() {
+        let raw = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_REQUEST_LINE + 10));
+        assert_eq!(parse(&raw).unwrap_err().status, 431);
+    }
+
+    #[test]
+    fn too_many_headers_is_431() {
+        let mut raw = String::from("GET /x HTTP/1.1\r\n");
+        for i in 0..(MAX_HEADERS + 1) {
+            raw.push_str(&format!("h{i}: v\r\n"));
+        }
+        raw.push_str("\r\n");
+        assert_eq!(parse(&raw).unwrap_err().status, 431);
+    }
+
+    #[test]
+    fn chunked_encoding_is_501() {
+        let raw = "POST /evolve HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n";
+        assert_eq!(parse(raw).unwrap_err().status, 501);
+    }
+
+    #[test]
+    fn canonical_keys_normalize_order_slash_and_escapes() {
+        let a = canonical_key(
+            Method::Get,
+            "/table1/",
+            &[("b".into(), "2".into()), ("a".into(), "1".into())],
+        );
+        let b = canonical_key(
+            Method::Get,
+            "/table1",
+            &[("a".into(), "1".into()), ("b".into(), "2".into())],
+        );
+        assert_eq!(a, b);
+        assert_eq!(canonical_key(Method::Get, "/", &[]), "GET /");
+        // Decoded equivalence: `%32` is `2`.
+        let c = canonical_key(Method::Get, "/table1", &[("a".into(), "2".into())]);
+        assert!(c.ends_with("a=2"));
+    }
+
+    #[test]
+    fn responses_serialize_with_length() {
+        let mut out = Vec::new();
+        Response::error(404, "nope").write_to(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 404 Not Found\r\n"), "{text}");
+        assert!(text.contains("content-length:"), "{text}");
+        assert!(text.ends_with("{\"error\":\"nope\",\"status\":404}"), "{text}");
+    }
+}

@@ -1,0 +1,42 @@
+//! # cuisine-serve
+//!
+//! A dependency-free HTTP/1.1 serving layer over the deterministic
+//! analysis pipeline: every paper artifact (Table I, Figs. 1–4, the
+//! Eq. 2 similarity matrix) becomes an endpoint, precomputed once at
+//! startup and answered as a pure lookup.
+//!
+//! Layers (see DESIGN.md §7):
+//!
+//! * [`http`] — bounded, panic-free request parsing and response
+//!   serialization over `std::net` (no registry access exists, so there is
+//!   no hyper to lean on);
+//! * [`snapshot`] — versioned artifact bodies built through one shared
+//!   [`Experiment`](cuisine_core::Experiment) and its `TransactionCache`;
+//! * [`lru`] + [`metrics`] — response cache keyed on canonicalized
+//!   path+query, and the counters behind `/metrics`;
+//! * [`evolve`] — the one on-demand endpoint: seeded, bounded,
+//!   byte-deterministic ensemble runs;
+//! * [`router`] — endpoint table tying the above together;
+//! * [`server`] — accept loop, `cuisine-exec` worker pool, graceful
+//!   drain-on-shutdown;
+//! * [`client`] — the minimal blocking client shared by the integration
+//!   tests, `serve --self-check`, and `loadgen`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod client;
+pub mod evolve;
+pub mod http;
+pub mod lru;
+pub mod metrics;
+pub mod router;
+pub mod server;
+pub mod snapshot;
+#[cfg(test)]
+pub(crate) mod testutil;
+
+pub use http::{Request, Response};
+pub use router::AppState;
+pub use server::{Server, ServerConfig};
+pub use snapshot::SnapshotStore;

@@ -1,0 +1,145 @@
+//! A small LRU map for cached responses.
+//!
+//! Keys are canonicalized request keys ([`crate::http::canonical_key`]);
+//! values are whole [`Response`](crate::http::Response)s whose bodies are
+//! `Arc`-shared, so a hit costs one `HashMap` probe and one recency
+//! update, never a body copy.
+//!
+//! Implementation: a `HashMap` from key to `(recency tick, value)` plus a
+//! `BTreeMap` from tick to key as the recency index. Both reads and writes
+//! touch the tick, eviction removes the minimum tick — O(log n) per
+//! operation with plain `std` collections and no `unsafe` pointer chains.
+
+use std::collections::{BTreeMap, HashMap};
+
+/// A least-recently-used map with a fixed capacity.
+///
+/// `capacity == 0` disables the cache: `get` always misses and `insert` is
+/// a no-op (useful to A/B the cache from the CLI).
+#[derive(Debug)]
+pub struct Lru<V> {
+    capacity: usize,
+    tick: u64,
+    map: HashMap<String, (u64, V)>,
+    order: BTreeMap<u64, String>,
+}
+
+impl<V: Clone> Lru<V> {
+    /// Create a cache holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        Lru { capacity, tick: 0, map: HashMap::new(), order: BTreeMap::new() }
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    fn next_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Look up `key`, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &str) -> Option<V> {
+        let tick = self.next_tick();
+        let (old_tick, value) = self.map.get_mut(key)?;
+        let previous = std::mem::replace(old_tick, tick);
+        let slot = self.order.remove(&previous).expect("recency index in sync");
+        self.order.insert(tick, slot);
+        Some(value.clone())
+    }
+
+    /// Insert (or replace) `key`, evicting the least recently used entry
+    /// if the cache is full.
+    pub fn insert(&mut self, key: String, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        let tick = self.next_tick();
+        if let Some((old_tick, _)) = self.map.remove(&key) {
+            self.order.remove(&old_tick);
+        } else if self.map.len() >= self.capacity {
+            if let Some((&oldest, _)) = self.order.iter().next() {
+                let evicted = self.order.remove(&oldest).expect("recency index in sync");
+                self.map.remove(&evicted);
+            }
+        }
+        self.order.insert(tick, key.clone());
+        self.map.insert(key, (tick, value));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used_in_order() {
+        let mut lru = Lru::new(2);
+        lru.insert("a".into(), 1);
+        lru.insert("b".into(), 2);
+        lru.insert("c".into(), 3); // evicts "a"
+        assert_eq!(lru.get("a"), None);
+        assert_eq!(lru.get("b"), Some(2));
+        assert_eq!(lru.get("c"), Some(3));
+        assert_eq!(lru.len(), 2);
+    }
+
+    #[test]
+    fn get_refreshes_recency() {
+        let mut lru = Lru::new(2);
+        lru.insert("a".into(), 1);
+        lru.insert("b".into(), 2);
+        assert_eq!(lru.get("a"), Some(1)); // "b" is now the LRU entry
+        lru.insert("c".into(), 3); // evicts "b"
+        assert_eq!(lru.get("b"), None);
+        assert_eq!(lru.get("a"), Some(1));
+        assert_eq!(lru.get("c"), Some(3));
+    }
+
+    #[test]
+    fn reinsert_replaces_value_and_recency() {
+        let mut lru = Lru::new(2);
+        lru.insert("a".into(), 1);
+        lru.insert("b".into(), 2);
+        lru.insert("a".into(), 10); // refresh "a"; "b" becomes LRU
+        lru.insert("c".into(), 3); // evicts "b"
+        assert_eq!(lru.get("a"), Some(10));
+        assert_eq!(lru.get("b"), None);
+        assert_eq!(lru.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables_the_cache() {
+        let mut lru = Lru::new(0);
+        lru.insert("a".into(), 1);
+        assert_eq!(lru.get("a"), None);
+        assert!(lru.is_empty());
+    }
+
+    #[test]
+    fn long_mixed_sequence_stays_consistent() {
+        let mut lru = Lru::new(8);
+        for i in 0..200u32 {
+            lru.insert(format!("k{}", i % 13), i);
+            let _ = lru.get(&format!("k{}", (i * 7) % 13));
+            assert!(lru.len() <= 8);
+        }
+        // Map and recency index agree on membership.
+        assert_eq!(lru.map.len(), lru.order.len());
+        for key in lru.order.values() {
+            assert!(lru.map.contains_key(key));
+        }
+    }
+}

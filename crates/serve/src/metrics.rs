@@ -1,0 +1,231 @@
+//! Lock-free request metrics for the `/metrics` endpoint.
+//!
+//! Everything is `AtomicU64` counters updated on the worker threads:
+//! request counts by status class, a fixed log-spaced latency histogram
+//! (for percentile estimates without storing samples), cache hit/miss
+//! counts, and shed (`503`) counts. Gauges that belong to the server —
+//! worker count and live pool depth — are published into [`Gauges`] by the
+//! accept loop so the metrics endpoint never needs a handle on the pool
+//! itself.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use serde::{Map, Value};
+
+/// Upper bounds (µs) of the latency histogram buckets; the last bucket is
+/// unbounded.
+pub const LATENCY_BOUNDS_US: [u64; 12] =
+    [50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 1_000_000];
+
+/// Gauges owned by the server and read by `/metrics`.
+#[derive(Debug, Default)]
+pub struct Gauges {
+    /// Jobs queued or running in the worker pool.
+    pub pool_depth: AtomicUsize,
+    /// Worker-thread count.
+    pub workers: AtomicUsize,
+}
+
+/// Aggregated request counters. All methods are safe to call concurrently.
+#[derive(Debug)]
+pub struct Metrics {
+    started: Instant,
+    requests: AtomicU64,
+    by_class: [AtomicU64; 5],
+    latency_total_us: AtomicU64,
+    latency_buckets: [AtomicU64; LATENCY_BOUNDS_US.len() + 1],
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    shed: AtomicU64,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Metrics {
+    /// Fresh counters with the uptime clock starting now.
+    pub fn new() -> Self {
+        Metrics {
+            started: Instant::now(),
+            requests: AtomicU64::new(0),
+            by_class: Default::default(),
+            latency_total_us: AtomicU64::new(0),
+            latency_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one completed request.
+    pub fn record(&self, status: u16, latency: Duration) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let class = (status / 100).clamp(1, 5) as usize - 1;
+        self.by_class[class].fetch_add(1, Ordering::Relaxed);
+        let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        self.latency_total_us.fetch_add(us, Ordering::Relaxed);
+        let bucket = LATENCY_BOUNDS_US
+            .iter()
+            .position(|&bound| us <= bound)
+            .unwrap_or(LATENCY_BOUNDS_US.len());
+        self.latency_buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record an LRU cache lookup outcome.
+    pub fn record_cache(&self, hit: bool) {
+        if hit {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Record a request shed with `503` because the pool queue was full.
+    pub fn record_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total requests recorded.
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Cache hits and misses recorded so far.
+    pub fn cache_counts(&self) -> (u64, u64) {
+        (self.cache_hits.load(Ordering::Relaxed), self.cache_misses.load(Ordering::Relaxed))
+    }
+
+    /// Latency percentile estimate in µs: the upper bound of the histogram
+    /// bucket containing quantile `p` (0 < p ≤ 1). `None` before any
+    /// request.
+    pub fn latency_percentile_us(&self, p: f64) -> Option<u64> {
+        let counts: Vec<u64> =
+            self.latency_buckets.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        let target = (p.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &count) in counts.iter().enumerate() {
+            seen += count;
+            if seen >= target {
+                return Some(*LATENCY_BOUNDS_US.get(i).unwrap_or(&u64::MAX));
+            }
+        }
+        Some(u64::MAX)
+    }
+
+    /// Render the metrics document served by `/metrics`.
+    pub fn to_json(&self, gauges: &Gauges, snapshot_version: &str, lru_len: usize) -> String {
+        let requests = self.requests();
+        let (hits, misses) = self.cache_counts();
+        let total_us = self.latency_total_us.load(Ordering::Relaxed);
+
+        let mut doc = Map::new();
+        doc.insert("service", Value::String("cuisine-serve".into()));
+        doc.insert("snapshot_version", Value::String(snapshot_version.into()));
+        doc.insert("uptime_seconds", Value::F64(self.started.elapsed().as_secs_f64()));
+        doc.insert("requests_total", Value::U64(requests));
+
+        let mut by_class = Map::new();
+        for (i, counter) in self.by_class.iter().enumerate() {
+            by_class.insert(format!("{}xx", i + 1), Value::U64(counter.load(Ordering::Relaxed)));
+        }
+        doc.insert("requests_by_class", Value::Object(by_class));
+        doc.insert("requests_shed", Value::U64(self.shed.load(Ordering::Relaxed)));
+
+        let mut latency = Map::new();
+        latency.insert(
+            "mean_us",
+            if requests == 0 {
+                Value::Null
+            } else {
+                Value::F64(total_us as f64 / requests as f64)
+            },
+        );
+        for (label, p) in [("p50_us", 0.50), ("p95_us", 0.95), ("p99_us", 0.99)] {
+            latency.insert(
+                label,
+                self.latency_percentile_us(p).map_or(Value::Null, Value::U64),
+            );
+        }
+        doc.insert("latency", Value::Object(latency));
+
+        let mut cache = Map::new();
+        cache.insert("hits", Value::U64(hits));
+        cache.insert("misses", Value::U64(misses));
+        cache.insert(
+            "hit_rate",
+            if hits + misses == 0 {
+                Value::Null
+            } else {
+                Value::F64(hits as f64 / (hits + misses) as f64)
+            },
+        );
+        cache.insert("entries", Value::U64(lru_len as u64));
+        doc.insert("response_cache", Value::Object(cache));
+
+        let mut pool = Map::new();
+        pool.insert("workers", Value::U64(gauges.workers.load(Ordering::Relaxed) as u64));
+        pool.insert("depth", Value::U64(gauges.pool_depth.load(Ordering::Relaxed) as u64));
+        doc.insert("pool", Value::Object(pool));
+
+        serde_json::to_string(&Value::Object(doc)).unwrap_or_else(|_| "{}".to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_track_the_histogram() {
+        let m = Metrics::new();
+        assert_eq!(m.latency_percentile_us(0.5), None);
+        for _ in 0..90 {
+            m.record(200, Duration::from_micros(40)); // bucket <=50
+        }
+        for _ in 0..10 {
+            m.record(200, Duration::from_millis(20)); // bucket <=25ms
+        }
+        assert_eq!(m.latency_percentile_us(0.50), Some(50));
+        assert_eq!(m.latency_percentile_us(0.90), Some(50));
+        assert_eq!(m.latency_percentile_us(0.99), Some(25_000));
+        assert_eq!(m.requests(), 100);
+    }
+
+    #[test]
+    fn json_document_has_the_headline_fields() {
+        let m = Metrics::new();
+        m.record(200, Duration::from_micros(120));
+        m.record(404, Duration::from_micros(80));
+        m.record_cache(true);
+        m.record_cache(false);
+        m.record_shed();
+        let gauges = Gauges::default();
+        gauges.workers.store(4, Ordering::Relaxed);
+        gauges.pool_depth.store(2, Ordering::Relaxed);
+        let doc: serde::Value =
+            serde_json::from_str(&m.to_json(&gauges, "test-v1", 3)).unwrap();
+        let doc = doc.as_object().unwrap();
+        assert_eq!(doc.get("requests_total").unwrap().as_u64(), Some(2));
+        assert_eq!(
+            doc.get("snapshot_version").unwrap().as_str(),
+            Some("test-v1")
+        );
+        let classes = doc.get("requests_by_class").unwrap().as_object().unwrap();
+        assert_eq!(classes.get("2xx").unwrap().as_u64(), Some(1));
+        assert_eq!(classes.get("4xx").unwrap().as_u64(), Some(1));
+        let cache = doc.get("response_cache").unwrap().as_object().unwrap();
+        assert_eq!(cache.get("hit_rate").unwrap().as_f64(), Some(0.5));
+        let pool = doc.get("pool").unwrap().as_object().unwrap();
+        assert_eq!(pool.get("workers").unwrap().as_u64(), Some(4));
+        assert_eq!(pool.get("depth").unwrap().as_u64(), Some(2));
+        assert_eq!(doc.get("requests_shed").unwrap().as_u64(), Some(1));
+    }
+}

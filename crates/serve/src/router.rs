@@ -1,0 +1,325 @@
+//! Request routing: canonical paths → snapshot lookups, cached through the
+//! LRU, plus the live endpoints (`/healthz`, `/metrics`, `POST /evolve`).
+//!
+//! Endpoint map:
+//!
+//! | route | source |
+//! |---|---|
+//! | `GET /` | index document (endpoints + version) |
+//! | `GET /healthz` | liveness + snapshot version |
+//! | `GET /metrics` | [`Metrics::to_json`] |
+//! | `GET /table1`, `/fig1`, `/fig2`, `/fig4`, `/cuisines` | snapshot |
+//! | `GET /fig3/{ingredient\|category}` | snapshot |
+//! | `GET /fig4/{cuisine}` | snapshot (code or name, case-insensitive) |
+//! | `GET /similarity[?mode=ingredient\|category]` | snapshot |
+//! | `POST /evolve` | on-demand ensemble ([`crate::evolve`]) |
+//!
+//! Cacheable GETs go through the LRU keyed on
+//! [`canonical_key`](crate::http::canonical_key); `/healthz` and
+//! `/metrics` bypass it so they always reflect live state.
+
+use std::sync::{Arc, Mutex};
+
+use cuisine_core::Experiment;
+use serde::{Map, Value};
+
+use crate::evolve::{handle_evolve, EvolveRequest};
+use crate::http::{canonical_key, HttpError, Method, Request, Response};
+use crate::lru::Lru;
+use crate::metrics::{Gauges, Metrics};
+use crate::snapshot::SnapshotStore;
+
+/// Shared application state: the experiment (corpus + transaction cache),
+/// the snapshot store, the LRU response cache, and metrics.
+///
+/// The heavy parts (experiment, snapshots) are behind `Arc` so several
+/// server instances — or tests — can share one build while keeping
+/// independent caches and counters.
+pub struct AppState {
+    /// Corpus, lexicon, pipeline config, and shared transaction cache.
+    pub experiment: Arc<Experiment>,
+    /// Precomputed artifact bodies.
+    pub snapshots: Arc<SnapshotStore>,
+    /// Response cache for GET endpoints.
+    pub lru: Mutex<Lru<Response>>,
+    /// Request counters.
+    pub metrics: Metrics,
+    /// Server-published gauges (worker count, pool depth).
+    pub gauges: Gauges,
+}
+
+impl AppState {
+    /// Bundle state with an LRU of the given capacity.
+    pub fn new(experiment: Experiment, snapshots: SnapshotStore, lru_capacity: usize) -> Self {
+        Self::with_shared(Arc::new(experiment), Arc::new(snapshots), lru_capacity)
+    }
+
+    /// Bundle state around an already-shared experiment and snapshot set
+    /// (fresh LRU and metrics). Lets multiple servers reuse one snapshot
+    /// build.
+    pub fn with_shared(
+        experiment: Arc<Experiment>,
+        snapshots: Arc<SnapshotStore>,
+        lru_capacity: usize,
+    ) -> Self {
+        AppState {
+            experiment,
+            snapshots,
+            lru: Mutex::new(Lru::new(lru_capacity)),
+            metrics: Metrics::new(),
+            gauges: Gauges::default(),
+        }
+    }
+
+    fn lru_len(&self) -> usize {
+        self.lru.lock().map(|l| l.len()).unwrap_or(0)
+    }
+}
+
+/// Route one parsed request to a response. Never panics; every failure is
+/// a status-carrying JSON error body.
+pub fn route(state: &AppState, request: &Request) -> Response {
+    match dispatch(state, request) {
+        Ok(response) => response,
+        Err(error) => Response::from(&error),
+    }
+}
+
+fn dispatch(state: &AppState, request: &Request) -> Result<Response, HttpError> {
+    let path = normalized(&request.path);
+    match (request.method, path) {
+        (Method::Get, "/healthz") => Ok(healthz(state)),
+        (Method::Get, "/metrics") => Ok(Response::json(
+            200,
+            state.metrics.to_json(&state.gauges, state.snapshots.version(), state.lru_len()),
+        )),
+        (Method::Post, "/evolve") => {
+            let evolve = EvolveRequest::from_json(&request.body)?;
+            handle_evolve(&evolve, &state.experiment)
+        }
+        (Method::Post, _) => Err(HttpError::new(405, "only /evolve accepts POST")),
+        (Method::Get, "/evolve") => {
+            Err(HttpError::new(405, "/evolve requires POST with a JSON body"))
+        }
+        (Method::Get, _) => cached_get(state, request),
+    }
+}
+
+/// Trim a redundant trailing slash (`/table1/` → `/table1`).
+fn normalized(path: &str) -> &str {
+    if path.len() > 1 { path.trim_end_matches('/') } else { path }
+}
+
+fn cached_get(state: &AppState, request: &Request) -> Result<Response, HttpError> {
+    let key = canonical_key(request.method, &request.path, &request.query);
+    if let Ok(mut lru) = state.lru.lock() {
+        if let Some(hit) = lru.get(&key) {
+            state.metrics.record_cache(true);
+            return Ok(hit);
+        }
+    }
+    state.metrics.record_cache(false);
+    let response = resolve_get(state, request)?;
+    if response.status == 200 {
+        if let Ok(mut lru) = state.lru.lock() {
+            lru.insert(key, response.clone());
+        }
+    }
+    Ok(response)
+}
+
+fn resolve_get(state: &AppState, request: &Request) -> Result<Response, HttpError> {
+    let path = normalized(&request.path);
+    if path == "/" {
+        return Ok(index(state));
+    }
+
+    // Exact snapshot paths (artifact families and /fig3/{mode}).
+    if let Some(body) = state.snapshots.get(path) {
+        return Ok(Response::json_shared(body));
+    }
+
+    let mut segments = path.trim_start_matches('/').splitn(2, '/');
+    let head = segments.next().unwrap_or("");
+    let tail = segments.next();
+
+    match (head, tail) {
+        ("similarity", mode) => {
+            let label = match mode.or_else(|| request.query_param("mode")) {
+                None => "ingredient",
+                Some("ingredient" | "ingredients") => "ingredient",
+                Some("category" | "categories") => "category",
+                Some(other) => {
+                    return Err(HttpError::new(
+                        404,
+                        format!("unknown similarity mode {other:?} (ingredient|category)"),
+                    ));
+                }
+            };
+            state
+                .snapshots
+                .get(&format!("/similarity/{label}"))
+                .map(Response::json_shared)
+                .ok_or_else(|| HttpError::new(500, "similarity snapshot missing"))
+        }
+        ("fig3", Some(other)) => Err(HttpError::new(
+            404,
+            format!("unknown fig3 granularity {other:?} (ingredient|category)"),
+        )),
+        ("fig3", None) => Err(HttpError::new(
+            404,
+            "choose a granularity: /fig3/ingredient or /fig3/category",
+        )),
+        ("fig4", Some(cuisine)) => {
+            let id: cuisine_data::CuisineId = cuisine
+                .parse()
+                .map_err(|_| HttpError::new(404, format!("unknown cuisine {cuisine:?}")))?;
+            state
+                .snapshots
+                .get(&format!("/fig4/{}", id.code()))
+                .map(Response::json_shared)
+                .ok_or_else(|| {
+                    HttpError::new(404, format!("cuisine {} not in this corpus", id.code()))
+                })
+        }
+        _ => Err(HttpError::new(404, format!("no such endpoint {path:?}"))),
+    }
+}
+
+fn healthz(state: &AppState) -> Response {
+    let mut doc = Map::new();
+    doc.insert("status", Value::String("ok".into()));
+    doc.insert("snapshot_version", Value::String(state.snapshots.version().to_string()));
+    doc.insert("snapshots", Value::U64(state.snapshots.len() as u64));
+    Response::json(200, serde_json::to_string(&Value::Object(doc)).unwrap_or_default())
+}
+
+fn index(state: &AppState) -> Response {
+    let mut doc = Map::new();
+    doc.insert("service", Value::String("cuisine-serve".into()));
+    doc.insert("snapshot_version", Value::String(state.snapshots.version().to_string()));
+    let mut endpoints: Vec<Value> = state
+        .snapshots
+        .paths()
+        .map(|p| Value::String(p.to_string()))
+        .collect();
+    for live in ["/healthz", "/metrics", "/similarity?mode=category", "POST /evolve"] {
+        endpoints.push(Value::String(live.to_string()));
+    }
+    doc.insert("endpoints", Value::Array(endpoints));
+    Response::json(200, serde_json::to_string(&Value::Object(doc)).unwrap_or_default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::fresh_state as state;
+
+    fn get(state: &AppState, path: &str) -> Response {
+        let (method, path, query) = crate::http::parse_request_line(&format!(
+            "GET {path} HTTP/1.1"
+        ))
+        .unwrap();
+        route(state, &Request { method, path, query, headers: vec![], body: vec![] })
+    }
+
+    #[test]
+    fn snapshot_endpoints_serve_the_stored_bytes() {
+        let state = state();
+        for path in ["/table1", "/fig1", "/fig2", "/fig3/ingredient", "/cuisines", "/fig4"] {
+            let response = get(&state, path);
+            assert_eq!(response.status, 200, "{path}");
+            assert_eq!(
+                response.body.as_slice(),
+                state.snapshots.get(path).unwrap().as_slice(),
+                "{path}"
+            );
+        }
+    }
+
+    #[test]
+    fn similarity_modes_and_aliases() {
+        let state = state();
+        let default = get(&state, "/similarity");
+        let by_path = get(&state, "/similarity/ingredient");
+        let by_query = get(&state, "/similarity?mode=ingredient");
+        assert_eq!(default.body, by_path.body);
+        assert_eq!(default.body, by_query.body);
+        let cat = get(&state, "/similarity?mode=category");
+        assert_eq!(cat.status, 200);
+        assert_ne!(cat.body, default.body);
+        assert_eq!(get(&state, "/similarity?mode=nope").status, 404);
+    }
+
+    #[test]
+    fn fig4_cuisine_lookup_is_case_insensitive() {
+        let state = state();
+        let by_code = get(&state, "/fig4/ita");
+        assert_eq!(by_code.status, 200);
+        let by_name = get(&state, "/fig4/Italy");
+        assert_eq!(by_code.body, by_name.body);
+        assert_eq!(get(&state, "/fig4/Atlantis").status, 404);
+    }
+
+    #[test]
+    fn unknown_paths_are_404_and_wrong_methods_405() {
+        let state = state();
+        assert_eq!(get(&state, "/nope").status, 404);
+        assert_eq!(get(&state, "/fig3").status, 404);
+        assert_eq!(get(&state, "/evolve").status, 405);
+        let post = Request {
+            method: Method::Post,
+            path: "/table1".into(),
+            query: vec![],
+            headers: vec![],
+            body: b"{}".to_vec(),
+        };
+        assert_eq!(route(&state, &post).status, 405);
+    }
+
+    #[test]
+    fn lru_serves_repeat_requests_and_counts_hits() {
+        let state = state();
+        let first = get(&state, "/table1/?x=1&y=2");
+        let second = get(&state, "/table1?y=2&x=1"); // same canonical key
+        assert_eq!(first.body, second.body);
+        let (hits, misses) = state.metrics.cache_counts();
+        assert_eq!((hits, misses), (1, 1));
+    }
+
+    #[test]
+    fn healthz_metrics_and_index_respond() {
+        let state = state();
+        assert_eq!(get(&state, "/healthz").status, 200);
+        let metrics = get(&state, "/metrics");
+        assert_eq!(metrics.status, 200);
+        let doc: Value =
+            serde_json::from_str(std::str::from_utf8(&metrics.body).unwrap()).unwrap();
+        assert_eq!(
+            doc.as_object().unwrap().get("service").unwrap().as_str(),
+            Some("cuisine-serve")
+        );
+        let index = get(&state, "/");
+        assert_eq!(index.status, 200);
+        assert!(String::from_utf8_lossy(&index.body).contains("/table1"));
+    }
+
+    #[test]
+    fn evolve_roundtrips_and_is_deterministic() {
+        let state = state();
+        let body = br#"{"cuisine":"ITA","model":"NM","seed":11,"replicates":2}"#.to_vec();
+        let request = Request {
+            method: Method::Post,
+            path: "/evolve".into(),
+            query: vec![],
+            headers: vec![],
+            body,
+        };
+        let a = route(&state, &request);
+        let b = route(&state, &request);
+        assert_eq!(a.status, 200, "{}", String::from_utf8_lossy(&a.body));
+        assert_eq!(a.body, b.body);
+        let bad = Request { body: b"{]".to_vec(), ..request.clone() };
+        assert_eq!(route(&state, &bad).status, 400);
+    }
+}

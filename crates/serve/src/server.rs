@@ -1,0 +1,195 @@
+//! The TCP accept loop, worker-pool dispatch, and graceful shutdown.
+//!
+//! Architecture (DESIGN.md §7):
+//!
+//! ```text
+//! accept thread ──try_execute──▶ WorkerPool (cuisine-exec) ──▶ handle_connection
+//!      │  queue full: answer 503 inline            │  read_request → route → write
+//!      ▼                                           ▼
+//!  shutdown flag                         AppState: snapshots / LRU / metrics
+//! ```
+//!
+//! * The listener is non-blocking; the accept thread polls it and the
+//!   shutdown flag. Accepted sockets are switched back to blocking with
+//!   read/write timeouts before being queued.
+//! * Dispatch uses [`WorkerPool::try_execute`]: when the bounded queue is
+//!   full, the connection is handed back and answered `503` on the accept
+//!   thread — load is shed explicitly, never buffered unboundedly.
+//! * [`Server::shutdown`] stops the accept loop, then drains: the pool
+//!   finishes every queued connection before workers join, so in-flight
+//!   requests complete without resets (asserted by the integration test).
+
+use std::io::{BufReader, Write};
+use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use cuisine_exec::{PoolFull, WorkerPool};
+
+use crate::http::{read_request, Response};
+use crate::router::{route, AppState};
+
+/// Server knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Port to bind on 127.0.0.1 (`0` = ephemeral, reported by
+    /// [`Server::addr`]).
+    pub port: u16,
+    /// Worker threads (workspace convention: `None` = available
+    /// parallelism, `Some(0)`/`Some(1)` = one worker).
+    pub threads: Option<usize>,
+    /// Bounded queue capacity between accept and the workers.
+    pub queue_capacity: usize,
+    /// LRU response-cache capacity (0 disables).
+    pub lru_capacity: usize,
+    /// Per-socket read timeout.
+    pub read_timeout: Duration,
+    /// Per-socket write timeout.
+    pub write_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            port: 7878,
+            threads: None,
+            queue_capacity: 64,
+            lru_capacity: 128,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// A running server. Dropping it (or calling [`Server::shutdown`]) stops
+/// accepting, drains in-flight requests, and joins every thread.
+pub struct Server {
+    addr: SocketAddr,
+    state: Arc<AppState>,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind, spawn the pool and the accept thread, and start serving.
+    pub fn start(state: AppState, config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, config.port))?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+
+        let state = Arc::new(state);
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let pool = {
+            let state = Arc::clone(&state);
+            WorkerPool::new(config.threads, config.queue_capacity, move |stream| {
+                handle_connection(&state, stream);
+            })
+        };
+        state.gauges.workers.store(pool.workers(), Ordering::Relaxed);
+
+        let accept_thread = {
+            let state = Arc::clone(&state);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("serve-accept".into())
+                .spawn(move || accept_loop(&listener, &pool, &state, &stop, &config))?
+        };
+
+        Ok(Server { addr, state, stop, accept_thread: Some(accept_thread) })
+    }
+
+    /// The bound address (resolves `port: 0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shared application state (metrics, snapshots, ...).
+    pub fn state(&self) -> &Arc<AppState> {
+        &self.state
+    }
+
+    /// Graceful shutdown: stop accepting, drain queued and in-flight
+    /// requests, join all threads. Idempotent through `Drop`.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join(); // joins the pool drain too
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    pool: &WorkerPool<TcpStream>,
+    state: &Arc<AppState>,
+    stop: &AtomicBool,
+    config: &ServerConfig,
+) {
+    while !stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                state.gauges.pool_depth.store(pool.depth(), Ordering::Relaxed);
+                if prepare_stream(&stream, config).is_err() {
+                    continue; // peer vanished between accept and setup
+                }
+                if let Err(PoolFull(stream)) = pool.try_execute(stream) {
+                    shed(state, stream);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                state.gauges.pool_depth.store(pool.depth(), Ordering::Relaxed);
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(1)),
+        }
+    }
+    // Fall through: `pool` drops here, which drains every queued
+    // connection and joins the workers before the accept thread exits.
+}
+
+fn prepare_stream(stream: &TcpStream, config: &ServerConfig) -> std::io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(config.read_timeout))?;
+    stream.set_write_timeout(Some(config.write_timeout))?;
+    let _ = stream.set_nodelay(true);
+    Ok(())
+}
+
+/// Answer `503` inline on the accept thread when the pool queue is full.
+fn shed(state: &AppState, mut stream: TcpStream) {
+    state.metrics.record_shed();
+    state.metrics.record(503, Duration::ZERO);
+    let response = Response::error(503, "server is at capacity, retry later");
+    let _ = response.write_to(&mut stream);
+    let _ = stream.flush();
+}
+
+/// Worker body: parse one request, route it, write the response, record
+/// metrics. One request per connection (`Connection: close`).
+fn handle_connection(state: &AppState, mut stream: TcpStream) {
+    let started = Instant::now();
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    });
+    let response = match read_request(&mut reader) {
+        Ok(request) => route(state, &request),
+        Err(error) => Response::from(&error),
+    };
+    let _ = response.write_to(&mut stream);
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+    state.metrics.record(response.status, started.elapsed());
+}

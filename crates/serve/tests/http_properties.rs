@@ -1,0 +1,145 @@
+//! Property tests for the bounded HTTP layer: arbitrary — including
+//! malformed — input must map to a status-carrying parse error, never a
+//! panic, and well-formed input must round-trip. The canonical cache key
+//! must be insensitive to query order, encoding, and redundant trailing
+//! slashes (the LRU correctness contract).
+
+use std::io::Cursor;
+
+use cuisine_serve::http::{
+    canonical_key, parse_header_line, parse_query, parse_request_line, percent_decode,
+    percent_encode, read_request, Method,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn request_line_parser_never_panics(line in "[ -~]{0,120}") {
+        match parse_request_line(&line) {
+            Ok((method, path, _query)) => {
+                prop_assert!(matches!(method, Method::Get | Method::Post));
+                prop_assert!(path.starts_with('/'));
+            }
+            Err(e) => prop_assert!(
+                matches!(e.status, 400 | 405 | 505),
+                "unexpected status {} for line {:?}", e.status, line
+            ),
+        }
+    }
+
+    #[test]
+    fn well_formed_request_lines_round_trip(
+        path in "/[a-z0-9/.-]{0,24}",
+        key in "[a-z]{1,8}",
+        value in "[a-z0-9]{0,8}",
+    ) {
+        let line = format!("GET {path}?{key}={value} HTTP/1.1");
+        let (method, parsed_path, query) = parse_request_line(&line).unwrap();
+        prop_assert_eq!(method, Method::Get);
+        prop_assert_eq!(parsed_path, path);
+        prop_assert_eq!(query, vec![(key, value)]);
+    }
+
+    #[test]
+    fn percent_coding_round_trips(s in "[ -~]{0,40}") {
+        let encoded = percent_encode(&s);
+        prop_assert_eq!(percent_decode(&encoded, false).unwrap(), s);
+    }
+
+    #[test]
+    fn query_parser_never_panics(raw in "[ -~]{0,60}") {
+        if let Ok(pairs) = parse_query(&raw) {
+            // Segment count bounds the pair count.
+            prop_assert!(pairs.len() <= raw.split('&').count());
+        }
+    }
+
+    #[test]
+    fn header_parser_never_panics(line in "[ -~]{0,80}") {
+        match parse_header_line(&line) {
+            Ok((name, _value)) => {
+                prop_assert!(!name.is_empty());
+                prop_assert!(!name.bytes().any(|b| b.is_ascii_uppercase()));
+            }
+            Err(e) => prop_assert_eq!(e.status, 400),
+        }
+    }
+
+    #[test]
+    fn well_formed_headers_round_trip(
+        name in "[A-Za-z][A-Za-z0-9-]{0,10}",
+        value in "[a-z0-9 !#$%]{0,30}",
+    ) {
+        let (n, v) = parse_header_line(&format!("{name}: {value}")).unwrap();
+        prop_assert_eq!(n, name.to_ascii_lowercase());
+        prop_assert_eq!(v.as_str(), value.trim());
+    }
+
+    #[test]
+    fn read_request_never_panics_on_arbitrary_bytes(
+        bytes in prop::collection::vec(any::<u8>(), 0..600),
+    ) {
+        let mut reader = Cursor::new(bytes);
+        match read_request(&mut reader) {
+            Ok(request) => prop_assert!(request.path.starts_with('/')),
+            Err(e) => prop_assert!(
+                matches!(e.status, 400 | 405 | 411 | 413 | 431 | 501 | 505),
+                "unexpected status {e}",
+            ),
+        }
+    }
+
+    #[test]
+    fn read_request_parses_well_formed_posts(
+        path in "/[a-z0-9]{0,12}",
+        headers in prop::collection::vec(("[a-z][a-z0-9-]{0,9}", "[a-z0-9 ]{0,16}"), 0..8),
+        body in prop::collection::vec(any::<u8>(), 0..200),
+    ) {
+        // Generated names are at most 10 bytes, so they can never collide
+        // with `content-length` or `transfer-encoding`.
+        let mut raw = format!("POST {path} HTTP/1.1\r\ncontent-length: {}\r\n", body.len());
+        for (name, value) in &headers {
+            raw.push_str(&format!("{name}: {value}\r\n"));
+        }
+        raw.push_str("\r\n");
+        let mut bytes = raw.into_bytes();
+        bytes.extend_from_slice(&body);
+
+        let request = read_request(&mut Cursor::new(bytes)).unwrap();
+        prop_assert_eq!(request.method, Method::Post);
+        prop_assert_eq!(request.path, path);
+        prop_assert_eq!(request.body, body);
+    }
+
+    #[test]
+    fn canonical_key_ignores_query_order(
+        pairs in prop::collection::vec(("[a-z]{1,6}", "[a-z0-9]{0,6}"), 0..6),
+    ) {
+        let forward: Vec<(String, String)> = pairs.clone();
+        let mut reversed = forward.clone();
+        reversed.reverse();
+        prop_assert_eq!(
+            canonical_key(Method::Get, "/table1", &forward),
+            canonical_key(Method::Get, "/table1", &reversed)
+        );
+    }
+
+    #[test]
+    fn canonical_key_trims_redundant_trailing_slash(path in "/[a-z0-9/]{0,16}") {
+        let with_slash = format!("{path}/");
+        prop_assert_eq!(
+            canonical_key(Method::Get, &with_slash, &[]),
+            canonical_key(Method::Get, path.trim_end_matches('/'), &[])
+        );
+    }
+
+    #[test]
+    fn canonical_key_separates_methods_and_paths(suffix in "[a-z]{1,8}") {
+        let path = format!("/{suffix}");
+        let get = canonical_key(Method::Get, &path, &[]);
+        prop_assert_ne!(get.clone(), canonical_key(Method::Post, &path, &[]));
+        prop_assert_ne!(get, canonical_key(Method::Get, "/other", &[]));
+    }
+}
