@@ -19,6 +19,14 @@ echo "==> serve --self-check (smoke test)"
 cargo run --release -q -p cuisine-serve --bin serve -- \
     --self-check --scale 0.02 --seed 11 --replicates 2
 
+echo "==> cuisine-lint --self-check (rule fixtures)"
+cargo run --release -q -p cuisine-lint --bin cuisine-lint -- --self-check
+
+echo "==> cuisine-lint (workspace contracts, lint.toml baseline)"
+cargo run --release -q -p cuisine-lint --bin cuisine-lint -- \
+    --root . --format json > /tmp/cuisine-lint-report.json \
+    || { cargo run --release -q -p cuisine-lint --bin cuisine-lint -- --root .; exit 1; }
+
 if [[ -z "${SKIP_CLIPPY:-}" ]]; then
     echo "==> cargo clippy --all-targets -- -D warnings"
     cargo clippy --all-targets -- -D warnings

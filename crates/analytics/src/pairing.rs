@@ -10,7 +10,7 @@
 use cuisine_data::{Corpus, CuisineId};
 use cuisine_lexicon::{IngredientId, Lexicon};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A scored ingredient pair.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -53,7 +53,10 @@ impl PairingAnalysis {
         if n == 0 {
             return None;
         }
-        let mut joint: HashMap<(IngredientId, IngredientId), u32> = HashMap::new();
+        // BTreeMap: the pre-sort traversal order is already deterministic
+        // (pair key order), so the PMI sort below is the only ordering the
+        // output depends on — not the process-random hash layout.
+        let mut joint: BTreeMap<(IngredientId, IngredientId), u32> = BTreeMap::new();
         for r in corpus.recipes_in(cuisine) {
             let ings = r.ingredients();
             for (i, &a) in ings.iter().enumerate() {

@@ -179,8 +179,9 @@ impl ExpOptions {
     }
 }
 
-/// Print a usage error to stderr and exit with status 2.
-fn exit_usage(error: &CliError, usage: &str) -> ! {
+/// Print a usage error to stderr and exit with status 2 — the shared
+/// convention for every workspace binary (`exp_*`, `serve`, `cuisine-lint`).
+pub fn exit_usage(error: &CliError, usage: &str) -> ! {
     eprintln!("error: {error}");
     eprintln!("usage: {usage}");
     std::process::exit(2);

@@ -1,0 +1,355 @@
+//! The checked-in suppression baseline (`lint.toml`).
+//!
+//! A baseline entry deliberately accepts one class of diagnostic — a rule
+//! at a path whose flagged line contains a pattern — and must say *why*:
+//!
+//! ```toml
+//! [[allow]]
+//! rule = "D2"
+//! path = "crates/serve/src/metrics.rs"
+//! pattern = "Instant::now"
+//! justification = "uptime clock for /metrics; never feeds an artifact"
+//! ```
+//!
+//! Semantics:
+//!
+//! * `rule`, `path`, and `pattern` must all match: the diagnostic's rule
+//!   ID, its repo-relative path exactly, and `pattern` as a substring of
+//!   the flagged source line. Line numbers are intentionally *not* part of
+//!   the key — they drift with unrelated edits; a source pattern does not.
+//! * `justification` is mandatory and must be a real sentence (≥ 10
+//!   chars). A baseline without reasons is how coverage silently rots.
+//! * Every entry must suppress at least one current diagnostic. Unused
+//!   entries fail the run: stale suppressions are indistinguishable from
+//!   typo'd ones, and both mask future regressions.
+//!
+//! The format is the narrow `[[allow]]`-table subset of TOML parsed by
+//! hand below — the container has no registry access, and the full TOML
+//! grammar buys nothing here.
+
+use std::path::Path;
+
+use crate::diagnostics::Diagnostic;
+
+/// One `[[allow]]` table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    /// Rule ID the entry suppresses (`D1`, `P1`, ...).
+    pub rule: String,
+    /// Repo-relative path, exact match.
+    pub path: String,
+    /// Substring that must occur in the flagged source line.
+    pub pattern: String,
+    /// Why this site is allowed to violate the rule.
+    pub justification: String,
+    /// Line in the baseline file where the entry starts (for reporting).
+    pub line: usize,
+}
+
+impl BaselineEntry {
+    /// Whether this entry suppresses `diagnostic`.
+    pub fn matches(&self, diagnostic: &Diagnostic) -> bool {
+        self.rule == diagnostic.rule
+            && self.path == diagnostic.path
+            && diagnostic.snippet.contains(&self.pattern)
+    }
+}
+
+/// A parsed baseline file.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// Entries in file order.
+    pub entries: Vec<BaselineEntry>,
+}
+
+/// A malformed baseline file, with the offending line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineError {
+    /// 1-based line number in the baseline file.
+    pub line: usize,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "baseline line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+/// Minimum length of a `justification` value.
+const MIN_JUSTIFICATION: usize = 10;
+
+impl Baseline {
+    /// An empty baseline (suppresses nothing).
+    pub fn empty() -> Self {
+        Baseline::default()
+    }
+
+    /// Read and parse a baseline file; a missing file is an empty
+    /// baseline, so repos can adopt the linter before they need one.
+    pub fn load(path: &Path) -> Result<Self, BaselineError> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Self::parse(&text),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Self::empty()),
+            Err(e) => Err(BaselineError { line: 0, message: format!("cannot read baseline: {e}") }),
+        }
+    }
+
+    /// Parse the `[[allow]]` subset of TOML.
+    pub fn parse(text: &str) -> Result<Self, BaselineError> {
+        let mut entries: Vec<BaselineEntry> = Vec::new();
+        let mut current: Option<(usize, PartialEntry)> = None;
+
+        for (idx, raw) in text.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line == "[[allow]]" {
+                if let Some((at, partial)) = current.take() {
+                    entries.push(partial.finish(at)?);
+                }
+                current = Some((line_no, PartialEntry::default()));
+                continue;
+            }
+            if line.starts_with('[') {
+                return Err(BaselineError {
+                    line: line_no,
+                    message: format!("unknown table {line:?} (only [[allow]] is supported)"),
+                });
+            }
+            let (key, value) = parse_key_value(line, line_no)?;
+            let Some((_, partial)) = current.as_mut() else {
+                return Err(BaselineError {
+                    line: line_no,
+                    message: format!("key {key:?} outside an [[allow]] table"),
+                });
+            };
+            partial.set(&key, value, line_no)?;
+        }
+        if let Some((at, partial)) = current.take() {
+            entries.push(partial.finish(at)?);
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Split diagnostics into kept (unsuppressed) ones, plus the indices of
+    /// entries that matched nothing — which callers must treat as errors.
+    pub fn apply(&self, diagnostics: Vec<Diagnostic>) -> (Vec<Diagnostic>, usize, Vec<&BaselineEntry>) {
+        let mut used = vec![false; self.entries.len()];
+        let mut kept = Vec::new();
+        let mut suppressed = 0usize;
+        for diagnostic in diagnostics {
+            let mut matched = false;
+            for (i, entry) in self.entries.iter().enumerate() {
+                if entry.matches(&diagnostic) {
+                    used[i] = true;
+                    matched = true;
+                }
+            }
+            if matched {
+                suppressed += 1;
+            } else {
+                kept.push(diagnostic);
+            }
+        }
+        let unused: Vec<&BaselineEntry> = self
+            .entries
+            .iter()
+            .zip(&used)
+            .filter(|(_, &u)| !u)
+            .map(|(e, _)| e)
+            .collect();
+        (kept, suppressed, unused)
+    }
+}
+
+/// Keys collected for one `[[allow]]` table before validation.
+#[derive(Debug, Default)]
+struct PartialEntry {
+    rule: Option<String>,
+    path: Option<String>,
+    pattern: Option<String>,
+    justification: Option<String>,
+}
+
+impl PartialEntry {
+    fn set(&mut self, key: &str, value: String, line: usize) -> Result<(), BaselineError> {
+        let slot = match key {
+            "rule" => &mut self.rule,
+            "path" => &mut self.path,
+            "pattern" => &mut self.pattern,
+            "justification" => &mut self.justification,
+            other => {
+                return Err(BaselineError {
+                    line,
+                    message: format!(
+                        "unknown key {other:?} (expected rule/path/pattern/justification)"
+                    ),
+                });
+            }
+        };
+        if slot.is_some() {
+            return Err(BaselineError { line, message: format!("duplicate key {key:?}") });
+        }
+        *slot = Some(value);
+        Ok(())
+    }
+
+    fn finish(self, line: usize) -> Result<BaselineEntry, BaselineError> {
+        let missing = |what: &str| BaselineError {
+            line,
+            message: format!("[[allow]] entry is missing required key {what:?}"),
+        };
+        let entry = BaselineEntry {
+            rule: self.rule.ok_or_else(|| missing("rule"))?,
+            path: self.path.ok_or_else(|| missing("path"))?,
+            pattern: self.pattern.ok_or_else(|| missing("pattern"))?,
+            justification: self.justification.ok_or_else(|| missing("justification"))?,
+            line,
+        };
+        if entry.pattern.is_empty() {
+            return Err(BaselineError {
+                line,
+                message: "pattern must be non-empty (it anchors the suppression to source text)"
+                    .into(),
+            });
+        }
+        if entry.justification.trim().len() < MIN_JUSTIFICATION {
+            return Err(BaselineError {
+                line,
+                message: format!(
+                    "justification must explain the suppression (≥ {MIN_JUSTIFICATION} chars)"
+                ),
+            });
+        }
+        Ok(entry)
+    }
+}
+
+/// Drop a trailing `# comment` that is not inside a quoted string.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, b) in line.bytes().enumerate() {
+        match b {
+            _ if escaped => escaped = false,
+            b'\\' if in_string => escaped = true,
+            b'"' => in_string = !in_string,
+            b'#' if !in_string => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parse `key = "value"`.
+fn parse_key_value(line: &str, line_no: usize) -> Result<(String, String), BaselineError> {
+    let (key, value) = line.split_once('=').ok_or_else(|| BaselineError {
+        line: line_no,
+        message: format!("expected `key = \"value\"`, got {line:?}"),
+    })?;
+    let key = key.trim().to_string();
+    let value = value.trim();
+    let inner = value
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .ok_or_else(|| BaselineError {
+            line: line_no,
+            message: format!("value for {key:?} must be a double-quoted string"),
+        })?;
+    // Unescape the two sequences the writer side can produce.
+    Ok((key, inner.replace("\\\"", "\"").replace("\\\\", "\\")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagnostics::Severity;
+
+    const GOOD: &str = r#"
+# cuisine-lint baseline
+[[allow]]
+rule = "D2"
+path = "crates/serve/src/metrics.rs"
+pattern = "Instant::now"   # uptime clock
+justification = "observability only; never feeds a deterministic artifact"
+
+[[allow]]
+rule = "P1"
+path = "crates/serve/src/snapshot.rs"
+pattern = "expect(\"pipeline artifacts serialize\")"
+justification = "startup-time fail-fast before the listener binds"
+"#;
+
+    fn diag(rule: &'static str, path: &str, snippet: &str) -> Diagnostic {
+        Diagnostic {
+            rule,
+            severity: Severity::Error,
+            path: path.into(),
+            line: 1,
+            col: 1,
+            message: String::new(),
+            snippet: snippet.into(),
+        }
+    }
+
+    #[test]
+    fn parses_entries_with_comments_and_escapes() {
+        let baseline = Baseline::parse(GOOD).unwrap();
+        assert_eq!(baseline.entries.len(), 2);
+        assert_eq!(baseline.entries[0].rule, "D2");
+        assert_eq!(baseline.entries[0].pattern, "Instant::now");
+        assert_eq!(
+            baseline.entries[1].pattern,
+            "expect(\"pipeline artifacts serialize\")"
+        );
+    }
+
+    #[test]
+    fn apply_suppresses_matches_and_reports_unused() {
+        let baseline = Baseline::parse(GOOD).unwrap();
+        let diagnostics = vec![
+            diag("D2", "crates/serve/src/metrics.rs", "started: Instant::now(),"),
+            diag("D2", "crates/core/src/lib.rs", "Instant::now()"), // wrong path
+            diag("P1", "crates/serve/src/metrics.rs", "x.unwrap()"), // wrong rule+pattern
+        ];
+        let (kept, suppressed, unused) = baseline.apply(diagnostics);
+        assert_eq!(suppressed, 1);
+        assert_eq!(kept.len(), 2);
+        assert_eq!(unused.len(), 1, "the snapshot.rs entry matched nothing");
+        assert_eq!(unused[0].rule, "P1");
+    }
+
+    #[test]
+    fn rejects_missing_and_weak_justifications() {
+        let missing = "[[allow]]\nrule = \"D1\"\npath = \"x\"\npattern = \"y\"";
+        assert!(Baseline::parse(missing).unwrap_err().message.contains("justification"));
+        let weak =
+            "[[allow]]\nrule = \"D1\"\npath = \"x\"\npattern = \"y\"\njustification = \"ok\"";
+        assert!(Baseline::parse(weak).unwrap_err().message.contains("≥"));
+    }
+
+    #[test]
+    fn rejects_malformed_structure() {
+        assert!(Baseline::parse("rule = \"D1\"").unwrap_err().message.contains("outside"));
+        assert!(Baseline::parse("[allow]").unwrap_err().message.contains("unknown table"));
+        assert!(Baseline::parse("[[allow]]\nrule = bare").unwrap_err().message.contains("quoted"));
+        assert!(Baseline::parse("[[allow]]\nwat = \"x\"").unwrap_err().message.contains("unknown key"));
+        let dup = "[[allow]]\nrule = \"D1\"\nrule = \"D2\"";
+        assert!(Baseline::parse(dup).unwrap_err().message.contains("duplicate"));
+        let empty_pattern =
+            "[[allow]]\nrule = \"D1\"\npath = \"x\"\npattern = \"\"\njustification = \"long enough reason\"";
+        assert!(Baseline::parse(empty_pattern).unwrap_err().message.contains("non-empty"));
+    }
+
+    #[test]
+    fn missing_file_is_an_empty_baseline() {
+        let baseline = Baseline::load(Path::new("/nonexistent/lint.toml")).unwrap();
+        assert!(baseline.entries.is_empty());
+    }
+}

@@ -1,0 +1,225 @@
+//! The `cuisine-lint` binary: run the workspace contract rules and report.
+//!
+//! ```text
+//! cuisine-lint [--root DIR] [--baseline FILE] [--format human|json] [--self-check]
+//! ```
+//!
+//! Exit status follows the workspace CLI convention: `0` clean, `1`
+//! findings (or unused baseline entries, or a failed self-check, or an
+//! I/O error), `2` usage error (via `cuisine_bench::exit_usage`).
+
+use std::path::PathBuf;
+
+use cuisine_bench::{exit_usage, CliError};
+use cuisine_lint::baseline::Baseline;
+use cuisine_lint::diagnostics::Diagnostic;
+use cuisine_lint::selfcheck::run_self_check;
+use cuisine_lint::workspace::{run_workspace, LintReport};
+use serde::{Map, Value};
+
+const USAGE: &str =
+    "cuisine-lint [--root DIR] [--baseline FILE] [--format human|json] [--self-check]";
+
+/// Output format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Human,
+    Json,
+}
+
+/// Parsed CLI options.
+struct Options {
+    root: PathBuf,
+    baseline: Option<PathBuf>,
+    format: Format,
+    self_check: bool,
+}
+
+fn parse_options(args: impl IntoIterator<Item = String>) -> Result<Options, CliError> {
+    let mut options = Options {
+        root: default_root(),
+        baseline: None,
+        format: Format::Human,
+        self_check: false,
+    };
+    let mut iter = args.into_iter().skip(1);
+    while let Some(arg) = iter.next() {
+        let mut value_of = |name: &str| {
+            iter.next().ok_or_else(|| CliError(format!("{name} requires a value")))
+        };
+        match arg.as_str() {
+            "--root" => options.root = PathBuf::from(value_of("--root")?),
+            "--baseline" => options.baseline = Some(PathBuf::from(value_of("--baseline")?)),
+            "--format" => {
+                options.format = match value_of("--format")?.as_str() {
+                    "human" => Format::Human,
+                    "json" => Format::Json,
+                    other => {
+                        return Err(CliError(format!(
+                            "--format takes `human` or `json`, got {other:?}"
+                        )))
+                    }
+                };
+            }
+            "--self-check" => options.self_check = true,
+            other => return Err(CliError(format!("unrecognized argument {other:?}"))),
+        }
+    }
+    Ok(options)
+}
+
+/// Workspace root: `CUISINE_LINT_ROOT` if set (used by CI), else the first
+/// ancestor of the current directory containing a `Cargo.toml`, else `.`.
+fn default_root() -> PathBuf {
+    if let Some(root) = std::env::var_os("CUISINE_LINT_ROOT") {
+        return PathBuf::from(root);
+    }
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if dir.join("Cargo.toml").exists() {
+            return dir;
+        }
+        if !dir.pop() {
+            return PathBuf::from(".");
+        }
+    }
+}
+
+fn main() {
+    let options =
+        parse_options(std::env::args()).unwrap_or_else(|error| exit_usage(&error, USAGE));
+
+    if options.self_check {
+        std::process::exit(self_check(options.format));
+    }
+
+    let baseline_path =
+        options.baseline.clone().unwrap_or_else(|| options.root.join("lint.toml"));
+    let baseline = match Baseline::load(&baseline_path) {
+        Ok(baseline) => baseline,
+        Err(error) => {
+            eprintln!("error: {}: {error}", baseline_path.display());
+            std::process::exit(1);
+        }
+    };
+    let report = match run_workspace(&options.root, &baseline) {
+        Ok(report) => report,
+        Err(error) => {
+            eprintln!("error: {error}");
+            std::process::exit(1);
+        }
+    };
+
+    match options.format {
+        Format::Human => render_human(&report),
+        Format::Json => render_json(&report),
+    }
+    std::process::exit(if report.is_clean() { 0 } else { 1 });
+}
+
+fn render_human(report: &LintReport) {
+    for diagnostic in &report.diagnostics {
+        println!("{}", diagnostic.render_human());
+    }
+    for entry in &report.unused_baseline {
+        println!(
+            "lint.toml:{}: error[baseline]: unused [[allow]] entry (rule {}, path {}, pattern \
+             {:?}) matched nothing — remove it or fix the pattern",
+            entry.line, entry.rule, entry.path, entry.pattern
+        );
+    }
+    let status = if report.is_clean() { "clean" } else { "FAILED" };
+    println!(
+        "cuisine-lint: {status}: {} files scanned, {} finding(s), {} suppressed by baseline, \
+         {} unused baseline entr(ies)",
+        report.files_scanned,
+        report.diagnostics.len(),
+        report.suppressed,
+        report.unused_baseline.len()
+    );
+}
+
+fn render_json(report: &LintReport) {
+    let mut doc = Map::new();
+    doc.insert("clean", Value::Bool(report.is_clean()));
+    doc.insert("files_scanned", Value::U64(report.files_scanned as u64));
+    doc.insert("suppressed", Value::U64(report.suppressed as u64));
+    doc.insert(
+        "diagnostics",
+        Value::Array(report.diagnostics.iter().map(Diagnostic::to_json).collect()),
+    );
+    doc.insert(
+        "unused_baseline",
+        Value::Array(
+            report
+                .unused_baseline
+                .iter()
+                .map(|entry| {
+                    let mut e = Map::new();
+                    e.insert("rule", Value::String(entry.rule.clone()));
+                    e.insert("path", Value::String(entry.path.clone()));
+                    e.insert("pattern", Value::String(entry.pattern.clone()));
+                    e.insert("line", Value::U64(entry.line as u64));
+                    Value::Object(e)
+                })
+                .collect(),
+        ),
+    );
+    match serde_json::to_string(&Value::Object(doc)) {
+        Ok(text) => println!("{text}"),
+        Err(error) => {
+            eprintln!("error: cannot serialize report: {error:?}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn self_check(format: Format) -> i32 {
+    let results = run_self_check();
+    let failed: Vec<_> = results.iter().filter(|r| !r.passed).collect();
+    match format {
+        Format::Human => {
+            for result in &results {
+                let mark = if result.passed { "ok" } else { "FAILED" };
+                println!("self-check: {mark}: {}", result.name);
+                if !result.passed {
+                    println!("    | {}", result.detail);
+                }
+            }
+            println!(
+                "cuisine-lint --self-check: {}/{} fixtures behaved as expected",
+                results.len() - failed.len(),
+                results.len()
+            );
+        }
+        Format::Json => {
+            let mut doc = Map::new();
+            doc.insert("clean", Value::Bool(failed.is_empty()));
+            doc.insert(
+                "fixtures",
+                Value::Array(
+                    results
+                        .iter()
+                        .map(|result| {
+                            let mut e = Map::new();
+                            e.insert("name", Value::String(result.name.to_string()));
+                            e.insert("passed", Value::Bool(result.passed));
+                            if !result.passed {
+                                e.insert("detail", Value::String(result.detail.clone()));
+                            }
+                            Value::Object(e)
+                        })
+                        .collect(),
+                ),
+            );
+            match serde_json::to_string(&Value::Object(doc)) {
+                Ok(text) => println!("{text}"),
+                Err(error) => {
+                    eprintln!("error: cannot serialize report: {error:?}");
+                    return 1;
+                }
+            }
+        }
+    }
+    i32::from(!failed.is_empty())
+}

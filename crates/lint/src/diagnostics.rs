@@ -1,0 +1,136 @@
+//! Typed diagnostics: rule ID, severity, `file:line:col` span, message,
+//! and the offending source line — with deterministic ordering and both
+//! human and JSON renderings.
+
+use serde::{Map, Value};
+
+/// How severe a finding is. Every current rule reports [`Severity::Error`];
+/// the distinction exists so future advisory rules can ride the same
+/// plumbing without failing CI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Advisory: reported, never fails the run.
+    Warning,
+    /// Contract violation: fails the run unless baselined.
+    Error,
+}
+
+impl Severity {
+    /// Lowercase label used in both output formats.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One finding, anchored to a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule identifier (`D1`, `P1`, ...).
+    pub rule: &'static str,
+    /// Severity class.
+    pub severity: Severity,
+    /// Repo-relative path of the offending file.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based byte column.
+    pub col: u32,
+    /// What is wrong and what to do instead.
+    pub message: String,
+    /// The trimmed source line the span points into (used for human
+    /// output and for baseline `pattern` matching).
+    pub snippet: String,
+}
+
+impl Diagnostic {
+    /// `path:line:col: error[RULE]: message` plus the offending line.
+    pub fn render_human(&self) -> String {
+        format!(
+            "{}:{}:{}: {}[{}]: {}\n    | {}",
+            self.path,
+            self.line,
+            self.col,
+            self.severity.label(),
+            self.rule,
+            self.message,
+            self.snippet,
+        )
+    }
+
+    /// JSON object for `--format json`.
+    pub fn to_json(&self) -> Value {
+        let mut doc = Map::new();
+        doc.insert("rule", Value::String(self.rule.to_string()));
+        doc.insert("severity", Value::String(self.severity.label().to_string()));
+        doc.insert("path", Value::String(self.path.clone()));
+        doc.insert("line", Value::U64(u64::from(self.line)));
+        doc.insert("col", Value::U64(u64::from(self.col)));
+        doc.insert("message", Value::String(self.message.clone()));
+        doc.insert("snippet", Value::String(self.snippet.clone()));
+        Value::Object(doc)
+    }
+
+    /// The deterministic report order: path, then line, then column, then
+    /// rule ID — independent of rule registration or discovery order.
+    pub fn sort_key(&self) -> (String, u32, u32, &'static str) {
+        (self.path.clone(), self.line, self.col, self.rule)
+    }
+}
+
+/// Sort diagnostics into the canonical report order.
+pub fn sort_diagnostics(diagnostics: &mut [Diagnostic]) {
+    diagnostics.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(path: &str, line: u32, col: u32, rule: &'static str) -> Diagnostic {
+        Diagnostic {
+            rule,
+            severity: Severity::Error,
+            path: path.into(),
+            line,
+            col,
+            message: "m".into(),
+            snippet: "s".into(),
+        }
+    }
+
+    #[test]
+    fn ordering_is_path_line_col_rule() {
+        let mut d = vec![
+            diag("b.rs", 1, 1, "D1"),
+            diag("a.rs", 9, 1, "X1"),
+            diag("a.rs", 2, 5, "P1"),
+            diag("a.rs", 2, 5, "D2"),
+        ];
+        sort_diagnostics(&mut d);
+        let order: Vec<_> = d.iter().map(|x| (x.path.as_str(), x.line, x.rule)).collect();
+        assert_eq!(
+            order,
+            vec![("a.rs", 2, "D2"), ("a.rs", 2, "P1"), ("a.rs", 9, "X1"), ("b.rs", 1, "D1")]
+        );
+    }
+
+    #[test]
+    fn human_rendering_carries_span_and_rule() {
+        let text = diag("crates/x/src/lib.rs", 3, 7, "D1").render_human();
+        assert!(text.starts_with("crates/x/src/lib.rs:3:7: error[D1]:"), "{text}");
+        assert!(text.contains("| s"), "{text}");
+    }
+
+    #[test]
+    fn json_rendering_is_an_object_with_all_fields() {
+        let value = diag("a.rs", 1, 2, "P1").to_json();
+        let doc = value.as_object().unwrap();
+        for key in ["rule", "severity", "path", "line", "col", "message", "snippet"] {
+            assert!(doc.get(key).is_some(), "missing {key}");
+        }
+        assert_eq!(doc.get("line").unwrap().as_u64(), Some(1));
+    }
+}

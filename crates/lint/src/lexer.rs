@@ -1,0 +1,474 @@
+//! A small, total Rust lexer: comment-, string-, and raw-string-aware
+//! tokenization at roughly the `proc_macro` token level (no `syn`, no
+//! grammar).
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Total** — any `&str`, including truncated or malformed Rust,
+//!    lexes to a token stream without panicking (property-tested in
+//!    `tests/lexer_properties.rs`). Unterminated strings and comments
+//!    simply extend to end of input.
+//! 2. **Span-faithful** — every token records the exact byte range it was
+//!    read from, so `&source[span.start..span.end]` reproduces the token
+//!    text and diagnostics can point at real lines and columns.
+//! 3. **Comment/string aware** — rule patterns must never fire inside
+//!    `// ...`, `/* ... */` (nested), `"..."`, `r#"..."#`, byte and char
+//!    literals; those regions either vanish (comments) or become single
+//!    `Literal` tokens whose *content* is never pattern-matched.
+//!
+//! The token granularity is deliberately fine: every punctuation
+//! character is its own token (`::` is two `Punct(':')`s). Rules match
+//! token *sequences*, which sidesteps joint-vs-split ambiguity entirely.
+
+/// Byte range plus human coordinates of one token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Byte offset of the first byte of the token.
+    pub start: usize,
+    /// Byte offset one past the last byte of the token.
+    pub end: usize,
+    /// 1-based line of the token start.
+    pub line: u32,
+    /// 1-based byte column of the token start within its line.
+    pub col: u32,
+}
+
+/// What kind of literal a [`TokenKind::Literal`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LiteralKind {
+    /// `"..."`, `b"..."`, `r"..."`, `r#"..."#`, `br#"..."#`, `c"..."`.
+    Str,
+    /// `'x'`, `b'x'` (escape-aware).
+    Char,
+    /// Integer or float, with any suffix (`1_000u64`, `0xFF`, `1.5e-3`).
+    Number,
+}
+
+/// Token classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (keywords are not distinguished), including
+    /// raw identifiers (`r#match`).
+    Ident,
+    /// A single punctuation character.
+    Punct(char),
+    /// A literal; the content is opaque to rules.
+    Literal(LiteralKind),
+    /// A lifetime (`'a`) or loop label (`'outer`).
+    Lifetime,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokenKind,
+    /// Source location.
+    pub span: Span,
+}
+
+/// Lexer state over the raw bytes of the source.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    /// Byte offset of the start of the current line.
+    line_start: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(source: &'a str) -> Self {
+        Cursor { bytes: source.as_bytes(), pos: 0, line: 1, line_start: 0 }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<u8> {
+        self.bytes.get(self.pos + offset).copied()
+    }
+
+    /// Advance one byte, maintaining the line counter.
+    fn bump(&mut self) {
+        if self.peek() == Some(b'\n') {
+            self.line += 1;
+            self.line_start = self.pos + 1;
+        }
+        self.pos += 1;
+    }
+
+    fn col(&self) -> u32 {
+        (self.pos - self.line_start) as u32 + 1
+    }
+
+    /// Consume bytes while `pred` holds.
+    fn eat_while(&mut self, pred: impl Fn(u8) -> bool) {
+        while let Some(b) = self.peek() {
+            if pred(b) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lex `source` into a token stream. Never panics; comments and
+/// whitespace are skipped, everything else becomes a token.
+pub fn lex(source: &str) -> Vec<Token> {
+    let mut cur = Cursor::new(source);
+    let mut tokens = Vec::new();
+    while let Some(b) = cur.peek() {
+        let (start, line, col) = (cur.pos, cur.line, cur.col());
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                cur.bump();
+                continue;
+            }
+            b'/' if cur.peek_at(1) == Some(b'/') => {
+                cur.eat_while(|b| b != b'\n');
+                continue;
+            }
+            b'/' if cur.peek_at(1) == Some(b'*') => {
+                eat_block_comment(&mut cur);
+                continue;
+            }
+            b'"' => {
+                eat_string(&mut cur);
+                push(&mut tokens, TokenKind::Literal(LiteralKind::Str), start, &cur, line, col);
+            }
+            b'r' | b'b' | b'c' if starts_string_prefix(&cur) => {
+                eat_prefixed_string(&mut cur);
+                push(&mut tokens, TokenKind::Literal(LiteralKind::Str), start, &cur, line, col);
+            }
+            b'b' if cur.peek_at(1) == Some(b'\'') => {
+                cur.bump(); // `b`
+                eat_char(&mut cur);
+                push(&mut tokens, TokenKind::Literal(LiteralKind::Char), start, &cur, line, col);
+            }
+            b'\'' => {
+                let kind = eat_char_or_lifetime(&mut cur);
+                push(&mut tokens, kind, start, &cur, line, col);
+            }
+            b'r' if cur.peek_at(1) == Some(b'#')
+                && cur.peek_at(2).is_some_and(is_ident_start) =>
+            {
+                // Raw identifier `r#match`.
+                cur.bump();
+                cur.bump();
+                cur.eat_while(is_ident_continue);
+                push(&mut tokens, TokenKind::Ident, start, &cur, line, col);
+            }
+            _ if is_ident_start(b) => {
+                cur.eat_while(is_ident_continue);
+                push(&mut tokens, TokenKind::Ident, start, &cur, line, col);
+            }
+            _ if b.is_ascii_digit() => {
+                eat_number(&mut cur);
+                push(&mut tokens, TokenKind::Literal(LiteralKind::Number), start, &cur, line, col);
+            }
+            _ => {
+                cur.bump();
+                // Multi-byte UTF-8 punctuation: consume the whole scalar so
+                // spans stay on char boundaries.
+                if b >= 0x80 {
+                    cur.eat_while(|b| (0x80..0xC0).contains(&b));
+                }
+                push(&mut tokens, TokenKind::Punct(b as char), start, &cur, line, col);
+            }
+        }
+    }
+    tokens
+}
+
+fn push(tokens: &mut Vec<Token>, kind: TokenKind, start: usize, cur: &Cursor, line: u32, col: u32) {
+    tokens.push(Token { kind, span: Span { start, end: cur.pos, line, col } });
+}
+
+/// Whether the cursor sits on a string-literal prefix: `r"`/`r#"`,
+/// `b"`/`br"`/`br#"`, `c"`/`cr#"` and friends.
+fn starts_string_prefix(cur: &Cursor) -> bool {
+    let mut i = 0;
+    // Up to two prefix letters (`br`, `cr`).
+    for _ in 0..2 {
+        match cur.peek_at(i) {
+            Some(b'r' | b'b' | b'c') => i += 1,
+            _ => break,
+        }
+    }
+    if i == 0 {
+        return false;
+    }
+    // Any number of `#`s (raw), then a quote.
+    let mut j = i;
+    while cur.peek_at(j) == Some(b'#') {
+        j += 1;
+    }
+    // `r#ident` must stay an identifier: a raw string needs the quote right
+    // after the hashes, and a non-raw prefixed string right after letters.
+    cur.peek_at(j) == Some(b'"') && (j > i || cur.peek_at(i) == Some(b'"'))
+}
+
+/// Consume `"..."` with backslash escapes. Unterminated → to end of input.
+fn eat_string(cur: &mut Cursor) {
+    cur.bump(); // opening quote
+    while let Some(b) = cur.peek() {
+        match b {
+            b'\\' => {
+                cur.bump();
+                if cur.peek().is_some() {
+                    cur.bump();
+                }
+            }
+            b'"' => {
+                cur.bump();
+                return;
+            }
+            _ => cur.bump(),
+        }
+    }
+}
+
+/// Consume a prefixed string: `r"..."`, `r#"..."#`, `b"..."`, `br#"..."#`,
+/// `c"..."`. Raw forms end at `"` followed by the opening `#` count.
+fn eat_prefixed_string(cur: &mut Cursor) {
+    let mut raw = false;
+    for _ in 0..2 {
+        match cur.peek() {
+            Some(b'r') => {
+                raw = true;
+                cur.bump();
+            }
+            Some(b'b' | b'c') => cur.bump(),
+            _ => break,
+        }
+    }
+    let mut hashes = 0usize;
+    while cur.peek() == Some(b'#') {
+        hashes += 1;
+        cur.bump();
+    }
+    if cur.peek() != Some(b'"') {
+        return; // not actually a string; prefix letters were already consumed as ident-ish
+    }
+    if !raw {
+        eat_string(cur);
+        return;
+    }
+    cur.bump(); // opening quote
+    while let Some(b) = cur.peek() {
+        cur.bump();
+        if b == b'"' {
+            let mut matched = 0;
+            while matched < hashes && cur.peek() == Some(b'#') {
+                cur.bump();
+                matched += 1;
+            }
+            if matched == hashes {
+                return;
+            }
+        }
+    }
+}
+
+/// Consume `'x'` (escape-aware) after the caller consumed any `b` prefix.
+fn eat_char(cur: &mut Cursor) {
+    cur.bump(); // opening quote
+    match cur.peek() {
+        Some(b'\\') => {
+            cur.bump();
+            if cur.peek().is_some() {
+                cur.bump();
+            }
+        }
+        Some(_) => cur.bump(),
+        None => return,
+    }
+    // Consume up to the closing quote (tolerates multi-byte chars).
+    cur.eat_while(|b| b != b'\'' && b != b'\n');
+    if cur.peek() == Some(b'\'') {
+        cur.bump();
+    }
+}
+
+/// Disambiguate `'a` (lifetime) from `'x'` (char literal).
+fn eat_char_or_lifetime(cur: &mut Cursor) -> TokenKind {
+    // Lifetime: `'` + ident-start, and the char after the ident run is not
+    // a closing `'` (which would make it a char literal like `'a'`).
+    if cur.peek_at(1).is_some_and(is_ident_start) {
+        let mut i = 2;
+        while cur.peek_at(i).is_some_and(is_ident_continue) {
+            i += 1;
+        }
+        if cur.peek_at(i) != Some(b'\'') {
+            cur.bump(); // `'`
+            cur.eat_while(is_ident_continue);
+            return TokenKind::Lifetime;
+        }
+    }
+    eat_char(cur);
+    TokenKind::Literal(LiteralKind::Char)
+}
+
+/// Consume a numeric literal: digits, `_`, suffix letters, hex digits, a
+/// single fractional `.` (only when followed by a digit, so `0..n` lexes as
+/// `0`, `.`, `.`, `n`), and exponent signs.
+fn eat_number(cur: &mut Cursor) {
+    let mut seen_dot = false;
+    while let Some(b) = cur.peek() {
+        match b {
+            b'0'..=b'9' | b'_' => cur.bump(),
+            b'a'..=b'd' | b'f'..=b'z' | b'A'..=b'D' | b'F'..=b'Z' => cur.bump(),
+            b'e' | b'E' => {
+                cur.bump();
+                if matches!(cur.peek(), Some(b'+' | b'-'))
+                    && cur.peek_at(1).is_some_and(|b| b.is_ascii_digit())
+                {
+                    cur.bump();
+                }
+            }
+            b'.' if !seen_dot && cur.peek_at(1).is_some_and(|b| b.is_ascii_digit()) => {
+                seen_dot = true;
+                cur.bump();
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Consume `/* ... */` with nesting. Unterminated → to end of input.
+fn eat_block_comment(cur: &mut Cursor) {
+    cur.bump(); // `/`
+    cur.bump(); // `*`
+    let mut depth = 1usize;
+    while let Some(b) = cur.peek() {
+        if b == b'/' && cur.peek_at(1) == Some(b'*') {
+            depth += 1;
+            cur.bump();
+            cur.bump();
+        } else if b == b'*' && cur.peek_at(1) == Some(b'/') {
+            depth -= 1;
+            cur.bump();
+            cur.bump();
+            if depth == 0 {
+                return;
+            }
+        } else {
+            cur.bump();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(source: &str) -> Vec<(TokenKind, String)> {
+        lex(source)
+            .into_iter()
+            .map(|t| (t.kind, source[t.span.start..t.span.end].to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_numbers() {
+        let toks = kinds("let x = 42;");
+        assert_eq!(
+            toks,
+            vec![
+                (TokenKind::Ident, "let".into()),
+                (TokenKind::Ident, "x".into()),
+                (TokenKind::Punct('='), "=".into()),
+                (TokenKind::Literal(LiteralKind::Number), "42".into()),
+                (TokenKind::Punct(';'), ";".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_vanish_including_nested_blocks() {
+        assert_eq!(kinds("a // HashMap\nb"), kinds("a\nb"));
+        assert_eq!(kinds("a /* x /* y */ z */ b"), kinds("a b"));
+        // Unterminated block comment swallows the rest without panicking.
+        assert_eq!(kinds("a /* open"), kinds("a"));
+    }
+
+    #[test]
+    fn strings_are_single_opaque_tokens() {
+        let toks = kinds(r#"f("Instant::now()")"#);
+        assert_eq!(toks[2].0, TokenKind::Literal(LiteralKind::Str));
+        assert_eq!(toks[2].1, "\"Instant::now()\"");
+        // Escaped quote does not terminate.
+        let toks = kinds(r#""a\"b" c"#);
+        assert_eq!(toks[0].1, r#""a\"b""#);
+        assert_eq!(toks[1].1, "c");
+    }
+
+    #[test]
+    fn raw_strings_respect_hash_depth() {
+        let src = r####"x(r#"inner "quote" stays"#) y"####;
+        let toks = kinds(src);
+        assert_eq!(toks[2].0, TokenKind::Literal(LiteralKind::Str));
+        assert!(toks[2].1.starts_with("r#\""));
+        assert_eq!(toks.last().unwrap().1, "y");
+        // Byte and raw-byte strings.
+        assert_eq!(kinds(r#"b"ab" z"#)[0].0, TokenKind::Literal(LiteralKind::Str));
+        assert_eq!(kinds(r###"br#"ab"# z"###)[0].0, TokenKind::Literal(LiteralKind::Str));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("&'a str");
+        assert_eq!(toks[1].0, TokenKind::Lifetime);
+        assert_eq!(toks[1].1, "'a");
+        let toks = kinds("let c = 'x';");
+        assert_eq!(toks[3].0, TokenKind::Literal(LiteralKind::Char));
+        assert_eq!(toks[3].1, "'x'");
+        let toks = kinds(r"'\'' q");
+        assert_eq!(toks[0].0, TokenKind::Literal(LiteralKind::Char));
+        assert_eq!(toks[1].1, "q");
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents() {
+        let toks = kinds("r#match + r#\"s\"#");
+        assert_eq!(toks[0].0, TokenKind::Ident);
+        assert_eq!(toks[0].1, "r#match");
+        assert_eq!(toks[2].0, TokenKind::Literal(LiteralKind::Str));
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_range_dots() {
+        let toks = kinds("0..n");
+        assert_eq!(toks[0].1, "0");
+        assert_eq!(toks[1].0, TokenKind::Punct('.'));
+        let toks = kinds("1.5e-3 0xFF 1_000u64");
+        assert_eq!(toks[0].1, "1.5e-3");
+        assert_eq!(toks[1].1, "0xFF");
+        assert_eq!(toks[2].1, "1_000u64");
+    }
+
+    #[test]
+    fn line_and_column_tracking() {
+        let toks = lex("a\n  bb\n");
+        assert_eq!((toks[0].span.line, toks[0].span.col), (1, 1));
+        assert_eq!((toks[1].span.line, toks[1].span.col), (2, 3));
+    }
+
+    #[test]
+    fn multibyte_utf8_stays_on_char_boundaries() {
+        let src = "let α = \"日本\"; // ≈";
+        for t in lex(src) {
+            let _ = &src[t.span.start..t.span.end]; // must not panic
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! **D1 — no `HashMap`/`HashSet` iteration in artifact-producing crates.**
+//!
+//! `std` hash collections iterate in `RandomState` order: different across
+//! processes, so any iteration whose order can reach a serialized artifact
+//! breaks the byte-identical Table I / Fig 1–4 contract. Artifact-producing
+//! crates must hold iterated collections in `BTreeMap`/`BTreeSet` (or sort
+//! before emitting and carry a baseline entry justifying why the hash
+//! container stays).
+//!
+//! Detection is token-level: names bound to hash containers (via `let`
+//! statements mentioning `HashMap`/`HashSet`, type-annotated fields, and
+//! fn parameters) are flagged wherever they are iterated — order-dependent
+//! method calls (`iter`, `keys`, `values`, `drain`, `retain`, ...) or
+//! `for _ in name` loops. Lookup-only use (`get`, `contains_key`,
+//! `insert`) is never flagged: point queries are order-free.
+
+use crate::context::{FileContext, Section, SourceFile};
+use crate::diagnostics::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::rules::{hash_bindings, is_method_call, Rule};
+
+/// Crates whose `src/` produces serialized paper artifacts.
+const ARTIFACT_CRATES: &[&str] = &["core", "analytics", "mining", "evolution", "report"];
+
+/// Iteration-order-dependent methods on hash collections.
+const ITERATION_METHODS: &[&str] = &[
+    "iter", "iter_mut", "into_iter", "keys", "into_keys", "values", "values_mut", "into_values",
+    "drain", "retain", "extract_if",
+];
+
+/// The D1 rule value.
+pub struct HashIteration;
+
+impl Rule for HashIteration {
+    fn id(&self) -> &'static str {
+        "D1"
+    }
+
+    fn summary(&self) -> &'static str {
+        "no HashMap/HashSet iteration in artifact-producing crates (use BTreeMap or sort-before-emit)"
+    }
+
+    fn applies(&self, context: &FileContext) -> bool {
+        match context.krate.as_deref() {
+            Some(name) if ARTIFACT_CRATES.contains(&name) => context.section == Section::Src,
+            // The serve snapshot store serializes every artifact; the rest
+            // of serve (LRU keys, router tables) never exposes hash order.
+            Some("serve") => {
+                context.section == Section::Src && context.file_name == "snapshot.rs"
+            }
+            _ => false,
+        }
+    }
+
+    fn check(&self, file: &SourceFile<'_>) -> Vec<Diagnostic> {
+        let tracked = hash_bindings(file);
+        if tracked.is_empty() {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for i in 0..file.tokens.len() {
+            if file.in_test[i] || file.tokens[i].kind != TokenKind::Ident {
+                continue;
+            }
+            let name = file.tok(i);
+            if !tracked.contains(name) {
+                continue;
+            }
+            // `name.iter()` / `name.drain()` / ... — possibly behind field
+            // access (`self.name.iter()`), which resolves to the same name.
+            let method_iteration = ITERATION_METHODS
+                .iter()
+                .any(|m| i + 2 < file.tokens.len()
+                    && file.is_punct(i + 1, '.')
+                    && is_method_call(file, i + 2, m));
+            // `for x in name {` / `for x in &name {` / `&mut name`.
+            let for_iteration = {
+                let mut j = i;
+                while j >= 1
+                    && (file.is_punct(j - 1, '&') || file.is_ident(j - 1, "mut"))
+                {
+                    j -= 1;
+                }
+                j >= 1 && file.is_ident(j - 1, "in")
+            };
+            if method_iteration || for_iteration {
+                out.push(file.diagnostic(
+                    self.id(),
+                    i,
+                    format!(
+                        "iteration over hash container `{name}` has process-random order in an \
+                         artifact-producing crate; use BTreeMap/BTreeSet, sort before emitting, \
+                         or baseline this site with a justification"
+                    ),
+                ));
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,71 @@
+//! **D2 — no wall-clock or environment reads in deterministic paths.**
+//!
+//! The reproduction's contract is that every artifact is a pure function
+//! of `(seed, scale, thread count, cache mode)` — and thread count / cache
+//! mode are proven value-neutral by `tests/determinism.rs`. A single
+//! `Instant::now()` or `env::var()` feeding a computation silently breaks
+//! that for every downstream comparison (the paper's cross-cuisine Eq. 2
+//! "MAE"s compound any drift).
+//!
+//! The rule flags construction of ambient values — `SystemTime::now`,
+//! `Instant::now`, `env::var`/`vars`/`var_os` — in every crate's
+//! production sections. The two legitimate consumers (the `cuisine-exec`
+//! timing helpers and `cuisine-serve` latency metrics / operator logging)
+//! are carried by baseline entries, each with a justification, so a *new*
+//! clock read anywhere is a visible CI failure rather than a silent drift.
+
+use crate::context::{FileContext, SourceFile};
+use crate::diagnostics::Diagnostic;
+use crate::rules::{path_ends_with, Rule};
+
+/// `::`-paths whose call constructs an ambient (non-deterministic) value.
+const FORBIDDEN_PATHS: &[(&[&str], &str)] = &[
+    (&["SystemTime", "now"], "wall-clock read"),
+    (&["Instant", "now"], "monotonic-clock read"),
+    (&["env", "var"], "environment read"),
+    (&["env", "var_os"], "environment read"),
+    (&["env", "vars"], "environment read"),
+    (&["env", "vars_os"], "environment read"),
+];
+
+/// The D2 rule value.
+pub struct WallClock;
+
+impl Rule for WallClock {
+    fn id(&self) -> &'static str {
+        "D2"
+    }
+
+    fn summary(&self) -> &'static str {
+        "no SystemTime/Instant/env reads in deterministic paths (baseline exec timing + serve metrics)"
+    }
+
+    fn applies(&self, context: &FileContext) -> bool {
+        context.is_production()
+    }
+
+    fn check(&self, file: &SourceFile<'_>) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for i in 0..file.tokens.len() {
+            if file.in_test[i] {
+                continue;
+            }
+            for (path, what) in FORBIDDEN_PATHS {
+                if path_ends_with(file, i, path) {
+                    let spelled = path.join("::");
+                    out.push(file.diagnostic(
+                        self.id(),
+                        i,
+                        format!(
+                            "`{spelled}` is a {what}: deterministic paths must not observe the \
+                             environment; derive values from the seed, or baseline this site \
+                             if it is observability-only"
+                        ),
+                    ));
+                    break;
+                }
+            }
+        }
+        out
+    }
+}

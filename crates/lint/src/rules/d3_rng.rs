@@ -1,0 +1,66 @@
+//! **D3 — all RNG construction flows through seeded constructors.**
+//!
+//! Every random stream in the reproduction derives from the master seed
+//! via `cuisine_evolution::replicate_seed` / `SeedableRng::seed_from_u64`;
+//! that is what makes replicate ensembles byte-reproducible across thread
+//! counts and hosts. Entropy-seeded generators (`from_entropy`,
+//! `thread_rng`, `rand::random`, `OsRng`) re-introduce ambient state, so
+//! their *mention* in production code is flagged — there is no legitimate
+//! use in this workspace today, which keeps the expected count at zero and
+//! the rule's self-check meaningful.
+
+use crate::context::{FileContext, SourceFile};
+use crate::diagnostics::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::rules::Rule;
+
+/// Identifiers whose presence means an entropy-seeded generator.
+const FORBIDDEN_IDENTS: &[&str] =
+    &["from_entropy", "thread_rng", "from_os_rng", "OsRng", "getrandom", "random_seed"];
+
+/// The D3 rule value.
+pub struct UnseededRng;
+
+impl Rule for UnseededRng {
+    fn id(&self) -> &'static str {
+        "D3"
+    }
+
+    fn summary(&self) -> &'static str {
+        "RNGs must be seeded via replicate_seed/seed_from_u64; entropy-based constructors are banned"
+    }
+
+    fn applies(&self, context: &FileContext) -> bool {
+        context.is_production()
+    }
+
+    fn check(&self, file: &SourceFile<'_>) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for i in 0..file.tokens.len() {
+            if file.in_test[i] || file.tokens[i].kind != TokenKind::Ident {
+                continue;
+            }
+            let name = file.tok(i);
+            let entropy_ident = FORBIDDEN_IDENTS.contains(&name);
+            // `rand::random` — the only two-segment form we ban; a bare
+            // `random` ident is too common to flag.
+            let rand_random = name == "random"
+                && i >= 3
+                && file.is_punct(i - 1, ':')
+                && file.is_punct(i - 2, ':')
+                && file.is_ident(i - 3, "rand");
+            if entropy_ident || rand_random {
+                out.push(file.diagnostic(
+                    self.id(),
+                    i,
+                    format!(
+                        "`{name}` constructs an entropy-seeded RNG; every random stream must \
+                         derive from the master seed (replicate_seed / seed_from_u64) so \
+                         replicates are byte-reproducible"
+                    ),
+                ));
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,112 @@
+//! **P1 — no panic-capable operation in the serve request path.**
+//!
+//! `cuisine-serve` runs every request on a `cuisine-exec` worker; a panic
+//! there poisons the pool and turns one malformed request into an outage
+//! for every later client. The request path therefore speaks in typed
+//! errors (`HttpError` → 4xx/5xx JSON), and this rule keeps it that way at
+//! the source level by flagging, in `crates/serve` production code:
+//!
+//! * `.unwrap()` / `.expect(` method calls (`unwrap_or*` variants are
+//!   fine — they cannot panic);
+//! * panicking macros: `panic!`, `unreachable!`, `todo!`, `unimplemented!`,
+//!   `assert!`, `assert_eq!`, `assert_ne!`;
+//! * slice/array indexing `expr[...]` — `.get()` returns an `Option` the
+//!   caller must answer; `[]` aborts the worker on a bad bound.
+//!
+//! Startup-time fail-fast sites (snapshot building before the listener
+//! binds) and provably clamped indices are carried in the baseline with
+//! justifications; the harness-only `client.rs`/`testutil.rs` helpers are
+//! out of scope (they are test plumbing compiled into the crate).
+
+use crate::context::{FileContext, SourceFile};
+use crate::diagnostics::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::rules::{is_keyword, is_method_call, Rule};
+
+/// Macros that unconditionally (or on a failed condition) panic.
+const PANIC_MACROS: &[&str] =
+    &["panic", "unreachable", "todo", "unimplemented", "assert", "assert_eq", "assert_ne"];
+
+/// Serve source files that are test plumbing, not the request path.
+const EXEMPT_FILES: &[&str] = &["client.rs", "testutil.rs"];
+
+/// The P1 rule value.
+pub struct NoPanic;
+
+impl Rule for NoPanic {
+    fn id(&self) -> &'static str {
+        "P1"
+    }
+
+    fn summary(&self) -> &'static str {
+        "no unwrap/expect/panic!/indexing in the serve request path (typed HttpError instead)"
+    }
+
+    fn applies(&self, context: &FileContext) -> bool {
+        context.krate.as_deref() == Some("serve")
+            && context.is_production()
+            && !EXEMPT_FILES.contains(&context.file_name.as_str())
+    }
+
+    fn check(&self, file: &SourceFile<'_>) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for i in 0..file.tokens.len() {
+            if file.in_test[i] {
+                continue;
+            }
+            // `.unwrap(` / `.expect(` — exact names, so `unwrap_or_default`
+            // and friends (non-panicking) pass.
+            for method in ["unwrap", "expect"] {
+                if is_method_call(file, i, method) {
+                    out.push(file.diagnostic(
+                        self.id(),
+                        i,
+                        format!(
+                            "`.{method}()` can panic and poison the worker pool; return a typed \
+                             `HttpError` (500-class) instead, or baseline a startup-only site"
+                        ),
+                    ));
+                }
+            }
+            // `panic!(` and friends: ident followed by `!`.
+            if file.tokens[i].kind == TokenKind::Ident
+                && PANIC_MACROS.contains(&file.tok(i))
+                && i + 1 < file.tokens.len()
+                && file.is_punct(i + 1, '!')
+            {
+                let name = file.tok(i);
+                out.push(file.diagnostic(
+                    self.id(),
+                    i,
+                    format!(
+                        "`{name}!` aborts the request worker; map the condition into a typed \
+                         `HttpError` response instead"
+                    ),
+                ));
+            }
+            // Indexing: an identifier (or `)`/`]` closing an expression)
+            // directly followed by `[`. `vec![`, `#[`, `matches!(x, [..])`
+            // never match because the previous token is `!`, `#`, `(`, or
+            // `,` — and keywords (`if x[..]` is impossible; `for x in
+            // y[..]`) are excluded on the ident side.
+            if file.is_punct(i, '[') && i >= 1 {
+                let prev = &file.tokens[i - 1];
+                let indexable = match prev.kind {
+                    TokenKind::Ident => !is_keyword(file.tok(i - 1)),
+                    TokenKind::Punct(')') | TokenKind::Punct(']') => true,
+                    _ => false,
+                };
+                if indexable {
+                    out.push(file.diagnostic(
+                        self.id(),
+                        i,
+                        "slice indexing panics on a bad bound in the request path; use `.get()` \
+                         and answer the `None` (or baseline a provably clamped index)"
+                            .to_string(),
+                    ));
+                }
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,58 @@
+//! **X1 — thread spawning only through `cuisine-exec`.**
+//!
+//! Every parallel region in the workspace runs on the deterministic
+//! fan-out layer (`cuisine_exec::{run_parallel, WorkerPool}`) so that
+//! thread count is provably value-neutral and panics are contained per
+//! task. A raw `std::thread::spawn` elsewhere escapes both guarantees:
+//! its interleaving is unobserved by the determinism tests and its panic
+//! unwinds past the pool's isolation.
+//!
+//! The rule flags `thread::spawn`, `thread::scope`, `Builder::new()...
+//! .spawn(...)` and `scope.spawn(...)` shapes in production code of every
+//! crate except `cuisine-exec` itself. The one legitimate outside user —
+//! the serve accept loop, which needs a dedicated listener thread that is
+//! not task-shaped — is carried in the baseline with a justification.
+
+use crate::context::{FileContext, SourceFile};
+use crate::diagnostics::Diagnostic;
+use crate::rules::{is_method_call, path_ends_with, Rule};
+
+/// The X1 rule value.
+pub struct ExecOnlyThreads;
+
+impl Rule for ExecOnlyThreads {
+    fn id(&self) -> &'static str {
+        "X1"
+    }
+
+    fn summary(&self) -> &'static str {
+        "thread spawning only inside cuisine-exec (run_parallel/WorkerPool elsewhere)"
+    }
+
+    fn applies(&self, context: &FileContext) -> bool {
+        context.is_production() && context.krate.as_deref() != Some("exec")
+    }
+
+    fn check(&self, file: &SourceFile<'_>) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for i in 0..file.tokens.len() {
+            if file.in_test[i] {
+                continue;
+            }
+            let path_spawn = path_ends_with(file, i, &["thread", "spawn"])
+                || path_ends_with(file, i, &["thread", "scope"]);
+            let method_spawn = is_method_call(file, i, "spawn");
+            if path_spawn || method_spawn {
+                out.push(file.diagnostic(
+                    self.id(),
+                    i,
+                    "raw thread creation bypasses cuisine-exec's deterministic fan-out and \
+                     panic isolation; use run_parallel/WorkerPool, or baseline a non-task \
+                     thread (e.g. a listener accept loop)"
+                        .to_string(),
+                ));
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,166 @@
+//! Workspace discovery and the end-to-end lint run.
+//!
+//! [`collect_rust_files`] walks the repo for `.rs` files in sorted order
+//! (skipping `target/`, `vendor/`, `.git/`, and the linter's own fixture
+//! directories), and [`run_workspace`] lexes each file, applies every
+//! rule, folds in the baseline, and returns a [`LintReport`] — the same
+//! entry point the CLI, the self-check, and the integration tests share.
+
+use std::path::{Path, PathBuf};
+
+use crate::baseline::{Baseline, BaselineEntry, BaselineError};
+use crate::context::{FileContext, SourceFile};
+use crate::diagnostics::{sort_diagnostics, Diagnostic};
+use crate::rules::check_file;
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", "artifacts", "fixtures"];
+
+/// An I/O-level failure during the run (distinct from findings).
+#[derive(Debug)]
+pub struct LintError {
+    /// What failed.
+    pub message: String,
+}
+
+impl std::fmt::Display for LintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for LintError {}
+
+impl From<BaselineError> for LintError {
+    fn from(e: BaselineError) -> Self {
+        LintError { message: e.to_string() }
+    }
+}
+
+/// Outcome of linting a workspace.
+#[derive(Debug)]
+pub struct LintReport {
+    /// Diagnostics that survived the baseline, in canonical order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// How many diagnostics the baseline suppressed.
+    pub suppressed: usize,
+    /// Baseline entries that matched nothing (each is an error: stale
+    /// suppressions mask future regressions).
+    pub unused_baseline: Vec<BaselineEntry>,
+    /// How many `.rs` files were scanned.
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    /// Whether the run should fail CI: any surviving diagnostic or any
+    /// unused baseline entry.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty() && self.unused_baseline.is_empty()
+    }
+}
+
+/// All `.rs` files under `root`, repo-relative with `/` separators, in
+/// sorted (deterministic) order.
+pub fn collect_rust_files(root: &Path) -> Result<Vec<PathBuf>, LintError> {
+    let mut out = Vec::new();
+    walk(root, root, &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), LintError> {
+    let entries = std::fs::read_dir(dir).map_err(|e| LintError {
+        message: format!("cannot read directory {}: {e}", dir.display()),
+    })?;
+    // Sort within each directory so traversal order (and therefore any
+    // I/O error encountered first) is deterministic too.
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    paths.sort();
+    for path in paths {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name) || name.starts_with('.') {
+                continue;
+            }
+            walk(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_path_buf());
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Lint one file's source text against every applicable rule. This is the
+/// unit the rule tests drive directly with string fixtures.
+pub fn lint_source(rel_path: &str, text: &str) -> Vec<Diagnostic> {
+    let context = FileContext::classify(rel_path);
+    let file = SourceFile::parse(context, text);
+    check_file(&file)
+}
+
+/// Walk `root`, lint every `.rs` file, and fold in `baseline`.
+pub fn run_workspace(root: &Path, baseline: &Baseline) -> Result<LintReport, LintError> {
+    let files = collect_rust_files(root)?;
+    let files_scanned = files.len();
+    let mut diagnostics = Vec::new();
+    for rel in &files {
+        let rel_str = rel
+            .to_str()
+            .ok_or_else(|| LintError {
+                message: format!("non-UTF-8 path {}", rel.display()),
+            })?
+            .replace('\\', "/");
+        let text = std::fs::read_to_string(root.join(rel)).map_err(|e| LintError {
+            message: format!("cannot read {rel_str}: {e}"),
+        })?;
+        diagnostics.extend(lint_source(&rel_str, &text));
+    }
+    sort_diagnostics(&mut diagnostics);
+    let (kept, suppressed, unused) = baseline.apply(diagnostics);
+    let unused_baseline = unused.into_iter().cloned().collect();
+    Ok(LintReport { diagnostics: kept, suppressed, unused_baseline, files_scanned })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lint_source_flags_and_scopes() {
+        let bad = "fn f(m: std::collections::HashMap<u32, u32>) -> Vec<u32> {\n\
+                   let mut v: Vec<u32> = m.keys().copied().collect();\n v.sort(); v }";
+        let hits = lint_source("crates/mining/src/x.rs", bad);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].rule, "D1");
+        // Same text outside an artifact crate: no rule applies.
+        assert!(lint_source("crates/bench/src/x.rs", bad).is_empty());
+        // And in a test file: out of scope entirely.
+        assert!(lint_source("crates/mining/tests/x.rs", bad).is_empty());
+    }
+
+    #[test]
+    fn run_is_deterministic_over_a_temp_tree() {
+        let dir = std::env::temp_dir().join(format!("cuisine-lint-ws-{}", std::process::id()));
+        let src = dir.join("crates/serve/src");
+        std::fs::create_dir_all(&src).unwrap();
+        std::fs::write(src.join("a.rs"), "fn f(x: Option<u32>) -> u32 { x.unwrap() }").unwrap();
+        std::fs::write(src.join("b.rs"), "fn g(v: &[u8]) -> u8 { v[0] }").unwrap();
+
+        let first = run_workspace(&dir, &Baseline::empty()).unwrap();
+        let second = run_workspace(&dir, &Baseline::empty()).unwrap();
+        let render = |r: &LintReport| {
+            r.diagnostics.iter().map(Diagnostic::render_human).collect::<Vec<_>>().join("\n")
+        };
+        assert_eq!(render(&first), render(&second));
+        assert_eq!(first.files_scanned, 2);
+        assert_eq!(first.diagnostics.len(), 2);
+        assert_eq!(first.diagnostics[0].path, "crates/serve/src/a.rs");
+        assert_eq!(first.diagnostics[1].rule, "P1");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

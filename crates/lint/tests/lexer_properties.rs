@@ -1,0 +1,104 @@
+//! Property tests for the lint lexer and the full single-file pipeline:
+//! the lexer is *total* — arbitrary byte soup (lossily decoded) must lex
+//! without panicking, and token spans must tile the source in order —
+//! because a linter that crashes on one weird file silently un-guards the
+//! whole workspace.
+
+use cuisine_lint::lexer::{lex, TokenKind};
+use cuisine_lint::workspace::lint_source;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn lexer_never_panics_on_byte_soup(bytes in prop::collection::vec(any::<u8>(), 0..400)) {
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = lex(&text);
+    }
+
+    #[test]
+    fn lexer_never_panics_on_rust_like_text(
+        source in "[a-zA-Z0-9_:;.,<>(){}#!'\"/* \n=&-]{0,300}",
+    ) {
+        let _ = lex(&source);
+    }
+
+    #[test]
+    fn spans_are_in_bounds_ordered_and_non_overlapping(
+        bytes in prop::collection::vec(any::<u8>(), 0..400),
+    ) {
+        let text = String::from_utf8_lossy(&bytes);
+        let tokens = lex(&text);
+        let mut previous_end = 0usize;
+        for token in &tokens {
+            let span = token.span;
+            prop_assert!(span.start < span.end, "empty span {span:?}");
+            prop_assert!(span.end <= text.len(), "span past EOF: {span:?}");
+            prop_assert!(span.start >= previous_end, "overlapping spans at {span:?}");
+            prop_assert!(text.get(span.start..span.end).is_some(),
+                "span splits a UTF-8 boundary: {span:?}");
+            previous_end = span.end;
+        }
+    }
+
+    #[test]
+    fn spans_round_trip_token_text(identifiers in prop::collection::vec("[a-zA-Z_][a-zA-Z0-9_]{0,10}", 1..8)) {
+        let source = identifiers.join(" + ");
+        let tokens = lex(&source);
+        let rebuilt: Vec<&str> = tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| &source[t.span.start..t.span.end])
+            .collect();
+        prop_assert_eq!(rebuilt, identifiers.iter().map(String::as_str).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn lexing_is_deterministic(bytes in prop::collection::vec(any::<u8>(), 0..300)) {
+        let text = String::from_utf8_lossy(&bytes);
+        prop_assert_eq!(lex(&text), lex(&text));
+    }
+
+    #[test]
+    fn line_numbers_are_monotonic_and_match_newlines(
+        source in "[a-z0-9 \n.(){}]{0,300}",
+    ) {
+        let tokens = lex(&source);
+        let mut previous_line = 1u32;
+        for token in &tokens {
+            prop_assert!(token.span.line >= previous_line, "lines went backwards");
+            let newlines = source[..token.span.start].matches('\n').count() as u32;
+            prop_assert_eq!(token.span.line, newlines + 1);
+            previous_line = token.span.line;
+        }
+    }
+
+    #[test]
+    fn full_pipeline_never_panics_on_any_path_and_source(
+        bytes in prop::collection::vec(any::<u8>(), 0..300),
+        path_tail in "[a-z/.]{0,20}",
+    ) {
+        // Strings, comments, attributes may all be unterminated; rules,
+        // test-masking, and snippet extraction must still hold together.
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        for root in ["crates/serve/src/", "crates/mining/src/", "tests/", ""] {
+            let _ = lint_source(&format!("{root}{path_tail}.rs"), &text);
+        }
+    }
+
+    #[test]
+    fn comments_never_produce_tokens(
+        body in "[a-z \"'#!{}=]{0,60}",
+    ) {
+        // Whatever sits inside a line comment is trivia: only the `fn` /
+        // ident / punct tokens before it may appear.
+        let source = format!("fn f() {{}} // {body}\n");
+        let comment_at = source.find("//").unwrap_or(source.len());
+        let tokens = lex(&source);
+        for token in &tokens {
+            prop_assert!(token.span.end <= comment_at,
+                "token inside a comment: {:?}", &source[token.span.start..token.span.end]);
+        }
+    }
+}

@@ -5,7 +5,7 @@
 //! property). Transactions are sorted item lists, so candidate containment
 //! is a linear merge.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 
 use crate::itemset::{canonical_sort, FrequentItemset, Itemset};
 use crate::transaction::TransactionSet;
@@ -19,8 +19,10 @@ pub fn mine_apriori(transactions: &TransactionSet, min_support_count: u64) -> Ve
     let txs = transactions.transactions();
     let mut results: Vec<FrequentItemset> = Vec::new();
 
-    // Level 1: count individual items.
-    let mut counts: HashMap<u32, u64> = HashMap::new();
+    // Level 1: count individual items. BTreeMap makes the emission order
+    // structurally deterministic (ascending item id), not an after-the-fact
+    // sort over random hash order.
+    let mut counts: BTreeMap<u32, u64> = BTreeMap::new();
     for t in txs {
         for &item in t {
             *counts.entry(item).or_default() += 1;
@@ -31,7 +33,6 @@ pub fn mine_apriori(transactions: &TransactionSet, min_support_count: u64) -> Ve
         .filter(|&(_, &c)| c >= min_support_count)
         .map(|(&item, _)| vec![item])
         .collect();
-    frequent.sort();
     for items in &frequent {
         results.push(FrequentItemset {
             items: items.clone(),
@@ -45,7 +46,9 @@ pub fn mine_apriori(transactions: &TransactionSet, min_support_count: u64) -> Ve
         if candidates.is_empty() {
             break;
         }
-        let mut candidate_counts: HashMap<Itemset, u64> = HashMap::new();
+        // BTreeMap keys iterate in lexicographic itemset order — exactly
+        // the sorted order generate_candidates requires of its input.
+        let mut candidate_counts: BTreeMap<Itemset, u64> = BTreeMap::new();
         for t in txs {
             for c in &candidates {
                 if is_subset_sorted(c, t) {
@@ -53,12 +56,11 @@ pub fn mine_apriori(transactions: &TransactionSet, min_support_count: u64) -> Ve
                 }
             }
         }
-        let mut next: Vec<Itemset> = candidate_counts
+        let next: Vec<Itemset> = candidate_counts
             .iter()
             .filter(|&(_, &c)| c >= min_support_count)
             .map(|(items, _)| items.clone())
             .collect();
-        next.sort();
         for items in &next {
             results.push(FrequentItemset {
                 items: items.clone(),

@@ -7,7 +7,7 @@
 //! (pinned by property tests), completing the miner triad for the
 //! `ablation_mining` bench.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::itemset::{canonical_sort, FrequentItemset, Itemset};
 use crate::transaction::TransactionSet;
@@ -17,19 +17,20 @@ use crate::transaction::TransactionSet;
 pub fn mine_eclat(transactions: &TransactionSet, min_support_count: u64) -> Vec<FrequentItemset> {
     assert!(min_support_count > 0, "minimum support must be at least 1");
 
-    // Build vertical tid-lists.
-    let mut tidlists: HashMap<u32, Vec<u32>> = HashMap::new();
+    // Build vertical tid-lists. BTreeMap iterates in ascending item order,
+    // which is exactly the deterministic DFS root order — no post-sort over
+    // random hash order needed.
+    let mut tidlists: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
     for (tid, t) in transactions.transactions().iter().enumerate() {
         for &item in t {
             tidlists.entry(item).or_default().push(tid as u32);
         }
     }
     // Frequent 1-itemsets, in ascending item order for a deterministic DFS.
-    let mut roots: Vec<(u32, Vec<u32>)> = tidlists
+    let roots: Vec<(u32, Vec<u32>)> = tidlists
         .into_iter()
         .filter(|(_, tids)| tids.len() as u64 >= min_support_count)
         .collect();
-    roots.sort_by_key(|&(item, _)| item);
 
     let mut out = Vec::new();
     // DFS: at each level, the "equivalence class" is the list of

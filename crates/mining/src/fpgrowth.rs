@@ -6,7 +6,7 @@
 //! [`crate::apriori::mine_apriori`]; the equivalence is pinned by property
 //! tests and exercised by the `ablation_mining` bench.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use crate::itemset::{canonical_sort, FrequentItemset, Itemset};
 use crate::transaction::TransactionSet;
@@ -99,8 +99,9 @@ fn fp_growth(
     suffix: &[u32],
     out: &mut Vec<FrequentItemset>,
 ) {
-    // Count items under weights.
-    let mut counts: HashMap<u32, u64> = HashMap::new();
+    // Count items under weights. BTreeMap so the pre-sort order is
+    // structurally deterministic (ascending item id), not hash order.
+    let mut counts: BTreeMap<u32, u64> = BTreeMap::new();
     for &(t, w) in transactions {
         for &item in t {
             *counts.entry(item).or_default() += w;

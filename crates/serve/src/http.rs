@@ -122,8 +122,8 @@ pub fn percent_decode(s: &str, plus_as_space: bool) -> Result<String, HttpError>
     let bytes = s.as_bytes();
     let mut out = Vec::with_capacity(bytes.len());
     let mut i = 0;
-    while i < bytes.len() {
-        match bytes[i] {
+    while let Some(&b) = bytes.get(i) {
+        match b {
             b'%' => {
                 let (hi, lo) = match (bytes.get(i + 1), bytes.get(i + 2)) {
                     (Some(&hi), Some(&lo)) => (hi, lo),
@@ -140,8 +140,8 @@ pub fn percent_decode(s: &str, plus_as_space: bool) -> Result<String, HttpError>
                 out.push(b' ');
                 i += 1;
             }
-            b => {
-                out.push(b);
+            other => {
+                out.push(other);
                 i += 1;
             }
         }
@@ -260,7 +260,8 @@ fn read_line_bounded<R: BufRead>(reader: &mut R, max: usize) -> Result<String, H
                 return Err(HttpError::bad_request("unexpected end of stream"));
             }
             Ok(_) => {
-                if byte[0] == b'\n' {
+                let read = byte.first().copied().unwrap_or_default();
+                if read == b'\n' {
                     if line.last() == Some(&b'\r') {
                         line.pop();
                     }
@@ -270,7 +271,7 @@ fn read_line_bounded<R: BufRead>(reader: &mut R, max: usize) -> Result<String, H
                 if line.len() >= max {
                     return Err(HttpError::new(431, "header section line too long"));
                 }
-                line.push(byte[0]);
+                line.push(read);
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock
                 || e.kind() == std::io::ErrorKind::TimedOut =>

@@ -55,9 +55,20 @@ impl<V: Clone> Lru<V> {
         let tick = self.next_tick();
         let (old_tick, value) = self.map.get_mut(key)?;
         let previous = std::mem::replace(old_tick, tick);
-        let slot = self.order.remove(&previous).expect("recency index in sync");
-        self.order.insert(tick, slot);
-        Some(value.clone())
+        let value = value.clone();
+        match self.order.remove(&previous) {
+            Some(slot) => {
+                self.order.insert(tick, slot);
+                Some(value)
+            }
+            // Recency index out of sync (should be unreachable): drop the
+            // orphaned entry and report a miss instead of panicking on a
+            // request worker.
+            None => {
+                self.map.remove(key);
+                None
+            }
+        }
     }
 
     /// Insert (or replace) `key`, evicting the least recently used entry
@@ -71,8 +82,9 @@ impl<V: Clone> Lru<V> {
             self.order.remove(&old_tick);
         } else if self.map.len() >= self.capacity {
             if let Some((&oldest, _)) = self.order.iter().next() {
-                let evicted = self.order.remove(&oldest).expect("recency index in sync");
-                self.map.remove(&evicted);
+                if let Some(evicted) = self.order.remove(&oldest) {
+                    self.map.remove(&evicted);
+                }
             }
         }
         self.order.insert(tick, key.clone());

@@ -111,8 +111,8 @@ impl SnapshotStore {
 fn cuisines_document(experiment: &Experiment) -> String {
     let corpus = experiment.corpus();
     let rows: Vec<Value> = cuisine_data::CuisineId::all()
-        .map(|id| {
-            let info = &CUISINES[id.index()];
+        .filter_map(|id| {
+            let info = CUISINES.get(id.index())?;
             let mut row = Map::new();
             row.insert("code", Value::String(info.code.to_string()));
             row.insert("name", Value::String(info.name.to_string()));
@@ -123,7 +123,7 @@ fn cuisines_document(experiment: &Experiment) -> String {
                 "corpus_ingredients",
                 Value::U64(corpus.unique_ingredient_count(id) as u64),
             );
-            Value::Object(row)
+            Some(Value::Object(row))
         })
         .collect();
     serde_json::to_string(&Value::Array(rows)).expect("cuisines document serializes")

@@ -8,6 +8,15 @@
 //! encodings. Each artifact is serialized to JSON so the comparison is a
 //! full structural equality down to float bit patterns formatted by the
 //! same serializer.
+//!
+//! Regression note (PR 4): the miners and the pairing analysis used to
+//! iterate `HashMap`s and then sort — correct only because every trailing
+//! sort happened to be total. They now accumulate in `BTreeMap`s, so
+//! emission order is structurally deterministic, and `cuisine-lint`
+//! (rule D1) rejects new hash-iteration sites in artifact-producing
+//! crates at the source level. These tests remain the dynamic witness
+//! that the artifacts are byte-identical across `{1,2,8}` threads × cache
+//! on/off; the linter is the static one.
 
 use cuisine_core::prelude::*;
 use cuisine_evolution::ModelKind;
