@@ -15,6 +15,9 @@ cargo build --release --examples
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> determinism suite with the bitset miner"
+CUISINE_MINER=eclat-bitset cargo test -q -p cuisine-core --test determinism
+
 echo "==> serve --self-check (smoke test)"
 cargo run --release -q -p cuisine-serve --bin serve -- \
     --self-check --scale 0.02 --seed 11 --replicates 2

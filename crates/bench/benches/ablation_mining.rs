@@ -1,14 +1,37 @@
-//! Ablation: Apriori vs FP-Growth on identical workloads, across support
-//! thresholds — the design-choice justification for defaulting to
-//! FP-Growth (DESIGN.md §4).
+//! Ablation: the four mining kernels on identical workloads, across
+//! support thresholds — the design-choice justification for the default
+//! miner (DESIGN.md §4) and for the bitmap kernel (DESIGN.md §9).
+//!
+//! Besides the interactive Criterion output, running this bench writes
+//! `BENCH_mining.json` at the repo root: per-(miner, workload, support)
+//! wall-clock and itemset counts in a stable schema
+//! (`bench_mining/v1`), so future PRs have a machine-readable perf
+//! trajectory to compare against. Workloads cover the default bench
+//! corpus (seed 42) and the determinism-suite config (seed 11) at scale
+//! 0.02, both granularities.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
-use cuisine_bench::bench_corpus;
-use cuisine_data::CuisineId;
+use cuisine_bench::{bench_corpus, BENCH_SCALE};
+use cuisine_data::{Corpus, CuisineId};
 use cuisine_lexicon::Lexicon;
-use cuisine_mining::{mine_apriori, mine_eclat, mine_fpgrowth, ItemMode, TransactionSet};
+use cuisine_mining::{
+    mine_apriori, mine_eclat, mine_eclat_bitset, mine_fpgrowth, FrequentItemset, ItemMode, Miner,
+    TransactionSet,
+};
+use cuisine_synth::{generate_corpus, SynthConfig};
+use serde::{Map, Value};
+
+fn run_miner(miner: Miner, ts: &TransactionSet, abs: u64) -> Vec<FrequentItemset> {
+    match miner {
+        Miner::FpGrowth => mine_fpgrowth(ts, abs),
+        Miner::Apriori => mine_apriori(ts, abs),
+        Miner::Eclat => mine_eclat(ts, abs),
+        Miner::EclatBitset => mine_eclat_bitset(ts, abs),
+    }
+}
 
 fn bench_miners(c: &mut Criterion) {
     let lexicon = Lexicon::standard();
@@ -21,39 +44,149 @@ fn bench_miners(c: &mut Criterion) {
 
     for support in [0.10f64, 0.05, 0.03] {
         let abs = ts.absolute_support(support);
-        group.bench_with_input(
-            BenchmarkId::new("apriori", format!("sup_{support}")),
-            &abs,
-            |b, &abs| b.iter(|| black_box(mine_apriori(&ts, abs))),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("fpgrowth", format!("sup_{support}")),
-            &abs,
-            |b, &abs| b.iter(|| black_box(mine_fpgrowth(&ts, abs))),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("eclat", format!("sup_{support}")),
-            &abs,
-            |b, &abs| b.iter(|| black_box(mine_eclat(&ts, abs))),
-        );
+        for miner in Miner::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(miner.label(), format!("sup_{support}")),
+                &abs,
+                |b, &abs| b.iter(|| black_box(run_miner(miner, &ts, abs))),
+            );
+        }
     }
 
     // Category transactions: a tiny 21-item universe with dense
     // co-occurrence — the regime where candidate generation explodes.
     let cats = TransactionSet::from_cuisine(corpus, ita, ItemMode::Categories, lexicon);
     let abs = cats.absolute_support(0.05);
-    group.bench_function("apriori/categories", |b| {
-        b.iter(|| black_box(mine_apriori(&cats, abs)))
-    });
-    group.bench_function("fpgrowth/categories", |b| {
-        b.iter(|| black_box(mine_fpgrowth(&cats, abs)))
-    });
-    group.bench_function("eclat/categories", |b| {
-        b.iter(|| black_box(mine_eclat(&cats, abs)))
-    });
+    for miner in Miner::ALL {
+        group.bench_function(format!("{}/categories", miner.label()), |b| {
+            b.iter(|| black_box(run_miner(miner, &cats, abs)))
+        });
+    }
 
     group.finish();
 }
 
 criterion_group!(benches, bench_miners);
-criterion_main!(benches);
+
+// ---------------------------------------------------------------------------
+// BENCH_mining.json emission
+// ---------------------------------------------------------------------------
+
+/// Wall-clock of `f` in nanoseconds: minimum over `runs` timed runs after
+/// `warmups` untimed ones (the minimum is the least noisy point estimate
+/// on a shared CI host).
+fn min_wall_ns(warmups: u32, runs: u32, mut f: impl FnMut()) -> u64 {
+    for _ in 0..warmups {
+        f();
+    }
+    let mut best = u64::MAX;
+    for _ in 0..runs {
+        let start = Instant::now();
+        f();
+        let ns = start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        best = best.min(ns);
+    }
+    best
+}
+
+struct Workload {
+    name: &'static str,
+    mode: ItemMode,
+    transactions: TransactionSet,
+    supports: &'static [f64],
+}
+
+fn workloads() -> Vec<Workload> {
+    let lexicon = Lexicon::standard();
+    let ita: CuisineId = "ITA".parse().unwrap();
+    let mut out = Vec::new();
+    let mut push = |name, corpus: &Corpus, mode, supports| {
+        out.push(Workload {
+            name,
+            mode,
+            transactions: TransactionSet::from_cuisine(corpus, ita, mode, lexicon),
+            supports,
+        });
+    };
+
+    // The shared bench corpus (seed 42, scale 0.02).
+    let seed42 = bench_corpus();
+    push(
+        "seed42-ita-ingredients",
+        seed42,
+        ItemMode::Ingredients,
+        &[0.10, 0.05, 0.03][..],
+    );
+    push("seed42-ita-categories", seed42, ItemMode::Categories, &[0.05][..]);
+
+    // The determinism-suite config (seed 11, scale 0.02) — the dense
+    // workload the bitset-kernel acceptance ratio is measured on.
+    let synth = SynthConfig { seed: 11, scale: BENCH_SCALE, ..Default::default() };
+    let seed11 = generate_corpus(&synth, lexicon);
+    push(
+        "seed11-ita-ingredients",
+        &seed11,
+        ItemMode::Ingredients,
+        &[0.05, 0.03][..],
+    );
+    push("seed11-ita-categories", &seed11, ItemMode::Categories, &[0.05][..]);
+    out
+}
+
+fn emit_bench_json() {
+    let mut entries: Vec<Value> = Vec::new();
+    let (warmups, runs) = (2, 8);
+    for workload in workloads() {
+        let mode_label = match workload.mode {
+            ItemMode::Ingredients => "ingredients",
+            ItemMode::Categories => "categories",
+        };
+        for &support in workload.supports {
+            let abs = workload.transactions.absolute_support(support).max(1);
+            for miner in Miner::ALL {
+                let itemsets = run_miner(miner, &workload.transactions, abs).len();
+                let wall_ns = min_wall_ns(warmups, runs, || {
+                    black_box(run_miner(miner, &workload.transactions, abs));
+                });
+                let mut entry = Map::new();
+                entry.insert("workload", Value::String(workload.name.into()));
+                entry.insert("mode", Value::String(mode_label.into()));
+                entry.insert("support", Value::F64(support));
+                entry.insert("transactions", Value::U64(workload.transactions.len() as u64));
+                entry.insert("miner", Value::String(miner.label().into()));
+                entry.insert("wall_ns", Value::U64(wall_ns));
+                entry.insert("itemsets", Value::U64(itemsets as u64));
+                entry.insert("runs", Value::U64(u64::from(runs)));
+                entries.push(Value::Object(entry));
+                eprintln!(
+                    "bench_mining: {} sup {} {:<12} {:>12} ns ({} itemsets)",
+                    workload.name,
+                    support,
+                    miner.label(),
+                    wall_ns,
+                    itemsets
+                );
+            }
+        }
+    }
+
+    let mut doc = Map::new();
+    doc.insert("schema", Value::String("bench_mining/v1".into()));
+    doc.insert("scale", Value::F64(BENCH_SCALE));
+    doc.insert("entries", Value::Array(entries));
+    let json = serde_json::to_string(&Value::Object(doc)).expect("bench doc serializes");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_mining.json");
+    match std::fs::write(path, json) {
+        Ok(()) => eprintln!("bench_mining: wrote {path}"),
+        Err(e) => eprintln!("bench_mining: could not write {path}: {e}"),
+    }
+}
+
+fn main() {
+    benches();
+    // `--list` runs (cargo test over benches) must stay side-effect-free.
+    if !std::env::args().any(|a| a == "--list") {
+        emit_bench_json();
+    }
+}

@@ -8,6 +8,7 @@ use std::sync::OnceLock;
 use cuisine_core::PipelineConfig;
 use cuisine_data::Corpus;
 use cuisine_lexicon::Lexicon;
+use cuisine_mining::Miner;
 use cuisine_synth::{generate_corpus, SynthConfig};
 
 /// The default seed used by every experiment unless overridden.
@@ -45,6 +46,10 @@ pub struct ExpOptions {
     pub threads: Option<usize>,
     /// Disable the encoded-transaction cache (`--no-cache`).
     pub no_cache: bool,
+    /// Frequent-itemset mining kernel (`--miner
+    /// fpgrowth|apriori|eclat|eclat-bitset`). All kernels produce
+    /// identical artifacts; this is a performance knob.
+    pub miner: Miner,
     /// Optional CSV output path.
     pub csv: Option<String>,
     /// Extra boolean flags (e.g. `--categories`).
@@ -59,6 +64,7 @@ impl Default for ExpOptions {
             replicates: 100,
             threads: None,
             no_cache: false,
+            miner: Miner::default(),
             csv: None,
             flags: Vec::new(),
         }
@@ -85,8 +91,9 @@ impl std::error::Error for CliError {}
 impl ExpOptions {
     /// Parse from a `std::env::args()`-style iterator (first element is
     /// the program name). Recognized: `--scale F`, `--seed N`,
-    /// `--replicates N`, `--threads N`, `--no-cache`, `--csv PATH`;
-    /// anything else starting with `--` is collected into `flags`.
+    /// `--replicates N`, `--threads N`, `--no-cache`, `--miner KIND`,
+    /// `--csv PATH`; anything else starting with `--` is collected into
+    /// `flags`.
     pub fn try_parse(args: impl IntoIterator<Item = String>) -> Result<Self, CliError> {
         Self::try_parse_with(args, &[]).map(|(opts, _)| opts)
     }
@@ -131,6 +138,9 @@ impl ExpOptions {
                     );
                 }
                 "--no-cache" => opts.no_cache = true,
+                "--miner" => {
+                    opts.miner = value_of("--miner")?.parse().map_err(CliError)?;
+                }
                 "--csv" => opts.csv = Some(value_of("--csv")?),
                 other if valued.contains(&other) => {
                     let value = value_of(other)?;
@@ -173,9 +183,9 @@ impl ExpOptions {
     }
 
     /// The pipeline execution config implied by these options
-    /// (`--threads N`, `--no-cache`).
+    /// (`--threads N`, `--no-cache`, `--miner KIND`).
     pub fn pipeline_config(&self) -> PipelineConfig {
-        PipelineConfig { threads: self.threads, cache: !self.no_cache }
+        PipelineConfig { threads: self.threads, cache: !self.no_cache, miner: self.miner }
     }
 }
 
@@ -189,7 +199,8 @@ pub fn exit_usage(error: &CliError, usage: &str) -> ! {
 
 /// The CLI options shared by every `exp_*` binary, for usage strings.
 pub const COMMON_USAGE: &str =
-    "[--scale F] [--seed N] [--replicates N] [--threads N] [--no-cache] [--csv PATH]";
+    "[--scale F] [--seed N] [--replicates N] [--threads N] [--no-cache] \
+     [--miner fpgrowth|apriori|eclat|eclat-bitset] [--csv PATH]";
 
 #[cfg(test)]
 mod tests {
@@ -232,10 +243,25 @@ mod tests {
         assert_eq!(o.threads, Some(4));
         assert!(o.no_cache);
         let pc = o.pipeline_config();
-        assert_eq!(pc, PipelineConfig { threads: Some(4), cache: false });
+        assert_eq!(
+            pc,
+            PipelineConfig { threads: Some(4), cache: false, miner: Miner::default() }
+        );
         // Defaults: all cores, cache on.
         let d = ExpOptions::try_parse(args(&[])).unwrap().pipeline_config();
         assert_eq!(d, PipelineConfig::default());
+    }
+
+    #[test]
+    fn parses_miner_selection() {
+        let o = ExpOptions::try_parse(args(&["--miner", "eclat-bitset"])).unwrap();
+        assert_eq!(o.miner, Miner::EclatBitset);
+        assert_eq!(o.pipeline_config().miner, Miner::EclatBitset);
+        assert_eq!(ExpOptions::try_parse(args(&[])).unwrap().miner, Miner::FpGrowth);
+        let e = ExpOptions::try_parse(args(&["--miner", "quantum"])).unwrap_err();
+        assert!(e.0.contains("unknown miner"), "{e}");
+        let e = ExpOptions::try_parse(args(&["--miner"])).unwrap_err();
+        assert!(e.0.contains("--miner requires a value"), "{e}");
     }
 
     #[test]

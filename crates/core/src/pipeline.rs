@@ -32,18 +32,23 @@ use cuisine_synth::{generate_corpus, SynthConfig};
 /// order is stable, all randomness is seeded from logical indices, and the
 /// cache memoizes deterministic encodings — so `threads: Some(1)` vs
 /// `Some(32)` and cache on vs off produce byte-identical artifacts (this
-/// is enforced by `tests/determinism.rs`).
+/// is enforced by `tests/determinism.rs`). The `miner` knob selects the
+/// frequent-itemset kernel; all miners produce identical output (pinned by
+/// property tests and the determinism suite), so it too is purely a
+/// performance choice.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PipelineConfig {
     /// Worker threads for per-cuisine/per-model fan-out.
     pub threads: Option<usize>,
     /// Memoize `(cuisine, mode)` transaction encodings across stages.
     pub cache: bool,
+    /// Frequent-itemset mining kernel used by fig3/fig4.
+    pub miner: Miner,
 }
 
 impl Default for PipelineConfig {
     fn default() -> Self {
-        PipelineConfig { threads: None, cache: true }
+        PipelineConfig { threads: None, cache: true, miner: Miner::default() }
     }
 }
 
@@ -141,7 +146,7 @@ impl Experiment {
             self.lexicon,
             mode,
             PAPER_MIN_SUPPORT,
-            Miner::default(),
+            self.config.miner,
             self.config.threads,
             self.cache(),
         );
@@ -157,12 +162,18 @@ impl Experiment {
     }
 
     /// Like [`Experiment::fig4`] but for a model subset.
+    ///
+    /// The pipeline-level [`PipelineConfig::miner`] knob overrides the
+    /// per-call [`EvaluationConfig::miner`], so one `--miner` flag selects
+    /// the kernel everywhere; callers driving `evaluate_with` directly
+    /// keep full control.
     pub fn fig4_models(&self, models: &[ModelKind], config: &EvaluationConfig) -> Evaluation {
+        let config = EvaluationConfig { miner: self.config.miner, ..config.clone() };
         evaluate_with(
             &self.corpus,
             self.lexicon,
             models,
-            config,
+            &config,
             self.config.threads,
             self.cache(),
         )

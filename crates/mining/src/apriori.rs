@@ -16,14 +16,13 @@ use crate::transaction::TransactionSet;
 /// lexicographic).
 pub fn mine_apriori(transactions: &TransactionSet, min_support_count: u64) -> Vec<FrequentItemset> {
     assert!(min_support_count > 0, "minimum support must be at least 1");
-    let txs = transactions.transactions();
     let mut results: Vec<FrequentItemset> = Vec::new();
 
     // Level 1: count individual items. BTreeMap makes the emission order
     // structurally deterministic (ascending item id), not an after-the-fact
     // sort over random hash order.
     let mut counts: BTreeMap<u32, u64> = BTreeMap::new();
-    for t in txs {
+    for t in transactions.iter() {
         for &item in t {
             *counts.entry(item).or_default() += 1;
         }
@@ -49,7 +48,7 @@ pub fn mine_apriori(transactions: &TransactionSet, min_support_count: u64) -> Ve
         // BTreeMap keys iterate in lexicographic itemset order — exactly
         // the sorted order generate_candidates requires of its input.
         let mut candidate_counts: BTreeMap<Itemset, u64> = BTreeMap::new();
-        for t in txs {
+        for t in transactions.iter() {
             for c in &candidates {
                 if is_subset_sorted(c, t) {
                     *candidate_counts.entry(c.clone()).or_default() += 1;

@@ -10,6 +10,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::apriori::mine_apriori;
 use crate::eclat::mine_eclat;
+use crate::eclat_bitset::mine_eclat_bitset;
 use crate::fpgrowth::mine_fpgrowth;
 use crate::itemset::FrequentItemset;
 use crate::transaction::TransactionSet;
@@ -17,7 +18,8 @@ use crate::transaction::TransactionSet;
 /// The paper's support threshold: 5% of all recipes in a cuisine.
 pub const PAPER_MIN_SUPPORT: f64 = 0.05;
 
-/// Which mining algorithm to run.
+/// Which mining algorithm to run. All four produce identical output
+/// (pinned by property tests); they differ only in speed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum Miner {
     /// FP-Growth (default: faster on these workloads).
@@ -27,6 +29,44 @@ pub enum Miner {
     Apriori,
     /// Eclat (vertical tid-lists).
     Eclat,
+    /// Eclat over tid *bitmaps* with popcount support counting and a
+    /// density fallback to sorted lists — the fast kernel on dense
+    /// cuisines.
+    EclatBitset,
+}
+
+impl Miner {
+    /// Every miner, in declaration order (for cross-checks and benches).
+    pub const ALL: [Miner; 4] =
+        [Miner::FpGrowth, Miner::Apriori, Miner::Eclat, Miner::EclatBitset];
+
+    /// Stable CLI / JSON label (also accepted by [`FromStr`]).
+    ///
+    /// [`FromStr`]: std::str::FromStr
+    pub fn label(self) -> &'static str {
+        match self {
+            Miner::FpGrowth => "fpgrowth",
+            Miner::Apriori => "apriori",
+            Miner::Eclat => "eclat",
+            Miner::EclatBitset => "eclat-bitset",
+        }
+    }
+}
+
+impl std::str::FromStr for Miner {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "fpgrowth" | "fp-growth" => Ok(Miner::FpGrowth),
+            "apriori" => Ok(Miner::Apriori),
+            "eclat" => Ok(Miner::Eclat),
+            "eclat-bitset" | "eclat_bitset" | "bitset" => Ok(Miner::EclatBitset),
+            other => Err(format!(
+                "unknown miner {other:?} (expected fpgrowth|apriori|eclat|eclat-bitset)"
+            )),
+        }
+    }
 }
 
 /// Frequent combinations of a transaction set, with their rank-frequency
@@ -59,6 +99,7 @@ impl CombinationAnalysis {
             Miner::FpGrowth => mine_fpgrowth(transactions, abs),
             Miner::Apriori => mine_apriori(transactions, abs),
             Miner::Eclat => mine_eclat(transactions, abs),
+            Miner::EclatBitset => mine_eclat_bitset(transactions, abs),
         };
         CombinationAnalysis {
             itemsets,
@@ -146,9 +187,20 @@ mod tests {
         ];
         let a = CombinationAnalysis::mine(&ts(raw.clone()), 0.3, Miner::Apriori);
         let b = CombinationAnalysis::mine(&ts(raw.clone()), 0.3, Miner::FpGrowth);
-        let c = CombinationAnalysis::mine(&ts(raw), 0.3, Miner::Eclat);
+        let c = CombinationAnalysis::mine(&ts(raw.clone()), 0.3, Miner::Eclat);
+        let d = CombinationAnalysis::mine(&ts(raw), 0.3, Miner::EclatBitset);
         assert_eq!(a.itemsets, b.itemsets);
         assert_eq!(a.itemsets, c.itemsets);
+        assert_eq!(a.itemsets, d.itemsets);
+    }
+
+    #[test]
+    fn labels_roundtrip_through_fromstr() {
+        for miner in Miner::ALL {
+            assert_eq!(miner.label().parse::<Miner>(), Ok(miner));
+        }
+        assert_eq!("bitset".parse::<Miner>(), Ok(Miner::EclatBitset));
+        assert!("quantum".parse::<Miner>().is_err());
     }
 
     #[test]

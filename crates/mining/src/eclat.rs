@@ -21,7 +21,7 @@ pub fn mine_eclat(transactions: &TransactionSet, min_support_count: u64) -> Vec<
     // which is exactly the deterministic DFS root order — no post-sort over
     // random hash order needed.
     let mut tidlists: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
-    for (tid, t) in transactions.transactions().iter().enumerate() {
+    for (tid, t) in transactions.iter().enumerate() {
         for &item in t {
             tidlists.entry(item).or_default().push(tid as u32);
         }
@@ -48,9 +48,12 @@ fn dfs(
     out: &mut Vec<FrequentItemset>,
 ) {
     for (i, (item, tids)) in class.iter().enumerate() {
+        // The prefix is sorted and equivalence classes are kept in
+        // ascending item order, so the extension item always exceeds the
+        // prefix tail — appending preserves sortedness.
+        debug_assert!(prefix.last().is_none_or(|&last| last < *item));
         let mut items: Itemset = prefix.to_vec();
         items.push(*item);
-        items.sort_unstable();
         out.push(FrequentItemset { items: items.clone(), support_count: tids.len() as u64 });
 
         // Build the child class: extensions by later items.

@@ -1,0 +1,294 @@
+//! Bitmap Eclat: vertical mining over [`TidBitmap`]s with a density
+//! heuristic (Zaki, 2000; dEclat line of work).
+//!
+//! Same lattice DFS as [`crate::eclat`], but tid-sets are stored as dense
+//! bit words whenever that is the cheaper representation. Support counting
+//! for a candidate extension is then a word-wise AND + popcount
+//! ([`TidBitmap::and_count`]) with **no allocation** for infrequent
+//! candidates — the hot path of dense cuisines.
+//!
+//! # Density heuristic
+//!
+//! A bitmap AND always touches `ceil(universe / 64)` words, while a sorted
+//! -list merge touches `len(a) + len(b)` elements. A tid-set is therefore
+//! kept as a bitmap only while its cardinality is at least the word count
+//! (density ≥ 1/64); below that it is demoted to a sorted `Vec<u32>` list
+//! and intersected by merge, so sparse cuisines never regress versus
+//! [`crate::eclat::mine_eclat`]. Support only shrinks down the DFS, so the
+//! conversion is one-way: a list never becomes a bitmap again.
+//!
+//! # Determinism
+//!
+//! Output is byte-identical to the other three miners (pinned by the
+//! quadrisecting property tests): roots are built from a `BTreeMap` in
+//! ascending item order, child classes preserve that order, and the final
+//! [`canonical_sort`] is shared. The representation choice affects only
+//! *how* an intersection is computed, never its value — both paths produce
+//! the exact tid-set, so supports are identical.
+
+use std::collections::BTreeMap;
+
+use crate::bitmap::TidBitmap;
+use crate::itemset::{canonical_sort, FrequentItemset, Itemset};
+use crate::transaction::TransactionSet;
+
+/// A vertical tid-set in whichever representation is cheaper at its
+/// density: dense bitmap (≥ 1/64 of the universe) or sorted list.
+#[derive(Debug, Clone)]
+enum TidSet {
+    Bitmap(TidBitmap),
+    List(Vec<u32>),
+}
+
+impl TidSet {
+    /// Wrap a sorted, duplicate-free tid list, picking the representation
+    /// by density: bitmap iff the cardinality is at least the bitmap's
+    /// word count (so one AND pass never touches more words than a merge
+    /// would touch elements).
+    fn from_sorted_list(tids: Vec<u32>, universe: usize) -> TidSet {
+        if tids.len() >= universe.div_ceil(64) {
+            TidSet::Bitmap(TidBitmap::from_sorted_tids(&tids, universe))
+        } else {
+            TidSet::List(tids)
+        }
+    }
+
+    fn count(&self) -> u64 {
+        match self {
+            TidSet::Bitmap(b) => b.count(),
+            TidSet::List(l) => l.len() as u64,
+        }
+    }
+
+    /// `self ∩ other` if it is frequent, `None` otherwise.
+    ///
+    /// Bitmap × bitmap counts first via popcount and materializes only
+    /// frequent results; any intersection involving a list is a merge or a
+    /// membership filter over the (short) list. Results whose density
+    /// drops below 1/64 are demoted to lists.
+    fn intersect(&self, other: &TidSet, min_support: u64) -> Option<TidSet> {
+        match (self, other) {
+            (TidSet::Bitmap(a), TidSet::Bitmap(b)) => {
+                if a.and_count(b) < min_support {
+                    return None;
+                }
+                let inter = a.and(b);
+                if (inter.count() as usize) < inter.word_len() {
+                    Some(TidSet::List(inter.to_sorted_tids()))
+                } else {
+                    Some(TidSet::Bitmap(inter))
+                }
+            }
+            (TidSet::List(a), TidSet::Bitmap(b)) | (TidSet::Bitmap(b), TidSet::List(a)) => {
+                let inter: Vec<u32> =
+                    a.iter().copied().filter(|&tid| b.contains(tid)).collect();
+                (inter.len() as u64 >= min_support).then_some(TidSet::List(inter))
+            }
+            (TidSet::List(a), TidSet::List(b)) => {
+                let inter = intersect_sorted(a, b);
+                (inter.len() as u64 >= min_support).then_some(TidSet::List(inter))
+            }
+        }
+    }
+}
+
+/// Mine all itemsets with support count >= `min_support_count` using the
+/// bitmap Eclat kernel. Output is identical to the other miners.
+pub fn mine_eclat_bitset(
+    transactions: &TransactionSet,
+    min_support_count: u64,
+) -> Vec<FrequentItemset> {
+    assert!(min_support_count > 0, "minimum support must be at least 1");
+
+    let universe = transactions.len();
+    // Vertical pass: BTreeMap iterates in ascending item order — the
+    // deterministic DFS root order.
+    let mut tidlists: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+    for (tid, t) in transactions.iter().enumerate() {
+        for &item in t {
+            tidlists.entry(item).or_default().push(tid as u32);
+        }
+    }
+    let roots: Vec<(u32, TidSet)> = tidlists
+        .into_iter()
+        .filter(|(_, tids)| tids.len() as u64 >= min_support_count)
+        .map(|(item, tids)| (item, TidSet::from_sorted_list(tids, universe)))
+        .collect();
+
+    let mut out = Vec::new();
+    dfs(&[], &roots, min_support_count, &mut out);
+    canonical_sort(&mut out);
+    out
+}
+
+/// Recursive DFS over one equivalence class of (item, tid-set) pairs.
+fn dfs(prefix: &[u32], class: &[(u32, TidSet)], min_support: u64, out: &mut Vec<FrequentItemset>) {
+    for (i, (item, tids)) in class.iter().enumerate() {
+        // Equivalence classes are kept in ascending item order, so the
+        // extension item always exceeds the prefix tail — no re-sort.
+        debug_assert!(prefix.last().is_none_or(|&last| last < *item));
+        let mut items: Itemset = prefix.to_vec();
+        items.push(*item);
+        out.push(FrequentItemset { items: items.clone(), support_count: tids.count() });
+
+        let mut child: Vec<(u32, TidSet)> = Vec::new();
+        for (other, other_tids) in &class[i + 1..] {
+            if let Some(inter) = tids.intersect(other_tids, min_support) {
+                child.push((*other, inter));
+            }
+        }
+        if !child.is_empty() {
+            dfs(&items, &child, min_support, out);
+        }
+    }
+}
+
+/// Intersection of two sorted tid-lists by merge.
+fn intersect_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apriori::mine_apriori;
+    use crate::eclat::mine_eclat;
+    use crate::fpgrowth::mine_fpgrowth;
+    use crate::transaction::ItemMode;
+
+    fn ts(raw: Vec<Vec<u32>>) -> TransactionSet {
+        TransactionSet::from_raw(raw, ItemMode::Ingredients)
+    }
+
+    fn agrees_with_triad(t: &TransactionSet, min_support: u64) -> Vec<FrequentItemset> {
+        let bitset = mine_eclat_bitset(t, min_support);
+        assert_eq!(bitset, mine_eclat(t, min_support));
+        assert_eq!(bitset, mine_apriori(t, min_support));
+        assert_eq!(bitset, mine_fpgrowth(t, min_support));
+        bitset
+    }
+
+    #[test]
+    fn representation_picks_bitmap_only_at_density() {
+        // Universe 128 → 2 words. 1 tid: list; 2 tids: bitmap.
+        assert!(matches!(TidSet::from_sorted_list(vec![5], 128), TidSet::List(_)));
+        assert!(matches!(TidSet::from_sorted_list(vec![5, 90], 128), TidSet::Bitmap(_)));
+        // Tiny universes are always dense enough for a bitmap.
+        assert!(matches!(TidSet::from_sorted_list(vec![0], 3), TidSet::Bitmap(_)));
+        // An empty list over an empty universe is a (zero-word) bitmap.
+        assert!(matches!(TidSet::from_sorted_list(vec![], 0), TidSet::Bitmap(_)));
+    }
+
+    #[test]
+    fn intersections_agree_across_representations() {
+        let a_tids = vec![1, 3, 64, 65, 100];
+        let b_tids = vec![3, 64, 99, 100];
+        let expect = vec![3, 64, 100];
+        let universe = 128;
+        let reps = |tids: &[u32]| {
+            [
+                TidSet::Bitmap(TidBitmap::from_sorted_tids(tids, universe)),
+                TidSet::List(tids.to_vec()),
+            ]
+        };
+        for a in reps(&a_tids) {
+            for b in reps(&b_tids) {
+                let inter = a.intersect(&b, 1).expect("frequent at support 1");
+                let got = match inter {
+                    TidSet::Bitmap(bm) => bm.to_sorted_tids(),
+                    TidSet::List(l) => l,
+                };
+                assert_eq!(got, expect);
+                assert!(a.intersect(&b, 4).is_none(), "3 common tids < support 4");
+            }
+        }
+    }
+
+    #[test]
+    fn bitmap_results_demote_to_lists_below_density() {
+        let universe = 256; // 4 words
+        let a = TidSet::Bitmap(TidBitmap::from_sorted_tids(&[0, 64, 128, 192, 200], universe));
+        let b = TidSet::Bitmap(TidBitmap::from_sorted_tids(&[0, 65, 129, 193, 201], universe));
+        // Intersection {0}: density 1/256 < 1/64 → list.
+        assert!(matches!(a.intersect(&b, 1), Some(TidSet::List(_))));
+        // Self-intersection keeps 5 ≥ 4 words → stays a bitmap.
+        assert!(matches!(a.intersect(&a.clone(), 1), Some(TidSet::Bitmap(_))));
+    }
+
+    #[test]
+    fn textbook_example_matches_all_miners() {
+        let t = ts(vec![
+            vec![1, 3, 4],
+            vec![2, 3, 5],
+            vec![1, 2, 3, 5],
+            vec![2, 5],
+        ]);
+        assert_eq!(agrees_with_triad(&t, 2).len(), 9);
+    }
+
+    #[test]
+    fn sparse_corpus_exercises_the_list_path() {
+        // 200 transactions, each item in exactly 2 of them → density 1/100
+        // < 1/64, so every root is a list from the start.
+        let mut raw = vec![Vec::new(); 200];
+        for item in 0u32..40 {
+            raw[(item as usize * 5) % 200].push(item);
+            raw[(item as usize * 5 + 7) % 200].push(item);
+        }
+        let t = ts(raw);
+        let got = agrees_with_triad(&t, 2);
+        assert!(!got.is_empty());
+    }
+
+    #[test]
+    fn dense_corpus_exercises_the_bitmap_path() {
+        let t = ts(vec![vec![7, 8, 9]; 130]);
+        let got = agrees_with_triad(&t, 65);
+        assert_eq!(got.len(), 7);
+        assert!(got.iter().all(|f| f.support_count == 130));
+    }
+
+    #[test]
+    fn crossover_corpus_mixes_representations() {
+        // 130 transactions: items 1,2 everywhere (dense bitmaps), item 3 in
+        // only one transaction (sparse list) — intersections cross the
+        // heuristic both ways.
+        let mut raw = vec![vec![1u32, 2]; 130];
+        raw[64].push(3);
+        let t = ts(raw);
+        let got = agrees_with_triad(&t, 1);
+        assert!(got.iter().any(|f| f.items == vec![1, 2, 3] && f.support_count == 1));
+    }
+
+    #[test]
+    fn empty_and_threshold_edge() {
+        assert!(mine_eclat_bitset(&ts(vec![]), 1).is_empty());
+        assert!(mine_eclat_bitset(&ts(vec![vec![1], vec![2]]), 2).is_empty());
+        assert_eq!(mine_eclat_bitset(&ts(vec![vec![1], vec![1]]), 2).len(), 1);
+    }
+
+    #[test]
+    fn single_transaction_powerset() {
+        let t = ts(vec![vec![1, 2, 3, 4]]);
+        assert_eq!(mine_eclat_bitset(&t, 1).len(), 15, "2^4 - 1");
+    }
+
+    #[test]
+    #[should_panic(expected = "minimum support")]
+    fn rejects_zero_support() {
+        let _ = mine_eclat_bitset(&ts(vec![vec![1]]), 0);
+    }
+}

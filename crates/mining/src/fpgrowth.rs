@@ -81,11 +81,10 @@ pub fn mine_fpgrowth(
     min_support_count: u64,
 ) -> Vec<FrequentItemset> {
     assert!(min_support_count > 0, "minimum support must be at least 1");
-    let txs = transactions.transactions();
 
     // Weighted "transactions" let the recursion reuse this entry point
     // shape; the top level has weight 1 each.
-    let weighted: Vec<(&[u32], u64)> = txs.iter().map(|t| (t.as_slice(), 1)).collect();
+    let weighted: Vec<(&[u32], u64)> = transactions.iter().map(|t| (t, 1)).collect();
     let mut results = Vec::new();
     fp_growth(&weighted, min_support_count, &[], &mut results);
     canonical_sort(&mut results);

@@ -13,6 +13,9 @@
 //!   miner; produces identical output to Apriori.
 //! - [`eclat`] — Eclat (vertical tid-lists), the third cross-checked
 //!   miner.
+//! - [`bitmap`] / [`eclat_bitset`] — Eclat over dense tid *bitmaps* with
+//!   popcount support counting and a density fallback to sorted lists:
+//!   the fast kernel, byte-identical output to the other three.
 //! - [`combination`] — the paper's 5%-support combination analysis and its
 //!   rank-frequency curve.
 //! - [`cache`] — per-`(cuisine, mode)` transaction memoization shared by
@@ -33,16 +36,20 @@
 #![warn(missing_docs)]
 
 pub mod apriori;
+pub mod bitmap;
 pub mod cache;
 pub mod combination;
 pub mod eclat;
+pub mod eclat_bitset;
 pub mod fpgrowth;
 pub mod itemset;
 pub mod transaction;
 
 pub use apriori::mine_apriori;
+pub use bitmap::TidBitmap;
 pub use cache::{TransactionCache, TransactionSource};
 pub use eclat::mine_eclat;
+pub use eclat_bitset::mine_eclat_bitset;
 pub use combination::{CombinationAnalysis, Miner, PAPER_MIN_SUPPORT};
 pub use fpgrowth::mine_fpgrowth;
 pub use itemset::{FrequentItemset, Itemset};

@@ -4,6 +4,16 @@
 //! individual ingredients and ingredient categories. [`ItemMode`] selects
 //! the granularity; [`TransactionSet`] holds the encoded transactions of
 //! one cuisine (or of any recipe collection).
+//!
+//! # Representation
+//!
+//! Transactions are stored in CSR (compressed sparse row) form: one flat
+//! `Vec<u32>` items buffer plus an offsets table, so an entire encoding is
+//! exactly two allocations regardless of recipe count. The evolution loop
+//! encodes a fresh pool per replicate (100 replicates × 25 cuisines × 4
+//! models), where the previous `Vec<Vec<u32>>` layout paid one allocation
+//! per recipe; CSR also hands the bitset mining kernel contiguous,
+//! cache-friendly slices.
 
 use cuisine_data::{Corpus, CuisineId, Recipe};
 use cuisine_lexicon::Lexicon;
@@ -21,14 +31,42 @@ pub enum ItemMode {
     Categories,
 }
 
-/// A collection of transactions: each a sorted, duplicate-free `Vec<u32>`.
+/// A collection of transactions: each a sorted, duplicate-free `&[u32]`
+/// slice into one shared CSR items buffer.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TransactionSet {
-    transactions: Vec<Vec<u32>>,
+    /// Flat items buffer; transaction `i` is
+    /// `items[offsets[i] .. offsets[i + 1]]`.
+    items: Vec<u32>,
+    /// `len() + 1` monotone offsets into `items` (first entry 0).
+    offsets: Vec<u32>,
     mode: ItemMode,
 }
 
 impl TransactionSet {
+    /// An empty set at the given granularity.
+    fn empty(mode: ItemMode) -> Self {
+        TransactionSet { items: Vec::new(), offsets: vec![0], mode }
+    }
+
+    /// Close the currently open transaction: sort + dedup the tail written
+    /// since the last offset, then record the new boundary.
+    fn seal_transaction(&mut self) {
+        let start = *self.offsets.last().unwrap_or(&0) as usize;
+        self.items[start..].sort_unstable();
+        // In-place dedup of the tail (Vec::dedup would scan the whole
+        // buffer).
+        let mut write = start;
+        for read in start..self.items.len() {
+            if write == start || self.items[write - 1] != self.items[read] {
+                self.items[write] = self.items[read];
+                write += 1;
+            }
+        }
+        self.items.truncate(write);
+        self.offsets.push(self.items.len() as u32);
+    }
+
     /// Encode the recipes of one cuisine.
     pub fn from_cuisine(
         corpus: &Corpus,
@@ -45,56 +83,76 @@ impl TransactionSet {
         mode: ItemMode,
         lexicon: &Lexicon,
     ) -> Self {
-        let transactions = recipes
-            .into_iter()
-            .map(|r| match mode {
+        let mut set = Self::empty(mode);
+        for r in recipes {
+            match mode {
                 ItemMode::Ingredients => {
                     // Recipe ingredient lists are already sorted and
-                    // deduplicated.
-                    r.ingredients().iter().map(|id| id.0 as u32).collect()
+                    // deduplicated; copy straight into the buffer.
+                    set.items.extend(r.ingredients().iter().map(|id| id.0 as u32));
+                    debug_assert!({
+                        let start = *set.offsets.last().unwrap_or(&0) as usize;
+                        set.items[start..].windows(2).all(|w| w[0] < w[1])
+                    });
+                    set.offsets.push(set.items.len() as u32);
                 }
                 ItemMode::Categories => {
-                    let mut cats: Vec<u32> = r
-                        .ingredients()
-                        .iter()
-                        .map(|&id| lexicon.category(id).index() as u32)
-                        .collect();
-                    cats.sort_unstable();
-                    cats.dedup();
-                    cats
+                    set.items.extend(
+                        r.ingredients()
+                            .iter()
+                            .map(|&id| lexicon.category(id).index() as u32),
+                    );
+                    set.seal_transaction();
                 }
-            })
-            .collect();
-        TransactionSet { transactions, mode }
+            }
+        }
+        set
     }
 
     /// Build directly from raw item lists (for tests and synthetic inputs).
     /// Each transaction is sorted and deduplicated.
     pub fn from_raw(raw: Vec<Vec<u32>>, mode: ItemMode) -> Self {
-        let transactions = raw
-            .into_iter()
-            .map(|mut t| {
-                t.sort_unstable();
-                t.dedup();
-                t
-            })
-            .collect();
-        TransactionSet { transactions, mode }
+        let mut set = Self::empty(mode);
+        for t in raw {
+            set.items.extend(t);
+            set.seal_transaction();
+        }
+        set
     }
 
-    /// The encoded transactions.
-    pub fn transactions(&self) -> &[Vec<u32>] {
-        &self.transactions
+    /// Transaction `i` as a slice of the shared items buffer.
+    ///
+    /// # Panics
+    /// Panics when `i >= self.len()`.
+    pub fn transaction(&self, i: usize) -> &[u32] {
+        &self.items[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Iterate the transactions as slices of the shared items buffer.
+    pub fn iter(&self) -> impl Iterator<Item = &[u32]> + '_ {
+        self.offsets
+            .windows(2)
+            .map(move |w| &self.items[w[0] as usize..w[1] as usize])
+    }
+
+    /// The flat CSR items buffer (all transactions concatenated).
+    pub fn csr_items(&self) -> &[u32] {
+        &self.items
+    }
+
+    /// The CSR offsets table (`len() + 1` entries, first 0, monotone).
+    pub fn csr_offsets(&self) -> &[u32] {
+        &self.offsets
     }
 
     /// Number of transactions.
     pub fn len(&self) -> usize {
-        self.transactions.len()
+        self.offsets.len() - 1
     }
 
     /// True when there are no transactions.
     pub fn is_empty(&self) -> bool {
-        self.transactions.is_empty()
+        self.offsets.len() == 1
     }
 
     /// The granularity this set was encoded at.
@@ -112,7 +170,7 @@ impl TransactionSet {
             relative > 0.0 && relative <= 1.0,
             "relative support must be in (0, 1], got {relative}"
         );
-        (relative * self.transactions.len() as f64).ceil() as u64
+        (relative * self.len() as f64).ceil() as u64
     }
 }
 
@@ -127,7 +185,7 @@ mod tests {
         let (r, _) = Recipe::from_mentions(CuisineId(0), ["cumin", "olive", "cilantro"], lex);
         let ts = TransactionSet::from_recipes([&r], ItemMode::Ingredients, lex);
         assert_eq!(ts.len(), 1);
-        let t = &ts.transactions()[0];
+        let t = ts.transaction(0);
         assert_eq!(t.len(), 3);
         assert!(t.windows(2).all(|w| w[0] < w[1]), "sorted and distinct");
     }
@@ -138,7 +196,7 @@ mod tests {
         // Two spices + one herb -> categories {Spice, Herb}.
         let (r, _) = Recipe::from_mentions(CuisineId(0), ["cumin", "turmeric", "basil"], lex);
         let ts = TransactionSet::from_recipes([&r], ItemMode::Categories, lex);
-        let t = &ts.transactions()[0];
+        let t = ts.transaction(0);
         assert_eq!(t.len(), 2);
         assert!(t.contains(&(Category::Spice.index() as u32)));
         assert!(t.contains(&(Category::Herb.index() as u32)));
@@ -147,7 +205,49 @@ mod tests {
     #[test]
     fn from_raw_sorts_and_dedups() {
         let ts = TransactionSet::from_raw(vec![vec![3, 1, 3, 2]], ItemMode::Ingredients);
-        assert_eq!(ts.transactions()[0], vec![1, 2, 3]);
+        assert_eq!(ts.transaction(0), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn csr_layout_is_flat_and_monotone() {
+        let ts = TransactionSet::from_raw(
+            vec![vec![2, 1], vec![], vec![5, 5, 4]],
+            ItemMode::Ingredients,
+        );
+        assert_eq!(ts.len(), 3);
+        assert_eq!(ts.csr_items(), &[1, 2, 4, 5]);
+        assert_eq!(ts.csr_offsets(), &[0, 2, 2, 4]);
+        assert_eq!(ts.transaction(0), &[1, 2]);
+        assert!(ts.transaction(1).is_empty());
+        assert_eq!(ts.transaction(2), &[4, 5]);
+        let collected: Vec<&[u32]> = ts.iter().collect();
+        assert_eq!(collected, vec![&[1u32, 2][..], &[][..], &[4, 5][..]]);
+    }
+
+    #[test]
+    fn csr_roundtrips_the_nested_encoding() {
+        // The CSR form must carry exactly the information of the previous
+        // nested `Vec<Vec<u32>>` layout: rebuild the nested view and
+        // re-encode it, which must reproduce the same buffers.
+        let raw = vec![vec![7, 3], vec![], vec![9], vec![1, 2, 3, 4], vec![3, 3, 3]];
+        let ts = TransactionSet::from_raw(raw, ItemMode::Ingredients);
+        let nested: Vec<Vec<u32>> = ts.iter().map(<[u32]>::to_vec).collect();
+        let rebuilt = TransactionSet::from_raw(nested.clone(), ItemMode::Ingredients);
+        assert_eq!(ts, rebuilt);
+        assert_eq!(nested.len(), ts.len());
+        assert_eq!(
+            nested.iter().map(Vec::len).sum::<usize>(),
+            ts.csr_items().len()
+        );
+    }
+
+    #[test]
+    fn empty_set_has_single_offset() {
+        let ts = TransactionSet::from_raw(vec![], ItemMode::Ingredients);
+        assert!(ts.is_empty());
+        assert_eq!(ts.len(), 0);
+        assert_eq!(ts.csr_offsets(), &[0]);
+        assert_eq!(ts.iter().count(), 0);
     }
 
     #[test]

@@ -1,8 +1,10 @@
 //! Property-based tests for the mining substrate. The headline property:
-//! Apriori and FP-Growth produce identical results on arbitrary inputs.
+//! all four miners (Apriori, FP-Growth, Eclat, bitmap Eclat) produce
+//! identical results on arbitrary inputs.
 
 use cuisine_mining::apriori::mine_apriori;
 use cuisine_mining::eclat::mine_eclat;
+use cuisine_mining::eclat_bitset::mine_eclat_bitset;
 use cuisine_mining::fpgrowth::mine_fpgrowth;
 use cuisine_mining::{CombinationAnalysis, ItemMode, Miner, TransactionSet};
 use proptest::prelude::*;
@@ -15,13 +17,15 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
     #[test]
-    fn all_three_miners_agree(raw in arb_transactions(), min_sup in 1u64..6) {
+    fn all_four_miners_agree(raw in arb_transactions(), min_sup in 1u64..6) {
         let ts = TransactionSet::from_raw(raw, ItemMode::Ingredients);
         let a = mine_apriori(&ts, min_sup);
         let b = mine_fpgrowth(&ts, min_sup);
         let c = mine_eclat(&ts, min_sup);
+        let d = mine_eclat_bitset(&ts, min_sup);
         prop_assert_eq!(&a, &b);
         prop_assert_eq!(&a, &c);
+        prop_assert_eq!(&a, &d);
     }
 
     #[test]
@@ -50,7 +54,6 @@ proptest! {
         let result = mine_fpgrowth(&ts, min_sup);
         for f in &result {
             let direct = ts
-                .transactions()
                 .iter()
                 .filter(|t| f.items.iter().all(|x| t.contains(x)))
                 .count() as u64;
@@ -66,11 +69,10 @@ proptest! {
         let mined = mine_fpgrowth(&ts, 2);
         let contains = |items: &[u32]| mined.iter().any(|f| f.items == items);
         for a in 0u32..12 {
-            let support_a = ts.transactions().iter().filter(|t| t.contains(&a)).count();
+            let support_a = ts.iter().filter(|t| t.contains(&a)).count();
             prop_assert_eq!(support_a >= 2, contains(&[a]), "singleton {}", a);
             for b in (a + 1)..12 {
                 let support = ts
-                    .transactions()
                     .iter()
                     .filter(|t| t.contains(&a) && t.contains(&b))
                     .count();
@@ -97,19 +99,20 @@ proptest! {
         rel in 0.01f64..0.5,
     ) {
         let ts = TransactionSet::from_raw(raw, ItemMode::Ingredients);
-        let a = CombinationAnalysis::mine(&ts, rel, Miner::Apriori);
-        let b = CombinationAnalysis::mine(&ts, rel, Miner::FpGrowth);
-        let c = CombinationAnalysis::mine(&ts, rel, Miner::Eclat);
-        prop_assert_eq!(&a.itemsets, &b.itemsets);
-        prop_assert_eq!(&a.itemsets, &c.itemsets);
-        prop_assert_eq!(a.transaction_count, ts.len());
+        let reference = CombinationAnalysis::mine(&ts, rel, Miner::Apriori);
+        for miner in Miner::ALL {
+            let other = CombinationAnalysis::mine(&ts, rel, miner);
+            prop_assert_eq!(&reference.itemsets, &other.itemsets, "{:?}", miner);
+        }
+        prop_assert_eq!(reference.transaction_count, ts.len());
     }
 
     #[test]
     fn full_support_keeps_only_universal_itemsets(raw in arb_wide_transactions()) {
         let ts = TransactionSet::from_raw(raw, ItemMode::Ingredients);
         let n = ts.len() as u64;
-        for miner in [Miner::Apriori, Miner::FpGrowth, Miner::Eclat] {
+        let reference = CombinationAnalysis::mine(&ts, 1.0, Miner::Apriori);
+        for miner in Miner::ALL {
             let analysis = CombinationAnalysis::mine(&ts, 1.0, miner);
             for f in &analysis.itemsets {
                 prop_assert_eq!(
@@ -117,12 +120,41 @@ proptest! {
                     "itemset {:?} not universal under {:?}", f.items, miner
                 );
             }
+            prop_assert_eq!(&reference.itemsets, &analysis.itemsets, "{:?}", miner);
         }
-        let a = CombinationAnalysis::mine(&ts, 1.0, Miner::Apriori);
-        let b = CombinationAnalysis::mine(&ts, 1.0, Miner::FpGrowth);
-        let c = CombinationAnalysis::mine(&ts, 1.0, Miner::Eclat);
-        prop_assert_eq!(&a.itemsets, &b.itemsets);
-        prop_assert_eq!(&a.itemsets, &c.itemsets);
+    }
+
+    // --- density-heuristic crossover -----------------------------------
+
+    #[test]
+    fn bitset_agrees_on_sparse_corpora(raw in arb_sparse_transactions(), min_sup in 1u64..4) {
+        // > 64 transactions with rare items: roots start below the 1/64
+        // density threshold, so the bitset kernel runs its list path.
+        let ts = TransactionSet::from_raw(raw, ItemMode::Ingredients);
+        prop_assert!(ts.len() > 64, "strategy must span > one bitmap word");
+        prop_assert_eq!(
+            mine_eclat_bitset(&ts, min_sup),
+            mine_eclat(&ts, min_sup)
+        );
+    }
+
+    #[test]
+    fn bitset_agrees_across_the_density_crossover(
+        sparse in arb_sparse_transactions(),
+        dense_item_count in 1usize..4,
+    ) {
+        // Mix dense universal items (bitmap path) into a sparse corpus
+        // (list path): intersections then cross the heuristic both ways.
+        let mut raw = sparse;
+        for t in raw.iter_mut() {
+            for item in 0..dense_item_count as u32 {
+                t.push(100 + item);
+            }
+        }
+        let ts = TransactionSet::from_raw(raw, ItemMode::Ingredients);
+        let bitset = mine_eclat_bitset(&ts, 2);
+        prop_assert_eq!(&bitset, &mine_eclat(&ts, 2));
+        prop_assert_eq!(&bitset, &mine_fpgrowth(&ts, 2));
     }
 }
 
@@ -134,10 +166,17 @@ fn arb_wide_transactions() -> impl Strategy<Value = Vec<Vec<u32>>> {
     prop::collection::vec(prop::collection::vec(0u32..10, 0..61), 0..32)
 }
 
+/// Sparse corpora: 65–120 transactions (more than one 64-bit bitmap word)
+/// over a wide item universe with at most two items per transaction, so
+/// per-item tid density sits below the bitset kernel's 1/64 threshold.
+fn arb_sparse_transactions() -> impl Strategy<Value = Vec<Vec<u32>>> {
+    prop::collection::vec(prop::collection::vec(0u32..40, 0..3), 65..120)
+}
+
 #[test]
 fn empty_corpus_agrees_and_is_empty() {
     let ts = TransactionSet::from_raw(Vec::new(), ItemMode::Ingredients);
-    for miner in [Miner::Apriori, Miner::FpGrowth, Miner::Eclat] {
+    for miner in Miner::ALL {
         let analysis = CombinationAnalysis::mine(&ts, 0.05, miner);
         assert!(analysis.itemsets.is_empty());
         assert_eq!(analysis.transaction_count, 0);
@@ -145,7 +184,7 @@ fn empty_corpus_agrees_and_is_empty() {
     // All-empty transactions are not the same as no transactions: the
     // count must survive even though nothing is frequent.
     let blank = TransactionSet::from_raw(vec![Vec::new(); 7], ItemMode::Ingredients);
-    for miner in [Miner::Apriori, Miner::FpGrowth, Miner::Eclat] {
+    for miner in Miner::ALL {
         let analysis = CombinationAnalysis::mine(&blank, 0.05, miner);
         assert!(analysis.itemsets.is_empty());
         assert_eq!(analysis.transaction_count, 7);
@@ -158,7 +197,7 @@ fn shared_core_survives_full_support() {
     // exactly the subsets of the shared core are frequent.
     let raw = vec![vec![1, 2, 3], vec![2, 1, 4], vec![5, 1, 2, 6], vec![1, 2]];
     let ts = TransactionSet::from_raw(raw, ItemMode::Ingredients);
-    for miner in [Miner::Apriori, Miner::FpGrowth, Miner::Eclat] {
+    for miner in Miner::ALL {
         let mut found: Vec<Vec<u32>> = CombinationAnalysis::mine(&ts, 1.0, miner)
             .itemsets
             .into_iter()

@@ -21,7 +21,8 @@ use cuisine_evolution::{EnsembleConfig, EvaluationConfig, ModelKind};
 use cuisine_serve::{client, AppState, Server, ServerConfig, SnapshotStore};
 
 const USAGE: &str = "serve [--scale F] [--seed N] [--threads N] [--no-cache] \
-[--replicates N] [--port N] [--queue N] [--lru N] [--self-check]";
+[--miner fpgrowth|apriori|eclat|eclat-bitset] [--replicates N] [--port N] \
+[--queue N] [--lru N] [--self-check]";
 
 fn extra_value<T: std::str::FromStr>(
     extra: &[(String, String)],
@@ -79,20 +80,26 @@ fn main() {
         ..Default::default()
     };
     let version = format!(
-        "synth-seed{}-scale{}-r{}",
-        opts.seed, opts.scale, fig4.ensemble.replicates
+        "synth-seed{}-scale{}-r{}-{}",
+        opts.seed,
+        opts.scale,
+        fig4.ensemble.replicates,
+        opts.miner.label()
     );
     eprintln!(
-        "building snapshots ({} fig4 replicates/model/cuisine) ...",
-        fig4.ensemble.replicates
+        "building snapshots ({} fig4 replicates/model/cuisine, {} miner) ...",
+        fig4.ensemble.replicates,
+        opts.miner.label()
     );
     let snap_started = Instant::now();
-    let snapshots = SnapshotStore::build(&experiment, version, &ModelKind::ALL, &fig4);
+    let mut snapshots = SnapshotStore::build(&experiment, version, &ModelKind::ALL, &fig4);
+    let snap_elapsed = snap_started.elapsed();
+    snapshots.set_build_wall_ms(snap_elapsed.as_millis().min(u128::from(u64::MAX)) as u64);
     eprintln!(
         "{} snapshots ({} KiB) in {:.2?}",
         snapshots.len(),
         snapshots.total_bytes() / 1024,
-        snap_started.elapsed()
+        snap_elapsed
     );
 
     let state = AppState::new(experiment, snapshots, config.lru_capacity);

@@ -154,6 +154,8 @@ pub fn handle_evolve(request: &EvolveRequest, experiment: &Experiment) -> Result
             threads: Some(1),
         },
         mode: request.mode,
+        // Use the same mining kernel the snapshots were built with.
+        miner: experiment.config().miner,
         ..Default::default()
     };
 

@@ -37,6 +37,7 @@ pub mod snapshot;
 pub(crate) mod testutil;
 
 pub use http::{Request, Response};
+pub use metrics::SnapshotInfo;
 pub use router::AppState;
 pub use server::{Server, ServerConfig};
 pub use snapshot::SnapshotStore;

@@ -27,6 +27,19 @@ pub struct Gauges {
     pub workers: AtomicUsize,
 }
 
+/// Snapshot provenance reported by `/metrics`: which build produced the
+/// precomputed bodies, with which mining kernel, and how long it took.
+#[derive(Debug, Clone)]
+pub struct SnapshotInfo<'a> {
+    /// Snapshot set version tag.
+    pub version: &'a str,
+    /// Label of the mining kernel the snapshots were built with.
+    pub miner: &'a str,
+    /// Wall-clock of the snapshot build in milliseconds (0 when the
+    /// embedding did not measure it, e.g. test fixtures).
+    pub build_wall_ms: u64,
+}
+
 /// Aggregated request counters. All methods are safe to call concurrently.
 #[derive(Debug)]
 pub struct Metrics {
@@ -121,14 +134,16 @@ impl Metrics {
     }
 
     /// Render the metrics document served by `/metrics`.
-    pub fn to_json(&self, gauges: &Gauges, snapshot_version: &str, lru_len: usize) -> String {
+    pub fn to_json(&self, gauges: &Gauges, snapshot: &SnapshotInfo<'_>, lru_len: usize) -> String {
         let requests = self.requests();
         let (hits, misses) = self.cache_counts();
         let total_us = self.latency_total_us.load(Ordering::Relaxed);
 
         let mut doc = Map::new();
         doc.insert("service", Value::String("cuisine-serve".into()));
-        doc.insert("snapshot_version", Value::String(snapshot_version.into()));
+        doc.insert("snapshot_version", Value::String(snapshot.version.into()));
+        doc.insert("snapshot_build_ms", Value::U64(snapshot.build_wall_ms));
+        doc.insert("miner", Value::String(snapshot.miner.into()));
         doc.insert("uptime_seconds", Value::F64(self.started.elapsed().as_secs_f64()));
         doc.insert("requests_total", Value::U64(requests));
 
@@ -210,14 +225,17 @@ mod tests {
         let gauges = Gauges::default();
         gauges.workers.store(4, Ordering::Relaxed);
         gauges.pool_depth.store(2, Ordering::Relaxed);
+        let info = SnapshotInfo { version: "test-v1", miner: "eclat-bitset", build_wall_ms: 1234 };
         let doc: serde::Value =
-            serde_json::from_str(&m.to_json(&gauges, "test-v1", 3)).unwrap();
+            serde_json::from_str(&m.to_json(&gauges, &info, 3)).unwrap();
         let doc = doc.as_object().unwrap();
         assert_eq!(doc.get("requests_total").unwrap().as_u64(), Some(2));
         assert_eq!(
             doc.get("snapshot_version").unwrap().as_str(),
             Some("test-v1")
         );
+        assert_eq!(doc.get("miner").unwrap().as_str(), Some("eclat-bitset"));
+        assert_eq!(doc.get("snapshot_build_ms").unwrap().as_u64(), Some(1234));
         let classes = doc.get("requests_by_class").unwrap().as_object().unwrap();
         assert_eq!(classes.get("2xx").unwrap().as_u64(), Some(1));
         assert_eq!(classes.get("4xx").unwrap().as_u64(), Some(1));

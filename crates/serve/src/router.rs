@@ -91,7 +91,7 @@ fn dispatch(state: &AppState, request: &Request) -> Result<Response, HttpError> 
         (Method::Get, "/healthz") => Ok(healthz(state)),
         (Method::Get, "/metrics") => Ok(Response::json(
             200,
-            state.metrics.to_json(&state.gauges, state.snapshots.version(), state.lru_len()),
+            state.metrics.to_json(&state.gauges, &state.snapshots.info(), state.lru_len()),
         )),
         (Method::Post, "/evolve") => {
             let evolve = EvolveRequest::from_json(&request.body)?;
@@ -295,10 +295,15 @@ mod tests {
         assert_eq!(metrics.status, 200);
         let doc: Value =
             serde_json::from_str(std::str::from_utf8(&metrics.body).unwrap()).unwrap();
+        let fields = doc.as_object().unwrap();
+        assert_eq!(fields.get("service").unwrap().as_str(), Some("cuisine-serve"));
+        // Snapshot provenance: which kernel built the bodies, and how long
+        // the build took (0 for the untimed test fixture).
         assert_eq!(
-            doc.as_object().unwrap().get("service").unwrap().as_str(),
-            Some("cuisine-serve")
+            fields.get("miner").unwrap().as_str(),
+            Some(state.snapshots.miner())
         );
+        assert_eq!(fields.get("snapshot_build_ms").unwrap().as_u64(), Some(0));
         let index = get(&state, "/");
         assert_eq!(index.status, 200);
         assert!(String::from_utf8_lossy(&index.body).contains("/table1"));

@@ -19,10 +19,19 @@ use cuisine_evolution::{EvaluationConfig, ModelKind};
 use cuisine_mining::ItemMode;
 use serde::{Map, Serialize, Value};
 
+use crate::metrics::SnapshotInfo;
+
 /// Precomputed artifact bodies, keyed by canonical decoded path.
 #[derive(Debug)]
 pub struct SnapshotStore {
     version: String,
+    /// Label of the mining kernel the snapshots were built with.
+    miner: &'static str,
+    /// Wall-clock of the build in milliseconds. Zero until the embedding
+    /// records it via [`SnapshotStore::set_build_wall_ms`] — the store
+    /// does not read clocks itself (the serving library is on the
+    /// deterministic-path lint budget; binaries already own the timers).
+    build_wall_ms: u64,
     entries: BTreeMap<String, Arc<Vec<u8>>>,
 }
 
@@ -71,7 +80,12 @@ impl SnapshotStore {
 
         put("/cuisines", Arc::new(cuisines_document(experiment).into_bytes()));
 
-        SnapshotStore { version, entries }
+        SnapshotStore {
+            version,
+            miner: experiment.config().miner.label(),
+            build_wall_ms: 0,
+            entries,
+        }
     }
 
     /// Body for a canonical path, if snapshotted.
@@ -82,6 +96,26 @@ impl SnapshotStore {
     /// Snapshot set version tag.
     pub fn version(&self) -> &str {
         &self.version
+    }
+
+    /// Label of the mining kernel that produced these snapshots.
+    pub fn miner(&self) -> &'static str {
+        self.miner
+    }
+
+    /// Record the measured build wall-clock (milliseconds), reported by
+    /// `/metrics`. Called by the embedding that timed the build.
+    pub fn set_build_wall_ms(&mut self, ms: u64) {
+        self.build_wall_ms = ms;
+    }
+
+    /// Provenance summary for `/metrics`.
+    pub fn info(&self) -> SnapshotInfo<'_> {
+        SnapshotInfo {
+            version: &self.version,
+            miner: self.miner,
+            build_wall_ms: self.build_wall_ms,
+        }
     }
 
     /// Number of snapshotted artifacts.
@@ -165,6 +199,16 @@ mod tests {
             store.get("/similarity/category").unwrap().as_slice(),
             serde_json::to_string(&matrix).unwrap().as_bytes()
         );
+    }
+
+    #[test]
+    fn info_reports_miner_and_build_time() {
+        let (experiment, store) = fixture();
+        let info = store.info();
+        assert_eq!(info.version, FIXTURE_VERSION);
+        assert_eq!(info.miner, experiment.config().miner.label());
+        assert_eq!(info.build_wall_ms, 0, "fixture build is not timed");
+        assert_eq!(store.miner(), "fpgrowth", "fixture uses the default kernel");
     }
 
     #[test]

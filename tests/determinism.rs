@@ -24,16 +24,30 @@ use cuisine_evolution::ModelKind;
 /// Thread counts to sweep: sequential, small, oversubscribed.
 const THREADS: &[Option<usize>] = &[Some(1), Some(2), Some(8)];
 
+/// The mining kernel under test. Defaults to the pipeline default; CI runs
+/// this suite a second time with `CUISINE_MINER=eclat-bitset` to pin the
+/// bitmap kernel to the exact same artifact bytes. (Env reads are fine
+/// here: test code is exempt from the determinism lint, and the knob is
+/// value-neutral by the very property this suite asserts.)
+fn miner_under_test() -> Miner {
+    match std::env::var("CUISINE_MINER") {
+        Ok(label) => label.parse().expect("CUISINE_MINER must name a miner"),
+        Err(_) => Miner::default(),
+    }
+}
+
 fn experiment(threads: Option<usize>, cache: bool) -> Experiment {
     let synth = SynthConfig { seed: 11, scale: 0.02, ..Default::default() };
-    Experiment::synthetic_with(&synth, PipelineConfig { threads, cache })
+    let config = PipelineConfig { threads, cache, miner: miner_under_test() };
+    Experiment::synthetic_with(&synth, config)
 }
 
 /// Smaller corpus for the model-evaluation sweeps (fig4 runs evolution
 /// ensembles per cuisine × model × config, so keep each run cheap).
 fn small_experiment(threads: Option<usize>, cache: bool) -> Experiment {
     let synth = SynthConfig { seed: 11, scale: 0.005, ..Default::default() };
-    Experiment::synthetic_with(&synth, PipelineConfig { threads, cache })
+    let config = PipelineConfig { threads, cache, miner: miner_under_test() };
+    Experiment::synthetic_with(&synth, config)
 }
 
 /// All `(threads, cache)` combinations under test.
@@ -118,6 +132,41 @@ fn fig4_identical_across_threads_and_cache() {
             to_json(&e.fig4_models(&models, &config)),
             reference,
             "fig4 diverged at threads={threads:?} cache={cache}"
+        );
+    }
+}
+
+#[test]
+fn miner_knob_does_not_change_any_artifact() {
+    // The mining kernel is a pure performance choice: fig3 (and its
+    // similarity matrix) and fig4 must serialize to the same bytes under
+    // every kernel. This is the cross-miner leg of the byte-identity
+    // contract; CI additionally re-runs the whole suite with
+    // CUISINE_MINER=eclat-bitset for the full threads × cache sweep.
+    let synth = SynthConfig { seed: 11, scale: 0.02, ..Default::default() };
+    let build = |miner| {
+        let config = PipelineConfig { threads: Some(2), cache: true, miner };
+        Experiment::synthetic_with(&synth, config)
+    };
+    let fig4_config = EvaluationConfig {
+        ensemble: EnsembleConfig { replicates: 2, seed: 7, threads: None },
+        ..Default::default()
+    };
+    let models = [ModelKind::Null];
+    let reference = {
+        let e = build(Miner::FpGrowth);
+        let (analysis, matrix) = e.fig3(ItemMode::Ingredients);
+        (to_json(&analysis), to_json(&matrix), to_json(&e.fig4_models(&models, &fig4_config)))
+    };
+    for miner in Miner::ALL {
+        let e = build(miner);
+        let (analysis, matrix) = e.fig3(ItemMode::Ingredients);
+        assert_eq!(to_json(&analysis), reference.0, "fig3 diverged under {miner:?}");
+        assert_eq!(to_json(&matrix), reference.1, "similarity diverged under {miner:?}");
+        assert_eq!(
+            to_json(&e.fig4_models(&models, &fig4_config)),
+            reference.2,
+            "fig4 diverged under {miner:?}"
         );
     }
 }
