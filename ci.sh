@@ -22,6 +22,33 @@ echo "==> serve --self-check (smoke test)"
 cargo run --release -q -p cuisine-serve --bin serve -- \
     --self-check --scale 0.02 --seed 11 --replicates 2
 
+echo "==> serve --self-check with explicit sharding"
+cargo run --release -q -p cuisine-serve --bin serve -- \
+    --self-check --scale 0.02 --seed 11 --replicates 2 --shards 4
+
+echo "==> keep-alive loadgen smoke (nonzero reuse + coalescing)"
+cargo build --release -q -p cuisine-serve --bin serve --bin loadgen
+./target/release/serve --scale 0.02 --seed 11 --replicates 2 --port 7893 \
+    </dev/null >/tmp/cuisine-serve-smoke.log 2>&1 &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+for _ in $(seq 1 100); do
+    grep -q listening /tmp/cuisine-serve-smoke.log && break
+    sleep 0.2
+done
+./target/release/loadgen --addr 127.0.0.1:7893 --clients 8 --requests 50 \
+    --evolve --keep-alive --pipeline-depth 4 >/dev/null 2>&1
+METRICS=$(./target/release/loadgen --addr 127.0.0.1:7893 --dump-metrics)
+echo "smoke metrics: $METRICS"
+if ! echo "$METRICS" | grep -q '"keepalive_reuses":[1-9]'; then
+    echo "FAIL: expected nonzero keepalive_reuses"; exit 1
+fi
+if ! echo "$METRICS" | grep -q '"coalesced_waiters":[1-9]'; then
+    echo "FAIL: expected nonzero coalesced_waiters"; exit 1
+fi
+kill "$SERVE_PID" 2>/dev/null || true
+trap - EXIT
+
 echo "==> cuisine-lint --self-check (rule fixtures)"
 cargo run --release -q -p cuisine-lint --bin cuisine-lint -- --self-check
 

@@ -1,0 +1,134 @@
+//! A one-shot waiter/notify cell for single-flight request coalescing.
+//!
+//! The serving layer's `/evolve` endpoint is deterministic: two identical
+//! in-flight requests would compute byte-identical responses, so the
+//! second one is pure duplicated work. Single-flight coalescing keys every
+//! in-flight computation and lets later arrivals *attach* to the first
+//! one instead of recomputing. [`Flight`] is the synchronization cell that
+//! makes the fan-out safe:
+//!
+//! * the **leader** runs the computation and calls [`Flight::complete`]
+//!   exactly once (later completions are ignored — first write wins, so a
+//!   racing duplicate completion cannot change what waiters observe);
+//! * **waiters** either block ([`Flight::wait_timeout`]) or poll
+//!   ([`Flight::try_get`]) — the polling form is what a non-blocking
+//!   connection shard needs: it must keep serving its other connections
+//!   while one of them waits for a result.
+//!
+//! The value is `Clone` because one result fans out to every waiter. In
+//! the serving layer the payload is an `Arc`-bodied response, so a clone
+//! is a pointer bump, not a body copy.
+
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// A write-once cell: one completion, any number of waiters.
+///
+/// See the [module docs](self). All methods are safe to call from any
+/// thread; poisoning is tolerated (a poisoned lock still yields the slot —
+/// waiters must never deadlock because some unrelated holder panicked).
+#[derive(Debug, Default)]
+pub struct Flight<T> {
+    slot: Mutex<Option<T>>,
+    ready: Condvar,
+}
+
+impl<T: Clone> Flight<T> {
+    /// An empty flight with no value yet.
+    pub fn new() -> Self {
+        Flight { slot: Mutex::new(None), ready: Condvar::new() }
+    }
+
+    /// Publish the result and wake every waiter.
+    ///
+    /// The first completion wins; later calls are ignored, so a duplicate
+    /// completion (e.g. a shed path racing the computation) cannot swap
+    /// the value out from under a waiter that already observed it.
+    pub fn complete(&self, value: T) {
+        let mut slot = match self.slot.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if slot.is_none() {
+            *slot = Some(value);
+        }
+        drop(slot);
+        self.ready.notify_all();
+    }
+
+    /// Non-blocking poll: the published value, if any.
+    pub fn try_get(&self) -> Option<T> {
+        match self.slot.lock() {
+            Ok(guard) => guard.clone(),
+            Err(poisoned) => poisoned.into_inner().clone(),
+        }
+    }
+
+    /// Block until the value is published or `timeout` elapses.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<T> {
+        let guard = match self.slot.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let (guard, _result) = match self
+            .ready
+            .wait_timeout_while(guard, timeout, |slot| slot.is_none())
+        {
+            Ok(pair) => pair,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        guard.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn try_get_sees_a_completion() {
+        let flight = Flight::new();
+        assert_eq!(flight.try_get(), None);
+        flight.complete(7u32);
+        assert_eq!(flight.try_get(), Some(7));
+    }
+
+    #[test]
+    fn first_completion_wins() {
+        let flight = Flight::new();
+        flight.complete("first".to_string());
+        flight.complete("second".to_string());
+        assert_eq!(flight.try_get().as_deref(), Some("first"));
+    }
+
+    #[test]
+    fn wait_timeout_returns_none_without_a_value() {
+        let flight: Flight<u32> = Flight::new();
+        assert_eq!(flight.wait_timeout(Duration::from_millis(20)), None);
+    }
+
+    #[test]
+    fn waiters_across_threads_all_observe_the_value() {
+        let flight = Arc::new(Flight::new());
+        let waiters: Vec<_> = (0..4)
+            .map(|_| {
+                let flight = Arc::clone(&flight);
+                std::thread::spawn(move || flight.wait_timeout(Duration::from_secs(10)))
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(20));
+        flight.complete(42u64);
+        for waiter in waiters {
+            assert_eq!(waiter.join().unwrap(), Some(42));
+        }
+    }
+
+    #[test]
+    fn complete_after_wait_timeout_is_still_visible() {
+        let flight = Flight::new();
+        assert_eq!(flight.wait_timeout(Duration::from_millis(5)), None);
+        flight.complete(1u8);
+        assert_eq!(flight.wait_timeout(Duration::from_millis(5)), Some(1));
+    }
+}

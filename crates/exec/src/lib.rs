@@ -27,9 +27,31 @@
 
 #![forbid(unsafe_code)]
 
+pub mod flight;
 pub mod pool;
 
+pub use flight::Flight;
 pub use pool::{PoolFull, WorkerPool};
+
+/// Spawn a long-lived, named *service* thread.
+///
+/// Almost all parallelism in the workspace is task-shaped and must go
+/// through [`par_map_range`]/[`WorkerPool`] so thread count stays
+/// value-neutral and panics are contained per task. A few threads are not
+/// task-shaped: a listener accept loop, a connection shard's event loop —
+/// they live for the whole server and own I/O state rather than compute a
+/// value. This is the single sanctioned way to create one (the `X1` lint
+/// rule bans raw `std::thread` use outside `cuisine-exec`), which keeps
+/// every thread in the workspace discoverable from this crate.
+///
+/// The caller owns the returned handle and is responsible for arranging
+/// shutdown (a stop flag, a closed channel) and joining it.
+pub fn spawn_service<F>(name: &str, f: F) -> std::io::Result<std::thread::JoinHandle<()>>
+where
+    F: FnOnce() + Send + 'static,
+{
+    std::thread::Builder::new().name(name.to_string()).spawn(f)
+}
 
 /// Resolve a `threads: Option<usize>` knob against a job count.
 ///

@@ -4,23 +4,36 @@
 //! ```sh
 //! cargo run --release -p cuisine-serve --bin loadgen -- \
 //!     --addr 127.0.0.1:7878 [--clients 8] [--requests 200] \
-//!     [--path /table1] [--evolve]
+//!     [--path /table1] [--evolve] [--keep-alive] [--pipeline-depth N] \
+//!     [--json] [--workload NAME]
 //! ```
 //!
 //! Each client runs its requests back-to-back on its own thread (closed
-//! loop, one connection per request — the server's `Connection: close`
-//! model). `--path` may be a comma-separated list; clients rotate through
-//! it. `--evolve` adds a deterministic `POST /evolve` to the mix.
-//! Methodology notes live in EXPERIMENTS.md.
+//! loop). By default every request opens a fresh connection (the
+//! pre-keep-alive model, kept as the A/B baseline). With `--keep-alive`
+//! each client holds one persistent connection for its whole run,
+//! reconnecting only on error; `--pipeline-depth N` additionally writes N
+//! requests back-to-back before reading the N responses (implies
+//! `--keep-alive`). In pipelined mode a response's recorded latency runs
+//! from the *batch* start, so depth inflates per-request latency while
+//! raising throughput — compare latencies only at equal depth.
+//!
+//! `--path` may be a comma-separated list; clients rotate through it.
+//! `--evolve` adds a deterministic `POST /evolve` to the mix. `--json`
+//! prints one `bench_serve/v1` entry object to stdout (human summary goes
+//! to stderr) for collection into `BENCH_serve.json`. Methodology notes
+//! live in EXPERIMENTS.md.
 
 use std::net::SocketAddr;
 use std::time::{Duration, Instant};
 
 use cuisine_bench::ExpOptions;
 use cuisine_serve::client;
+use serde::{Map, Value};
 
 const USAGE: &str = "loadgen --addr HOST:PORT [--clients N] [--requests N] \
-[--path /p1,/p2] [--evolve]";
+[--path /p1,/p2] [--evolve] [--keep-alive] [--pipeline-depth N] [--json] \
+[--workload NAME] [--dump-metrics]";
 
 const EVOLVE_BODY: &str = r#"{"cuisine":"ITA","model":"CM-R","seed":7,"replicates":4}"#;
 
@@ -39,14 +52,32 @@ fn extra_value<T: std::str::FromStr>(extra: &[(String, String)], name: &str, def
     }
 }
 
+/// What one request slot does.
+enum Slot<'a> {
+    Get(&'a str),
+    Evolve,
+}
+
+fn slot_for<'a>(paths: &'a [String], with_evolve: bool, slot: usize) -> Slot<'a> {
+    if with_evolve && slot % (paths.len() + 1) == paths.len() {
+        Slot::Evolve
+    } else {
+        Slot::Get(&paths[slot % paths.len()])
+    }
+}
+
 fn main() {
     let (opts, extra) = ExpOptions::parse_with_or_exit(
         std::env::args(),
-        &["--addr", "--clients", "--requests", "--path"],
+        &["--addr", "--clients", "--requests", "--path", "--pipeline-depth", "--workload"],
         USAGE,
     );
     let with_evolve = opts.has_flag("--evolve");
-    if let Some(unknown) = opts.flags.iter().find(|f| f.as_str() != "--evolve") {
+    let json_out = opts.has_flag("--json");
+    let mut keep_alive = opts.has_flag("--keep-alive");
+    if let Some(unknown) = opts.flags.iter().find(|f| {
+        !matches!(f.as_str(), "--evolve" | "--keep-alive" | "--json" | "--dump-metrics")
+    }) {
         exit_usage(&format!("unrecognized flag {unknown:?}"));
     }
 
@@ -56,15 +87,39 @@ fn main() {
             .parse()
             .unwrap_or_else(|_| exit_usage(&format!("--addr has an invalid value {raw:?}"))),
     };
+
+    // `--dump-metrics`: fetch /metrics, print the raw JSON body, exit —
+    // lets shell scripts (ci.sh) assert on live counters without curl.
+    if opts.has_flag("--dump-metrics") {
+        match client::get(addr, "/metrics", Duration::from_secs(10)) {
+            Ok(response) if response.status == 200 => {
+                println!("{}", String::from_utf8_lossy(&response.body));
+                std::process::exit(0);
+            }
+            Ok(response) => {
+                eprintln!("error: /metrics answered {}", response.status);
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("error: no server answering on {addr}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     let clients: usize = extra_value(&extra, "--clients", 8);
     let requests: usize = extra_value(&extra, "--requests", 200);
-    if clients == 0 || requests == 0 {
-        exit_usage("--clients and --requests must be positive");
+    let depth: usize = extra_value(&extra, "--pipeline-depth", 1);
+    if clients == 0 || requests == 0 || depth == 0 {
+        exit_usage("--clients, --requests, and --pipeline-depth must be positive");
+    }
+    if depth > 1 {
+        keep_alive = true; // pipelining only exists on a persistent connection
     }
     let paths: Vec<String> = extra_value::<String>(&extra, "--path", "/table1".into())
         .split(',')
         .map(str::to_string)
         .collect();
+    let workload: String = extra_value(&extra, "--workload", "mixed".to_string());
 
     let timeout = Duration::from_secs(30);
     if client::get(addr, "/healthz", timeout).is_err() {
@@ -73,9 +128,11 @@ fn main() {
     }
 
     eprintln!(
-        "loadgen: {clients} clients x {requests} requests over {:?}{} against {addr}",
+        "loadgen: {clients} clients x {requests} requests over {:?}{} against {addr} \
+({}, pipeline depth {depth})",
         paths,
-        if with_evolve { " + POST /evolve" } else { "" }
+        if with_evolve { " + POST /evolve" } else { "" },
+        if keep_alive { "keep-alive" } else { "connection-per-request" },
     );
 
     let wall = Instant::now();
@@ -83,20 +140,11 @@ fn main() {
     // pipeline uses. Each entry: (latency, status or 0 on transport error).
     let per_client: Vec<Vec<(Duration, u16)>> =
         cuisine_exec::par_map_range(clients, Some(clients), |client_index| {
-            let mut samples = Vec::with_capacity(requests);
-            for i in 0..requests {
-                let slot = client_index + i * clients;
-                let use_evolve = with_evolve && slot % (paths.len() + 1) == paths.len();
-                let started = Instant::now();
-                let outcome = if use_evolve {
-                    client::post_json(addr, "/evolve", EVOLVE_BODY, timeout)
-                } else {
-                    client::get(addr, &paths[slot % paths.len()], timeout)
-                };
-                let status = outcome.map(|r| r.status).unwrap_or(0);
-                samples.push((started.elapsed(), status));
+            if keep_alive {
+                run_keep_alive(addr, &paths, with_evolve, client_index, clients, requests, depth, timeout)
+            } else {
+                run_per_request(addr, &paths, with_evolve, client_index, clients, requests, timeout)
             }
-            samples
         });
     let elapsed = wall.elapsed();
 
@@ -117,21 +165,131 @@ fn main() {
     let total = latencies.len();
     let pct = |p: f64| latencies[((p * total as f64).ceil() as usize).clamp(1, total) - 1];
     let mean = latencies.iter().sum::<Duration>() / total as u32;
+    let throughput = total as f64 / elapsed.as_secs_f64();
 
-    println!("requests:    {total} ({ok} ok, {shed} shed/503, {errors} errors)");
-    println!("wall time:   {elapsed:.2?}");
-    println!(
-        "throughput:  {:.0} req/s",
-        total as f64 / elapsed.as_secs_f64()
-    );
-    println!(
+    eprintln!("requests:    {total} ({ok} ok, {shed} shed/503, {errors} errors)");
+    eprintln!("wall time:   {elapsed:.2?}");
+    eprintln!("throughput:  {throughput:.0} req/s");
+    eprintln!(
         "latency:     mean {mean:.2?}  p50 {:.2?}  p90 {:.2?}  p99 {:.2?}  max {:.2?}",
         pct(0.50),
         pct(0.90),
         pct(0.99),
         latencies[total - 1]
     );
+
+    if json_out {
+        let us = |d: Duration| Value::U64(d.as_micros().min(u128::from(u64::MAX)) as u64);
+        let mut entry = Map::new();
+        entry.insert("workload", Value::String(workload));
+        entry.insert("paths", Value::String(paths.join(",")));
+        entry.insert("evolve", Value::Bool(with_evolve));
+        entry.insert("keep_alive", Value::Bool(keep_alive));
+        entry.insert("pipeline_depth", Value::U64(depth as u64));
+        entry.insert("clients", Value::U64(clients as u64));
+        entry.insert("requests", Value::U64(total as u64));
+        entry.insert("ok", Value::U64(ok as u64));
+        entry.insert("shed", Value::U64(shed as u64));
+        entry.insert("errors", Value::U64(errors as u64));
+        entry.insert("wall_ms", Value::F64(elapsed.as_secs_f64() * 1000.0));
+        entry.insert("throughput_rps", Value::F64(throughput));
+        entry.insert("mean_us", us(mean));
+        entry.insert("p50_us", us(pct(0.50)));
+        entry.insert("p90_us", us(pct(0.90)));
+        entry.insert("p99_us", us(pct(0.99)));
+        entry.insert("max_us", us(latencies[total - 1]));
+        println!(
+            "{}",
+            serde_json::to_string(&Value::Object(entry)).unwrap_or_default()
+        );
+    }
     if errors > 0 {
         std::process::exit(1);
     }
+}
+
+/// The original model: one fresh connection per request.
+fn run_per_request(
+    addr: SocketAddr,
+    paths: &[String],
+    with_evolve: bool,
+    client_index: usize,
+    clients: usize,
+    requests: usize,
+    timeout: Duration,
+) -> Vec<(Duration, u16)> {
+    let mut samples = Vec::with_capacity(requests);
+    for i in 0..requests {
+        let slot = slot_for(paths, with_evolve, client_index + i * clients);
+        let started = Instant::now();
+        let outcome = match slot {
+            Slot::Evolve => client::post_json(addr, "/evolve", EVOLVE_BODY, timeout),
+            Slot::Get(path) => client::get(addr, path, timeout),
+        };
+        let status = outcome.map(|r| r.status).unwrap_or(0);
+        samples.push((started.elapsed(), status));
+    }
+    samples
+}
+
+/// Keep-alive model: one persistent connection per client, optionally
+/// pipelined `depth` requests at a time. A transport error fails the
+/// whole outstanding batch and forces a reconnect.
+#[allow(clippy::too_many_arguments)]
+fn run_keep_alive(
+    addr: SocketAddr,
+    paths: &[String],
+    with_evolve: bool,
+    client_index: usize,
+    clients: usize,
+    requests: usize,
+    depth: usize,
+    timeout: Duration,
+) -> Vec<(Duration, u16)> {
+    let mut samples = Vec::with_capacity(requests);
+    let mut conn: Option<client::Connection> = None;
+    let mut i = 0usize;
+    while i < requests {
+        let batch = depth.min(requests - i);
+        let started = Instant::now();
+        if conn.is_none() {
+            conn = client::Connection::open(addr, timeout).ok();
+        }
+        let Some(live) = conn.as_mut() else {
+            for _ in 0..batch {
+                samples.push((started.elapsed(), 0));
+            }
+            i += batch;
+            continue;
+        };
+        let mut sent = 0usize;
+        for b in 0..batch {
+            let ok = match slot_for(paths, with_evolve, client_index + (i + b) * clients) {
+                Slot::Evolve => live.send("/evolve", Some(EVOLVE_BODY.as_bytes())),
+                Slot::Get(path) => live.send(path, None),
+            };
+            if ok.is_err() {
+                break;
+            }
+            sent += 1;
+        }
+        let mut failed = sent < batch;
+        for b in 0..batch {
+            if b < sent && !failed {
+                match live.recv() {
+                    Ok(response) => {
+                        samples.push((started.elapsed(), response.status));
+                        continue;
+                    }
+                    Err(_) => failed = true,
+                }
+            }
+            samples.push((started.elapsed(), 0));
+        }
+        if failed {
+            conn = None;
+        }
+        i += batch;
+    }
+    samples
 }

@@ -4,14 +4,19 @@
 //! cargo run --release -p cuisine-serve --bin serve -- \
 //!     [--scale 0.1] [--seed 42] [--threads N] [--no-cache] \
 //!     [--replicates 100] [--port 7878] [--queue 64] [--lru 128] \
-//!     [--self-check]
+//!     [--shards N] [--no-keepalive] [--self-check]
 //! ```
 //!
 //! `--replicates` sets the Fig. 4 snapshot ensembles (the startup-cost
-//! knob). `--self-check` boots on an ephemeral port, drives the in-process
-//! client through `/healthz`, an artifact endpoint, and `POST /evolve`,
-//! verifies the served bytes against the snapshot store, shuts down
-//! gracefully, and exits — the CI smoke test.
+//! knob). `--threads` sizes the `/evolve` worker pool; `--shards` sets the
+//! connection event-loop count (`0` = one per core); `--no-keepalive`
+//! restores the one-request-per-connection model for A/B runs.
+//! `--self-check` boots on an ephemeral port, drives the in-process client
+//! through `/healthz`, an artifact endpoint, `POST /evolve` (twice —
+//! asserting via `/metrics` that the repeat was a cache hit, not a second
+//! computation), and a pipelined keep-alive exchange, verifies the served
+//! bytes against the snapshot store, shuts down gracefully, and exits —
+//! the CI smoke test.
 
 use std::time::{Duration, Instant};
 
@@ -22,7 +27,7 @@ use cuisine_serve::{client, AppState, Server, ServerConfig, SnapshotStore};
 
 const USAGE: &str = "serve [--scale F] [--seed N] [--threads N] [--no-cache] \
 [--miner fpgrowth|apriori|eclat|eclat-bitset] [--replicates N] [--port N] \
-[--queue N] [--lru N] [--self-check]";
+[--queue N] [--lru N] [--shards N] [--no-keepalive] [--self-check]";
 
 fn extra_value<T: std::str::FromStr>(
     extra: &[(String, String)],
@@ -42,21 +47,33 @@ fn extra_value<T: std::str::FromStr>(
 fn main() {
     let (opts, extra) = ExpOptions::parse_with_or_exit(
         std::env::args(),
-        &["--port", "--queue", "--lru"],
+        &["--port", "--queue", "--lru", "--shards"],
         USAGE,
     );
     let self_check = opts.has_flag("--self-check");
-    if let Some(unknown) = opts.flags.iter().find(|f| f.as_str() != "--self-check") {
+    let no_keepalive = opts.has_flag("--no-keepalive");
+    if let Some(unknown) = opts
+        .flags
+        .iter()
+        .find(|f| !matches!(f.as_str(), "--self-check" | "--no-keepalive"))
+    {
         eprintln!("error: unrecognized flag {unknown:?}");
         eprintln!("usage: {USAGE}");
         std::process::exit(2);
     }
 
+    // `--shards 0` (the default) = one event loop per core.
+    let shards = match extra_value(&extra, "--shards", 0usize) {
+        0 => None,
+        n => Some(n),
+    };
     let config = ServerConfig {
         port: if self_check { 0 } else { extra_value(&extra, "--port", 7878) },
         threads: opts.threads,
         queue_capacity: extra_value(&extra, "--queue", 64),
         lru_capacity: extra_value(&extra, "--lru", 128),
+        shards,
+        keep_alive: !no_keepalive,
         ..Default::default()
     };
 
@@ -110,7 +127,7 @@ fn main() {
     println!("listening on http://{}", server.addr());
 
     if self_check {
-        self_check_and_exit(server);
+        self_check_and_exit(server, !no_keepalive);
     }
 
     eprintln!("press Enter for graceful shutdown (or send SIGKILL)");
@@ -131,7 +148,8 @@ fn main() {
 }
 
 /// The CI smoke path: exercise the live server through the real client.
-fn self_check_and_exit(server: Server) -> ! {
+/// The pipelining/reuse assertions only make sense when keep-alive is on.
+fn self_check_and_exit(server: Server, keep_alive: bool) -> ! {
     let addr = server.addr();
     let timeout = Duration::from_secs(10);
     let mut failures = 0u32;
@@ -163,6 +181,44 @@ fn self_check_and_exit(server: Server) -> ! {
         "POST /evolve is deterministic",
         matches!((&evolve_a, &evolve_b), (Ok(a), Ok(b)) if a.status == 200 && a.body == b.body),
     );
+
+    if keep_alive {
+        // Pipelined keep-alive exchange on one persistent connection: both
+        // responses must arrive in order with the exact snapshot bytes.
+        let pipelined = client::Connection::open(addr, timeout).and_then(|mut conn| {
+            conn.send("/healthz", None)?;
+            conn.send("/table1", None)?;
+            let first = conn.recv()?;
+            let second = conn.recv()?;
+            Ok((first, second))
+        });
+        check(
+            "pipelined keep-alive requests answer in order",
+            matches!((&pipelined, &expected), (Ok((h, t)), Some(snap)) if h.status == 200
+                && t.status == 200 && t.body == **snap),
+        );
+
+        // The repeat /evolve above must have been a cache hit sharing the
+        // first computation, and the pipelined pair a connection reuse.
+        let counters = client::get(addr, "/metrics", timeout)
+            .ok()
+            .filter(|r| r.status == 200)
+            .and_then(|r| String::from_utf8(r.body).ok())
+            .and_then(|text| serde_json::from_str::<serde::Value>(&text).ok())
+            .and_then(|doc| {
+                let object = doc.as_object()?;
+                Some((
+                    object.get("evolve_computations")?.as_u64()?,
+                    object.get("evolve_cache_hits")?.as_u64()?,
+                    object.get("keepalive_reuses")?.as_u64()?,
+                ))
+            });
+        check(
+            "metrics confirm evolve caching and keep-alive reuse",
+            matches!(counters, Some((computations, hits, reuses))
+                if computations == 1 && hits >= 1 && reuses >= 1),
+        );
+    }
 
     let missing = client::get(addr, "/no-such-endpoint", timeout);
     check("unknown path is 404", missing.is_ok_and(|r| r.status == 404));

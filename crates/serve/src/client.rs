@@ -3,8 +3,16 @@
 //! Shared by the integration tests, the `serve --self-check` smoke path,
 //! and the `loadgen` binary — the same client drives all three, so the CI
 //! smoke test exercises exactly the code path the benchmarks measure.
-//! One request per connection, mirroring the server's `Connection: close`
-//! model.
+//!
+//! Two modes:
+//!
+//! * [`request`]/[`get`]/[`post_json`] — one `Connection: close` request
+//!   per socket, the original model; still what the protocol-error tests
+//!   use.
+//! * [`Connection`] — a persistent keep-alive connection with split
+//!   [`Connection::send`]/[`Connection::recv`] so callers can pipeline:
+//!   write a batch of requests back-to-back, then read the batch of
+//!   responses in order.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -69,6 +77,127 @@ pub fn post_json(
     request(addr, path, Some(json.as_bytes()), timeout)
 }
 
+/// A persistent keep-alive connection.
+///
+/// Requests are written without `Connection: close`, so the server keeps
+/// the socket open between exchanges. [`Connection::send`] and
+/// [`Connection::recv`] are split so callers can pipeline (N sends, then
+/// N recvs — responses arrive in request order); [`Connection::roundtrip`]
+/// is the common one-at-a-time case.
+pub struct Connection {
+    stream: TcpStream,
+    host: String,
+    /// Bytes read past the end of the previous response.
+    buf: Vec<u8>,
+}
+
+impl Connection {
+    /// Connect with the given timeout applied to connect/read/write.
+    pub fn open(addr: SocketAddr, timeout: Duration) -> std::io::Result<Connection> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        let _ = stream.set_nodelay(true);
+        Ok(Connection {
+            stream,
+            host: addr.to_string(),
+            buf: Vec::new(),
+        })
+    }
+
+    /// Write one request without reading its response. `body` implies
+    /// `POST` with a JSON content type; otherwise a `GET` is sent.
+    pub fn send(&mut self, path: &str, body: Option<&[u8]>) -> std::io::Result<()> {
+        let host = &self.host;
+        match body {
+            None => write!(self.stream, "GET {path} HTTP/1.1\r\nhost: {host}\r\n\r\n")?,
+            Some(payload) => {
+                write!(
+                    self.stream,
+                    "POST {path} HTTP/1.1\r\nhost: {host}\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n",
+                    payload.len()
+                )?;
+                self.stream.write_all(payload)?;
+            }
+        }
+        self.stream.flush()
+    }
+
+    /// Read the next pipelined response off the connection.
+    pub fn recv(&mut self) -> std::io::Result<ClientResponse> {
+        loop {
+            if let Some((response, consumed)) = split_response(&self.buf)? {
+                self.buf.drain(..consumed);
+                return Ok(response);
+            }
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Err(invalid("connection closed mid-response")),
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// One request-response exchange on the persistent connection.
+    pub fn roundtrip(
+        &mut self,
+        path: &str,
+        body: Option<&[u8]>,
+    ) -> std::io::Result<ClientResponse> {
+        self.send(path, body)?;
+        self.recv()
+    }
+
+    /// `GET path` on the persistent connection.
+    pub fn get(&mut self, path: &str) -> std::io::Result<ClientResponse> {
+        self.roundtrip(path, None)
+    }
+
+    /// `POST path` with a JSON body on the persistent connection.
+    pub fn post_json(&mut self, path: &str, json: &str) -> std::io::Result<ClientResponse> {
+        self.roundtrip(path, Some(json.as_bytes()))
+    }
+}
+
+/// Try to split one complete response off the front of `buf`. Returns
+/// `Ok(None)` when more bytes are needed, `Ok(Some((response, consumed)))`
+/// on success. Requires `content-length` (the server always sends it).
+fn split_response(buf: &[u8]) -> std::io::Result<Option<(ClientResponse, usize)>> {
+    let Some(header_end) = buf.windows(4).position(|w| w == b"\r\n\r\n") else {
+        return Ok(None);
+    };
+    let head = std::str::from_utf8(&buf[..header_end])
+        .map_err(|_| invalid("non-UTF-8 response head"))?;
+    let status_line = head.lines().next().ok_or_else(|| invalid("empty response"))?;
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| invalid("malformed status line"))?;
+    let declared = head
+        .lines()
+        .find_map(|l| {
+            l.split_once(':')
+                .filter(|(k, _)| k.trim().eq_ignore_ascii_case("content-length"))
+        })
+        .and_then(|(_, v)| v.trim().parse::<usize>().ok())
+        .ok_or_else(|| invalid("keep-alive response without content-length"))?;
+    let body_start = header_end + 4;
+    let total = body_start + declared;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    Ok(Some((
+        ClientResponse {
+            status,
+            body: buf[body_start..total].to_vec(),
+        },
+        total,
+    )))
+}
+
 fn invalid(message: &str) -> std::io::Error {
     std::io::Error::new(std::io::ErrorKind::InvalidData, message)
 }
@@ -125,5 +254,27 @@ mod tests {
     fn rejects_garbage() {
         assert!(parse_response(b"not http").is_err());
         assert!(parse_response(b"HTTP/1.1 abc\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn split_response_handles_partial_and_pipelined_input() {
+        let one = b"HTTP/1.1 200 OK\r\ncontent-length: 2\r\n\r\nok";
+        // Incomplete prefixes want more bytes.
+        for cut in 0..one.len() {
+            assert!(matches!(split_response(&one[..cut]), Ok(None)), "cut {cut}");
+        }
+        // Two back-to-back responses split cleanly in order.
+        let mut two = one.to_vec();
+        two.extend_from_slice(b"HTTP/1.1 404 Not Found\r\ncontent-length: 0\r\n\r\n");
+        let (first, consumed) = split_response(&two).unwrap().unwrap();
+        assert_eq!((first.status, first.body.as_slice()), (200, &b"ok"[..]));
+        let (second, rest) = split_response(&two[consumed..]).unwrap().unwrap();
+        assert_eq!(second.status, 404);
+        assert_eq!(consumed + rest, two.len());
+    }
+
+    #[test]
+    fn split_response_requires_content_length() {
+        assert!(split_response(b"HTTP/1.1 200 OK\r\n\r\n").is_err());
     }
 }

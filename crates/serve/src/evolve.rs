@@ -13,8 +13,24 @@
 //! repeated requests, worker threads, and server pool sizes. Request cost
 //! is bounded by [`MAX_REPLICATES`]; anything larger is rejected with
 //! `422` before any work happens.
+//!
+//! That same determinism makes two optimizations *semantically free*, both
+//! implemented here:
+//!
+//! * a **seeded-evolve result cache** ([`AppState::evolve_cache`]) keyed on
+//!   [`EvolveRequest::canonical_key`] — a repeat of a finished request is a
+//!   lookup, and the cached body is the byte-identical `Arc`-shared
+//!   original;
+//! * **single-flight coalescing** ([`EvolveEngine`]) — identical requests
+//!   *in flight* attach to the leader's computation via a
+//!   [`cuisine_exec::Flight`] instead of duplicating it, so a thundering
+//!   herd of one hot request costs one ensemble run.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use cuisine_core::Experiment;
+use cuisine_exec::{Flight, PoolFull, WorkerPool};
 use cuisine_data::CuisineId;
 use cuisine_evolution::{
     evaluate_model_on_cuisine, CuisineSetup, EnsembleConfig, EvaluationConfig, ModelKind,
@@ -24,6 +40,7 @@ use cuisine_mining::{CombinationAnalysis, ItemMode, TransactionSource};
 use serde::{Map, Value};
 
 use crate::http::{HttpError, Response};
+use crate::router::AppState;
 
 /// Upper bound on replicates per request (paper ensembles use 100 in
 /// batch; serving bounds request cost instead).
@@ -132,6 +149,26 @@ impl EvolveRequest {
 
         Ok(EvolveRequest { cuisine, model, seed, replicates, mode })
     }
+
+    /// Canonical coalescing/cache key: every field that can change the
+    /// response body, in fixed order. Two requests with equal keys are
+    /// guaranteed byte-identical responses by the determinism contract —
+    /// that guarantee is what licenses sharing one computation between
+    /// them.
+    pub fn canonical_key(&self) -> String {
+        let mode = match self.mode {
+            ItemMode::Ingredients => "ingredient",
+            ItemMode::Categories => "category",
+        };
+        format!(
+            "{}|{}|{}|{}|{}",
+            self.cuisine.code(),
+            self.model.label(),
+            self.seed,
+            self.replicates,
+            mode
+        )
+    }
 }
 
 /// Run the requested ensemble and render the response body.
@@ -191,9 +228,249 @@ pub fn handle_evolve(request: &EvolveRequest, experiment: &Experiment) -> Result
     Ok(Response::json(200, body))
 }
 
+/// Compute an `/evolve` response through the seeded result cache,
+/// synchronously on the calling thread.
+///
+/// This is the blocking form used by the legacy [`crate::router::route`]
+/// path and unit tests; the server's connection shards go through
+/// [`EvolveEngine`] instead, which adds single-flight coalescing on top of
+/// the same cache. Only `200`s are cached — errors are cheap to recompute
+/// and must not mask a later success.
+pub fn evolve_sync(state: &AppState, request: &EvolveRequest) -> Response {
+    let key = request.canonical_key();
+    if let Some(hit) = cache_lookup(state, &key) {
+        return hit;
+    }
+    state.metrics.record_evolve_cache(false);
+    state.metrics.record_evolve_computation();
+    let response = match handle_evolve(request, &state.experiment) {
+        Ok(response) => response,
+        Err(error) => Response::from(&error),
+    };
+    cache_publish(state, key, &response);
+    response
+}
+
+/// Consult the seeded-evolve cache, recording a hit metric on success (the
+/// miss metric is the caller's: a coalesced waiter is not a cache miss).
+fn cache_lookup(state: &AppState, key: &str) -> Option<Response> {
+    let hit = state.evolve_cache.lock().ok().and_then(|mut cache| cache.get(key));
+    if hit.is_some() {
+        state.metrics.record_evolve_cache(true);
+    }
+    hit
+}
+
+/// Publish a successful response into the seeded-evolve cache.
+fn cache_publish(state: &AppState, key: String, response: &Response) {
+    if response.status == 200 {
+        if let Ok(mut cache) = state.evolve_cache.lock() {
+            cache.insert(key, response.clone());
+        }
+    }
+}
+
+/// Outcome of [`EvolveEngine::submit`].
+#[derive(Debug)]
+pub enum Submitted {
+    /// The response is available now (cache hit, or an immediate `503`
+    /// when the queue was full).
+    Ready(Response),
+    /// The request is being computed (or was coalesced onto an identical
+    /// in-flight computation): poll or wait on the flight.
+    Wait(Arc<Flight<Response>>),
+}
+
+type InflightMap = HashMap<String, Arc<Flight<Response>>>;
+
+struct EngineShared {
+    state: Arc<AppState>,
+    /// Canonical key → the flight publishing that computation's response.
+    /// Point queries only (insert/get/remove) — never iterated.
+    inflight: Mutex<InflightMap>,
+}
+
+fn lock_inflight(shared: &EngineShared) -> MutexGuard<'_, InflightMap> {
+    match shared.inflight.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// One queued computation: the leader's request plus the flight every
+/// waiter holds.
+struct EvolveJob {
+    key: String,
+    request: EvolveRequest,
+    flight: Arc<Flight<Response>>,
+}
+
+/// Single-flight `/evolve` executor: a bounded [`WorkerPool`] behind an
+/// in-flight map of [`Flight`]s.
+///
+/// Submission order of operations (the invariant the concurrency tests
+/// pin): a request first consults the result cache, then the in-flight
+/// map *under its lock* — attaching to an existing flight if present,
+/// re-checking the cache before leading a new one. The worker publishes
+/// the finished response into the cache **before** removing the in-flight
+/// entry, so at every instant an identical request finds either the cached
+/// result or a flight to attach to — never a gap that would duplicate the
+/// computation.
+pub struct EvolveEngine {
+    shared: Arc<EngineShared>,
+    pool: WorkerPool<EvolveJob>,
+}
+
+impl EvolveEngine {
+    /// Build an engine over `state` with `threads` pool workers and a
+    /// submission queue of `queue_capacity`.
+    pub fn new(state: Arc<AppState>, threads: Option<usize>, queue_capacity: usize) -> Self {
+        let shared = Arc::new(EngineShared { state, inflight: Mutex::new(HashMap::new()) });
+        let worker_shared = Arc::clone(&shared);
+        let pool = WorkerPool::new(threads, queue_capacity, move |job: EvolveJob| {
+            run_job(&worker_shared, job);
+        });
+        EvolveEngine { shared, pool }
+    }
+
+    /// Number of pool workers.
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
+    }
+
+    /// Jobs submitted but not yet finished.
+    pub fn depth(&self) -> usize {
+        self.pool.depth()
+    }
+
+    /// Submit a validated request; see the type docs for the protocol.
+    pub fn submit(&self, request: EvolveRequest) -> Submitted {
+        let state = &self.shared.state;
+        let key = request.canonical_key();
+        if let Some(hit) = cache_lookup(state, &key) {
+            return Submitted::Ready(hit);
+        }
+        let flight = {
+            let mut inflight = lock_inflight(&self.shared);
+            if let Some(existing) = inflight.get(&key) {
+                state.metrics.record_coalesced_waiter();
+                return Submitted::Wait(Arc::clone(existing));
+            }
+            // A finished leader publishes to the cache before clearing its
+            // in-flight entry, so this re-check under the lock closes the
+            // window between our cache miss and its removal.
+            if let Some(hit) = cache_lookup(state, &key) {
+                return Submitted::Ready(hit);
+            }
+            state.metrics.record_evolve_cache(false);
+            let flight = Arc::new(Flight::new());
+            inflight.insert(key.clone(), Arc::clone(&flight));
+            flight
+        };
+        let job = EvolveJob { key, request, flight: Arc::clone(&flight) };
+        match self.pool.try_execute(job) {
+            Ok(()) => Submitted::Wait(flight),
+            Err(PoolFull(job)) => {
+                // Shed: clear the entry so later arrivals are not parked on
+                // a computation that will never run, and fail the waiters
+                // that already attached.
+                lock_inflight(&self.shared).remove(&job.key);
+                state.metrics.record_shed();
+                let response = Response::error(503, "evolve queue is full");
+                job.flight.complete(response.clone());
+                Submitted::Ready(response)
+            }
+        }
+    }
+}
+
+fn run_job(shared: &EngineShared, job: EvolveJob) {
+    let state = &shared.state;
+    state.metrics.record_evolve_computation();
+    // The pool's worker loop swallows job panics to keep the worker alive;
+    // if the handler panicked through it the flight would never complete
+    // and every coalesced waiter would hang. Catch here and answer 500.
+    let computed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        handle_evolve(&job.request, &state.experiment)
+    }));
+    let response = match computed {
+        Ok(Ok(response)) => response,
+        Ok(Err(error)) => Response::from(&error),
+        Err(_) => Response::error(500, "evolve computation panicked"),
+    };
+    // Publish to the cache *before* clearing the in-flight entry (see the
+    // engine docs for why this order is load-bearing).
+    cache_publish(state, job.key.clone(), &response);
+    lock_inflight(shared).remove(&job.key);
+    job.flight.complete(response);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::testutil::{fresh_shared_state, fresh_state};
+    use std::time::Duration;
+
+    fn request(seed: u64) -> EvolveRequest {
+        EvolveRequest::from_json(
+            format!(r#"{{"cuisine":"ITA","model":"NM","seed":{seed},"replicates":2}}"#).as_bytes(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn canonical_key_is_field_order_stable() {
+        let a = EvolveRequest::from_json(
+            br#"{"cuisine":"ITA","model":"NM","seed":7,"replicates":2,"mode":"ingredient"}"#,
+        )
+        .unwrap();
+        let b = EvolveRequest::from_json(
+            br#"{"mode":"ingredients","replicates":2,"seed":7,"model":"nm","cuisine":"Italy"}"#,
+        )
+        .unwrap();
+        assert_eq!(a.canonical_key(), b.canonical_key());
+        assert_ne!(a.canonical_key(), request(8).canonical_key());
+    }
+
+    #[test]
+    fn evolve_sync_caches_successful_responses() {
+        let state = fresh_state();
+        let first = evolve_sync(&state, &request(11));
+        let second = evolve_sync(&state, &request(11));
+        assert_eq!(first.status, 200);
+        assert_eq!(first.body, second.body);
+        let (hits, misses, computations) = state.metrics.evolve_counts();
+        assert_eq!((hits, misses, computations), (1, 1, 1));
+    }
+
+    #[test]
+    fn engine_serves_cache_hits_and_computes_misses() {
+        let state = fresh_shared_state();
+        let engine = EvolveEngine::new(Arc::clone(&state), Some(1), 8);
+        let first = match engine.submit(request(11)) {
+            Submitted::Wait(flight) => {
+                flight.wait_timeout(Duration::from_secs(60)).expect("leader completes")
+            }
+            Submitted::Ready(r) => r,
+        };
+        assert_eq!(first.status, 200);
+        // Identical request again: the worker published to the cache, so
+        // this must be a Ready cache hit with the byte-identical body.
+        match engine.submit(request(11)) {
+            Submitted::Ready(hit) => assert_eq!(hit.body, first.body),
+            Submitted::Wait(_) => panic!("finished request must be a cache hit"),
+        }
+        let (hits, _, computations) = state.metrics.evolve_counts();
+        assert_eq!(hits, 1);
+        assert_eq!(computations, 1);
+        // A sync recompute with the cache bypassed matches the engine's
+        // bytes — the cached path is not a separate serialization.
+        let baseline = match handle_evolve(&request(11), &state.experiment) {
+            Ok(r) => r,
+            Err(e) => panic!("baseline failed: {e}"),
+        };
+        assert_eq!(baseline.body, first.body);
+    }
 
     #[test]
     fn parses_a_full_request() {

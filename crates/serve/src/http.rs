@@ -12,10 +12,18 @@
 //! * strict parsing: any malformed input yields an [`HttpError`] with a
 //!   4xx/5xx status — **never** a panic (property-tested in
 //!   `tests/http_properties.rs`);
-//! * `Connection: close` semantics — one request per connection, which
-//!   keeps the worker-pool accounting exact and suits a snapshot-serving
-//!   workload where response reuse happens in the LRU layer, not in
-//!   keep-alive connections.
+//! * **incremental framing** ([`FrameReader`]): bytes arrive in arbitrary
+//!   chunks on a persistent connection and are assembled into complete
+//!   requests without blocking, which is what HTTP/1.1 keep-alive and
+//!   pipelining need. A malformed frame poisons the reader — the caller
+//!   answers `400` and closes, because resynchronizing inside a corrupted
+//!   stream is guesswork;
+//! * `Connection: close` and HTTP/1.0 defaults are honored per request
+//!   ([`FramedRequest::close`]); everything else keeps the connection
+//!   open for reuse.
+//!
+//! The blocking [`read_request`] is a thin loop over [`FrameReader`], so
+//! the one-shot and persistent paths cannot drift apart.
 
 use std::io::{BufRead, Write};
 use std::sync::Arc;
@@ -246,84 +254,298 @@ pub fn parse_header_line(line: &str) -> Result<(String, String), HttpError> {
     Ok((name.to_ascii_lowercase(), value.to_string()))
 }
 
-/// Read one CRLF/LF-terminated line of at most `max` bytes (terminator
-/// excluded) and return it without the terminator.
-fn read_line_bounded<R: BufRead>(reader: &mut R, max: usize) -> Result<String, HttpError> {
-    let mut line = Vec::new();
-    let mut byte = [0u8; 1];
-    loop {
-        match reader.read(&mut byte) {
-            Ok(0) => {
-                if line.is_empty() {
-                    return Err(HttpError::bad_request("connection closed before request"));
+/// Decide whether a request asks to end the connection after its response.
+///
+/// HTTP/1.1 defaults to keep-alive unless a `close` token appears;
+/// HTTP/1.0 defaults to close unless a `keep-alive` token appears.
+fn connection_wants_close(header: Option<&str>, http10: bool) -> bool {
+    match header {
+        Some(value) => {
+            let mut close = false;
+            let mut keep = false;
+            for token in value.split(',') {
+                let token = token.trim();
+                if token.eq_ignore_ascii_case("close") {
+                    close = true;
+                } else if token.eq_ignore_ascii_case("keep-alive") {
+                    keep = true;
                 }
-                return Err(HttpError::bad_request("unexpected end of stream"));
             }
-            Ok(_) => {
-                let read = byte.first().copied().unwrap_or_default();
-                if read == b'\n' {
-                    if line.last() == Some(&b'\r') {
-                        line.pop();
+            close || (http10 && !keep)
+        }
+        None => http10,
+    }
+}
+
+/// One request recovered from a persistent connection, plus the connection
+/// disposition it implies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FramedRequest {
+    /// The parsed request.
+    pub request: Request,
+    /// True when the connection must close after this request's response
+    /// (`Connection: close`, or HTTP/1.0 without an explicit `keep-alive`).
+    pub close: bool,
+}
+
+/// Result of asking a [`FrameReader`] for the next request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// A complete request was recovered; its bytes have been consumed.
+    Request(FramedRequest),
+    /// The buffered bytes do not yet hold a complete request.
+    NeedMore,
+    /// The stream is corrupt. The caller must answer with the error's
+    /// status and close: after a framing error the request boundary is
+    /// unknowable, so the reader stays poisoned and repeats this answer.
+    Malformed(HttpError),
+}
+
+/// Head of a request whose body has not fully arrived yet.
+#[derive(Debug)]
+struct PendingBody {
+    method: Method,
+    path: String,
+    query: Vec<(String, String)>,
+    headers: Vec<(String, String)>,
+    close: bool,
+    /// Body bytes still expected (`Content-Length`, already bounds-checked).
+    need: usize,
+}
+
+/// Incremental HTTP/1.x request framer for persistent connections.
+///
+/// Feed raw bytes in whatever chunks the socket delivers
+/// ([`FrameReader::feed`]), then drain complete requests
+/// ([`FrameReader::next_frame`]). The reader enforces exactly the bounds
+/// documented at the [module level](self) — oversized lines and header
+/// counts are rejected *incrementally*, before the terminator arrives, so
+/// an attacker cannot buffer unbounded garbage by withholding a newline.
+///
+/// Pipelining falls out for free: several requests fed at once are
+/// returned one [`Frame::Request`] at a time, each consuming its own
+/// bytes. A single reusable reader per connection is the intended shape —
+/// internal storage is retained across requests.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    /// Unconsumed stream bytes. Complete requests are drained off the
+    /// front; anything left is the (partial) next request.
+    buf: Vec<u8>,
+    /// Scan resume offset into `buf` (bytes before it are already framed
+    /// into `lines` or belong to a pending body).
+    scan: usize,
+    /// Start offset of the line currently being scanned.
+    line_start: usize,
+    /// Spans `(start, end)` of completed head lines; `lines[0]` is the
+    /// request line, the rest are header lines.
+    lines: Vec<(usize, usize)>,
+    /// Parsed head awaiting `need` more body bytes.
+    pending: Option<PendingBody>,
+    /// Set once a frame fails to parse; never cleared.
+    failed: Option<HttpError>,
+}
+
+impl FrameReader {
+    /// An empty reader at a request boundary.
+    pub fn new() -> Self {
+        FrameReader::default()
+    }
+
+    /// Append raw bytes received from the connection.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// True once a malformed frame has poisoned the stream.
+    pub fn is_failed(&self) -> bool {
+        self.failed.is_some()
+    }
+
+    /// True when bytes of an incomplete request are buffered — the caller
+    /// uses this to tell a *stalled* request (worth a `408`) from a clean
+    /// idle connection (safe to close silently).
+    pub fn mid_frame(&self) -> bool {
+        self.pending.is_some() || !self.buf.is_empty()
+    }
+
+    /// Bytes currently buffered (partial next request).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn fail(&mut self, error: HttpError) -> Frame {
+        self.failed = Some(error.clone());
+        Frame::Malformed(error)
+    }
+
+    /// Decode one head-line span as UTF-8.
+    fn line_str(&self, span: (usize, usize)) -> Result<&str, HttpError> {
+        let bytes = self.buf.get(span.0..span.1).unwrap_or_default();
+        std::str::from_utf8(bytes)
+            .map_err(|_| HttpError::bad_request("non-UTF-8 bytes in header section"))
+    }
+
+    /// Parse the recorded head lines into a [`PendingBody`], applying the
+    /// same body rules as the original blocking parser (`501` for
+    /// non-identity transfer encodings, `400`/`413` for bad or oversized
+    /// `Content-Length`, `411` for a POST without one).
+    fn parse_head(&self) -> Result<PendingBody, HttpError> {
+        let mut spans = self.lines.iter();
+        let first = spans.next().ok_or_else(|| HttpError::bad_request("malformed request line"))?;
+        let line = self.line_str(*first)?;
+        let (method, path, query) = parse_request_line(line)?;
+        let http10 = line.ends_with("HTTP/1.0");
+        let mut headers = Vec::with_capacity(self.lines.len().saturating_sub(1));
+        for span in spans {
+            headers.push(parse_header_line(self.line_str(*span)?)?);
+        }
+        let header =
+            |name: &str| headers.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str());
+        if header("transfer-encoding").is_some_and(|v| !v.eq_ignore_ascii_case("identity")) {
+            return Err(HttpError::new(501, "transfer-encoding is not supported"));
+        }
+        let need = match header("content-length") {
+            Some(len) => {
+                let len: usize =
+                    len.parse().map_err(|_| HttpError::bad_request("invalid content-length"))?;
+                if len > MAX_BODY {
+                    return Err(HttpError::new(413, format!("body exceeds {MAX_BODY} bytes")));
+                }
+                len
+            }
+            None if method == Method::Post => {
+                return Err(HttpError::new(411, "POST requires content-length"));
+            }
+            None => 0,
+        };
+        let close = connection_wants_close(header("connection"), http10);
+        Ok(PendingBody { method, path, query, headers, close, need })
+    }
+
+    /// Complete the pending request if its whole body has arrived, consume
+    /// its bytes, and reset to the next request boundary.
+    fn try_finish_body(&mut self) -> Frame {
+        let need = match &self.pending {
+            Some(pending) => pending.need,
+            None => return Frame::NeedMore,
+        };
+        if self.buf.len().saturating_sub(self.scan) < need {
+            return Frame::NeedMore;
+        }
+        let Some(pending) = self.pending.take() else {
+            return Frame::NeedMore;
+        };
+        let body_end = self.scan + need;
+        let body = self.buf.get(self.scan..body_end).unwrap_or_default().to_vec();
+        self.buf.drain(..body_end.min(self.buf.len()));
+        self.scan = 0;
+        self.line_start = 0;
+        self.lines.clear();
+        Frame::Request(FramedRequest {
+            request: Request {
+                method: pending.method,
+                path: pending.path,
+                query: pending.query,
+                headers: pending.headers,
+                body,
+            },
+            close: pending.close,
+        })
+    }
+
+    /// Recover the next complete request from the buffered bytes.
+    pub fn next_frame(&mut self) -> Frame {
+        if let Some(error) = &self.failed {
+            return Frame::Malformed(error.clone());
+        }
+        while self.pending.is_none() {
+            let tail = self.buf.get(self.scan..).unwrap_or_default();
+            let Some(rel) = tail.iter().position(|&b| b == b'\n') else {
+                // No newline yet: enforce the line bound on the partial
+                // line so withheld terminators cannot grow the buffer.
+                let partial = self.buf.len().saturating_sub(self.line_start);
+                let max =
+                    if self.lines.is_empty() { MAX_REQUEST_LINE } else { MAX_HEADER_LINE };
+                if partial > max {
+                    return self.fail(HttpError::new(431, "header section line too long"));
+                }
+                self.scan = self.buf.len();
+                return Frame::NeedMore;
+            };
+            let newline = self.scan + rel;
+            let mut end = newline;
+            if end > self.line_start && self.buf.get(end - 1).copied() == Some(b'\r') {
+                end -= 1;
+            }
+            let len = end.saturating_sub(self.line_start);
+            let max = if self.lines.is_empty() { MAX_REQUEST_LINE } else { MAX_HEADER_LINE };
+            if len > max {
+                return self.fail(HttpError::new(431, "header section line too long"));
+            }
+            let span = (self.line_start, end);
+            self.scan = newline + 1;
+            self.line_start = self.scan;
+            if len == 0 {
+                if self.lines.is_empty() {
+                    // An empty request line gets the same answer the
+                    // blocking parser gave it.
+                    return self.fail(HttpError::bad_request("malformed request line"));
+                }
+                // Blank line: the head is complete.
+                match self.parse_head() {
+                    Ok(pending) => {
+                        self.pending = Some(pending);
+                        self.lines.clear();
                     }
-                    return String::from_utf8(line)
-                        .map_err(|_| HttpError::bad_request("non-UTF-8 bytes in header section"));
+                    Err(error) => return self.fail(error),
                 }
-                if line.len() >= max {
-                    return Err(HttpError::new(431, "header section line too long"));
+            } else {
+                // `lines` holds the request line plus one span per header,
+                // so the cap trips when header number MAX_HEADERS + 1 lands.
+                if self.lines.len() > MAX_HEADERS {
+                    return self.fail(HttpError::new(431, "too many headers"));
                 }
-                line.push(read);
+                self.lines.push(span);
             }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock
-                || e.kind() == std::io::ErrorKind::TimedOut =>
+        }
+        self.try_finish_body()
+    }
+}
+
+/// Read and parse one full request from a buffered stream, enforcing every
+/// bound documented at the [module level](self).
+///
+/// This is the one-shot form of [`FrameReader`] — a read loop feeding the
+/// framer — used by blocking callers (the test client, simple tools). EOF
+/// before any byte is a distinguishable `400` ("connection closed before
+/// request"); EOF mid-request is a generic `400`; a read timeout is `408`.
+pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, HttpError> {
+    let mut framer = FrameReader::new();
+    let mut chunk = [0u8; 1024];
+    loop {
+        match framer.next_frame() {
+            Frame::Request(framed) => return Ok(framed.request),
+            Frame::Malformed(error) => return Err(error),
+            Frame::NeedMore => {}
+        }
+        match reader.read(&mut chunk) {
+            Ok(0) => {
+                return Err(if framer.mid_frame() {
+                    HttpError::bad_request("unexpected end of stream")
+                } else {
+                    HttpError::bad_request("connection closed before request")
+                });
+            }
+            Ok(n) => framer.feed(chunk.get(..n).unwrap_or_default()),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
             {
                 return Err(HttpError::new(408, "timed out reading request"));
             }
             Err(_) => return Err(HttpError::bad_request("I/O error reading request")),
         }
     }
-}
-
-/// Read and parse one full request from a buffered stream, enforcing every
-/// bound documented at the [module level](self).
-pub fn read_request<R: BufRead>(reader: &mut R) -> Result<Request, HttpError> {
-    let line = read_line_bounded(reader, MAX_REQUEST_LINE)?;
-    let (method, path, query) = parse_request_line(&line)?;
-
-    let mut headers = Vec::new();
-    loop {
-        let line = read_line_bounded(reader, MAX_HEADER_LINE)?;
-        if line.is_empty() {
-            break;
-        }
-        if headers.len() >= MAX_HEADERS {
-            return Err(HttpError::new(431, "too many headers"));
-        }
-        headers.push(parse_header_line(&line)?);
-    }
-
-    let mut request = Request { method, path, query, headers, body: Vec::new() };
-    if request
-        .header("transfer-encoding")
-        .is_some_and(|v| !v.eq_ignore_ascii_case("identity"))
-    {
-        return Err(HttpError::new(501, "transfer-encoding is not supported"));
-    }
-    if let Some(len) = request.header("content-length") {
-        let len: usize = len
-            .parse()
-            .map_err(|_| HttpError::bad_request("invalid content-length"))?;
-        if len > MAX_BODY {
-            return Err(HttpError::new(413, format!("body exceeds {MAX_BODY} bytes")));
-        }
-        let mut body = vec![0u8; len];
-        reader
-            .read_exact(&mut body)
-            .map_err(|_| HttpError::bad_request("body shorter than content-length"))?;
-        request.body = body;
-    } else if request.method == Method::Post {
-        return Err(HttpError::new(411, "POST requires content-length"));
-    }
-    Ok(request)
 }
 
 /// Canonical cache key for a request: method, path with redundant trailing
@@ -400,17 +622,33 @@ impl Response {
         Response::json(status, body)
     }
 
-    /// Serialize the full response (status line, headers, body) to `w`.
+    /// Serialize the full response (status line, headers, body) into a
+    /// byte buffer — the keep-alive path's write primitive. Appending to a
+    /// `Vec` cannot fail, so the connection loop batches pipelined
+    /// responses into one buffer and flushes them with a single syscall.
+    pub fn append_to(&self, out: &mut Vec<u8>, keep_alive: bool) {
+        let connection = if keep_alive { "keep-alive" } else { "close" };
+        out.extend_from_slice(
+            format!(
+                "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\nserver: cuisine-serve\r\n\r\n",
+                self.status,
+                status_reason(self.status),
+                self.content_type,
+                self.body.len(),
+                connection
+            )
+            .as_bytes(),
+        );
+        out.extend_from_slice(&self.body);
+    }
+
+    /// Serialize the full response (status line, headers, body) to `w`
+    /// with `Connection: close` semantics — the one-shot form of
+    /// [`Response::append_to`].
     pub fn write_to<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
-        write!(
-            w,
-            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\nserver: cuisine-serve\r\n\r\n",
-            self.status,
-            status_reason(self.status),
-            self.content_type,
-            self.body.len()
-        )?;
-        w.write_all(&self.body)?;
+        let mut out = Vec::with_capacity(self.body.len() + 128);
+        self.append_to(&mut out, false);
+        w.write_all(&out)?;
         w.flush()
     }
 }
@@ -527,6 +765,149 @@ mod tests {
         // Decoded equivalence: `%32` is `2`.
         let c = canonical_key(Method::Get, "/table1", &[("a".into(), "2".into())]);
         assert!(c.ends_with("a=2"));
+    }
+
+    #[test]
+    fn framer_recovers_pipelined_requests_from_one_feed() {
+        let mut framer = FrameReader::new();
+        framer.feed(
+            b"GET /table1 HTTP/1.1\r\nhost: x\r\n\r\nPOST /evolve HTTP/1.1\r\ncontent-length: 4\r\n\r\nabcdGET /healthz HTTP/1.1\r\n\r\n",
+        );
+        let first = match framer.next_frame() {
+            Frame::Request(f) => f,
+            other => panic!("expected first request, got {other:?}"),
+        };
+        assert_eq!(first.request.path, "/table1");
+        assert!(!first.close);
+        let second = match framer.next_frame() {
+            Frame::Request(f) => f,
+            other => panic!("expected second request, got {other:?}"),
+        };
+        assert_eq!(second.request.method, Method::Post);
+        assert_eq!(second.request.body, b"abcd");
+        let third = match framer.next_frame() {
+            Frame::Request(f) => f,
+            other => panic!("expected third request, got {other:?}"),
+        };
+        assert_eq!(third.request.path, "/healthz");
+        assert_eq!(framer.next_frame(), Frame::NeedMore);
+        assert!(!framer.mid_frame());
+    }
+
+    #[test]
+    fn framer_handles_byte_at_a_time_delivery() {
+        let raw = b"POST /evolve?x=1 HTTP/1.1\r\ncontent-length: 3\r\nconnection: close\r\n\r\nxyz";
+        let mut framer = FrameReader::new();
+        for (i, &byte) in raw.iter().enumerate() {
+            framer.feed(&[byte]);
+            if i + 1 < raw.len() {
+                assert_eq!(framer.next_frame(), Frame::NeedMore, "byte {i}");
+                assert!(framer.mid_frame(), "byte {i}");
+            }
+        }
+        match framer.next_frame() {
+            Frame::Request(f) => {
+                assert_eq!(f.request.body, b"xyz");
+                assert_eq!(f.request.query_param("x"), Some("1"));
+                assert!(f.close, "connection: close must be honored");
+            }
+            other => panic!("expected request, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn framer_close_semantics_by_version() {
+        let cases = [
+            ("GET / HTTP/1.1\r\n\r\n", false),
+            ("GET / HTTP/1.1\r\nconnection: close\r\n\r\n", true),
+            ("GET / HTTP/1.1\r\nconnection: Keep-Alive, Close\r\n\r\n", true),
+            ("GET / HTTP/1.0\r\n\r\n", true),
+            ("GET / HTTP/1.0\r\nconnection: keep-alive\r\n\r\n", false),
+        ];
+        for (raw, want_close) in cases {
+            let mut framer = FrameReader::new();
+            framer.feed(raw.as_bytes());
+            match framer.next_frame() {
+                Frame::Request(f) => assert_eq!(f.close, want_close, "raw={raw:?}"),
+                other => panic!("raw={raw:?}: expected request, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn framer_poisons_on_malformed_input_and_stays_poisoned() {
+        let mut framer = FrameReader::new();
+        framer.feed(b"NONSENSE\r\n\r\n");
+        match framer.next_frame() {
+            Frame::Malformed(e) => assert_eq!(e.status, 400),
+            other => panic!("expected malformed, got {other:?}"),
+        }
+        assert!(framer.is_failed());
+        // Further feeds cannot resurrect a corrupted stream.
+        framer.feed(b"GET / HTTP/1.1\r\n\r\n");
+        match framer.next_frame() {
+            Frame::Malformed(e) => assert_eq!(e.status, 400),
+            other => panic!("expected malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn framer_enforces_line_bound_before_the_newline_arrives() {
+        let mut framer = FrameReader::new();
+        framer.feed(&vec![b'a'; MAX_REQUEST_LINE + 2]);
+        match framer.next_frame() {
+            Frame::Malformed(e) => assert_eq!(e.status, 431),
+            other => panic!("expected 431, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn framer_accepts_exact_bounds() {
+        // A request line of exactly MAX_REQUEST_LINE bytes and exactly
+        // MAX_HEADERS headers must both still parse.
+        let path_len = MAX_REQUEST_LINE - "GET / HTTP/1.1".len();
+        let mut raw = format!("GET /{} HTTP/1.1\r\n", "a".repeat(path_len));
+        assert_eq!(raw.len(), MAX_REQUEST_LINE + 2);
+        for i in 0..MAX_HEADERS {
+            raw.push_str(&format!("h{i}: v\r\n"));
+        }
+        raw.push_str("\r\n");
+        let mut framer = FrameReader::new();
+        framer.feed(raw.as_bytes());
+        match framer.next_frame() {
+            Frame::Request(f) => assert_eq!(f.request.headers.len(), MAX_HEADERS),
+            other => panic!("expected request, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn read_request_matches_framer_on_a_plain_get() {
+        // The one-shot reader is a loop over the framer; spot-check parity.
+        let raw = "GET /fig4/ITA?mode=category HTTP/1.1\r\nhost: x\r\n\r\n";
+        let via_read = parse(raw).unwrap();
+        let mut framer = FrameReader::new();
+        framer.feed(raw.as_bytes());
+        match framer.next_frame() {
+            Frame::Request(f) => assert_eq!(f.request, via_read),
+            other => panic!("expected request, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn append_to_keep_alive_and_close_differ_only_in_connection_header() {
+        let response = Response::json(200, "{\"ok\":true}".to_string());
+        let (mut ka, mut close) = (Vec::new(), Vec::new());
+        response.append_to(&mut ka, true);
+        response.append_to(&mut close, false);
+        let ka = String::from_utf8(ka).unwrap();
+        let close = String::from_utf8(close).unwrap();
+        assert!(ka.contains("connection: keep-alive\r\n"), "{ka}");
+        assert!(close.contains("connection: close\r\n"), "{close}");
+        assert_eq!(
+            ka.replace("connection: keep-alive", "connection: close"),
+            close,
+            "bodies and all other headers must be byte-identical"
+        );
     }
 
     #[test]

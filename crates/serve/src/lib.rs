@@ -7,20 +7,23 @@
 //!
 //! Layers (see DESIGN.md §7):
 //!
-//! * [`http`] — bounded, panic-free request parsing and response
-//!   serialization over `std::net` (no registry access exists, so there is
-//!   no hyper to lean on);
+//! * [`http`] — bounded, panic-free incremental request framing
+//!   ([`FrameReader`]: keep-alive + pipelining from arbitrary byte
+//!   chunks) and response serialization over `std::net` (no registry
+//!   access exists, so there is no hyper to lean on);
 //! * [`snapshot`] — versioned artifact bodies built through one shared
 //!   [`Experiment`](cuisine_core::Experiment) and its `TransactionCache`;
 //! * [`lru`] + [`metrics`] — response cache keyed on canonicalized
 //!   path+query, and the counters behind `/metrics`;
 //! * [`evolve`] — the one on-demand endpoint: seeded, bounded,
-//!   byte-deterministic ensemble runs;
+//!   byte-deterministic ensemble runs, single-flighted by the
+//!   [`EvolveEngine`] over a seeded-result cache;
 //! * [`router`] — endpoint table tying the above together;
-//! * [`server`] — accept loop, `cuisine-exec` worker pool, graceful
-//!   drain-on-shutdown;
-//! * [`client`] — the minimal blocking client shared by the integration
-//!   tests, `serve --self-check`, and `loadgen`.
+//! * [`server`] — sharded connection event loops behind one acceptor,
+//!   keep-alive/pipelining, idle sweep, graceful drain-on-shutdown;
+//! * [`client`] — the minimal blocking client (one-shot and persistent
+//!   [`client::Connection`]) shared by the integration tests,
+//!   `serve --self-check`, and `loadgen`.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -36,8 +39,9 @@ pub mod snapshot;
 #[cfg(test)]
 pub(crate) mod testutil;
 
-pub use http::{Request, Response};
+pub use evolve::{EvolveEngine, EvolveRequest, Submitted};
+pub use http::{Frame, FrameReader, FramedRequest, Request, Response};
 pub use metrics::SnapshotInfo;
-pub use router::AppState;
+pub use router::{AppState, Routed};
 pub use server::{Server, ServerConfig};
 pub use snapshot::SnapshotStore;

@@ -25,6 +25,8 @@ pub struct Gauges {
     pub pool_depth: AtomicUsize,
     /// Worker-thread count.
     pub workers: AtomicUsize,
+    /// Currently open client connections across all shards.
+    pub connections: AtomicUsize,
 }
 
 /// Snapshot provenance reported by `/metrics`: which build produced the
@@ -51,6 +53,11 @@ pub struct Metrics {
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     shed: AtomicU64,
+    keepalive_reuses: AtomicU64,
+    coalesced_waiters: AtomicU64,
+    evolve_cache_hits: AtomicU64,
+    evolve_cache_misses: AtomicU64,
+    evolve_computations: AtomicU64,
 }
 
 impl Default for Metrics {
@@ -71,6 +78,11 @@ impl Metrics {
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
             shed: AtomicU64::new(0),
+            keepalive_reuses: AtomicU64::new(0),
+            coalesced_waiters: AtomicU64::new(0),
+            evolve_cache_hits: AtomicU64::new(0),
+            evolve_cache_misses: AtomicU64::new(0),
+            evolve_computations: AtomicU64::new(0),
         }
     }
 
@@ -100,6 +112,52 @@ impl Metrics {
     /// Record a request shed with `503` because the pool queue was full.
     pub fn record_shed(&self) {
         self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a request served over an already-used persistent connection
+    /// (every request after the first on one connection).
+    pub fn record_keepalive_reuse(&self) {
+        self.keepalive_reuses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record an `/evolve` request that attached to an identical in-flight
+    /// computation instead of starting its own.
+    pub fn record_coalesced_waiter(&self) {
+        self.coalesced_waiters.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a seeded-evolve result-cache lookup outcome.
+    pub fn record_evolve_cache(&self, hit: bool) {
+        if hit {
+            self.evolve_cache_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.evolve_cache_misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Record one underlying `/evolve` ensemble computation actually run
+    /// (coalesced waiters and cache hits do not count one).
+    pub fn record_evolve_computation(&self) {
+        self.evolve_computations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Keep-alive reuse count recorded so far.
+    pub fn keepalive_reuses(&self) -> u64 {
+        self.keepalive_reuses.load(Ordering::Relaxed)
+    }
+
+    /// Coalesced-waiter count recorded so far.
+    pub fn coalesced_waiters(&self) -> u64 {
+        self.coalesced_waiters.load(Ordering::Relaxed)
+    }
+
+    /// `(cache hits, cache misses, computations)` for `/evolve`.
+    pub fn evolve_counts(&self) -> (u64, u64, u64) {
+        (
+            self.evolve_cache_hits.load(Ordering::Relaxed),
+            self.evolve_cache_misses.load(Ordering::Relaxed),
+            self.evolve_computations.load(Ordering::Relaxed),
+        )
     }
 
     /// Total requests recorded.
@@ -153,6 +211,12 @@ impl Metrics {
         }
         doc.insert("requests_by_class", Value::Object(by_class));
         doc.insert("requests_shed", Value::U64(self.shed.load(Ordering::Relaxed)));
+        doc.insert("keepalive_reuses", Value::U64(self.keepalive_reuses()));
+        doc.insert("coalesced_waiters", Value::U64(self.coalesced_waiters()));
+        let (evolve_hits, evolve_misses, evolve_computations) = self.evolve_counts();
+        doc.insert("evolve_cache_hits", Value::U64(evolve_hits));
+        doc.insert("evolve_cache_misses", Value::U64(evolve_misses));
+        doc.insert("evolve_computations", Value::U64(evolve_computations));
 
         let mut latency = Map::new();
         latency.insert(
@@ -189,6 +253,10 @@ impl Metrics {
         pool.insert("workers", Value::U64(gauges.workers.load(Ordering::Relaxed) as u64));
         pool.insert("depth", Value::U64(gauges.pool_depth.load(Ordering::Relaxed) as u64));
         doc.insert("pool", Value::Object(pool));
+        doc.insert(
+            "open_connections",
+            Value::U64(gauges.connections.load(Ordering::Relaxed) as u64),
+        );
 
         serde_json::to_string(&Value::Object(doc)).unwrap_or_else(|_| "{}".to_string())
     }
@@ -222,9 +290,16 @@ mod tests {
         m.record_cache(true);
         m.record_cache(false);
         m.record_shed();
+        m.record_keepalive_reuse();
+        m.record_keepalive_reuse();
+        m.record_coalesced_waiter();
+        m.record_evolve_cache(true);
+        m.record_evolve_cache(false);
+        m.record_evolve_computation();
         let gauges = Gauges::default();
         gauges.workers.store(4, Ordering::Relaxed);
         gauges.pool_depth.store(2, Ordering::Relaxed);
+        gauges.connections.store(7, Ordering::Relaxed);
         let info = SnapshotInfo { version: "test-v1", miner: "eclat-bitset", build_wall_ms: 1234 };
         let doc: serde::Value =
             serde_json::from_str(&m.to_json(&gauges, &info, 3)).unwrap();
@@ -245,5 +320,11 @@ mod tests {
         assert_eq!(pool.get("workers").unwrap().as_u64(), Some(4));
         assert_eq!(pool.get("depth").unwrap().as_u64(), Some(2));
         assert_eq!(doc.get("requests_shed").unwrap().as_u64(), Some(1));
+        assert_eq!(doc.get("keepalive_reuses").unwrap().as_u64(), Some(2));
+        assert_eq!(doc.get("coalesced_waiters").unwrap().as_u64(), Some(1));
+        assert_eq!(doc.get("evolve_cache_hits").unwrap().as_u64(), Some(1));
+        assert_eq!(doc.get("evolve_cache_misses").unwrap().as_u64(), Some(1));
+        assert_eq!(doc.get("evolve_computations").unwrap().as_u64(), Some(1));
+        assert_eq!(doc.get("open_connections").unwrap().as_u64(), Some(7));
     }
 }

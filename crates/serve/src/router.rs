@@ -23,7 +23,7 @@ use std::sync::{Arc, Mutex};
 use cuisine_core::Experiment;
 use serde::{Map, Value};
 
-use crate::evolve::{handle_evolve, EvolveRequest};
+use crate::evolve::{evolve_sync, EvolveRequest};
 use crate::http::{canonical_key, HttpError, Method, Request, Response};
 use crate::lru::Lru;
 use crate::metrics::{Gauges, Metrics};
@@ -42,11 +42,19 @@ pub struct AppState {
     pub snapshots: Arc<SnapshotStore>,
     /// Response cache for GET endpoints.
     pub lru: Mutex<Lru<Response>>,
+    /// Seeded-evolve result cache: canonical evolve key → finished `200`
+    /// response. Sits *beneath* the GET LRU (which never sees POSTs) and
+    /// is consulted by both the sync route path and the single-flight
+    /// engine. Safe because `/evolve` is deterministic in its key.
+    pub evolve_cache: Mutex<Lru<Response>>,
     /// Request counters.
     pub metrics: Metrics,
     /// Server-published gauges (worker count, pool depth).
     pub gauges: Gauges,
 }
+
+/// Default capacity of the seeded-evolve result cache.
+pub const DEFAULT_EVOLVE_CACHE: usize = 256;
 
 impl AppState {
     /// Bundle state with an LRU of the given capacity.
@@ -66,14 +74,49 @@ impl AppState {
             experiment,
             snapshots,
             lru: Mutex::new(Lru::new(lru_capacity)),
+            evolve_cache: Mutex::new(Lru::new(DEFAULT_EVOLVE_CACHE)),
             metrics: Metrics::new(),
             gauges: Gauges::default(),
         }
     }
 
+    /// Replace the seeded-evolve cache capacity (0 disables it — used by
+    /// the determinism tests to force every request through a real
+    /// computation).
+    pub fn with_evolve_cache(mut self, capacity: usize) -> Self {
+        self.evolve_cache = Mutex::new(Lru::new(capacity));
+        self
+    }
+
     fn lru_len(&self) -> usize {
         self.lru.lock().map(|l| l.len()).unwrap_or(0)
     }
+}
+
+/// Outcome of routing on the non-blocking connection path.
+///
+/// Everything except `/evolve` resolves synchronously (snapshot lookups
+/// and cache probes are microseconds); a validated `/evolve` is handed
+/// back so the shard can submit it to the single-flight engine and keep
+/// serving its other connections while the ensemble runs.
+pub enum Routed {
+    /// The response is ready now.
+    Ready(Response),
+    /// A validated `/evolve` request for the engine.
+    Evolve(EvolveRequest),
+}
+
+/// Route one request on the connection path: like [`route`], but `/evolve`
+/// bodies are validated and returned as [`Routed::Evolve`] instead of
+/// being computed inline.
+pub fn route_conn(state: &AppState, request: &Request) -> Routed {
+    if request.method == Method::Post && normalized(&request.path) == "/evolve" {
+        return match EvolveRequest::from_json(&request.body) {
+            Ok(evolve) => Routed::Evolve(evolve),
+            Err(error) => Routed::Ready(Response::from(&error)),
+        };
+    }
+    Routed::Ready(route(state, request))
 }
 
 /// Route one parsed request to a response. Never panics; every failure is
@@ -95,7 +138,7 @@ fn dispatch(state: &AppState, request: &Request) -> Result<Response, HttpError> 
         )),
         (Method::Post, "/evolve") => {
             let evolve = EvolveRequest::from_json(&request.body)?;
-            handle_evolve(&evolve, &state.experiment)
+            Ok(evolve_sync(state, &evolve))
         }
         (Method::Post, _) => Err(HttpError::new(405, "only /evolve accepts POST")),
         (Method::Get, "/evolve") => {

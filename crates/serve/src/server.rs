@@ -1,35 +1,77 @@
-//! The TCP accept loop, worker-pool dispatch, and graceful shutdown.
+//! Sharded, keep-alive connection layer: acceptor, per-shard event loops,
+//! and graceful drain.
 //!
 //! Architecture (DESIGN.md §7):
 //!
 //! ```text
-//! accept thread ──try_execute──▶ WorkerPool (cuisine-exec) ──▶ handle_connection
-//!      │  queue full: answer 503 inline            │  read_request → route → write
-//!      ▼                                           ▼
-//!  shutdown flag                         AppState: snapshots / LRU / metrics
+//! acceptor ──round-robin try_send──▶ shard 0..N event loops (cuisine-exec
+//!    │        all queues full: 503        │                 service threads)
+//!    ▼                                    │ per connection:
+//! stop flag                               │   FrameReader → route_conn
+//!                                         │     Ready  → append response
+//!                                         │     Evolve → EvolveEngine.submit
+//!                                         ▼              (Flight polled here)
+//!                              AppState: snapshots / LRU / evolve cache / metrics
 //! ```
 //!
-//! * The listener is non-blocking; the accept thread polls it and the
-//!   shutdown flag. Accepted sockets are switched back to blocking with
-//!   read/write timeouts before being queued.
-//! * Dispatch uses [`WorkerPool::try_execute`]: when the bounded queue is
-//!   full, the connection is handed back and answered `503` on the accept
-//!   thread — load is shed explicitly, never buffered unboundedly.
-//! * [`Server::shutdown`] stops the accept loop, then drains: the pool
-//!   finishes every queued connection before workers join, so in-flight
-//!   requests complete without resets (asserted by the integration test).
+//! * **Acceptor.** One non-blocking listener thread distributes accepted
+//!   sockets round-robin over bounded per-shard queues (the portable
+//!   stand-in for `SO_REUSEPORT` sharding — `std::net` cannot set socket
+//!   options before bind). When every queue is full the connection is
+//!   answered `503` inline: load is shed explicitly, never buffered
+//!   unboundedly.
+//! * **Shards.** Each shard owns its connections outright — no cross-shard
+//!   locking — and runs a small event loop over non-blocking sockets:
+//!   flush pending output, poll any in-flight `/evolve` [`Flight`], read
+//!   fresh bytes into the per-connection [`FrameReader`], answer every
+//!   complete frame, sweep timeouts. Keep-alive and pipelining fall out of
+//!   the framer: a connection serves requests until it asks to close
+//!   (`Connection: close`, HTTP/1.0), errors, or goes idle past
+//!   [`ServerConfig::idle_timeout`]. Responses are appended to one
+//!   reusable write buffer in request order, so pipelined responses can
+//!   never reorder.
+//! * **`/evolve` off the event loop.** Ensemble computations run on the
+//!   [`EvolveEngine`]'s worker pool; the shard parks the *connection* (not
+//!   the thread) on the returned [`Flight`] and keeps serving its other
+//!   connections. Identical concurrent requests coalesce onto one flight
+//!   inside the engine.
+//! * **Graceful drain.** [`Server::shutdown`] stops the acceptor first;
+//!   shards then finish every request already received — including parked
+//!   evolve flights and pipelined frames — flush, and close, with a hard
+//!   deadline as a backstop. The engine (and its worker pool) is dropped
+//!   only after every shard has joined, so no flight is ever abandoned.
+//!
+//! Determinism: shards never touch response bytes — they move
+//! [`Response`] values produced by the same router/snapshot/evolve paths
+//! the blocking server used, so shard count, keep-alive, and coalescing
+//! are all value-neutral (asserted by `tests/concurrency.rs`).
 
-use std::io::{BufReader, Write};
-use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream};
+use std::io::{Read, Write};
+use std::net::{Ipv4Addr, Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TryRecvError, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use cuisine_exec::{PoolFull, WorkerPool};
+use cuisine_exec::{spawn_service, Flight};
 
-use crate::http::{read_request, Response};
-use crate::router::{route, AppState};
+use crate::evolve::{EvolveEngine, Submitted};
+use crate::http::{Frame, FrameReader, Response};
+use crate::router::{route_conn, AppState, Routed};
+
+/// Per-connection write-buffer high-water mark: frame processing pauses
+/// while this much output is unflushed (a slow reader must not balloon
+/// memory by pipelining).
+const OUT_HIGH_WATER: usize = 256 * 1024;
+/// Per-connection read high-water mark: reads pause while this much
+/// unparsed input is buffered.
+const IN_HIGH_WATER: usize = 64 * 1024;
+/// Bounded acceptor→shard queue depth.
+const SHARD_QUEUE: usize = 64;
+/// Hard backstop for graceful drain: connections still open this long
+/// after shutdown began are force-closed.
+const DRAIN_DEADLINE: Duration = Duration::from_secs(30);
 
 /// Server knobs.
 #[derive(Debug, Clone)]
@@ -37,17 +79,34 @@ pub struct ServerConfig {
     /// Port to bind on 127.0.0.1 (`0` = ephemeral, reported by
     /// [`Server::addr`]).
     pub port: u16,
-    /// Worker threads (workspace convention: `None` = available
+    /// `/evolve` worker threads (workspace convention: `None` = available
     /// parallelism, `Some(0)`/`Some(1)` = one worker).
     pub threads: Option<usize>,
-    /// Bounded queue capacity between accept and the workers.
+    /// Bounded submission-queue capacity of the evolve pool.
     pub queue_capacity: usize,
     /// LRU response-cache capacity (0 disables).
     pub lru_capacity: usize,
-    /// Per-socket read timeout.
+    /// How long a connection may stall *mid-request* before it is answered
+    /// `408` and closed.
     pub read_timeout: Duration,
-    /// Per-socket write timeout.
+    /// How long unflushed output may stall before the connection is
+    /// dropped.
     pub write_timeout: Duration,
+    /// Connection shards (event-loop threads). `None` = available
+    /// parallelism.
+    pub shards: Option<usize>,
+    /// Serve multiple requests per connection (HTTP/1.1 keep-alive +
+    /// pipelining). When false every response carries
+    /// `Connection: close`, restoring the one-request-per-connection
+    /// behavior (useful for A/B measurement).
+    pub keep_alive: bool,
+    /// Close a connection with no buffered request bytes after this long
+    /// without activity. Never applied to a connection waiting on an
+    /// `/evolve` computation or mid-request (those get `read_timeout`).
+    pub idle_timeout: Duration,
+    /// Upper bound on concurrently open connections per shard; excess
+    /// stays in the acceptor queue (and is shed once that fills).
+    pub max_conns_per_shard: usize,
 }
 
 impl Default for ServerConfig {
@@ -59,6 +118,10 @@ impl Default for ServerConfig {
             lru_capacity: 128,
             read_timeout: Duration::from_secs(5),
             write_timeout: Duration::from_secs(5),
+            shards: None,
+            keep_alive: true,
+            idle_timeout: Duration::from_secs(30),
+            max_conns_per_shard: 1024,
         }
     }
 }
@@ -70,10 +133,21 @@ pub struct Server {
     state: Arc<AppState>,
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
+    shard_threads: Vec<JoinHandle<()>>,
+    engine: Option<Arc<EvolveEngine>>,
+}
+
+/// Everything a shard loop needs, bundled once per shard.
+struct ShardCtx {
+    state: Arc<AppState>,
+    engine: Arc<EvolveEngine>,
+    config: ServerConfig,
+    stop: Arc<AtomicBool>,
 }
 
 impl Server {
-    /// Bind, spawn the pool and the accept thread, and start serving.
+    /// Bind, spawn the evolve engine, the shards, and the acceptor, and
+    /// start serving.
     pub fn start(state: AppState, config: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, config.port))?;
         listener.set_nonblocking(true)?;
@@ -81,24 +155,49 @@ impl Server {
 
         let state = Arc::new(state);
         let stop = Arc::new(AtomicBool::new(false));
+        let engine = Arc::new(EvolveEngine::new(
+            Arc::clone(&state),
+            config.threads,
+            config.queue_capacity,
+        ));
+        state.gauges.workers.store(engine.workers(), Ordering::Relaxed);
 
-        let pool = {
-            let state = Arc::clone(&state);
-            WorkerPool::new(config.threads, config.queue_capacity, move |stream| {
-                handle_connection(&state, stream);
-            })
-        };
-        state.gauges.workers.store(pool.workers(), Ordering::Relaxed);
+        let shard_count = cuisine_exec::resolve_threads(config.shards, usize::MAX);
+        let mut shard_txs = Vec::with_capacity(shard_count);
+        let mut shard_threads = Vec::with_capacity(shard_count);
+        for shard in 0..shard_count {
+            let (tx, rx) = sync_channel::<TcpStream>(SHARD_QUEUE);
+            shard_txs.push(tx);
+            let ctx = ShardCtx {
+                state: Arc::clone(&state),
+                engine: Arc::clone(&engine),
+                config: config.clone(),
+                stop: Arc::clone(&stop),
+            };
+            shard_threads
+                .push(spawn_service(&format!("serve-shard-{shard}"), move || {
+                    shard_loop(&rx, &ctx);
+                })?);
+        }
 
         let accept_thread = {
             let state = Arc::clone(&state);
+            let engine = Arc::clone(&engine);
             let stop = Arc::clone(&stop);
-            std::thread::Builder::new()
-                .name("serve-accept".into())
-                .spawn(move || accept_loop(&listener, &pool, &state, &stop, &config))?
+            let config = config.clone();
+            spawn_service("serve-accept", move || {
+                accept_loop(&listener, &shard_txs, &state, &engine, &stop, &config);
+            })?
         };
 
-        Ok(Server { addr, state, stop, accept_thread: Some(accept_thread) })
+        Ok(Server {
+            addr,
+            state,
+            stop,
+            accept_thread: Some(accept_thread),
+            shard_threads,
+            engine: Some(engine),
+        })
     }
 
     /// The bound address (resolves `port: 0`).
@@ -111,17 +210,26 @@ impl Server {
         &self.state
     }
 
-    /// Graceful shutdown: stop accepting, drain queued and in-flight
-    /// requests, join all threads. Idempotent through `Drop`.
+    /// Graceful shutdown: stop accepting, drain every request already
+    /// received (including parked evolve computations), join all threads.
+    /// Idempotent through `Drop`.
     pub fn shutdown(mut self) {
         self.shutdown_in_place();
     }
 
     fn shutdown_in_place(&mut self) {
         self.stop.store(true, Ordering::Release);
+        // Order matters: the acceptor exits first and drops the shard
+        // queues; shards then drain their connections (evolve flights are
+        // completed by the still-live engine workers) and join; only then
+        // may the engine — and its worker pool — wind down.
         if let Some(handle) = self.accept_thread.take() {
-            let _ = handle.join(); // joins the pool drain too
+            let _ = handle.join();
         }
+        for handle in self.shard_threads.drain(..) {
+            let _ = handle.join();
+        }
+        drop(self.engine.take());
     }
 }
 
@@ -133,63 +241,359 @@ impl Drop for Server {
 
 fn accept_loop(
     listener: &TcpListener,
-    pool: &WorkerPool<TcpStream>,
+    shard_txs: &[SyncSender<TcpStream>],
     state: &Arc<AppState>,
+    engine: &Arc<EvolveEngine>,
     stop: &AtomicBool,
     config: &ServerConfig,
 ) {
+    let mut round_robin = 0usize;
     while !stop.load(Ordering::Acquire) {
         match listener.accept() {
             Ok((stream, _peer)) => {
-                state.gauges.pool_depth.store(pool.depth(), Ordering::Relaxed);
-                if prepare_stream(&stream, config).is_err() {
+                state.gauges.pool_depth.store(engine.depth(), Ordering::Relaxed);
+                if stream.set_nonblocking(true).is_err() {
                     continue; // peer vanished between accept and setup
                 }
-                if let Err(PoolFull(stream)) = pool.try_execute(stream) {
-                    shed(state, stream);
+                let _ = stream.set_nodelay(true);
+                // Round-robin over the shards, skipping full queues; if
+                // every queue is full the server is genuinely saturated
+                // and the connection is shed with an inline 503.
+                let mut pending = Some(stream);
+                for probe in 0..shard_txs.len() {
+                    let index = (round_robin + probe) % shard_txs.len().max(1);
+                    let (Some(tx), Some(stream)) = (shard_txs.get(index), pending.take())
+                    else {
+                        break;
+                    };
+                    match tx.try_send(stream) {
+                        Ok(()) => {
+                            round_robin = (index + 1) % shard_txs.len().max(1);
+                            break;
+                        }
+                        Err(TrySendError::Full(stream))
+                        | Err(TrySendError::Disconnected(stream)) => {
+                            pending = Some(stream);
+                        }
+                    }
+                }
+                if let Some(stream) = pending {
+                    shed(state, stream, config);
                 }
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                state.gauges.pool_depth.store(pool.depth(), Ordering::Relaxed);
+                state.gauges.pool_depth.store(engine.depth(), Ordering::Relaxed);
                 std::thread::sleep(Duration::from_millis(1));
             }
             Err(_) => std::thread::sleep(Duration::from_millis(1)),
         }
     }
-    // Fall through: `pool` drops here, which drains every queued
-    // connection and joins the workers before the accept thread exits.
+    // Fall through: the shard senders drop here, which is the shards'
+    // signal to drain and exit.
 }
 
-fn prepare_stream(stream: &TcpStream, config: &ServerConfig) -> std::io::Result<()> {
-    stream.set_nonblocking(false)?;
-    stream.set_read_timeout(Some(config.read_timeout))?;
-    stream.set_write_timeout(Some(config.write_timeout))?;
-    let _ = stream.set_nodelay(true);
-    Ok(())
-}
-
-/// Answer `503` inline on the accept thread when the pool queue is full.
-fn shed(state: &AppState, mut stream: TcpStream) {
+/// Answer `503` inline on the accept thread when every shard queue is
+/// full.
+fn shed(state: &AppState, mut stream: TcpStream, config: &ServerConfig) {
     state.metrics.record_shed();
     state.metrics.record(503, Duration::ZERO);
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_write_timeout(Some(config.write_timeout));
     let response = Response::error(503, "server is at capacity, retry later");
     let _ = response.write_to(&mut stream);
-    let _ = stream.flush();
 }
 
-/// Worker body: parse one request, route it, write the response, record
-/// metrics. One request per connection (`Connection: close`).
-fn handle_connection(state: &AppState, mut stream: TcpStream) {
-    let started = Instant::now();
-    let mut reader = BufReader::new(match stream.try_clone() {
-        Ok(clone) => clone,
-        Err(_) => return,
-    });
-    let response = match read_request(&mut reader) {
-        Ok(request) => route(state, &request),
-        Err(error) => Response::from(&error),
-    };
-    let _ = response.write_to(&mut stream);
-    let _ = stream.shutdown(std::net::Shutdown::Both);
-    state.metrics.record(response.status, started.elapsed());
+/// An `/evolve` computation a connection is parked on.
+struct Waiting {
+    flight: Arc<Flight<Response>>,
+    /// Close the connection after this response.
+    close: bool,
+    /// Request arrival, for the latency histogram.
+    started: Instant,
+}
+
+/// One live connection owned by a shard.
+struct Conn {
+    stream: TcpStream,
+    framer: FrameReader,
+    /// Responses serialized and not yet fully written.
+    out: Vec<u8>,
+    /// Prefix of `out` already written to the socket.
+    out_pos: usize,
+    /// Responses completed on this connection (reuse = served > 1).
+    served: u64,
+    /// Last moment bytes moved in either direction.
+    last_activity: Instant,
+    /// Parked evolve computation, if any. While set, frame processing is
+    /// paused so pipelined responses keep request order.
+    waiting: Option<Waiting>,
+    /// Close once `out` is flushed (Connection: close, error, drain).
+    close_after_flush: bool,
+    /// Peer half-closed its write side (EOF on read).
+    read_closed: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, now: Instant) -> Self {
+        Conn {
+            stream,
+            framer: FrameReader::new(),
+            out: Vec::new(),
+            out_pos: 0,
+            served: 0,
+            last_activity: now,
+            waiting: None,
+            close_after_flush: false,
+            read_closed: false,
+        }
+    }
+
+    fn out_empty(&self) -> bool {
+        self.out_pos >= self.out.len()
+    }
+}
+
+fn shard_loop(rx: &Receiver<TcpStream>, ctx: &ShardCtx) {
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut disconnected = false;
+    let mut drain_started: Option<Instant> = None;
+    loop {
+        let now = Instant::now();
+        let draining = disconnected || ctx.stop.load(Ordering::Acquire);
+        if draining && drain_started.is_none() {
+            drain_started = Some(now);
+        }
+        let force_close =
+            drain_started.is_some_and(|t| now.duration_since(t) > DRAIN_DEADLINE);
+        let mut progressed = false;
+
+        // Admit new connections up to the per-shard cap.
+        while !draining && conns.len() < ctx.config.max_conns_per_shard {
+            match rx.try_recv() {
+                Ok(stream) => {
+                    ctx.state.gauges.connections.fetch_add(1, Ordering::Relaxed);
+                    conns.push(Conn::new(stream, now));
+                    progressed = true;
+                }
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    disconnected = true;
+                    break;
+                }
+            }
+        }
+        if !disconnected {
+            // Even while draining we must learn about the acceptor's exit.
+            if let Err(TryRecvError::Disconnected) = rx.try_recv() {
+                disconnected = true;
+            }
+        }
+
+        conns.retain_mut(|conn| {
+            let keep = !force_close && step_conn(conn, ctx, now, draining, &mut progressed);
+            if !keep {
+                ctx.state.gauges.connections.fetch_sub(1, Ordering::Relaxed);
+                let _ = conn.stream.shutdown(Shutdown::Both);
+            }
+            keep
+        });
+
+        if draining && disconnected && conns.is_empty() {
+            return;
+        }
+        if !progressed {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+}
+
+/// Advance one connection through its state machine. Returns false when
+/// the connection should be closed and dropped.
+fn step_conn(
+    conn: &mut Conn,
+    ctx: &ShardCtx,
+    now: Instant,
+    draining: bool,
+    progressed: &mut bool,
+) -> bool {
+    if !flush_out(conn, now, progressed) {
+        return false;
+    }
+    if conn.close_after_flush && conn.out_empty() {
+        return false;
+    }
+
+    // A finished evolve computation unparks the connection.
+    if let Some(waiting) = &conn.waiting {
+        if let Some(response) = waiting.flight.try_get() {
+            let close = waiting.close;
+            let started = waiting.started;
+            conn.waiting = None;
+            finish_response(conn, ctx, &response, close, started);
+            *progressed = true;
+        }
+    }
+
+    if !conn.read_closed
+        && !conn.close_after_flush
+        && !conn.framer.is_failed()
+        && conn.framer.buffered() < IN_HIGH_WATER
+        && !read_in(conn, now, progressed)
+    {
+        return false;
+    }
+
+    drain_frames(conn, ctx, progressed);
+
+    // Push freshly produced responses in the same tick instead of waiting
+    // for the next loop iteration.
+    if !flush_out(conn, now, progressed) {
+        return false;
+    }
+    if conn.close_after_flush && conn.out_empty() {
+        return false;
+    }
+
+    // With every received frame answered and nothing parked, a draining or
+    // peer-closed connection is done.
+    if conn.waiting.is_none() && conn.out_empty() && (draining || conn.read_closed) {
+        return false;
+    }
+
+    // Timeout sweep. A connection parked on an evolve flight is active by
+    // definition; the engine guarantees its flight completes.
+    if conn.waiting.is_none() {
+        let quiet = now.duration_since(conn.last_activity);
+        if !conn.out_empty() {
+            if quiet > ctx.config.write_timeout {
+                return false; // stalled reader on the other end
+            }
+        } else if conn.framer.mid_frame() {
+            if quiet > ctx.config.read_timeout {
+                // Same answer the blocking parser gave a stalled request.
+                let response = Response::error(408, "timed out reading request");
+                ctx.state.metrics.record(408, Duration::ZERO);
+                response.append_to(&mut conn.out, false);
+                conn.close_after_flush = true;
+            }
+        } else if quiet > ctx.config.idle_timeout {
+            return false; // quiet keep-alive connection, close silently
+        }
+    }
+    true
+}
+
+/// Write as much pending output as the socket accepts. Returns false on a
+/// fatal write error.
+fn flush_out(conn: &mut Conn, now: Instant, progressed: &mut bool) -> bool {
+    while conn.out_pos < conn.out.len() {
+        let chunk = conn.out.get(conn.out_pos..).unwrap_or_default();
+        match conn.stream.write(chunk) {
+            Ok(0) => return false,
+            Ok(n) => {
+                conn.out_pos += n;
+                conn.last_activity = now;
+                *progressed = true;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return false,
+        }
+    }
+    if conn.out_pos >= conn.out.len() && !conn.out.is_empty() {
+        conn.out.clear();
+        conn.out_pos = 0;
+    }
+    true
+}
+
+/// Read whatever the socket has into the framer. Returns false on a fatal
+/// read error.
+fn read_in(conn: &mut Conn, now: Instant, progressed: &mut bool) -> bool {
+    let mut chunk = [0u8; 4096];
+    loop {
+        if conn.framer.buffered() >= IN_HIGH_WATER {
+            return true;
+        }
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => {
+                conn.read_closed = true;
+                return true;
+            }
+            Ok(n) => {
+                conn.framer.feed(chunk.get(..n).unwrap_or_default());
+                conn.last_activity = now;
+                *progressed = true;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return true,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return false,
+        }
+    }
+}
+
+/// Answer every complete frame buffered on the connection, stopping at a
+/// parked evolve computation (response order!), a close, or the write
+/// high-water mark.
+fn drain_frames(conn: &mut Conn, ctx: &ShardCtx, progressed: &mut bool) {
+    while conn.waiting.is_none()
+        && !conn.close_after_flush
+        && conn.out.len().saturating_sub(conn.out_pos) < OUT_HIGH_WATER
+    {
+        match conn.framer.next_frame() {
+            Frame::NeedMore => break,
+            Frame::Malformed(error) => {
+                // 400 (or 431/...) then close: the stream has no
+                // recoverable request boundary anymore.
+                let response = Response::from(&error);
+                ctx.state.metrics.record(response.status, Duration::ZERO);
+                response.append_to(&mut conn.out, false);
+                conn.served += 1;
+                conn.close_after_flush = true;
+                *progressed = true;
+            }
+            Frame::Request(framed) => {
+                *progressed = true;
+                let started = Instant::now();
+                // Note: draining does NOT force `close` — every frame the
+                // client already pipelined must still be answered; the
+                // shard closes the connection once no frames remain
+                // (step_conn's draining check).
+                let close = framed.close || !ctx.config.keep_alive;
+                match route_conn(&ctx.state, &framed.request) {
+                    Routed::Ready(response) => {
+                        finish_response(conn, ctx, &response, close, started);
+                    }
+                    Routed::Evolve(request) => match ctx.engine.submit(request) {
+                        Submitted::Ready(response) => {
+                            finish_response(conn, ctx, &response, close, started);
+                        }
+                        Submitted::Wait(flight) => {
+                            conn.waiting = Some(Waiting { flight, close, started });
+                        }
+                    },
+                }
+            }
+        }
+    }
+}
+
+/// Serialize a finished response onto the connection's write buffer and
+/// record its metrics.
+fn finish_response(
+    conn: &mut Conn,
+    ctx: &ShardCtx,
+    response: &Response,
+    close: bool,
+    started: Instant,
+) {
+    ctx.state.metrics.record(response.status, started.elapsed());
+    if conn.served > 0 {
+        ctx.state.metrics.record_keepalive_reuse();
+    }
+    response.append_to(&mut conn.out, !close);
+    conn.served += 1;
+    if close {
+        conn.close_after_flush = true;
+    }
 }

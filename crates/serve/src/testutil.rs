@@ -49,3 +49,9 @@ pub fn fresh_state() -> AppState {
     let (experiment, store) = fixture();
     AppState::with_shared(Arc::clone(experiment), Arc::clone(store), 32)
 }
+
+/// [`fresh_state`] pre-wrapped in the `Arc` the
+/// [`EvolveEngine`](crate::evolve::EvolveEngine) and server layer take.
+pub fn fresh_shared_state() -> Arc<AppState> {
+    Arc::new(fresh_state())
+}

@@ -1,0 +1,305 @@
+//! Concurrency harness for the sharded keep-alive server: single-flight
+//! `/evolve` coalescing, pipelined graceful drain, idle-timeout behavior,
+//! and the determinism contract across shard counts × keep-alive modes.
+//!
+//! These tests pin the claims the throughput rewrite rides on: N identical
+//! concurrent `/evolve` requests cost **one** computation (observed via
+//! `/metrics`) and fan out byte-identical bodies; distinct seeds never
+//! cross-contaminate; shutdown answers every pipelined request already
+//! received with zero resets; an idle timeout closes quiet connections but
+//! never active ones; and served bytes are invariant across `{1, 4}`
+//! shards × keep-alive on/off.
+//!
+//! Shares the seed 11 / scale 0.02 fixture style of
+//! `tests/server_integration.rs`.
+
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+use cuisine_core::{Experiment, PipelineConfig};
+use cuisine_evolution::{EnsembleConfig, EvaluationConfig, ModelKind};
+use cuisine_serve::client;
+use cuisine_serve::{AppState, Server, ServerConfig, SnapshotStore};
+use cuisine_synth::SynthConfig;
+
+const TIMEOUT: Duration = Duration::from_secs(30);
+
+static FIXTURE: OnceLock<(Arc<Experiment>, Arc<SnapshotStore>)> = OnceLock::new();
+
+fn fixture() -> &'static (Arc<Experiment>, Arc<SnapshotStore>) {
+    FIXTURE.get_or_init(|| {
+        let synth = SynthConfig { seed: 11, scale: 0.02, ..Default::default() };
+        let experiment = Experiment::synthetic_with(&synth, PipelineConfig::default());
+        let fig4 = EvaluationConfig {
+            ensemble: EnsembleConfig { replicates: 2, seed: 7, threads: None },
+            ..Default::default()
+        };
+        let store = SnapshotStore::build(
+            &experiment,
+            "concurrency-v1".into(),
+            &[ModelKind::Null],
+            &fig4,
+        );
+        (Arc::new(experiment), Arc::new(store))
+    })
+}
+
+fn start_server(config: ServerConfig) -> Server {
+    let (experiment, store) = fixture();
+    let state = AppState::with_shared(Arc::clone(experiment), Arc::clone(store), 32);
+    Server::start(state, ServerConfig { port: 0, ..config }).expect("bind ephemeral port")
+}
+
+/// Pull the named u64 counters out of a live `/metrics` document.
+fn metrics_u64(addr: std::net::SocketAddr, keys: &[&str]) -> Vec<u64> {
+    let raw = client::get(addr, "/metrics", TIMEOUT).expect("/metrics");
+    assert_eq!(raw.status, 200);
+    let doc: serde::Value =
+        serde_json::from_str(std::str::from_utf8(&raw.body).unwrap()).unwrap();
+    let object = doc.as_object().unwrap();
+    keys.iter()
+        .map(|key| {
+            object
+                .get(key)
+                .and_then(|v| v.as_u64())
+                .unwrap_or_else(|| panic!("metrics key {key} missing"))
+        })
+        .collect()
+}
+
+#[test]
+fn identical_concurrent_evolves_share_one_computation() {
+    let server = start_server(ServerConfig { threads: Some(2), ..Default::default() });
+    let addr = server.addr();
+    let body = r#"{"cuisine":"ITA","model":"CM-M","seed":7,"replicates":8}"#;
+
+    // Sequential baseline from an independent server instance.
+    let baseline_server = start_server(ServerConfig { threads: Some(1), ..Default::default() });
+    let baseline = client::post_json(baseline_server.addr(), "/evolve", body, TIMEOUT).unwrap();
+    assert_eq!(baseline.status, 200, "{}", String::from_utf8_lossy(&baseline.body));
+    baseline_server.shutdown();
+
+    let n = 8;
+    let bodies: Vec<Vec<u8>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n)
+            .map(|_| {
+                scope.spawn(move || {
+                    let response = client::post_json(addr, "/evolve", body, TIMEOUT).unwrap();
+                    assert_eq!(response.status, 200);
+                    response.body
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+    });
+
+    for (i, served) in bodies.iter().enumerate() {
+        assert_eq!(
+            served, &baseline.body,
+            "concurrent response {i} diverged from the sequential baseline"
+        );
+    }
+
+    // Exactly one underlying computation; everyone else either coalesced
+    // onto the in-flight computation or hit the result cache behind it.
+    let counts =
+        metrics_u64(addr, &["evolve_computations", "coalesced_waiters", "evolve_cache_hits"]);
+    assert_eq!(counts[0], 1, "identical concurrent requests must share one computation");
+    assert_eq!(
+        counts[1] + counts[2],
+        (n - 1) as u64,
+        "every non-leader must be accounted as a waiter or a cache hit"
+    );
+
+    server.shutdown();
+}
+
+#[test]
+fn distinct_seeds_interleaved_do_not_cross_contaminate() {
+    let server = start_server(ServerConfig { threads: Some(4), ..Default::default() });
+    let addr = server.addr();
+    let seeds = [40u64, 41, 42, 43];
+
+    // Sequential baselines, one per seed, from an independent server.
+    let baseline_server = start_server(ServerConfig { threads: Some(1), ..Default::default() });
+    let baselines: Vec<Vec<u8>> = seeds
+        .iter()
+        .map(|seed| {
+            let body =
+                format!(r#"{{"cuisine":"ITA","model":"CM-M","seed":{seed},"replicates":4}}"#);
+            let r = client::post_json(baseline_server.addr(), "/evolve", &body, TIMEOUT).unwrap();
+            assert_eq!(r.status, 200);
+            r.body
+        })
+        .collect();
+    baseline_server.shutdown();
+
+    // Two interleaved rounds per seed, all concurrent.
+    let results: Vec<(usize, Vec<u8>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..seeds.len() * 2)
+            .map(|slot| {
+                let seed = seeds[slot % seeds.len()];
+                scope.spawn(move || {
+                    let body = format!(
+                        r#"{{"cuisine":"ITA","model":"CM-M","seed":{seed},"replicates":4}}"#
+                    );
+                    let r = client::post_json(addr, "/evolve", &body, TIMEOUT).unwrap();
+                    assert_eq!(r.status, 200);
+                    (slot % seeds.len(), r.body)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+    });
+
+    for (seed_index, served) in &results {
+        assert_eq!(
+            served, &baselines[*seed_index],
+            "seed {} response diverged under interleaving",
+            seeds[*seed_index]
+        );
+    }
+    // The seeds genuinely differ from each other (CM-M is stochastic).
+    assert!(
+        baselines.windows(2).all(|w| w[0] != w[1]),
+        "distinct seeds must produce distinct bodies"
+    );
+
+    // One computation per distinct seed, never more.
+    let counts = metrics_u64(addr, &["evolve_computations"]);
+    assert_eq!(counts[0], seeds.len() as u64);
+
+    server.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_drains_pipelined_requests_with_zero_resets() {
+    let server = start_server(ServerConfig { threads: Some(2), ..Default::default() });
+    let addr = server.addr();
+    let (_, store) = fixture();
+    let table1 = store.get("/table1").expect("snapshotted");
+
+    // Four persistent connections, each pipelining GETs around a slow-ish
+    // evolve, all written before shutdown lands.
+    let handles: Vec<_> = (0..4)
+        .map(|i| {
+            let table1 = Arc::clone(&table1);
+            std::thread::spawn(move || {
+                let mut conn = client::Connection::open(addr, TIMEOUT).expect("connect");
+                let evolve =
+                    format!(r#"{{"cuisine":"ITA","model":"NM","seed":{i},"replicates":8}}"#);
+                conn.send("/table1", None).expect("send 1");
+                conn.send("/evolve", Some(evolve.as_bytes())).expect("send 2");
+                conn.send("/table1", None).expect("send 3");
+                conn.send("/healthz", None).expect("send 4");
+                let responses: Vec<_> = (0..4)
+                    .map(|k| {
+                        conn.recv().unwrap_or_else(|e| {
+                            panic!("conn {i} response {k} reset during drain: {e}")
+                        })
+                    })
+                    .collect();
+                assert!(responses.iter().all(|r| r.status == 200), "conn {i}");
+                assert_eq!(responses[0].body, *table1, "conn {i} table1 before evolve");
+                assert_eq!(responses[2].body, *table1, "conn {i} table1 after evolve");
+            })
+        })
+        .collect();
+
+    // Let every batch reach the server, then shut down mid-flight.
+    std::thread::sleep(Duration::from_millis(300));
+    server.shutdown();
+
+    for handle in handles {
+        handle.join().expect("pipelined client");
+    }
+}
+
+#[test]
+fn idle_timeout_closes_quiet_connections_but_not_active_ones() {
+    let server = start_server(ServerConfig {
+        idle_timeout: Duration::from_millis(250),
+        ..Default::default()
+    });
+    let addr = server.addr();
+
+    let mut quiet = client::Connection::open(addr, TIMEOUT).expect("connect quiet");
+    assert_eq!(quiet.get("/healthz").expect("warm-up").status, 200);
+
+    // An active connection exchanging a request every ~50ms stays alive
+    // well past the idle deadline...
+    let mut active = client::Connection::open(addr, TIMEOUT).expect("connect active");
+    for _ in 0..12 {
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(
+            active.get("/healthz").expect("active connection stays open").status,
+            200
+        );
+    }
+
+    // ...while the quiet one was closed by the sweep: the next exchange
+    // fails instead of hanging (the send may be buffered, the recv sees
+    // the close).
+    let outcome = quiet.roundtrip("/healthz", None);
+    assert!(outcome.is_err(), "idle connection must be closed by the sweep");
+
+    server.shutdown();
+}
+
+#[test]
+fn artifacts_are_byte_identical_across_shards_and_keepalive_modes() {
+    let (_, store) = fixture();
+    let evolve_body = r#"{"cuisine":"ITA","model":"CM-R","seed":5,"replicates":3}"#;
+    let paths = ["/table1", "/fig1", "/fig4", "/similarity/ingredient"];
+
+    let mut reference: Option<Vec<Vec<u8>>> = None;
+    for shards in [1usize, 4] {
+        for keep_alive in [true, false] {
+            let server = start_server(ServerConfig {
+                shards: Some(shards),
+                keep_alive,
+                threads: Some(2),
+                ..Default::default()
+            });
+            let addr = server.addr();
+
+            let mut bodies: Vec<Vec<u8>> = Vec::new();
+            for path in paths {
+                let response = client::get(addr, path, TIMEOUT).unwrap();
+                assert_eq!(response.status, 200, "{path} (shards {shards})");
+                assert_eq!(
+                    response.body,
+                    **store.get(path).expect("snapshotted"),
+                    "{path} diverged from the snapshot (shards {shards}, keep_alive {keep_alive})"
+                );
+                bodies.push(response.body);
+            }
+            let evolve = client::post_json(addr, "/evolve", evolve_body, TIMEOUT).unwrap();
+            assert_eq!(evolve.status, 200);
+            bodies.push(evolve.body);
+
+            // Keep-alive servers must serve the same bytes over a reused
+            // connection as over fresh ones.
+            if keep_alive {
+                let mut conn = client::Connection::open(addr, TIMEOUT).expect("connect");
+                for (i, path) in paths.iter().enumerate() {
+                    let reused = conn.get(path).expect("keep-alive GET");
+                    assert_eq!(reused.status, 200);
+                    assert_eq!(
+                        reused.body, bodies[i],
+                        "{path} diverged over a reused connection"
+                    );
+                }
+            }
+
+            match &reference {
+                None => reference = Some(bodies),
+                Some(expected) => assert_eq!(
+                    expected, &bodies,
+                    "bytes diverged at shards {shards}, keep_alive {keep_alive}"
+                ),
+            }
+            server.shutdown();
+        }
+    }
+}

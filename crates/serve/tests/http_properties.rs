@@ -2,15 +2,64 @@
 //! malformed — input must map to a status-carrying parse error, never a
 //! panic, and well-formed input must round-trip. The canonical cache key
 //! must be insensitive to query order, encoding, and redundant trailing
-//! slashes (the LRU correctness contract).
+//! slashes (the LRU correctness contract). The incremental `FrameReader`
+//! behind keep-alive/pipelining must recover pipelined request streams
+//! exactly regardless of how the bytes are chunked, and fail closed
+//! (Malformed once, then poisoned) on byte soup.
 
 use std::io::Cursor;
 
 use cuisine_serve::http::{
     canonical_key, parse_header_line, parse_query, parse_request_line, percent_decode,
-    percent_encode, read_request, Method,
+    percent_encode, read_request, Frame, FrameReader, FramedRequest, Method,
 };
 use proptest::prelude::*;
+
+/// Serialize one well-formed request the way a pipelining client would.
+fn render_request(path: &str, body: Option<&[u8]>) -> Vec<u8> {
+    let mut raw = match body {
+        None => format!("GET {path} HTTP/1.1\r\nhost: test\r\n\r\n").into_bytes(),
+        Some(payload) => {
+            let mut head = format!(
+                "POST {path} HTTP/1.1\r\nhost: test\r\ncontent-length: {}\r\n\r\n",
+                payload.len()
+            )
+            .into_bytes();
+            head.extend_from_slice(payload);
+            head
+        }
+    };
+    raw.shrink_to_fit();
+    raw
+}
+
+/// Pull every currently-complete frame; `Some(status)` on a malformed
+/// frame, `None` when the reader wants more bytes.
+fn drain_frames(reader: &mut FrameReader, out: &mut Vec<FramedRequest>) -> Option<u16> {
+    loop {
+        match reader.next_frame() {
+            Frame::NeedMore => return None,
+            Frame::Malformed(e) => return Some(e.status),
+            Frame::Request(framed) => out.push(framed),
+        }
+    }
+}
+
+/// Split `stream` into chunks whose sizes cycle through `cuts` (each at
+/// least 1 byte), covering the stream exactly.
+fn chunked<'a>(stream: &'a [u8], cuts: &[usize]) -> Vec<&'a [u8]> {
+    let mut chunks = Vec::new();
+    let mut at = 0;
+    let mut i = 0;
+    while at < stream.len() {
+        let step = cuts.get(i % cuts.len().max(1)).copied().unwrap_or(1).max(1);
+        let end = (at + step).min(stream.len());
+        chunks.push(&stream[at..end]);
+        at = end;
+        i += 1;
+    }
+    chunks
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
@@ -141,5 +190,108 @@ proptest! {
         let get = canonical_key(Method::Get, &path, &[]);
         prop_assert_ne!(get.clone(), canonical_key(Method::Post, &path, &[]));
         prop_assert_ne!(get, canonical_key(Method::Get, "/other", &[]));
+    }
+
+    #[test]
+    fn framer_recovers_pipelined_streams_at_arbitrary_split_points(
+        requests in prop::collection::vec(
+            ("/[a-z0-9]{0,12}", (any::<bool>(), prop::collection::vec(any::<u8>(), 0..120))
+                .prop_map(|(post, body)| post.then_some(body))),
+            1..8,
+        ),
+        cuts in prop::collection::vec(1usize..64, 1..16),
+    ) {
+        let mut stream = Vec::new();
+        for (path, body) in &requests {
+            stream.extend_from_slice(&render_request(path, body.as_deref()));
+        }
+
+        let mut reader = FrameReader::new();
+        let mut recovered = Vec::new();
+        for chunk in chunked(&stream, &cuts) {
+            reader.feed(chunk);
+            prop_assert_eq!(
+                drain_frames(&mut reader, &mut recovered),
+                None,
+                "well-formed stream must never frame as malformed"
+            );
+        }
+
+        prop_assert_eq!(recovered.len(), requests.len());
+        for (framed, (path, body)) in recovered.iter().zip(&requests) {
+            prop_assert!(!framed.close, "plain HTTP/1.1 requests keep the connection");
+            prop_assert_eq!(&framed.request.path, path);
+            match body {
+                None => {
+                    prop_assert_eq!(framed.request.method, Method::Get);
+                    prop_assert!(framed.request.body.is_empty());
+                }
+                Some(payload) => {
+                    prop_assert_eq!(framed.request.method, Method::Post);
+                    prop_assert_eq!(&framed.request.body, payload);
+                }
+            }
+        }
+        prop_assert!(!reader.mid_frame(), "the exact stream must leave no residue");
+    }
+
+    #[test]
+    fn framer_never_panics_on_byte_soup_and_poisons_on_malformed(
+        bytes in prop::collection::vec(any::<u8>(), 0..600),
+        cuts in prop::collection::vec(1usize..48, 1..12),
+    ) {
+        let mut reader = FrameReader::new();
+        let mut recovered = Vec::new();
+        let mut malformed: Option<u16> = None;
+        for chunk in chunked(&bytes, &cuts) {
+            reader.feed(chunk);
+            match drain_frames(&mut reader, &mut recovered) {
+                None => {}
+                Some(status) => {
+                    prop_assert!(
+                        matches!(status, 400 | 405 | 411 | 413 | 431 | 501 | 505),
+                        "unexpected framing status {status}"
+                    );
+                    malformed = Some(status);
+                    break;
+                }
+            }
+        }
+        if let Some(status) = malformed {
+            // Poisoned reader: it keeps reporting the same terminal error
+            // and never yields another request, whatever arrives next.
+            prop_assert!(reader.is_failed());
+            reader.feed(b"GET / HTTP/1.1\r\n\r\n");
+            match reader.next_frame() {
+                Frame::Malformed(e) => prop_assert_eq!(e.status, status),
+                other => prop_assert!(
+                    false,
+                    "poisoned reader produced {:?}",
+                    matches!(other, Frame::Request(_))
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn framer_matches_read_request_on_single_requests(
+        path in "/[a-z0-9]{0,12}",
+        body in (any::<bool>(), prop::collection::vec(any::<u8>(), 0..120))
+            .prop_map(|(post, body)| post.then_some(body)),
+    ) {
+        let stream = render_request(&path, body.as_deref());
+        let via_reader = read_request(&mut Cursor::new(stream.clone())).unwrap();
+
+        let mut reader = FrameReader::new();
+        reader.feed(&stream);
+        let framed = match reader.next_frame() {
+            Frame::Request(f) => Some(f),
+            _ => None,
+        };
+        prop_assert!(framed.is_some(), "framer did not produce the request");
+        let framed = framed.unwrap();
+        prop_assert_eq!(framed.request.method, via_reader.method);
+        prop_assert_eq!(framed.request.path, via_reader.path);
+        prop_assert_eq!(framed.request.body, via_reader.body);
     }
 }
