@@ -46,6 +46,55 @@ fi
 if ! echo "$METRICS" | grep -q '"coalesced_waiters":[1-9]'; then
     echo "FAIL: expected nonzero coalesced_waiters"; exit 1
 fi
+echo "==> admin API smoke (register second corpus, hot path, retire)"
+BASELINE=$(./target/release/loadgen --addr 127.0.0.1:7893 \
+    --request 'GET /table1')
+REGISTERED=$(./target/release/loadgen --addr 127.0.0.1:7893 \
+    --request 'POST /admin/corpora' --body '{"cuisines":["ITA"]}')
+echo "admin register: $REGISTERED"
+CORPUS_KEY=$(echo "$REGISTERED" | sed -n 's/.*"key":"\([^"]*\)".*/\1/p')
+if [[ -z "$CORPUS_KEY" ]]; then
+    echo "FAIL: register returned no corpus key"; exit 1
+fi
+READY=""
+for _ in $(seq 1 300); do
+    LISTING=$(./target/release/loadgen --addr 127.0.0.1:7893 \
+        --request 'GET /admin/corpora')
+    if echo "$LISTING" | grep -q "\"key\":\"$CORPUS_KEY\",\"state\":\"ready\""; then
+        READY=1; break
+    fi
+    sleep 0.2
+done
+if [[ -z "$READY" ]]; then
+    echo "FAIL: corpus $CORPUS_KEY never reached ready"; exit 1
+fi
+./target/release/loadgen --addr 127.0.0.1:7893 --clients 4 --requests 25 \
+    --corpus "$CORPUS_KEY" --keep-alive --evolve \
+    --workload multi-corpus-smoke >/dev/null 2>&1
+SCOPED=$(./target/release/loadgen --addr 127.0.0.1:7893 \
+    --request "GET /table1?corpus=$CORPUS_KEY")
+if [[ -z "$SCOPED" ]]; then
+    echo "FAIL: corpus-scoped /table1 returned no body"; exit 1
+fi
+METRICS=$(./target/release/loadgen --addr 127.0.0.1:7893 --dump-metrics)
+if ! echo "$METRICS" | grep -q '"registry_builds":[1-9]'; then
+    echo "FAIL: expected nonzero registry_builds"; exit 1
+fi
+./target/release/loadgen --addr 127.0.0.1:7893 \
+    --request "DELETE /admin/corpora/$CORPUS_KEY" >/dev/null
+if ./target/release/loadgen --addr 127.0.0.1:7893 \
+    --request "GET /table1?corpus=$CORPUS_KEY" >/dev/null 2>&1; then
+    echo "FAIL: retired corpus still answers 2xx"; exit 1
+fi
+if ./target/release/loadgen --addr 127.0.0.1:7893 \
+    --request 'DELETE /admin/corpora/default' >/dev/null 2>&1; then
+    echo "FAIL: default corpus retire must answer 409"; exit 1
+fi
+AFTER=$(./target/release/loadgen --addr 127.0.0.1:7893 \
+    --request 'GET /table1')
+if [[ "$BASELINE" != "$AFTER" ]]; then
+    echo "FAIL: default corpus bytes changed across the admin cycle"; exit 1
+fi
 kill "$SERVE_PID" 2>/dev/null || true
 trap - EXIT
 

@@ -43,10 +43,12 @@ impl Rule for HashIteration {
     fn applies(&self, context: &FileContext) -> bool {
         match context.krate.as_deref() {
             Some(name) if ARTIFACT_CRATES.contains(&name) => context.section == Section::Src,
-            // The serve snapshot store serializes every artifact; the rest
-            // of serve (LRU keys, router tables) never exposes hash order.
+            // The serve snapshot store and the corpus registry serialize
+            // every artifact / admin listing; the rest of serve (LRU keys,
+            // router tables) never exposes hash order.
             Some("serve") => {
-                context.section == Section::Src && context.file_name == "snapshot.rs"
+                context.section == Section::Src
+                    && matches!(context.file_name.as_str(), "snapshot.rs" | "registry.rs")
             }
             _ => false,
         }

@@ -93,8 +93,12 @@ fn d1_scopes_to_artifact_crates_only() {
                fn f(m: HashMap<u32, u64>) -> usize { m.iter().count() }";
     assert!(fired("crates/mining/src/x.rs", src).contains(&"D1"));
     assert!(fired("crates/serve/src/snapshot.rs", src).contains(&"D1"));
+    assert!(fired("crates/serve/src/registry.rs", src).contains(&"D1"));
     assert!(fired("crates/bench/src/x.rs", src).is_empty(), "bench is not artifact-producing");
-    assert!(fired("crates/serve/src/router.rs", src).is_empty(), "serve outside snapshot.rs");
+    assert!(
+        fired("crates/serve/src/router.rs", src).is_empty(),
+        "serve outside snapshot.rs/registry.rs"
+    );
     assert!(fired("crates/mining/tests/x.rs", src).is_empty(), "tests are out of scope");
 }
 

@@ -19,10 +19,18 @@
 //! raising throughput — compare latencies only at equal depth.
 //!
 //! `--path` may be a comma-separated list; clients rotate through it.
-//! `--evolve` adds a deterministic `POST /evolve` to the mix. `--json`
-//! prints one `bench_serve/v1` entry object to stdout (human summary goes
-//! to stderr) for collection into `BENCH_serve.json`. Methodology notes
-//! live in EXPERIMENTS.md.
+//! `--evolve` adds a deterministic `POST /evolve` to the mix. `--corpus`
+//! takes a comma-separated list of registry keys and scopes every GET and
+//! `/evolve` with `?corpus=KEY`, rotating across the keys — with
+//! `--workload multi-corpus` that is the benchable mixed-registry run.
+//! `--json` prints one `bench_serve/v1` entry object to stdout (human
+//! summary goes to stderr) for collection into `BENCH_serve.json`.
+//! Methodology notes live in EXPERIMENTS.md.
+//!
+//! `--request "METHOD /path"` (with optional `--body JSON`) is a one-shot
+//! admin mode: perform the single request, print the response body to
+//! stdout, and exit 0 on a 2xx — how `ci.sh` drives the admin API without
+//! curl.
 
 use std::net::SocketAddr;
 use std::time::{Duration, Instant};
@@ -32,8 +40,9 @@ use cuisine_serve::client;
 use serde::{Map, Value};
 
 const USAGE: &str = "loadgen --addr HOST:PORT [--clients N] [--requests N] \
-[--path /p1,/p2] [--evolve] [--keep-alive] [--pipeline-depth N] [--json] \
-[--workload NAME] [--dump-metrics]";
+[--path /p1,/p2] [--corpus KEY1,KEY2] [--evolve] [--keep-alive] \
+[--pipeline-depth N] [--json] [--workload NAME] [--dump-metrics] \
+[--request 'METHOD /path' [--body JSON]]";
 
 const EVOLVE_BODY: &str = r#"{"cuisine":"ITA","model":"CM-R","seed":7,"replicates":4}"#;
 
@@ -52,24 +61,73 @@ fn extra_value<T: std::str::FromStr>(extra: &[(String, String)], name: &str, def
     }
 }
 
-/// What one request slot does.
+/// What one request slot does. Evolve carries its (possibly
+/// corpus-scoped) target path so multi-corpus runs rotate POSTs too.
 enum Slot<'a> {
     Get(&'a str),
-    Evolve,
+    Evolve(&'a str),
 }
 
-fn slot_for<'a>(paths: &'a [String], with_evolve: bool, slot: usize) -> Slot<'a> {
-    if with_evolve && slot % (paths.len() + 1) == paths.len() {
-        Slot::Evolve
-    } else {
-        Slot::Get(&paths[slot % paths.len()])
+/// The request mix: GET paths and `/evolve` targets, both expanded over
+/// the `--corpus` keys so clients rotate across every (path, corpus)
+/// combination.
+struct Mix {
+    paths: Vec<String>,
+    evolve_paths: Vec<String>,
+    with_evolve: bool,
+}
+
+impl Mix {
+    fn new(paths: &[String], corpora: &[String], with_evolve: bool) -> Mix {
+        Mix {
+            paths: scope_paths(paths, corpora),
+            evolve_paths: scope_paths(&["/evolve".to_string()], corpora),
+            with_evolve,
+        }
     }
+
+    fn slot(&self, slot: usize) -> Slot<'_> {
+        if self.with_evolve && slot % (self.paths.len() + 1) == self.paths.len() {
+            let rotated = self.evolve_paths.get(slot % self.evolve_paths.len().max(1));
+            Slot::Evolve(rotated.map_or("/evolve", String::as_str))
+        } else {
+            let paths = &self.paths;
+            Slot::Get(&paths[slot % paths.len()])
+        }
+    }
+}
+
+/// Append `?corpus=KEY` (or `&corpus=KEY` on paths that already carry a
+/// query) for every `(path, key)` pair; identity when no keys are given.
+fn scope_paths(paths: &[String], corpora: &[String]) -> Vec<String> {
+    if corpora.is_empty() {
+        return paths.to_vec();
+    }
+    paths
+        .iter()
+        .flat_map(|path| {
+            corpora.iter().map(move |key| {
+                let sep = if path.contains('?') { '&' } else { '?' };
+                format!("{path}{sep}corpus={key}")
+            })
+        })
+        .collect()
 }
 
 fn main() {
     let (opts, extra) = ExpOptions::parse_with_or_exit(
         std::env::args(),
-        &["--addr", "--clients", "--requests", "--path", "--pipeline-depth", "--workload"],
+        &[
+            "--addr",
+            "--clients",
+            "--requests",
+            "--path",
+            "--corpus",
+            "--pipeline-depth",
+            "--workload",
+            "--request",
+            "--body",
+        ],
         USAGE,
     );
     let with_evolve = opts.has_flag("--evolve");
@@ -87,6 +145,32 @@ fn main() {
             .parse()
             .unwrap_or_else(|_| exit_usage(&format!("--addr has an invalid value {raw:?}"))),
     };
+
+    // `--request "METHOD /path"`: one-shot admin mode. Print the response
+    // body, exit 0 on 2xx — how ci.sh registers/retires corpora.
+    if let Some((_, spec)) = extra.iter().rev().find(|(k, _)| k == "--request") {
+        let (method, path) = spec
+            .split_once(' ')
+            .unwrap_or(("GET", spec.as_str()));
+        let body = extra.iter().rev().find(|(k, _)| k == "--body").map(|(_, v)| v.as_str());
+        match client::request_method(
+            addr,
+            method.trim(),
+            path.trim(),
+            body.map(str::as_bytes),
+            Duration::from_secs(30),
+        ) {
+            Ok(response) => {
+                eprintln!("{} {} -> {}", method.trim(), path.trim(), response.status);
+                println!("{}", String::from_utf8_lossy(&response.body));
+                std::process::exit(i32::from(!(200..300).contains(&response.status)));
+            }
+            Err(e) => {
+                eprintln!("error: {method} {path} failed against {addr}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 
     // `--dump-metrics`: fetch /metrics, print the raw JSON body, exit —
     // lets shell scripts (ci.sh) assert on live counters without curl.
@@ -119,7 +203,14 @@ fn main() {
         .split(',')
         .map(str::to_string)
         .collect();
-    let workload: String = extra_value(&extra, "--workload", "mixed".to_string());
+    let corpora: Vec<String> = extra_value::<String>(&extra, "--corpus", String::new())
+        .split(',')
+        .filter(|k| !k.is_empty())
+        .map(str::to_string)
+        .collect();
+    let default_workload = if corpora.len() > 1 { "multi-corpus" } else { "mixed" };
+    let workload: String = extra_value(&extra, "--workload", default_workload.to_string());
+    let mix = Mix::new(&paths, &corpora, with_evolve);
 
     let timeout = Duration::from_secs(30);
     if client::get(addr, "/healthz", timeout).is_err() {
@@ -129,10 +220,11 @@ fn main() {
 
     eprintln!(
         "loadgen: {clients} clients x {requests} requests over {:?}{} against {addr} \
-({}, pipeline depth {depth})",
-        paths,
+({}, pipeline depth {depth}, {} corpora)",
+        mix.paths,
         if with_evolve { " + POST /evolve" } else { "" },
         if keep_alive { "keep-alive" } else { "connection-per-request" },
+        corpora.len().max(1),
     );
 
     let wall = Instant::now();
@@ -141,9 +233,9 @@ fn main() {
     let per_client: Vec<Vec<(Duration, u16)>> =
         cuisine_exec::par_map_range(clients, Some(clients), |client_index| {
             if keep_alive {
-                run_keep_alive(addr, &paths, with_evolve, client_index, clients, requests, depth, timeout)
+                run_keep_alive(addr, &mix, client_index, clients, requests, depth, timeout)
             } else {
-                run_per_request(addr, &paths, with_evolve, client_index, clients, requests, timeout)
+                run_per_request(addr, &mix, client_index, clients, requests, timeout)
             }
         });
     let elapsed = wall.elapsed();
@@ -154,9 +246,8 @@ fn main() {
     let mut errors = 0usize;
     for (latency, status) in per_client.into_iter().flatten() {
         match status {
-            200 => ok += 1,
+            s if (200..300).contains(&s) => ok += 1,
             503 => shed += 1,
-            0 => errors += 1,
             _ => errors += 1,
         }
         latencies.push(latency);
@@ -182,7 +273,8 @@ fn main() {
         let us = |d: Duration| Value::U64(d.as_micros().min(u128::from(u64::MAX)) as u64);
         let mut entry = Map::new();
         entry.insert("workload", Value::String(workload));
-        entry.insert("paths", Value::String(paths.join(",")));
+        entry.insert("paths", Value::String(mix.paths.join(",")));
+        entry.insert("corpora", Value::U64(corpora.len().max(1) as u64));
         entry.insert("evolve", Value::Bool(with_evolve));
         entry.insert("keep_alive", Value::Bool(keep_alive));
         entry.insert("pipeline_depth", Value::U64(depth as u64));
@@ -211,8 +303,7 @@ fn main() {
 /// The original model: one fresh connection per request.
 fn run_per_request(
     addr: SocketAddr,
-    paths: &[String],
-    with_evolve: bool,
+    mix: &Mix,
     client_index: usize,
     clients: usize,
     requests: usize,
@@ -220,10 +311,10 @@ fn run_per_request(
 ) -> Vec<(Duration, u16)> {
     let mut samples = Vec::with_capacity(requests);
     for i in 0..requests {
-        let slot = slot_for(paths, with_evolve, client_index + i * clients);
+        let slot = mix.slot(client_index + i * clients);
         let started = Instant::now();
         let outcome = match slot {
-            Slot::Evolve => client::post_json(addr, "/evolve", EVOLVE_BODY, timeout),
+            Slot::Evolve(path) => client::post_json(addr, path, EVOLVE_BODY, timeout),
             Slot::Get(path) => client::get(addr, path, timeout),
         };
         let status = outcome.map(|r| r.status).unwrap_or(0);
@@ -235,11 +326,9 @@ fn run_per_request(
 /// Keep-alive model: one persistent connection per client, optionally
 /// pipelined `depth` requests at a time. A transport error fails the
 /// whole outstanding batch and forces a reconnect.
-#[allow(clippy::too_many_arguments)]
 fn run_keep_alive(
     addr: SocketAddr,
-    paths: &[String],
-    with_evolve: bool,
+    mix: &Mix,
     client_index: usize,
     clients: usize,
     requests: usize,
@@ -264,8 +353,8 @@ fn run_keep_alive(
         };
         let mut sent = 0usize;
         for b in 0..batch {
-            let ok = match slot_for(paths, with_evolve, client_index + (i + b) * clients) {
-                Slot::Evolve => live.send("/evolve", Some(EVOLVE_BODY.as_bytes())),
+            let ok = match mix.slot(client_index + (i + b) * clients) {
+                Slot::Evolve(path) => live.send(path, Some(EVOLVE_BODY.as_bytes())),
                 Slot::Get(path) => live.send(path, None),
             };
             if ok.is_err() {

@@ -14,16 +14,21 @@
 //! `--self-check` boots on an ephemeral port, drives the in-process client
 //! through `/healthz`, an artifact endpoint, `POST /evolve` (twice —
 //! asserting via `/metrics` that the repeat was a cache hit, not a second
-//! computation), and a pipelined keep-alive exchange, verifies the served
-//! bytes against the snapshot store, shuts down gracefully, and exits —
-//! the CI smoke test.
+//! computation), a pipelined keep-alive exchange, and one full admin
+//! register → Ready → query → retire cycle (asserting the default corpus
+//! bytes never change), verifies the served bytes against the snapshot
+//! store, shuts down gracefully, and exits — the CI smoke test.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use cuisine_bench::ExpOptions;
 use cuisine_core::Experiment;
 use cuisine_evolution::{EnsembleConfig, EvaluationConfig, ModelKind};
-use cuisine_serve::{client, AppState, Server, ServerConfig, SnapshotStore};
+use cuisine_serve::{
+    client, AppState, BuildOptions, CorpusSpec, RegistryConfig, Server, ServerConfig,
+    SnapshotStore,
+};
 
 const USAGE: &str = "serve [--scale F] [--seed N] [--threads N] [--no-cache] \
 [--miner fpgrowth|apriori|eclat|eclat-bitset] [--replicates N] [--port N] \
@@ -119,7 +124,30 @@ fn main() {
         snap_elapsed
     );
 
-    let state = AppState::new(experiment, snapshots, config.lru_capacity);
+    // Registry: the booted corpus is the default entry; registrations
+    // inherit its spec fields and build with the same Fig. 4 options.
+    // The injected clock reuses the startup `Instant` (the registry
+    // itself reads no clocks — the deterministic-path lint budget).
+    let default_spec = CorpusSpec {
+        seed: opts.seed,
+        scale: opts.scale,
+        miner: opts.miner,
+        cuisines: None,
+    };
+    let registry_config = RegistryConfig {
+        default_spec: Some(default_spec),
+        build: BuildOptions { models: ModelKind::ALL.to_vec(), fig4: fig4.clone() },
+        clock: Arc::new(move || {
+            started.elapsed().as_millis().min(u128::from(u64::MAX)) as u64
+        }),
+        build_threads: Some(1),
+    };
+    let state = AppState::with_registry(
+        Arc::new(experiment),
+        Arc::new(snapshots),
+        config.lru_capacity,
+        registry_config,
+    );
     let server = Server::start(state, config).unwrap_or_else(|e| {
         eprintln!("error: failed to bind server: {e}");
         std::process::exit(1);
@@ -219,6 +247,53 @@ fn self_check_and_exit(server: Server, keep_alive: bool) -> ! {
                 if computations == 1 && hits >= 1 && reuses >= 1),
         );
     }
+
+    // Admin cycle: register a single-cuisine corpus, wait for Ready,
+    // query it, retire it — and assert the default corpus's bytes are
+    // byte-identical before and after the whole cycle.
+    let registered = client::post_json(addr, "/admin/corpora", r#"{"cuisines":["ITA"]}"#, timeout);
+    check(
+        "admin register answers 202",
+        registered.as_ref().is_ok_and(|r| r.status == 202),
+    );
+    let key = registered
+        .ok()
+        .and_then(|r| String::from_utf8(r.body).ok())
+        .and_then(|text| serde_json::from_str::<serde::Value>(&text).ok())
+        .and_then(|doc| Some(doc.as_object()?.get("key")?.as_str()?.to_string()));
+    let ready = key
+        .as_ref()
+        .is_some_and(|k| server.state().registry.wait_ready(k, Duration::from_secs(600)));
+    check("registered corpus reaches Ready", ready);
+    if let Some(key) = &key {
+        let scoped = client::get(addr, &format!("/table1?corpus={key}"), timeout);
+        check(
+            "corpus-scoped /table1 answers 200",
+            scoped.is_ok_and(|r| r.status == 200),
+        );
+        let listing = client::get(addr, "/admin/corpora", timeout);
+        check(
+            "admin listing shows the corpus as ready",
+            listing.is_ok_and(|r| {
+                r.status == 200 && String::from_utf8_lossy(&r.body).contains(key.as_str())
+            }),
+        );
+        let retired = client::delete(addr, &format!("/admin/corpora/{key}"), timeout);
+        check("retire answers 200", retired.is_ok_and(|r| r.status == 200));
+        let gone = client::get(addr, &format!("/table1?corpus={key}"), timeout);
+        check("retired corpus answers 404", gone.is_ok_and(|r| r.status == 404));
+    }
+    check(
+        "default corpus cannot be retired",
+        client::delete(addr, "/admin/corpora/default", timeout)
+            .is_ok_and(|r| r.status == 409),
+    );
+    let table1_after = client::get(addr, "/table1", timeout);
+    check(
+        "default corpus bytes unchanged after the admin cycle",
+        matches!((&table1_after, &expected), (Ok(r), Some(snap)) if r.status == 200
+            && r.body == **snap),
+    );
 
     let missing = client::get(addr, "/no-such-endpoint", timeout);
     check("unknown path is 404", missing.is_ok_and(|r| r.status == 404));

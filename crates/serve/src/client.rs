@@ -35,6 +35,20 @@ pub fn request(
     body: Option<&[u8]>,
     timeout: Duration,
 ) -> std::io::Result<ClientResponse> {
+    let method = if body.is_some() { "POST" } else { "GET" };
+    request_method(addr, method, path, body, timeout)
+}
+
+/// Perform one request with an explicit method (`GET`, `POST`,
+/// `DELETE` — whatever the admin API needs). A body always carries a
+/// JSON content type.
+pub fn request_method(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&[u8]>,
+    timeout: Duration,
+) -> std::io::Result<ClientResponse> {
     let stream = TcpStream::connect_timeout(&addr, timeout)?;
     stream.set_read_timeout(Some(timeout))?;
     stream.set_write_timeout(Some(timeout))?;
@@ -44,12 +58,12 @@ pub fn request(
     match body {
         None => write!(
             stream,
-            "GET {path} HTTP/1.1\r\nhost: {addr}\r\nconnection: close\r\n\r\n"
+            "{method} {path} HTTP/1.1\r\nhost: {addr}\r\nconnection: close\r\n\r\n"
         )?,
         Some(payload) => {
             write!(
                 stream,
-                "POST {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+                "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
                 payload.len()
             )?;
             stream.write_all(payload)?;
@@ -75,6 +89,11 @@ pub fn post_json(
     timeout: Duration,
 ) -> std::io::Result<ClientResponse> {
     request(addr, path, Some(json.as_bytes()), timeout)
+}
+
+/// `DELETE path` (the admin API's corpus retirement).
+pub fn delete(addr: SocketAddr, path: &str, timeout: Duration) -> std::io::Result<ClientResponse> {
+    request_method(addr, "DELETE", path, None, timeout)
 }
 
 /// A persistent keep-alive connection.
@@ -108,13 +127,25 @@ impl Connection {
     /// Write one request without reading its response. `body` implies
     /// `POST` with a JSON content type; otherwise a `GET` is sent.
     pub fn send(&mut self, path: &str, body: Option<&[u8]>) -> std::io::Result<()> {
+        let method = if body.is_some() { "POST" } else { "GET" };
+        self.send_method(method, path, body)
+    }
+
+    /// [`Connection::send`] with an explicit method (`GET`, `POST`,
+    /// `DELETE`). A body always carries a JSON content type.
+    pub fn send_method(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+    ) -> std::io::Result<()> {
         let host = &self.host;
         match body {
-            None => write!(self.stream, "GET {path} HTTP/1.1\r\nhost: {host}\r\n\r\n")?,
+            None => write!(self.stream, "{method} {path} HTTP/1.1\r\nhost: {host}\r\n\r\n")?,
             Some(payload) => {
                 write!(
                     self.stream,
-                    "POST {path} HTTP/1.1\r\nhost: {host}\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n",
+                    "{method} {path} HTTP/1.1\r\nhost: {host}\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n",
                     payload.len()
                 )?;
                 self.stream.write_all(payload)?;

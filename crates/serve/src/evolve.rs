@@ -40,6 +40,7 @@ use cuisine_mining::{CombinationAnalysis, ItemMode, TransactionSource};
 use serde::{Map, Value};
 
 use crate::http::{HttpError, Response};
+use crate::registry::CorpusHandle;
 use crate::router::AppState;
 
 /// Upper bound on replicates per request (paper ensembles use 100 in
@@ -171,6 +172,28 @@ impl EvolveRequest {
     }
 }
 
+/// A validated `/evolve` computation bound to the corpus (at the epoch)
+/// it will run against: the router resolves the [`CorpusHandle`] once,
+/// so a registry hot-swap mid-request cannot change the experiment the
+/// ensemble runs on.
+pub struct EvolveTask {
+    /// The resolved corpus read-lease.
+    pub corpus: CorpusHandle,
+    /// The validated request.
+    pub request: EvolveRequest,
+}
+
+impl EvolveTask {
+    /// Cache/coalescing key: the corpus scope (`key@epoch`) joined with
+    /// [`EvolveRequest::canonical_key`]. Including the epoch means a
+    /// hot-swap retires the old cache entries by construction — and
+    /// because rebuilds of one spec are byte-identical, any cross-epoch
+    /// miss only costs a recompute, never a wrong body.
+    pub fn cache_key(&self) -> String {
+        format!("{}|{}", self.corpus.cache_scope(), self.request.canonical_key())
+    }
+}
+
 /// Run the requested ensemble and render the response body.
 ///
 /// Replicate ensembles run sequentially on the worker thread
@@ -236,14 +259,14 @@ pub fn handle_evolve(request: &EvolveRequest, experiment: &Experiment) -> Result
 /// [`EvolveEngine`] instead, which adds single-flight coalescing on top of
 /// the same cache. Only `200`s are cached — errors are cheap to recompute
 /// and must not mask a later success.
-pub fn evolve_sync(state: &AppState, request: &EvolveRequest) -> Response {
-    let key = request.canonical_key();
+pub fn evolve_sync(state: &AppState, corpus: &CorpusHandle, request: &EvolveRequest) -> Response {
+    let key = format!("{}|{}", corpus.cache_scope(), request.canonical_key());
     if let Some(hit) = cache_lookup(state, &key) {
         return hit;
     }
     state.metrics.record_evolve_cache(false);
     state.metrics.record_evolve_computation();
-    let response = match handle_evolve(request, &state.experiment) {
+    let response = match handle_evolve(request, &corpus.experiment) {
         Ok(response) => response,
         Err(error) => Response::from(&error),
     };
@@ -297,11 +320,11 @@ fn lock_inflight(shared: &EngineShared) -> MutexGuard<'_, InflightMap> {
     }
 }
 
-/// One queued computation: the leader's request plus the flight every
-/// waiter holds.
+/// One queued computation: the leader's corpus-bound task plus the flight
+/// every waiter holds.
 struct EvolveJob {
     key: String,
-    request: EvolveRequest,
+    task: EvolveTask,
     flight: Arc<Flight<Response>>,
 }
 
@@ -343,10 +366,11 @@ impl EvolveEngine {
         self.pool.depth()
     }
 
-    /// Submit a validated request; see the type docs for the protocol.
-    pub fn submit(&self, request: EvolveRequest) -> Submitted {
+    /// Submit a validated, corpus-bound task; see the type docs for the
+    /// protocol.
+    pub fn submit(&self, task: EvolveTask) -> Submitted {
         let state = &self.shared.state;
-        let key = request.canonical_key();
+        let key = task.cache_key();
         if let Some(hit) = cache_lookup(state, &key) {
             return Submitted::Ready(hit);
         }
@@ -367,7 +391,7 @@ impl EvolveEngine {
             inflight.insert(key.clone(), Arc::clone(&flight));
             flight
         };
-        let job = EvolveJob { key, request, flight: Arc::clone(&flight) };
+        let job = EvolveJob { key, task, flight: Arc::clone(&flight) };
         match self.pool.try_execute(job) {
             Ok(()) => Submitted::Wait(flight),
             Err(PoolFull(job)) => {
@@ -391,7 +415,7 @@ fn run_job(shared: &EngineShared, job: EvolveJob) {
     // if the handler panicked through it the flight would never complete
     // and every coalesced waiter would hang. Catch here and answer 500.
     let computed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        handle_evolve(&job.request, &state.experiment)
+        handle_evolve(&job.task.request, &job.task.corpus.experiment)
     }));
     let response = match computed {
         Ok(Ok(response)) => response,
@@ -418,6 +442,10 @@ mod tests {
         .unwrap()
     }
 
+    fn default_corpus(state: &AppState) -> CorpusHandle {
+        state.registry.resolve(None).unwrap()
+    }
+
     #[test]
     fn canonical_key_is_field_order_stable() {
         let a = EvolveRequest::from_json(
@@ -435,8 +463,9 @@ mod tests {
     #[test]
     fn evolve_sync_caches_successful_responses() {
         let state = fresh_state();
-        let first = evolve_sync(&state, &request(11));
-        let second = evolve_sync(&state, &request(11));
+        let corpus = default_corpus(&state);
+        let first = evolve_sync(&state, &corpus, &request(11));
+        let second = evolve_sync(&state, &corpus, &request(11));
         assert_eq!(first.status, 200);
         assert_eq!(first.body, second.body);
         let (hits, misses, computations) = state.metrics.evolve_counts();
@@ -447,7 +476,8 @@ mod tests {
     fn engine_serves_cache_hits_and_computes_misses() {
         let state = fresh_shared_state();
         let engine = EvolveEngine::new(Arc::clone(&state), Some(1), 8);
-        let first = match engine.submit(request(11)) {
+        let task = || EvolveTask { corpus: default_corpus(&state), request: request(11) };
+        let first = match engine.submit(task()) {
             Submitted::Wait(flight) => {
                 flight.wait_timeout(Duration::from_secs(60)).expect("leader completes")
             }
@@ -456,7 +486,7 @@ mod tests {
         assert_eq!(first.status, 200);
         // Identical request again: the worker published to the cache, so
         // this must be a Ready cache hit with the byte-identical body.
-        match engine.submit(request(11)) {
+        match engine.submit(task()) {
             Submitted::Ready(hit) => assert_eq!(hit.body, first.body),
             Submitted::Wait(_) => panic!("finished request must be a cache hit"),
         }

@@ -44,6 +44,8 @@ pub enum Method {
     Get,
     /// HTTP POST.
     Post,
+    /// HTTP DELETE (admin API: corpus retirement).
+    Delete,
 }
 
 impl Method {
@@ -52,6 +54,7 @@ impl Method {
         match self {
             Method::Get => "GET",
             Method::Post => "POST",
+            Method::Delete => "DELETE",
         }
     }
 }
@@ -210,7 +213,8 @@ pub fn parse_request_line(line: &str) -> Result<RequestLine, HttpError> {
     let method = match method {
         "GET" => Method::Get,
         "POST" => Method::Post,
-        "HEAD" | "PUT" | "DELETE" | "OPTIONS" | "PATCH" | "TRACE" | "CONNECT" => {
+        "DELETE" => Method::Delete,
+        "HEAD" | "PUT" | "OPTIONS" | "PATCH" | "TRACE" | "CONNECT" => {
             return Err(HttpError::new(405, format!("method {method} not supported")));
         }
         _ => return Err(HttpError::bad_request("unrecognized method token")),
@@ -571,10 +575,12 @@ pub fn canonical_key(method: Method, path: &str, query: &[(String, String)]) -> 
 pub fn status_reason(status: u16) -> &'static str {
     match status {
         200 => "OK",
+        202 => "Accepted",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
         408 => "Request Timeout",
+        409 => "Conflict",
         411 => "Length Required",
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",

@@ -18,6 +18,9 @@
 //! * [`evolve`] — the one on-demand endpoint: seeded, bounded,
 //!   byte-deterministic ensemble runs, single-flighted by the
 //!   [`EvolveEngine`] over a seeded-result cache;
+//! * [`registry`] — the multi-corpus snapshot registry: epoch-versioned
+//!   corpus entries, background builds with coalesced registrations,
+//!   atomic hot-swap, and the `/admin/corpora` API;
 //! * [`router`] — endpoint table tying the above together;
 //! * [`server`] — sharded connection event loops behind one acceptor,
 //!   keep-alive/pipelining, idle sweep, graceful drain-on-shutdown;
@@ -33,15 +36,19 @@ pub mod evolve;
 pub mod http;
 pub mod lru;
 pub mod metrics;
+pub mod registry;
 pub mod router;
 pub mod server;
 pub mod snapshot;
 #[cfg(test)]
 pub(crate) mod testutil;
 
-pub use evolve::{EvolveEngine, EvolveRequest, Submitted};
+pub use evolve::{EvolveEngine, EvolveRequest, EvolveTask, Submitted};
 pub use http::{Frame, FrameReader, FramedRequest, Request, Response};
-pub use metrics::SnapshotInfo;
+pub use metrics::{RegistryStats, SnapshotInfo};
+pub use registry::{
+    BuildOptions, Clock, CorpusError, CorpusHandle, CorpusRegistry, CorpusSpec, RegistryConfig,
+};
 pub use router::{AppState, Routed};
 pub use server::{Server, ServerConfig};
 pub use snapshot::SnapshotStore;

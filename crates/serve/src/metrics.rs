@@ -42,6 +42,35 @@ pub struct SnapshotInfo<'a> {
     pub build_wall_ms: u64,
 }
 
+/// Registry counters and per-corpus rows reported by `/metrics`,
+/// snapshotted from [`CorpusRegistry::stats`].
+///
+/// [`CorpusRegistry::stats`]: crate::registry::CorpusRegistry::stats
+#[derive(Debug, Clone)]
+pub struct RegistryStats {
+    /// Snapshot builds dispatched (initial registrations + hot-swaps).
+    pub builds: u64,
+    /// Completed builds that replaced an already-Ready corpus (epoch
+    /// bumps past the first).
+    pub swaps: u64,
+    /// Registrations that coalesced onto an identical pending build
+    /// instead of queueing their own.
+    pub coalesced_registrations: u64,
+    /// Per-corpus rows: key, state, epoch, build_ms, hits, rebuilding.
+    pub corpora: Value,
+}
+
+impl Default for RegistryStats {
+    fn default() -> Self {
+        RegistryStats {
+            builds: 0,
+            swaps: 0,
+            coalesced_registrations: 0,
+            corpora: Value::Array(Vec::new()),
+        }
+    }
+}
+
 /// Aggregated request counters. All methods are safe to call concurrently.
 #[derive(Debug)]
 pub struct Metrics {
@@ -191,8 +220,16 @@ impl Metrics {
         Some(u64::MAX)
     }
 
-    /// Render the metrics document served by `/metrics`.
-    pub fn to_json(&self, gauges: &Gauges, snapshot: &SnapshotInfo<'_>, lru_len: usize) -> String {
+    /// Render the metrics document served by `/metrics`. `snapshot` is
+    /// the *default* corpus's provenance; `registry` carries the
+    /// registry counters plus one row per registered corpus.
+    pub fn to_json(
+        &self,
+        gauges: &Gauges,
+        snapshot: &SnapshotInfo<'_>,
+        lru_len: usize,
+        registry: &RegistryStats,
+    ) -> String {
         let requests = self.requests();
         let (hits, misses) = self.cache_counts();
         let total_us = self.latency_total_us.load(Ordering::Relaxed);
@@ -217,6 +254,13 @@ impl Metrics {
         doc.insert("evolve_cache_hits", Value::U64(evolve_hits));
         doc.insert("evolve_cache_misses", Value::U64(evolve_misses));
         doc.insert("evolve_computations", Value::U64(evolve_computations));
+        doc.insert("registry_builds", Value::U64(registry.builds));
+        doc.insert("registry_swaps", Value::U64(registry.swaps));
+        doc.insert(
+            "registry_coalesced_registrations",
+            Value::U64(registry.coalesced_registrations),
+        );
+        doc.insert("corpora", registry.corpora.clone());
 
         let mut latency = Map::new();
         latency.insert(
@@ -301,8 +345,9 @@ mod tests {
         gauges.pool_depth.store(2, Ordering::Relaxed);
         gauges.connections.store(7, Ordering::Relaxed);
         let info = SnapshotInfo { version: "test-v1", miner: "eclat-bitset", build_wall_ms: 1234 };
+        let registry = RegistryStats { builds: 3, swaps: 1, ..Default::default() };
         let doc: serde::Value =
-            serde_json::from_str(&m.to_json(&gauges, &info, 3)).unwrap();
+            serde_json::from_str(&m.to_json(&gauges, &info, 3, &registry)).unwrap();
         let doc = doc.as_object().unwrap();
         assert_eq!(doc.get("requests_total").unwrap().as_u64(), Some(2));
         assert_eq!(
@@ -325,6 +370,13 @@ mod tests {
         assert_eq!(doc.get("evolve_cache_hits").unwrap().as_u64(), Some(1));
         assert_eq!(doc.get("evolve_cache_misses").unwrap().as_u64(), Some(1));
         assert_eq!(doc.get("evolve_computations").unwrap().as_u64(), Some(1));
+        assert_eq!(doc.get("registry_builds").unwrap().as_u64(), Some(3));
+        assert_eq!(doc.get("registry_swaps").unwrap().as_u64(), Some(1));
+        assert_eq!(
+            doc.get("registry_coalesced_registrations").unwrap().as_u64(),
+            Some(0)
+        );
+        assert_eq!(doc.get("corpora").unwrap().as_array().unwrap().len(), 0);
         assert_eq!(doc.get("open_connections").unwrap().as_u64(), Some(7));
     }
 }

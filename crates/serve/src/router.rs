@@ -1,45 +1,61 @@
 //! Request routing: canonical paths → snapshot lookups, cached through the
-//! LRU, plus the live endpoints (`/healthz`, `/metrics`, `POST /evolve`).
+//! LRU, plus the live endpoints (`/healthz`, `/metrics`, `POST /evolve`)
+//! and the registry admin API.
 //!
 //! Endpoint map:
 //!
 //! | route | source |
 //! |---|---|
 //! | `GET /` | index document (endpoints + version) |
-//! | `GET /healthz` | liveness + snapshot version |
+//! | `GET /healthz` | liveness + snapshot version + corpus count |
 //! | `GET /metrics` | [`Metrics::to_json`] |
 //! | `GET /table1`, `/fig1`, `/fig2`, `/fig4`, `/cuisines` | snapshot |
 //! | `GET /fig3/{ingredient\|category}` | snapshot |
 //! | `GET /fig4/{cuisine}` | snapshot (code or name, case-insensitive) |
 //! | `GET /similarity[?mode=ingredient\|category]` | snapshot |
 //! | `POST /evolve` | on-demand ensemble ([`crate::evolve`]) |
+//! | `GET /admin/corpora` | registry listing ([`crate::registry`]) |
+//! | `POST /admin/corpora` | register / hot-swap a corpus (`202`) |
+//! | `DELETE /admin/corpora/{key}` | retire a corpus (`409` on default) |
 //!
-//! Cacheable GETs go through the LRU keyed on
-//! [`canonical_key`](crate::http::canonical_key); `/healthz` and
-//! `/metrics` bypass it so they always reflect live state.
+//! Every artifact GET and `/evolve` accepts `?corpus={key}` and resolves
+//! it through the [`CorpusRegistry`] (absent = the default corpus, so the
+//! pre-registry API is unchanged). Cacheable GETs go through the LRU
+//! keyed on the corpus scope (`key@epoch`) joined with
+//! [`canonical_key`](crate::http::canonical_key) — a hot-swap bumps the
+//! epoch and thereby the key, so stale bodies are unreachable. `/healthz`,
+//! `/metrics`, and the admin endpoints bypass the LRU so they always
+//! reflect live state.
 
 use std::sync::{Arc, Mutex};
 
 use cuisine_core::Experiment;
 use serde::{Map, Value};
 
-use crate::evolve::{evolve_sync, EvolveRequest};
+use crate::evolve::{evolve_sync, EvolveRequest, EvolveTask};
 use crate::http::{canonical_key, HttpError, Method, Request, Response};
 use crate::lru::Lru;
 use crate::metrics::{Gauges, Metrics};
+use crate::registry::{CorpusHandle, CorpusRegistry, CorpusSpec, RegistryConfig};
 use crate::snapshot::SnapshotStore;
 
 /// Shared application state: the experiment (corpus + transaction cache),
-/// the snapshot store, the LRU response cache, and metrics.
+/// the snapshot store, the corpus registry, the LRU response cache, and
+/// metrics.
 ///
-/// The heavy parts (experiment, snapshots) are behind `Arc` so several
-/// server instances — or tests — can share one build while keeping
-/// independent caches and counters.
+/// The heavy parts (experiment, snapshots, registry) are behind `Arc` so
+/// several server instances — or tests — can share one build while
+/// keeping independent caches and counters. `experiment` and `snapshots`
+/// are the *default* corpus's — the same `Arc`s the registry serves for
+/// corpus-less requests, kept here so startup-path code and tests can
+/// reach them without a resolve.
 pub struct AppState {
-    /// Corpus, lexicon, pipeline config, and shared transaction cache.
+    /// Default corpus: corpus, lexicon, pipeline config, shared cache.
     pub experiment: Arc<Experiment>,
-    /// Precomputed artifact bodies.
+    /// Default corpus: precomputed artifact bodies.
     pub snapshots: Arc<SnapshotStore>,
+    /// The multi-corpus registry every read resolves through.
+    pub registry: Arc<CorpusRegistry>,
     /// Response cache for GET endpoints.
     pub lru: Mutex<Lru<Response>>,
     /// Seeded-evolve result cache: canonical evolve key → finished `200`
@@ -64,15 +80,34 @@ impl AppState {
 
     /// Bundle state around an already-shared experiment and snapshot set
     /// (fresh LRU and metrics). Lets multiple servers reuse one snapshot
-    /// build.
+    /// build. The registry is built with [`RegistryConfig::default`]: no
+    /// default spec (the startup snapshots serve under the key
+    /// `"default"`), minimal build options.
     pub fn with_shared(
         experiment: Arc<Experiment>,
         snapshots: Arc<SnapshotStore>,
         lru_capacity: usize,
     ) -> Self {
+        Self::with_registry(experiment, snapshots, lru_capacity, RegistryConfig::default())
+    }
+
+    /// Bundle state with a fully-configured [`CorpusRegistry`] adopting
+    /// the startup experiment + snapshots as its default corpus.
+    pub fn with_registry(
+        experiment: Arc<Experiment>,
+        snapshots: Arc<SnapshotStore>,
+        lru_capacity: usize,
+        config: RegistryConfig,
+    ) -> Self {
+        let registry = Arc::new(CorpusRegistry::new(
+            Arc::clone(&experiment),
+            Arc::clone(&snapshots),
+            config,
+        ));
         AppState {
             experiment,
             snapshots,
+            registry,
             lru: Mutex::new(Lru::new(lru_capacity)),
             evolve_cache: Mutex::new(Lru::new(DEFAULT_EVOLVE_CACHE)),
             metrics: Metrics::new(),
@@ -102,17 +137,25 @@ impl AppState {
 pub enum Routed {
     /// The response is ready now.
     Ready(Response),
-    /// A validated `/evolve` request for the engine.
-    Evolve(EvolveRequest),
+    /// A validated `/evolve` request, bound to its resolved corpus, for
+    /// the engine.
+    Evolve(EvolveTask),
 }
 
 /// Route one request on the connection path: like [`route`], but `/evolve`
-/// bodies are validated and returned as [`Routed::Evolve`] instead of
-/// being computed inline.
+/// bodies are validated, bound to their resolved corpus, and returned as
+/// [`Routed::Evolve`] instead of being computed inline.
 pub fn route_conn(state: &AppState, request: &Request) -> Routed {
     if request.method == Method::Post && normalized(&request.path) == "/evolve" {
+        let corpus = match state.registry.resolve(request.query_param("corpus")) {
+            Ok(handle) => handle,
+            Err(error) => return Routed::Ready(error.to_response()),
+        };
         return match EvolveRequest::from_json(&request.body) {
-            Ok(evolve) => Routed::Evolve(evolve),
+            Ok(evolve) => {
+                corpus.record_hit();
+                Routed::Evolve(EvolveTask { corpus, request: evolve })
+            }
             Err(error) => Routed::Ready(Response::from(&error)),
         };
     }
@@ -132,15 +175,40 @@ fn dispatch(state: &AppState, request: &Request) -> Result<Response, HttpError> 
     let path = normalized(&request.path);
     match (request.method, path) {
         (Method::Get, "/healthz") => Ok(healthz(state)),
-        (Method::Get, "/metrics") => Ok(Response::json(
-            200,
-            state.metrics.to_json(&state.gauges, &state.snapshots.info(), state.lru_len()),
-        )),
-        (Method::Post, "/evolve") => {
-            let evolve = EvolveRequest::from_json(&request.body)?;
-            Ok(evolve_sync(state, &evolve))
+        (Method::Get, "/metrics") => {
+            let registry = state.registry.stats();
+            Ok(Response::json(
+                200,
+                state.metrics.to_json(
+                    &state.gauges,
+                    &state.snapshots.info(),
+                    state.lru_len(),
+                    &registry,
+                ),
+            ))
         }
-        (Method::Post, _) => Err(HttpError::new(405, "only /evolve accepts POST")),
+        (Method::Get, "/admin/corpora") => Ok(state.registry.admin_list()),
+        (Method::Post, "/admin/corpora") => {
+            let defaults = state.registry.default_spec();
+            let spec = CorpusSpec::from_json(&request.body, defaults.as_ref())?;
+            Ok(state.registry.register(spec))
+        }
+        (Method::Delete, admin) => match admin.strip_prefix("/admin/corpora/") {
+            Some(key) if !key.is_empty() => Ok(state.registry.retire(key)),
+            _ => Err(HttpError::new(405, "DELETE is only accepted on /admin/corpora/{key}")),
+        },
+        (Method::Post, "/evolve") => {
+            let corpus = match state.registry.resolve(request.query_param("corpus")) {
+                Ok(handle) => handle,
+                Err(error) => return Ok(error.to_response()),
+            };
+            let evolve = EvolveRequest::from_json(&request.body)?;
+            corpus.record_hit();
+            Ok(evolve_sync(state, &corpus, &evolve))
+        }
+        (Method::Post, _) => {
+            Err(HttpError::new(405, "POST is only accepted on /evolve and /admin/corpora"))
+        }
         (Method::Get, "/evolve") => {
             Err(HttpError::new(405, "/evolve requires POST with a JSON body"))
         }
@@ -154,7 +222,18 @@ fn normalized(path: &str) -> &str {
 }
 
 fn cached_get(state: &AppState, request: &Request) -> Result<Response, HttpError> {
-    let key = canonical_key(request.method, &request.path, &request.query);
+    let corpus = match state.registry.resolve(request.query_param("corpus")) {
+        Ok(handle) => handle,
+        Err(error) => return Ok(error.to_response()),
+    };
+    corpus.record_hit();
+    // Scope the cache key to (corpus key, epoch): a hot-swap bumps the
+    // epoch, so entries cached before the swap can never answer after it.
+    let key = format!(
+        "{} {}",
+        corpus.cache_scope(),
+        canonical_key(request.method, &request.path, &request.query)
+    );
     if let Ok(mut lru) = state.lru.lock() {
         if let Some(hit) = lru.get(&key) {
             state.metrics.record_cache(true);
@@ -162,7 +241,7 @@ fn cached_get(state: &AppState, request: &Request) -> Result<Response, HttpError
         }
     }
     state.metrics.record_cache(false);
-    let response = resolve_get(state, request)?;
+    let response = resolve_get(&corpus, request)?;
     if response.status == 200 {
         if let Ok(mut lru) = state.lru.lock() {
             lru.insert(key, response.clone());
@@ -171,14 +250,14 @@ fn cached_get(state: &AppState, request: &Request) -> Result<Response, HttpError
     Ok(response)
 }
 
-fn resolve_get(state: &AppState, request: &Request) -> Result<Response, HttpError> {
+fn resolve_get(corpus: &CorpusHandle, request: &Request) -> Result<Response, HttpError> {
     let path = normalized(&request.path);
     if path == "/" {
-        return Ok(index(state));
+        return Ok(index(corpus));
     }
 
     // Exact snapshot paths (artifact families and /fig3/{mode}).
-    if let Some(body) = state.snapshots.get(path) {
+    if let Some(body) = corpus.snapshots.get(path) {
         return Ok(Response::json_shared(body));
     }
 
@@ -199,7 +278,7 @@ fn resolve_get(state: &AppState, request: &Request) -> Result<Response, HttpErro
                     ));
                 }
             };
-            state
+            corpus
                 .snapshots
                 .get(&format!("/similarity/{label}"))
                 .map(Response::json_shared)
@@ -217,7 +296,7 @@ fn resolve_get(state: &AppState, request: &Request) -> Result<Response, HttpErro
             let id: cuisine_data::CuisineId = cuisine
                 .parse()
                 .map_err(|_| HttpError::new(404, format!("unknown cuisine {cuisine:?}")))?;
-            state
+            corpus
                 .snapshots
                 .get(&format!("/fig4/{}", id.code()))
                 .map(Response::json_shared)
@@ -234,19 +313,30 @@ fn healthz(state: &AppState) -> Response {
     doc.insert("status", Value::String("ok".into()));
     doc.insert("snapshot_version", Value::String(state.snapshots.version().to_string()));
     doc.insert("snapshots", Value::U64(state.snapshots.len() as u64));
+    doc.insert("corpora", Value::U64(state.registry.len() as u64));
     Response::json(200, serde_json::to_string(&Value::Object(doc)).unwrap_or_default())
 }
 
-fn index(state: &AppState) -> Response {
+/// The `/` document for the resolved corpus: its snapshot paths and
+/// version, plus the live endpoints shared by every corpus.
+fn index(corpus: &CorpusHandle) -> Response {
     let mut doc = Map::new();
     doc.insert("service", Value::String("cuisine-serve".into()));
-    doc.insert("snapshot_version", Value::String(state.snapshots.version().to_string()));
-    let mut endpoints: Vec<Value> = state
+    doc.insert("snapshot_version", Value::String(corpus.snapshots.version().to_string()));
+    let mut endpoints: Vec<Value> = corpus
         .snapshots
         .paths()
         .map(|p| Value::String(p.to_string()))
         .collect();
-    for live in ["/healthz", "/metrics", "/similarity?mode=category", "POST /evolve"] {
+    for live in [
+        "/healthz",
+        "/metrics",
+        "/similarity?mode=category",
+        "POST /evolve",
+        "GET /admin/corpora",
+        "POST /admin/corpora",
+        "DELETE /admin/corpora/{key}",
+    ] {
         endpoints.push(Value::String(live.to_string()));
     }
     doc.insert("endpoints", Value::Array(endpoints));
@@ -257,6 +347,7 @@ fn index(state: &AppState) -> Response {
 mod tests {
     use super::*;
     use crate::testutil::fresh_state as state;
+    use std::time::Duration;
 
     fn get(state: &AppState, path: &str) -> Response {
         let (method, path, query) = crate::http::parse_request_line(&format!(
@@ -264,6 +355,18 @@ mod tests {
         ))
         .unwrap();
         route(state, &Request { method, path, query, headers: vec![], body: vec![] })
+    }
+
+    fn send(state: &AppState, method: Method, path: &str, body: &[u8]) -> Response {
+        let (_, path, query) = crate::http::parse_request_line(&format!(
+            "GET {path} HTTP/1.1"
+        ))
+        .unwrap();
+        route(state, &Request { method, path, query, headers: vec![], body: body.to_vec() })
+    }
+
+    fn json(response: &Response) -> Value {
+        serde_json::from_str(std::str::from_utf8(&response.body).unwrap()).unwrap()
     }
 
     #[test]
@@ -350,6 +453,80 @@ mod tests {
         let index = get(&state, "/");
         assert_eq!(index.status, 200);
         assert!(String::from_utf8_lossy(&index.body).contains("/table1"));
+    }
+
+    #[test]
+    fn unknown_corpus_reads_are_404_json() {
+        let state = state();
+        for path in ["/table1?corpus=seed99-scale0.5-eclat", "/?corpus=seed99-scale0.5-eclat"] {
+            let response = get(&state, path);
+            assert_eq!(response.status, 404, "{path}");
+            let doc = json(&response);
+            let message = doc.as_object().unwrap().get("error").unwrap().as_str().unwrap();
+            assert!(message.contains("no corpus"), "{message}");
+        }
+        // /evolve resolves the corpus before touching the body.
+        let response = send(
+            &state,
+            Method::Post,
+            "/evolve?corpus=seed99-scale0.5-eclat",
+            br#"{"cuisine":"ITA","model":"NM"}"#,
+        );
+        assert_eq!(response.status, 404);
+    }
+
+    #[test]
+    fn admin_cycle_building_409_hot_swap_and_retire() {
+        let state = state();
+        // Defaults (seed/scale/miner) inherit from the default corpus spec.
+        let first = send(&state, Method::Post, "/admin/corpora", br#"{"cuisines":["ITA"]}"#);
+        assert_eq!(first.status, 202, "{}", String::from_utf8_lossy(&first.body));
+        let second = send(&state, Method::Post, "/admin/corpora", br#"{"cuisines":["FRA"]}"#);
+        assert_eq!(second.status, 202);
+
+        // The FRA build is queued behind ITA on the single builder, so it
+        // is still Building here: the error contract answers 409 with a
+        // retry hint.
+        let fra = "seed11-scale0.02-fpgrowth-FRA";
+        let blocked = get(&state, &format!("/table1?corpus={fra}"));
+        assert_eq!(blocked.status, 409, "{}", String::from_utf8_lossy(&blocked.body));
+        let hint = json(&blocked)
+            .as_object()
+            .unwrap()
+            .get("retry_after_ms")
+            .unwrap()
+            .as_u64()
+            .unwrap();
+        assert!(hint >= 100, "retry_after_ms={hint}");
+
+        assert!(state.registry.wait_ready(fra, Duration::from_secs(300)));
+        let ready = get(&state, &format!("/table1?corpus={fra}"));
+        assert_eq!(ready.status, 200);
+        let listed = send(&state, Method::Get, "/admin/corpora", b"");
+        assert_eq!(listed.status, 200);
+        assert!(String::from_utf8_lossy(&listed.body).contains(fra));
+
+        // Cached on repeat; a hot-swap bumps the epoch, so the post-swap
+        // read is a cache miss that still serves byte-identical bodies.
+        let (hits_before, _) = state.metrics.cache_counts();
+        let repeat = get(&state, &format!("/table1?corpus={fra}"));
+        assert_eq!(repeat.body, ready.body);
+        assert_eq!(state.metrics.cache_counts().0, hits_before + 1);
+        let swap = send(&state, Method::Post, "/admin/corpora", br#"{"cuisines":["FRA"]}"#);
+        assert_eq!(swap.status, 202);
+        assert!(state.registry.wait_ready(fra, Duration::from_secs(300)));
+        let (_, misses_before) = state.metrics.cache_counts();
+        let post_swap = get(&state, &format!("/table1?corpus={fra}"));
+        assert_eq!(post_swap.status, 200);
+        assert_eq!(post_swap.body, ready.body, "hot-swap must not change bytes");
+        assert_eq!(state.metrics.cache_counts().1, misses_before + 1, "epoch key must miss");
+
+        // Retire: reads 404 afterwards; the default corpus is protected.
+        let retired = send(&state, Method::Delete, &format!("/admin/corpora/{fra}"), b"");
+        assert_eq!(retired.status, 200);
+        assert_eq!(get(&state, &format!("/table1?corpus={fra}")).status, 404);
+        assert_eq!(send(&state, Method::Delete, "/admin/corpora/default", b"").status, 409);
+        assert_eq!(send(&state, Method::Delete, "/admin/corpora", b"").status, 405);
     }
 
     #[test]

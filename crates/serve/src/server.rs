@@ -564,7 +564,7 @@ fn drain_frames(conn: &mut Conn, ctx: &ShardCtx, progressed: &mut bool) {
                     Routed::Ready(response) => {
                         finish_response(conn, ctx, &response, close, started);
                     }
-                    Routed::Evolve(request) => match ctx.engine.submit(request) {
+                    Routed::Evolve(task) => match ctx.engine.submit(task) {
                         Submitted::Ready(response) => {
                             finish_response(conn, ctx, &response, close, started);
                         }

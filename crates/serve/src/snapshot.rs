@@ -134,6 +134,12 @@ impl SnapshotStore {
         self.entries.keys().map(String::as_str)
     }
 
+    /// Iterate `(path, body)` pairs in path order — the offline
+    /// byte-comparison primitive the hot-swap tests diff epochs with.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Arc<Vec<u8>>)> {
+        self.entries.iter().map(|(path, body)| (path.as_str(), body))
+    }
+
     /// Total bytes held across all bodies.
     pub fn total_bytes(&self) -> usize {
         self.entries.values().map(|b| b.len()).sum()

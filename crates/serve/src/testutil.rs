@@ -11,8 +11,10 @@ use std::sync::{Arc, OnceLock};
 
 use cuisine_core::{Experiment, PipelineConfig};
 use cuisine_evolution::{EnsembleConfig, EvaluationConfig, ModelKind};
+use cuisine_mining::Miner;
 use cuisine_synth::SynthConfig;
 
+use crate::registry::{CorpusSpec, RegistryConfig};
 use crate::router::AppState;
 use crate::snapshot::SnapshotStore;
 
@@ -44,10 +46,23 @@ pub fn fixture() -> &'static (Arc<Experiment>, Arc<SnapshotStore>) {
     })
 }
 
-/// A fresh [`AppState`] (own LRU + metrics) over the shared fixture.
+/// The registry spec matching the fixture build — the default corpus is
+/// rebuildable and registrations can inherit its fields.
+pub fn fixture_spec() -> CorpusSpec {
+    CorpusSpec { seed: 11, scale: 0.02, miner: Miner::FpGrowth, cuisines: None }
+}
+
+/// A fresh [`AppState`] (own LRU, registry, and metrics) over the shared
+/// fixture, with the default corpus registered under the fixture spec's
+/// canonical key (`seed11-scale0.02-fpgrowth`).
 pub fn fresh_state() -> AppState {
     let (experiment, store) = fixture();
-    AppState::with_shared(Arc::clone(experiment), Arc::clone(store), 32)
+    AppState::with_registry(
+        Arc::clone(experiment),
+        Arc::clone(store),
+        32,
+        RegistryConfig { default_spec: Some(fixture_spec()), ..Default::default() },
+    )
 }
 
 /// [`fresh_state`] pre-wrapped in the `Arc` the

@@ -68,7 +68,7 @@ proptest! {
     fn request_line_parser_never_panics(line in "[ -~]{0,120}") {
         match parse_request_line(&line) {
             Ok((method, path, _query)) => {
-                prop_assert!(matches!(method, Method::Get | Method::Post));
+                prop_assert!(matches!(method, Method::Get | Method::Post | Method::Delete));
                 prop_assert!(path.starts_with('/'));
             }
             Err(e) => prop_assert!(
