@@ -95,6 +95,29 @@ AFTER=$(./target/release/loadgen --addr 127.0.0.1:7893 \
 if [[ "$BASELINE" != "$AFTER" ]]; then
     echo "FAIL: default corpus bytes changed across the admin cycle"; exit 1
 fi
+
+echo "==> chaos smoke (fault plan fires under load, byte-identical recovery)"
+# Delay + short-write only: both perturb timing and flush chunking without
+# changing a single served byte, so loadgen must still exit 0.
+./target/release/loadgen --addr 127.0.0.1:7893 \
+    --request 'POST /admin/faults' \
+    --body '{"spec":"seed=7;evolve.compute=delay:5@1in:4;conn.write=short-write@1in:3"}' \
+    >/dev/null
+./target/release/loadgen --addr 127.0.0.1:7893 --clients 4 --requests 25 \
+    --evolve --keep-alive --retry --deadline-ms 10000 \
+    --workload chaos-smoke >/dev/null 2>&1
+METRICS=$(./target/release/loadgen --addr 127.0.0.1:7893 --dump-metrics)
+echo "chaos metrics: $METRICS"
+if ! echo "$METRICS" | grep -q '"fault_firings":[1-9]'; then
+    echo "FAIL: fault plan installed but never fired under load"; exit 1
+fi
+./target/release/loadgen --addr 127.0.0.1:7893 \
+    --request 'POST /admin/faults' --body '{"clear":true}' >/dev/null
+RECOVERED=$(./target/release/loadgen --addr 127.0.0.1:7893 \
+    --request 'GET /table1')
+if [[ "$BASELINE" != "$RECOVERED" ]]; then
+    echo "FAIL: served bytes changed across the fault cycle"; exit 1
+fi
 kill "$SERVE_PID" 2>/dev/null || true
 trap - EXIT
 

@@ -1,0 +1,484 @@
+//! Deterministic fault-injection plane.
+//!
+//! Robustness claims are only as good as the failures they were tested
+//! against, and ad-hoc failure testing (pulling cables, killing processes)
+//! is neither reproducible nor CI-friendly. This module provides a
+//! **seeded, clock-free** fault plan: named injection points in the serve
+//! stack consult an installed [`FaultPlan`] and receive an action to
+//! perform (fail, panic, delay, short-write) on a schedule that is a pure
+//! function of `(seed, point, occurrence index)` — the same plan against
+//! the same request sequence fires the same faults, every run.
+//!
+//! Design constraints:
+//!
+//! * **Zero-cost when unconfigured.** Every hook goes through
+//!   [`Faults::fire`], whose fast path is one relaxed atomic load of an
+//!   `enabled` flag. A server that never installs a plan pays nothing
+//!   else.
+//! * **Clock-free determinism.** Schedules count *occurrences*, never
+//!   wall time; the probabilistic schedule (`1in:K`) hashes the
+//!   occurrence index with a splitmix64 finalizer instead of sampling an
+//!   RNG, so there is no hidden mutable state and no ordering sensitivity
+//!   between points.
+//! * **Hot-swappable.** Plans install and clear atomically behind a
+//!   mutex-guarded `Arc` (the `POST /admin/faults` endpoint swaps plans on
+//!   a live server); firing counters live inside the plan so `/metrics`
+//!   can report exactly what fired.
+//!
+//! The spec grammar (accepted by `serve --faults` and `POST
+//! /admin/faults`) is a `;`-separated list of entries:
+//!
+//! ```text
+//! seed=42;evolve.compute=delay:20@1in:64;registry.build=fail;conn.write=short-write@nth:3
+//! ```
+//!
+//! Each entry is `point=action[@schedule]` where *action* is `fail`,
+//! `panic`, `delay:MS`, or `short-write`, and *schedule* is `always`
+//! (default), `nth:N` (fire exactly on the Nth occurrence, 1-based), or
+//! `1in:K` (fire on a deterministic pseudo-random 1-in-K subset of
+//! occurrences). The optional `seed=N` entry perturbs the `1in:K` hash.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The injection points the serve stack consults. Specs naming any other
+/// point are rejected at parse time so typos fail loudly.
+pub const FAULT_POINTS: &[&str] = &[
+    "registry.build",
+    "evolve.compute",
+    "pool.dispatch",
+    "conn.read",
+    "conn.write",
+    "snapshot.serialize",
+];
+
+/// What an injection point should do when its schedule fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Fail the operation with an injected error (the hook decides what
+    /// "error" means locally: a failed build, a dropped job, an I/O error).
+    Fail,
+    /// Panic with an `injected fault` payload; exercises `catch_unwind`
+    /// containment and panic-message capture.
+    Panic,
+    /// Sleep for the given number of milliseconds before proceeding. A
+    /// sleep is not a clock *read*, so delays stay inside the workspace
+    /// determinism contract (rule D2 bans wall-clock reads, not waits).
+    DelayMs(u64),
+    /// For write-path hooks: write only a prefix of the buffer this round,
+    /// forcing the caller's partial-write handling to resume. Non-write
+    /// hooks treat it like [`FaultAction::Fail`].
+    ShortWrite,
+}
+
+impl FaultAction {
+    /// Apply the action at a compute-shaped (non-I/O) hook: sleep on
+    /// [`FaultAction::DelayMs`], panic on [`FaultAction::Panic`] (the
+    /// caller's `catch_unwind` is expected to contain it), and report
+    /// [`FaultAction::Fail`] / [`FaultAction::ShortWrite`] as an injected
+    /// error the caller turns into its local failure mode.
+    pub fn apply(self, point: &str) -> Result<(), String> {
+        match self {
+            FaultAction::DelayMs(ms) => {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+                Ok(())
+            }
+            FaultAction::Panic => panic!("injected fault: {point} panic"),
+            FaultAction::Fail | FaultAction::ShortWrite => {
+                Err(format!("injected fault: {point} fail"))
+            }
+        }
+    }
+}
+
+/// When an injection point's action fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Schedule {
+    /// Every occurrence.
+    Always,
+    /// Exactly the Nth occurrence (1-based), once.
+    Nth(u64),
+    /// A deterministic pseudo-random 1-in-K subset of occurrences.
+    OneIn(u64),
+}
+
+/// One point's configured action, schedule, and firing counters.
+#[derive(Debug)]
+struct PointPlan {
+    action: FaultAction,
+    schedule: Schedule,
+    occurrences: AtomicU64,
+    fired: AtomicU64,
+}
+
+/// Occurrence/firing counters for one injection point, as reported by
+/// [`FaultPlan::counts`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultCount {
+    /// The injection point name.
+    pub point: String,
+    /// Times the point was consulted while this plan was installed.
+    pub occurrences: u64,
+    /// Times the schedule fired and the action was returned.
+    pub fired: u64,
+}
+
+/// A parsed, seeded fault plan: per-point actions, schedules, and firing
+/// counters. Immutable after parse apart from the counters.
+#[derive(Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    spec: String,
+    points: BTreeMap<String, PointPlan>,
+}
+
+impl FaultPlan {
+    /// Parse a spec string (see the [module docs](self) for the grammar).
+    ///
+    /// Errors name the offending entry; an empty spec is an error (clearing
+    /// a live plan is the *caller's* concern — e.g. `{"clear": true}` on
+    /// the admin endpoint — not an empty plan).
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut seed = 0u64;
+        let mut points = BTreeMap::new();
+        let mut saw_entry = false;
+        for raw in spec.split(';') {
+            let entry = raw.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            saw_entry = true;
+            let Some((key, value)) = entry.split_once('=') else {
+                return Err(format!("fault entry {entry:?} is not `point=action` or `seed=N`"));
+            };
+            let (key, value) = (key.trim(), value.trim());
+            if key == "seed" {
+                seed = value
+                    .parse::<u64>()
+                    .map_err(|_| format!("fault seed {value:?} is not a u64"))?;
+                continue;
+            }
+            if !FAULT_POINTS.contains(&key) {
+                return Err(format!(
+                    "unknown fault point {key:?} (known: {})",
+                    FAULT_POINTS.join(", ")
+                ));
+            }
+            let (action_str, sched_str) = match value.split_once('@') {
+                Some((a, s)) => (a.trim(), Some(s.trim())),
+                None => (value, None),
+            };
+            let action = parse_action(action_str)?;
+            let schedule = match sched_str {
+                None => Schedule::Always,
+                Some(s) => parse_schedule(s)?,
+            };
+            if points
+                .insert(
+                    key.to_string(),
+                    PointPlan {
+                        action,
+                        schedule,
+                        occurrences: AtomicU64::new(0),
+                        fired: AtomicU64::new(0),
+                    },
+                )
+                .is_some()
+            {
+                return Err(format!("fault point {key:?} configured twice"));
+            }
+        }
+        if !saw_entry {
+            return Err("empty fault spec".to_string());
+        }
+        if points.is_empty() {
+            return Err("fault spec sets a seed but configures no points".to_string());
+        }
+        Ok(FaultPlan { seed, spec: spec.to_string(), points })
+    }
+
+    /// The spec string this plan was parsed from.
+    pub fn spec(&self) -> &str {
+        &self.spec
+    }
+
+    /// The seed perturbing the `1in:K` schedules.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Consult the plan at an injection point: bump its occurrence counter
+    /// and return the configured action if the schedule fires.
+    pub fn check(&self, point: &str) -> Option<FaultAction> {
+        let plan = self.points.get(point)?;
+        let occurrence = plan.occurrences.fetch_add(1, Ordering::Relaxed) + 1;
+        let fires = match plan.schedule {
+            Schedule::Always => true,
+            Schedule::Nth(n) => occurrence == n,
+            Schedule::OneIn(k) => {
+                splitmix64(self.seed ^ fnv1a(point) ^ occurrence).is_multiple_of(k.max(1))
+            }
+        };
+        if fires {
+            plan.fired.fetch_add(1, Ordering::Relaxed);
+            Some(plan.action)
+        } else {
+            None
+        }
+    }
+
+    /// Per-point occurrence/firing counters, in point-name order.
+    pub fn counts(&self) -> Vec<FaultCount> {
+        self.points
+            .iter()
+            .map(|(point, plan)| FaultCount {
+                point: point.clone(),
+                occurrences: plan.occurrences.load(Ordering::Relaxed),
+                fired: plan.fired.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    /// Total firings across every point.
+    pub fn total_fired(&self) -> u64 {
+        self.points
+            .values()
+            .map(|plan| plan.fired.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+fn parse_action(s: &str) -> Result<FaultAction, String> {
+    match s {
+        "fail" => Ok(FaultAction::Fail),
+        "panic" => Ok(FaultAction::Panic),
+        "short-write" => Ok(FaultAction::ShortWrite),
+        _ => match s.strip_prefix("delay:") {
+            Some(ms) => ms
+                .trim()
+                .parse::<u64>()
+                .map(FaultAction::DelayMs)
+                .map_err(|_| format!("delay milliseconds {ms:?} is not a u64")),
+            None => Err(format!(
+                "unknown fault action {s:?} (known: fail, panic, delay:MS, short-write)"
+            )),
+        },
+    }
+}
+
+fn parse_schedule(s: &str) -> Result<Schedule, String> {
+    if s == "always" {
+        return Ok(Schedule::Always);
+    }
+    if let Some(n) = s.strip_prefix("nth:") {
+        let n = n
+            .trim()
+            .parse::<u64>()
+            .map_err(|_| format!("nth occurrence {n:?} is not a u64"))?;
+        if n == 0 {
+            return Err("nth schedule is 1-based; nth:0 never fires".to_string());
+        }
+        return Ok(Schedule::Nth(n));
+    }
+    if let Some(k) = s.strip_prefix("1in:") {
+        let k = k
+            .trim()
+            .parse::<u64>()
+            .map_err(|_| format!("1-in-K divisor {k:?} is not a u64"))?;
+        if k == 0 {
+            return Err("1in schedule divisor must be >= 1".to_string());
+        }
+        return Ok(Schedule::OneIn(k));
+    }
+    Err(format!("unknown fault schedule {s:?} (known: always, nth:N, 1in:K)"))
+}
+
+/// splitmix64 finalizer: a well-mixed pure function of its input, used to
+/// turn `(seed, point, occurrence)` into a stable pseudo-random stream
+/// without any RNG state.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over the point name, so distinct points draw from decorrelated
+/// hash streams under the same seed.
+fn fnv1a(s: &str) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for byte in s.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// The hot-swappable handle injection points consult.
+///
+/// One `Arc<Faults>` is shared by the server, router, registry, and evolve
+/// engine; [`Faults::install`] / [`Faults::clear`] swap the active plan
+/// atomically. With no plan installed, [`Faults::fire`] is a single
+/// relaxed atomic load.
+#[derive(Debug, Default)]
+pub struct Faults {
+    enabled: AtomicBool,
+    plan: Mutex<Option<Arc<FaultPlan>>>,
+}
+
+impl Faults {
+    /// A handle with no plan installed (every `fire` is a no-op).
+    pub fn new() -> Faults {
+        Faults::default()
+    }
+
+    /// Install a plan, replacing any previous one (counters restart).
+    pub fn install(&self, plan: FaultPlan) {
+        let mut slot = match self.plan.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        *slot = Some(Arc::new(plan));
+        self.enabled.store(true, Ordering::Release);
+    }
+
+    /// Remove the active plan; subsequent `fire` calls are no-ops again.
+    pub fn clear(&self) {
+        self.enabled.store(false, Ordering::Release);
+        let mut slot = match self.plan.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        *slot = None;
+    }
+
+    /// The active plan, if any (for `/metrics` and admin reporting).
+    pub fn plan(&self) -> Option<Arc<FaultPlan>> {
+        if !self.enabled.load(Ordering::Acquire) {
+            return None;
+        }
+        match self.plan.lock() {
+            Ok(guard) => guard.clone(),
+            Err(poisoned) => poisoned.into_inner().clone(),
+        }
+    }
+
+    /// Consult the active plan at an injection point. The no-plan fast
+    /// path is one relaxed load.
+    pub fn fire(&self, point: &str) -> Option<FaultAction> {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return None;
+        }
+        self.plan()?.check(point)
+    }
+}
+
+/// Render a `catch_unwind` payload as the human-readable panic message
+/// (`&str` and `String` payloads; anything else gets a placeholder).
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_grammar() {
+        let plan = FaultPlan::parse(
+            "seed=42; evolve.compute=delay:20@1in:64; registry.build=fail; \
+             conn.write=short-write@nth:3; pool.dispatch=panic@always",
+        )
+        .unwrap();
+        assert_eq!(plan.seed(), 42);
+        assert_eq!(plan.counts().len(), 4);
+        assert_eq!(plan.check("registry.build"), Some(FaultAction::Fail));
+        assert_eq!(plan.check("pool.dispatch"), Some(FaultAction::Panic));
+        // Unconfigured-but-known point: consulted, never fires.
+        assert_eq!(plan.check("conn.read"), None);
+    }
+
+    #[test]
+    fn rejects_bad_specs() {
+        for bad in [
+            "",
+            "  ;  ",
+            "seed=1",
+            "bogus.point=fail",
+            "evolve.compute=explode",
+            "evolve.compute=delay:abc",
+            "evolve.compute=fail@sometimes",
+            "evolve.compute=fail@nth:0",
+            "evolve.compute=fail@1in:0",
+            "evolve.compute",
+            "seed=notanumber;evolve.compute=fail",
+            "evolve.compute=fail;evolve.compute=panic",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "spec {bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn nth_fires_exactly_once() {
+        let plan = FaultPlan::parse("conn.write=short-write@nth:3").unwrap();
+        let fired: Vec<bool> = (0..6).map(|_| plan.check("conn.write").is_some()).collect();
+        assert_eq!(fired, vec![false, false, true, false, false, false]);
+        let counts = plan.counts();
+        assert_eq!(counts[0].occurrences, 6);
+        assert_eq!(counts[0].fired, 1);
+    }
+
+    #[test]
+    fn one_in_k_is_seed_deterministic() {
+        let run = |seed: u64| {
+            let plan = FaultPlan::parse(&format!("seed={seed};evolve.compute=fail@1in:4")).unwrap();
+            (0..256).map(|_| plan.check("evolve.compute").is_some()).collect::<Vec<bool>>()
+        };
+        let a = run(7);
+        let b = run(7);
+        assert_eq!(a, b, "same seed must fire identically");
+        let fired = a.iter().filter(|f| **f).count();
+        // ~64 expected out of 256; accept a wide deterministic band.
+        assert!((16..=112).contains(&fired), "1in:4 fired {fired}/256");
+        let c = run(8);
+        assert_ne!(a, c, "different seeds should differ somewhere in 256 draws");
+    }
+
+    #[test]
+    fn handle_is_noop_until_installed_and_after_clear() {
+        let faults = Faults::new();
+        assert_eq!(faults.fire("evolve.compute"), None);
+        assert!(faults.plan().is_none());
+        faults.install(FaultPlan::parse("evolve.compute=delay:5").unwrap());
+        assert_eq!(faults.fire("evolve.compute"), Some(FaultAction::DelayMs(5)));
+        assert_eq!(faults.plan().map(|p| p.total_fired()), Some(1));
+        faults.clear();
+        assert_eq!(faults.fire("evolve.compute"), None);
+        assert!(faults.plan().is_none());
+    }
+
+    #[test]
+    fn install_replaces_plan_and_counters() {
+        let faults = Faults::new();
+        faults.install(FaultPlan::parse("conn.read=fail").unwrap());
+        assert!(faults.fire("conn.read").is_some());
+        faults.install(FaultPlan::parse("conn.read=fail@nth:2").unwrap());
+        assert_eq!(faults.fire("conn.read"), None, "fresh plan restarts occurrence counting");
+        assert_eq!(faults.fire("conn.read"), Some(FaultAction::Fail));
+    }
+
+    #[test]
+    fn panic_message_extracts_payloads() {
+        let caught = std::panic::catch_unwind(|| panic!("boom {}", 1)).unwrap_err();
+        assert_eq!(panic_message(caught.as_ref()), "boom 1");
+        let caught = std::panic::catch_unwind(|| panic!("static boom")).unwrap_err();
+        assert_eq!(panic_message(caught.as_ref()), "static boom");
+    }
+}

@@ -27,9 +27,11 @@
 
 #![forbid(unsafe_code)]
 
+pub mod faults;
 pub mod flight;
 pub mod pool;
 
+pub use faults::{panic_message, FaultAction, FaultCount, FaultPlan, Faults, FAULT_POINTS};
 pub use flight::Flight;
 pub use pool::{PoolFull, WorkerPool};
 

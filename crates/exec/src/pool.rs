@@ -27,11 +27,12 @@
 //! caught so it cannot silently remove a worker from the pool.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
+use crate::faults::{panic_message, FaultAction, Faults};
 use crate::resolve_threads;
 
 /// Error returned by [`WorkerPool::try_execute`] when the submission queue
@@ -61,6 +62,16 @@ pub struct WorkerPool<T: Send + 'static> {
     tx: Option<SyncSender<T>>,
     workers: Vec<JoinHandle<()>>,
     depth: Arc<AtomicUsize>,
+    panics: Arc<PanicLog>,
+}
+
+/// Panic bookkeeping shared by a pool's workers: a containment count plus
+/// the most recent payload message, so operators see *why* jobs died
+/// instead of a silently shrinking throughput.
+#[derive(Debug, Default)]
+struct PanicLog {
+    count: AtomicU64,
+    last: Mutex<Option<String>>,
 }
 
 impl<T: Send + 'static> WorkerPool<T> {
@@ -75,28 +86,67 @@ impl<T: Send + 'static> WorkerPool<T> {
     where
         H: Fn(T) + Send + Sync + 'static,
     {
+        Self::with_faults(threads, queue_capacity, None, handler)
+    }
+
+    /// [`WorkerPool::new`] with a fault-injection hook: before each job,
+    /// the worker consults `faults` at the `pool.dispatch` point. A delay
+    /// action sleeps; fail/panic/short-write actions panic *inside* the
+    /// per-job `catch_unwind`, which models a lost dispatch — the job is
+    /// dropped (whatever completion it owed never happens), the worker
+    /// survives, and the panic is recorded like any handler panic. Callers
+    /// that coalesce on a [`Flight`](crate::Flight) must therefore bound
+    /// their waits (the serve layer's request deadlines do exactly this).
+    pub fn with_faults<H>(
+        threads: Option<usize>,
+        queue_capacity: usize,
+        faults: Option<Arc<Faults>>,
+        handler: H,
+    ) -> Self
+    where
+        H: Fn(T) + Send + Sync + 'static,
+    {
         let workers = resolve_threads(threads, usize::MAX);
         let (tx, rx) = sync_channel::<T>(queue_capacity.max(1));
         let rx = Arc::new(Mutex::new(rx));
         let handler = Arc::new(handler);
         let depth = Arc::new(AtomicUsize::new(0));
+        let panics = Arc::new(PanicLog::default());
         let handles = (0..workers)
             .map(|i| {
                 let rx = Arc::clone(&rx);
                 let handler = Arc::clone(&handler);
                 let depth = Arc::clone(&depth);
+                let panics = Arc::clone(&panics);
+                let faults = faults.clone();
                 std::thread::Builder::new()
                     .name(format!("pool-worker-{i}"))
-                    .spawn(move || worker_loop(&rx, handler.as_ref(), &depth))
+                    .spawn(move || {
+                        worker_loop(&rx, handler.as_ref(), &depth, &panics, faults.as_deref())
+                    })
                     .expect("spawn pool worker")
             })
             .collect();
-        WorkerPool { tx: Some(tx), workers: handles, depth }
+        WorkerPool { tx: Some(tx), workers: handles, depth, panics }
     }
 
     /// Number of worker threads.
     pub fn workers(&self) -> usize {
         self.workers.len()
+    }
+
+    /// Handler panics contained by the per-job `catch_unwind` (including
+    /// injected `pool.dispatch` faults).
+    pub fn worker_panics(&self) -> u64 {
+        self.panics.count.load(Ordering::Relaxed)
+    }
+
+    /// The most recent contained panic's payload message, if any.
+    pub fn last_panic(&self) -> Option<String> {
+        match self.panics.last.lock() {
+            Ok(guard) => guard.clone(),
+            Err(poisoned) => poisoned.into_inner().clone(),
+        }
     }
 
     /// Jobs submitted but not yet finished (queued + running).
@@ -156,7 +206,13 @@ impl<T: Send + 'static> Drop for WorkerPool<T> {
     }
 }
 
-fn worker_loop<T, H: Fn(T)>(rx: &Mutex<Receiver<T>>, handler: &H, depth: &AtomicUsize) {
+fn worker_loop<T, H: Fn(T)>(
+    rx: &Mutex<Receiver<T>>,
+    handler: &H,
+    depth: &AtomicUsize,
+    panics: &PanicLog,
+    faults: Option<&Faults>,
+) {
     loop {
         // Hold the lock only while receiving, never while running the job.
         let job = match rx.lock() {
@@ -165,9 +221,29 @@ fn worker_loop<T, H: Fn(T)>(rx: &Mutex<Receiver<T>>, handler: &H, depth: &Atomic
         };
         match job {
             Ok(job) => {
+                let fault = faults.and_then(|f| f.fire("pool.dispatch"));
                 // A panicking handler must not take the worker down with
-                // it — the pool would silently lose capacity.
-                let _ = catch_unwind(AssertUnwindSafe(|| handler(job)));
+                // it — the pool would silently lose capacity. The payload
+                // is captured so the loss is observable, not silent.
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    match fault {
+                        Some(FaultAction::DelayMs(ms)) => {
+                            std::thread::sleep(std::time::Duration::from_millis(ms));
+                        }
+                        Some(_) => panic!("injected fault: pool.dispatch"),
+                        None => {}
+                    }
+                    handler(job)
+                }));
+                if let Err(payload) = result {
+                    panics.count.fetch_add(1, Ordering::Relaxed);
+                    let message = panic_message(payload.as_ref());
+                    let mut last = match panics.last.lock() {
+                        Ok(guard) => guard,
+                        Err(poisoned) => poisoned.into_inner(),
+                    };
+                    *last = Some(message);
+                }
                 depth.fetch_sub(1, Ordering::AcqRel);
             }
             Err(_) => return, // channel closed and drained: shutdown
@@ -248,6 +324,46 @@ mod tests {
         }
         pool.shutdown();
         assert_eq!(done.load(Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn panic_payloads_are_captured_not_discarded() {
+        let pool = WorkerPool::new(Some(1), 16, move |n: usize| {
+            if n == 0 {
+                panic!("boom on job {n}");
+            }
+        });
+        pool.execute(0).unwrap();
+        pool.execute(1).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while pool.depth() != 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(pool.worker_panics(), 1);
+        assert_eq!(pool.last_panic().as_deref(), Some("boom on job 0"));
+        pool.shutdown();
+    }
+
+    #[test]
+    fn dispatch_fault_drops_job_but_not_worker() {
+        use crate::faults::{FaultPlan, Faults};
+        let faults = Arc::new(Faults::new());
+        faults.install(FaultPlan::parse("pool.dispatch=fail@nth:1").unwrap());
+        let done = Arc::new(AtomicUsize::new(0));
+        let pool = {
+            let done = Arc::clone(&done);
+            WorkerPool::with_faults(Some(1), 16, Some(Arc::clone(&faults)), move |_: usize| {
+                done.fetch_add(1, Ordering::SeqCst);
+            })
+        };
+        for n in 0..4 {
+            pool.execute(n).unwrap();
+        }
+        pool.shutdown();
+        // Job 0 was dropped by the injected dispatch fault; 1..3 ran.
+        assert_eq!(done.load(Ordering::SeqCst), 3);
+        let plan = faults.plan().expect("plan installed");
+        assert_eq!(plan.total_fired(), 1);
     }
 
     #[test]

@@ -44,11 +44,20 @@ impl Rule for HashIteration {
         match context.krate.as_deref() {
             Some(name) if ARTIFACT_CRATES.contains(&name) => context.section == Section::Src,
             // The serve snapshot store and the corpus registry serialize
-            // every artifact / admin listing; the rest of serve (LRU keys,
-            // router tables) never exposes hash order.
+            // every artifact / admin listing, and the deadline helpers feed
+            // serialized 504 bodies; the rest of serve (LRU keys, router
+            // tables) never exposes hash order.
             Some("serve") => {
                 context.section == Section::Src
-                    && matches!(context.file_name.as_str(), "snapshot.rs" | "registry.rs")
+                    && matches!(
+                        context.file_name.as_str(),
+                        "snapshot.rs" | "registry.rs" | "deadline.rs"
+                    )
+            }
+            // The fault plane serializes per-point firing counts into the
+            // `/admin/faults` listing; its containers must be ordered.
+            Some("exec") => {
+                context.section == Section::Src && context.file_name.as_str() == "faults.rs"
             }
             _ => false,
         }

@@ -94,10 +94,16 @@ fn d1_scopes_to_artifact_crates_only() {
     assert!(fired("crates/mining/src/x.rs", src).contains(&"D1"));
     assert!(fired("crates/serve/src/snapshot.rs", src).contains(&"D1"));
     assert!(fired("crates/serve/src/registry.rs", src).contains(&"D1"));
+    assert!(fired("crates/serve/src/deadline.rs", src).contains(&"D1"));
+    assert!(fired("crates/exec/src/faults.rs", src).contains(&"D1"));
     assert!(fired("crates/bench/src/x.rs", src).is_empty(), "bench is not artifact-producing");
     assert!(
         fired("crates/serve/src/router.rs", src).is_empty(),
-        "serve outside snapshot.rs/registry.rs"
+        "serve outside snapshot.rs/registry.rs/deadline.rs"
+    );
+    assert!(
+        fired("crates/exec/src/pool.rs", src).is_empty(),
+        "exec outside faults.rs"
     );
     assert!(fired("crates/mining/tests/x.rs", src).is_empty(), "tests are out of scope");
 }

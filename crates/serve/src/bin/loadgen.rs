@@ -27,6 +27,12 @@
 //! summary goes to stderr) for collection into `BENCH_serve.json`.
 //! Methodology notes live in EXPERIMENTS.md.
 //!
+//! `--deadline-ms N` stamps `X-Deadline-Ms: N` on every request (implies
+//! `--keep-alive`) so runs against a faulted server exercise the 504
+//! path. `--retry` turns each request into a bounded retrying roundtrip
+//! (seeded backoff, honoring `retry_after_ms` hints; implies
+//! `--keep-alive`, incompatible with pipelining).
+//!
 //! `--request "METHOD /path"` (with optional `--body JSON`) is a one-shot
 //! admin mode: perform the single request, print the response body to
 //! stdout, and exit 0 on a 2xx — how `ci.sh` drives the admin API without
@@ -41,8 +47,8 @@ use serde::{Map, Value};
 
 const USAGE: &str = "loadgen --addr HOST:PORT [--clients N] [--requests N] \
 [--path /p1,/p2] [--corpus KEY1,KEY2] [--evolve] [--keep-alive] \
-[--pipeline-depth N] [--json] [--workload NAME] [--dump-metrics] \
-[--request 'METHOD /path' [--body JSON]]";
+[--pipeline-depth N] [--deadline-ms N] [--retry] [--json] \
+[--workload NAME] [--dump-metrics] [--request 'METHOD /path' [--body JSON]]";
 
 const EVOLVE_BODY: &str = r#"{"cuisine":"ITA","model":"CM-R","seed":7,"replicates":4}"#;
 
@@ -124,6 +130,7 @@ fn main() {
             "--path",
             "--corpus",
             "--pipeline-depth",
+            "--deadline-ms",
             "--workload",
             "--request",
             "--body",
@@ -132,9 +139,13 @@ fn main() {
     );
     let with_evolve = opts.has_flag("--evolve");
     let json_out = opts.has_flag("--json");
+    let retry = opts.has_flag("--retry");
     let mut keep_alive = opts.has_flag("--keep-alive");
     if let Some(unknown) = opts.flags.iter().find(|f| {
-        !matches!(f.as_str(), "--evolve" | "--keep-alive" | "--json" | "--dump-metrics")
+        !matches!(
+            f.as_str(),
+            "--evolve" | "--keep-alive" | "--retry" | "--json" | "--dump-metrics"
+        )
     }) {
         exit_usage(&format!("unrecognized flag {unknown:?}"));
     }
@@ -199,6 +210,16 @@ fn main() {
     if depth > 1 {
         keep_alive = true; // pipelining only exists on a persistent connection
     }
+    let deadline_ms = match extra_value::<u64>(&extra, "--deadline-ms", 0) {
+        0 => None,
+        ms => Some(ms),
+    };
+    if retry && depth > 1 {
+        exit_usage("--retry waits out each response and cannot be pipelined");
+    }
+    if retry || deadline_ms.is_some() {
+        keep_alive = true; // both ride the persistent-connection client
+    }
     let paths: Vec<String> = extra_value::<String>(&extra, "--path", "/table1".into())
         .split(',')
         .map(str::to_string)
@@ -220,11 +241,13 @@ fn main() {
 
     eprintln!(
         "loadgen: {clients} clients x {requests} requests over {:?}{} against {addr} \
-({}, pipeline depth {depth}, {} corpora)",
+({}, pipeline depth {depth}, {} corpora{}{})",
         mix.paths,
         if with_evolve { " + POST /evolve" } else { "" },
         if keep_alive { "keep-alive" } else { "connection-per-request" },
         corpora.len().max(1),
+        deadline_ms.map_or(String::new(), |ms| format!(", deadline {ms}ms")),
+        if retry { ", retrying" } else { "" },
     );
 
     let wall = Instant::now();
@@ -233,7 +256,23 @@ fn main() {
     let per_client: Vec<Vec<(Duration, u16)>> =
         cuisine_exec::par_map_range(clients, Some(clients), |client_index| {
             if keep_alive {
-                run_keep_alive(addr, &mix, client_index, clients, requests, depth, timeout)
+                // Seed each client's backoff jitter by its index so the
+                // whole run is reproducible yet clients don't thunder.
+                let policy = retry.then(|| client::RetryPolicy {
+                    seed: client_index as u64,
+                    ..client::RetryPolicy::default()
+                });
+                run_keep_alive(
+                    addr,
+                    &mix,
+                    client_index,
+                    clients,
+                    requests,
+                    depth,
+                    timeout,
+                    deadline_ms,
+                    policy,
+                )
             } else {
                 run_per_request(addr, &mix, client_index, clients, requests, timeout)
             }
@@ -244,12 +283,15 @@ fn main() {
     let mut ok = 0usize;
     let mut shed = 0usize;
     let mut errors = 0usize;
+    // Per-status counts (status 0 = transport error), ordered by code.
+    let mut by_status: std::collections::BTreeMap<u16, u64> = std::collections::BTreeMap::new();
     for (latency, status) in per_client.into_iter().flatten() {
         match status {
             s if (200..300).contains(&s) => ok += 1,
             503 => shed += 1,
             _ => errors += 1,
         }
+        *by_status.entry(status).or_insert(0) += 1;
         latencies.push(latency);
     }
     latencies.sort();
@@ -259,6 +301,17 @@ fn main() {
     let throughput = total as f64 / elapsed.as_secs_f64();
 
     eprintln!("requests:    {total} ({ok} ok, {shed} shed/503, {errors} errors)");
+    let breakdown: Vec<String> = by_status
+        .iter()
+        .map(|(status, count)| {
+            if *status == 0 {
+                format!("transport-error={count}")
+            } else {
+                format!("{status}={count}")
+            }
+        })
+        .collect();
+    eprintln!("by status:   {}", breakdown.join("  "));
     eprintln!("wall time:   {elapsed:.2?}");
     eprintln!("throughput:  {throughput:.0} req/s");
     eprintln!(
@@ -283,6 +336,17 @@ fn main() {
         entry.insert("ok", Value::U64(ok as u64));
         entry.insert("shed", Value::U64(shed as u64));
         entry.insert("errors", Value::U64(errors as u64));
+        let mut statuses = Map::new();
+        for (status, count) in &by_status {
+            let key = if *status == 0 { "transport_error".to_string() } else { status.to_string() };
+            statuses.insert(&key, Value::U64(*count));
+        }
+        entry.insert("status_counts", Value::Object(statuses));
+        entry.insert("retry", Value::Bool(retry));
+        match deadline_ms {
+            Some(ms) => entry.insert("deadline_ms", Value::U64(ms)),
+            None => entry.insert("deadline_ms", Value::Null),
+        };
         entry.insert("wall_ms", Value::F64(elapsed.as_secs_f64() * 1000.0));
         entry.insert("throughput_rps", Value::F64(throughput));
         entry.insert("mean_us", us(mean));
@@ -325,7 +389,10 @@ fn run_per_request(
 
 /// Keep-alive model: one persistent connection per client, optionally
 /// pipelined `depth` requests at a time. A transport error fails the
-/// whole outstanding batch and forces a reconnect.
+/// whole outstanding batch and forces a reconnect. With a retry policy
+/// (depth 1 only) each slot becomes a bounded retrying roundtrip; with a
+/// deadline every request carries `X-Deadline-Ms`.
+#[allow(clippy::too_many_arguments)]
 fn run_keep_alive(
     addr: SocketAddr,
     mix: &Mix,
@@ -334,6 +401,8 @@ fn run_keep_alive(
     requests: usize,
     depth: usize,
     timeout: Duration,
+    deadline_ms: Option<u64>,
+    policy: Option<client::RetryPolicy>,
 ) -> Vec<(Duration, u16)> {
     let mut samples = Vec::with_capacity(requests);
     let mut conn: Option<client::Connection> = None;
@@ -343,6 +412,9 @@ fn run_keep_alive(
         let started = Instant::now();
         if conn.is_none() {
             conn = client::Connection::open(addr, timeout).ok();
+            if let Some(live) = conn.as_mut() {
+                live.set_deadline_ms(deadline_ms);
+            }
         }
         let Some(live) = conn.as_mut() else {
             for _ in 0..batch {
@@ -351,6 +423,25 @@ fn run_keep_alive(
             i += batch;
             continue;
         };
+        if let Some(policy) = &policy {
+            // Retry mode: one request at a time (batch is always 1); the
+            // retrying roundtrip reconnects internally on transport error.
+            let outcome = match mix.slot(client_index + i * clients) {
+                Slot::Evolve(path) => {
+                    live.roundtrip_retrying(path, Some(EVOLVE_BODY.as_bytes()), policy)
+                }
+                Slot::Get(path) => live.roundtrip_retrying(path, None, policy),
+            };
+            match outcome {
+                Ok(response) => samples.push((started.elapsed(), response.status)),
+                Err(_) => {
+                    samples.push((started.elapsed(), 0));
+                    conn = None;
+                }
+            }
+            i += 1;
+            continue;
+        }
         let mut sent = 0usize;
         for b in 0..batch {
             let ok = match mix.slot(client_index + (i + b) * clients) {

@@ -25,14 +25,16 @@ use std::time::{Duration, Instant};
 use cuisine_bench::ExpOptions;
 use cuisine_core::Experiment;
 use cuisine_evolution::{EnsembleConfig, EvaluationConfig, ModelKind};
+use cuisine_exec::FaultPlan;
 use cuisine_serve::{
-    client, AppState, BuildOptions, CorpusSpec, RegistryConfig, Server, ServerConfig,
-    SnapshotStore,
+    client, AppState, BuildOptions, CorpusSpec, DeadlineConfig, RegistryConfig, Server,
+    ServerConfig, SnapshotStore,
 };
 
 const USAGE: &str = "serve [--scale F] [--seed N] [--threads N] [--no-cache] \
 [--miner fpgrowth|apriori|eclat|eclat-bitset] [--replicates N] [--port N] \
-[--queue N] [--lru N] [--shards N] [--no-keepalive] [--self-check]";
+[--queue N] [--lru N] [--shards N] [--deadline-ms N] [--faults SPEC] \
+[--no-keepalive] [--self-check]";
 
 fn extra_value<T: std::str::FromStr>(
     extra: &[(String, String)],
@@ -52,7 +54,7 @@ fn extra_value<T: std::str::FromStr>(
 fn main() {
     let (opts, extra) = ExpOptions::parse_with_or_exit(
         std::env::args(),
-        &["--port", "--queue", "--lru", "--shards"],
+        &["--port", "--queue", "--lru", "--shards", "--deadline-ms", "--faults"],
         USAGE,
     );
     let self_check = opts.has_flag("--self-check");
@@ -72,6 +74,10 @@ fn main() {
         0 => None,
         n => Some(n),
     };
+    let deadline = DeadlineConfig {
+        default_ms: extra_value(&extra, "--deadline-ms", DeadlineConfig::default().default_ms),
+        ..Default::default()
+    };
     let config = ServerConfig {
         port: if self_check { 0 } else { extra_value(&extra, "--port", 7878) },
         threads: opts.threads,
@@ -79,7 +85,23 @@ fn main() {
         lru_capacity: extra_value(&extra, "--lru", 128),
         shards,
         keep_alive: !no_keepalive,
+        deadline,
         ..Default::default()
+    };
+
+    // Parse the startup fault plan before the expensive corpus build, so a
+    // typo'd spec fails in milliseconds, not minutes.
+    let fault_spec: String = extra_value(&extra, "--faults", String::new());
+    let fault_plan = match fault_spec.trim() {
+        "" => None,
+        spec => match FaultPlan::parse(spec) {
+            Ok(plan) => Some(plan),
+            Err(reason) => {
+                eprintln!("error: --faults: {reason}");
+                eprintln!("usage: {USAGE}");
+                std::process::exit(2);
+            }
+        },
     };
 
     eprintln!(
@@ -141,6 +163,7 @@ fn main() {
             started.elapsed().as_millis().min(u128::from(u64::MAX)) as u64
         }),
         build_threads: Some(1),
+        ..Default::default()
     };
     let state = AppState::with_registry(
         Arc::new(experiment),
@@ -148,6 +171,10 @@ fn main() {
         config.lru_capacity,
         registry_config,
     );
+    if let Some(plan) = fault_plan {
+        eprintln!("fault plan installed: {}", plan.spec());
+        state.faults.install(plan);
+    }
     let server = Server::start(state, config).unwrap_or_else(|e| {
         eprintln!("error: failed to bind server: {e}");
         std::process::exit(1);

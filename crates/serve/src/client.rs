@@ -13,6 +13,12 @@
 //!   [`Connection::send`]/[`Connection::recv`] so callers can pipeline:
 //!   write a batch of requests back-to-back, then read the batch of
 //!   responses in order.
+//!
+//! Both modes can attach an `X-Deadline-Ms` budget header
+//! ([`Connection::set_deadline_ms`]) and retry transient failures with
+//! seeded exponential backoff ([`RetryPolicy`],
+//! [`Connection::roundtrip_retrying`]): transport errors reconnect, and
+//! `409`/`503` answers honor the server's `retry_after_ms` hint.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -96,6 +102,69 @@ pub fn delete(addr: SocketAddr, path: &str, timeout: Duration) -> std::io::Resul
     request_method(addr, "DELETE", path, None, timeout)
 }
 
+/// Bounded retry with seeded exponential backoff.
+///
+/// Deterministic: the jitter is a pure `splitmix64` hash of
+/// `(seed, attempt)`, so two clients with the same seed back off
+/// identically. When a `409`/`503` body carries a `retry_after_ms` hint
+/// the hint wins (clamped to `max_backoff_ms`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (1 = no retry).
+    pub attempts: u32,
+    /// First backoff, doubled per retry.
+    pub base_ms: u64,
+    /// Upper clamp on any single backoff (including hints).
+    pub max_backoff_ms: u64,
+    /// Jitter seed.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { attempts: 3, base_ms: 50, max_backoff_ms: 2_000, seed: 0 }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before retry number `retry` (0-based), honoring a server
+    /// `retry_after_ms` hint when present.
+    pub fn backoff_ms(&self, retry: u32, hint: Option<u64>) -> u64 {
+        let wait = match hint {
+            Some(hint) => hint,
+            None => {
+                let exp = self.base_ms.saturating_mul(1u64 << retry.min(16));
+                let jitter = splitmix64(self.seed ^ u64::from(retry)) % self.base_ms.max(1);
+                exp.saturating_add(jitter)
+            }
+        };
+        wait.min(self.max_backoff_ms)
+    }
+}
+
+/// Statuses worth retrying: still-building (`409`) and overload (`503`)
+/// are transient by contract; everything else is either success or a
+/// deterministic error a retry cannot fix.
+pub fn retryable_status(status: u16) -> bool {
+    matches!(status, 409 | 503)
+}
+
+/// Extract the `retry_after_ms` hint from a `409`/`503` JSON body.
+pub fn retry_after_hint(response: &ClientResponse) -> Option<u64> {
+    let text = std::str::from_utf8(&response.body).ok()?;
+    let doc: serde::Value = serde_json::from_str(text).ok()?;
+    doc.as_object()?.get("retry_after_ms")?.as_u64()
+}
+
+/// splitmix64 finalizer — the workspace's standard pure hash, used here
+/// for deterministic backoff jitter (no RNG state).
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// A persistent keep-alive connection.
 ///
 /// Requests are written without `Connection: close`, so the server keeps
@@ -105,7 +174,11 @@ pub fn delete(addr: SocketAddr, path: &str, timeout: Duration) -> std::io::Resul
 /// is the common one-at-a-time case.
 pub struct Connection {
     stream: TcpStream,
+    addr: SocketAddr,
+    timeout: Duration,
     host: String,
+    /// `X-Deadline-Ms` value attached to every request, if any.
+    deadline_ms: Option<u64>,
     /// Bytes read past the end of the previous response.
     buf: Vec<u8>,
 }
@@ -113,15 +186,37 @@ pub struct Connection {
 impl Connection {
     /// Connect with the given timeout applied to connect/read/write.
     pub fn open(addr: SocketAddr, timeout: Duration) -> std::io::Result<Connection> {
+        let stream = Self::dial(addr, timeout)?;
+        Ok(Connection {
+            stream,
+            addr,
+            timeout,
+            host: addr.to_string(),
+            deadline_ms: None,
+            buf: Vec::new(),
+        })
+    }
+
+    fn dial(addr: SocketAddr, timeout: Duration) -> std::io::Result<TcpStream> {
         let stream = TcpStream::connect_timeout(&addr, timeout)?;
         stream.set_read_timeout(Some(timeout))?;
         stream.set_write_timeout(Some(timeout))?;
         let _ = stream.set_nodelay(true);
-        Ok(Connection {
-            stream,
-            host: addr.to_string(),
-            buf: Vec::new(),
-        })
+        Ok(stream)
+    }
+
+    /// Attach (or clear) an `X-Deadline-Ms` budget header on every
+    /// subsequent request.
+    pub fn set_deadline_ms(&mut self, deadline_ms: Option<u64>) {
+        self.deadline_ms = deadline_ms;
+    }
+
+    /// Drop the current socket and dial a fresh one; any buffered partial
+    /// response is discarded (the retry path after a transport error).
+    pub fn reconnect(&mut self) -> std::io::Result<()> {
+        self.stream = Self::dial(self.addr, self.timeout)?;
+        self.buf.clear();
+        Ok(())
     }
 
     /// Write one request without reading its response. `body` implies
@@ -140,12 +235,19 @@ impl Connection {
         body: Option<&[u8]>,
     ) -> std::io::Result<()> {
         let host = &self.host;
+        let deadline = match self.deadline_ms {
+            Some(ms) => format!("x-deadline-ms: {ms}\r\n"),
+            None => String::new(),
+        };
         match body {
-            None => write!(self.stream, "{method} {path} HTTP/1.1\r\nhost: {host}\r\n\r\n")?,
+            None => write!(
+                self.stream,
+                "{method} {path} HTTP/1.1\r\nhost: {host}\r\n{deadline}\r\n"
+            )?,
             Some(payload) => {
                 write!(
                     self.stream,
-                    "{method} {path} HTTP/1.1\r\nhost: {host}\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n",
+                    "{method} {path} HTTP/1.1\r\nhost: {host}\r\ncontent-type: application/json\r\ncontent-length: {}\r\n{deadline}\r\n",
                     payload.len()
                 )?;
                 self.stream.write_all(payload)?;
@@ -189,6 +291,39 @@ impl Connection {
     /// `POST path` with a JSON body on the persistent connection.
     pub fn post_json(&mut self, path: &str, json: &str) -> std::io::Result<ClientResponse> {
         self.roundtrip(path, Some(json.as_bytes()))
+    }
+
+    /// [`Connection::roundtrip`] with bounded retry: transport errors
+    /// reconnect and retry; `409`/`503` answers back off (honoring the
+    /// server's `retry_after_ms` hint) and retry; everything else returns
+    /// immediately. The final attempt's outcome is returned as-is.
+    pub fn roundtrip_retrying(
+        &mut self,
+        path: &str,
+        body: Option<&[u8]>,
+        policy: &RetryPolicy,
+    ) -> std::io::Result<ClientResponse> {
+        let attempts = policy.attempts.max(1);
+        let mut outcome = self.roundtrip(path, body);
+        for retry in 0..attempts.saturating_sub(1) {
+            let hint = match &outcome {
+                Ok(response) if retryable_status(response.status) => retry_after_hint(response),
+                Ok(_) => return outcome,
+                Err(_) => {
+                    // The socket is in an unknown state after a transport
+                    // error; a fresh connection is the only safe resume.
+                    // A failed reconnect reports the dial error.
+                    if let Err(e) = self.reconnect() {
+                        outcome = Err(e);
+                        continue;
+                    }
+                    None
+                }
+            };
+            std::thread::sleep(Duration::from_millis(policy.backoff_ms(retry, hint)));
+            outcome = self.roundtrip(path, body);
+        }
+        outcome
     }
 }
 
@@ -307,5 +442,39 @@ mod tests {
     #[test]
     fn split_response_requires_content_length() {
         assert!(split_response(b"HTTP/1.1 200 OK\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn backoff_is_seed_deterministic_and_honors_hints() {
+        let policy = RetryPolicy { attempts: 4, base_ms: 50, max_backoff_ms: 2_000, seed: 9 };
+        let again = RetryPolicy { seed: 9, ..policy };
+        for retry in 0..4 {
+            assert_eq!(policy.backoff_ms(retry, None), again.backoff_ms(retry, None));
+        }
+        // Exponential shape: each retry's floor doubles.
+        assert!(policy.backoff_ms(0, None) >= 50);
+        assert!(policy.backoff_ms(1, None) >= 100);
+        assert!(policy.backoff_ms(2, None) >= 200);
+        // Hints win but stay clamped.
+        assert_eq!(policy.backoff_ms(0, Some(123)), 123);
+        assert_eq!(policy.backoff_ms(0, Some(99_999)), 2_000);
+        // Overflow-proof at absurd retry counts.
+        assert!(policy.backoff_ms(u32::MAX, None) <= 2_000);
+    }
+
+    #[test]
+    fn retry_hint_parses_the_409_contract_body() {
+        let response = ClientResponse {
+            status: 409,
+            body: br#"{"error":"corpus \"x\" is still building","status":409,"retry_after_ms":250}"#
+                .to_vec(),
+        };
+        assert_eq!(retry_after_hint(&response), Some(250));
+        assert!(retryable_status(response.status));
+        let plain = ClientResponse { status: 404, body: b"{}".to_vec() };
+        assert_eq!(retry_after_hint(&plain), None);
+        assert!(!retryable_status(plain.status));
+        assert!(retryable_status(503));
+        assert!(!retryable_status(504), "a 504 spent the whole budget; retrying is the caller's call");
     }
 }

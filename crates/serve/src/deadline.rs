@@ -1,0 +1,120 @@
+//! End-to-end request deadlines: budget parsing, clamping, and the `504`
+//! contract.
+//!
+//! Every request gets a millisecond budget — the [`DeadlineConfig`]
+//! default unless the client sends an `X-Deadline-Ms` header — and the
+//! connection layer converts budget expiry into a clean `504 Gateway
+//! Timeout` that echoes the budget, instead of letting a slow or lost
+//! computation hang the connection until a transport timeout.
+//!
+//! The functions here are deliberately **pure** (no clock reads — rule D2;
+//! elapsed time is an argument): the shard event loop, which already owns
+//! the per-connection `Instant`s, does the subtraction, and the property
+//! tests in `tests/http_properties.rs` can exercise the arithmetic on
+//! arbitrary inputs without any timing dependence.
+
+use crate::http::Response;
+use serde::{Map, Value};
+
+/// Deadline knobs: what a request gets when it asks for nothing, and the
+/// most it may ask for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeadlineConfig {
+    /// Budget applied when no `X-Deadline-Ms` header is present.
+    pub default_ms: u64,
+    /// Upper clamp on client-requested budgets.
+    pub max_ms: u64,
+}
+
+impl Default for DeadlineConfig {
+    fn default() -> Self {
+        DeadlineConfig { default_ms: 30_000, max_ms: 600_000 }
+    }
+}
+
+/// Resolve a request's millisecond budget from its `X-Deadline-Ms` header.
+///
+/// Absent, empty, non-numeric, or overflowing values fall back to the
+/// default; parsed values are clamped into `[1, max_ms]` (a zero budget
+/// would expire before routing — it becomes the 1ms floor rather than an
+/// error, so load generators can probe the expiry path portably). Never
+/// panics.
+pub fn budget_ms(header: Option<&str>, config: &DeadlineConfig) -> u64 {
+    let max = config.max_ms.max(1);
+    let requested = match header.map(str::trim) {
+        Some(raw) if !raw.is_empty() => match raw.parse::<u64>() {
+            Ok(ms) => ms,
+            Err(_) => config.default_ms,
+        },
+        _ => config.default_ms,
+    };
+    requested.clamp(1, max)
+}
+
+/// Budget left after `elapsed_ms`, or `None` once the deadline has passed.
+/// Saturating — huge elapsed values cannot underflow.
+pub fn remaining_ms(budget_ms: u64, elapsed_ms: u64) -> Option<u64> {
+    let left = budget_ms.saturating_sub(elapsed_ms);
+    if left == 0 { None } else { Some(left) }
+}
+
+/// The deadline-expiry response: `504` JSON echoing the budget that ran
+/// out, so clients can tell "your deadline" from an upstream failure.
+pub fn timeout_response(budget_ms: u64) -> Response {
+    let mut doc = Map::new();
+    doc.insert(
+        "error",
+        Value::String(format!("deadline of {budget_ms}ms exhausted before the response was ready")),
+    );
+    doc.insert("status", Value::U64(504));
+    doc.insert("deadline_ms", Value::U64(budget_ms));
+    Response::json(504, serde_json::to_string(&Value::Object(doc)).unwrap_or_default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CONFIG: DeadlineConfig = DeadlineConfig { default_ms: 30_000, max_ms: 600_000 };
+
+    #[test]
+    fn header_absent_or_garbage_gets_the_default() {
+        assert_eq!(budget_ms(None, &CONFIG), 30_000);
+        assert_eq!(budget_ms(Some(""), &CONFIG), 30_000);
+        assert_eq!(budget_ms(Some("  "), &CONFIG), 30_000);
+        assert_eq!(budget_ms(Some("soon"), &CONFIG), 30_000);
+        assert_eq!(budget_ms(Some("-5"), &CONFIG), 30_000);
+        assert_eq!(budget_ms(Some("1e3"), &CONFIG), 30_000);
+        assert_eq!(budget_ms(Some("99999999999999999999999"), &CONFIG), 30_000);
+    }
+
+    #[test]
+    fn parsed_budgets_are_clamped_to_bounds() {
+        assert_eq!(budget_ms(Some("250"), &CONFIG), 250);
+        assert_eq!(budget_ms(Some(" 250 "), &CONFIG), 250, "surrounding whitespace is trimmed");
+        assert_eq!(budget_ms(Some("0"), &CONFIG), 1, "zero clamps to the 1ms floor");
+        assert_eq!(budget_ms(Some("999999999"), &CONFIG), 600_000, "huge values clamp to max");
+        assert_eq!(budget_ms(Some(&u64::MAX.to_string()), &CONFIG), 600_000);
+    }
+
+    #[test]
+    fn remaining_saturates_and_signals_expiry() {
+        assert_eq!(remaining_ms(100, 0), Some(100));
+        assert_eq!(remaining_ms(100, 99), Some(1));
+        assert_eq!(remaining_ms(100, 100), None);
+        assert_eq!(remaining_ms(100, u64::MAX), None);
+        assert_eq!(remaining_ms(0, 0), None);
+    }
+
+    #[test]
+    fn timeout_response_is_504_and_echoes_the_budget() {
+        let response = timeout_response(1234);
+        assert_eq!(response.status, 504);
+        let text = std::str::from_utf8(&response.body).unwrap();
+        let doc: Value = serde_json::from_str(text).unwrap();
+        let fields = doc.as_object().unwrap();
+        assert_eq!(fields.get("deadline_ms").unwrap().as_u64(), Some(1234));
+        assert_eq!(fields.get("status").unwrap().as_u64(), Some(504));
+        assert!(fields.get("error").unwrap().as_str().unwrap().contains("1234ms"));
+    }
+}

@@ -30,7 +30,7 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex, MutexGuard};
 
 use cuisine_core::Experiment;
-use cuisine_exec::{Flight, PoolFull, WorkerPool};
+use cuisine_exec::{panic_message, Flight, PoolFull, WorkerPool};
 use cuisine_data::CuisineId;
 use cuisine_evolution::{
     evaluate_model_on_cuisine, CuisineSetup, EnsembleConfig, EvaluationConfig, ModelKind,
@@ -348,17 +348,30 @@ impl EvolveEngine {
     /// Build an engine over `state` with `threads` pool workers and a
     /// submission queue of `queue_capacity`.
     pub fn new(state: Arc<AppState>, threads: Option<usize>, queue_capacity: usize) -> Self {
+        let faults = Arc::clone(&state.faults);
         let shared = Arc::new(EngineShared { state, inflight: Mutex::new(HashMap::new()) });
         let worker_shared = Arc::clone(&shared);
-        let pool = WorkerPool::new(threads, queue_capacity, move |job: EvolveJob| {
-            run_job(&worker_shared, job);
-        });
+        let pool = WorkerPool::with_faults(
+            threads,
+            queue_capacity,
+            Some(faults),
+            move |job: EvolveJob| {
+                run_job(&worker_shared, job);
+            },
+        );
         EvolveEngine { shared, pool }
     }
 
     /// Number of pool workers.
     pub fn workers(&self) -> usize {
         self.pool.workers()
+    }
+
+    /// Handler panics contained by the pool (including injected
+    /// `pool.dispatch` faults, which drop the job before `run_job` can
+    /// complete its flight — deadline expiry turns those into `504`s).
+    pub fn worker_panics(&self) -> u64 {
+        self.pool.worker_panics()
     }
 
     /// Jobs submitted but not yet finished.
@@ -415,12 +428,22 @@ fn run_job(shared: &EngineShared, job: EvolveJob) {
     // if the handler panicked through it the flight would never complete
     // and every coalesced waiter would hang. Catch here and answer 500.
     let computed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        if let Some(action) = state.faults.fire("evolve.compute") {
+            // Delay stretches the computation in place; fail/short-write
+            // become a contract 500; panic unwinds into the catch below.
+            action
+                .apply("evolve.compute")
+                .map_err(|reason| HttpError::new(500, reason))?;
+        }
         handle_evolve(&job.task.request, &job.task.corpus.experiment)
     }));
     let response = match computed {
         Ok(Ok(response)) => response,
         Ok(Err(error)) => Response::from(&error),
-        Err(_) => Response::error(500, "evolve computation panicked"),
+        Err(payload) => Response::error(
+            500,
+            &format!("evolve computation panicked: {}", panic_message(payload.as_ref())),
+        ),
     };
     // Publish to the cache *before* clearing the in-flight entry (see the
     // engine docs for why this order is load-bearing).

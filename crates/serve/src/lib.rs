@@ -20,7 +20,10 @@
 //!   [`EvolveEngine`] over a seeded-result cache;
 //! * [`registry`] — the multi-corpus snapshot registry: epoch-versioned
 //!   corpus entries, background builds with coalesced registrations,
-//!   atomic hot-swap, and the `/admin/corpora` API;
+//!   atomic hot-swap, last-good degradation on failed rebuilds, and the
+//!   `/admin/corpora` API;
+//! * [`deadline`] — per-request millisecond budgets (`X-Deadline-Ms`,
+//!   clamped) and the `504` expiry contract;
 //! * [`router`] — endpoint table tying the above together;
 //! * [`server`] — sharded connection event loops behind one acceptor,
 //!   keep-alive/pipelining, idle sweep, graceful drain-on-shutdown;
@@ -32,6 +35,7 @@
 #![forbid(unsafe_code)]
 
 pub mod client;
+pub mod deadline;
 pub mod evolve;
 pub mod http;
 pub mod lru;
@@ -43,6 +47,7 @@ pub mod snapshot;
 #[cfg(test)]
 pub(crate) mod testutil;
 
+pub use deadline::DeadlineConfig;
 pub use evolve::{EvolveEngine, EvolveRequest, EvolveTask, Submitted};
 pub use http::{Frame, FrameReader, FramedRequest, Request, Response};
 pub use metrics::{RegistryStats, SnapshotInfo};

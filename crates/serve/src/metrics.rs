@@ -11,6 +11,7 @@
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
+use cuisine_exec::Faults;
 use serde::{Map, Value};
 
 /// Upper bounds (µs) of the latency histogram buckets; the last bucket is
@@ -27,6 +28,9 @@ pub struct Gauges {
     pub workers: AtomicUsize,
     /// Currently open client connections across all shards.
     pub connections: AtomicUsize,
+    /// Handler panics contained by the evolve and registry worker pools
+    /// (published by the accept loop from the pools' own counters).
+    pub worker_panics: AtomicU64,
 }
 
 /// Snapshot provenance reported by `/metrics`: which build produced the
@@ -56,7 +60,12 @@ pub struct RegistryStats {
     /// Registrations that coalesced onto an identical pending build
     /// instead of queueing their own.
     pub coalesced_registrations: u64,
-    /// Per-corpus rows: key, state, epoch, build_ms, hits, rebuilding.
+    /// Builds that failed (panic or injected fault). A failed rebuild
+    /// leaves the last-good epoch serving; a failed first build leaves
+    /// the entry in a Failed state answering a named `500`.
+    pub build_failures: u64,
+    /// Per-corpus rows: key, state, epoch, build_ms, hits, rebuilding,
+    /// degraded, error.
     pub corpora: Value,
 }
 
@@ -66,6 +75,7 @@ impl Default for RegistryStats {
             builds: 0,
             swaps: 0,
             coalesced_registrations: 0,
+            build_failures: 0,
             corpora: Value::Array(Vec::new()),
         }
     }
@@ -87,6 +97,7 @@ pub struct Metrics {
     evolve_cache_hits: AtomicU64,
     evolve_cache_misses: AtomicU64,
     evolve_computations: AtomicU64,
+    deadline_expired: AtomicU64,
 }
 
 impl Default for Metrics {
@@ -112,7 +123,19 @@ impl Metrics {
             evolve_cache_hits: AtomicU64::new(0),
             evolve_cache_misses: AtomicU64::new(0),
             evolve_computations: AtomicU64::new(0),
+            deadline_expired: AtomicU64::new(0),
         }
+    }
+
+    /// Record a request answered `504` because its deadline budget ran
+    /// out (waiting on a flight, or reaped mid-frame by the idle sweep).
+    pub fn record_deadline_expired(&self) {
+        self.deadline_expired.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Deadline expiries recorded so far.
+    pub fn deadline_expired(&self) -> u64 {
+        self.deadline_expired.load(Ordering::Relaxed)
     }
 
     /// Record one completed request.
@@ -222,13 +245,16 @@ impl Metrics {
 
     /// Render the metrics document served by `/metrics`. `snapshot` is
     /// the *default* corpus's provenance; `registry` carries the
-    /// registry counters plus one row per registered corpus.
+    /// registry counters plus one row per registered corpus; `faults` is
+    /// the stack's fault-injection handle (its firing counters are
+    /// reported whenever a plan is installed).
     pub fn to_json(
         &self,
         gauges: &Gauges,
         snapshot: &SnapshotInfo<'_>,
         lru_len: usize,
         registry: &RegistryStats,
+        faults: &Faults,
     ) -> String {
         let requests = self.requests();
         let (hits, misses) = self.cache_counts();
@@ -260,7 +286,38 @@ impl Metrics {
             "registry_coalesced_registrations",
             Value::U64(registry.coalesced_registrations),
         );
+        doc.insert("registry_build_failures", Value::U64(registry.build_failures));
         doc.insert("corpora", registry.corpora.clone());
+        doc.insert("deadline_expired", Value::U64(self.deadline_expired()));
+        doc.insert(
+            "worker_panics",
+            Value::U64(gauges.worker_panics.load(Ordering::Relaxed)),
+        );
+        match faults.plan() {
+            None => {
+                doc.insert("fault_firings", Value::U64(0));
+                doc.insert("faults", Value::Null);
+            }
+            Some(plan) => {
+                doc.insert("fault_firings", Value::U64(plan.total_fired()));
+                let mut fdoc = Map::new();
+                fdoc.insert("spec", Value::String(plan.spec().to_string()));
+                fdoc.insert("seed", Value::U64(plan.seed()));
+                let points: Vec<Value> = plan
+                    .counts()
+                    .iter()
+                    .map(|count| {
+                        let mut row = Map::new();
+                        row.insert("point", Value::String(count.point.clone()));
+                        row.insert("occurrences", Value::U64(count.occurrences));
+                        row.insert("fired", Value::U64(count.fired));
+                        Value::Object(row)
+                    })
+                    .collect();
+                fdoc.insert("points", Value::Array(points));
+                doc.insert("faults", Value::Object(fdoc));
+            }
+        }
 
         let mut latency = Map::new();
         latency.insert(
@@ -344,10 +401,14 @@ mod tests {
         gauges.workers.store(4, Ordering::Relaxed);
         gauges.pool_depth.store(2, Ordering::Relaxed);
         gauges.connections.store(7, Ordering::Relaxed);
+        m.record_deadline_expired();
         let info = SnapshotInfo { version: "test-v1", miner: "eclat-bitset", build_wall_ms: 1234 };
-        let registry = RegistryStats { builds: 3, swaps: 1, ..Default::default() };
+        let registry = RegistryStats { builds: 3, swaps: 1, build_failures: 2, ..Default::default() };
+        let faults = Faults::new();
+        faults.install(cuisine_exec::FaultPlan::parse("evolve.compute=delay:1@nth:1").unwrap());
+        faults.fire("evolve.compute");
         let doc: serde::Value =
-            serde_json::from_str(&m.to_json(&gauges, &info, 3, &registry)).unwrap();
+            serde_json::from_str(&m.to_json(&gauges, &info, 3, &registry, &faults)).unwrap();
         let doc = doc.as_object().unwrap();
         assert_eq!(doc.get("requests_total").unwrap().as_u64(), Some(2));
         assert_eq!(
@@ -378,5 +439,36 @@ mod tests {
         );
         assert_eq!(doc.get("corpora").unwrap().as_array().unwrap().len(), 0);
         assert_eq!(doc.get("open_connections").unwrap().as_u64(), Some(7));
+        assert_eq!(doc.get("registry_build_failures").unwrap().as_u64(), Some(2));
+        assert_eq!(doc.get("deadline_expired").unwrap().as_u64(), Some(1));
+        assert_eq!(doc.get("fault_firings").unwrap().as_u64(), Some(1));
+        let fdoc = doc.get("faults").unwrap().as_object().unwrap();
+        assert_eq!(
+            fdoc.get("spec").unwrap().as_str(),
+            Some("evolve.compute=delay:1@nth:1")
+        );
+        let points = fdoc.get("points").unwrap().as_array().unwrap();
+        assert_eq!(points.len(), 1);
+        let row = points[0].as_object().unwrap();
+        assert_eq!(row.get("point").unwrap().as_str(), Some("evolve.compute"));
+        assert_eq!(row.get("fired").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn faults_report_null_without_a_plan() {
+        let m = Metrics::new();
+        let info = SnapshotInfo { version: "v", miner: "fpgrowth", build_wall_ms: 0 };
+        let doc: serde::Value = serde_json::from_str(&m.to_json(
+            &Gauges::default(),
+            &info,
+            0,
+            &RegistryStats::default(),
+            &Faults::new(),
+        ))
+        .unwrap();
+        let doc = doc.as_object().unwrap();
+        assert_eq!(doc.get("fault_firings").unwrap().as_u64(), Some(0));
+        assert_eq!(doc.get("faults"), Some(&serde::Value::Null));
+        assert_eq!(doc.get("worker_panics").unwrap().as_u64(), Some(0));
     }
 }

@@ -47,7 +47,7 @@ use std::time::Duration;
 use cuisine_core::{Experiment, PipelineConfig};
 use cuisine_data::{Corpus, CuisineId};
 use cuisine_evolution::{EnsembleConfig, EvaluationConfig, ModelKind};
-use cuisine_exec::{Flight, PoolFull, WorkerPool};
+use cuisine_exec::{panic_message, Faults, Flight, PoolFull, WorkerPool};
 use cuisine_lexicon::Lexicon;
 use cuisine_mining::Miner;
 use cuisine_synth::{generate_corpus, SynthConfig};
@@ -241,6 +241,12 @@ pub struct RegistryConfig {
     /// pipeline internally, so the default single builder is usually
     /// right.
     pub build_threads: Option<usize>,
+    /// Fault-injection handle consulted at `registry.build`,
+    /// `snapshot.serialize`, and the builder pool's `pool.dispatch`
+    /// points. [`AppState`](crate::router::AppState) adopts this same
+    /// handle so one plan governs the whole stack; the default handle has
+    /// no plan installed and costs one relaxed load per hook.
+    pub faults: Arc<Faults>,
 }
 
 impl Default for RegistryConfig {
@@ -250,6 +256,7 @@ impl Default for RegistryConfig {
             build: BuildOptions::minimal(),
             clock: null_clock(),
             build_threads: Some(1),
+            faults: Arc::new(Faults::new()),
         }
     }
 }
@@ -278,6 +285,11 @@ struct CorpusEntry {
     build_started_ms: u64,
     hits: Arc<AtomicU64>,
     pending: Option<Arc<Flight<()>>>,
+    /// Reason the most recent build failed. With `data` installed this
+    /// marks the entry *degraded* (stale-while-revalidate: the last-good
+    /// epoch keeps serving); with no data it marks the entry *failed*
+    /// (reads answer a named `500`). Cleared by the next successful build.
+    last_error: Option<String>,
 }
 
 impl CorpusEntry {
@@ -292,6 +304,7 @@ impl CorpusEntry {
             build_started_ms: 0,
             hits: Arc::new(AtomicU64::new(0)),
             pending: None,
+            last_error: None,
         }
     }
 
@@ -300,6 +313,10 @@ impl CorpusEntry {
             "retiring"
         } else if self.data.is_some() {
             "ready"
+        } else if self.pending.is_some() {
+            "building"
+        } else if self.last_error.is_some() {
+            "failed"
         } else {
             "building"
         }
@@ -315,6 +332,14 @@ impl CorpusEntry {
         row.insert("build_ms", Value::U64(self.build_ms));
         row.insert("hits", Value::U64(self.hits.load(Ordering::Relaxed)));
         row.insert("rebuilding", Value::Bool(self.pending.is_some() && self.data.is_some()));
+        row.insert("degraded", Value::Bool(self.data.is_some() && self.last_error.is_some()));
+        row.insert(
+            "error",
+            match &self.last_error {
+                Some(reason) => Value::String(reason.clone()),
+                None => Value::Null,
+            },
+        );
         Value::Object(row)
     }
 }
@@ -332,11 +357,21 @@ pub enum CorpusError {
         /// times minus elapsed build time.
         retry_after_ms: u64,
     },
+    /// The key's first build failed and nothing has ever been installed;
+    /// there is no last-good epoch to degrade to.
+    BuildFailed {
+        /// The canonical key whose build failed.
+        key: String,
+        /// The captured build-failure reason (panic message or injected
+        /// fault description).
+        reason: String,
+    },
 }
 
 impl CorpusError {
     /// The error-contract response: `404` JSON for unknown keys, `409`
-    /// JSON with a `retry_after_ms` hint while building.
+    /// JSON with a `retry_after_ms` hint while building, `500` JSON
+    /// naming the key and failure reason when a first build failed.
     pub fn to_response(&self) -> Response {
         match self {
             CorpusError::NotFound(key) => {
@@ -351,6 +386,9 @@ impl CorpusError {
                     409,
                     serde_json::to_string(&Value::Object(doc)).unwrap_or_default(),
                 )
+            }
+            CorpusError::BuildFailed { key, reason } => {
+                Response::error(500, &format!("corpus {key:?} build failed: {reason}"))
             }
         }
     }
@@ -411,9 +449,11 @@ struct RegistryShared {
     base_pipeline: PipelineConfig,
     build: BuildOptions,
     clock: Clock,
+    faults: Arc<Faults>,
     builds: AtomicU64,
     swaps: AtomicU64,
     coalesced: AtomicU64,
+    build_failures: AtomicU64,
 }
 
 fn lock_entries(shared: &RegistryShared) -> MutexGuard<'_, BTreeMap<String, CorpusEntry>> {
@@ -468,6 +508,7 @@ impl CorpusRegistry {
                 build_started_ms: 0,
                 hits: Arc::new(AtomicU64::new(0)),
                 pending: None,
+                last_error: None,
             },
         );
         let shared = Arc::new(RegistryShared {
@@ -477,15 +518,35 @@ impl CorpusRegistry {
             base_pipeline,
             build: config.build,
             clock: config.clock,
+            faults: Arc::clone(&config.faults),
             builds: AtomicU64::new(0),
             swaps: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
+            build_failures: AtomicU64::new(0),
         });
         let worker_shared = Arc::clone(&shared);
-        let pool = WorkerPool::new(config.build_threads, BUILD_QUEUE, move |job: BuildJob| {
-            run_build(&worker_shared, job);
-        });
+        let pool = WorkerPool::with_faults(
+            config.build_threads,
+            BUILD_QUEUE,
+            Some(config.faults),
+            move |job: BuildJob| {
+                run_build(&worker_shared, job);
+            },
+        );
         CorpusRegistry { shared, pool }
+    }
+
+    /// The fault-injection handle this registry consults (shared with the
+    /// rest of the serve stack via [`AppState`](crate::router::AppState)).
+    pub fn faults(&self) -> Arc<Faults> {
+        Arc::clone(&self.shared.faults)
+    }
+
+    /// Builder-pool panics contained by the per-job `catch_unwind`
+    /// (injected `pool.dispatch` faults; real build panics are caught one
+    /// level deeper and recorded as build failures).
+    pub fn worker_panics(&self) -> u64 {
+        self.pool.worker_panics()
     }
 
     /// The default corpus's canonical key (aliased by `?corpus=default`
@@ -539,6 +600,10 @@ impl CorpusRegistry {
                 key: key.to_string(),
                 retry_after_ms: retry_hint(shared, &entries, entry),
             }),
+            _ if entry.last_error.is_some() && !entry.retired => Err(CorpusError::BuildFailed {
+                key: key.to_string(),
+                reason: entry.last_error.clone().unwrap_or_default(),
+            }),
             _ => Err(CorpusError::NotFound(key.to_string())),
         }
     }
@@ -574,10 +639,18 @@ impl CorpusRegistry {
                 shared.builds.fetch_add(1, Ordering::Relaxed);
                 let entries = lock_entries(shared);
                 match entries.get(&key) {
+                    Some(entry) if entry.data.is_none() && entry.pending.is_none() => {
+                        // The build already ran and failed before we
+                        // re-locked; name the key and the captured reason.
+                        let reason = entry.last_error.clone().unwrap_or_default();
+                        CorpusError::BuildFailed { key: key.clone(), reason }.to_response()
+                    }
                     Some(entry) => accepted(&key, entry, false),
-                    // The build already finished and discarded the entry
-                    // (possible only for a failed build of a fresh key).
-                    None => Response::error(500, "corpus build failed"),
+                    // Retired concurrently: the entry is gone.
+                    None => Response::error(
+                        500,
+                        &format!("corpus {key:?} build failed: entry vanished before install"),
+                    ),
                 }
             }
             Err(PoolFull(job)) => {
@@ -586,7 +659,7 @@ impl CorpusRegistry {
                 if let Some(entry) = entries.get_mut(&job.key) {
                     if entry.generation == job.generation {
                         entry.pending = None;
-                        drop_key = entry.data.is_none();
+                        drop_key = entry.data.is_none() && entry.last_error.is_none();
                     }
                 }
                 if drop_key {
@@ -594,7 +667,13 @@ impl CorpusRegistry {
                 }
                 drop(entries);
                 job.flight.complete(());
-                Response::error(503, "registry build queue is full")
+                Response::error(
+                    503,
+                    &format!(
+                        "registry build queue is full ({BUILD_QUEUE} pending); \
+                         retry registration of corpus {key:?} later"
+                    ),
+                )
             }
         }
     }
@@ -647,6 +726,7 @@ impl CorpusRegistry {
             builds: shared.builds.load(Ordering::Relaxed),
             swaps: shared.swaps.load(Ordering::Relaxed),
             coalesced_registrations: shared.coalesced.load(Ordering::Relaxed),
+            build_failures: shared.build_failures.load(Ordering::Relaxed),
             corpora: corpus_rows(&entries),
         }
     }
@@ -719,15 +799,21 @@ fn retry_hint(
 /// then install under the lock iff the registration is still current.
 fn run_build(shared: &Arc<RegistryShared>, job: BuildJob) {
     // The pool's worker loop swallows job panics to keep the builder
-    // alive; catch here so the entry and flight always resolve.
+    // alive; catch here so the entry and flight always resolve, and so
+    // the panic payload becomes the recorded failure reason.
     let built = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        if let Some(action) = shared.faults.fire("registry.build") {
+            action.apply("registry.build")?;
+        }
         let started = (shared.clock)();
-        let mut data = build_corpus_data(&job.spec, &job.key, shared.base_pipeline, &shared.build);
+        let mut data =
+            build_corpus_data(&job.spec, &job.key, shared.base_pipeline, &shared.build, shared);
         data.0.set_build_wall_ms((shared.clock)().saturating_sub(started));
-        data
-    }));
+        Ok(data)
+    }))
+    .map_err(|payload| format!("build panicked: {}", panic_message(payload.as_ref())))
+    .and_then(|result: Result<_, String>| result);
     let mut entries = lock_entries(shared);
-    let mut drop_key = false;
     if let Some(entry) = entries.get_mut(&job.key) {
         if entry.generation == job.generation {
             entry.pending = None;
@@ -740,19 +826,21 @@ fn run_build(shared: &Arc<RegistryShared>, job: BuildJob) {
                         experiment: Arc::new(experiment),
                         snapshots: Arc::new(snapshots),
                     });
+                    entry.last_error = None;
                     if swapping {
                         shared.swaps.fetch_add(1, Ordering::Relaxed);
                     }
                 }
-                // A failed first build must not leave a phantom entry
-                // that reports Building forever; a failed rebuild keeps
-                // serving the installed epoch.
-                Err(_) => drop_key = entry.data.is_none(),
+                // Last-good degradation: a failed *rebuild* keeps serving
+                // the installed epoch (the entry is merely degraded); a
+                // failed *first* build keeps the entry in a Failed state
+                // so reads answer a named 500 instead of Building forever.
+                Err(reason) => {
+                    shared.build_failures.fetch_add(1, Ordering::Relaxed);
+                    entry.last_error = Some(reason);
+                }
             }
         }
-    }
-    if drop_key {
-        entries.remove(&job.key);
     }
     drop(entries);
     job.flight.complete(());
@@ -767,6 +855,7 @@ fn build_corpus_data(
     key: &str,
     base: PipelineConfig,
     options: &BuildOptions,
+    shared: &RegistryShared,
 ) -> (SnapshotStore, Experiment) {
     let synth = SynthConfig { seed: spec.seed, scale: spec.scale, ..Default::default() };
     let full = generate_corpus(&synth, Lexicon::standard());
@@ -782,6 +871,15 @@ fn build_corpus_data(
     };
     let config = PipelineConfig { miner: spec.miner, ..base };
     let experiment = Experiment::with_config(corpus, config);
+    if let Some(action) = shared.faults.fire("snapshot.serialize") {
+        // Propagated as a build failure by `run_build`'s catch/apply; the
+        // delay variant just stretches the serialize phase.
+        if let Err(reason) = action.apply("snapshot.serialize") {
+            // `apply` panics for Panic and errs for Fail/ShortWrite; turn
+            // the error into the panic `run_build` already contains.
+            std::panic::panic_any(reason);
+        }
+    }
     let snapshots =
         SnapshotStore::build(&experiment, key.to_string(), &options.models, &options.fig4);
     (snapshots, experiment)

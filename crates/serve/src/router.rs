@@ -30,13 +30,15 @@
 use std::sync::{Arc, Mutex};
 
 use cuisine_core::Experiment;
+use cuisine_exec::{FaultPlan, Faults};
 use serde::{Map, Value};
 
+use crate::deadline::{budget_ms, DeadlineConfig};
 use crate::evolve::{evolve_sync, EvolveRequest, EvolveTask};
 use crate::http::{canonical_key, HttpError, Method, Request, Response};
 use crate::lru::Lru;
 use crate::metrics::{Gauges, Metrics};
-use crate::registry::{CorpusHandle, CorpusRegistry, CorpusSpec, RegistryConfig};
+use crate::registry::{CorpusError, CorpusHandle, CorpusRegistry, CorpusSpec, RegistryConfig};
 use crate::snapshot::SnapshotStore;
 
 /// Shared application state: the experiment (corpus + transaction cache),
@@ -67,6 +69,12 @@ pub struct AppState {
     pub metrics: Metrics,
     /// Server-published gauges (worker count, pool depth).
     pub gauges: Gauges,
+    /// The fault-injection handle shared with the registry's builder pool
+    /// and the evolve engine (`POST /admin/faults` swaps plans on all of
+    /// them at once).
+    pub faults: Arc<Faults>,
+    /// Request-deadline knobs (default budget + clamp).
+    pub deadline: DeadlineConfig,
 }
 
 /// Default capacity of the seeded-evolve result cache.
@@ -99,6 +107,10 @@ impl AppState {
         lru_capacity: usize,
         config: RegistryConfig,
     ) -> Self {
+        // Adopt the registry's fault handle so one `POST /admin/faults`
+        // governs the builder pool, the evolve engine, and the connection
+        // layer together.
+        let faults = Arc::clone(&config.faults);
         let registry = Arc::new(CorpusRegistry::new(
             Arc::clone(&experiment),
             Arc::clone(&snapshots),
@@ -112,7 +124,16 @@ impl AppState {
             evolve_cache: Mutex::new(Lru::new(DEFAULT_EVOLVE_CACHE)),
             metrics: Metrics::new(),
             gauges: Gauges::default(),
+            faults,
+            deadline: DeadlineConfig::default(),
         }
+    }
+
+    /// Replace the deadline configuration (builder style, for servers and
+    /// tests that need tighter or looser budgets).
+    pub fn with_deadline(mut self, deadline: DeadlineConfig) -> Self {
+        self.deadline = deadline;
+        self
     }
 
     /// Replace the seeded-evolve cache capacity (0 disables it — used by
@@ -149,7 +170,7 @@ pub fn route_conn(state: &AppState, request: &Request) -> Routed {
     if request.method == Method::Post && normalized(&request.path) == "/evolve" {
         let corpus = match state.registry.resolve(request.query_param("corpus")) {
             Ok(handle) => handle,
-            Err(error) => return Routed::Ready(error.to_response()),
+            Err(error) => return Routed::Ready(corpus_error_response(state, request, error)),
         };
         return match EvolveRequest::from_json(&request.body) {
             Ok(evolve) => {
@@ -171,12 +192,34 @@ pub fn route(state: &AppState, request: &Request) -> Response {
     }
 }
 
+/// Render a [`CorpusError`], clamping the `409` `retry_after_ms` hint to
+/// the request's deadline budget: advising a client to wait longer than
+/// its own deadline allows would guarantee a wasted retry.
+fn corpus_error_response(state: &AppState, request: &Request, error: CorpusError) -> Response {
+    let error = match error {
+        CorpusError::Building { key, retry_after_ms } => {
+            let budget = budget_ms(request.header("x-deadline-ms"), &state.deadline);
+            CorpusError::Building { key, retry_after_ms: retry_after_ms.min(budget) }
+        }
+        other => other,
+    };
+    error.to_response()
+}
+
 fn dispatch(state: &AppState, request: &Request) -> Result<Response, HttpError> {
     let path = normalized(&request.path);
     match (request.method, path) {
         (Method::Get, "/healthz") => Ok(healthz(state)),
         (Method::Get, "/metrics") => {
             let registry = state.registry.stats();
+            // The accept loop publishes engine + registry pool panics; the
+            // embedded/test path (no server) still surfaces the registry's
+            // own counter here. `fetch_max` so neither writer clobbers the
+            // other's larger total.
+            state
+                .gauges
+                .worker_panics
+                .fetch_max(state.registry.worker_panics(), std::sync::atomic::Ordering::Relaxed);
             Ok(Response::json(
                 200,
                 state.metrics.to_json(
@@ -184,6 +227,7 @@ fn dispatch(state: &AppState, request: &Request) -> Result<Response, HttpError> 
                     &state.snapshots.info(),
                     state.lru_len(),
                     &registry,
+                    &state.faults,
                 ),
             ))
         }
@@ -193,6 +237,8 @@ fn dispatch(state: &AppState, request: &Request) -> Result<Response, HttpError> 
             let spec = CorpusSpec::from_json(&request.body, defaults.as_ref())?;
             Ok(state.registry.register(spec))
         }
+        (Method::Get, "/admin/faults") => Ok(faults_status(state)),
+        (Method::Post, "/admin/faults") => faults_update(state, &request.body),
         (Method::Delete, admin) => match admin.strip_prefix("/admin/corpora/") {
             Some(key) if !key.is_empty() => Ok(state.registry.retire(key)),
             _ => Err(HttpError::new(405, "DELETE is only accepted on /admin/corpora/{key}")),
@@ -200,15 +246,16 @@ fn dispatch(state: &AppState, request: &Request) -> Result<Response, HttpError> 
         (Method::Post, "/evolve") => {
             let corpus = match state.registry.resolve(request.query_param("corpus")) {
                 Ok(handle) => handle,
-                Err(error) => return Ok(error.to_response()),
+                Err(error) => return Ok(corpus_error_response(state, request, error)),
             };
             let evolve = EvolveRequest::from_json(&request.body)?;
             corpus.record_hit();
             Ok(evolve_sync(state, &corpus, &evolve))
         }
-        (Method::Post, _) => {
-            Err(HttpError::new(405, "POST is only accepted on /evolve and /admin/corpora"))
-        }
+        (Method::Post, _) => Err(HttpError::new(
+            405,
+            "POST is only accepted on /evolve, /admin/corpora, and /admin/faults",
+        )),
         (Method::Get, "/evolve") => {
             Err(HttpError::new(405, "/evolve requires POST with a JSON body"))
         }
@@ -224,7 +271,7 @@ fn normalized(path: &str) -> &str {
 fn cached_get(state: &AppState, request: &Request) -> Result<Response, HttpError> {
     let corpus = match state.registry.resolve(request.query_param("corpus")) {
         Ok(handle) => handle,
-        Err(error) => return Ok(error.to_response()),
+        Err(error) => return Ok(corpus_error_response(state, request, error)),
     };
     corpus.record_hit();
     // Scope the cache key to (corpus key, epoch): a hot-swap bumps the
@@ -308,6 +355,68 @@ fn resolve_get(corpus: &CorpusHandle, request: &Request) -> Result<Response, Htt
     }
 }
 
+/// The `GET /admin/faults` document: the active plan (spec, seed, firing
+/// counters per point) or `{"spec": null}` when none is installed.
+fn faults_status(state: &AppState) -> Response {
+    let mut doc = Map::new();
+    match state.faults.plan() {
+        None => {
+            doc.insert("spec", Value::Null);
+            doc.insert("total_fired", Value::U64(0));
+        }
+        Some(plan) => {
+            doc.insert("spec", Value::String(plan.spec().to_string()));
+            doc.insert("seed", Value::U64(plan.seed()));
+            doc.insert("total_fired", Value::U64(plan.total_fired()));
+            let points: Vec<Value> = plan
+                .counts()
+                .into_iter()
+                .map(|count| {
+                    let mut row = Map::new();
+                    row.insert("point", Value::String(count.point));
+                    row.insert("occurrences", Value::U64(count.occurrences));
+                    row.insert("fired", Value::U64(count.fired));
+                    Value::Object(row)
+                })
+                .collect();
+            doc.insert("points", Value::Array(points));
+        }
+    }
+    Response::json(200, serde_json::to_string(&Value::Object(doc)).unwrap_or_default())
+}
+
+/// `POST /admin/faults`: install a plan from `{"spec": "..."}` (see the
+/// grammar in [`cuisine_exec::faults`](cuisine_exec::FaultPlan)), or clear
+/// the active one with `{"clear": true}` or an empty spec. Unparseable
+/// specs are `422` naming the offending entry.
+fn faults_update(state: &AppState, body: &[u8]) -> Result<Response, HttpError> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| HttpError::bad_request("fault plan body must be UTF-8 JSON"))?;
+    let doc: Value = serde_json::from_str(text)
+        .map_err(|e| HttpError::bad_request(format!("fault plan body is not JSON: {e}")))?;
+    let fields = doc
+        .as_object()
+        .ok_or_else(|| HttpError::bad_request("fault plan body must be a JSON object"))?;
+    let clear = matches!(fields.get("clear"), Some(Value::Bool(true)));
+    let spec = match fields.get("spec") {
+        Some(Value::String(spec)) => spec.as_str(),
+        Some(Value::Null) | None => "",
+        Some(other) => {
+            return Err(HttpError::bad_request(format!(
+                "fault spec must be a string, got {}",
+                other.kind()
+            )));
+        }
+    };
+    if clear || spec.trim().is_empty() {
+        state.faults.clear();
+    } else {
+        let plan = FaultPlan::parse(spec).map_err(|reason| HttpError::new(422, reason))?;
+        state.faults.install(plan);
+    }
+    Ok(faults_status(state))
+}
+
 fn healthz(state: &AppState) -> Response {
     let mut doc = Map::new();
     doc.insert("status", Value::String("ok".into()));
@@ -336,6 +445,8 @@ fn index(corpus: &CorpusHandle) -> Response {
         "GET /admin/corpora",
         "POST /admin/corpora",
         "DELETE /admin/corpora/{key}",
+        "GET /admin/faults",
+        "POST /admin/faults",
     ] {
         endpoints.push(Value::String(live.to_string()));
     }
@@ -527,6 +638,176 @@ mod tests {
         assert_eq!(get(&state, &format!("/table1?corpus={fra}")).status, 404);
         assert_eq!(send(&state, Method::Delete, "/admin/corpora/default", b"").status, 409);
         assert_eq!(send(&state, Method::Delete, "/admin/corpora", b"").status, 405);
+    }
+
+    /// Poll the admin listing until `key`'s row satisfies `pred` (builds
+    /// run on a background pool; tests need a settle point).
+    fn wait_listing(state: &AppState, key: &str, pred: impl Fn(&Map) -> bool) -> bool {
+        let deadline = std::time::Instant::now() + Duration::from_secs(300);
+        while std::time::Instant::now() < deadline {
+            let listing = send(state, Method::Get, "/admin/corpora", b"");
+            let doc = json(&listing);
+            let rows = doc.as_object().unwrap().get("corpora").unwrap().as_array().unwrap();
+            let row = rows.iter().find(|r| {
+                r.as_object().and_then(|o| o.get("key")).and_then(Value::as_str) == Some(key)
+            });
+            if let Some(row) = row.and_then(Value::as_object) {
+                if pred(row) {
+                    return true;
+                }
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        false
+    }
+
+    #[test]
+    fn failed_first_build_answers_a_named_500() {
+        let state = state();
+        state
+            .faults
+            .install(cuisine_exec::FaultPlan::parse("registry.build=fail").unwrap());
+        let registered = send(&state, Method::Post, "/admin/corpora", br#"{"cuisines":["GRC"]}"#);
+        assert_eq!(registered.status, 202);
+        let key = "seed11-scale0.02-fpgrowth-GRC";
+        assert!(
+            wait_listing(&state, key, |row| {
+                row.get("state").and_then(Value::as_str) == Some("failed")
+            }),
+            "build should settle in the failed state"
+        );
+        state.faults.clear();
+
+        // Reads answer a deterministic 500 naming the key and the reason.
+        let response = get(&state, &format!("/table1?corpus={key}"));
+        assert_eq!(response.status, 500, "{}", String::from_utf8_lossy(&response.body));
+        let message = json(&response)
+            .as_object()
+            .unwrap()
+            .get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_string();
+        assert!(message.contains(key), "{message}");
+        assert!(message.contains("injected fault: registry.build fail"), "{message}");
+
+        // Re-registering the failed key answers the same named 500 (there
+        // is no last-good epoch to degrade to) ...
+        let again = send(&state, Method::Post, "/admin/corpora", br#"{"cuisines":["GRC"]}"#);
+        assert_eq!(again.status, 202, "{}", String::from_utf8_lossy(&again.body));
+        assert!(state.registry.wait_ready(key, Duration::from_secs(300)));
+        // ... and with the fault cleared the retry installs a real build.
+        assert_eq!(get(&state, &format!("/table1?corpus={key}")).status, 200);
+        let stats = state.registry.stats();
+        assert!(stats.build_failures >= 1, "build_failures={}", stats.build_failures);
+    }
+
+    #[test]
+    fn failed_rebuild_degrades_to_last_good_and_says_so() {
+        let state = state();
+        let key = "seed11-scale0.02-fpgrowth-MEX";
+        let registered = send(&state, Method::Post, "/admin/corpora", br#"{"cuisines":["MEX"]}"#);
+        assert_eq!(registered.status, 202);
+        assert!(state.registry.wait_ready(key, Duration::from_secs(300)));
+        let good = get(&state, &format!("/table1?corpus={key}"));
+        assert_eq!(good.status, 200);
+
+        // A failing rebuild must keep the last-good epoch serving.
+        state
+            .faults
+            .install(cuisine_exec::FaultPlan::parse("registry.build=panic").unwrap());
+        let swap = send(&state, Method::Post, "/admin/corpora", br#"{"cuisines":["MEX"]}"#);
+        assert_eq!(swap.status, 202);
+        assert!(
+            wait_listing(&state, key, |row| {
+                matches!(row.get("degraded"), Some(Value::Bool(true)))
+            }),
+            "row should be marked degraded after the failed rebuild"
+        );
+        state.faults.clear();
+        let after = get(&state, &format!("/table1?corpus={key}"));
+        assert_eq!(after.status, 200);
+        assert_eq!(after.body, good.body, "last-good bytes must keep serving");
+        let listing = json(&send(&state, Method::Get, "/admin/corpora", b""));
+        let rows = listing.as_object().unwrap().get("corpora").unwrap().as_array().unwrap();
+        let row = rows
+            .iter()
+            .find_map(|r| {
+                r.as_object()
+                    .filter(|o| o.get("key").and_then(Value::as_str) == Some(key))
+            })
+            .unwrap();
+        assert_eq!(row.get("state").and_then(Value::as_str), Some("ready"));
+        let error = row.get("error").and_then(Value::as_str).unwrap();
+        assert!(error.contains("injected fault: registry.build panic"), "{error}");
+        assert!(state.registry.stats().build_failures >= 1);
+    }
+
+    #[test]
+    fn admin_faults_installs_reports_and_clears() {
+        let state = state();
+        let empty = send(&state, Method::Get, "/admin/faults", b"");
+        assert_eq!(empty.status, 200);
+        assert_eq!(json(&empty).as_object().unwrap().get("spec"), Some(&Value::Null));
+
+        let bad = send(&state, Method::Post, "/admin/faults", br#"{"spec":"bogus.point=fail"}"#);
+        assert_eq!(bad.status, 422, "{}", String::from_utf8_lossy(&bad.body));
+
+        let spec = r#"{"spec":"seed=3;evolve.compute=delay:1@1in:4"}"#;
+        let installed = send(&state, Method::Post, "/admin/faults", spec.as_bytes());
+        assert_eq!(installed.status, 200);
+        let doc = json(&installed);
+        let fields = doc.as_object().unwrap();
+        assert_eq!(
+            fields.get("spec").and_then(Value::as_str),
+            Some("seed=3;evolve.compute=delay:1@1in:4")
+        );
+        assert_eq!(fields.get("seed").and_then(Value::as_u64), Some(3));
+        assert!(state.faults.plan().is_some());
+
+        let cleared = send(&state, Method::Post, "/admin/faults", br#"{"clear":true}"#);
+        assert_eq!(cleared.status, 200);
+        assert_eq!(json(&cleared).as_object().unwrap().get("spec"), Some(&Value::Null));
+        assert!(state.faults.plan().is_none());
+    }
+
+    #[test]
+    fn building_409_hint_is_clamped_to_the_deadline_budget() {
+        let state = state();
+        // Hold the builder so the registration stays in Building.
+        state
+            .faults
+            .install(cuisine_exec::FaultPlan::parse("registry.build=delay:300").unwrap());
+        let registered = send(&state, Method::Post, "/admin/corpora", br#"{"cuisines":["JPN"]}"#);
+        assert_eq!(registered.status, 202);
+        let key = "seed11-scale0.02-fpgrowth-JPN";
+        let (method, path, query) =
+            crate::http::parse_request_line(&format!("GET /table1?corpus={key} HTTP/1.1"))
+                .unwrap();
+        let request = Request {
+            method,
+            path,
+            query,
+            headers: vec![("x-deadline-ms".into(), "50".into())],
+            body: vec![],
+        };
+        let response = route(&state, &request);
+        state.faults.clear();
+        if response.status == 409 {
+            let hint = json(&response)
+                .as_object()
+                .unwrap()
+                .get("retry_after_ms")
+                .unwrap()
+                .as_u64()
+                .unwrap();
+            assert!(hint <= 50, "retry_after_ms={hint} must be clamped to the 50ms budget");
+        } else {
+            // The build can win the race on a fast machine; Ready is fine.
+            assert_eq!(response.status, 200);
+        }
+        assert!(state.registry.wait_ready(key, Duration::from_secs(300)));
     }
 
     #[test]

@@ -54,8 +54,9 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use cuisine_exec::{spawn_service, Flight};
+use cuisine_exec::{spawn_service, FaultAction, Faults, Flight};
 
+use crate::deadline::{budget_ms, remaining_ms, timeout_response, DeadlineConfig};
 use crate::evolve::{EvolveEngine, Submitted};
 use crate::http::{Frame, FrameReader, Response};
 use crate::router::{route_conn, AppState, Routed};
@@ -107,6 +108,10 @@ pub struct ServerConfig {
     /// Upper bound on concurrently open connections per shard; excess
     /// stays in the acceptor queue (and is shed once that fills).
     pub max_conns_per_shard: usize,
+    /// End-to-end request deadline knobs: the default budget and the clamp
+    /// applied to client `X-Deadline-Ms` requests. Expiry while parked on
+    /// an `/evolve` flight answers `504` and detaches the waiter.
+    pub deadline: DeadlineConfig,
 }
 
 impl Default for ServerConfig {
@@ -122,6 +127,7 @@ impl Default for ServerConfig {
             keep_alive: true,
             idle_timeout: Duration::from_secs(30),
             max_conns_per_shard: 1024,
+            deadline: DeadlineConfig::default(),
         }
     }
 }
@@ -153,7 +159,9 @@ impl Server {
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
 
-        let state = Arc::new(state);
+        // The server config is the one source of deadline truth once a
+        // server fronts the state.
+        let state = Arc::new(state.with_deadline(config.deadline));
         let stop = Arc::new(AtomicBool::new(false));
         let engine = Arc::new(EvolveEngine::new(
             Arc::clone(&state),
@@ -251,7 +259,7 @@ fn accept_loop(
     while !stop.load(Ordering::Acquire) {
         match listener.accept() {
             Ok((stream, _peer)) => {
-                state.gauges.pool_depth.store(engine.depth(), Ordering::Relaxed);
+                publish_gauges(state, engine);
                 if stream.set_nonblocking(true).is_err() {
                     continue; // peer vanished between accept and setup
                 }
@@ -282,7 +290,7 @@ fn accept_loop(
                 }
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                state.gauges.pool_depth.store(engine.depth(), Ordering::Relaxed);
+                publish_gauges(state, engine);
                 std::thread::sleep(Duration::from_millis(1));
             }
             Err(_) => std::thread::sleep(Duration::from_millis(1)),
@@ -290,6 +298,17 @@ fn accept_loop(
     }
     // Fall through: the shard senders drop here, which is the shards'
     // signal to drain and exit.
+}
+
+/// Publish the gauges only the accept thread can cheaply aggregate: evolve
+/// pool depth and contained worker panics (evolve + registry builder
+/// pools).
+fn publish_gauges(state: &AppState, engine: &EvolveEngine) {
+    state.gauges.pool_depth.store(engine.depth(), Ordering::Relaxed);
+    state.gauges.worker_panics.store(
+        engine.worker_panics() + state.registry.worker_panics(),
+        Ordering::Relaxed,
+    );
 }
 
 /// Answer `503` inline on the accept thread when every shard queue is
@@ -308,8 +327,13 @@ struct Waiting {
     flight: Arc<Flight<Response>>,
     /// Close the connection after this response.
     close: bool,
-    /// Request arrival, for the latency histogram.
+    /// Request arrival, for the latency histogram and the deadline.
     started: Instant,
+    /// The request's end-to-end millisecond budget (`X-Deadline-Ms`,
+    /// clamped, or the configured default). When it runs out the waiter
+    /// detaches from the flight — which other waiters may still be parked
+    /// on, and which the engine always completes — and answers `504`.
+    budget_ms: u64,
 }
 
 /// One live connection owned by a shard.
@@ -327,6 +351,12 @@ struct Conn {
     /// Parked evolve computation, if any. While set, frame processing is
     /// paused so pipelined responses keep request order.
     waiting: Option<Waiting>,
+    /// When the currently-arriving request's first bytes landed. Bounds
+    /// the *total* time one frame may take to arrive: a drip-feeding peer
+    /// resets `last_activity` (so `read_timeout` never trips) but not
+    /// this, and is reaped with `408` once the default deadline budget
+    /// elapses mid-frame.
+    frame_started: Option<Instant>,
     /// Close once `out` is flushed (Connection: close, error, drain).
     close_after_flush: bool,
     /// Peer half-closed its write side (EOF on read).
@@ -343,6 +373,7 @@ impl Conn {
             served: 0,
             last_activity: now,
             waiting: None,
+            frame_started: None,
             close_after_flush: false,
             read_closed: false,
         }
@@ -416,14 +447,16 @@ fn step_conn(
     draining: bool,
     progressed: &mut bool,
 ) -> bool {
-    if !flush_out(conn, now, progressed) {
+    if !flush_out(conn, ctx, now, progressed) {
         return false;
     }
     if conn.close_after_flush && conn.out_empty() {
         return false;
     }
 
-    // A finished evolve computation unparks the connection.
+    // A finished evolve computation unparks the connection; an exhausted
+    // deadline detaches from the flight (the engine still completes it
+    // for any other waiters) and answers `504` echoing the budget.
     if let Some(waiting) = &conn.waiting {
         if let Some(response) = waiting.flight.try_get() {
             let close = waiting.close;
@@ -431,6 +464,17 @@ fn step_conn(
             conn.waiting = None;
             finish_response(conn, ctx, &response, close, started);
             *progressed = true;
+        } else {
+            let elapsed = now.duration_since(waiting.started).as_millis().min(u128::from(u64::MAX)) as u64;
+            if remaining_ms(waiting.budget_ms, elapsed).is_none() {
+                let close = waiting.close;
+                let started = waiting.started;
+                let response = timeout_response(waiting.budget_ms);
+                conn.waiting = None;
+                ctx.state.metrics.record_deadline_expired();
+                finish_response(conn, ctx, &response, close, started);
+                *progressed = true;
+            }
         }
     }
 
@@ -438,16 +482,25 @@ fn step_conn(
         && !conn.close_after_flush
         && !conn.framer.is_failed()
         && conn.framer.buffered() < IN_HIGH_WATER
-        && !read_in(conn, now, progressed)
+        && !read_in(conn, ctx, now, progressed)
     {
         return false;
     }
 
     drain_frames(conn, ctx, progressed);
 
+    // Track how long the currently-arriving frame has been incomplete.
+    if conn.framer.mid_frame() && conn.waiting.is_none() {
+        if conn.frame_started.is_none() {
+            conn.frame_started = Some(now);
+        }
+    } else {
+        conn.frame_started = None;
+    }
+
     // Push freshly produced responses in the same tick instead of waiting
     // for the next loop iteration.
-    if !flush_out(conn, now, progressed) {
+    if !flush_out(conn, ctx, now, progressed) {
         return false;
     }
     if conn.close_after_flush && conn.out_empty() {
@@ -469,8 +522,16 @@ fn step_conn(
                 return false; // stalled reader on the other end
             }
         } else if conn.framer.mid_frame() {
-            if quiet > ctx.config.read_timeout {
-                // Same answer the blocking parser gave a stalled request.
+            // A frame may stall two ways: no bytes at all for
+            // `read_timeout`, or a drip-feed that keeps resetting
+            // `last_activity` but never completes within the default
+            // deadline budget. Both get the blocking parser's `408`.
+            let frame_age = conn
+                .frame_started
+                .map(|t| now.duration_since(t))
+                .unwrap_or(Duration::ZERO);
+            let budget = Duration::from_millis(ctx.config.deadline.default_ms);
+            if quiet > ctx.config.read_timeout || frame_age > budget {
                 let response = Response::error(408, "timed out reading request");
                 ctx.state.metrics.record(408, Duration::ZERO);
                 response.append_to(&mut conn.out, false);
@@ -483,16 +544,51 @@ fn step_conn(
     true
 }
 
+/// Consult the `conn.read`/`conn.write` fault hook. Returns the number of
+/// bytes a short write may move this round (`usize::MAX` = no limit), or
+/// `None` when the injected action is fatal to the connection.
+fn conn_fault(faults: &Faults, point: &str) -> Option<usize> {
+    match faults.fire(point) {
+        None => Some(usize::MAX),
+        Some(FaultAction::DelayMs(ms)) => {
+            std::thread::sleep(Duration::from_millis(ms));
+            Some(usize::MAX)
+        }
+        // A short write moves one byte this round; the resume path (and
+        // the peer's reassembly) must still produce byte-identical
+        // responses. On the read side a short window is just a small read.
+        Some(FaultAction::ShortWrite) => Some(1),
+        // Fail/Panic at the socket layer = the transport died; the
+        // connection closes exactly as it would on a peer reset. (Panics
+        // must not unwind a shard, so both map to the error path.)
+        Some(FaultAction::Fail) | Some(FaultAction::Panic) => None,
+    }
+}
+
 /// Write as much pending output as the socket accepts. Returns false on a
 /// fatal write error.
-fn flush_out(conn: &mut Conn, now: Instant, progressed: &mut bool) -> bool {
+fn flush_out(conn: &mut Conn, ctx: &ShardCtx, now: Instant, progressed: &mut bool) -> bool {
+    // Consult the write hook once per flush that has bytes to move (idle
+    // ticks must not inflate occurrence counts).
+    let mut limit = usize::MAX;
+    if conn.out_pos < conn.out.len() {
+        limit = match conn_fault(&ctx.state.faults, "conn.write") {
+            Some(limit) => limit,
+            None => return false,
+        };
+    }
     while conn.out_pos < conn.out.len() {
-        let chunk = conn.out.get(conn.out_pos..).unwrap_or_default();
+        if limit == 0 {
+            break; // short-write budget spent; resume next tick
+        }
+        let end = conn.out.len().min(conn.out_pos.saturating_add(limit));
+        let chunk = conn.out.get(conn.out_pos..end).unwrap_or_default();
         match conn.stream.write(chunk) {
             Ok(0) => return false,
             Ok(n) => {
                 conn.out_pos += n;
                 conn.last_activity = now;
+                limit = limit.saturating_sub(n);
                 *progressed = true;
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
@@ -509,8 +605,9 @@ fn flush_out(conn: &mut Conn, now: Instant, progressed: &mut bool) -> bool {
 
 /// Read whatever the socket has into the framer. Returns false on a fatal
 /// read error.
-fn read_in(conn: &mut Conn, now: Instant, progressed: &mut bool) -> bool {
+fn read_in(conn: &mut Conn, ctx: &ShardCtx, now: Instant, progressed: &mut bool) -> bool {
     let mut chunk = [0u8; 4096];
+    let mut consulted = false;
     loop {
         if conn.framer.buffered() >= IN_HIGH_WATER {
             return true;
@@ -521,6 +618,17 @@ fn read_in(conn: &mut Conn, now: Instant, progressed: &mut bool) -> bool {
                 return true;
             }
             Ok(n) => {
+                // Consult the read hook once per burst of actual inbound
+                // data (idle ticks must not inflate occurrence counts).
+                // Fail/Panic kill the transport; a delay stalls it; a
+                // short-write has no lossless read analogue (feeding a
+                // prefix would corrupt the stream), so it reads normally.
+                if !consulted {
+                    consulted = true;
+                    if conn_fault(&ctx.state.faults, "conn.read").is_none() {
+                        return false;
+                    }
+                }
                 conn.framer.feed(chunk.get(..n).unwrap_or_default());
                 conn.last_activity = now;
                 *progressed = true;
@@ -564,14 +672,21 @@ fn drain_frames(conn: &mut Conn, ctx: &ShardCtx, progressed: &mut bool) {
                     Routed::Ready(response) => {
                         finish_response(conn, ctx, &response, close, started);
                     }
-                    Routed::Evolve(task) => match ctx.engine.submit(task) {
-                        Submitted::Ready(response) => {
-                            finish_response(conn, ctx, &response, close, started);
+                    Routed::Evolve(task) => {
+                        let budget = budget_ms(
+                            framed.request.header("x-deadline-ms"),
+                            &ctx.state.deadline,
+                        );
+                        match ctx.engine.submit(task) {
+                            Submitted::Ready(response) => {
+                                finish_response(conn, ctx, &response, close, started);
+                            }
+                            Submitted::Wait(flight) => {
+                                conn.waiting =
+                                    Some(Waiting { flight, close, started, budget_ms: budget });
+                            }
                         }
-                        Submitted::Wait(flight) => {
-                            conn.waiting = Some(Waiting { flight, close, started });
-                        }
-                    },
+                    }
                 }
             }
         }

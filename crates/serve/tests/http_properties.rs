@@ -5,10 +5,14 @@
 //! slashes (the LRU correctness contract). The incremental `FrameReader`
 //! behind keep-alive/pipelining must recover pipelined request streams
 //! exactly regardless of how the bytes are chunked, and fail closed
-//! (Malformed once, then poisoned) on byte soup.
+//! (Malformed once, then poisoned) on byte soup. Deadline arithmetic
+//! (`X-Deadline-Ms` parsing, clamping, budget subtraction) must be total:
+//! any header value maps to a budget in range, and the remaining-time
+//! computation never under- or overflows.
 
 use std::io::Cursor;
 
+use cuisine_serve::deadline::{budget_ms, remaining_ms, timeout_response, DeadlineConfig};
 use cuisine_serve::http::{
     canonical_key, parse_header_line, parse_query, parse_request_line, percent_decode,
     percent_encode, read_request, Frame, FrameReader, FramedRequest, Method,
@@ -271,6 +275,64 @@ proptest! {
                 ),
             }
         }
+    }
+
+    #[test]
+    fn deadline_budget_is_total_over_arbitrary_header_values(
+        header in (any::<bool>(), "[ -~¡-ÿ]{0,24}")
+            .prop_map(|(present, value)| present.then_some(value)),
+        default_ms in 1u64..=1_000_000,
+        max_ms in 1u64..=1_000_000,
+    ) {
+        // Any header value — absent, empty, non-numeric, non-ASCII,
+        // overflowing — must produce a budget without panicking, and that
+        // budget is either the configured default (unparseable input) or
+        // a parsed value clamped into [1, max_ms].
+        let config = DeadlineConfig { default_ms, max_ms };
+        let budget = budget_ms(header.as_deref(), &config);
+        prop_assert!(budget >= 1);
+        prop_assert!(
+            budget == config.default_ms || budget <= config.max_ms,
+            "budget {budget} is neither the default {default_ms} nor within max {max_ms} \
+             (header {header:?})"
+        );
+    }
+
+    #[test]
+    fn numeric_deadline_headers_clamp_to_the_configured_ceiling(
+        value in 0u64..=u64::MAX / 2,
+        max_ms in 1u64..=10_000_000,
+        pad_left in " {0,3}",
+        pad_right in " {0,3}",
+    ) {
+        let config = DeadlineConfig { default_ms: 30_000, max_ms };
+        let header = format!("{pad_left}{value}{pad_right}");
+        prop_assert_eq!(budget_ms(Some(&header), &config), value.clamp(1, max_ms));
+    }
+
+    #[test]
+    fn remaining_budget_subtraction_is_exact_and_saturates(
+        budget in any::<u64>(),
+        elapsed in any::<u64>(),
+    ) {
+        match remaining_ms(budget, elapsed) {
+            Some(left) => {
+                prop_assert!(elapsed < budget, "Some({left}) but elapsed >= budget");
+                prop_assert_eq!(left, budget - elapsed);
+            }
+            None => prop_assert!(elapsed >= budget, "expired before the budget ran out"),
+        }
+    }
+
+    #[test]
+    fn timeout_response_echoes_any_budget(budget in 1u64..=u64::MAX / 2) {
+        let response = timeout_response(budget);
+        prop_assert_eq!(response.status, 504);
+        let text = std::str::from_utf8(&response.body).unwrap();
+        prop_assert!(
+            text.contains(&format!("\"deadline_ms\":{budget}")),
+            "504 body must echo the budget: {text}"
+        );
     }
 
     #[test]
