@@ -129,6 +129,51 @@ cargo run --release -q -p cuisine-lint --bin cuisine-lint -- \
     --root . --format json > /tmp/cuisine-lint-report.json \
     || { cargo run --release -q -p cuisine-lint --bin cuisine-lint -- --root .; exit 1; }
 
+echo "==> cuisine-lint injection stage (C1/C2 must catch seeded faults)"
+# Copy a real serve source into a temp tree, seed a lock inversion and a
+# recv-under-guard, and require the linter to fail each with a spanned
+# diagnostic naming the rule. This proves the concurrency rules fire on
+# production-shaped code, not just on embedded fixtures.
+INJECT_DIR=$(mktemp -d /tmp/cuisine-lint-inject.XXXXXX)
+mkdir -p "$INJECT_DIR/crates/serve/src"
+cp crates/serve/src/evolve.rs "$INJECT_DIR/crates/serve/src/evolve.rs"
+cat >> "$INJECT_DIR/crates/serve/src/evolve.rs" <<'EOF'
+
+fn injected_inversion(shared: &Shared) {
+    let evolve_cache = shared.evolve_cache.lock();
+    let inflight = shared.inflight.lock();
+    drop((evolve_cache, inflight));
+}
+
+fn injected_recv_under_guard(shared: &Shared, chan: &std::sync::mpsc::Receiver<u32>) {
+    let inflight = shared.inflight.lock();
+    let job = chan.recv();
+    drop((inflight, job));
+}
+EOF
+INJECT_OUT=$(cargo run --release -q -p cuisine-lint --bin cuisine-lint -- \
+    --root "$INJECT_DIR" --baseline /nonexistent-lint.toml --only C1,C2 || true)
+echo "$INJECT_OUT" | sed 's/^/    | /'
+if cargo run --release -q -p cuisine-lint --bin cuisine-lint -- \
+    --root "$INJECT_DIR" --baseline /nonexistent-lint.toml --only C1,C2 \
+    >/dev/null 2>&1; then
+    echo "FAIL: injected concurrency faults lint clean"; exit 1
+fi
+if ! echo "$INJECT_OUT" | grep -q 'evolve\.rs:[0-9]\+:[0-9]\+.*C1'; then
+    echo "FAIL: seeded lock inversion not flagged by C1 with a span"; exit 1
+fi
+if ! echo "$INJECT_OUT" | grep -q 'evolve\.rs:[0-9]\+:[0-9]\+.*C2'; then
+    echo "FAIL: seeded recv-under-guard not flagged by C2 with a span"; exit 1
+fi
+rm -rf "$INJECT_DIR"
+
+echo "==> serve concurrency + chaos suites under the debug lock-order witness"
+# Debug profile enables the cuisine_exec::lockorder thread-local witness:
+# every OrderedMutex acquisition panics on a declared-order violation, so
+# a green run here is a dynamic proof of the same table C1 enforces.
+cargo test -q -p cuisine-serve --test concurrency
+cargo test -q -p cuisine-serve --test chaos
+
 if [[ -z "${SKIP_CLIPPY:-}" ]]; then
     echo "==> cargo clippy --all-targets -- -D warnings"
     cargo clippy --all-targets -- -D warnings

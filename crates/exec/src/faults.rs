@@ -40,7 +40,9 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+
+use crate::lockorder::{self, OrderedMutex};
 
 /// The injection points the serve stack consults. Specs naming any other
 /// point are rejected at parse time so typos fail loudly.
@@ -321,10 +323,19 @@ fn fnv1a(s: &str) -> u64 {
 /// engine; [`Faults::install`] / [`Faults::clear`] swap the active plan
 /// atomically. With no plan installed, [`Faults::fire`] is a single
 /// relaxed atomic load.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Faults {
     enabled: AtomicBool,
-    plan: Mutex<Option<Arc<FaultPlan>>>,
+    plan: OrderedMutex<Option<Arc<FaultPlan>>>,
+}
+
+impl Default for Faults {
+    fn default() -> Self {
+        Faults {
+            enabled: AtomicBool::new(false),
+            plan: OrderedMutex::new(lockorder::EXEC_FAULTS_PLAN, None),
+        }
+    }
 }
 
 impl Faults {
@@ -335,22 +346,14 @@ impl Faults {
 
     /// Install a plan, replacing any previous one (counters restart).
     pub fn install(&self, plan: FaultPlan) {
-        let mut slot = match self.plan.lock() {
-            Ok(guard) => guard,
-            Err(poisoned) => poisoned.into_inner(),
-        };
-        *slot = Some(Arc::new(plan));
+        *self.plan.lock() = Some(Arc::new(plan));
         self.enabled.store(true, Ordering::Release);
     }
 
     /// Remove the active plan; subsequent `fire` calls are no-ops again.
     pub fn clear(&self) {
         self.enabled.store(false, Ordering::Release);
-        let mut slot = match self.plan.lock() {
-            Ok(guard) => guard,
-            Err(poisoned) => poisoned.into_inner(),
-        };
-        *slot = None;
+        *self.plan.lock() = None;
     }
 
     /// The active plan, if any (for `/metrics` and admin reporting).
@@ -358,10 +361,7 @@ impl Faults {
         if !self.enabled.load(Ordering::Acquire) {
             return None;
         }
-        match self.plan.lock() {
-            Ok(guard) => guard.clone(),
-            Err(poisoned) => poisoned.into_inner().clone(),
-        }
+        self.plan.lock().clone()
     }
 
     /// Consult the active plan at an injection point. The no-plan fast

@@ -19,24 +19,37 @@
 //! the serving layer the payload is an `Arc`-bodied response, so a clone
 //! is a pointer bump, not a body copy.
 
-use std::sync::{Condvar, Mutex};
+use std::sync::Condvar;
 use std::time::Duration;
+
+use crate::lockorder::{self, OrderedMutex};
 
 /// A write-once cell: one completion, any number of waiters.
 ///
 /// See the [module docs](self). All methods are safe to call from any
-/// thread; poisoning is tolerated (a poisoned lock still yields the slot —
-/// waiters must never deadlock because some unrelated holder panicked).
-#[derive(Debug, Default)]
+/// thread; poisoning is tolerated (the [`OrderedMutex`] heals it and
+/// counts the recovery — waiters must never deadlock because some
+/// unrelated holder panicked), and every acquisition is checked against
+/// the declared lock order in debug builds.
+#[derive(Debug)]
 pub struct Flight<T> {
-    slot: Mutex<Option<T>>,
+    slot: OrderedMutex<Option<T>>,
     ready: Condvar,
+}
+
+impl<T> Default for Flight<T> {
+    fn default() -> Self {
+        Flight {
+            slot: OrderedMutex::new(lockorder::EXEC_FLIGHT_SLOT, None),
+            ready: Condvar::new(),
+        }
+    }
 }
 
 impl<T: Clone> Flight<T> {
     /// An empty flight with no value yet.
     pub fn new() -> Self {
-        Flight { slot: Mutex::new(None), ready: Condvar::new() }
+        Flight::default()
     }
 
     /// Publish the result and wake every waiter.
@@ -45,10 +58,7 @@ impl<T: Clone> Flight<T> {
     /// completion (e.g. a shed path racing the computation) cannot swap
     /// the value out from under a waiter that already observed it.
     pub fn complete(&self, value: T) {
-        let mut slot = match self.slot.lock() {
-            Ok(guard) => guard,
-            Err(poisoned) => poisoned.into_inner(),
-        };
+        let mut slot = self.slot.lock();
         if slot.is_none() {
             *slot = Some(value);
         }
@@ -58,25 +68,14 @@ impl<T: Clone> Flight<T> {
 
     /// Non-blocking poll: the published value, if any.
     pub fn try_get(&self) -> Option<T> {
-        match self.slot.lock() {
-            Ok(guard) => guard.clone(),
-            Err(poisoned) => poisoned.into_inner().clone(),
-        }
+        self.slot.lock().clone()
     }
 
     /// Block until the value is published or `timeout` elapses.
     pub fn wait_timeout(&self, timeout: Duration) -> Option<T> {
-        let guard = match self.slot.lock() {
-            Ok(guard) => guard,
-            Err(poisoned) => poisoned.into_inner(),
-        };
-        let (guard, _result) = match self
-            .ready
-            .wait_timeout_while(guard, timeout, |slot| slot.is_none())
-        {
-            Ok(pair) => pair,
-            Err(poisoned) => poisoned.into_inner(),
-        };
+        let guard = self.slot.lock();
+        let (guard, _timed_out) =
+            guard.wait_timeout_while(&self.ready, timeout, |slot| slot.is_none());
         guard.clone()
     }
 }

@@ -29,10 +29,12 @@
 
 pub mod faults;
 pub mod flight;
+pub mod lockorder;
 pub mod pool;
 
 pub use faults::{panic_message, FaultAction, FaultCount, FaultPlan, Faults, FAULT_POINTS};
 pub use flight::Flight;
+pub use lockorder::{OrderedGuard, OrderedMutex};
 pub use pool::{PoolFull, WorkerPool};
 
 /// Spawn a long-lived, named *service* thread.

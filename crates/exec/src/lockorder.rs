@@ -1,0 +1,394 @@
+//! Runtime lock-order witness: the dynamic half of the `C1`–`C3`
+//! concurrency contract.
+//!
+//! The workspace's lock web — the registry entry map, the evolve
+//! in-flight map, two response LRUs, the single-flight slot, the worker
+//! pool's receiver and panic log, and the fault plan — is governed by a
+//! single declared acquisition order (the `[lockorder]` table in
+//! `lint.toml`). `cuisine-lint`'s `C1` rule enforces that order
+//! *statically* over guard lifetimes; this module enforces the *same*
+//! table *dynamically* in debug builds, so the concurrency, registry,
+//! and chaos integration suites double as order-violation detectors.
+//!
+//! [`OrderedMutex`] is a thin wrapper over [`std::sync::Mutex`] carrying
+//! a [`Rank`] from the declared table. Under `cfg(debug_assertions)`
+//! every acquisition pushes its rank onto a thread-local held stack and
+//! panics — naming both locks — if any held rank is greater than or
+//! equal to the new one (equal catches same-lock re-entry, which would
+//! deadlock on `std`'s non-reentrant mutex). Release builds compile the
+//! witness down to nothing: no thread-local, no branch, just the inner
+//! mutex.
+//!
+//! Poisoning is healed centrally here rather than at every call site:
+//! [`OrderedMutex::lock`] recovers a poisoned mutex with
+//! [`PoisonError::into_inner`](std::sync::PoisonError::into_inner) and
+//! counts the recovery in a process-wide counter surfaced as
+//! `poisoned_lock_recoveries` on the serve stack's `/metrics`. The
+//! protected state is always left consistent by construction (panics are
+//! contained by `catch_unwind` at pool/job boundaries before they can
+//! tear a multi-step update), so continuing past a poisoned flag is
+//! sound — but it must be *visible*, not silently swallowed.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// One row of the declared lock-order table: a stable index (the
+/// acquisition rank — lower acquires first) and the human-readable site
+/// name used in violation panics and in `lint.toml [lockorder]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rank {
+    /// Position in the declared order; a lock may only be acquired while
+    /// every held lock has a *smaller* index.
+    pub index: usize,
+    /// Declared site name, e.g. `"registry.entries"`.
+    pub name: &'static str,
+}
+
+/// `registry.entries` — the corpus registry's entry map.
+pub const REGISTRY_ENTRIES: Rank = Rank { index: 0, name: "registry.entries" };
+/// `evolve.inflight` — the evolve engine's in-flight coalescing map.
+pub const EVOLVE_INFLIGHT: Rank = Rank { index: 1, name: "evolve.inflight" };
+/// `serve.lru` — the GET response cache.
+pub const SERVE_LRU: Rank = Rank { index: 2, name: "serve.lru" };
+/// `serve.evolve_cache` — the evolve response cache.
+pub const SERVE_EVOLVE_CACHE: Rank = Rank { index: 3, name: "serve.evolve_cache" };
+/// `exec.flight.slot` — a single-flight result slot.
+pub const EXEC_FLIGHT_SLOT: Rank = Rank { index: 4, name: "exec.flight.slot" };
+/// `exec.pool.rx` — a worker pool's shared job receiver.
+pub const EXEC_POOL_RX: Rank = Rank { index: 5, name: "exec.pool.rx" };
+/// `exec.pool.panic_log` — a worker pool's last-panic message slot.
+pub const EXEC_POOL_PANIC_LOG: Rank = Rank { index: 6, name: "exec.pool.panic_log" };
+/// `exec.faults.plan` — the installed fault-injection plan.
+pub const EXEC_FAULTS_PLAN: Rank = Rank { index: 7, name: "exec.faults.plan" };
+
+/// The full declared table, in acquisition order. Must stay in sync with
+/// `lint.toml [lockorder]` (a test asserts it) — the static `C1` pass
+/// and this runtime witness enforce the same contract or neither is
+/// trustworthy.
+pub const TABLE: &[Rank] = &[
+    REGISTRY_ENTRIES,
+    EVOLVE_INFLIGHT,
+    SERVE_LRU,
+    SERVE_EVOLVE_CACHE,
+    EXEC_FLIGHT_SLOT,
+    EXEC_POOL_RX,
+    EXEC_POOL_PANIC_LOG,
+    EXEC_FAULTS_PLAN,
+];
+
+/// Process-wide count of poisoned-lock recoveries (see module docs).
+static POISON_RECOVERIES: AtomicU64 = AtomicU64::new(0);
+
+/// How many times any [`OrderedMutex`] in this process healed a poisoned
+/// lock. Exposed as `poisoned_lock_recoveries` on `/metrics`; a nonzero
+/// value in production means a panic escaped its containment boundary
+/// while a guard was live and deserves a look.
+pub fn poison_recoveries() -> u64 {
+    POISON_RECOVERIES.load(Ordering::Relaxed)
+}
+
+fn heal<T>(result: Result<T, std::sync::PoisonError<T>>) -> T {
+    match result {
+        Ok(value) => value,
+        Err(poisoned) => {
+            POISON_RECOVERIES.fetch_add(1, Ordering::Relaxed);
+            poisoned.into_inner()
+        }
+    }
+}
+
+#[cfg(debug_assertions)]
+mod witness {
+    use super::Rank;
+    use std::cell::RefCell;
+
+    thread_local! {
+        static HELD: RefCell<Vec<Rank>> = const { RefCell::new(Vec::new()) };
+    }
+
+    pub(super) fn push(rank: Rank) {
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            if let Some(&blocking) = held.iter().find(|&&h| h.index >= rank.index) {
+                panic!(
+                    "lock-order violation: acquiring `{}` (rank {}) while `{}` (rank {}) is \
+                     held; declared order is the [lockorder] table in lint.toml",
+                    rank.name, rank.index, blocking.name, blocking.index
+                );
+            }
+            held.push(rank);
+        });
+    }
+
+    pub(super) fn pop(rank: Rank) {
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            if let Some(at) = held.iter().rposition(|h| h.index == rank.index) {
+                held.remove(at);
+            }
+        });
+    }
+}
+
+#[cfg(not(debug_assertions))]
+mod witness {
+    pub(super) fn push(_rank: super::Rank) {}
+    pub(super) fn pop(_rank: super::Rank) {}
+}
+
+/// A [`Mutex`] that knows its place in the declared lock order.
+///
+/// Debug builds verify every acquisition against the thread's held-rank
+/// stack (see module docs); release builds add zero overhead. Poisoning
+/// is healed and counted centrally, so call sites never see a
+/// [`LockResult`](std::sync::LockResult) — [`lock`](Self::lock) returns
+/// the guard directly.
+#[derive(Debug)]
+pub struct OrderedMutex<T> {
+    rank: Rank,
+    inner: Mutex<T>,
+}
+
+impl<T> OrderedMutex<T> {
+    /// Wrap `value` in a mutex at `rank` (one of this module's declared
+    /// rank constants).
+    pub fn new(rank: Rank, value: T) -> Self {
+        OrderedMutex { rank, inner: Mutex::new(value) }
+    }
+
+    /// This mutex's declared rank.
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    /// Acquire the lock, verifying order (debug) and healing poison.
+    ///
+    /// The rank is pushed onto the witness stack *before* blocking on the
+    /// inner mutex: an ordering violation is reported even when the
+    /// mis-ordered acquisition would deadlock rather than proceed.
+    pub fn lock(&self) -> OrderedGuard<'_, T> {
+        witness::push(self.rank);
+        let inner = heal(self.inner.lock());
+        OrderedGuard { inner: Some(inner), rank: self.rank }
+    }
+}
+
+/// Guard returned by [`OrderedMutex::lock`]; pops the witness stack on
+/// drop. The inner guard lives in an `Option` only so the condvar helper
+/// can move it out and back without re-entering the witness.
+#[derive(Debug)]
+pub struct OrderedGuard<'a, T> {
+    inner: Option<MutexGuard<'a, T>>,
+    rank: Rank,
+}
+
+impl<T> OrderedGuard<'_, T> {
+    /// Block on `condvar` until `condition` returns false or `timeout`
+    /// elapses, releasing the inner mutex while parked exactly as
+    /// [`Condvar::wait_timeout_while`] does. Returns the re-acquired
+    /// guard and whether the wait timed out.
+    ///
+    /// The witness rank stays on the held stack across the park: the
+    /// thread cannot acquire anything else while blocked, and keeping the
+    /// entry means the guard's drop stays single-pop.
+    pub fn wait_timeout_while<F>(
+        mut self,
+        condvar: &Condvar,
+        timeout: Duration,
+        condition: F,
+    ) -> (Self, bool)
+    where
+        F: FnMut(&mut T) -> bool,
+    {
+        let guard = self.inner.take().expect("guard present until drop");
+        let (guard, timed_out) = match condvar.wait_timeout_while(guard, timeout, condition) {
+            Ok((guard, result)) => (guard, result.timed_out()),
+            Err(poisoned) => {
+                POISON_RECOVERIES.fetch_add(1, Ordering::Relaxed);
+                let (guard, result) = poisoned.into_inner();
+                (guard, result.timed_out())
+            }
+        };
+        self.inner = Some(guard);
+        (self, timed_out)
+    }
+}
+
+impl<T> std::ops::Deref for OrderedGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner.as_deref().expect("guard present until drop")
+    }
+}
+
+impl<T> std::ops::DerefMut for OrderedGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_deref_mut().expect("guard present until drop")
+    }
+}
+
+impl<T> Drop for OrderedGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the real lock first, then retire the witness entry.
+        self.inner = None;
+        witness::pop(self.rank);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn table_is_dense_and_uniquely_named() {
+        for (i, rank) in TABLE.iter().enumerate() {
+            assert_eq!(rank.index, i, "rank {} out of position", rank.name);
+        }
+        let mut names: Vec<&str> = TABLE.iter().map(|r| r.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), TABLE.len(), "duplicate rank name");
+    }
+
+    #[test]
+    fn ascending_acquisition_is_clean() {
+        let a = OrderedMutex::new(REGISTRY_ENTRIES, 1u32);
+        let b = OrderedMutex::new(SERVE_LRU, 2u32);
+        let c = OrderedMutex::new(EXEC_FAULTS_PLAN, 3u32);
+        let ga = a.lock();
+        let gb = b.lock();
+        let gc = c.lock();
+        assert_eq!(*ga + *gb + *gc, 6);
+        drop(gc);
+        drop(gb);
+        drop(ga);
+        // Out-of-order *release* is fine, and once everything is released
+        // the stack is empty again — a low rank re-acquires cleanly.
+        let gb = b.lock();
+        let gc = c.lock();
+        drop(gb);
+        drop(gc);
+        let ga = a.lock();
+        drop(ga);
+    }
+
+    #[test]
+    fn guard_reads_and_writes_through() {
+        let m = OrderedMutex::new(SERVE_LRU, vec![1, 2, 3]);
+        m.lock().push(4);
+        assert_eq!(m.lock().len(), 4);
+    }
+
+    #[cfg(debug_assertions)]
+    fn panics_in_thread<F: FnOnce() + Send + 'static>(f: F) -> String {
+        let handle = std::thread::Builder::new()
+            .name("lockorder-violation-probe".into())
+            .spawn(f)
+            .expect("spawn probe thread");
+        let payload = handle.join().expect_err("probe was expected to panic");
+        payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_default()
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn inversion_panics_naming_both_locks() {
+        let message = panics_in_thread(|| {
+            let low = OrderedMutex::new(EVOLVE_INFLIGHT, ());
+            let high = OrderedMutex::new(EXEC_POOL_RX, ());
+            let _g_high = high.lock();
+            let _g_low = low.lock();
+        });
+        assert!(message.contains("lock-order violation"), "got: {message}");
+        assert!(message.contains("evolve.inflight"), "got: {message}");
+        assert!(message.contains("exec.pool.rx"), "got: {message}");
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn same_rank_reentry_panics() {
+        let message = panics_in_thread(|| {
+            let a = OrderedMutex::new(EXEC_FLIGHT_SLOT, ());
+            let b = OrderedMutex::new(EXEC_FLIGHT_SLOT, ());
+            let _ga = a.lock();
+            let _gb = b.lock();
+        });
+        assert!(message.contains("lock-order violation"), "got: {message}");
+        assert!(message.contains("exec.flight.slot"), "got: {message}");
+    }
+
+    #[test]
+    fn poison_is_healed_and_counted() {
+        let m = Arc::new(OrderedMutex::new(SERVE_EVOLVE_CACHE, 7u32));
+        let before = poison_recoveries();
+        let poisoner = Arc::clone(&m);
+        let result = std::thread::Builder::new()
+            .name("lockorder-poisoner".into())
+            .spawn(move || {
+                let _guard = poisoner.inner.lock().expect("first acquisition");
+                panic!("poison the mutex");
+            })
+            .expect("spawn poisoner thread")
+            .join();
+        assert!(result.is_err(), "poisoner must panic");
+        assert_eq!(*m.lock(), 7, "state survives healing");
+        assert!(poison_recoveries() > before, "recovery was not counted");
+    }
+
+    #[test]
+    fn condvar_wait_reacquires_and_reports_timeout() {
+        let m = OrderedMutex::new(EXEC_FLIGHT_SLOT, 0u32);
+        let cv = Condvar::new();
+        let guard = m.lock();
+        let (guard, timed_out) =
+            guard.wait_timeout_while(&cv, Duration::from_millis(5), |v| *v == 0);
+        assert!(timed_out);
+        assert_eq!(*guard, 0);
+        drop(guard);
+        // And the rank accounting survived the round trip: a fresh
+        // ascending acquisition pair still verifies.
+        let low = OrderedMutex::new(SERVE_LRU, ());
+        let _gl = low.lock();
+        let _gm = m.lock();
+    }
+
+    #[test]
+    fn table_matches_lint_toml_lockorder() {
+        // The static pass (lint.toml) and this witness must describe the
+        // same order; parse the declared table with the same minimal
+        // scanning the lint baseline parser uses.
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../lint.toml");
+        let text = std::fs::read_to_string(path).expect("read lint.toml");
+        let mut declared: Vec<String> = Vec::new();
+        let mut in_lock = false;
+        for line in text.lines() {
+            let line = line.trim();
+            if line == "[[lockorder.lock]]" {
+                in_lock = true;
+                continue;
+            }
+            if line.starts_with('[') {
+                in_lock = false;
+                continue;
+            }
+            if in_lock {
+                if let Some(rest) = line.strip_prefix("name") {
+                    let rest = rest.trim_start().strip_prefix('=').unwrap_or("").trim();
+                    let name = rest.trim_matches('"');
+                    if !name.is_empty() {
+                        declared.push(name.to_string());
+                        in_lock = false;
+                    }
+                }
+            }
+        }
+        let table: Vec<&str> = TABLE.iter().map(|r| r.name).collect();
+        assert_eq!(declared, table, "lint.toml [lockorder] diverged from lockorder::TABLE");
+    }
+}

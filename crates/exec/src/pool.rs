@@ -29,10 +29,11 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use crate::faults::{panic_message, FaultAction, Faults};
+use crate::lockorder::{self, OrderedMutex};
 use crate::resolve_threads;
 
 /// Error returned by [`WorkerPool::try_execute`] when the submission queue
@@ -68,10 +69,19 @@ pub struct WorkerPool<T: Send + 'static> {
 /// Panic bookkeeping shared by a pool's workers: a containment count plus
 /// the most recent payload message, so operators see *why* jobs died
 /// instead of a silently shrinking throughput.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct PanicLog {
     count: AtomicU64,
-    last: Mutex<Option<String>>,
+    last: OrderedMutex<Option<String>>,
+}
+
+impl Default for PanicLog {
+    fn default() -> Self {
+        PanicLog {
+            count: AtomicU64::new(0),
+            last: OrderedMutex::new(lockorder::EXEC_POOL_PANIC_LOG, None),
+        }
+    }
 }
 
 impl<T: Send + 'static> WorkerPool<T> {
@@ -108,7 +118,7 @@ impl<T: Send + 'static> WorkerPool<T> {
     {
         let workers = resolve_threads(threads, usize::MAX);
         let (tx, rx) = sync_channel::<T>(queue_capacity.max(1));
-        let rx = Arc::new(Mutex::new(rx));
+        let rx = Arc::new(OrderedMutex::new(lockorder::EXEC_POOL_RX, rx));
         let handler = Arc::new(handler);
         let depth = Arc::new(AtomicUsize::new(0));
         let panics = Arc::new(PanicLog::default());
@@ -143,10 +153,7 @@ impl<T: Send + 'static> WorkerPool<T> {
 
     /// The most recent contained panic's payload message, if any.
     pub fn last_panic(&self) -> Option<String> {
-        match self.panics.last.lock() {
-            Ok(guard) => guard.clone(),
-            Err(poisoned) => poisoned.into_inner().clone(),
-        }
+        self.panics.last.lock().clone()
     }
 
     /// Jobs submitted but not yet finished (queued + running).
@@ -207,7 +214,7 @@ impl<T: Send + 'static> Drop for WorkerPool<T> {
 }
 
 fn worker_loop<T, H: Fn(T)>(
-    rx: &Mutex<Receiver<T>>,
+    rx: &OrderedMutex<Receiver<T>>,
     handler: &H,
     depth: &AtomicUsize,
     panics: &PanicLog,
@@ -215,10 +222,7 @@ fn worker_loop<T, H: Fn(T)>(
 ) {
     loop {
         // Hold the lock only while receiving, never while running the job.
-        let job = match rx.lock() {
-            Ok(guard) => guard.recv(),
-            Err(poisoned) => poisoned.into_inner().recv(),
-        };
+        let job = rx.lock().recv();
         match job {
             Ok(job) => {
                 let fault = faults.and_then(|f| f.fire("pool.dispatch"));
@@ -238,11 +242,7 @@ fn worker_loop<T, H: Fn(T)>(
                 if let Err(payload) = result {
                     panics.count.fetch_add(1, Ordering::Relaxed);
                     let message = panic_message(payload.as_ref());
-                    let mut last = match panics.last.lock() {
-                        Ok(guard) => guard,
-                        Err(poisoned) => poisoned.into_inner(),
-                    };
-                    *last = Some(message);
+                    *panics.last.lock() = Some(message);
                 }
                 depth.fetch_sub(1, Ordering::AcqRel);
             }
@@ -255,7 +255,7 @@ fn worker_loop<T, H: Fn(T)>(
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicUsize;
-    use std::sync::mpsc;
+    use std::sync::{mpsc, Mutex};
     use std::time::Duration;
 
     #[test]

@@ -23,9 +23,24 @@
 //!   entries fail the run: stale suppressions are indistinguishable from
 //!   typo'd ones, and both mask future regressions.
 //!
-//! The format is the narrow `[[allow]]`-table subset of TOML parsed by
-//! hand below — the container has no registry access, and the full TOML
-//! grammar buys nothing here.
+//! The same file also declares the workspace **lock-order table** — the
+//! single source of truth the `C1`–`C3` rules and the runtime
+//! `cuisine_exec::lockorder` witness both enforce:
+//!
+//! ```toml
+//! [[lockorder.lock]]
+//! name = "registry.entries"
+//! acquires = ["entries"]
+//! ```
+//!
+//! Entries appear in acquisition order: a site may only take a lock whose
+//! rank is strictly greater than every lock it already holds. `acquires`
+//! lists the binding/field identifiers whose `.lock()` calls the static
+//! pass attributes to that rank.
+//!
+//! The format is the narrow `[[allow]]`/`[[lockorder.lock]]`-table subset
+//! of TOML parsed by hand below — the container has no registry access,
+//! and the full TOML grammar buys nothing here.
 
 use std::path::Path;
 
@@ -55,11 +70,112 @@ impl BaselineEntry {
     }
 }
 
+/// One `[[lockorder.lock]]` table: a named lock site and the identifiers
+/// whose `.lock()` calls acquire it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockSite {
+    /// Stable site name (`registry.entries`, `exec.pool.rx`, ...), shown
+    /// in diagnostics and asserted against the runtime witness table.
+    pub name: String,
+    /// Binding/field identifiers that acquire this lock (`entries`, `rx`).
+    pub acquires: Vec<String>,
+    /// Line in the config file where the entry starts (0 for built-ins).
+    pub line: usize,
+}
+
+/// The declared workspace lock-acquisition order, rank = index.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LockOrder {
+    /// Lock sites in ascending acquisition order.
+    pub locks: Vec<LockSite>,
+}
+
+impl LockOrder {
+    /// The table shipped in `lint.toml`, compiled in as a fallback so
+    /// `lint_source` and the self-check fixtures work without a config
+    /// file. `crates/exec/src/lockorder.rs` asserts the runtime witness
+    /// table matches `lint.toml`, which in turn must match this.
+    pub fn builtin() -> Self {
+        let site = |name: &str, acquires: &[&str]| LockSite {
+            name: name.to_string(),
+            acquires: acquires.iter().map(|s| s.to_string()).collect(),
+            line: 0,
+        };
+        LockOrder {
+            locks: vec![
+                site("registry.entries", &["entries"]),
+                site("evolve.inflight", &["inflight"]),
+                site("serve.lru", &["lru"]),
+                site("serve.evolve_cache", &["evolve_cache"]),
+                site("exec.flight.slot", &["slot"]),
+                site("exec.pool.rx", &["rx"]),
+                site("exec.pool.panic_log", &["last"]),
+                site("exec.faults.plan", &["plan"]),
+            ],
+        }
+    }
+
+    /// Rank and site name for an acquiring identifier, if tracked.
+    pub fn rank_of(&self, ident: &str) -> Option<(usize, &str)> {
+        self.locks.iter().enumerate().find_map(|(rank, lock)| {
+            lock.acquires
+                .iter()
+                .any(|a| a == ident)
+                .then_some((rank, lock.name.as_str()))
+        })
+    }
+
+    fn validate(&self) -> Result<(), BaselineError> {
+        let mut names: Vec<&str> = Vec::new();
+        let mut idents: Vec<&str> = Vec::new();
+        for lock in &self.locks {
+            if lock.name.is_empty() {
+                return Err(BaselineError {
+                    line: lock.line,
+                    message: "lockorder name must be non-empty".into(),
+                });
+            }
+            if names.contains(&lock.name.as_str()) {
+                return Err(BaselineError {
+                    line: lock.line,
+                    message: format!("duplicate lockorder name {:?}", lock.name),
+                });
+            }
+            names.push(&lock.name);
+            if lock.acquires.is_empty() {
+                return Err(BaselineError {
+                    line: lock.line,
+                    message: format!(
+                        "lockorder entry {:?} must list at least one acquires identifier",
+                        lock.name
+                    ),
+                });
+            }
+            for ident in &lock.acquires {
+                if ident.is_empty() || idents.contains(&ident.as_str()) {
+                    return Err(BaselineError {
+                        line: lock.line,
+                        message: format!(
+                            "acquires identifier {ident:?} in {:?} must be non-empty and unique \
+                             across the table (an identifier maps to exactly one rank)",
+                            lock.name
+                        ),
+                    });
+                }
+                idents.push(ident);
+            }
+        }
+        Ok(())
+    }
+}
+
 /// A parsed baseline file.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Baseline {
     /// Entries in file order.
     pub entries: Vec<BaselineEntry>,
+    /// The declared lock-order table (empty when the file declares none).
+    pub lockorder: LockOrder,
 }
 
 /// A malformed baseline file, with the offending line.
@@ -98,10 +214,23 @@ impl Baseline {
         }
     }
 
-    /// Parse the `[[allow]]` subset of TOML.
+    /// Parse the `[[allow]]`/`[[lockorder.lock]]` subset of TOML.
     pub fn parse(text: &str) -> Result<Self, BaselineError> {
         let mut entries: Vec<BaselineEntry> = Vec::new();
-        let mut current: Option<(usize, PartialEntry)> = None;
+        let mut locks: Vec<LockSite> = Vec::new();
+        let mut current = Section::None;
+
+        let flush = |section: Section,
+                         entries: &mut Vec<BaselineEntry>,
+                         locks: &mut Vec<LockSite>|
+         -> Result<(), BaselineError> {
+            match section {
+                Section::None => {}
+                Section::Allow(at, partial) => entries.push(partial.finish(at)?),
+                Section::Lock(at, partial) => locks.push(partial.finish(at)?),
+            }
+            Ok(())
+        };
 
         for (idx, raw) in text.lines().enumerate() {
             let line_no = idx + 1;
@@ -110,31 +239,51 @@ impl Baseline {
                 continue;
             }
             if line == "[[allow]]" {
-                if let Some((at, partial)) = current.take() {
-                    entries.push(partial.finish(at)?);
-                }
-                current = Some((line_no, PartialEntry::default()));
+                flush(std::mem::replace(&mut current, Section::None), &mut entries, &mut locks)?;
+                current = Section::Allow(line_no, PartialEntry::default());
+                continue;
+            }
+            if line == "[[lockorder.lock]]" {
+                flush(std::mem::replace(&mut current, Section::None), &mut entries, &mut locks)?;
+                current = Section::Lock(line_no, PartialLock::default());
                 continue;
             }
             if line.starts_with('[') {
                 return Err(BaselineError {
                     line: line_no,
-                    message: format!("unknown table {line:?} (only [[allow]] is supported)"),
+                    message: format!(
+                        "unknown table {line:?} (expected [[allow]] or [[lockorder.lock]])"
+                    ),
                 });
             }
-            let (key, value) = parse_key_value(line, line_no)?;
-            let Some((_, partial)) = current.as_mut() else {
-                return Err(BaselineError {
-                    line: line_no,
-                    message: format!("key {key:?} outside an [[allow]] table"),
-                });
-            };
-            partial.set(&key, value, line_no)?;
+            let (key, value) = parse_key(line, line_no)?;
+            match &mut current {
+                Section::None => {
+                    return Err(BaselineError {
+                        line: line_no,
+                        message: format!("key {key:?} outside an [[allow]] table"),
+                    });
+                }
+                Section::Allow(_, partial) => {
+                    partial.set(&key, unquote(value, &key, line_no)?, line_no)?;
+                }
+                Section::Lock(_, partial) => partial.set(&key, value, line_no)?,
+            }
         }
-        if let Some((at, partial)) = current.take() {
-            entries.push(partial.finish(at)?);
+        flush(current, &mut entries, &mut locks)?;
+        let lockorder = LockOrder { locks };
+        lockorder.validate()?;
+        Ok(Baseline { entries, lockorder })
+    }
+
+    /// The lock-order table to analyze with: the one declared in this
+    /// file, or the compiled-in [`LockOrder::builtin`] when none is.
+    pub fn effective_lock_order(&self) -> LockOrder {
+        if self.lockorder.locks.is_empty() {
+            LockOrder::builtin()
+        } else {
+            self.lockorder.clone()
         }
-        Ok(Baseline { entries })
     }
 
     /// Split diagnostics into kept (unsuppressed) ones, plus the indices of
@@ -165,6 +314,56 @@ impl Baseline {
             .map(|(e, _)| e)
             .collect();
         (kept, suppressed, unused)
+    }
+}
+
+/// The table currently being collected during parsing.
+#[derive(Debug)]
+enum Section {
+    None,
+    Allow(usize, PartialEntry),
+    Lock(usize, PartialLock),
+}
+
+/// Keys collected for one `[[lockorder.lock]]` table before validation.
+#[derive(Debug, Default)]
+struct PartialLock {
+    name: Option<String>,
+    acquires: Option<Vec<String>>,
+}
+
+impl PartialLock {
+    fn set(&mut self, key: &str, value: &str, line: usize) -> Result<(), BaselineError> {
+        match key {
+            "name" if self.name.is_none() => {
+                self.name = Some(unquote(value, key, line)?);
+            }
+            "acquires" if self.acquires.is_none() => {
+                self.acquires = Some(parse_string_array(value, key, line)?);
+            }
+            "name" | "acquires" => {
+                return Err(BaselineError { line, message: format!("duplicate key {key:?}") });
+            }
+            other => {
+                return Err(BaselineError {
+                    line,
+                    message: format!("unknown key {other:?} (expected name/acquires)"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(self, line: usize) -> Result<LockSite, BaselineError> {
+        let missing = |what: &str| BaselineError {
+            line,
+            message: format!("[[lockorder.lock]] entry is missing required key {what:?}"),
+        };
+        Ok(LockSite {
+            name: self.name.ok_or_else(|| missing("name"))?,
+            acquires: self.acquires.ok_or_else(|| missing("acquires"))?,
+            line,
+        })
     }
 }
 
@@ -247,14 +446,17 @@ fn strip_comment(line: &str) -> &str {
     line
 }
 
-/// Parse `key = "value"`.
-fn parse_key_value(line: &str, line_no: usize) -> Result<(String, String), BaselineError> {
+/// Split `key = <raw value>` without interpreting the value yet.
+fn parse_key(line: &str, line_no: usize) -> Result<(String, &str), BaselineError> {
     let (key, value) = line.split_once('=').ok_or_else(|| BaselineError {
         line: line_no,
         message: format!("expected `key = \"value\"`, got {line:?}"),
     })?;
-    let key = key.trim().to_string();
-    let value = value.trim();
+    Ok((key.trim().to_string(), value.trim()))
+}
+
+/// Interpret a raw value as a double-quoted string.
+fn unquote(value: &str, key: &str, line_no: usize) -> Result<String, BaselineError> {
     let inner = value
         .strip_prefix('"')
         .and_then(|v| v.strip_suffix('"'))
@@ -263,7 +465,26 @@ fn parse_key_value(line: &str, line_no: usize) -> Result<(String, String), Basel
             message: format!("value for {key:?} must be a double-quoted string"),
         })?;
     // Unescape the two sequences the writer side can produce.
-    Ok((key, inner.replace("\\\"", "\"").replace("\\\\", "\\")))
+    Ok(inner.replace("\\\"", "\"").replace("\\\\", "\\"))
+}
+
+/// Interpret a raw value as a one-line array of double-quoted strings,
+/// e.g. `["entries", "shared_entries"]`.
+fn parse_string_array(value: &str, key: &str, line_no: usize) -> Result<Vec<String>, BaselineError> {
+    let err = |message: String| BaselineError { line: line_no, message };
+    let inner = value
+        .strip_prefix('[')
+        .and_then(|v| v.strip_suffix(']'))
+        .ok_or_else(|| err(format!("value for {key:?} must be a [\"...\"] array")))?;
+    let mut out = Vec::new();
+    for item in inner.split(',') {
+        let item = item.trim();
+        if item.is_empty() {
+            continue;
+        }
+        out.push(unquote(item, key, line_no)?);
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -351,5 +572,55 @@ justification = "startup-time fail-fast before the listener binds"
     fn missing_file_is_an_empty_baseline() {
         let baseline = Baseline::load(Path::new("/nonexistent/lint.toml")).unwrap();
         assert!(baseline.entries.is_empty());
+        assert!(baseline.lockorder.locks.is_empty());
+        // ... in which case analysis falls back to the built-in table.
+        assert_eq!(baseline.effective_lock_order(), LockOrder::builtin());
+    }
+
+    #[test]
+    fn parses_a_lockorder_table() {
+        let text = r#"
+[[lockorder.lock]]
+name = "registry.entries"
+acquires = ["entries"]   # the registry BTreeMap
+
+[[lockorder.lock]]
+name = "exec.pool.rx"
+acquires = ["rx", "job_rx"]
+"#;
+        let baseline = Baseline::parse(text).unwrap();
+        let order = &baseline.lockorder;
+        assert_eq!(order.locks.len(), 2);
+        assert_eq!(order.rank_of("entries"), Some((0, "registry.entries")));
+        assert_eq!(order.rank_of("job_rx"), Some((1, "exec.pool.rx")));
+        assert_eq!(order.rank_of("inflight"), None);
+        assert_eq!(baseline.effective_lock_order(), *order, "declared table wins over builtin");
+    }
+
+    #[test]
+    fn rejects_malformed_lockorder_tables() {
+        let dup_name = "[[lockorder.lock]]\nname = \"a\"\nacquires = [\"x\"]\n\
+                        [[lockorder.lock]]\nname = \"a\"\nacquires = [\"y\"]";
+        assert!(Baseline::parse(dup_name).unwrap_err().message.contains("duplicate lockorder"));
+        let dup_ident = "[[lockorder.lock]]\nname = \"a\"\nacquires = [\"x\"]\n\
+                         [[lockorder.lock]]\nname = \"b\"\nacquires = [\"x\"]";
+        assert!(Baseline::parse(dup_ident).unwrap_err().message.contains("unique"));
+        let no_acquires = "[[lockorder.lock]]\nname = \"a\"\nacquires = []";
+        assert!(Baseline::parse(no_acquires).unwrap_err().message.contains("at least one"));
+        let not_array = "[[lockorder.lock]]\nname = \"a\"\nacquires = \"x\"";
+        assert!(Baseline::parse(not_array).unwrap_err().message.contains("array"));
+        let missing = "[[lockorder.lock]]\nname = \"a\"";
+        assert!(Baseline::parse(missing).unwrap_err().message.contains("acquires"));
+    }
+
+    #[test]
+    fn builtin_table_is_valid_and_dense() {
+        let builtin = LockOrder::builtin();
+        builtin.validate().unwrap();
+        assert_eq!(builtin.locks.len(), 8);
+        for (rank, lock) in builtin.locks.iter().enumerate() {
+            let ident = &lock.acquires[0];
+            assert_eq!(builtin.rank_of(ident), Some((rank, lock.name.as_str())));
+        }
     }
 }

@@ -2,11 +2,17 @@
 //!
 //! ```text
 //! cuisine-lint [--root DIR] [--baseline FILE] [--format human|json] [--self-check]
+//!              [--only RULE[,RULE]] [--paths PREFIX[,PREFIX]]
 //! ```
 //!
-//! Exit status follows the workspace CLI convention: `0` clean, `1`
-//! findings (or unused baseline entries, or a failed self-check, or an
-//! I/O error), `2` usage error (via `cuisine_bench::exit_usage`).
+//! `--only` and `--paths` narrow a run for rule iteration (repeatable
+//! and/or comma-separated); a narrowed run skips unused-baseline
+//! enforcement, since entries outside the filter would all look stale.
+//!
+//! Exit status follows the workspace CLI convention and is unchanged by
+//! filtering: `0` clean, `1` findings (or unused baseline entries, or a
+//! failed self-check, or an I/O error), `2` usage error (via
+//! `cuisine_bench::exit_usage`).
 
 use std::path::PathBuf;
 
@@ -14,11 +20,11 @@ use cuisine_bench::{exit_usage, CliError};
 use cuisine_lint::baseline::Baseline;
 use cuisine_lint::diagnostics::Diagnostic;
 use cuisine_lint::selfcheck::run_self_check;
-use cuisine_lint::workspace::{run_workspace, LintReport};
+use cuisine_lint::workspace::{run_workspace_filtered, LintReport, RunFilter};
 use serde::{Map, Value};
 
-const USAGE: &str =
-    "cuisine-lint [--root DIR] [--baseline FILE] [--format human|json] [--self-check]";
+const USAGE: &str = "cuisine-lint [--root DIR] [--baseline FILE] [--format human|json] \
+                     [--self-check] [--only RULE[,RULE]] [--paths PREFIX[,PREFIX]]";
 
 /// Output format.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,6 +39,7 @@ struct Options {
     baseline: Option<PathBuf>,
     format: Format,
     self_check: bool,
+    filter: RunFilter,
 }
 
 fn parse_options(args: impl IntoIterator<Item = String>) -> Result<Options, CliError> {
@@ -41,6 +48,7 @@ fn parse_options(args: impl IntoIterator<Item = String>) -> Result<Options, CliE
         baseline: None,
         format: Format::Human,
         self_check: false,
+        filter: RunFilter::default(),
     };
     let mut iter = args.into_iter().skip(1);
     while let Some(arg) = iter.next() {
@@ -62,6 +70,18 @@ fn parse_options(args: impl IntoIterator<Item = String>) -> Result<Options, CliE
                 };
             }
             "--self-check" => options.self_check = true,
+            "--only" => {
+                let value = value_of("--only")?;
+                for rule in value.split(',').map(str::trim).filter(|r| !r.is_empty()) {
+                    options.filter.only.push(rule.to_string());
+                }
+            }
+            "--paths" => {
+                let value = value_of("--paths")?;
+                for prefix in value.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+                    options.filter.paths.push(prefix.to_string());
+                }
+            }
             other => return Err(CliError(format!("unrecognized argument {other:?}"))),
         }
     }
@@ -102,7 +122,7 @@ fn main() {
             std::process::exit(1);
         }
     };
-    let report = match run_workspace(&options.root, &baseline) {
+    let report = match run_workspace_filtered(&options.root, &baseline, &options.filter) {
         Ok(report) => report,
         Err(error) => {
             eprintln!("error: {error}");

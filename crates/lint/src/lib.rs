@@ -21,6 +21,17 @@
 //! | `D3` | all RNG construction flows through seeded constructors |
 //! | `P1` | no unwrap/expect/panic!/indexing in the serve request path |
 //! | `X1` | thread spawning only inside `cuisine-exec` |
+//! | `C1` | lock acquisitions strictly ascend the declared `[lockorder]` table |
+//! | `C2` | no blocking call (wait/recv/sleep/IO/execute) while a tracked guard is live |
+//! | `C3` | no tracked guard moved into a closure/spawned callback or across `catch_unwind` |
+//!
+//! The `C` family is the concurrency-discipline layer added with the
+//! runtime counterpart `cuisine_exec::lockorder`: the same `[lockorder]`
+//! table in `lint.toml` that configures these rules is asserted (by an
+//! exec unit test) to match the debug-build witness, so the static pass
+//! and the dynamic witness can never silently diverge. It reasons over a
+//! [brace tree](tree) — a total, never-panicking block/statement layer
+//! above the lexer — and conservative [guard lifetimes](rules::guards).
 //!
 //! Entry points: [`workspace::run_workspace`] for a full run,
 //! [`workspace::lint_source`] for one in-memory file (what the rule unit
@@ -37,4 +48,5 @@ pub mod diagnostics;
 pub mod lexer;
 pub mod rules;
 pub mod selfcheck;
+pub mod tree;
 pub mod workspace;

@@ -1,0 +1,76 @@
+//! **C1 — lock acquisitions must strictly ascend the declared order.**
+//!
+//! The workspace's locks are ranked by the `[lockorder]` table in
+//! `lint.toml` (see [`LockOrder`]). A thread that only ever acquires
+//! locks of strictly increasing rank can never participate in a
+//! deadlock cycle; one that takes an earlier-or-equal lock while a later
+//! one is held can — and "equal" additionally catches nested same-lock
+//! re-entry, which deadlocks `std::sync::Mutex` outright.
+//!
+//! This rule flags every tracked acquisition at which some guard of
+//! **greater-or-equal** rank is still live in scope (per the
+//! conservative lexical liveness in [`guards`](crate::rules::guards)).
+//! Out-of-order *release* is fine — only acquisition order matters. The
+//! same contract is enforced dynamically by the
+//! `cuisine_exec::lockorder` debug witness, so a violation that static
+//! analysis cannot see (an interprocedural chain) still fails the test
+//! suites.
+
+use crate::baseline::LockOrder;
+use crate::context::{FileContext, SourceFile};
+use crate::diagnostics::Diagnostic;
+use crate::rules::{guards, Rule};
+
+/// The C1 rule value, carrying the declared order.
+pub struct LockOrderRule {
+    order: LockOrder,
+}
+
+impl LockOrderRule {
+    /// Build the rule against a declared order.
+    pub fn new(order: &LockOrder) -> Self {
+        LockOrderRule { order: order.clone() }
+    }
+}
+
+impl Rule for LockOrderRule {
+    fn id(&self) -> &'static str {
+        "C1"
+    }
+
+    fn summary(&self) -> &'static str {
+        "lock acquisitions strictly ascend the declared [lockorder] table (no inversion, no re-entry)"
+    }
+
+    fn applies(&self, _context: &FileContext) -> bool {
+        // Lock discipline binds test code too: an inversion in a test
+        // deadlocks CI just as surely, and the runtime witness panics on
+        // it either way.
+        true
+    }
+
+    fn check(&self, file: &SourceFile<'_>) -> Vec<Diagnostic> {
+        let analysis = guards::analyze(file, &self.order);
+        let mut out = Vec::new();
+        for (i, acq) in analysis.intervals.iter().enumerate() {
+            for (j, held) in analysis.intervals.iter().enumerate() {
+                if i == j || held.rank < acq.rank || !held.live_at(&analysis.tree, acq.acquire) {
+                    continue;
+                }
+                let held_line = file.tokens[held.acquire].span.line;
+                let relation = if held.rank == acq.rank { "same-rank re-entry of" } else { "held after" };
+                out.push(file.diagnostic(
+                    self.id(),
+                    acq.acquire,
+                    format!(
+                        "acquiring `{}` (rank {}) while `{}` (rank {}, acquired line {held_line}) \
+                         is live — {relation} the declared order; release it first or take the \
+                         locks in [lockorder] table order",
+                        acq.site, acq.rank, held.site, held.rank
+                    ),
+                ));
+            }
+        }
+        out
+    }
+}

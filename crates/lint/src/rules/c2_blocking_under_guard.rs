@@ -1,0 +1,119 @@
+//! **C2 — no blocking call while a tracked guard is live.**
+//!
+//! Holding a lock across a call that can park the thread — a condvar
+//! wait, a channel `recv`, `thread::sleep`, socket I/O, a
+//! `WorkerPool::execute` that may spin on a full queue — stretches the
+//! critical section from nanoseconds to "whenever the other side shows
+//! up", and is one missed wakeup away from a whole-service stall.
+//!
+//! The rule flags a blocking call (`.name(` or `::name(` for a name in
+//! [`BLOCKING`]) at which any **named** tracked guard is live, with two
+//! principled exemptions:
+//!
+//! * the guard itself is the receiver (`guard.wait_timeout_while(..)`) —
+//!   condvar waits *release* the guard while parked; that is the
+//!   sanctioned pattern;
+//! * the guard is passed **into** the call (`condvar.wait(guard)`) —
+//!   same release-by-transfer semantics.
+//!
+//! Unnamed temporaries are exempt by construction: `rx.lock().recv()`
+//! holds the channel's *own* lock while receiving, which is the
+//! `WorkerPool` idiom — the guard and the blocking call are one
+//! statement, and the lock order already bounds who can be behind it.
+
+use crate::baseline::LockOrder;
+use crate::context::{FileContext, SourceFile};
+use crate::diagnostics::Diagnostic;
+use crate::rules::{guards, Rule};
+
+/// Method/function names that can park the calling thread.
+pub const BLOCKING: &[&str] = &[
+    "wait",
+    "wait_timeout",
+    "wait_while",
+    "wait_timeout_while",
+    "recv",
+    "recv_timeout",
+    "sleep",
+    "execute",
+    "join",
+    "read",
+    "read_exact",
+    "read_to_end",
+    "write",
+    "write_all",
+    "flush",
+];
+
+/// The C2 rule value, carrying the declared order.
+pub struct BlockingUnderGuard {
+    order: LockOrder,
+}
+
+impl BlockingUnderGuard {
+    /// Build the rule against a declared order.
+    pub fn new(order: &LockOrder) -> Self {
+        BlockingUnderGuard { order: order.clone() }
+    }
+}
+
+impl Rule for BlockingUnderGuard {
+    fn id(&self) -> &'static str {
+        "C2"
+    }
+
+    fn summary(&self) -> &'static str {
+        "no blocking call (condvar wait, recv, sleep, socket I/O, execute) while a tracked guard is live"
+    }
+
+    fn applies(&self, _context: &FileContext) -> bool {
+        true
+    }
+
+    fn check(&self, file: &SourceFile<'_>) -> Vec<Diagnostic> {
+        let analysis = guards::analyze(file, &self.order);
+        let n = file.tokens.len();
+        let mut out = Vec::new();
+        for t in 0..n {
+            // `.name(` or `::name(` for a blocking name.
+            let is_call = t >= 1
+                && t + 1 < n
+                && file.is_punct(t + 1, '(')
+                && (file.is_punct(t - 1, '.') || file.is_punct(t - 1, ':'))
+                && BLOCKING.iter().any(|b| file.is_ident(t, b));
+            if !is_call {
+                continue;
+            }
+            let close = guards::matching_close(file, t + 1);
+            for held in &analysis.intervals {
+                let Some(name) = held.name.as_deref() else {
+                    continue; // temporaries: guard and call are one statement
+                };
+                if !held.live_at(&analysis.tree, t) {
+                    continue;
+                }
+                // Receiver-is-guard: `guard.wait*(..)` releases it.
+                if t >= 2 && file.is_punct(t - 1, '.') && file.is_ident(t - 2, name) {
+                    continue;
+                }
+                // Guard passed into the call: `condvar.wait(guard)`.
+                if (t + 2..close).any(|j| guards::is_bare_name(file, j, name)) {
+                    continue;
+                }
+                out.push(file.diagnostic(
+                    self.id(),
+                    t,
+                    format!(
+                        "blocking call `{}` while guard `{name}` (`{}`, acquired line {}) is \
+                         live — the critical section now waits on another thread; drop the \
+                         guard first or restructure",
+                        file.tok(t),
+                        held.site,
+                        file.tokens[held.acquire].span.line,
+                    ),
+                ));
+            }
+        }
+        out
+    }
+}

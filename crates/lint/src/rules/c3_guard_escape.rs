@@ -1,0 +1,173 @@
+//! **C3 — no tracked guard escapes into deferred or unwind context.**
+//!
+//! A `MutexGuard` moved into a `move` closure, handed to
+//! `spawn`/`execute`/`spawn_service`, or carried across `catch_unwind`
+//! detaches the critical section from the acquiring scope: the lock is
+//! now released whenever (and on whatever thread) the callback finishes,
+//! every rank check the acquiring function passed is void, and an
+//! unwind boundary can keep the guard alive past the panic that poisoned
+//! it. The declared order only means something if guards die where they
+//! were born.
+//!
+//! For each **named** tracked guard, the rule flags bare uses of the
+//! guard's name inside, within the guard's lexical range:
+//!
+//! * the body of a `move` closure (braced or single-expression);
+//! * the argument list of a spawn-like sink: `spawn`, `execute`,
+//!   `try_execute`, `spawn_service`;
+//! * the argument list of `catch_unwind`.
+//!
+//! Field accesses (`shared.inflight`) never match — only the bare
+//! binding name does — so re-locking a *field* of captured shared state
+//! inside a callback is fine (and is the workspace idiom).
+
+use std::collections::BTreeSet;
+
+use crate::baseline::LockOrder;
+use crate::context::{FileContext, SourceFile};
+use crate::diagnostics::Diagnostic;
+use crate::rules::{guards, Rule};
+
+/// Call names that defer or re-home their argument's execution.
+const SINKS: &[&str] = &["spawn", "execute", "try_execute", "spawn_service", "catch_unwind"];
+
+/// The C3 rule value, carrying the declared order.
+pub struct GuardEscape {
+    order: LockOrder,
+}
+
+impl GuardEscape {
+    /// Build the rule against a declared order.
+    pub fn new(order: &LockOrder) -> Self {
+        GuardEscape { order: order.clone() }
+    }
+}
+
+impl Rule for GuardEscape {
+    fn id(&self) -> &'static str {
+        "C3"
+    }
+
+    fn summary(&self) -> &'static str {
+        "no tracked guard moved into a closure, spawned callback, or across catch_unwind"
+    }
+
+    fn applies(&self, _context: &FileContext) -> bool {
+        true
+    }
+
+    fn check(&self, file: &SourceFile<'_>) -> Vec<Diagnostic> {
+        let analysis = guards::analyze(file, &self.order);
+        let tree = &analysis.tree;
+        let n = file.tokens.len();
+        let mut out = Vec::new();
+        for held in &analysis.intervals {
+            let Some(name) = held.name.as_deref() else {
+                continue;
+            };
+            let last = held.end.min(n.saturating_sub(1));
+            let mut flagged: BTreeSet<usize> = BTreeSet::new();
+
+            // Sink argument lists: `spawn( ... name ... )`.
+            for t in held.acquire + 1..=last {
+                let is_sink = t + 1 < n
+                    && file.is_punct(t + 1, '(')
+                    && SINKS.iter().any(|s| file.is_ident(t, s));
+                if !is_sink {
+                    continue;
+                }
+                let close = guards::matching_close(file, t + 1);
+                for j in t + 2..close.min(last + 1) {
+                    if guards::is_bare_name(file, j, name) {
+                        flagged.insert(j);
+                    }
+                }
+            }
+
+            // Braced `move` closure bodies opening inside the range.
+            for block in &analysis.tree.blocks {
+                let Some(open) = block.open else { continue };
+                if !block.is_closure || open <= held.acquire || open > last {
+                    continue;
+                }
+                if !is_move_closure(file, open) {
+                    continue;
+                }
+                let close = tree.end_of_block(tree.block_of(open), n);
+                for j in open + 1..close.min(last + 1) {
+                    if guards::is_bare_name(file, j, name) {
+                        flagged.insert(j);
+                    }
+                }
+            }
+
+            // Single-expression `move |..| expr` closures (no braces).
+            for t in held.acquire + 1..=last {
+                if !file.is_ident(t, "move") || t + 1 >= n || !file.is_punct(t + 1, '|') {
+                    continue;
+                }
+                let params_close = (t + 2..n).find(|&j| file.is_punct(j, '|')).unwrap_or(n - 1);
+                if params_close + 1 < n && file.is_punct(params_close + 1, '{') {
+                    continue; // braced form, handled above
+                }
+                let depth = analysis.tree.paren_depth.get(t).copied().unwrap_or(0);
+                for j in params_close + 1..=last {
+                    let d = analysis.tree.paren_depth[j];
+                    let ends = (file.is_punct(j, ',') && d == depth)
+                        || (file.is_punct(j, ')') && d < depth)
+                        || (file.is_punct(j, ';') && d <= depth);
+                    if ends {
+                        break;
+                    }
+                    if guards::is_bare_name(file, j, name) {
+                        flagged.insert(j);
+                    }
+                }
+            }
+
+            for j in flagged {
+                out.push(file.diagnostic(
+                    self.id(),
+                    j,
+                    format!(
+                        "guard `{name}` (`{}`, acquired line {}) escapes into a deferred/unwind \
+                         context — the critical section outlives its scope and the declared \
+                         lock order no longer bounds it; clone the data out instead",
+                        held.site,
+                        file.tokens[held.acquire].span.line,
+                    ),
+                ));
+            }
+        }
+        out.sort_by_key(|d| (d.line, d.col));
+        out
+    }
+}
+
+/// Whether the closure whose body opens at `open` (a `{` token) is a
+/// `move` closure: `move || {`, `move |args| {`, or a bare `move {`.
+fn is_move_closure(file: &SourceFile<'_>, open: usize) -> bool {
+    if open == 0 {
+        return false;
+    }
+    if file.is_ident(open - 1, "move") {
+        return true;
+    }
+    if !file.is_punct(open - 1, '|') {
+        return false;
+    }
+    // Walk back to the `|` opening the parameter list (bounded — closure
+    // headers are short), then look for `move` before it.
+    let mut j = open - 1;
+    for _ in 0..64 {
+        let Some(prev) = j.checked_sub(1) else { return false };
+        j = prev;
+        if file.is_punct(j, ';') || file.is_punct(j, '{') || file.is_punct(j, '}') {
+            return false;
+        }
+        if file.is_punct(j, '|') {
+            return j >= 1 && file.is_ident(j - 1, "move");
+        }
+    }
+    false
+}

@@ -1,0 +1,353 @@
+//! Shared guard-lifetime analysis for the concurrency rules (`C1`–`C3`).
+//!
+//! The three rules all reason about the same object: a **guard
+//! interval** — the token range over which a `MutexGuard` obtained from a
+//! tracked lock site is live. This module finds acquisitions
+//! (`IDENT.lock(...)` where `IDENT` is in the [`LockOrder`] `acquires`
+//! set), classifies how the guard is bound, and computes a conservative
+//! lexical liveness range over the [`BraceTree`]:
+//!
+//! * `let [mut] NAME = <chain>.lock();` — **named**, live to the end of
+//!   the binding block, truncated at an unconditional `drop(NAME)` in the
+//!   same block;
+//! * `if/while let Ok([mut] NAME) = <chain>.lock()` — **named**, live in
+//!   the condition's body block;
+//! * anything else (`<chain>.lock().insert(..)`, `*x.lock() = v`,
+//!   statement-position calls) — an **unnamed temporary**, live to the
+//!   end of the enclosing statement.
+//!
+//! A `.unwrap()`/`.expect(..)` shim directly after `.lock()` is skipped
+//! before classifying, so `let g = m.lock().unwrap();` still binds `g`.
+//!
+//! Liveness is deliberately an over-approximation (a guard bound inside
+//! `if` arms, loops, or matches is treated as live to the end of its
+//! block); the rules' query sites apply a *closure barrier* — code inside
+//! a closure that opened after the acquisition is deferred, so it does
+//! not run while the guard is held (`C3` owns the capture question).
+//! Occurrence checks use the **bare** name only: `shared.inflight` is a
+//! field access, not a use of a guard binding named `inflight`.
+
+use crate::baseline::LockOrder;
+use crate::context::SourceFile;
+use crate::lexer::TokenKind;
+use crate::rules::{is_keyword, is_method_call};
+use crate::tree::BraceTree;
+
+/// One live range of a tracked guard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GuardInterval {
+    /// Binding name, or `None` for an unnamed temporary.
+    pub name: Option<String>,
+    /// Rank in the declared lock order (index into [`LockOrder::locks`]).
+    pub rank: usize,
+    /// Declared lock-site name (`registry.entries`, ...).
+    pub site: String,
+    /// Token index of the acquiring receiver identifier.
+    pub acquire: usize,
+    /// Last token index (inclusive) at which the guard is lexically live.
+    pub end: usize,
+}
+
+impl GuardInterval {
+    /// Whether the guard is lexically live at token `t` (no barrier).
+    pub fn in_range(&self, t: usize) -> bool {
+        t > self.acquire && t <= self.end
+    }
+
+    /// Whether the guard is live at token `t` for execution-order
+    /// purposes: lexically in range *and* not separated from the
+    /// acquisition by a closure boundary (deferred code).
+    pub fn live_at(&self, tree: &BraceTree, t: usize) -> bool {
+        self.in_range(t) && tree.closure_boundary_after(tree.block_of(t), self.acquire).is_none()
+    }
+}
+
+/// Guard intervals plus the tree they were computed over.
+#[derive(Debug)]
+pub struct GuardAnalysis {
+    /// Intervals in acquisition (token) order.
+    pub intervals: Vec<GuardInterval>,
+    /// Block structure of the analyzed file.
+    pub tree: BraceTree,
+}
+
+/// Analyze one file against a declared lock order.
+pub fn analyze(file: &SourceFile<'_>, order: &LockOrder) -> GuardAnalysis {
+    let tree = BraceTree::build(file);
+    let n = file.tokens.len();
+    let mut intervals = Vec::new();
+    for i in 0..n {
+        // `IDENT . lock (` with a tracked receiver identifier.
+        if !is_method_call(file, i, "lock") || i < 2 {
+            continue;
+        }
+        if file.tokens[i - 2].kind != TokenKind::Ident {
+            continue; // `).lock()` — computed receiver, untracked
+        }
+        let recv = i - 2;
+        let Some((rank, site)) = order.rank_of(file.tok(recv)) else {
+            continue;
+        };
+        let site = site.to_string();
+        // Where the `.lock(...)` value expression ends, skipping
+        // `.unwrap()`/`.expect(..)` shims on `LockResult`-style APIs.
+        let mut after = matching_close(file, i + 1) + 1;
+        while after + 2 < n
+            && file.is_punct(after, '.')
+            && (file.is_ident(after + 1, "unwrap") || file.is_ident(after + 1, "expect"))
+            && file.is_punct(after + 2, '(')
+        {
+            after = matching_close(file, after + 2) + 1;
+        }
+        let chained = after < n && (file.is_punct(after, '.') || file.is_punct(after, '?'));
+
+        // Walk back over the receiver chain (`self.shared.entries`) to
+        // its head, then classify the binding shape.
+        let mut head = recv;
+        while head >= 2
+            && file.is_punct(head - 1, '.')
+            && file.tokens[head - 2].kind == TokenKind::Ident
+        {
+            head -= 2;
+        }
+        let interval = if chained {
+            temp_interval(file, &tree, recv, rank, &site)
+        } else if let Some(name) = direct_binding_name(file, head) {
+            named_to_block_end(file, &tree, recv, rank, &site, name)
+        } else if let Some(name) = if_let_binding_name(file, head) {
+            let end = if_let_body_end(file, &tree, recv);
+            GuardInterval { name: Some(name), rank, site, acquire: recv, end }
+        } else {
+            temp_interval(file, &tree, recv, rank, &site)
+        };
+        intervals.push(interval);
+    }
+    GuardAnalysis { intervals, tree }
+}
+
+/// Whether token `j` is the **bare** identifier `name` — not a field
+/// access (`x.name`) or path segment (`x::name`).
+pub fn is_bare_name(file: &SourceFile<'_>, j: usize, name: &str) -> bool {
+    file.is_ident(j, name) && !(j >= 1 && (file.is_punct(j - 1, '.') || file.is_punct(j - 1, ':')))
+}
+
+/// Token index of the `)`/`]` matching the opener at `open` (last token
+/// on unbalanced input — total, never panics).
+pub fn matching_close(file: &SourceFile<'_>, open: usize) -> usize {
+    let mut depth = 0usize;
+    for j in open..file.tokens.len() {
+        match file.tokens[j].kind {
+            TokenKind::Punct('(' | '[') => depth += 1,
+            TokenKind::Punct(')' | ']') => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+    }
+    file.tokens.len().saturating_sub(1)
+}
+
+/// An unnamed temporary: live to the end of the enclosing statement.
+fn temp_interval(
+    file: &SourceFile<'_>,
+    tree: &BraceTree,
+    recv: usize,
+    rank: usize,
+    site: &str,
+) -> GuardInterval {
+    GuardInterval {
+        name: None,
+        rank,
+        site: site.to_string(),
+        acquire: recv,
+        end: tree.statement_end(file, recv),
+    }
+}
+
+/// `let [mut] NAME = <head>...` / `NAME = <head>...`: the binding name
+/// for a direct assignment, or `None`.
+fn direct_binding_name(file: &SourceFile<'_>, head: usize) -> Option<String> {
+    if head < 2 || !file.is_punct(head - 1, '=') {
+        return None;
+    }
+    // Reject `==`, `>=`, `+=`, ... — the token before `=` must be the
+    // binding identifier itself.
+    if file.tokens[head - 2].kind != TokenKind::Ident || is_keyword(file.tok(head - 2)) {
+        return None;
+    }
+    Some(file.tok(head - 2).to_string())
+}
+
+/// `if/while let Ok([mut] NAME) = <head>...`: the pattern binding name.
+fn if_let_binding_name(file: &SourceFile<'_>, head: usize) -> Option<String> {
+    if head < 4 || !file.is_punct(head - 1, '=') || !file.is_punct(head - 2, ')') {
+        return None;
+    }
+    let name_idx = head - 3;
+    if file.tokens[name_idx].kind != TokenKind::Ident || is_keyword(file.tok(name_idx)) {
+        return None;
+    }
+    let mut p = name_idx.checked_sub(1)?;
+    if file.is_ident(p, "mut") {
+        p = p.checked_sub(1)?;
+    }
+    // `( <Variant> ... let` — require the pattern paren and a `let`.
+    if !file.is_punct(p, '(') {
+        return None;
+    }
+    let variant = p.checked_sub(1)?;
+    if file.tokens[variant].kind != TokenKind::Ident {
+        return None;
+    }
+    let let_idx = variant.checked_sub(1)?;
+    file.is_ident(let_idx, "let").then(|| file.tok(name_idx).to_string())
+}
+
+/// A named binding: live from the acquisition to the end of its block,
+/// truncated at an unconditional `drop(NAME)` in the *same* block.
+fn named_to_block_end(
+    file: &SourceFile<'_>,
+    tree: &BraceTree,
+    recv: usize,
+    rank: usize,
+    site: &str,
+    name: String,
+) -> GuardInterval {
+    let n = file.tokens.len();
+    let block = tree.block_of(recv);
+    let base = tree.blocks.get(block).map_or(0, |b| b.paren_base);
+    let mut end = tree.end_of_block(block, n);
+    let last = end.min(n.saturating_sub(1));
+    for j in recv..=last {
+        // Statement-position only: a `drop(g)` nested in call arguments
+        // (`catch_unwind(move || drop(g))`) is deferred, not a release.
+        if tree.block_of(j) == block
+            && tree.paren_depth[j] == base
+            && file.is_ident(j, "drop")
+            && j + 3 < n
+            && file.is_punct(j + 1, '(')
+            && file.is_ident(j + 2, &name)
+            && file.is_punct(j + 3, ')')
+        {
+            end = j;
+            break;
+        }
+    }
+    GuardInterval { name: Some(name), rank, site: site.to_string(), acquire: recv, end }
+}
+
+/// For `if let Ok(g) = m.lock() { ... }`: the end of the body block the
+/// guard is live in (falls back to the statement end when no body block
+/// follows on malformed input).
+fn if_let_body_end(file: &SourceFile<'_>, tree: &BraceTree, recv: usize) -> usize {
+    let n = file.tokens.len();
+    let b = tree.block_of(recv);
+    let base = tree.paren_depth.get(recv).copied().unwrap_or(0);
+    let stop = tree.end_of_block(b, n).min(n.saturating_sub(1));
+    for j in recv..=stop {
+        if tree.paren_depth[j] == base && file.is_punct(j, '{') {
+            return tree.end_of_block(tree.block_of(j), n);
+        }
+        if tree.block_of(j) == b && tree.paren_depth[j] == base && file.is_punct(j, ';') {
+            break;
+        }
+    }
+    tree.statement_end(file, recv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::FileContext;
+
+    fn analyzed(src: &str) -> (GuardAnalysis, Vec<String>) {
+        let file = SourceFile::parse(FileContext::classify("crates/serve/src/x.rs"), src);
+        let texts = (0..file.tokens.len()).map(|i| file.tok(i).to_string()).collect();
+        (analyze(&file, &LockOrder::builtin()), texts)
+    }
+
+    #[test]
+    fn named_binding_lives_to_block_end() {
+        let (a, texts) = analyzed("fn f(s: &S) { let mut entries = s.entries.lock(); use1(); }");
+        assert_eq!(a.intervals.len(), 1);
+        let iv = &a.intervals[0];
+        assert_eq!(iv.name.as_deref(), Some("entries"));
+        assert_eq!(iv.site, "registry.entries");
+        assert_eq!(iv.rank, 0);
+        let close = texts.iter().rposition(|t| t == "}").unwrap();
+        assert_eq!(iv.end, close);
+    }
+
+    #[test]
+    fn drop_truncates_a_named_binding() {
+        let (a, texts) =
+            analyzed("fn f(s: &S) { let lru = s.lru.lock(); drop(lru); after(); }");
+        let drop_tok = texts.iter().position(|t| t == "drop").unwrap();
+        assert_eq!(a.intervals[0].end, drop_tok);
+        // A conditional drop in a nested block does not truncate.
+        let (b, texts2) =
+            analyzed("fn f(s: &S) { let lru = s.lru.lock(); if c { drop(lru); } after(); }");
+        let close = texts2.iter().rposition(|t| t == "}").unwrap();
+        assert_eq!(b.intervals[0].end, close);
+    }
+
+    #[test]
+    fn chained_and_statement_temporaries_end_at_the_statement() {
+        let (a, texts) = analyzed("fn f(s: &S) { s.lru.lock().insert(k, v); after(); }");
+        let iv = &a.intervals[0];
+        assert!(iv.name.is_none());
+        assert_eq!(iv.end, texts.iter().position(|t| t == ";").unwrap());
+        let (b, _) = analyzed("fn f(s: &S) { *s.plan.lock() = None; after(); }");
+        assert!(b.intervals[0].name.is_none());
+    }
+
+    #[test]
+    fn unwrap_shim_still_binds_the_name() {
+        let (a, _) = analyzed("fn f(m: &M) { let inflight = m.inflight.lock().unwrap(); g(); }");
+        assert_eq!(a.intervals[0].name.as_deref(), Some("inflight"));
+    }
+
+    #[test]
+    fn if_let_binding_lives_in_the_body_block() {
+        let (a, texts) =
+            analyzed("fn f(s: &S) { if let Ok(slot) = s.slot.lock() { body(); } after(); }");
+        let iv = &a.intervals[0];
+        assert_eq!(iv.name.as_deref(), Some("slot"));
+        // Ends at the body's `}`, before `after()`.
+        let after = texts.iter().position(|t| t == "after").unwrap();
+        assert!(iv.end < after);
+        assert!(iv.in_range(texts.iter().position(|t| t == "body").unwrap()));
+    }
+
+    #[test]
+    fn untracked_receivers_produce_no_interval() {
+        let (a, _) = analyzed("fn f(m: &M) { let g = m.inner.lock(); h(); }");
+        assert!(a.intervals.is_empty());
+    }
+
+    #[test]
+    fn closure_barrier_suspends_liveness() {
+        let (a, texts) = analyzed(
+            "fn f(s: &S) { let entries = s.entries.lock(); run(move || { later(); }); now(); }",
+        );
+        let iv = &a.intervals[0];
+        let later = texts.iter().position(|t| t == "later").unwrap();
+        let now = texts.iter().position(|t| t == "now").unwrap();
+        assert!(iv.in_range(later), "lexically in range");
+        assert!(!iv.live_at(&a.tree, later), "but deferred past a closure boundary");
+        assert!(iv.live_at(&a.tree, now));
+    }
+
+    #[test]
+    fn bare_name_excludes_field_accesses_and_paths() {
+        let src = "fn f() { inflight(); s.inflight(); m::inflight(); }";
+        let file = SourceFile::parse(FileContext::classify("crates/serve/src/x.rs"), src);
+        let hits: Vec<usize> = (0..file.tokens.len())
+            .filter(|&j| is_bare_name(&file, j, "inflight"))
+            .collect();
+        assert_eq!(hits.len(), 1, "only the first, bare occurrence counts");
+    }
+}

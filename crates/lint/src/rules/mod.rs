@@ -1,4 +1,4 @@
-//! The rule engine: one trait, five project-contract rules, and the
+//! The rule engine: one trait, eight project-contract rules, and the
 //! shared token-pattern helpers they build on.
 //!
 //! | rule | contract |
@@ -8,18 +8,30 @@
 //! | [`D3`](d3_rng) | all RNG construction flows through seeded constructors |
 //! | [`P1`](p1_no_panic) | no panic-capable operation in the serve request path |
 //! | [`X1`](x1_threads) | thread spawning only inside `cuisine-exec` |
+//! | [`C1`](c1_lock_order) | lock acquisitions strictly ascend the declared `[lockorder]` table |
+//! | [`C2`](c2_blocking_under_guard) | no blocking call while a tracked guard is live |
+//! | [`C3`](c3_guard_escape) | no tracked guard moved into a closure/callback or across `catch_unwind` |
 //!
 //! Rules are plain structs over the token stream — unit-testable in
 //! isolation against string fixtures (`tests/rules.rs`) and exercised
 //! against embedded known-bad fixtures by `cuisine-lint --self-check`, so
-//! a silently broken rule is itself a CI failure.
+//! a silently broken rule is itself a CI failure. The `C` family
+//! additionally builds a [`tree::BraceTree`](crate::tree) per file and
+//! reasons over guard lifetimes ([`guards`]); its configuration — the
+//! declared lock order — comes from the same `lint.toml` as the
+//! baseline, so [`all_rules`] takes the [`LockOrder`] to enforce.
 
+pub mod c1_lock_order;
+pub mod c2_blocking_under_guard;
+pub mod c3_guard_escape;
 pub mod d1_hash_iter;
 pub mod d2_wall_clock;
 pub mod d3_rng;
+pub mod guards;
 pub mod p1_no_panic;
 pub mod x1_threads;
 
+use crate::baseline::LockOrder;
 use crate::context::{FileContext, SourceFile};
 use crate::diagnostics::Diagnostic;
 
@@ -35,25 +47,30 @@ pub trait Rule: Sync {
     fn applies(&self, context: &FileContext) -> bool;
 
     /// Scan a lexed file and report violations. Implementations must skip
-    /// tokens with `file.in_test[i]` set.
+    /// tokens with `file.in_test[i]` set — except the `C` family, whose
+    /// lock-discipline contract binds test code equally (a deadlock in a
+    /// test hangs CI just the same).
     fn check(&self, file: &SourceFile<'_>) -> Vec<Diagnostic>;
 }
 
-/// Every rule, in catalog order.
-pub fn all_rules() -> Vec<Box<dyn Rule>> {
+/// Every rule, in catalog order, configured with the declared lock order.
+pub fn all_rules(order: &LockOrder) -> Vec<Box<dyn Rule>> {
     vec![
         Box::new(d1_hash_iter::HashIteration),
         Box::new(d2_wall_clock::WallClock),
         Box::new(d3_rng::UnseededRng),
         Box::new(p1_no_panic::NoPanic),
         Box::new(x1_threads::ExecOnlyThreads),
+        Box::new(c1_lock_order::LockOrderRule::new(order)),
+        Box::new(c2_blocking_under_guard::BlockingUnderGuard::new(order)),
+        Box::new(c3_guard_escape::GuardEscape::new(order)),
     ]
 }
 
 /// Run every applicable rule over one file.
-pub fn check_file(file: &SourceFile<'_>) -> Vec<Diagnostic> {
+pub fn check_file(file: &SourceFile<'_>, order: &LockOrder) -> Vec<Diagnostic> {
     let mut out = Vec::new();
-    for rule in all_rules() {
+    for rule in all_rules(order) {
         if rule.applies(&file.context) {
             out.extend(rule.check(file));
         }

@@ -98,6 +98,99 @@ const FIXTURES: &[Fixture] = &[
         source: "fn f() { std::thread::spawn(|| {}).join().ok(); }\n",
         expect_rule: None,
     },
+    Fixture {
+        name: "C1 catches a lock inversion against the declared order",
+        rel_path: "crates/serve/src/fixture.rs",
+        source: "fn f(s: &S) {\n\
+                 \x20   let inflight = s.inflight.lock();\n\
+                 \x20   let entries = s.entries.lock();\n\
+                 \x20   use2(inflight, entries);\n}\n",
+        expect_rule: Some("C1"),
+    },
+    Fixture {
+        name: "C1 catches nested same-lock re-entry",
+        rel_path: "crates/serve/src/fixture.rs",
+        source: "fn f(s: &S) {\n\
+                 \x20   let lru = s.lru.lock();\n\
+                 \x20   let again = s.lru.lock();\n\
+                 \x20   use2(lru, again);\n}\n",
+        expect_rule: Some("C1"),
+    },
+    Fixture {
+        name: "C1 ignores ascending acquisition and drop-before-reacquire",
+        rel_path: "crates/serve/src/fixture.rs",
+        source: "fn f(s: &S) {\n\
+                 \x20   let entries = s.entries.lock();\n\
+                 \x20   let lru = s.lru.lock();\n\
+                 \x20   use2(entries, lru);\n}\n\
+                 fn g(s: &S) {\n\
+                 \x20   let lru = s.lru.lock();\n\
+                 \x20   drop(lru);\n\
+                 \x20   let entries = s.entries.lock();\n\
+                 \x20   use1(entries);\n}\n",
+        expect_rule: None,
+    },
+    Fixture {
+        name: "C2 catches a channel recv while a tracked guard is live",
+        rel_path: "crates/serve/src/fixture.rs",
+        source: "fn f(s: &S, chan: &Receiver) {\n\
+                 \x20   let lru = s.lru.lock();\n\
+                 \x20   let job = chan.recv();\n\
+                 \x20   use2(lru, job);\n}\n",
+        expect_rule: Some("C2"),
+    },
+    Fixture {
+        name: "C2 catches thread::sleep under a tracked guard",
+        rel_path: "crates/serve/src/fixture.rs",
+        source: "fn f(s: &S, d: Duration) {\n\
+                 \x20   let entries = s.entries.lock();\n\
+                 \x20   std::thread::sleep(d);\n\
+                 \x20   use1(entries);\n}\n",
+        expect_rule: Some("C2"),
+    },
+    Fixture {
+        name: "C2 ignores the condvar wait that consumes its own guard",
+        rel_path: "crates/serve/src/fixture.rs",
+        source: "fn f(s: &S, t: Duration) -> bool {\n\
+                 \x20   let slot = s.slot.lock();\n\
+                 \x20   let (slot, timed) = slot.wait_timeout_while(&s.ready, t, |v| v.is_none());\n\
+                 \x20   use1(slot);\n\
+                 \x20   timed\n}\n",
+        expect_rule: None,
+    },
+    Fixture {
+        name: "C2 ignores the one-statement lock-and-recv temporary idiom",
+        rel_path: "crates/exec/src/fixture.rs",
+        source: "fn f(s: &S) { let job = s.rx.lock().recv(); use1(job); }\n",
+        expect_rule: None,
+    },
+    Fixture {
+        name: "C3 catches a guard carried across catch_unwind",
+        rel_path: "crates/serve/src/fixture.rs",
+        source: "fn f(s: &S) {\n\
+                 \x20   let lru = s.lru.lock();\n\
+                 \x20   let r = std::panic::catch_unwind(move || drop(lru));\n\
+                 \x20   use1(r);\n}\n",
+        expect_rule: Some("C3"),
+    },
+    Fixture {
+        name: "C3 catches a guard moved into an executed closure",
+        rel_path: "crates/serve/src/fixture.rs",
+        source: "fn f(s: &S, p: &Pool) {\n\
+                 \x20   let entries = s.entries.lock();\n\
+                 \x20   p.execute(move || { use1(entries); });\n}\n",
+        expect_rule: Some("C3"),
+    },
+    Fixture {
+        name: "C3 ignores clone-then-drop before handing work off",
+        rel_path: "crates/serve/src/fixture.rs",
+        source: "fn f(s: &S, p: &Pool) {\n\
+                 \x20   let entries = s.entries.lock();\n\
+                 \x20   let snapshot = entries.clone();\n\
+                 \x20   drop(entries);\n\
+                 \x20   p.try_execute(move || { use1(snapshot); });\n}\n",
+        expect_rule: None,
+    },
 ];
 
 /// One self-check outcome line.
@@ -153,7 +246,7 @@ mod tests {
     fn every_rule_has_a_bad_fixture() {
         let covered: std::collections::BTreeSet<&str> =
             FIXTURES.iter().filter_map(|f| f.expect_rule).collect();
-        for rule in crate::rules::all_rules() {
+        for rule in crate::rules::all_rules(&crate::baseline::LockOrder::builtin()) {
             assert!(covered.contains(rule.id()), "no known-bad fixture for {}", rule.id());
         }
     }

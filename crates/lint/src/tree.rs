@@ -1,0 +1,283 @@
+//! Brace-tree layer over the total lexer: block nesting, statement
+//! boundaries, and closure boundaries for guard-lifetime analysis.
+//!
+//! The token-level rules (`D1`–`X1`) get by on local patterns; the
+//! concurrency rules (`C1`–`C3`) need *scopes* — "is this guard still
+//! live here?" is a question about the block that bound it. [`BraceTree`]
+//! answers it with the same robustness contract as the lexer: **total**
+//! on arbitrary byte soup (property-tested in
+//! `tests/tree_properties.rs`), never panicking, degrading on malformed
+//! input (stray `}`, unclosed `{`) rather than failing.
+//!
+//! The tree records, per `{}` block: its parent, the opening/closing
+//! token indices, whether it is a closure body (its `{` follows a `|` or
+//! `move` — deferred code, which breaks guard liveness for the analysis
+//! in [`rules::guards`](crate::rules::guards)), and the combined
+//! `()`/`[]` nesting depth at its open (so statement boundaries ignore
+//! `;` inside `[0u8; 4]` or nested calls). Per token it records the
+//! innermost enclosing block and that combined paren depth.
+
+use crate::context::SourceFile;
+use crate::lexer::TokenKind;
+
+/// One `{}` block (or the virtual root spanning the whole file).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// Index of the enclosing block in [`BraceTree::blocks`]; the root is
+    /// its own parent.
+    pub parent: usize,
+    /// Token index of the opening `{` (`None` for the root).
+    pub open: Option<usize>,
+    /// Token index of the matching `}` (`None` for the root and for
+    /// blocks left unclosed at EOF).
+    pub close: Option<usize>,
+    /// Nesting depth (root = 0).
+    pub depth: usize,
+    /// Whether the block is a closure body: its `{` directly follows a
+    /// `|` (closure parameter list) or `move`.
+    pub is_closure: bool,
+    /// Combined `()`/`[]` nesting depth at the opening token — the depth
+    /// a statement-terminating `;` inside this block must sit at.
+    pub paren_base: usize,
+}
+
+/// Block structure of one lexed file. See the [module docs](self).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BraceTree {
+    /// All blocks; index 0 is the virtual root covering the whole file.
+    pub blocks: Vec<Block>,
+    /// Per token: index of the innermost enclosing block (`{` and `}`
+    /// tokens belong to the block they delimit).
+    pub block_of: Vec<usize>,
+    /// Per token: combined `()`/`[]` depth surrounding the token (an
+    /// opener records the depth outside itself; a closer matches its
+    /// opener).
+    pub paren_depth: Vec<usize>,
+}
+
+impl BraceTree {
+    /// Build the tree for a lexed file. Total: malformed nesting (stray
+    /// `}`, unclosed `{`/`(`) degrades — a stray close is attributed to
+    /// the innermost open construct, an unclosed block simply has no
+    /// `close` — and never panics.
+    pub fn build(file: &SourceFile<'_>) -> BraceTree {
+        let tokens = &file.tokens;
+        let mut blocks = vec![Block {
+            parent: 0,
+            open: None,
+            close: None,
+            depth: 0,
+            is_closure: false,
+            paren_base: 0,
+        }];
+        let mut block_of = vec![0usize; tokens.len()];
+        let mut paren_depth = vec![0usize; tokens.len()];
+        let mut stack: Vec<usize> = vec![0];
+        let mut paren: usize = 0;
+        for i in 0..tokens.len() {
+            let current = *stack.last().unwrap_or(&0);
+            block_of[i] = current;
+            paren_depth[i] = paren;
+            match tokens[i].kind {
+                TokenKind::Punct('{') => {
+                    let is_closure =
+                        i >= 1 && (file.is_punct(i - 1, '|') || file.is_ident(i - 1, "move"));
+                    let id = blocks.len();
+                    blocks.push(Block {
+                        parent: current,
+                        open: Some(i),
+                        close: None,
+                        depth: stack.len(),
+                        is_closure,
+                        paren_base: paren,
+                    });
+                    block_of[i] = id;
+                    stack.push(id);
+                }
+                // A stray top-level `}` stays in the root.
+                TokenKind::Punct('}') if stack.len() > 1 => {
+                    let id = stack.pop().unwrap_or(0);
+                    blocks[id].close = Some(i);
+                    block_of[i] = id;
+                    // Degrade on parens left unclosed inside the
+                    // block: the block boundary resets the depth.
+                    paren = blocks[id].paren_base;
+                }
+                TokenKind::Punct('(' | '[') => paren += 1,
+                TokenKind::Punct(')' | ']') => paren = paren.saturating_sub(1),
+                _ => {}
+            }
+        }
+        BraceTree { blocks, block_of, paren_depth }
+    }
+
+    /// The innermost block containing token `i` (root for out-of-range).
+    pub fn block_of(&self, i: usize) -> usize {
+        self.block_of.get(i).copied().unwrap_or(0)
+    }
+
+    /// Token index where block `b` ends: its `}` if closed, else the last
+    /// token of the file (unclosed block or the root).
+    pub fn end_of_block(&self, b: usize, n_tokens: usize) -> usize {
+        match self.blocks.get(b).and_then(|block| block.close) {
+            Some(close) => close,
+            None => n_tokens.saturating_sub(1),
+        }
+    }
+
+    /// Whether `outer` is `inner` itself or one of its ancestors.
+    pub fn is_ancestor_or_self(&self, outer: usize, inner: usize) -> bool {
+        let mut b = inner;
+        loop {
+            if b == outer {
+                return true;
+            }
+            if b == 0 {
+                return false;
+            }
+            b = self.blocks[b].parent;
+        }
+    }
+
+    /// The innermost closure block on the ancestor chain of `inner`
+    /// (inclusive) whose `{` opened strictly after token `after`.
+    ///
+    /// This is the guard-liveness capture barrier: code inside such a
+    /// block is deferred — it does not run while the guard bound at
+    /// `after` is lexically live, so `C1`/`C2` must not attribute its
+    /// acquisitions and blocking calls to that guard. (`C3` handles the
+    /// capture itself.)
+    pub fn closure_boundary_after(&self, inner: usize, after: usize) -> Option<usize> {
+        let mut b = inner;
+        loop {
+            let block = &self.blocks[b];
+            if block.is_closure && block.open.is_some_and(|open| open > after) {
+                return Some(b);
+            }
+            if b == 0 {
+                return None;
+            }
+            b = block.parent;
+        }
+    }
+
+    /// Token index ending the statement containing `from`: the next `;`
+    /// in the same block at the block's base paren depth, else the
+    /// block's end. Used for temporary-guard lifetimes.
+    pub fn statement_end(&self, file: &SourceFile<'_>, from: usize) -> usize {
+        let n = file.tokens.len();
+        if n == 0 {
+            return 0;
+        }
+        let b = self.block_of(from);
+        let base = self.blocks.get(b).map_or(0, |block| block.paren_base);
+        let end = self.end_of_block(b, n);
+        let last = end.min(n - 1);
+        for j in from..=last {
+            if self.block_of[j] == b && file.is_punct(j, ';') && self.paren_depth[j] == base {
+                return j;
+            }
+        }
+        end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::FileContext;
+
+    fn parse(src: &str) -> (BraceTree, Vec<String>) {
+        let context = FileContext::classify("crates/serve/src/x.rs");
+        let file = SourceFile::parse(context, src);
+        let texts = (0..file.tokens.len()).map(|i| file.tok(i).to_string()).collect();
+        (BraceTree::build(&file), texts)
+    }
+
+    fn tok_index(texts: &[String], wanted: &str, occurrence: usize) -> usize {
+        texts
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.as_str() == wanted)
+            .map(|(i, _)| i)
+            .nth(occurrence)
+            .unwrap_or_else(|| panic!("token {wanted:?} #{occurrence} not found in {texts:?}"))
+    }
+
+    #[test]
+    fn nesting_and_parents_are_tracked() {
+        let (tree, texts) = parse("fn f() { if x { a(); } b(); }");
+        assert_eq!(tree.blocks.len(), 3, "root + fn body + if body");
+        let outer_open = tok_index(&texts, "{", 0);
+        let inner_open = tok_index(&texts, "{", 1);
+        let outer = tree.block_of(outer_open);
+        let inner = tree.block_of(inner_open);
+        assert_eq!(tree.blocks[inner].parent, outer);
+        assert_eq!(tree.blocks[outer].parent, 0);
+        assert_eq!(tree.blocks[inner].depth, 2);
+        assert!(tree.is_ancestor_or_self(outer, inner));
+        assert!(!tree.is_ancestor_or_self(inner, outer));
+        // `b` sits in the outer block, `a` in the inner one.
+        assert_eq!(tree.block_of(tok_index(&texts, "a", 0)), inner);
+        assert_eq!(tree.block_of(tok_index(&texts, "b", 0)), outer);
+    }
+
+    #[test]
+    fn closure_blocks_are_flagged() {
+        let (tree, texts) = parse("fn f() { run(move || { x(); }); plain(|| { y(); }); }");
+        let move_open = tok_index(&texts, "{", 1);
+        let plain_open = tok_index(&texts, "{", 2);
+        assert!(tree.blocks[tree.block_of(move_open)].is_closure);
+        assert!(tree.blocks[tree.block_of(plain_open)].is_closure);
+        let fn_open = tok_index(&texts, "{", 0);
+        assert!(!tree.blocks[tree.block_of(fn_open)].is_closure);
+        // Barrier query: from inside the closure, a binding before the
+        // closure opened sees the boundary; one after does not.
+        let x = tok_index(&texts, "x", 0);
+        assert!(tree.closure_boundary_after(tree.block_of(x), 0).is_some());
+        assert!(tree.closure_boundary_after(tree.block_of(x), x).is_none());
+    }
+
+    #[test]
+    fn statement_ends_skip_bracketed_semicolons() {
+        let (tree, texts) = parse("fn f() { let a = [0u8; 4]; g(a); }");
+        let let_tok = tok_index(&texts, "let", 0);
+        let end = tree.statement_end(&file_of("fn f() { let a = [0u8; 4]; g(a); }"), let_tok);
+        // The first `;` at base depth is the one *after* the array.
+        assert_eq!(end, tok_index(&texts, ";", 1));
+    }
+
+    fn file_of(src: &str) -> SourceFile<'_> {
+        SourceFile::parse(FileContext::classify("crates/serve/src/x.rs"), src)
+    }
+
+    #[test]
+    fn statement_end_falls_back_to_block_close() {
+        let src = "fn f() { g() }";
+        let (tree, texts) = parse(src);
+        let g = tok_index(&texts, "g", 0);
+        assert_eq!(tree.statement_end(&file_of(src), g), tok_index(&texts, "}", 0));
+    }
+
+    #[test]
+    fn malformed_input_degrades_without_panicking() {
+        for src in ["}", "} } {", "fn f() { {", "{ ) ] }", "", "fn f( {{{"] {
+            let (tree, _texts) = parse(src);
+            assert!(!tree.blocks.is_empty());
+            // Every recorded block id is valid and parents point inward.
+            for (id, block) in tree.blocks.iter().enumerate() {
+                assert!(block.parent <= id);
+            }
+            for &b in &tree.block_of {
+                assert!(b < tree.blocks.len());
+            }
+        }
+    }
+
+    #[test]
+    fn match_arms_are_not_closures() {
+        let (tree, texts) = parse("fn f(x: E) { match x { E::A | E::B => { y(); } } }");
+        let arm_open = tok_index(&texts, "{", 2);
+        assert!(!tree.blocks[tree.block_of(arm_open)].is_closure, "`=> {{` is not a closure");
+    }
+}

@@ -8,10 +8,39 @@
 
 use std::path::{Path, PathBuf};
 
-use crate::baseline::{Baseline, BaselineEntry, BaselineError};
+use crate::baseline::{Baseline, BaselineEntry, BaselineError, LockOrder};
 use crate::context::{FileContext, SourceFile};
 use crate::diagnostics::{sort_diagnostics, Diagnostic};
 use crate::rules::check_file;
+
+/// Optional narrowing of a run: which rules fire and which paths are
+/// scanned. The default (`RunFilter::default()`) runs everything.
+///
+/// A filtered run is an iteration tool, not a gate: unused-baseline
+/// enforcement is skipped, because entries for filtered-out rules or
+/// paths would otherwise report as stale.
+#[derive(Debug, Clone, Default)]
+pub struct RunFilter {
+    /// Rule IDs to run (`["C1", "C2"]`); empty = all rules.
+    pub only: Vec<String>,
+    /// Repo-relative path prefixes to scan; empty = whole workspace.
+    pub paths: Vec<String>,
+}
+
+impl RunFilter {
+    /// Whether this filter narrows anything.
+    pub fn is_active(&self) -> bool {
+        !self.only.is_empty() || !self.paths.is_empty()
+    }
+
+    fn keeps_rule(&self, rule: &str) -> bool {
+        self.only.is_empty() || self.only.iter().any(|r| r == rule)
+    }
+
+    fn keeps_path(&self, rel_path: &str) -> bool {
+        self.paths.is_empty() || self.paths.iter().any(|p| rel_path.starts_with(p.as_str()))
+    }
+}
 
 /// Directory names never descended into.
 const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", "artifacts", "fixtures"];
@@ -94,18 +123,30 @@ fn walk(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), LintError
     Ok(())
 }
 
-/// Lint one file's source text against every applicable rule. This is the
-/// unit the rule tests drive directly with string fixtures.
+/// Lint one file's source text against every applicable rule, using the
+/// compiled-in lock order. This is the unit the rule tests drive
+/// directly with string fixtures.
 pub fn lint_source(rel_path: &str, text: &str) -> Vec<Diagnostic> {
     let context = FileContext::classify(rel_path);
     let file = SourceFile::parse(context, text);
-    check_file(&file)
+    check_file(&file, &LockOrder::builtin())
 }
 
 /// Walk `root`, lint every `.rs` file, and fold in `baseline`.
 pub fn run_workspace(root: &Path, baseline: &Baseline) -> Result<LintReport, LintError> {
+    run_workspace_filtered(root, baseline, &RunFilter::default())
+}
+
+/// [`run_workspace`] narrowed by a [`RunFilter`]. The lock order comes
+/// from the baseline file when declared there, else the built-in table.
+pub fn run_workspace_filtered(
+    root: &Path,
+    baseline: &Baseline,
+    filter: &RunFilter,
+) -> Result<LintReport, LintError> {
+    let order = baseline.effective_lock_order();
     let files = collect_rust_files(root)?;
-    let files_scanned = files.len();
+    let mut files_scanned = 0usize;
     let mut diagnostics = Vec::new();
     for rel in &files {
         let rel_str = rel
@@ -114,14 +155,25 @@ pub fn run_workspace(root: &Path, baseline: &Baseline) -> Result<LintReport, Lin
                 message: format!("non-UTF-8 path {}", rel.display()),
             })?
             .replace('\\', "/");
+        if !filter.keeps_path(&rel_str) {
+            continue;
+        }
+        files_scanned += 1;
         let text = std::fs::read_to_string(root.join(rel)).map_err(|e| LintError {
             message: format!("cannot read {rel_str}: {e}"),
         })?;
-        diagnostics.extend(lint_source(&rel_str, &text));
+        let context = FileContext::classify(&rel_str);
+        let file = SourceFile::parse(context, &text);
+        diagnostics.extend(
+            check_file(&file, &order).into_iter().filter(|d| filter.keeps_rule(d.rule)),
+        );
     }
     sort_diagnostics(&mut diagnostics);
     let (kept, suppressed, unused) = baseline.apply(diagnostics);
-    let unused_baseline = unused.into_iter().cloned().collect();
+    // A narrowed run cannot judge baseline staleness — entries for
+    // rules/paths outside the filter would all look unused.
+    let unused_baseline =
+        if filter.is_active() { Vec::new() } else { unused.into_iter().cloned().collect() };
     Ok(LintReport { diagnostics: kept, suppressed, unused_baseline, files_scanned })
 }
 
@@ -160,6 +212,41 @@ mod tests {
         assert_eq!(first.diagnostics.len(), 2);
         assert_eq!(first.diagnostics[0].path, "crates/serve/src/a.rs");
         assert_eq!(first.diagnostics[1].rule, "P1");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn filters_narrow_rules_and_paths_and_skip_staleness() {
+        let dir = std::env::temp_dir().join(format!("cuisine-lint-fl-{}", std::process::id()));
+        let src = dir.join("crates/serve/src");
+        std::fs::create_dir_all(&src).unwrap();
+        std::fs::write(src.join("a.rs"), "fn f(x: Option<u32>) -> u32 { x.unwrap() }").unwrap();
+        std::fs::write(src.join("b.rs"), "fn g(v: &[u8]) -> u8 { v[0] }").unwrap();
+        // A baseline entry that matches nothing: fatal in a full run,
+        // ignored under a filter.
+        let baseline = Baseline::parse(
+            "[[allow]]\nrule = \"D1\"\npath = \"crates/x.rs\"\npattern = \"zzz\"\n\
+             justification = \"stale on purpose for this test\"",
+        )
+        .unwrap();
+
+        let full = run_workspace(&dir, &baseline).unwrap();
+        assert_eq!(full.unused_baseline.len(), 1);
+
+        let filter = RunFilter {
+            only: vec!["P1".into()],
+            paths: vec!["crates/serve/src/a.rs".into()],
+        };
+        let narrowed = run_workspace_filtered(&dir, &baseline, &filter).unwrap();
+        assert_eq!(narrowed.files_scanned, 1);
+        assert_eq!(narrowed.diagnostics.len(), 1);
+        assert_eq!(narrowed.diagnostics[0].path, "crates/serve/src/a.rs");
+        assert!(narrowed.unused_baseline.is_empty(), "staleness not judged under a filter");
+
+        // A rule filter that excludes everything.
+        let none = RunFilter { only: vec!["D1".into()], paths: vec![] };
+        assert!(run_workspace_filtered(&dir, &baseline, &none).unwrap().diagnostics.is_empty());
 
         std::fs::remove_dir_all(&dir).ok();
     }

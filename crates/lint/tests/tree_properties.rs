@@ -1,0 +1,112 @@
+//! Property tests for the brace-tree layer (`cuisine_lint::tree`): like
+//! the lexer beneath it, [`BraceTree::build`] must be *total* on
+//! arbitrary byte soup — unbalanced braces, stray closers, half-open
+//! parens — and its structural invariants must hold on whatever it
+//! produces, because the concurrency rules (`C1`–`C3`) trust the tree's
+//! nesting and statement boundaries on every file in the workspace.
+
+use cuisine_lint::context::{FileContext, SourceFile};
+use cuisine_lint::lexer::lex;
+use cuisine_lint::tree::BraceTree;
+use proptest::prelude::*;
+
+fn build(text: &str) -> (BraceTree, usize) {
+    let file = SourceFile::parse(FileContext::classify("crates/serve/src/soup.rs"), text);
+    let n = file.tokens.len();
+    (BraceTree::build(&file), n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn build_is_total_on_byte_soup(bytes in prop::collection::vec(any::<u8>(), 0..400)) {
+        let text = String::from_utf8_lossy(&bytes);
+        let (tree, n) = build(&text);
+        // The root always exists and per-token tables are fully populated
+        // with valid block ids.
+        prop_assert!(!tree.blocks.is_empty());
+        prop_assert_eq!(tree.block_of.len(), n);
+        prop_assert_eq!(tree.paren_depth.len(), n);
+        for &b in &tree.block_of {
+            prop_assert!(b < tree.blocks.len());
+        }
+    }
+
+    #[test]
+    fn block_spans_nest_and_order(source in "[a-z{}()\\[\\];.,|=& \n]{0,300}") {
+        let (tree, n) = build(&source);
+        for (id, block) in tree.blocks.iter().enumerate() {
+            if id == 0 {
+                prop_assert_eq!(block.parent, 0);
+                prop_assert!(block.open.is_none());
+                prop_assert_eq!(block.depth, 0);
+                continue;
+            }
+            // Parents come earlier (so ancestor walks terminate), children
+            // open inside them, depths increase by one, and a closed
+            // child closes before its closed parent.
+            prop_assert!(block.parent < id);
+            let parent = &tree.blocks[block.parent];
+            prop_assert_eq!(block.depth, parent.depth + 1);
+            let open = block.open.expect("non-root blocks record their `{`");
+            if let Some(parent_open) = parent.open {
+                prop_assert!(parent_open < open);
+            }
+            if let Some(close) = block.close {
+                prop_assert!(open < close);
+                prop_assert!(close < n);
+                if let Some(parent_close) = parent.close {
+                    prop_assert!(close < parent_close);
+                }
+            }
+            // Every token between open and close maps to this block or a
+            // descendant of it.
+            let end = tree.end_of_block(id, n);
+            for t in open..=end.min(n.saturating_sub(1)) {
+                prop_assert!(tree.is_ancestor_or_self(id, tree.block_of(t)));
+            }
+        }
+    }
+
+    #[test]
+    fn tree_covers_exactly_the_lexer_tokens(bytes in prop::collection::vec(any::<u8>(), 0..400)) {
+        let text = String::from_utf8_lossy(&bytes);
+        let tokens = lex(&text);
+        let (tree, n) = build(&text);
+        // The tree is a view over the same token stream the rules see:
+        // one block id and one paren depth per lexed token, no more, no
+        // less — and queries stay in bounds at the edges.
+        prop_assert_eq!(n, tokens.len());
+        prop_assert_eq!(tree.block_of.len(), tokens.len());
+        prop_assert_eq!(tree.block_of(n + 7), 0, "out-of-range tokens fall to the root");
+        for b in 0..tree.blocks.len() {
+            prop_assert!(tree.end_of_block(b, n) < n.max(1));
+        }
+    }
+
+    #[test]
+    fn build_is_deterministic(bytes in prop::collection::vec(any::<u8>(), 0..300)) {
+        let text = String::from_utf8_lossy(&bytes);
+        let (first, _) = build(&text);
+        let (second, _) = build(&text);
+        prop_assert_eq!(first, second);
+    }
+
+    #[test]
+    fn statement_ends_stay_in_the_enclosing_block(
+        source in "[a-z{}();.=| \n]{0,250}",
+    ) {
+        let file = SourceFile::parse(FileContext::classify("crates/serve/src/soup.rs"), &source);
+        let tree = BraceTree::build(&file);
+        let n = file.tokens.len();
+        for t in 0..n {
+            let end = tree.statement_end(&file, t);
+            prop_assert!(end < n.max(1));
+            // The statement end never precedes its start token and never
+            // escapes the block's own end.
+            prop_assert!(end >= t || end == tree.end_of_block(tree.block_of(t), n));
+            prop_assert!(end <= tree.end_of_block(tree.block_of(t), n));
+        }
+    }
+}

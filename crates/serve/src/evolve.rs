@@ -27,9 +27,10 @@
 //!   herd of one hot request costs one ensemble run.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::Arc;
 
 use cuisine_core::Experiment;
+use cuisine_exec::lockorder::{self, OrderedMutex};
 use cuisine_exec::{panic_message, Flight, PoolFull, WorkerPool};
 use cuisine_data::CuisineId;
 use cuisine_evolution::{
@@ -277,7 +278,10 @@ pub fn evolve_sync(state: &AppState, corpus: &CorpusHandle, request: &EvolveRequ
 /// Consult the seeded-evolve cache, recording a hit metric on success (the
 /// miss metric is the caller's: a coalesced waiter is not a cache miss).
 fn cache_lookup(state: &AppState, key: &str) -> Option<Response> {
-    let hit = state.evolve_cache.lock().ok().and_then(|mut cache| cache.get(key));
+    // The OrderedMutex heals (and counts) a poisoned lock instead of the
+    // old `.lock().ok()` pattern, which silently turned a poisoned cache
+    // into a permanent all-miss.
+    let hit = state.evolve_cache.lock().get(key);
     if hit.is_some() {
         state.metrics.record_evolve_cache(true);
     }
@@ -287,9 +291,7 @@ fn cache_lookup(state: &AppState, key: &str) -> Option<Response> {
 /// Publish a successful response into the seeded-evolve cache.
 fn cache_publish(state: &AppState, key: String, response: &Response) {
     if response.status == 200 {
-        if let Ok(mut cache) = state.evolve_cache.lock() {
-            cache.insert(key, response.clone());
-        }
+        state.evolve_cache.lock().insert(key, response.clone());
     }
 }
 
@@ -310,14 +312,7 @@ struct EngineShared {
     state: Arc<AppState>,
     /// Canonical key → the flight publishing that computation's response.
     /// Point queries only (insert/get/remove) — never iterated.
-    inflight: Mutex<InflightMap>,
-}
-
-fn lock_inflight(shared: &EngineShared) -> MutexGuard<'_, InflightMap> {
-    match shared.inflight.lock() {
-        Ok(guard) => guard,
-        Err(poisoned) => poisoned.into_inner(),
-    }
+    inflight: OrderedMutex<InflightMap>,
 }
 
 /// One queued computation: the leader's corpus-bound task plus the flight
@@ -349,7 +344,10 @@ impl EvolveEngine {
     /// submission queue of `queue_capacity`.
     pub fn new(state: Arc<AppState>, threads: Option<usize>, queue_capacity: usize) -> Self {
         let faults = Arc::clone(&state.faults);
-        let shared = Arc::new(EngineShared { state, inflight: Mutex::new(HashMap::new()) });
+        let shared = Arc::new(EngineShared {
+            state,
+            inflight: OrderedMutex::new(lockorder::EVOLVE_INFLIGHT, HashMap::new()),
+        });
         let worker_shared = Arc::clone(&shared);
         let pool = WorkerPool::with_faults(
             threads,
@@ -388,7 +386,7 @@ impl EvolveEngine {
             return Submitted::Ready(hit);
         }
         let flight = {
-            let mut inflight = lock_inflight(&self.shared);
+            let mut inflight = self.shared.inflight.lock();
             if let Some(existing) = inflight.get(&key) {
                 state.metrics.record_coalesced_waiter();
                 return Submitted::Wait(Arc::clone(existing));
@@ -411,7 +409,7 @@ impl EvolveEngine {
                 // Shed: clear the entry so later arrivals are not parked on
                 // a computation that will never run, and fail the waiters
                 // that already attached.
-                lock_inflight(&self.shared).remove(&job.key);
+                self.shared.inflight.lock().remove(&job.key);
                 state.metrics.record_shed();
                 let response = Response::error(503, "evolve queue is full");
                 job.flight.complete(response.clone());
@@ -448,7 +446,7 @@ fn run_job(shared: &EngineShared, job: EvolveJob) {
     // Publish to the cache *before* clearing the in-flight entry (see the
     // engine docs for why this order is load-bearing).
     cache_publish(state, job.key.clone(), &response);
-    lock_inflight(shared).remove(&job.key);
+    shared.inflight.lock().remove(&job.key);
     job.flight.complete(response);
 }
 

@@ -293,6 +293,13 @@ impl Metrics {
             "worker_panics",
             Value::U64(gauges.worker_panics.load(Ordering::Relaxed)),
         );
+        // Process-wide: every OrderedMutex in exec/serve feeds this one
+        // counter, so a panic that escaped containment while any tracked
+        // guard was live shows up here instead of being silently healed.
+        doc.insert(
+            "poisoned_lock_recoveries",
+            Value::U64(cuisine_exec::lockorder::poison_recoveries()),
+        );
         match faults.plan() {
             None => {
                 doc.insert("fault_firings", Value::U64(0));
@@ -441,6 +448,9 @@ mod tests {
         assert_eq!(doc.get("open_connections").unwrap().as_u64(), Some(7));
         assert_eq!(doc.get("registry_build_failures").unwrap().as_u64(), Some(2));
         assert_eq!(doc.get("deadline_expired").unwrap().as_u64(), Some(1));
+        // Process-wide counter (other tests may poison locks on purpose),
+        // so assert presence rather than an exact value.
+        assert!(doc.get("poisoned_lock_recoveries").unwrap().as_u64().is_some());
         assert_eq!(doc.get("fault_firings").unwrap().as_u64(), Some(1));
         let fdoc = doc.get("faults").unwrap().as_object().unwrap();
         assert_eq!(

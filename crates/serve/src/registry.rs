@@ -41,12 +41,13 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::Arc;
 use std::time::Duration;
 
 use cuisine_core::{Experiment, PipelineConfig};
 use cuisine_data::{Corpus, CuisineId};
 use cuisine_evolution::{EnsembleConfig, EvaluationConfig, ModelKind};
+use cuisine_exec::lockorder::{self, OrderedMutex};
 use cuisine_exec::{panic_message, Faults, Flight, PoolFull, WorkerPool};
 use cuisine_lexicon::Lexicon;
 use cuisine_mining::Miner;
@@ -443,7 +444,7 @@ impl CorpusHandle {
 }
 
 struct RegistryShared {
-    entries: Mutex<BTreeMap<String, CorpusEntry>>,
+    entries: OrderedMutex<BTreeMap<String, CorpusEntry>>,
     default_key: String,
     default_spec: Option<CorpusSpec>,
     base_pipeline: PipelineConfig,
@@ -454,13 +455,6 @@ struct RegistryShared {
     swaps: AtomicU64,
     coalesced: AtomicU64,
     build_failures: AtomicU64,
-}
-
-fn lock_entries(shared: &RegistryShared) -> MutexGuard<'_, BTreeMap<String, CorpusEntry>> {
-    match shared.entries.lock() {
-        Ok(guard) => guard,
-        Err(poisoned) => poisoned.into_inner(),
-    }
 }
 
 /// One queued snapshot build: the spec, the generation that must still be
@@ -512,7 +506,7 @@ impl CorpusRegistry {
             },
         );
         let shared = Arc::new(RegistryShared {
-            entries: Mutex::new(entries),
+            entries: OrderedMutex::new(lockorder::REGISTRY_ENTRIES, entries),
             default_key,
             default_spec: config.default_spec,
             base_pipeline,
@@ -563,7 +557,7 @@ impl CorpusRegistry {
 
     /// Number of registered (non-retired) corpora.
     pub fn len(&self) -> usize {
-        lock_entries(&self.shared).values().filter(|e| !e.retired).count()
+        self.shared.entries.lock().values().filter(|e| !e.retired).count()
     }
 
     /// True when no corpus is live (never the case: the default corpus
@@ -579,7 +573,7 @@ impl CorpusRegistry {
     /// `Building` is only surfaced before the *first* install.
     pub fn resolve(&self, key: Option<&str>) -> Result<CorpusHandle, CorpusError> {
         let shared = &self.shared;
-        let entries = lock_entries(shared);
+        let entries = shared.entries.lock();
         let key = match key {
             None | Some("default") => shared.default_key.as_str(),
             Some(explicit) => explicit,
@@ -619,7 +613,7 @@ impl CorpusRegistry {
         let key = spec.canonical_key();
         let shared = &self.shared;
         let (flight, generation) = {
-            let mut entries = lock_entries(shared);
+            let mut entries = shared.entries.lock();
             let entry = entries.entry(key.clone()).or_insert_with(CorpusEntry::empty);
             if entry.pending.is_some() {
                 shared.coalesced.fetch_add(1, Ordering::Relaxed);
@@ -637,7 +631,7 @@ impl CorpusRegistry {
         match self.pool.try_execute(job) {
             Ok(()) => {
                 shared.builds.fetch_add(1, Ordering::Relaxed);
-                let entries = lock_entries(shared);
+                let entries = shared.entries.lock();
                 match entries.get(&key) {
                     Some(entry) if entry.data.is_none() && entry.pending.is_none() => {
                         // The build already ran and failed before we
@@ -654,7 +648,7 @@ impl CorpusRegistry {
                 }
             }
             Err(PoolFull(job)) => {
-                let mut entries = lock_entries(shared);
+                let mut entries = shared.entries.lock();
                 let mut drop_key = false;
                 if let Some(entry) = entries.get_mut(&job.key) {
                     if entry.generation == job.generation {
@@ -687,7 +681,7 @@ impl CorpusRegistry {
         if key == shared.default_key || key == "default" {
             return Response::error(409, "cannot retire the default corpus");
         }
-        let mut entries = lock_entries(shared);
+        let mut entries = shared.entries.lock();
         match entries.get_mut(key) {
             None => Response::error(404, &format!("no corpus {key:?} is registered")),
             Some(entry) => {
@@ -711,7 +705,7 @@ impl CorpusRegistry {
     /// per entry (key, state, epoch, build_ms, hits, rebuilding).
     pub fn admin_list(&self) -> Response {
         let shared = &self.shared;
-        let entries = lock_entries(shared);
+        let entries = shared.entries.lock();
         let mut doc = Map::new();
         doc.insert("default", Value::String(shared.default_key.clone()));
         doc.insert("corpora", corpus_rows(&entries));
@@ -721,7 +715,7 @@ impl CorpusRegistry {
     /// Registry counters and per-corpus rows for `/metrics`.
     pub fn stats(&self) -> RegistryStats {
         let shared = &self.shared;
-        let entries = lock_entries(shared);
+        let entries = shared.entries.lock();
         RegistryStats {
             builds: shared.builds.load(Ordering::Relaxed),
             swaps: shared.swaps.load(Ordering::Relaxed),
@@ -738,7 +732,7 @@ impl CorpusRegistry {
     pub fn wait_ready(&self, key: &str, timeout: Duration) -> bool {
         for _ in 0..64 {
             let pending = {
-                let entries = lock_entries(&self.shared);
+                let entries = self.shared.entries.lock();
                 match entries.get(key) {
                     None => return false,
                     Some(entry) if entry.retired => return false,
@@ -753,7 +747,7 @@ impl CorpusRegistry {
                 return false;
             }
         }
-        let entries = lock_entries(&self.shared);
+        let entries = self.shared.entries.lock();
         entries
             .get(key)
             .is_some_and(|entry| entry.data.is_some() && entry.pending.is_none())
@@ -813,7 +807,7 @@ fn run_build(shared: &Arc<RegistryShared>, job: BuildJob) {
     }))
     .map_err(|payload| format!("build panicked: {}", panic_message(payload.as_ref())))
     .and_then(|result: Result<_, String>| result);
-    let mut entries = lock_entries(shared);
+    let mut entries = shared.entries.lock();
     if let Some(entry) = entries.get_mut(&job.key) {
         if entry.generation == job.generation {
             entry.pending = None;

@@ -27,9 +27,10 @@
 //! `/metrics`, and the admin endpoints bypass the LRU so they always
 //! reflect live state.
 
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 use cuisine_core::Experiment;
+use cuisine_exec::lockorder::{self, OrderedMutex};
 use cuisine_exec::{FaultPlan, Faults};
 use serde::{Map, Value};
 
@@ -59,12 +60,12 @@ pub struct AppState {
     /// The multi-corpus registry every read resolves through.
     pub registry: Arc<CorpusRegistry>,
     /// Response cache for GET endpoints.
-    pub lru: Mutex<Lru<Response>>,
+    pub lru: OrderedMutex<Lru<Response>>,
     /// Seeded-evolve result cache: canonical evolve key → finished `200`
     /// response. Sits *beneath* the GET LRU (which never sees POSTs) and
     /// is consulted by both the sync route path and the single-flight
     /// engine. Safe because `/evolve` is deterministic in its key.
-    pub evolve_cache: Mutex<Lru<Response>>,
+    pub evolve_cache: OrderedMutex<Lru<Response>>,
     /// Request counters.
     pub metrics: Metrics,
     /// Server-published gauges (worker count, pool depth).
@@ -120,8 +121,11 @@ impl AppState {
             experiment,
             snapshots,
             registry,
-            lru: Mutex::new(Lru::new(lru_capacity)),
-            evolve_cache: Mutex::new(Lru::new(DEFAULT_EVOLVE_CACHE)),
+            lru: OrderedMutex::new(lockorder::SERVE_LRU, Lru::new(lru_capacity)),
+            evolve_cache: OrderedMutex::new(
+                lockorder::SERVE_EVOLVE_CACHE,
+                Lru::new(DEFAULT_EVOLVE_CACHE),
+            ),
             metrics: Metrics::new(),
             gauges: Gauges::default(),
             faults,
@@ -140,12 +144,12 @@ impl AppState {
     /// the determinism tests to force every request through a real
     /// computation).
     pub fn with_evolve_cache(mut self, capacity: usize) -> Self {
-        self.evolve_cache = Mutex::new(Lru::new(capacity));
+        self.evolve_cache = OrderedMutex::new(lockorder::SERVE_EVOLVE_CACHE, Lru::new(capacity));
         self
     }
 
     fn lru_len(&self) -> usize {
-        self.lru.lock().map(|l| l.len()).unwrap_or(0)
+        self.lru.lock().len()
     }
 }
 
@@ -281,7 +285,8 @@ fn cached_get(state: &AppState, request: &Request) -> Result<Response, HttpError
         corpus.cache_scope(),
         canonical_key(request.method, &request.path, &request.query)
     );
-    if let Ok(mut lru) = state.lru.lock() {
+    {
+        let mut lru = state.lru.lock();
         if let Some(hit) = lru.get(&key) {
             state.metrics.record_cache(true);
             return Ok(hit);
@@ -290,9 +295,7 @@ fn cached_get(state: &AppState, request: &Request) -> Result<Response, HttpError
     state.metrics.record_cache(false);
     let response = resolve_get(&corpus, request)?;
     if response.status == 200 {
-        if let Ok(mut lru) = state.lru.lock() {
-            lru.insert(key, response.clone());
-        }
+        state.lru.lock().insert(key, response.clone());
     }
     Ok(response)
 }
