@@ -18,6 +18,22 @@ cargo test -q
 echo "==> determinism suite with the bitset miner"
 CUISINE_MINER=eclat-bitset cargo test -q -p cuisine-core --test determinism
 
+echo "==> determinism suite with the dEclat miner"
+CUISINE_MINER=declat cargo test -q -p cuisine-core --test determinism
+
+echo "==> mining smoke at scale 0.2 (dEclat, reordered parallel DFS)"
+# Bounded fig3 run well past the test-suite scale: the full accelerated
+# configuration must agree byte-for-byte with the default kernel.
+cargo run --release -q -p cuisine-bench --bin exp_fig3 -- \
+    --scale 0.2 --seed 11 --miner declat --mine-threads 4 \
+    --csv /tmp/cuisine-fig3-declat.csv
+cargo run --release -q -p cuisine-bench --bin exp_fig3 -- \
+    --scale 0.2 --seed 11 \
+    --csv /tmp/cuisine-fig3-default.csv
+if ! cmp -s /tmp/cuisine-fig3-declat.csv /tmp/cuisine-fig3-default.csv; then
+    echo "FAIL: declat fig3 output diverged from the default kernel"; exit 1
+fi
+
 echo "==> serve --self-check (smoke test)"
 cargo run --release -q -p cuisine-serve --bin serve -- \
     --self-check --scale 0.02 --seed 11 --replicates 2

@@ -6,7 +6,9 @@
 
 use cuisine_data::{Corpus, CuisineId};
 use cuisine_lexicon::Lexicon;
-use cuisine_mining::{CombinationAnalysis, ItemMode, Miner, TransactionCache, TransactionSource};
+use cuisine_mining::{
+    CombinationAnalysis, ItemMode, MineOpts, Miner, TransactionCache, TransactionSource,
+};
 use cuisine_stats::RankFrequency;
 use serde::{Deserialize, Serialize};
 
@@ -34,22 +36,36 @@ impl RankFrequencyAnalysis {
         min_support: f64,
         miner: Miner,
     ) -> Self {
-        Self::measure_with(corpus, lexicon, mode, min_support, miner, Some(1), None)
+        Self::measure_with(
+            corpus,
+            lexicon,
+            mode,
+            min_support,
+            miner,
+            MineOpts::default(),
+            Some(1),
+            None,
+        )
     }
 
-    /// [`RankFrequencyAnalysis::measure`] with explicit parallelism and an
-    /// optional transaction cache.
+    /// [`RankFrequencyAnalysis::measure`] with explicit parallelism, kernel
+    /// execution options, and an optional transaction cache.
     ///
     /// Per-cuisine mining jobs (plus the pooled aggregate, which is the
     /// single largest job and is overlapped with the rest) fan out via
-    /// [`cuisine_exec::par_map_range`]. Output is identical for every
-    /// `threads` value and for cache on vs off.
+    /// [`cuisine_exec::par_map_range`]. When that outer fan-out resolves to
+    /// more than one thread, the kernel-level DFS fan-out in `mining` is
+    /// forced sequential (the nested-parallelism convention: the cores are
+    /// already saturated). Output is identical for every `threads`/`mining`
+    /// value and for cache on vs off.
+    #[allow(clippy::too_many_arguments)]
     pub fn measure_with(
         corpus: &Corpus,
         lexicon: &Lexicon,
         mode: ItemMode,
         min_support: f64,
         miner: Miner,
+        mining: MineOpts,
         threads: Option<usize>,
         cache: Option<&TransactionCache>,
     ) -> Self {
@@ -68,16 +84,19 @@ impl RankFrequencyAnalysis {
         // index; what matters is that it runs concurrently with the
         // per-cuisine jobs instead of serially after them.
         let n = populated.len();
+        let outer = cuisine_exec::resolve_threads(threads, n + 1);
+        let mining = if outer > 1 { MineOpts { threads: Some(1), ..mining } } else { mining };
         let mut slots = cuisine_exec::par_map_range(n + 1, threads, |i| {
             if i < n {
                 let cuisine = populated[i];
                 let ts = source.cuisine(corpus, cuisine, mode, lexicon);
-                let analysis = CombinationAnalysis::mine(&ts, min_support, miner);
+                let analysis = CombinationAnalysis::mine_opts(&ts, min_support, miner, mining);
                 Job::Cuisine(cuisine.code().to_string(), analysis.rank_frequency())
             } else {
                 let pooled = source.pooled(corpus, mode, lexicon);
                 Job::Aggregate(
-                    CombinationAnalysis::mine(&pooled, min_support, miner).rank_frequency(),
+                    CombinationAnalysis::mine_opts(&pooled, min_support, miner, mining)
+                        .rank_frequency(),
                 )
             }
         });

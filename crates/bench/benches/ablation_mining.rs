@@ -1,35 +1,57 @@
-//! Ablation: the four mining kernels on identical workloads, across
-//! support thresholds — the design-choice justification for the default
-//! miner (DESIGN.md §4) and for the bitmap kernel (DESIGN.md §9).
+//! Ablation: the five mining kernels on identical workloads, across
+//! support thresholds and kernel execution options — the design-choice
+//! justification for the default miner (DESIGN.md §4), the bitmap kernel
+//! (DESIGN.md §9), and the diffset/reordering/parallel-DFS accelerants
+//! (DESIGN.md §13).
 //!
 //! Besides the interactive Criterion output, running this bench writes
-//! `BENCH_mining.json` at the repo root: per-(miner, workload, support)
-//! wall-clock and itemset counts in a stable schema
-//! (`bench_mining/v1`), so future PRs have a machine-readable perf
+//! `BENCH_mining.json` at the repo root: per-(miner, options, workload,
+//! support) wall-clock and itemset counts in a stable schema
+//! (`bench_mining/v2`), so future PRs have a machine-readable perf
 //! trajectory to compare against. Workloads cover the default bench
-//! corpus (seed 42) and the determinism-suite config (seed 11) at scale
-//! 0.02, both granularities.
+//! corpus seed (42) and the determinism-suite seed (11), both
+//! granularities. Rows **stream**: the JSON file is rewritten after every
+//! completed row, so a long full-scale run leaves usable partial results
+//! behind if interrupted.
+//!
+//! Extra CLI options (after `--`) switch the run to JSON-only emission:
+//!
+//! ```text
+//! cargo bench --bench ablation_mining -- --scale 1.0 --threads 1,2,4
+//! ```
+//!
+//! `--scale F` sets the synthetic-corpus scale (default 0.02, the shared
+//! bench scale); `--threads A,B,..` sets the DFS thread column swept for
+//! the vertical kernels (default `1,2,4`). Rows for other scales already
+//! in `BENCH_mining.json` are preserved; rows at the requested scale are
+//! replaced.
 
 use criterion::{criterion_group, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::time::Instant;
 
-use cuisine_bench::{bench_corpus, BENCH_SCALE};
+use cuisine_bench::{bench_corpus, BENCH_SCALE, DEFAULT_SEED};
 use cuisine_data::{Corpus, CuisineId};
 use cuisine_lexicon::Lexicon;
 use cuisine_mining::{
-    mine_apriori, mine_eclat, mine_eclat_bitset, mine_fpgrowth, FrequentItemset, ItemMode, Miner,
-    TransactionSet,
+    mine_apriori, mine_declat_with, mine_eclat_bitset_with, mine_eclat_with, mine_fpgrowth,
+    FrequentItemset, ItemMode, MineOpts, Miner, TransactionSet,
 };
 use cuisine_synth::{generate_corpus, SynthConfig};
 use serde::{Map, Value};
 
-fn run_miner(miner: Miner, ts: &TransactionSet, abs: u64) -> Vec<FrequentItemset> {
+/// The determinism-suite corpus seed (see `crates/serve/src/testutil.rs`
+/// and `tests/determinism.rs`) — the dense workload the kernel acceptance
+/// ratios are measured on.
+const DETERMINISM_SEED: u64 = 11;
+
+fn run_miner(miner: Miner, opts: MineOpts, ts: &TransactionSet, abs: u64) -> Vec<FrequentItemset> {
     match miner {
         Miner::FpGrowth => mine_fpgrowth(ts, abs),
         Miner::Apriori => mine_apriori(ts, abs),
-        Miner::Eclat => mine_eclat(ts, abs),
-        Miner::EclatBitset => mine_eclat_bitset(ts, abs),
+        Miner::Eclat => mine_eclat_with(ts, abs, opts),
+        Miner::EclatBitset => mine_eclat_bitset_with(ts, abs, opts),
+        Miner::DEclat => mine_declat_with(ts, abs, opts),
     }
 }
 
@@ -48,7 +70,7 @@ fn bench_miners(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::new(miner.label(), format!("sup_{support}")),
                 &abs,
-                |b, &abs| b.iter(|| black_box(run_miner(miner, &ts, abs))),
+                |b, &abs| b.iter(|| black_box(run_miner(miner, MineOpts::default(), &ts, abs))),
             );
         }
     }
@@ -59,7 +81,7 @@ fn bench_miners(c: &mut Criterion) {
     let abs = cats.absolute_support(0.05);
     for miner in Miner::ALL {
         group.bench_function(format!("{}/categories", miner.label()), |b| {
-            b.iter(|| black_box(run_miner(miner, &cats, abs)))
+            b.iter(|| black_box(run_miner(miner, MineOpts::default(), &cats, abs)))
         });
     }
 
@@ -90,17 +112,50 @@ fn min_wall_ns(warmups: u32, runs: u32, mut f: impl FnMut()) -> u64 {
 }
 
 struct Workload {
-    name: &'static str,
+    name: String,
     mode: ItemMode,
     transactions: TransactionSet,
     supports: &'static [f64],
 }
 
-fn workloads() -> Vec<Workload> {
+/// One timed kernel configuration: a miner plus its execution options.
+/// The horizontal-layout kernels ignore `opts`; their rows record the
+/// sequential un-reordered defaults so the schema stays uniform.
+struct KernelConfig {
+    miner: Miner,
+    opts: MineOpts,
+}
+
+/// The configuration grid for one run: the two horizontal kernels, the
+/// classic list-Eclat baseline (sequential, un-reordered — the PR 5
+/// reference the speedup acceptance ratio is measured against), and the
+/// three vertical kernels reordered at each DFS thread count.
+fn kernel_grid(threads: &[usize]) -> Vec<KernelConfig> {
+    let sequential = MineOpts { threads: Some(1), reorder: false };
+    let mut grid = vec![
+        KernelConfig { miner: Miner::FpGrowth, opts: sequential },
+        KernelConfig { miner: Miner::Apriori, opts: sequential },
+        // Unreordered sequential Eclat and bitset Eclat are the PR 5
+        // baselines the speedup ratios in EXPERIMENTS.md are quoted against.
+        KernelConfig { miner: Miner::Eclat, opts: sequential },
+        KernelConfig { miner: Miner::EclatBitset, opts: sequential },
+    ];
+    for miner in [Miner::Eclat, Miner::EclatBitset, Miner::DEclat] {
+        for &t in threads {
+            grid.push(KernelConfig {
+                miner,
+                opts: MineOpts { threads: Some(t), reorder: true },
+            });
+        }
+    }
+    grid
+}
+
+fn workloads(scale: f64) -> Vec<Workload> {
     let lexicon = Lexicon::standard();
     let ita: CuisineId = "ITA".parse().unwrap();
     let mut out = Vec::new();
-    let mut push = |name, corpus: &Corpus, mode, supports| {
+    let mut push = |name: String, corpus: &Corpus, mode, supports| {
         out.push(Workload {
             name,
             mode,
@@ -109,84 +164,148 @@ fn workloads() -> Vec<Workload> {
         });
     };
 
-    // The shared bench corpus (seed 42, scale 0.02).
-    let seed42 = bench_corpus();
-    push(
-        "seed42-ita-ingredients",
-        seed42,
-        ItemMode::Ingredients,
-        &[0.10, 0.05, 0.03][..],
-    );
-    push("seed42-ita-categories", seed42, ItemMode::Categories, &[0.05][..]);
-
-    // The determinism-suite config (seed 11, scale 0.02) — the dense
-    // workload the bitset-kernel acceptance ratio is measured on.
-    let synth = SynthConfig { seed: 11, scale: BENCH_SCALE, ..Default::default() };
-    let seed11 = generate_corpus(&synth, lexicon);
-    push(
-        "seed11-ita-ingredients",
-        &seed11,
-        ItemMode::Ingredients,
-        &[0.05, 0.03][..],
-    );
-    push("seed11-ita-categories", &seed11, ItemMode::Categories, &[0.05][..]);
+    // The default bench corpus seed and the determinism-suite seed, at
+    // the requested scale.
+    for seed in [DEFAULT_SEED, DETERMINISM_SEED] {
+        let synth = SynthConfig { seed, scale, ..Default::default() };
+        let corpus = generate_corpus(&synth, lexicon);
+        push(
+            format!("seed{seed}-ita-ingredients"),
+            &corpus,
+            ItemMode::Ingredients,
+            &[0.10, 0.05, 0.03][..],
+        );
+        push(format!("seed{seed}-ita-categories"), &corpus, ItemMode::Categories, &[0.05][..]);
+    }
     out
 }
 
-fn emit_bench_json() {
-    let mut entries: Vec<Value> = Vec::new();
-    let (warmups, runs) = (2, 8);
-    for workload in workloads() {
+/// Rows of `BENCH_mining.json` from a previous run whose scale differs
+/// from `scale` — preserved verbatim so one file accumulates the
+/// scale-0.02 smoke rows and the scale-1.0 acceptance rows.
+fn other_scale_entries(path: &str, scale: f64) -> Vec<Value> {
+    let Ok(text) = std::fs::read_to_string(path) else { return Vec::new() };
+    let Ok(doc) = serde_json::from_str::<Value>(&text) else { return Vec::new() };
+    let Some(entries) = doc.as_object().and_then(|d| d.get("entries")).and_then(Value::as_array)
+    else {
+        return Vec::new();
+    };
+    entries
+        .iter()
+        .filter(|e| {
+            e.as_object()
+                .and_then(|o| o.get("scale"))
+                .and_then(Value::as_f64)
+                .is_some_and(|s| s != scale)
+        })
+        .cloned()
+        .collect()
+}
+
+fn write_doc(path: &str, entries: &[Value]) {
+    let mut doc = Map::new();
+    doc.insert("schema", Value::String("bench_mining/v2".into()));
+    doc.insert("entries", Value::Array(entries.to_vec()));
+    let json = serde_json::to_string(&Value::Object(doc)).expect("bench doc serializes");
+    if let Err(e) = std::fs::write(path, json) {
+        eprintln!("bench_mining: could not write {path}: {e}");
+    }
+}
+
+fn emit_bench_json(scale: f64, threads: &[usize]) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_mining.json");
+    let mut entries = other_scale_entries(path, scale);
+    // Full-scale corpora take seconds per run; fewer, longer measurements.
+    let (warmups, runs) = if scale >= 0.5 { (1, 3) } else { (2, 8) };
+    for workload in workloads(scale) {
         let mode_label = match workload.mode {
             ItemMode::Ingredients => "ingredients",
             ItemMode::Categories => "categories",
         };
         for &support in workload.supports {
             let abs = workload.transactions.absolute_support(support).max(1);
-            for miner in Miner::ALL {
-                let itemsets = run_miner(miner, &workload.transactions, abs).len();
+            for config in kernel_grid(threads) {
+                let (miner, opts) = (config.miner, config.opts);
+                let itemsets = run_miner(miner, opts, &workload.transactions, abs).len();
                 let wall_ns = min_wall_ns(warmups, runs, || {
-                    black_box(run_miner(miner, &workload.transactions, abs));
+                    black_box(run_miner(miner, opts, &workload.transactions, abs));
                 });
                 let mut entry = Map::new();
-                entry.insert("workload", Value::String(workload.name.into()));
+                entry.insert("workload", Value::String(workload.name.clone()));
                 entry.insert("mode", Value::String(mode_label.into()));
+                entry.insert("scale", Value::F64(scale));
                 entry.insert("support", Value::F64(support));
                 entry.insert("transactions", Value::U64(workload.transactions.len() as u64));
                 entry.insert("miner", Value::String(miner.label().into()));
+                entry.insert("threads", Value::U64(opts.threads.unwrap_or(1) as u64));
+                entry.insert("reorder", Value::Bool(opts.reorder));
                 entry.insert("wall_ns", Value::U64(wall_ns));
                 entry.insert("itemsets", Value::U64(itemsets as u64));
                 entry.insert("runs", Value::U64(u64::from(runs)));
                 entries.push(Value::Object(entry));
+                // Stream: rewrite the doc after every row so interrupted
+                // full-scale runs leave usable partial results.
+                write_doc(path, &entries);
                 eprintln!(
-                    "bench_mining: {} sup {} {:<12} {:>12} ns ({} itemsets)",
+                    "bench_mining: {} sup {} {:<12} t{} reorder={} {:>12} ns ({} itemsets)",
                     workload.name,
                     support,
                     miner.label(),
+                    opts.threads.unwrap_or(1),
+                    opts.reorder,
                     wall_ns,
                     itemsets
                 );
             }
         }
     }
+    eprintln!("bench_mining: wrote {path} ({} rows)", entries.len());
+}
 
-    let mut doc = Map::new();
-    doc.insert("schema", Value::String("bench_mining/v1".into()));
-    doc.insert("scale", Value::F64(BENCH_SCALE));
-    doc.insert("entries", Value::Array(entries));
-    let json = serde_json::to_string(&Value::Object(doc)).expect("bench doc serializes");
-
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_mining.json");
-    match std::fs::write(path, json) {
-        Ok(()) => eprintln!("bench_mining: wrote {path}"),
-        Err(e) => eprintln!("bench_mining: could not write {path}: {e}"),
+/// `--scale F` / `--threads A,B,..` from the post-`--` bench CLI. Returns
+/// `None` when neither option is present (the default Criterion run).
+fn parse_custom_args() -> Option<(f64, Vec<usize>)> {
+    let args: Vec<String> = std::env::args().collect();
+    let mut scale = None;
+    let mut threads = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                let v = args.get(i + 1).expect("--scale takes a value");
+                scale = Some(v.parse::<f64>().expect("--scale takes a float"));
+                i += 2;
+            }
+            "--threads" => {
+                let v = args.get(i + 1).expect("--threads takes a value");
+                threads = Some(
+                    v.split(',')
+                        .map(|t| t.parse::<usize>().expect("--threads takes integers"))
+                        .collect::<Vec<_>>(),
+                );
+                i += 2;
+            }
+            _ => i += 1,
+        }
     }
+    if scale.is_none() && threads.is_none() {
+        return None;
+    }
+    Some((scale.unwrap_or(BENCH_SCALE), threads.unwrap_or_else(|| vec![1, 2, 4])))
 }
 
 fn main() {
-    benches();
     // `--list` runs (cargo test over benches) must stay side-effect-free.
-    if !std::env::args().any(|a| a == "--list") {
-        emit_bench_json();
+    if std::env::args().any(|a| a == "--list") {
+        benches();
+        return;
+    }
+    match parse_custom_args() {
+        // JSON-only mode: custom options are not Criterion-compatible.
+        Some((scale, threads)) => emit_bench_json(scale, &threads),
+        None => {
+            benches();
+            emit_bench_json(BENCH_SCALE, &[1, 2, 4]);
+        }
     }
 }

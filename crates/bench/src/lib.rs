@@ -8,7 +8,7 @@ use std::sync::OnceLock;
 use cuisine_core::PipelineConfig;
 use cuisine_data::Corpus;
 use cuisine_lexicon::Lexicon;
-use cuisine_mining::Miner;
+use cuisine_mining::{MineOpts, Miner};
 use cuisine_synth::{generate_corpus, SynthConfig};
 
 /// The default seed used by every experiment unless overridden.
@@ -47,9 +47,14 @@ pub struct ExpOptions {
     /// Disable the encoded-transaction cache (`--no-cache`).
     pub no_cache: bool,
     /// Frequent-itemset mining kernel (`--miner
-    /// fpgrowth|apriori|eclat|eclat-bitset`). All kernels produce
+    /// fpgrowth|apriori|eclat|eclat-bitset|declat`). All kernels produce
     /// identical artifacts; this is a performance knob.
     pub miner: Miner,
+    /// Kernel-level DFS threads (`--mine-threads N`; default sequential —
+    /// the per-cuisine fan-out above usually owns the cores).
+    pub mine_threads: Option<usize>,
+    /// Disable support-ascending item reordering (`--no-reorder`).
+    pub no_reorder: bool,
     /// Optional CSV output path.
     pub csv: Option<String>,
     /// Extra boolean flags (e.g. `--categories`).
@@ -65,6 +70,8 @@ impl Default for ExpOptions {
             threads: None,
             no_cache: false,
             miner: Miner::default(),
+            mine_threads: MineOpts::default().threads,
+            no_reorder: false,
             csv: None,
             flags: Vec::new(),
         }
@@ -141,6 +148,14 @@ impl ExpOptions {
                 "--miner" => {
                     opts.miner = value_of("--miner")?.parse().map_err(CliError)?;
                 }
+                "--mine-threads" => {
+                    opts.mine_threads = Some(
+                        value_of("--mine-threads")?
+                            .parse()
+                            .map_err(|_| CliError("--mine-threads takes an integer".into()))?,
+                    );
+                }
+                "--no-reorder" => opts.no_reorder = true,
                 "--csv" => opts.csv = Some(value_of("--csv")?),
                 other if valued.contains(&other) => {
                     let value = value_of(other)?;
@@ -182,10 +197,22 @@ impl ExpOptions {
         SynthConfig { seed: self.seed, scale: self.scale, ..Default::default() }
     }
 
+    /// The kernel execution options implied by these options
+    /// (`--mine-threads N`, `--no-reorder`).
+    pub fn mine_opts(&self) -> MineOpts {
+        MineOpts { threads: self.mine_threads, reorder: !self.no_reorder }
+    }
+
     /// The pipeline execution config implied by these options
-    /// (`--threads N`, `--no-cache`, `--miner KIND`).
+    /// (`--threads N`, `--no-cache`, `--miner KIND`, `--mine-threads N`,
+    /// `--no-reorder`).
     pub fn pipeline_config(&self) -> PipelineConfig {
-        PipelineConfig { threads: self.threads, cache: !self.no_cache, miner: self.miner }
+        PipelineConfig {
+            threads: self.threads,
+            cache: !self.no_cache,
+            miner: self.miner,
+            mining: self.mine_opts(),
+        }
     }
 }
 
@@ -200,7 +227,8 @@ pub fn exit_usage(error: &CliError, usage: &str) -> ! {
 /// The CLI options shared by every `exp_*` binary, for usage strings.
 pub const COMMON_USAGE: &str =
     "[--scale F] [--seed N] [--replicates N] [--threads N] [--no-cache] \
-     [--miner fpgrowth|apriori|eclat|eclat-bitset] [--csv PATH]";
+     [--miner fpgrowth|apriori|eclat|eclat-bitset|declat] [--mine-threads N] \
+     [--no-reorder] [--csv PATH]";
 
 #[cfg(test)]
 mod tests {
@@ -245,11 +273,28 @@ mod tests {
         let pc = o.pipeline_config();
         assert_eq!(
             pc,
-            PipelineConfig { threads: Some(4), cache: false, miner: Miner::default() }
+            PipelineConfig {
+                threads: Some(4),
+                cache: false,
+                miner: Miner::default(),
+                mining: MineOpts::default(),
+            }
         );
         // Defaults: all cores, cache on.
         let d = ExpOptions::try_parse(args(&[])).unwrap().pipeline_config();
         assert_eq!(d, PipelineConfig::default());
+    }
+
+    #[test]
+    fn parses_kernel_option_knobs() {
+        let o = ExpOptions::try_parse(args(&["--mine-threads", "4", "--no-reorder"])).unwrap();
+        assert_eq!(o.mine_opts(), MineOpts { threads: Some(4), reorder: false });
+        assert_eq!(o.pipeline_config().mining, o.mine_opts());
+        // Defaults: sequential kernel DFS, reordering on.
+        let d = ExpOptions::try_parse(args(&[])).unwrap();
+        assert_eq!(d.mine_opts(), MineOpts::default());
+        let e = ExpOptions::try_parse(args(&["--mine-threads", "many"])).unwrap_err();
+        assert!(e.0.contains("--mine-threads takes an integer"), "{e}");
     }
 
     #[test]

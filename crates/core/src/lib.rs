@@ -62,7 +62,7 @@ pub mod prelude {
     };
     pub use cuisine_lexicon::{Category, IngredientId, Lexicon};
     pub use cuisine_mining::{
-        CombinationAnalysis, ItemMode, Miner, TransactionCache, TransactionSet,
+        CombinationAnalysis, ItemMode, MineOpts, Miner, TransactionCache, TransactionSet,
     };
     pub use cuisine_stats::{ErrorMetric, RankFrequency};
     pub use cuisine_synth::{generate_corpus, SynthConfig};

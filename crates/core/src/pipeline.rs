@@ -19,7 +19,7 @@ use cuisine_analytics::size_dist::{fig1_with, Fig1};
 use cuisine_data::Corpus;
 use cuisine_evolution::{evaluate_with, Evaluation, EvaluationConfig, ModelKind};
 use cuisine_lexicon::Lexicon;
-use cuisine_mining::{ItemMode, Miner, TransactionCache, PAPER_MIN_SUPPORT};
+use cuisine_mining::{ItemMode, MineOpts, Miner, TransactionCache, PAPER_MIN_SUPPORT};
 use cuisine_stats::ErrorMetric;
 use cuisine_synth::{generate_corpus, SynthConfig};
 
@@ -35,7 +35,11 @@ use cuisine_synth::{generate_corpus, SynthConfig};
 /// is enforced by `tests/determinism.rs`). The `miner` knob selects the
 /// frequent-itemset kernel; all miners produce identical output (pinned by
 /// property tests and the determinism suite), so it too is purely a
-/// performance choice.
+/// performance choice — as are the kernel-internal `mining` options
+/// (support-ascending reordering, DFS-level parallelism), which follow
+/// the nested-parallelism convention: the kernel fan-out is forced
+/// sequential whenever the per-cuisine fan-out above it is already
+/// parallel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PipelineConfig {
     /// Worker threads for per-cuisine/per-model fan-out.
@@ -44,11 +48,18 @@ pub struct PipelineConfig {
     pub cache: bool,
     /// Frequent-itemset mining kernel used by fig3/fig4.
     pub miner: Miner,
+    /// Kernel-internal execution options (reordering, DFS threads).
+    pub mining: MineOpts,
 }
 
 impl Default for PipelineConfig {
     fn default() -> Self {
-        PipelineConfig { threads: None, cache: true, miner: Miner::default() }
+        PipelineConfig {
+            threads: None,
+            cache: true,
+            miner: Miner::default(),
+            mining: MineOpts::default(),
+        }
     }
 }
 
@@ -147,6 +158,7 @@ impl Experiment {
             mode,
             PAPER_MIN_SUPPORT,
             self.config.miner,
+            self.config.mining,
             self.config.threads,
             self.cache(),
         );
@@ -168,7 +180,11 @@ impl Experiment {
     /// the kernel everywhere; callers driving `evaluate_with` directly
     /// keep full control.
     pub fn fig4_models(&self, models: &[ModelKind], config: &EvaluationConfig) -> Evaluation {
-        let config = EvaluationConfig { miner: self.config.miner, ..config.clone() };
+        let config = EvaluationConfig {
+            miner: self.config.miner,
+            mining: self.config.mining,
+            ..config.clone()
+        };
         evaluate_with(
             &self.corpus,
             self.lexicon,

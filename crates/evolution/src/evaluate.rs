@@ -10,7 +10,8 @@
 use cuisine_data::{Corpus, CuisineId};
 use cuisine_lexicon::Lexicon;
 use cuisine_mining::{
-    CombinationAnalysis, ItemMode, Miner, TransactionCache, TransactionSet, TransactionSource,
+    CombinationAnalysis, ItemMode, MineOpts, Miner, TransactionCache, TransactionSet,
+    TransactionSource,
 };
 use cuisine_stats::error::{curve_distance, ErrorMetric};
 use cuisine_stats::RankFrequency;
@@ -33,6 +34,9 @@ pub struct EvaluationConfig {
     pub metric: ErrorMetric,
     /// Mining algorithm.
     pub miner: Miner,
+    /// Kernel-internal execution options (reordering, DFS threads). Like
+    /// `miner`, value-neutral: no option changes any output byte.
+    pub mining: MineOpts,
 }
 
 impl Default for EvaluationConfig {
@@ -43,6 +47,7 @@ impl Default for EvaluationConfig {
             min_support: cuisine_mining::PAPER_MIN_SUPPORT,
             metric: ErrorMetric::PaperMae,
             miner: Miner::default(),
+            mining: MineOpts::default(),
         }
     }
 }
@@ -128,9 +133,11 @@ fn pool_curve(
     recipes: &[cuisine_data::Recipe],
     lexicon: &Lexicon,
     config: &EvaluationConfig,
+    mining: MineOpts,
 ) -> RankFrequency {
     let ts = TransactionSet::from_recipes(recipes.iter(), config.mode, lexicon);
-    CombinationAnalysis::mine(&ts, config.min_support, config.miner).rank_frequency()
+    CombinationAnalysis::mine_opts(&ts, config.min_support, config.miner, mining)
+        .rank_frequency()
 }
 
 /// Evaluate one model on one cuisine.
@@ -142,13 +149,25 @@ pub fn evaluate_model_on_cuisine(
     lexicon: &Lexicon,
     config: &EvaluationConfig,
 ) -> ModelResult {
+    // Replicates fan out per `config.ensemble.threads`; when that is
+    // actually parallel, the kernel DFS inside each replicate's mine is
+    // forced sequential (nested-parallelism convention).
+    let replicate_mining = if cuisine_exec::resolve_threads(
+        config.ensemble.threads,
+        config.ensemble.replicates,
+    ) > 1
+    {
+        MineOpts { threads: Some(1), ..config.mining }
+    } else {
+        config.mining
+    };
     let curves = run_ensemble_map(
         model,
         params,
         setup,
         lexicon,
         &config.ensemble,
-        |recipes| pool_curve(&recipes, lexicon, config),
+        |recipes| pool_curve(&recipes, lexicon, config, replicate_mining),
     );
     let curve = RankFrequency::aggregate(&curves);
     let distance =
@@ -193,13 +212,25 @@ pub fn evaluate_with(
     let all: Vec<CuisineId> = CuisineId::all().collect();
 
     // Stage 1 — per-cuisine prep (setup + empirical curve), in parallel.
+    // Kernel-level DFS fan-out is forced sequential whenever this outer
+    // fan-out is actually parallel (the nested-parallelism convention).
+    let stage1_outer = cuisine_exec::resolve_threads(threads, all.len());
+    let stage1_mining = if stage1_outer > 1 {
+        MineOpts { threads: Some(1), ..config.mining }
+    } else {
+        config.mining
+    };
     let prep: Vec<(CuisineId, CuisineSetup, RankFrequency)> =
         cuisine_exec::par_map_indexed(&all, threads, |_, &cuisine| {
             let setup = CuisineSetup::from_corpus(corpus, cuisine)?;
             let ts = source.cuisine(corpus, cuisine, config.mode, lexicon);
-            let empirical =
-                CombinationAnalysis::mine(&ts, config.min_support, config.miner)
-                    .rank_frequency();
+            let empirical = CombinationAnalysis::mine_opts(
+                &ts,
+                config.min_support,
+                config.miner,
+                stage1_mining,
+            )
+            .rank_frequency();
             Some((cuisine, setup, empirical))
         })
         .into_iter()
@@ -217,6 +248,11 @@ pub fn evaluate_with(
         ensemble: EnsembleConfig {
             threads: if outer > 1 { Some(1) } else { config.ensemble.threads },
             ..config.ensemble
+        },
+        mining: if outer > 1 {
+            MineOpts { threads: Some(1), ..config.mining }
+        } else {
+            config.mining
         },
         ..config.clone()
     };

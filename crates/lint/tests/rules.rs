@@ -121,6 +121,21 @@ fn d1_covers_the_bitmap_kernel_sources() {
 }
 
 #[test]
+fn d1_and_x1_cover_the_diffset_and_reorder_sources() {
+    // The PR-10 accelerant files (dEclat diffsets, reordering + parallel
+    // DFS front-end) inherit coverage by path too — and the reorder
+    // front-end is exactly where a raw `thread::spawn` would be tempting,
+    // so pin X1 alongside D1.
+    let hash_iter = "use std::collections::HashMap;\n\
+                     fn f(m: HashMap<u32, u64>) -> usize { m.iter().count() }";
+    let spawn = "fn f() { std::thread::spawn(|| {}).join().ok(); }";
+    for file in ["crates/mining/src/diffset.rs", "crates/mining/src/reorder.rs"] {
+        assert!(fired(file, hash_iter).contains(&"D1"), "{file} must be in D1 scope");
+        assert!(fired(file, spawn).contains(&"X1"), "{file} must be in X1 scope");
+    }
+}
+
+#[test]
 fn d1_test_annotations_do_not_taint_production_bindings() {
     // A production Vec named `active` plus a test-local HashSet of the
     // same name: the production for-loop must not be flagged.

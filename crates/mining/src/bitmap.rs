@@ -112,6 +112,40 @@ impl TidBitmap {
         TidBitmap { words, universe: self.universe, count }
     }
 
+    /// Cardinality of `self \ other` via popcount, **without** allocating
+    /// the difference (the diffset analogue of [`TidBitmap::and_count`]).
+    ///
+    /// # Panics
+    /// Debug builds assert the universes match.
+    pub fn and_not_count(&self, other: &TidBitmap) -> u64 {
+        debug_assert_eq!(self.universe, other.universe, "bitmap universes must match");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| u64::from((a & !b).count_ones()))
+            .sum()
+    }
+
+    /// Materialize `self \ other` with its cardinality cached.
+    ///
+    /// # Panics
+    /// Debug builds assert the universes match.
+    pub fn and_not(&self, other: &TidBitmap) -> TidBitmap {
+        debug_assert_eq!(self.universe, other.universe, "bitmap universes must match");
+        let mut count = 0u64;
+        let words: Vec<u64> = self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| {
+                let w = a & !b;
+                count += u64::from(w.count_ones());
+                w
+            })
+            .collect();
+        TidBitmap { words, universe: self.universe, count }
+    }
+
     /// The tids in ascending order.
     pub fn to_sorted_tids(&self) -> Vec<u32> {
         let mut out = Vec::with_capacity(self.count as usize);
@@ -176,6 +210,22 @@ mod tests {
         // Self-intersection is identity.
         assert_eq!(a.and(&a), a);
         assert_eq!(a.and_count(&a), a.count());
+    }
+
+    #[test]
+    fn and_not_and_and_not_count_agree() {
+        let a = bitmap(&[0, 1, 5, 63, 64, 100, 127], 128);
+        let b = bitmap(&[1, 2, 63, 64, 99, 127], 128);
+        let diff = a.and_not(&b);
+        assert_eq!(diff.to_sorted_tids(), vec![0, 5, 100]);
+        assert_eq!(diff.count(), 3);
+        assert_eq!(a.and_not_count(&b), 3);
+        assert_eq!(b.and_not_count(&a), 2, "{{2, 99}}");
+        // Self-difference is empty; difference with empty is identity.
+        assert_eq!(a.and_not_count(&a), 0);
+        assert!(a.and_not(&a).is_empty());
+        let empty = TidBitmap::new(128);
+        assert_eq!(a.and_not(&empty), a);
     }
 
     #[test]

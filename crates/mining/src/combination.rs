@@ -9,16 +9,18 @@ use cuisine_stats::RankFrequency;
 use serde::{Deserialize, Serialize};
 
 use crate::apriori::mine_apriori;
-use crate::eclat::mine_eclat;
-use crate::eclat_bitset::mine_eclat_bitset;
+use crate::diffset::mine_declat_with;
+use crate::eclat::mine_eclat_with;
+use crate::eclat_bitset::mine_eclat_bitset_with;
 use crate::fpgrowth::mine_fpgrowth;
 use crate::itemset::FrequentItemset;
 use crate::transaction::TransactionSet;
+use crate::MineOpts;
 
 /// The paper's support threshold: 5% of all recipes in a cuisine.
 pub const PAPER_MIN_SUPPORT: f64 = 0.05;
 
-/// Which mining algorithm to run. All four produce identical output
+/// Which mining algorithm to run. All five produce identical output
 /// (pinned by property tests); they differ only in speed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum Miner {
@@ -30,15 +32,24 @@ pub enum Miner {
     /// Eclat (vertical tid-lists).
     Eclat,
     /// Eclat over tid *bitmaps* with popcount support counting and a
-    /// density fallback to sorted lists — the fast kernel on dense
-    /// cuisines.
+    /// density fallback to sorted lists — fast on dense cuisines.
     EclatBitset,
+    /// dEclat: DFS nodes store *diffsets* against their parent
+    /// (support = parent support − |diffset|), with a density-based
+    /// tidset/diffset/bitmap switch — the fast kernel on dense
+    /// full-scale workloads.
+    DEclat,
 }
 
 impl Miner {
     /// Every miner, in declaration order (for cross-checks and benches).
-    pub const ALL: [Miner; 4] =
-        [Miner::FpGrowth, Miner::Apriori, Miner::Eclat, Miner::EclatBitset];
+    pub const ALL: [Miner; 5] = [
+        Miner::FpGrowth,
+        Miner::Apriori,
+        Miner::Eclat,
+        Miner::EclatBitset,
+        Miner::DEclat,
+    ];
 
     /// Stable CLI / JSON label (also accepted by [`FromStr`]).
     ///
@@ -49,6 +60,7 @@ impl Miner {
             Miner::Apriori => "apriori",
             Miner::Eclat => "eclat",
             Miner::EclatBitset => "eclat-bitset",
+            Miner::DEclat => "declat",
         }
     }
 }
@@ -62,8 +74,9 @@ impl std::str::FromStr for Miner {
             "apriori" => Ok(Miner::Apriori),
             "eclat" => Ok(Miner::Eclat),
             "eclat-bitset" | "eclat_bitset" | "bitset" => Ok(Miner::EclatBitset),
+            "declat" | "d-eclat" | "diffset" => Ok(Miner::DEclat),
             other => Err(format!(
-                "unknown miner {other:?} (expected fpgrowth|apriori|eclat|eclat-bitset)"
+                "unknown miner {other:?} (expected fpgrowth|apriori|eclat|eclat-bitset|declat)"
             )),
         }
     }
@@ -82,11 +95,24 @@ pub struct CombinationAnalysis {
 }
 
 impl CombinationAnalysis {
-    /// Mine a transaction set at the given relative support.
+    /// Mine a transaction set at the given relative support with default
+    /// [`MineOpts`] (sequential, reordered).
     ///
     /// Returns an analysis with an empty itemset list for an empty
     /// transaction set.
     pub fn mine(transactions: &TransactionSet, min_support: f64, miner: Miner) -> Self {
+        Self::mine_opts(transactions, min_support, miner, MineOpts::default())
+    }
+
+    /// [`CombinationAnalysis::mine`] with explicit kernel execution
+    /// options. The horizontal miners (FP-Growth, Apriori) ignore `opts`;
+    /// no option changes any output byte.
+    pub fn mine_opts(
+        transactions: &TransactionSet,
+        min_support: f64,
+        miner: Miner,
+        opts: MineOpts,
+    ) -> Self {
         if transactions.is_empty() {
             return CombinationAnalysis {
                 itemsets: Vec::new(),
@@ -98,8 +124,9 @@ impl CombinationAnalysis {
         let itemsets = match miner {
             Miner::FpGrowth => mine_fpgrowth(transactions, abs),
             Miner::Apriori => mine_apriori(transactions, abs),
-            Miner::Eclat => mine_eclat(transactions, abs),
-            Miner::EclatBitset => mine_eclat_bitset(transactions, abs),
+            Miner::Eclat => mine_eclat_with(transactions, abs, opts),
+            Miner::EclatBitset => mine_eclat_bitset_with(transactions, abs, opts),
+            Miner::DEclat => mine_declat_with(transactions, abs, opts),
         };
         CombinationAnalysis {
             itemsets,
@@ -185,13 +212,14 @@ mod tests {
             vec![1, 3],
             vec![1, 2, 3, 4],
         ];
-        let a = CombinationAnalysis::mine(&ts(raw.clone()), 0.3, Miner::Apriori);
-        let b = CombinationAnalysis::mine(&ts(raw.clone()), 0.3, Miner::FpGrowth);
-        let c = CombinationAnalysis::mine(&ts(raw.clone()), 0.3, Miner::Eclat);
-        let d = CombinationAnalysis::mine(&ts(raw), 0.3, Miner::EclatBitset);
-        assert_eq!(a.itemsets, b.itemsets);
-        assert_eq!(a.itemsets, c.itemsets);
-        assert_eq!(a.itemsets, d.itemsets);
+        let t = ts(raw);
+        let a = CombinationAnalysis::mine(&t, 0.3, Miner::Apriori);
+        for miner in Miner::ALL {
+            assert_eq!(a.itemsets, CombinationAnalysis::mine(&t, 0.3, miner).itemsets, "{miner:?}");
+            let opts = MineOpts { threads: Some(2), reorder: false };
+            let with = CombinationAnalysis::mine_opts(&t, 0.3, miner, opts);
+            assert_eq!(a.itemsets, with.itemsets, "{miner:?} with {opts:?}");
+        }
     }
 
     #[test]

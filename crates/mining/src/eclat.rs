@@ -10,11 +10,28 @@
 use std::collections::BTreeMap;
 
 use crate::itemset::{canonical_sort, FrequentItemset, Itemset};
+use crate::reorder::{mine_classes, ItemReorder};
 use crate::transaction::TransactionSet;
+use crate::MineOpts;
 
-/// Mine all itemsets with support count >= `min_support_count` using Eclat.
-/// Output order matches the other miners.
+/// Mine all itemsets with support count >= `min_support_count` using the
+/// classic Eclat kernel (sequential, original item order) — the list
+/// baseline the accelerated variants are benchmarked against. Output
+/// order matches the other miners.
 pub fn mine_eclat(transactions: &TransactionSet, min_support_count: u64) -> Vec<FrequentItemset> {
+    mine_eclat_with(
+        transactions,
+        min_support_count,
+        MineOpts { threads: Some(1), reorder: false },
+    )
+}
+
+/// [`mine_eclat`] with explicit reordering/parallelism options.
+pub fn mine_eclat_with(
+    transactions: &TransactionSet,
+    min_support_count: u64,
+    opts: MineOpts,
+) -> Vec<FrequentItemset> {
     assert!(min_support_count > 0, "minimum support must be at least 1");
 
     // Build vertical tid-lists. BTreeMap iterates in ascending item order,
@@ -32,43 +49,51 @@ pub fn mine_eclat(transactions: &TransactionSet, min_support_count: u64) -> Vec<
         .filter(|(_, tids)| tids.len() as u64 >= min_support_count)
         .collect();
 
-    let mut out = Vec::new();
-    // DFS: at each level, the "equivalence class" is the list of
-    // (item, tidlist) pairs that can extend the current prefix.
-    dfs(&[], &roots, min_support_count, &mut out);
+    let mine = |roots: &[(u32, Vec<u32>)]| {
+        mine_classes(roots, opts.threads, |i, class, out| {
+            expand(&[], i, class, min_support_count, out)
+        })
+    };
+    let mut out = if opts.reorder {
+        let (roots, reorder) = ItemReorder::relabel(roots, |tids| tids.len() as u64);
+        let mut out = mine(&roots);
+        reorder.decode(&mut out);
+        out
+    } else {
+        mine(&roots)
+    };
     canonical_sort(&mut out);
     out
 }
 
-/// Recursive DFS over one equivalence class.
-fn dfs(
+/// Emit the subtree rooted at class member `i`: the member itself plus
+/// every extension by later members.
+fn expand(
     prefix: &[u32],
+    i: usize,
     class: &[(u32, Vec<u32>)],
     min_support: u64,
     out: &mut Vec<FrequentItemset>,
 ) {
-    for (i, (item, tids)) in class.iter().enumerate() {
-        // The prefix is sorted and equivalence classes are kept in
-        // ascending item order, so the extension item always exceeds the
-        // prefix tail — appending preserves sortedness.
-        debug_assert!(prefix.last().is_none_or(|&last| last < *item));
-        let mut items: Itemset = prefix.to_vec();
-        items.push(*item);
-        out.push(FrequentItemset { items: items.clone(), support_count: tids.len() as u64 });
+    let (item, tids) = &class[i];
+    // The prefix is sorted and equivalence classes are kept in ascending
+    // id order, so the extension id always exceeds the prefix tail —
+    // appending preserves sortedness.
+    debug_assert!(prefix.last().is_none_or(|&last| last < *item));
+    let mut items: Itemset = prefix.to_vec();
+    items.push(*item);
+    out.push(FrequentItemset { items: items.clone(), support_count: tids.len() as u64 });
 
-        // Build the child class: extensions by later items.
-        let mut child: Vec<(u32, Vec<u32>)> = Vec::new();
-        for (other, other_tids) in &class[i + 1..] {
-            let inter = intersect_sorted(tids, other_tids);
-            if inter.len() as u64 >= min_support {
-                child.push((*other, inter));
-            }
+    // Build the child class: extensions by later items.
+    let mut child: Vec<(u32, Vec<u32>)> = Vec::new();
+    for (other, other_tids) in &class[i + 1..] {
+        let inter = intersect_sorted(tids, other_tids);
+        if inter.len() as u64 >= min_support {
+            child.push((*other, inter));
         }
-        if !child.is_empty() {
-            // `items` is the new prefix (already includes *item).
-            let prefix_items = items;
-            dfs(&prefix_items, &child, min_support, out);
-        }
+    }
+    for j in 0..child.len() {
+        expand(&items, j, &child, min_support, out);
     }
 }
 
@@ -139,6 +164,25 @@ mod tests {
     #[should_panic(expected = "minimum support")]
     fn rejects_zero_support() {
         let _ = mine_eclat(&ts(vec![vec![1]]), 0);
+    }
+
+    #[test]
+    fn options_do_not_change_output() {
+        let t = ts(vec![
+            vec![1, 3, 4],
+            vec![2, 3, 5],
+            vec![1, 2, 3, 5],
+            vec![2, 5],
+            vec![1, 4],
+        ]);
+        let baseline = mine_eclat(&t, 2);
+        for opts in [
+            MineOpts::default(),
+            MineOpts { threads: Some(4), reorder: true },
+            MineOpts { threads: None, reorder: false },
+        ] {
+            assert_eq!(mine_eclat_with(&t, 2, opts), baseline, "{opts:?}");
+        }
     }
 
     #[test]

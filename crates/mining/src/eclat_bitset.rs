@@ -30,7 +30,9 @@ use std::collections::BTreeMap;
 
 use crate::bitmap::TidBitmap;
 use crate::itemset::{canonical_sort, FrequentItemset, Itemset};
+use crate::reorder::{mine_classes, ItemReorder};
 use crate::transaction::TransactionSet;
+use crate::MineOpts;
 
 /// A vertical tid-set in whichever representation is cheaper at its
 /// density: dense bitmap (≥ 1/64 of the universe) or sorted list.
@@ -93,10 +95,20 @@ impl TidSet {
 }
 
 /// Mine all itemsets with support count >= `min_support_count` using the
-/// bitmap Eclat kernel. Output is identical to the other miners.
+/// bitmap Eclat kernel with default options (sequential, reordered).
+/// Output is identical to the other miners.
 pub fn mine_eclat_bitset(
     transactions: &TransactionSet,
     min_support_count: u64,
+) -> Vec<FrequentItemset> {
+    mine_eclat_bitset_with(transactions, min_support_count, MineOpts::default())
+}
+
+/// [`mine_eclat_bitset`] with explicit reordering/parallelism options.
+pub fn mine_eclat_bitset_with(
+    transactions: &TransactionSet,
+    min_support_count: u64,
+    opts: MineOpts,
 ) -> Vec<FrequentItemset> {
     assert!(min_support_count > 0, "minimum support must be at least 1");
 
@@ -115,31 +127,48 @@ pub fn mine_eclat_bitset(
         .map(|(item, tids)| (item, TidSet::from_sorted_list(tids, universe)))
         .collect();
 
-    let mut out = Vec::new();
-    dfs(&[], &roots, min_support_count, &mut out);
+    let mine = |roots: &[(u32, TidSet)]| {
+        mine_classes(roots, opts.threads, |i, class, out| {
+            expand(&[], i, class, min_support_count, out)
+        })
+    };
+    let mut out = if opts.reorder {
+        let (roots, reorder) = ItemReorder::relabel(roots, TidSet::count);
+        let mut out = mine(&roots);
+        reorder.decode(&mut out);
+        out
+    } else {
+        mine(&roots)
+    };
     canonical_sort(&mut out);
     out
 }
 
-/// Recursive DFS over one equivalence class of (item, tid-set) pairs.
-fn dfs(prefix: &[u32], class: &[(u32, TidSet)], min_support: u64, out: &mut Vec<FrequentItemset>) {
-    for (i, (item, tids)) in class.iter().enumerate() {
-        // Equivalence classes are kept in ascending item order, so the
-        // extension item always exceeds the prefix tail — no re-sort.
-        debug_assert!(prefix.last().is_none_or(|&last| last < *item));
-        let mut items: Itemset = prefix.to_vec();
-        items.push(*item);
-        out.push(FrequentItemset { items: items.clone(), support_count: tids.count() });
+/// Emit the subtree rooted at class member `i`: the member itself plus
+/// every extension by later members.
+fn expand(
+    prefix: &[u32],
+    i: usize,
+    class: &[(u32, TidSet)],
+    min_support: u64,
+    out: &mut Vec<FrequentItemset>,
+) {
+    let (item, tids) = &class[i];
+    // Equivalence classes are kept in ascending id order, so the
+    // extension id always exceeds the prefix tail — no re-sort.
+    debug_assert!(prefix.last().is_none_or(|&last| last < *item));
+    let mut items: Itemset = prefix.to_vec();
+    items.push(*item);
+    out.push(FrequentItemset { items: items.clone(), support_count: tids.count() });
 
-        let mut child: Vec<(u32, TidSet)> = Vec::new();
-        for (other, other_tids) in &class[i + 1..] {
-            if let Some(inter) = tids.intersect(other_tids, min_support) {
-                child.push((*other, inter));
-            }
+    let mut child: Vec<(u32, TidSet)> = Vec::new();
+    for (other, other_tids) in &class[i + 1..] {
+        if let Some(inter) = tids.intersect(other_tids, min_support) {
+            child.push((*other, inter));
         }
-        if !child.is_empty() {
-            dfs(&items, &child, min_support, out);
-        }
+    }
+    for j in 0..child.len() {
+        expand(&items, j, &child, min_support, out);
     }
 }
 
@@ -271,6 +300,23 @@ mod tests {
         let t = ts(raw);
         let got = agrees_with_triad(&t, 1);
         assert!(got.iter().any(|f| f.items == vec![1, 2, 3] && f.support_count == 1));
+    }
+
+    #[test]
+    fn options_do_not_change_output() {
+        let mut raw = vec![vec![1u32, 2]; 70];
+        raw[10].push(3);
+        raw[20].push(3);
+        raw[30].push(4);
+        let t = ts(raw);
+        let baseline = mine_eclat_bitset(&t, 1);
+        for opts in [
+            MineOpts { threads: Some(1), reorder: false },
+            MineOpts { threads: Some(4), reorder: true },
+            MineOpts { threads: None, reorder: false },
+        ] {
+            assert_eq!(mine_eclat_bitset_with(&t, 1, opts), baseline, "{opts:?}");
+        }
     }
 
     #[test]

@@ -15,7 +15,13 @@
 //!   miner.
 //! - [`bitmap`] / [`eclat_bitset`] — Eclat over dense tid *bitmaps* with
 //!   popcount support counting and a density fallback to sorted lists:
-//!   the fast kernel, byte-identical output to the other three.
+//!   byte-identical output to the other miners.
+//! - [`diffset`] — dEclat: DFS nodes store *diffsets* against their
+//!   parent (support = parent support − |diffset|), the fast kernel on
+//!   dense full-scale workloads.
+//! - [`reorder`] — support-ascending item reordering plus the shared
+//!   parallel-DFS front-end for the vertical kernels; [`MineOpts`] is the
+//!   knob bundle.
 //! - [`combination`] — the paper's 5%-support combination analysis and its
 //!   rank-frequency curve.
 //! - [`cache`] — per-`(cuisine, mode)` transaction memoization shared by
@@ -39,18 +45,47 @@ pub mod apriori;
 pub mod bitmap;
 pub mod cache;
 pub mod combination;
+pub mod diffset;
 pub mod eclat;
 pub mod eclat_bitset;
 pub mod fpgrowth;
 pub mod itemset;
+pub mod reorder;
 pub mod transaction;
 
 pub use apriori::mine_apriori;
 pub use bitmap::TidBitmap;
 pub use cache::{TransactionCache, TransactionSource};
-pub use eclat::mine_eclat;
-pub use eclat_bitset::mine_eclat_bitset;
+pub use diffset::{mine_declat, mine_declat_with};
+pub use eclat::{mine_eclat, mine_eclat_with};
+pub use eclat_bitset::{mine_eclat_bitset, mine_eclat_bitset_with};
 pub use combination::{CombinationAnalysis, Miner, PAPER_MIN_SUPPORT};
 pub use fpgrowth::mine_fpgrowth;
 pub use itemset::{FrequentItemset, Itemset};
 pub use transaction::{ItemMode, TransactionSet};
+
+/// Execution knobs for the vertical mining kernels (Eclat, bitmap Eclat,
+/// dEclat). **Neither knob changes a single output byte** — reordering is
+/// undone before the canonical sort and the parallel DFS merges per-class
+/// results in stable class order (both pinned by the property tests and
+/// `tests/determinism.rs`); they are purely performance choices.
+///
+/// The horizontal miners (FP-Growth, Apriori) ignore these options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MineOpts {
+    /// Worker threads for the first-level equivalence-class fan-out,
+    /// following the workspace convention: `None` = available
+    /// parallelism, `Some(0)`/`Some(1)` = sequential. Defaults to
+    /// sequential so kernels stay well-behaved under the per-cuisine
+    /// fan-out above them.
+    pub threads: Option<usize>,
+    /// Mine in support-ascending rank space (see [`reorder`]). On by
+    /// default: it only shrinks intermediate tid-sets.
+    pub reorder: bool,
+}
+
+impl Default for MineOpts {
+    fn default() -> Self {
+        MineOpts { threads: Some(1), reorder: true }
+    }
+}

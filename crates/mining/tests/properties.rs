@@ -1,13 +1,24 @@
 //! Property-based tests for the mining substrate. The headline property:
-//! all four miners (Apriori, FP-Growth, Eclat, bitmap Eclat) produce
-//! identical results on arbitrary inputs.
+//! all five miners (Apriori, FP-Growth, Eclat, bitmap Eclat, dEclat)
+//! produce identical results on arbitrary inputs — for every reordering
+//! and DFS-parallelism option.
 
 use cuisine_mining::apriori::mine_apriori;
-use cuisine_mining::eclat::mine_eclat;
-use cuisine_mining::eclat_bitset::mine_eclat_bitset;
+use cuisine_mining::diffset::mine_declat_with;
+use cuisine_mining::eclat::{mine_eclat, mine_eclat_with};
+use cuisine_mining::eclat_bitset::{mine_eclat_bitset, mine_eclat_bitset_with};
 use cuisine_mining::fpgrowth::mine_fpgrowth;
-use cuisine_mining::{CombinationAnalysis, ItemMode, Miner, TransactionSet};
+use cuisine_mining::{CombinationAnalysis, ItemMode, MineOpts, Miner, TransactionSet};
 use proptest::prelude::*;
+
+/// The kernel-option grid the agreement properties sweep: sequential and
+/// parallel DFS, reordering on and off.
+const OPTS_GRID: [MineOpts; 4] = [
+    MineOpts { threads: Some(1), reorder: false },
+    MineOpts { threads: Some(1), reorder: true },
+    MineOpts { threads: Some(4), reorder: false },
+    MineOpts { threads: Some(4), reorder: true },
+];
 
 fn arb_transactions() -> impl Strategy<Value = Vec<Vec<u32>>> {
     prop::collection::vec(prop::collection::vec(0u32..12, 0..8), 0..40)
@@ -17,15 +28,17 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
     #[test]
-    fn all_four_miners_agree(raw in arb_transactions(), min_sup in 1u64..6) {
+    fn all_five_miners_agree(raw in arb_transactions(), min_sup in 1u64..6) {
         let ts = TransactionSet::from_raw(raw, ItemMode::Ingredients);
         let a = mine_apriori(&ts, min_sup);
-        let b = mine_fpgrowth(&ts, min_sup);
-        let c = mine_eclat(&ts, min_sup);
-        let d = mine_eclat_bitset(&ts, min_sup);
-        prop_assert_eq!(&a, &b);
-        prop_assert_eq!(&a, &c);
-        prop_assert_eq!(&a, &d);
+        prop_assert_eq!(&a, &mine_fpgrowth(&ts, min_sup));
+        prop_assert_eq!(&a, &mine_eclat(&ts, min_sup));
+        prop_assert_eq!(&a, &mine_eclat_bitset(&ts, min_sup));
+        for opts in OPTS_GRID {
+            prop_assert_eq!(&a, &mine_eclat_with(&ts, min_sup, opts), "{:?}", opts);
+            prop_assert_eq!(&a, &mine_eclat_bitset_with(&ts, min_sup, opts), "{:?}", opts);
+            prop_assert_eq!(&a, &mine_declat_with(&ts, min_sup, opts), "{:?}", opts);
+        }
     }
 
     #[test]
@@ -132,10 +145,10 @@ proptest! {
         // density threshold, so the bitset kernel runs its list path.
         let ts = TransactionSet::from_raw(raw, ItemMode::Ingredients);
         prop_assert!(ts.len() > 64, "strategy must span > one bitmap word");
-        prop_assert_eq!(
-            mine_eclat_bitset(&ts, min_sup),
-            mine_eclat(&ts, min_sup)
-        );
+        let reference = mine_eclat(&ts, min_sup);
+        prop_assert_eq!(&reference, &mine_eclat_bitset(&ts, min_sup));
+        // Sparse roots also start dEclat in its list regime.
+        prop_assert_eq!(&reference, &mine_declat_with(&ts, min_sup, MineOpts::default()));
     }
 
     #[test]
@@ -155,6 +168,12 @@ proptest! {
         let bitset = mine_eclat_bitset(&ts, 2);
         prop_assert_eq!(&bitset, &mine_eclat(&ts, 2));
         prop_assert_eq!(&bitset, &mine_fpgrowth(&ts, 2));
+        // Dense universal items push dEclat roots into complement
+        // diffsets; the sparse remainder stays in tid-lists — the mixed
+        // combine cases all fire here.
+        for opts in OPTS_GRID {
+            prop_assert_eq!(&bitset, &mine_declat_with(&ts, 2, opts), "{:?}", opts);
+        }
     }
 }
 

@@ -32,7 +32,8 @@ use cuisine_serve::{
 };
 
 const USAGE: &str = "serve [--scale F] [--seed N] [--threads N] [--no-cache] \
-[--miner fpgrowth|apriori|eclat|eclat-bitset] [--replicates N] [--port N] \
+[--miner fpgrowth|apriori|eclat|eclat-bitset|declat] [--mine-threads N] \
+[--no-reorder] [--replicates N] [--port N] \
 [--queue N] [--lru N] [--shards N] [--deadline-ms N] [--faults SPEC] \
 [--no-keepalive] [--self-check]";
 
@@ -136,14 +137,17 @@ fn main() {
         opts.miner.label()
     );
     let snap_started = Instant::now();
-    let mut snapshots = SnapshotStore::build(&experiment, version, &ModelKind::ALL, &fig4);
+    let mut snapshots = SnapshotStore::build_timed(&experiment, version, &ModelKind::ALL, &fig4, &|| {
+        snap_started.elapsed().as_millis().min(u128::from(u64::MAX)) as u64
+    });
     let snap_elapsed = snap_started.elapsed();
     snapshots.set_build_wall_ms(snap_elapsed.as_millis().min(u128::from(u64::MAX)) as u64);
     eprintln!(
-        "{} snapshots ({} KiB) in {:.2?}",
+        "{} snapshots ({} KiB) in {:.2?} (mining stage {} ms)",
         snapshots.len(),
         snapshots.total_bytes() / 1024,
-        snap_elapsed
+        snap_elapsed,
+        snapshots.mining_wall_ms()
     );
 
     // Registry: the booted corpus is the default entry; registrations

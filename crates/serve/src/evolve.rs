@@ -215,16 +215,19 @@ pub fn handle_evolve(request: &EvolveRequest, experiment: &Experiment) -> Result
             threads: Some(1),
         },
         mode: request.mode,
-        // Use the same mining kernel the snapshots were built with.
+        // Use the same mining kernel (and kernel execution options) the
+        // snapshots were built with.
         miner: experiment.config().miner,
+        mining: experiment.config().mining,
         ..Default::default()
     };
 
     // Empirical curve through the shared transaction cache.
     let source = TransactionSource::from(experiment.transaction_cache());
     let transactions = source.cuisine(corpus, request.cuisine, request.mode, lexicon);
-    let empirical = CombinationAnalysis::mine(&transactions, config.min_support, config.miner)
-        .rank_frequency();
+    let empirical =
+        CombinationAnalysis::mine_opts(&transactions, config.min_support, config.miner, config.mining)
+            .rank_frequency();
 
     let params = ModelParams::paper(request.model);
     let result =

@@ -44,6 +44,9 @@ pub struct SnapshotInfo<'a> {
     /// Wall-clock of the snapshot build in milliseconds (0 when the
     /// embedding did not measure it, e.g. test fixtures).
     pub build_wall_ms: u64,
+    /// Wall-clock of the build's mining stage (the two fig3 passes) in
+    /// milliseconds (0 when the build ran without a real clock).
+    pub mining_wall_ms: u64,
 }
 
 /// Registry counters and per-corpus rows reported by `/metrics`,
@@ -64,8 +67,8 @@ pub struct RegistryStats {
     /// leaves the last-good epoch serving; a failed first build leaves
     /// the entry in a Failed state answering a named `500`.
     pub build_failures: u64,
-    /// Per-corpus rows: key, state, epoch, build_ms, hits, rebuilding,
-    /// degraded, error.
+    /// Per-corpus rows: key, state, epoch, miner, build_ms, mining_ms,
+    /// hits, rebuilding, degraded, error.
     pub corpora: Value,
 }
 
@@ -264,6 +267,7 @@ impl Metrics {
         doc.insert("service", Value::String("cuisine-serve".into()));
         doc.insert("snapshot_version", Value::String(snapshot.version.into()));
         doc.insert("snapshot_build_ms", Value::U64(snapshot.build_wall_ms));
+        doc.insert("mining_wall_ms", Value::U64(snapshot.mining_wall_ms));
         doc.insert("miner", Value::String(snapshot.miner.into()));
         doc.insert("uptime_seconds", Value::F64(self.started.elapsed().as_secs_f64()));
         doc.insert("requests_total", Value::U64(requests));
@@ -409,7 +413,12 @@ mod tests {
         gauges.pool_depth.store(2, Ordering::Relaxed);
         gauges.connections.store(7, Ordering::Relaxed);
         m.record_deadline_expired();
-        let info = SnapshotInfo { version: "test-v1", miner: "eclat-bitset", build_wall_ms: 1234 };
+        let info = SnapshotInfo {
+            version: "test-v1",
+            miner: "eclat-bitset",
+            build_wall_ms: 1234,
+            mining_wall_ms: 345,
+        };
         let registry = RegistryStats { builds: 3, swaps: 1, build_failures: 2, ..Default::default() };
         let faults = Faults::new();
         faults.install(cuisine_exec::FaultPlan::parse("evolve.compute=delay:1@nth:1").unwrap());
@@ -424,6 +433,7 @@ mod tests {
         );
         assert_eq!(doc.get("miner").unwrap().as_str(), Some("eclat-bitset"));
         assert_eq!(doc.get("snapshot_build_ms").unwrap().as_u64(), Some(1234));
+        assert_eq!(doc.get("mining_wall_ms").unwrap().as_u64(), Some(345));
         let classes = doc.get("requests_by_class").unwrap().as_object().unwrap();
         assert_eq!(classes.get("2xx").unwrap().as_u64(), Some(1));
         assert_eq!(classes.get("4xx").unwrap().as_u64(), Some(1));
@@ -467,7 +477,8 @@ mod tests {
     #[test]
     fn faults_report_null_without_a_plan() {
         let m = Metrics::new();
-        let info = SnapshotInfo { version: "v", miner: "fpgrowth", build_wall_ms: 0 };
+        let info =
+            SnapshotInfo { version: "v", miner: "fpgrowth", build_wall_ms: 0, mining_wall_ms: 0 };
         let doc: serde::Value = serde_json::from_str(&m.to_json(
             &Gauges::default(),
             &info,

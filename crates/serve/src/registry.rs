@@ -330,7 +330,19 @@ impl CorpusEntry {
         row.insert("key", Value::String(key.to_string()));
         row.insert("state", Value::String(self.state().into()));
         row.insert("epoch", Value::U64(self.epoch));
+        // Kernel provenance: the installed snapshots' label when Ready
+        // (ground truth), else the registered spec's, else null.
+        let miner = self
+            .data
+            .as_ref()
+            .map(|data| data.snapshots.miner())
+            .or_else(|| self.spec.as_ref().map(|spec| spec.miner.label()));
+        row.insert("miner", miner.map_or(Value::Null, |label| Value::String(label.into())));
         row.insert("build_ms", Value::U64(self.build_ms));
+        row.insert(
+            "mining_ms",
+            Value::U64(self.data.as_ref().map_or(0, |data| data.snapshots.mining_wall_ms())),
+        );
         row.insert("hits", Value::U64(self.hits.load(Ordering::Relaxed)));
         row.insert("rebuilding", Value::Bool(self.pending.is_some() && self.data.is_some()));
         row.insert("degraded", Value::Bool(self.data.is_some() && self.last_error.is_some()));
@@ -702,7 +714,8 @@ impl CorpusRegistry {
     }
 
     /// The `GET /admin/corpora` document: the default key plus one row
-    /// per entry (key, state, epoch, build_ms, hits, rebuilding).
+    /// per entry (key, state, epoch, miner, build_ms, mining_ms, hits,
+    /// rebuilding).
     pub fn admin_list(&self) -> Response {
         let shared = &self.shared;
         let entries = shared.entries.lock();
@@ -874,8 +887,13 @@ fn build_corpus_data(
             std::panic::panic_any(reason);
         }
     }
-    let snapshots =
-        SnapshotStore::build(&experiment, key.to_string(), &options.models, &options.fig4);
+    let snapshots = SnapshotStore::build_timed(
+        &experiment,
+        key.to_string(),
+        &options.models,
+        &options.fig4,
+        &|| (shared.clock)(),
+    );
     (snapshots, experiment)
 }
 

@@ -7,8 +7,13 @@ use cuisine_data::io::{
 };
 use cuisine_data::validate::{validate, ValidationConfig};
 
+// Scale 0.02 matches the determinism-suite config. Smaller scales push the
+// per-cuisine absolute-support floor toward 1, where near-duplicate synth
+// recipes make the frequent-itemset count combinatorial (the same pathology
+// that pinned the serve fixtures to 0.02) — at seed 555 / scale 0.01 the
+// rank-frequency round-trip below mines for the better part of an hour.
 fn experiment() -> Experiment {
-    Experiment::synthetic(&SynthConfig { seed: 555, scale: 0.01, ..Default::default() })
+    Experiment::synthetic(&SynthConfig { seed: 555, scale: 0.02, ..Default::default() })
 }
 
 #[test]

@@ -38,7 +38,12 @@ fn miner_under_test() -> Miner {
 
 fn experiment(threads: Option<usize>, cache: bool) -> Experiment {
     let synth = SynthConfig { seed: 11, scale: 0.02, ..Default::default() };
-    let config = PipelineConfig { threads, cache, miner: miner_under_test() };
+    let config = PipelineConfig {
+        threads,
+        cache,
+        miner: miner_under_test(),
+        mining: MineOpts::default(),
+    };
     Experiment::synthetic_with(&synth, config)
 }
 
@@ -46,7 +51,12 @@ fn experiment(threads: Option<usize>, cache: bool) -> Experiment {
 /// ensembles per cuisine × model × config, so keep each run cheap).
 fn small_experiment(threads: Option<usize>, cache: bool) -> Experiment {
     let synth = SynthConfig { seed: 11, scale: 0.005, ..Default::default() };
-    let config = PipelineConfig { threads, cache, miner: miner_under_test() };
+    let config = PipelineConfig {
+        threads,
+        cache,
+        miner: miner_under_test(),
+        mining: MineOpts::default(),
+    };
     Experiment::synthetic_with(&synth, config)
 }
 
@@ -145,7 +155,12 @@ fn miner_knob_does_not_change_any_artifact() {
     // CUISINE_MINER=eclat-bitset for the full threads × cache sweep.
     let synth = SynthConfig { seed: 11, scale: 0.02, ..Default::default() };
     let build = |miner| {
-        let config = PipelineConfig { threads: Some(2), cache: true, miner };
+        let config = PipelineConfig {
+            threads: Some(2),
+            cache: true,
+            miner,
+            mining: MineOpts::default(),
+        };
         Experiment::synthetic_with(&synth, config)
     };
     let fig4_config = EvaluationConfig {
@@ -168,6 +183,62 @@ fn miner_knob_does_not_change_any_artifact() {
             reference.2,
             "fig4 diverged under {miner:?}"
         );
+    }
+}
+
+#[test]
+fn kernel_options_do_not_change_fig3_or_fig4() {
+    // The kernel-internal execution options — support-ascending item
+    // reordering and DFS-level parallelism — are the PR 10 leg of the
+    // byte-identity contract: fig3 (both granularities, plus the
+    // similarity matrix) and fig4 must serialize to the same bytes across
+    // DFS threads {1, 2, 8} × reordering on/off, under the miner CI
+    // selects via CUISINE_MINER (default, eclat-bitset, declat).
+    let synth = SynthConfig { seed: 11, scale: 0.02, ..Default::default() };
+    let small_synth = SynthConfig { seed: 11, scale: 0.005, ..Default::default() };
+    let build = |synth: &SynthConfig, mining| {
+        let config = PipelineConfig {
+            threads: Some(1),
+            cache: true,
+            miner: miner_under_test(),
+            mining,
+        };
+        Experiment::synthetic_with(synth, config)
+    };
+    let fig4_config = EvaluationConfig {
+        ensemble: EnsembleConfig { replicates: 2, seed: 7, threads: None },
+        ..Default::default()
+    };
+    let models = [ModelKind::Null];
+    let reference = {
+        let sequential = MineOpts { threads: Some(1), reorder: false };
+        let e = build(&synth, sequential);
+        let (ing, matrix) = e.fig3(ItemMode::Ingredients);
+        let (cat, _) = e.fig3(ItemMode::Categories);
+        let small = build(&small_synth, sequential);
+        (
+            to_json(&ing),
+            to_json(&matrix),
+            to_json(&cat),
+            to_json(&small.fig4_models(&models, &fig4_config)),
+        )
+    };
+    for dfs_threads in [1usize, 2, 8] {
+        for reorder in [false, true] {
+            let mining = MineOpts { threads: Some(dfs_threads), reorder };
+            let e = build(&synth, mining);
+            let (ing, matrix) = e.fig3(ItemMode::Ingredients);
+            let (cat, _) = e.fig3(ItemMode::Categories);
+            assert_eq!(to_json(&ing), reference.0, "fig3 ingredients diverged at {mining:?}");
+            assert_eq!(to_json(&matrix), reference.1, "similarity diverged at {mining:?}");
+            assert_eq!(to_json(&cat), reference.2, "fig3 categories diverged at {mining:?}");
+            let small = build(&small_synth, mining);
+            assert_eq!(
+                to_json(&small.fig4_models(&models, &fig4_config)),
+                reference.3,
+                "fig4 diverged at {mining:?}"
+            );
+        }
     }
 }
 
